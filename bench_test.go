@@ -1,0 +1,365 @@
+// Package repro's top-level benchmarks regenerate the measured series
+// behind every table and figure of the paper's evaluation (Section 6), one
+// benchmark per artifact, plus the ablation benches DESIGN.md §7 calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem .
+//
+// Each figure benchmark executes the same generation path as cmd/figures
+// (Quick preset) and reports headline values via b.ReportMetric so the
+// paper-vs-measured comparison in EXPERIMENTS.md can be re-derived from
+// benchmark output alone.
+package repro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/comparators"
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/kvstore"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// benchCfg is the shared figure preset.
+func benchCfg() figures.Config { return figures.Quick() }
+
+// lastRowF extracts a float cell from a table by row label and column.
+func lastRowF(t *core.Table, label string, col int) float64 {
+	for _, row := range t.Rows {
+		if row[0] == label {
+			v, _ := strconv.ParseFloat(strings.TrimSpace(row[col]), 64)
+			return v
+		}
+	}
+	return 0
+}
+
+// ---- Tables ------------------------------------------------------------
+
+func BenchmarkTable1Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(figures.Table1().Rows); got != 7 {
+			b.Fatalf("table1 rows = %d", got)
+		}
+	}
+}
+
+func BenchmarkTable2DataSets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(figures.Table2().Rows); got != 6 {
+			b.Fatalf("table2 rows = %d", got)
+		}
+	}
+}
+
+func BenchmarkTable3Schema(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(figures.Table3().Rows); got != 9 {
+			b.Fatalf("table3 rows = %d (3 ORDER + 6 ORDER_ITEM columns)", got)
+		}
+	}
+}
+
+func BenchmarkTable4Suite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(figures.Table4().Rows); got != 19 {
+			b.Fatalf("table4 rows = %d", got)
+		}
+	}
+}
+
+func BenchmarkTable5MachineE5645(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Table5()
+	}
+}
+
+func BenchmarkTable6Experiments(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if got := len(figures.Table6().Rows); got != 19 {
+			b.Fatalf("table6 rows = %d", got)
+		}
+	}
+}
+
+func BenchmarkTable7MachineE5310(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figures.Table7()
+	}
+}
+
+// ---- Figures -----------------------------------------------------------
+
+func BenchmarkFig2L3LargeVsSmall(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		t, err := cfg.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(t, "Avg_BigData", 1), "avgL3MPKI/large")
+		b.ReportMetric(lastRowF(t, "Avg_BigData", 2), "avgL3MPKI/small")
+		b.ReportMetric(lastRowF(t, "Kmeans", 1)/lastRowF(t, "Kmeans", 2), "kmeansLargeOverSmall")
+	}
+}
+
+func BenchmarkFig3MIPS(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		t, err := cfg.Fig3MIPS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The paper's callout: Grep's MIPS gap between baseline and 32×.
+		b.ReportMetric(lastRowF(t, "Grep", 5)/lastRowF(t, "Grep", 1), "grepMIPS32xOverBase")
+	}
+}
+
+func BenchmarkFig3Speedup(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		t, err := cfg.Fig3Speedup()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(t, "Sort", 5), "sortSpeedup32x")
+		b.ReportMetric(lastRowF(t, "Grep", 5), "grepSpeedup32x")
+	}
+}
+
+func BenchmarkFig4InstrMix(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		t, err := cfg.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(t, "Grep", 6), "grepIntOverFP")
+		b.ReportMetric(lastRowF(t, "Avg_BigData", 4), "avgIntegerFraction")
+	}
+}
+
+func BenchmarkFig5Intensity(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		fp, err := cfg.Fig5("fp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		intT, err := cfg.Fig5("int")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(fp, "Avg_BigData", 2), "avgFPIntensityE5645")
+		b.ReportMetric(lastRowF(fp, "Avg_HPCC", 2), "hpccFPIntensityE5645")
+		b.ReportMetric(lastRowF(intT, "Avg_BigData", 2), "avgIntIntensityE5645")
+	}
+}
+
+func BenchmarkFig6Cache(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		t, err := cfg.Fig6Cache()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(t, "Avg_BigData", 1), "avgL1IMPKI")
+		b.ReportMetric(lastRowF(t, "Avg_BigData", 2), "avgL2MPKI")
+		b.ReportMetric(lastRowF(t, "Avg_BigData", 3), "avgL3MPKI")
+		b.ReportMetric(lastRowF(t, "Avg_HPCC", 1), "hpccL1IMPKI")
+	}
+}
+
+func BenchmarkFig6TLB(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		t, err := cfg.Fig6TLB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowF(t, "Avg_BigData", 1), "avgDTLBMPKI")
+		b.ReportMetric(lastRowF(t, "Avg_BigData", 2), "avgITLBMPKI")
+	}
+}
+
+// ---- Ablations (DESIGN.md §7) -------------------------------------------
+
+// BenchmarkAblationNoL3 removes the E5645's L3 and measures the DRAM
+// traffic inflation for a representative workload — the quantitative form
+// of the paper's "L3 caches are effective for big data" lesson.
+func BenchmarkAblationNoL3(b *testing.B) {
+	cfg := benchCfg()
+	in := cfg.Base
+	in.Scale = cfg.CharScale
+	w := workloads.NewWordCount()
+	for i := 0; i < b.N; i++ {
+		with, err := core.Characterize(w, in, sim.XeonE5645())
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := core.Characterize(w, in, sim.NoL3(sim.XeonE5645()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio := float64(without.Counts.DRAMBytes()) / float64(with.Counts.DRAMBytes())
+		if ratio < 1 {
+			b.Fatalf("removing the L3 cannot reduce DRAM traffic (ratio %.2f)", ratio)
+		}
+		b.ReportMetric(ratio, "dramTrafficNoL3/withL3")
+	}
+}
+
+// BenchmarkAblationShallowStack compares the MapReduce WordCount's L1I MPKI
+// against a tight native word-count kernel over the same bytes — isolating
+// the "deep software stack" factor the paper blames for the L1I behaviour.
+func BenchmarkAblationShallowStack(b *testing.B) {
+	cfg := benchCfg()
+	in := cfg.Base.Normalize()
+	in.Scale = cfg.CharScale
+	for i := 0; i < b.N; i++ {
+		deep, err := core.Characterize(workloads.NewWordCount(), in, sim.XeonE5645())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Native kernel: same tokenization work, one small code region.
+		cpu := sim.New(sim.XeonE5645())
+		code := cpu.NewCodeRegion("native.wordcount", 2<<10)
+		data := cpu.Alloc("native.input", uint64(in.Bytes(32)))
+		cpu.Code(code, 0, 512)
+		total := in.Bytes(32)
+		for off := 0; off < total; off += 4096 {
+			cpu.Load(data.Addr(uint64(off)), 4096)
+			cpu.IntOps(4096 * 2)
+			cpu.Branches(4096 / 2)
+		}
+		shallow := cpu.Counts()
+		if shallow.L1IMPKI() >= deep.Counts.L1IMPKI() {
+			b.Fatal("shallow stack must have lower L1I MPKI than the framework path")
+		}
+		b.ReportMetric(deep.Counts.L1IMPKI(), "deepStackL1IMPKI")
+		b.ReportMetric(shallow.L1IMPKI(), "shallowStackL1IMPKI")
+	}
+}
+
+// BenchmarkAblationCombiner measures the shuffle reduction from WordCount's
+// map-side combiner.
+func BenchmarkAblationCombiner(b *testing.B) {
+	cfg := benchCfg()
+	in := cfg.Base
+	in.Scale = 4
+	for i := 0; i < b.N; i++ {
+		w := workloads.NewWordCount()
+		with, err := core.Measure(w, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.DisableCombiner = true
+		without, err := core.Measure(w, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(without.Extra["shuffledPairs"]/with.Extra["shuffledPairs"],
+			"shuffleReductionFactor")
+	}
+}
+
+// BenchmarkAblationBloom measures how many run probes the LSM store's Bloom
+// filters eliminate on a miss-heavy read workload.
+func BenchmarkAblationBloom(b *testing.B) {
+	run := func(bloomBits int) kvstore.Stats {
+		s := kvstore.Open(kvstore.Options{MemtableBytes: 4096, BloomBitsPerKey: bloomBits})
+		for i := 0; i < 3000; i++ {
+			s.Put([]byte("key"+strconv.Itoa(i)), []byte("value"))
+		}
+		s.Flush()
+		for i := 10000; i < 13000; i++ {
+			s.Get([]byte("key" + strconv.Itoa(i)))
+		}
+		return s.Stats()
+	}
+	for i := 0; i < b.N; i++ {
+		with := run(10)
+		without := run(-1)
+		if with.RunsProbed >= without.RunsProbed {
+			b.Fatal("bloom filters must cut negative-lookup probes")
+		}
+		b.ReportMetric(float64(without.RunsProbed)/float64(max64(with.RunsProbed, 1)),
+			"probeReductionFactor")
+	}
+}
+
+// BenchmarkAblationPrefetch enables the next-line prefetcher model and
+// measures the demand-miss reduction on a streaming-heavy workload.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	cfg := benchCfg()
+	in := cfg.Base
+	in.Scale = cfg.CharScale
+	w := workloads.NewSort()
+	for i := 0; i < b.N; i++ {
+		plain, err := core.Characterize(w, in, sim.XeonE5645())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pf, err := core.Characterize(w, in, sim.WithPrefetch(sim.XeonE5645()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pf.Counts.Prefetches == 0 {
+			b.Fatal("prefetcher idle")
+		}
+		b.ReportMetric(plain.Counts.L1DMPKI(), "l1dMPKI/noPrefetch")
+		b.ReportMetric(pf.Counts.L1DMPKI(), "l1dMPKI/withPrefetch")
+	}
+}
+
+// BenchmarkAblationStack is the paper's Section 6.3.2 proposal — replace
+// MapReduce with MPI for the same computation and compare the front-end
+// pressure.
+func BenchmarkAblationStack(b *testing.B) {
+	cfg := benchCfg()
+	in := cfg.Base
+	in.Scale = 4
+	for i := 0; i < b.N; i++ {
+		hadoop, err := core.Characterize(workloads.NewWordCount(), in, sim.XeonE5645())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mpiRes, err := core.Characterize(workloads.NewWordCountMPI(), in, sim.XeonE5645())
+		if err != nil {
+			b.Fatal(err)
+		}
+		spark, err := core.Characterize(workloads.NewWordCountSpark(), in, sim.XeonE5645())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(hadoop.Counts.L1IMPKI(), "l1iMPKI/hadoop")
+		b.ReportMetric(spark.Counts.L1IMPKI(), "l1iMPKI/spark")
+		b.ReportMetric(mpiRes.Counts.L1IMPKI(), "l1iMPKI/mpi")
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- Comparator suites (Section 6.1.3 setup) -----------------------------
+
+func BenchmarkComparatorSuites(b *testing.B) {
+	cfg := sim.XeonE5645()
+	for _, suite := range comparators.Suites() {
+		b.Run(suite, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k := comparators.SuiteCounts(suite, cfg)
+				b.ReportMetric(k.FPIntensity(), "fpIntensity")
+				b.ReportMetric(k.L1IMPKI(), "l1iMPKI")
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+// Command bdbench runs individual BigDataBench workloads and reports the
+// user-perceivable metric (DPS/RPS/OPS, paper Section 6.1.2) and, when a
+// machine model is selected, the architectural characterization counters.
+//
+// Examples:
+//
+//	bdbench -list
+//	bdbench -workload WordCount -scale 4
+//	bdbench -workload Grep -scale 32 -machine e5645
+//	bdbench -workload "Nutch Server" -machine e5310 -reqs 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the nineteen workloads and exit")
+		name     = flag.String("workload", "", "workload name (see -list)")
+		scale    = flag.Int("scale", 1, "data-volume multiplier over the Table 6 baseline")
+		machine  = flag.String("machine", "none", "processor model: e5645, e5310 or none")
+		unit     = flag.Int64("unit", core.DefaultScaleUnit, "bytes per paper-GB")
+		pages    = flag.Int("pages", core.DefaultPagesPerMPage, "generated pages per paper 10^6 pages")
+		reqs     = flag.Int("reqs", core.DefaultReqsPerUnit, "requests per paper 100 req/s unit")
+		vertices = flag.Int("vertices", core.DefaultVertexUnit, "baseline graph vertices (power of two)")
+		seed     = flag.Int64("seed", 1, "data-generation seed")
+		workers  = flag.Int("workers", 4, "substrate parallelism")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		tab := &core.Table{Headers: []string{"Workload", "Type", "Stack", "Source", "Metric", "Baseline"}}
+		for _, w := range workloads.All() {
+			tab.AddRow(w.Name(), w.Class().String(), w.Stack(), w.DataSource(),
+				w.Metric().String(), w.BaselineInput())
+		}
+		fmt.Print(tab.Render())
+		return
+	}
+	w := workloads.ByName(*name)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "bdbench: unknown workload %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+	in := core.Input{
+		Scale: *scale, ScaleUnit: *unit, PagesPerMPage: *pages,
+		ReqsPerUnit: *reqs, VertexUnit: *vertices, Seed: *seed, Workers: *workers,
+	}
+	var res core.Result
+	var err error
+	var timing sim.TimingConfig
+	switch strings.ToLower(*machine) {
+	case "none", "":
+		res, err = core.Measure(w, in)
+	case "e5645":
+		cfg := sim.XeonE5645()
+		timing = cfg.Timing
+		res, err = core.Characterize(w, in, cfg)
+	case "e5310":
+		cfg := sim.XeonE5310()
+		timing = cfg.Timing
+		res, err = core.Characterize(w, in, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "bdbench: unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bdbench:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		if err := core.WriteJSON(os.Stdout, []core.Result{res}); err != nil {
+			fmt.Fprintln(os.Stderr, "bdbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%s  (scale %dx, seed %d)\n", res.Workload, res.Scale, *seed)
+	fmt.Printf("  processed: %d %s in %v\n", res.Units, res.UnitName, res.Elapsed)
+	fmt.Printf("  %s: %.1f %s/s\n", res.Metric, res.Value, res.UnitName)
+	for k, v := range res.Extra {
+		fmt.Printf("  %s: %.4g\n", k, v)
+	}
+	if k := res.Counts; k.Instructions() > 0 {
+		mix := k.Mix()
+		fmt.Printf("architectural characterization (%s):\n", strings.ToUpper(*machine))
+		fmt.Printf("  instructions: %d  (load %.1f%% store %.1f%% branch %.1f%% int %.1f%% fp %.1f%%)\n",
+			k.Instructions(), mix.Load*100, mix.Store*100, mix.Branch*100,
+			mix.Integer*100, mix.FP*100)
+		fmt.Printf("  MPKI: L1I %.2f  L1D %.2f  L2 %.2f  L3 %.2f  ITLB %.2f  DTLB %.2f\n",
+			k.L1IMPKI(), k.L1DMPKI(), k.L2MPKI(), k.L3MPKI(), k.ITLBMPKI(), k.DTLBMPKI())
+		fmt.Printf("  MIPS %.0f  CPI %.2f  int/FP %.1f  FP intensity %.4f  int intensity %.3f\n",
+			k.MIPS(timing), k.CPI(timing), k.IntToFPRatio(), k.FPIntensity(), k.IntIntensity())
+		fmt.Printf("  DRAM traffic: %.1f MiB read, %.1f MiB written\n",
+			float64(k.DRAMReadBytes)/(1<<20), float64(k.DRAMWriteBytes)/(1<<20))
+	}
+}

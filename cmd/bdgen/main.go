@@ -1,0 +1,113 @@
+// Command bdgen is the Big Data Generator Suite CLI (paper Section 5): it
+// scales the six seed data-set models to a requested volume and writes the
+// result in the format the workloads consume.
+//
+// Examples:
+//
+//	bdgen -kind text -bytes 10485760 -out corpus.txt
+//	bdgen -kind graph -scale 16 -edges 8 -out edges.tsv
+//	bdgen -kind table -orders 10000 -out ecommerce.tsv
+//	bdgen -kind resume -n 1000 -out resumes.txt
+//	bdgen -kind review -n 5000 -out reviews.tsv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bdgs"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "text", "text | graph | table | resume | review | vectors")
+		out    = flag.String("out", "-", "output path (- for stdout)")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		nBytes = flag.Int("bytes", 1<<20, "text: approximate corpus bytes")
+		scale  = flag.Int("scale", 12, "graph: log2 of the vertex count")
+		edges  = flag.Int("edges", 8, "graph: edges per vertex")
+		social = flag.Bool("social", false, "graph: use the denser social-graph parameters (undirected)")
+		orders = flag.Int("orders", 1000, "table: ORDER row count")
+		n      = flag.Int("n", 1000, "resume/review/vectors: record count")
+		dim    = flag.Int("dim", 16, "vectors: dimensionality")
+		k      = flag.Int("k", 8, "vectors: latent cluster count")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bdgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	defer bw.Flush()
+
+	switch *kind {
+	case "text":
+		m := bdgs.NewTextModel(30000)
+		if _, err := bw.Write(m.Corpus(*seed, *nBytes)); err != nil {
+			fail(err)
+		}
+	case "graph":
+		params, directed := bdgs.WebGraphParams(), true
+		if *social {
+			params, directed = bdgs.SocialGraphParams(), false
+		}
+		g := bdgs.GenGraph(*seed, *scale, *edges, params, directed)
+		for _, e := range g.EdgeList() {
+			fmt.Fprintf(bw, "%d\t%d\n", e[0], e[1])
+		}
+	case "table":
+		m := bdgs.NewTableModel(*orders)
+		os_, items := m.Generate(*seed, *orders)
+		fmt.Fprintln(bw, "#ORDER\tORDER_ID\tBUYER_ID\tCREATE_DATE")
+		for _, o := range os_ {
+			fmt.Fprintf(bw, "O\t%d\t%d\t%d\n", o.OrderID, o.BuyerID, o.CreateDate)
+		}
+		fmt.Fprintln(bw, "#ITEM\tITEM_ID\tORDER_ID\tGOODS_ID\tNUMBER\tPRICE\tAMOUNT")
+		for _, it := range items {
+			fmt.Fprintf(bw, "I\t%d\t%d\t%d\t%.2f\t%.2f\t%.6f\n",
+				it.ItemID, it.OrderID, it.GoodsID, it.GoodsNumber, it.GoodsPrice, it.GoodsAmount)
+		}
+	case "resume":
+		var m bdgs.ResumeModel
+		for _, re := range m.Generate(*seed, *n) {
+			fmt.Fprintf(bw, "-- %s\n", re.Key)
+			if _, err := bw.Write(re.Encode()); err != nil {
+				fail(err)
+			}
+		}
+	case "review":
+		tm := bdgs.NewTextModel(10000)
+		m := bdgs.NewReviewModel(*n, tm)
+		for _, rv := range m.Generate(*seed, *n, 60) {
+			fmt.Fprintf(bw, "%d\t%d\t%d\t%s\n", rv.UserID, rv.ItemID, rv.Rating, rv.Text)
+		}
+	case "vectors":
+		for _, v := range bdgs.Vectors(*seed, *n, *dim, *k) {
+			for j, x := range v {
+				if j > 0 {
+					fmt.Fprint(bw, "\t")
+				}
+				fmt.Fprintf(bw, "%.5f", x)
+			}
+			fmt.Fprintln(bw)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "bdgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bdgen:", err)
+	os.Exit(1)
+}

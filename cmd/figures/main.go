@@ -1,0 +1,103 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (Tables 1-7, Figures 2-6) from the reimplemented
+// suite and writes each as an aligned text rendering plus a TSV series
+// under the output directory.
+//
+// Examples:
+//
+//	figures -out out                 # everything, quick preset
+//	figures -out out -preset full    # higher-fidelity inputs
+//	figures -only table4,fig6_1 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+)
+
+func main() {
+	var (
+		outDir = flag.String("out", "out", "output directory")
+		only   = flag.String("only", "", "comma-separated artifact list (e.g. table4,fig2); empty = all")
+		preset = flag.String("preset", "quick", "input preset: quick | full")
+		verb   = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	cfg := figures.Quick()
+	if *preset == "full" {
+		cfg = figures.Full()
+	}
+	if *verb {
+		cfg.Progress = func(msg string) { fmt.Fprintln(os.Stderr, "  ", msg) }
+	}
+
+	want := map[string]bool{}
+	for _, a := range strings.Split(*only, ",") {
+		if a = figures.NormalizeArtifact(a); a != "" {
+			want[a] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	emit := func(name string, gen func() (*core.Table, error)) {
+		if !selected(name) {
+			return
+		}
+		start := time.Now()
+		t, err := gen()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, name+".txt"), []byte(t.Render()), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, name+".tsv"), []byte(t.TSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s  %s  (%.1fs)\n", name, t.Title, time.Since(start).Seconds())
+	}
+
+	tables := figures.AllTables()
+	for _, name := range figures.ArtifactOrder() {
+		if gen, ok := tables[name]; ok {
+			g := gen
+			emit(name, func() (*core.Table, error) { return g(), nil })
+			continue
+		}
+		switch name {
+		case "fig2":
+			emit(name, cfg.Fig2)
+		case "fig3_1":
+			emit(name, cfg.Fig3MIPS)
+		case "fig3_2":
+			emit(name, cfg.Fig3Speedup)
+		case "fig4":
+			emit(name, cfg.Fig4)
+		case "fig5_1":
+			emit(name, func() (*core.Table, error) { return cfg.Fig5("fp") })
+		case "fig5_2":
+			emit(name, func() (*core.Table, error) { return cfg.Fig5("int") })
+		case "fig6_1":
+			emit(name, cfg.Fig6Cache)
+		case "fig6_2":
+			emit(name, cfg.Fig6TLB)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

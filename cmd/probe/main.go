@@ -1,0 +1,49 @@
+// Command probe is a quick characterization viewer: it runs the selected
+// workloads across the Table 6 data-volume sweep on the Xeon E5645 model
+// and prints MIPS, last-level-cache MPKI, and the speedup relative to the
+// baseline input — the at-a-glance version of Figures 2 and 3.
+//
+// Usage: probe [workload ...]   (default: a representative subset)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	cfg := figures.Quick()
+	m := sim.XeonE5645()
+	names := os.Args[1:]
+	if len(names) == 0 {
+		names = []string{"Grep", "WordCount", "Kmeans", "Sort", "Read"}
+	}
+	fmt.Printf("%-24s %6s %10s %10s %10s\n", "workload", "scale", "MIPS", "LLC MPKI", "speedup")
+	for _, name := range names {
+		w := workloads.ByName(name)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "probe: unknown workload %q\n", name)
+			os.Exit(2)
+		}
+		base := 0.0
+		for _, s := range core.Scales() {
+			in := cfg.Base
+			in.Scale = s
+			res, err := core.Characterize(w, in, m)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "probe:", err)
+				os.Exit(1)
+			}
+			if s == 1 {
+				base = res.Value
+			}
+			fmt.Printf("%-24s %6d %10.0f %10.2f %10.2f\n", name, s,
+				res.Counts.MIPS(m.Timing), res.Counts.L3MPKI(), res.Value/base)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "BigDataBench: a Big
+// Data Benchmark Suite from Internet Services" (HPCA 2014): the nineteen
+// workloads, the BDGS data generators, the software-stack substrates they
+// run on, the traditional-benchmark comparators, and the
+// workload-characterization methodology behind the paper's evaluation.
+//
+// The top-level package carries the benchmark harness (bench_test.go),
+// which regenerates every table and figure series; the implementation
+// lives under internal/ (see README.md and DESIGN.md).
+package repro

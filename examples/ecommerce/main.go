@@ -1,0 +1,87 @@
+// E-commerce scenario: the paper's e-commerce application domain — the
+// Table 3 transaction schema queried with the three relational workloads,
+// a Rubis-style auction service handling bid traffic, and the domain's two
+// offline analytics (Collaborative Filtering and Naive Bayes) over the
+// Amazon-review model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sqlengine"
+	"repro/internal/webserve"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// 1. Relational queries on the ORDER/ORDER_ITEM schema (Table 3).
+	in := core.Input{Scale: 1, ScaleUnit: 256 << 10, Seed: 3, Workers: 4}
+	for _, w := range []core.Workload{
+		workloads.NewSelectQuery(),
+		workloads.NewAggregateQuery(),
+		workloads.NewJoinQuery(),
+	} {
+		res, err := core.Measure(w, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %8.1f MB/s  %v\n", res.Workload, res.Value/1e6, res.Extra)
+	}
+
+	// 2. Ad-hoc analytics through the engine API directly: revenue of the
+	// top buyer segment.
+	tbl := sqlengine.NewTable("ORDERS", []sqlengine.ColDef{
+		{Name: "BUYER", Type: sqlengine.Int64},
+		{Name: "AMOUNT", Type: sqlengine.Float64},
+	}, nil)
+	for i := int64(0); i < 5000; i++ {
+		if err := tbl.AppendRow(i%97, float64(i%31)+0.5); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tbl.Seal()
+	engine := sqlengine.NewEngine(nil)
+	rows, err := engine.Aggregate(tbl, nil, "BUYER", "AMOUNT", sqlengine.Sum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := rows[0]
+	for _, r := range rows {
+		if r.Value > best.Value {
+			best = r
+		}
+	}
+	fmt.Printf("top buyer %d spent %.2f across %d orders\n", best.Group, best.Value, best.Count)
+
+	// 3. Auction service: list, bid, buy.
+	auction := webserve.NewAuctionService(10, nil)
+	id, err := auction.List(1, 3, "xeon e5645 (vintage)", 25, 120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for bid, amount := range map[int32]float64{7: 30, 8: 45, 9: 38} {
+		_ = auction.PlaceBid(id, bid, amount) // losing bids fail by design
+	}
+	item, bids, err := auction.View(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auction %q: %d accepted bids, price now %.2f\n", item.Title, len(bids), item.Price)
+
+	// 4. Offline analytics of the domain.
+	cf, err := core.Measure(workloads.NewCF(), core.Input{Scale: 1, VertexUnit: 1 << 12, Seed: 3, Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collaborative filtering: %.0f item pairs from %.0f reviews (%v)\n",
+		cf.Extra["itemPairs"], cf.Extra["reviews"], cf.Elapsed)
+
+	nb, err := core.Measure(workloads.NewBayes(), core.Input{Scale: 1, ScaleUnit: 128 << 10, Seed: 3, Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive bayes sentiment: %.1f%% accuracy over %.0f-word vocabulary (%v)\n",
+		nb.Extra["accuracy"]*100, nb.Extra["vocab"], nb.Elapsed)
+}

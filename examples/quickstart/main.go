@@ -1,0 +1,49 @@
+// Quickstart: run one BigDataBench workload end to end — generate the
+// scaled input, execute it on its software-stack substrate, and print both
+// the user-perceivable metric and the architectural characterization on
+// the simulated Xeon E5645.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// Pick a workload from the suite (Table 4 names).
+	w := workloads.ByName("WordCount")
+
+	// Scale the input: 4× the Table 6 baseline, with 1 paper-GB mapped to
+	// 256 KiB so the example runs in seconds (DESIGN.md §1 explains the
+	// unit substitution).
+	in := core.Input{
+		Scale:     4,
+		ScaleUnit: 256 << 10,
+		Seed:      7,
+		Workers:   4,
+	}
+
+	// 1. Wall-clock run: the user-perceivable metric (DPS here).
+	res, err := core.Measure(w, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s processed %.1f MiB in %v → %.1f MB/s (%s)\n",
+		res.Workload, float64(res.Units)/(1<<20), res.Elapsed,
+		res.Value/1e6, res.Metric)
+	fmt.Printf("distinct words: %.0f\n", res.Extra["distinctWords"])
+
+	// 2. Characterized run: the same workload on the simulated processor.
+	char, err := core.Characterize(w, in, sim.XeonE5645())
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := char.Counts
+	fmt.Printf("on the Xeon E5645 model: %d instructions, L1I MPKI %.1f, "+
+		"L2 MPKI %.1f, L3 MPKI %.2f, int/FP ratio %.0f\n",
+		k.Instructions(), k.L1IMPKI(), k.L2MPKI(), k.L3MPKI(), k.IntToFPRatio())
+}

@@ -1,0 +1,76 @@
+// Search-engine scenario: the paper's search-engine application domain in
+// one program — build a crawl corpus with the BDGS text generator, index
+// it offline (the Index workload's pipeline), rank pages with PageRank,
+// then bring up the Nutch-style HTTP search server and query it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+
+	"repro/internal/bdgs"
+	"repro/internal/core"
+	"repro/internal/search"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// 1. Crawl corpus from the Wikipedia-seeded text model.
+	tm := bdgs.NewTextModel(30000)
+	pages := tm.Pages(11, 1200, 180)
+	docs := make([]search.Document, len(pages))
+	for i, p := range pages {
+		docs[i] = search.Document{ID: p.ID, Title: p.Title, Body: p.Body}
+	}
+
+	// 2. Offline indexing (direct API; the Index workload runs the same
+	// pipeline on the MapReduce substrate).
+	ix := search.Build(docs, nil)
+	fmt.Printf("indexed %d pages, %d distinct terms\n", ix.Docs(), ix.Terms())
+
+	// 3. Offline link analysis: PageRank over the web-graph model.
+	pr, err := core.Measure(workloads.NewPageRank(), core.Input{
+		Scale: 1, PagesPerMPage: len(pages), Seed: 11, Workers: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pagerank over %d pages converged mass %.3f in %v\n",
+		pr.Units, pr.Extra["rankMass"], pr.Elapsed)
+
+	// 4. Online serving: the Nutch-style HTTP front end.
+	srv := httptest.NewServer(search.NewServer(ix))
+	defer srv.Close()
+	for _, q := range []string{"the school world", "university war", "tationer"} {
+		resp, err := http.Get(srv.URL + "/search?k=3&q=" + url.QueryEscape(q))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var r search.Response
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("query %-22q → %d hits", q, r.Total)
+		if len(r.Hits) > 0 {
+			sort.Slice(r.Hits, func(i, j int) bool { return r.Hits[i].Score > r.Hits[j].Score })
+			fmt.Printf(", top: %s (%.3f)", r.Hits[0].DocID, r.Hits[0].Score)
+		}
+		fmt.Println()
+	}
+
+	// 5. The packaged workload measures RPS the same way.
+	nutch, err := core.Measure(workloads.NewNutchServer(), core.Input{
+		Scale: 1, ReqsPerUnit: 300, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Nutch Server workload: %.0f requests/s (%.2f hits/query)\n",
+		nutch.Value, nutch.Extra["hitsPerQuery"])
+}

@@ -1,0 +1,75 @@
+// Social-network scenario: the paper's social-network application domain —
+// generate a Facebook-like friendship graph with BDGS, serve Olio-style
+// home-timeline traffic over HTTP, and run the two offline analytics of
+// the domain (Connected Components and K-means) on the dataflow engine.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/bdgs"
+	"repro/internal/core"
+	"repro/internal/webserve"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// 1. Friendship graph (power-law, undirected).
+	g := bdgs.GenGraph(5, 12, 11, bdgs.SocialGraphParams(), false)
+	fmt.Printf("social graph: %d users, %d friendships\n", g.N, g.Edges())
+
+	// 2. Online service: post events and read home timelines over HTTP.
+	svc := webserve.NewSocialService(g.Adj, nil)
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	for u := 0; u < 200; u++ {
+		resp, err := http.Post(fmt.Sprintf("%s/event?u=%d&text=hello", ts.URL, u), "", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/home?u=0&k=10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var events []webserve.Event
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("user 0 home timeline: %d events from friends\n", len(events))
+
+	// 3. Offline analytics on the same domain's data.
+	cc, err := core.Measure(workloads.NewCC(), core.Input{
+		Scale: 1, VertexUnit: 1 << 12, Seed: 5, Workers: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connected components: %.0f components over %d vertices in %v\n",
+		cc.Extra["components"], cc.Units, cc.Elapsed)
+
+	km, err := core.Measure(workloads.NewKMeans(), core.Input{
+		Scale: 1, ScaleUnit: 64 << 10, Seed: 5, Workers: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k-means: %.0f vectors clustered in %.0f iterations (%v)\n",
+		km.Extra["vectors"], km.Extra["iterations"], km.Elapsed)
+
+	// 4. The packaged Olio Server workload reports RPS.
+	olio, err := core.Measure(workloads.NewOlioServer(), core.Input{
+		Scale: 1, ReqsPerUnit: 500, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Olio Server workload: %.0f requests/s over %.0f users\n",
+		olio.Value, olio.Extra["users"])
+}

@@ -1,0 +1,56 @@
+// Package bdgs is the Big Data Generator Suite (paper Section 5): synthetic
+// data generators that scale six seed data-set models to arbitrary volume
+// while preserving the characteristics of the originals — Zipfian word
+// frequencies for text, power-law degree distributions for graphs, and
+// skewed column-value distributions for tables ("4V": volume via scaling,
+// variety via the three data types and three sources, velocity via
+// streaming generation, veracity via distribution preservation).
+//
+// The original BDGS fits models on the raw corpora (Wikipedia, Amazon movie
+// reviews, the Google and Facebook SNAP graphs, a proprietary e-commerce
+// dump, and ProfSearch resumés). Those corpora cannot be redistributed, so
+// this package ships the fitted models themselves: a Zipf-distributed
+// vocabulary with bigram structure for text, R-MAT parameters matching the
+// published node/edge counts for the graphs, and column samplers matching
+// the published schemas (DESIGN.md §1).
+package bdgs
+
+import "math/rand"
+
+// DataSetInfo describes one seed data set (paper Table 2).
+type DataSetInfo struct {
+	No        int
+	Name      string
+	DataType  string // structured | semi-structured | unstructured
+	Source    string // text | graph | table
+	Size      string // the real data set's published size
+	UsedBy    []string
+	Generator string // which generator in this package scales it
+}
+
+// DataSets returns the Table 2 catalog of seed data sets.
+func DataSets() []DataSetInfo {
+	return []DataSetInfo{
+		{1, "Wikipedia Entries", "unstructured", "text",
+			"4,300,000 English articles",
+			[]string{"Sort", "Grep", "WordCount", "Index"}, "TextModel"},
+		{2, "Amazon Movie Reviews", "semi-structured", "text",
+			"7,911,684 reviews",
+			[]string{"NaiveBayes", "CF"}, "ReviewModel"},
+		{3, "Google Web Graph", "unstructured", "graph",
+			"875,713 nodes, 5,105,039 edges",
+			[]string{"PageRank"}, "GraphModel(web)"},
+		{4, "Facebook Social Network", "unstructured", "graph",
+			"4,039 nodes, 88,234 edges",
+			[]string{"CC"}, "GraphModel(social)"},
+		{5, "E-commerce Transaction Data", "structured", "table",
+			"ORDER: 4 cols × 38,658 rows; ITEM: 6 cols × 242,735 rows",
+			[]string{"SelectQuery", "AggregateQuery", "JoinQuery"}, "TableModel"},
+		{6, "ProfSearch Person Resumés", "semi-structured", "table",
+			"278,956 resumés",
+			[]string{"Read", "Write", "Scan"}, "ResumeModel"},
+	}
+}
+
+// rng returns a deterministic PRNG for a generator stream.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,356 @@
+package bdgs
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataSetCatalogMatchesTable2(t *testing.T) {
+	ds := DataSets()
+	if len(ds) != 6 {
+		t.Fatalf("Table 2 lists 6 data sets, got %d", len(ds))
+	}
+	types := map[string]int{}
+	sources := map[string]int{}
+	for i, d := range ds {
+		if d.No != i+1 {
+			t.Errorf("data set %d numbered %d", i+1, d.No)
+		}
+		types[d.DataType]++
+		sources[d.Source]++
+	}
+	// The suite covers the whole spectrum of data types and sources.
+	for _, want := range []string{"structured", "semi-structured", "unstructured"} {
+		if types[want] == 0 {
+			t.Errorf("missing data type %q", want)
+		}
+	}
+	for _, want := range []string{"text", "graph", "table"} {
+		if sources[want] == 0 {
+			t.Errorf("missing data source %q", want)
+		}
+	}
+}
+
+func TestCorpusDeterministicAndSized(t *testing.T) {
+	m := NewTextModel(2000)
+	a := m.Corpus(42, 100_000)
+	b := m.Corpus(42, 100_000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Corpus is not deterministic for a fixed seed")
+	}
+	if len(a) != 100_000 {
+		t.Fatalf("Corpus size = %d, want 100000", len(a))
+	}
+	c := m.Corpus(43, 100_000)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds must produce different corpora")
+	}
+}
+
+// Veracity: word frequencies follow a Zipf-like rank-frequency curve —
+// top-ranked word much more frequent than rank ~50, heavy tail present.
+func TestCorpusZipfShape(t *testing.T) {
+	m := NewTextModel(5000)
+	corpus := m.Corpus(7, 400_000)
+	freq := map[string]int{}
+	for _, w := range bytes.Fields(corpus) {
+		freq[string(w)]++
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	if len(counts) < 200 {
+		t.Fatalf("vocabulary too small in sample: %d distinct words", len(counts))
+	}
+	r1, r20, r200 := float64(counts[0]), float64(counts[19]), float64(counts[199])
+	if r1/r20 < 3 {
+		t.Errorf("rank1/rank20 = %.2f, want Zipf-like skew (>3)", r1/r20)
+	}
+	if r20/r200 < 2 {
+		t.Errorf("rank20/rank200 = %.2f, want heavy tail (>2)", r20/r200)
+	}
+}
+
+// Veracity: scaling the volume preserves the distribution shape: the top-50
+// mass fraction at 100 KB and at 800 KB should agree within a few percent.
+func TestCorpusScalingPreservesDistribution(t *testing.T) {
+	m := NewTextModel(5000)
+	frac := func(size int) float64 {
+		corpus := m.Corpus(11, size)
+		freq := map[string]int{}
+		total := 0
+		for _, w := range bytes.Fields(corpus) {
+			freq[string(w)]++
+			total++
+		}
+		counts := make([]int, 0, len(freq))
+		for _, c := range freq {
+			counts = append(counts, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		top := 0
+		for i := 0; i < 50 && i < len(counts); i++ {
+			top += counts[i]
+		}
+		return float64(top) / float64(total)
+	}
+	small, large := frac(100_000), frac(800_000)
+	if math.Abs(small-large) > 0.05 {
+		t.Errorf("top-50 mass fraction drifts with scale: %.3f vs %.3f", small, large)
+	}
+}
+
+func TestLinesAndPages(t *testing.T) {
+	m := NewTextModel(1000)
+	lines := m.Lines(3, 500, 8)
+	if len(lines) != 500 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) == 0 {
+			t.Fatal("empty line generated")
+		}
+	}
+	pages := m.Pages(3, 50, 120)
+	if len(pages) != 50 {
+		t.Fatalf("got %d pages", len(pages))
+	}
+	seen := map[string]bool{}
+	for _, p := range pages {
+		if seen[p.ID] {
+			t.Fatalf("duplicate page ID %s", p.ID)
+		}
+		seen[p.ID] = true
+		if p.Bytes() <= 0 || p.Title == "" {
+			t.Fatal("degenerate page")
+		}
+	}
+}
+
+func TestGraphShapeWeb(t *testing.T) {
+	g := GenGraph(5, 12, 6, WebGraphParams(), true)
+	if g.N != 4096 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.Edges() < 4096*5 {
+		t.Fatalf("edges = %d, want ≈ 6/vertex", g.Edges())
+	}
+	// Power law: max degree far above average degree.
+	maxDeg := 0
+	for v := range g.Adj {
+		if d := g.Degree(int32(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(g.Edges()) / float64(g.N)
+	if float64(maxDeg) < 10*avg {
+		t.Errorf("max degree %d not heavy-tailed vs avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestGraphUndirectedSymmetric(t *testing.T) {
+	g := GenGraph(9, 10, 16, SocialGraphParams(), false)
+	// Every edge must appear in both adjacency lists, deduplicated.
+	for u, a := range g.Adj {
+		for i := 1; i < len(a); i++ {
+			if a[i] == a[i-1] {
+				t.Fatalf("duplicate neighbor %d in list of %d", a[i], u)
+			}
+		}
+		for _, v := range a {
+			if !contains(g.Adj[v], int32(u)) {
+				t.Fatalf("edge (%d,%d) missing reverse direction", u, v)
+			}
+		}
+	}
+}
+
+func contains(a []int32, x int32) bool {
+	for _, v := range a {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGraphDeterminism(t *testing.T) {
+	a := GenGraph(1, 10, 8, WebGraphParams(), true)
+	b := GenGraph(1, 10, 8, WebGraphParams(), true)
+	if a.Edges() != b.Edges() {
+		t.Fatal("graph generation not deterministic")
+	}
+	for v := range a.Adj {
+		if len(a.Adj[v]) != len(b.Adj[v]) {
+			t.Fatal("adjacency mismatch for same seed")
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := GenGraph(2, 8, 4, WebGraphParams(), true)
+	el := g.EdgeList()
+	if len(el) != g.Edges() {
+		t.Fatalf("edge list has %d entries, graph has %d edges", len(el), g.Edges())
+	}
+}
+
+func TestTableGeneration(t *testing.T) {
+	m := NewTableModel(2000)
+	orders, items := m.Generate(5, 2000)
+	if len(orders) != 2000 {
+		t.Fatalf("orders = %d", len(orders))
+	}
+	ratio := float64(len(items)) / float64(len(orders))
+	if ratio < 4 || ratio > 9 {
+		t.Errorf("items/order = %.2f, want ≈ 6.3 (seed ratio)", ratio)
+	}
+	// Referential integrity: every item references an existing order.
+	for _, it := range items {
+		if it.OrderID < 1 || it.OrderID > int64(len(orders)) {
+			t.Fatalf("dangling OrderID %d", it.OrderID)
+		}
+		if math.Abs(it.GoodsAmount-it.GoodsNumber*it.GoodsPrice) > 1e-9 {
+			t.Fatalf("AMOUNT != NUMBER*PRICE for item %d", it.ItemID)
+		}
+	}
+	// Buyer skew: top buyer has far more than the mean order count.
+	byBuyer := map[int64]int{}
+	for _, o := range orders {
+		byBuyer[o.BuyerID]++
+	}
+	max := 0
+	for _, c := range byBuyer {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5*len(orders)/len(byBuyer) {
+		t.Errorf("buyer distribution not skewed: max %d, buyers %d", max, len(byBuyer))
+	}
+}
+
+func TestReviewModel(t *testing.T) {
+	tm := NewTextModel(2000)
+	m := NewReviewModel(5000, tm)
+	rs := m.Generate(9, 5000, 40)
+	if len(rs) != 5000 {
+		t.Fatalf("reviews = %d", len(rs))
+	}
+	var pos, neg int
+	posSet := map[string]bool{}
+	for _, w := range positiveWords {
+		posSet[w] = true
+	}
+	for _, r := range rs {
+		if r.Rating < 1 || r.Rating > 5 {
+			t.Fatalf("rating %d out of range", r.Rating)
+		}
+		if r.Rating >= 4 {
+			pos++
+		} else if r.Rating <= 2 {
+			neg++
+		}
+		if len(r.Text) == 0 {
+			t.Fatal("empty review text")
+		}
+	}
+	// Positive skew of the Amazon seed: roughly 70-85% of reviews are 4-5★.
+	frac := float64(pos) / float64(len(rs))
+	if frac < 0.65 || frac > 0.9 {
+		t.Errorf("positive fraction = %.2f, want ≈ 0.78", frac)
+	}
+	if neg == 0 {
+		t.Error("no negative reviews generated")
+	}
+	// Sentiment signal: positive reviews contain positive words more often.
+	countPos := func(text string, want bool) int {
+		n := 0
+		for _, w := range bytes.Fields([]byte(text)) {
+			if posSet[string(w)] == want {
+				n++
+			}
+		}
+		return n
+	}
+	posHits, negHits := 0, 0
+	for _, r := range rs {
+		if r.Rating == 5 {
+			posHits += countPos(r.Text, true)
+		}
+		if r.Rating == 1 {
+			negHits += countPos(r.Text, true)
+		}
+	}
+	if posHits == 0 {
+		t.Error("5-star reviews carry no positive sentiment words")
+	}
+}
+
+func TestResumeModelAndCodec(t *testing.T) {
+	var m ResumeModel
+	rs := m.Generate(4, 300)
+	if len(rs) != 300 {
+		t.Fatalf("resumes = %d", len(rs))
+	}
+	keys := make([]string, len(rs))
+	for i, r := range rs {
+		keys[i] = r.Key
+		got := DecodeResume(r.Encode())
+		if got.Name != r.Name || got.Institution != r.Institution ||
+			got.Field != r.Field || got.Publications != r.Publications ||
+			len(got.Degrees) != len(r.Degrees) {
+			t.Fatalf("encode/decode mismatch: %+v vs %+v", got, r)
+		}
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Error("zero-padded resume keys must sort lexicographically")
+	}
+}
+
+// Property: resume encode/decode round-trips for arbitrary publication
+// counts and degree lists.
+func TestResumeRoundTripProperty(t *testing.T) {
+	f := func(pubs uint16, nDeg uint8) bool {
+		re := Resume{
+			Key: ResumeKey(1), Name: "n", Institution: "i", Title: "t",
+			Field: "f", Publications: int(pubs),
+		}
+		for j := 0; j < int(nDeg%4); j++ {
+			re.Degrees = append(re.Degrees, "PhD X")
+		}
+		got := DecodeResume(re.Encode())
+		return got.Publications == re.Publications && len(got.Degrees) == len(re.Degrees)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorsClustered(t *testing.T) {
+	vs := Vectors(3, 2000, 8, 5)
+	if len(vs) != 2000 || len(vs[0]) != 8 {
+		t.Fatalf("shape = %dx%d", len(vs), len(vs[0]))
+	}
+	// Clustered data has much lower within-cluster spread than global
+	// spread; cheap proxy: distances to nearest of 5 sampled points are
+	// bimodal. Just check values vary and are finite.
+	var min, max float64 = math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatal("non-finite feature")
+			}
+			min, max = math.Min(min, x), math.Max(max, x)
+		}
+	}
+	if max-min < 20 {
+		t.Errorf("feature range %.1f too narrow for clustered data", max-min)
+	}
+}

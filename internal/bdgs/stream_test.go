@@ -1,0 +1,102 @@
+package bdgs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStreamCorpusMatchesVolume(t *testing.T) {
+	m := NewTextModel(2000)
+	var buf bytes.Buffer
+	n, err := m.StreamCorpus(&buf, 9, 250_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 250_000 || buf.Len() != 250_000 {
+		t.Fatalf("streamed %d bytes, buffer %d", n, buf.Len())
+	}
+}
+
+func TestStreamCorpusDeterministic(t *testing.T) {
+	m := NewTextModel(2000)
+	var a, b bytes.Buffer
+	if _, err := m.StreamCorpus(&a, 4, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.StreamCorpus(&b, 4, 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("stream not deterministic")
+	}
+}
+
+func TestStreamEdgesMatchesEdgeList(t *testing.T) {
+	g := GenGraph(3, 9, 4, WebGraphParams(), true)
+	var buf bytes.Buffer
+	n, err := g.StreamEdges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(g.EdgeList()) {
+		t.Fatalf("streamed %d edges, EdgeList has %d", n, len(g.EdgeList()))
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != int(n) {
+		t.Fatalf("wrote %d lines for %d edges", len(lines), n)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "\t") {
+			t.Fatalf("malformed edge line %q", l)
+		}
+	}
+}
+
+func TestStreamEdgesUndirectedEmitsOncePerEdge(t *testing.T) {
+	g := GenGraph(7, 8, 6, SocialGraphParams(), false)
+	var buf bytes.Buffer
+	n, err := g.StreamEdges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(g.EdgeList()) {
+		t.Fatalf("undirected stream emitted %d, want %d", n, len(g.EdgeList()))
+	}
+}
+
+func TestReviewStream(t *testing.T) {
+	tm := NewTextModel(1000)
+	m := NewReviewModel(1000, tm)
+	s := m.Stream(5, 30)
+	seenRatings := map[int8]bool{}
+	for i := 0; i < 500; i++ {
+		rv := s.Next()
+		if rv.Rating < 1 || rv.Rating > 5 {
+			t.Fatalf("rating %d", rv.Rating)
+		}
+		if rv.Text == "" {
+			t.Fatal("empty streamed review")
+		}
+		seenRatings[rv.Rating] = true
+	}
+	if len(seenRatings) < 3 {
+		t.Errorf("stream rating diversity too low: %v", seenRatings)
+	}
+	// Determinism.
+	a, b := m.Stream(5, 30), m.Stream(5, 30)
+	for i := 0; i < 50; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("review stream not deterministic")
+		}
+	}
+}
+
+func TestAppendInt(t *testing.T) {
+	cases := map[int32]string{0: "0", 7: "7", -12: "-12", 2147483647: "2147483647"}
+	for v, want := range cases {
+		if got := string(appendInt(nil, v)); got != want {
+			t.Errorf("appendInt(%d) = %q", v, got)
+		}
+	}
+}

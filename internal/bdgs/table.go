@@ -1,0 +1,115 @@
+package bdgs
+
+import (
+	"math"
+	"math/rand"
+)
+
+// The e-commerce transaction schema (paper Table 3).
+//
+//	ORDER:      ORDER_ID INT, BUYER_ID INT, CREATE_DATE DATE
+//	ORDER_ITEM: ITEM_ID INT, ORDER_ID INT, GOODS_ID INT,
+//	            GOODS_NUMBER NUMBER(10,2), GOODS_PRICE NUMBER(10,2),
+//	            GOODS_AMOUNT NUMBER(14,6)
+
+// Order is one ORDER row.
+type Order struct {
+	OrderID    int64
+	BuyerID    int64
+	CreateDate int64 // days since epoch; DATE in the paper schema
+}
+
+// OrderItem is one ORDER_ITEM row.
+type OrderItem struct {
+	ItemID      int64
+	OrderID     int64
+	GoodsID     int64
+	GoodsNumber float64
+	GoodsPrice  float64
+	GoodsAmount float64
+}
+
+// OrderBytes and ItemBytes are the modeled row widths (packed binary).
+const (
+	OrderBytes = 24
+	ItemBytes  = 48
+)
+
+// TableModel generates ORDER/ORDER_ITEM pairs preserving the seed's
+// characteristics: Zipfian buyer activity and goods popularity (a few
+// power buyers and bestsellers dominate), a fixed items-per-order
+// distribution matching the seed ratio (242,735/38,658 ≈ 6.3 items/order),
+// and log-normal-ish prices.
+type TableModel struct {
+	Buyers int
+	Goods  int
+}
+
+// NewTableModel sizes the buyer and goods populations relative to the
+// order count, matching the seed's cardinality ratios.
+func NewTableModel(orders int) *TableModel {
+	buyers := orders / 4
+	if buyers < 16 {
+		buyers = 16
+	}
+	goods := orders / 8
+	if goods < 16 {
+		goods = 16
+	}
+	return &TableModel{Buyers: buyers, Goods: goods}
+}
+
+// Generate produces n orders and their items, deterministic in seed.
+func (m *TableModel) Generate(seed int64, n int) ([]Order, []OrderItem) {
+	r := rng(seed)
+	zBuyer := rand.NewZipf(r, 1.2, 4, uint64(m.Buyers-1))
+	zGoods := rand.NewZipf(r, 1.1, 4, uint64(m.Goods-1))
+	orders := make([]Order, n)
+	items := make([]OrderItem, 0, n*6)
+	itemID := int64(1)
+	for i := range orders {
+		orders[i] = Order{
+			OrderID:    int64(i + 1),
+			BuyerID:    int64(zBuyer.Uint64()) + 1,
+			CreateDate: 15000 + int64(r.Intn(1500)), // ~2011-2015 in days
+		}
+		k := 1 + int(zipfSmall(r)) // items per order, mean ≈ 6.3, skewed
+		for j := 0; j < k; j++ {
+			price := priceSample(r)
+			num := float64(1 + r.Intn(5))
+			items = append(items, OrderItem{
+				ItemID:      itemID,
+				OrderID:     orders[i].OrderID,
+				GoodsID:     int64(zGoods.Uint64()) + 1,
+				GoodsNumber: num,
+				GoodsPrice:  price,
+				GoodsAmount: price * num,
+			})
+			itemID++
+		}
+	}
+	return orders, items
+}
+
+// zipfSmall draws a skewed small count with mean ≈ 5.3 (so 1+draw ≈ 6.3).
+func zipfSmall(r *rand.Rand) int {
+	// Geometric-ish mixture: most orders small, a tail of large baskets.
+	x := r.Float64()
+	switch {
+	case x < 0.35:
+		return r.Intn(3) // 0..2
+	case x < 0.80:
+		return 3 + r.Intn(5) // 3..7
+	default:
+		return 8 + r.Intn(20) // 8..27
+	}
+}
+
+func priceSample(r *rand.Rand) float64 {
+	// Log-normal: cheap goods dominate, long price tail.
+	p := math.Exp(r.NormFloat64()*0.9 + 3.0)
+	if p < 0.5 {
+		p = 0.5
+	}
+	return float64(int(p*100)) / 100
+}

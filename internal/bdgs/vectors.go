@@ -1,0 +1,29 @@
+package bdgs
+
+// Vectors generates n feature vectors of dimension dim drawn from k latent
+// Gaussian clusters — the K-means input. Real BigDataBench derives such
+// vectors from the social-network text via feature extraction; generating
+// them from a latent mixture preserves what matters to the workload:
+// cluster structure with noise, so Lloyd's algorithm converges in a
+// realistic number of iterations rather than degenerating.
+func Vectors(seed int64, n, dim, k int) [][]float64 {
+	r := rng(seed)
+	centers := make([][]float64, k)
+	for i := range centers {
+		c := make([]float64, dim)
+		for d := range c {
+			c[d] = r.Float64() * 100
+		}
+		centers[i] = c
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		c := centers[r.Intn(k)]
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = c[d] + r.NormFloat64()*6
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// Package comparators implements representative kernels of the three
+// traditional benchmark suites the paper compares BigDataBench against in
+// Figures 4-6: HPCC 1.4 (HPL, DGEMM, STREAM, PTRANS, RandomAccess, FFT,
+// COMM), PARSEC 3.0 (blackscholes, streamcluster, swaptions, dedup,
+// canneal), and SPEC CPU2006 split into SPECFP-like and SPECINT-like
+// kernels (Section 6.1.3). Each kernel performs its real computation in Go
+// and emits its instruction/memory stream into the simulated processor,
+// exactly like the workloads — but with the tight loops and small code
+// footprints that characterize the traditional suites, which is what
+// produces the contrast the paper reports (high FP intensity, near-zero
+// L1I MPKI).
+package comparators
+
+import (
+	"repro/internal/sim"
+)
+
+// Kernel is one traditional-benchmark program.
+type Kernel struct {
+	// Name is the program name (e.g. "HPL", "blackscholes").
+	Name string
+	// Suite is "HPCC", "PARSEC", "SPECFP" or "SPECINT".
+	Suite string
+	// Run executes the kernel against the (possibly nil) simulated CPU and
+	// returns a checksum for correctness tests.
+	Run func(cpu *sim.CPU) float64
+}
+
+// All returns every comparator kernel grouped by suite order.
+func All() []Kernel {
+	var out []Kernel
+	out = append(out, HPCC()...)
+	out = append(out, PARSEC()...)
+	out = append(out, SPECFP()...)
+	out = append(out, SPECINT()...)
+	return out
+}
+
+// Suites lists the comparator suite names in figure order.
+func Suites() []string { return []string{"HPCC", "PARSEC", "SPECFP", "SPECINT"} }
+
+// BySuite returns the kernels of one suite.
+func BySuite(suite string) []Kernel {
+	var out []Kernel
+	for _, k := range All() {
+		if k.Suite == suite {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// SuiteCounts measures every kernel of a suite on a fresh CPU per kernel
+// and returns the summed counters — the per-suite averages plotted as
+// Avg_HPCC / Avg_Parsec / SPECFP / SPECINT in Figures 4-6.
+func SuiteCounts(suite string, cfg sim.MachineConfig) sim.Counts {
+	var total sim.Counts
+	for _, k := range BySuite(suite) {
+		cpu := sim.New(cfg)
+		k.Run(cpu)
+		c := cpu.Counts()
+		total.LoadInstrs += c.LoadInstrs
+		total.StoreInstrs += c.StoreInstrs
+		total.IntInstrs += c.IntInstrs
+		total.FPInstrs += c.FPInstrs
+		total.BranchInstrs += c.BranchInstrs
+		total.L1I.Accesses += c.L1I.Accesses
+		total.L1I.Misses += c.L1I.Misses
+		total.L1D.Accesses += c.L1D.Accesses
+		total.L1D.Misses += c.L1D.Misses
+		total.L2.Accesses += c.L2.Accesses
+		total.L2.Misses += c.L2.Misses
+		total.L3.Accesses += c.L3.Accesses
+		total.L3.Misses += c.L3.Misses
+		total.HasL3 = c.HasL3
+		total.ITLB.Accesses += c.ITLB.Accesses
+		total.ITLB.Misses += c.ITLB.Misses
+		total.DTLB.Accesses += c.DTLB.Accesses
+		total.DTLB.Misses += c.DTLB.Misses
+		total.DRAMReadBytes += c.DRAMReadBytes
+		total.DRAMWriteBytes += c.DRAMWriteBytes
+	}
+	return total
+}

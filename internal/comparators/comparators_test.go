@@ -1,0 +1,82 @@
+package comparators
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAllKernelsRunAndInstrument(t *testing.T) {
+	for _, k := range All() {
+		cpu := sim.New(sim.XeonE5645())
+		sum := k.Run(cpu)
+		if math.IsNaN(sum) || math.IsInf(sum, 0) {
+			t.Errorf("%s/%s: non-finite checksum", k.Suite, k.Name)
+		}
+		c := cpu.Counts()
+		if c.Instructions() == 0 {
+			t.Errorf("%s/%s: no instructions recorded", k.Suite, k.Name)
+		}
+	}
+}
+
+func TestSuiteRoster(t *testing.T) {
+	if got := len(BySuite("HPCC")); got != 7 {
+		t.Errorf("HPCC has %d kernels, want 7 (HPL, STREAM, PTRANS, RandomAccess, DGEMM, FFT, COMM)", got)
+	}
+	if got := len(BySuite("PARSEC")); got < 4 {
+		t.Errorf("PARSEC has %d kernels, want ≥4", got)
+	}
+	if len(BySuite("SPECFP")) == 0 || len(BySuite("SPECINT")) == 0 {
+		t.Error("SPEC groups empty")
+	}
+	if len(Suites()) != 4 {
+		t.Error("Suites() should list the four comparator groups")
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	for _, k := range All() {
+		a := k.Run(nil)
+		b := k.Run(nil)
+		if a != b {
+			t.Errorf("%s/%s: nondeterministic checksum %v vs %v", k.Suite, k.Name, a, b)
+		}
+	}
+}
+
+func TestTraditionalSuitesAreFPRichExceptSPECINT(t *testing.T) {
+	cfg := sim.XeonE5645()
+	hpcc := SuiteCounts("HPCC", cfg)
+	if ratio := hpcc.IntToFPRatio(); ratio > 5 {
+		t.Errorf("HPCC int/FP ratio %.1f; should be near 1 (paper: 1.0)", ratio)
+	}
+	specint := SuiteCounts("SPECINT", cfg)
+	if specint.FPInstrs*100 > specint.IntInstrs {
+		t.Errorf("SPECINT should be virtually FP-free (paper ratio ≈ 409): %d FP vs %d int",
+			specint.FPInstrs, specint.IntInstrs)
+	}
+	specfp := SuiteCounts("SPECFP", cfg)
+	if specfp.FPInstrs < specfp.IntInstrs {
+		t.Errorf("SPECFP should be FP-dominated (paper ratio ≈ 0.67)")
+	}
+}
+
+func TestTraditionalSuitesHaveLowL1IMPKI(t *testing.T) {
+	cfg := sim.XeonE5645()
+	for _, suite := range Suites() {
+		c := SuiteCounts(suite, cfg)
+		if mpki := c.L1IMPKI(); mpki > 6 {
+			t.Errorf("%s L1I MPKI = %.2f; traditional suites are ≤ 5.4 in Figure 6", suite, mpki)
+		}
+	}
+}
+
+func TestHPCCHasHighFPIntensity(t *testing.T) {
+	cfg := sim.XeonE5645()
+	c := SuiteCounts("HPCC", cfg)
+	if fi := c.FPIntensity(); fi < 0.1 {
+		t.Errorf("HPCC FP intensity %.4f; paper reports O(1) on E5645", fi)
+	}
+}

@@ -1,0 +1,271 @@
+package comparators
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// HPCC returns the seven HPCC 1.4 kernels (Section 6.1.3 runs all seven).
+func HPCC() []Kernel {
+	return []Kernel{
+		{Name: "HPL", Suite: "HPCC", Run: runHPL},
+		{Name: "DGEMM", Suite: "HPCC", Run: runDGEMM},
+		{Name: "STREAM", Suite: "HPCC", Run: runSTREAM},
+		{Name: "PTRANS", Suite: "HPCC", Run: runPTRANS},
+		{Name: "RandomAccess", Suite: "HPCC", Run: runRandomAccess},
+		{Name: "FFT", Suite: "HPCC", Run: runFFT},
+		{Name: "COMM", Suite: "HPCC", Run: runCOMM},
+	}
+}
+
+// fillMatrix deterministically initializes an n×n matrix.
+func fillMatrix(n int, seed float64) []float64 {
+	m := make([]float64, n*n)
+	v := seed
+	for i := range m {
+		v = math.Mod(v*1103515245+12345, 1<<31)
+		m[i] = v/(1<<31) + 0.5
+	}
+	return m
+}
+
+// runHPL performs an unpivoted LU decomposition (the compute pattern of
+// Linpack's DGETRF panel factorization): O(n³) FP over O(n²) data.
+func runHPL(cpu *sim.CPU) float64 {
+	const n = 256
+	a := fillMatrix(n, 3)
+	for i := range a {
+		if i%(n+1) == 0 {
+			a[i] += float64(n) // diagonal dominance, no pivoting needed
+		}
+	}
+	code := cpu.NewCodeRegion("hpl.kernel", 3<<10)
+	region := cpu.Alloc("hpl.matrix", n*n*8)
+	cpu.Code(code, 0, 512)
+	for k := 0; k < n-1; k++ {
+		for i := k + 1; i < n; i++ {
+			a[i*n+k] /= a[k*n+k]
+			l := a[i*n+k]
+			row := a[i*n+k+1 : i*n+n]
+			pivot := a[k*n+k+1 : k*n+n]
+			for j := range row {
+				row[j] -= l * pivot[j]
+			}
+			m := len(row)
+			cpu.LoadR(region, uint64(i*n+k)*8, (m+1)*8)
+			cpu.LoadR(region, uint64(k*n+k)*8, m*8)
+			cpu.StoreR(region, uint64(i*n+k)*8, m*8)
+			cpu.FPOps(2*m + 1)
+			cpu.IntOps(m / 4)
+			cpu.Branches(m / 8)
+		}
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += a[i*n+i]
+	}
+	return sum
+}
+
+// runDGEMM multiplies two n×n matrices (blocked row-major walk).
+func runDGEMM(cpu *sim.CPU) float64 {
+	const n = 256
+	a := fillMatrix(n, 5)
+	b := fillMatrix(n, 7)
+	c := make([]float64, n*n)
+	code := cpu.NewCodeRegion("dgemm.kernel", 2<<10)
+	ra := cpu.Alloc("dgemm.a", n*n*8)
+	rb := cpu.Alloc("dgemm.b", n*n*8)
+	rc := cpu.Alloc("dgemm.c", n*n*8)
+	cpu.Code(code, 0, 384)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = s
+		}
+		// Charge per output row: a-row reused (sequential), b walked by
+		// column (strided), c written once.
+		cpu.LoadR(ra, uint64(i*n)*8, n*8)
+		for j := 0; j < n; j += 8 {
+			cpu.LoadR(rb, uint64(j*n)*8, 64)
+		}
+		cpu.StoreR(rc, uint64(i*n)*8, n*8)
+		cpu.FPOps(2 * n * n)
+		cpu.IntOps(n * n / 2)
+		cpu.Branches(n * n / 8)
+	}
+	return c[0] + c[n*n-1]
+}
+
+// runSTREAM is the triad: a[i] = b[i] + q*c[i] over arrays far larger than
+// any cache — peak-bandwidth, low operation intensity.
+func runSTREAM(cpu *sim.CPU) float64 {
+	const n = 1 << 20 // 3 × 8 MiB arrays: stream past every cache level
+	b := make([]float64, n)
+	c := make([]float64, n)
+	a := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i)
+		c[i] = float64(n - i)
+	}
+	code := cpu.NewCodeRegion("stream.kernel", 1<<10)
+	ra := cpu.Alloc("stream.a", n*8)
+	rb := cpu.Alloc("stream.b", n*8)
+	rc := cpu.Alloc("stream.c", n*8)
+	cpu.Code(code, 0, 256)
+	const q = 3.0
+	const batch = 4096
+	for s := 0; s < n; s += batch {
+		e := s + batch
+		for i := s; i < e; i++ {
+			a[i] = b[i] + q*c[i]
+		}
+		cpu.LoadR(rb, uint64(s)*8, batch*8)
+		cpu.LoadR(rc, uint64(s)*8, batch*8)
+		cpu.StoreR(ra, uint64(s)*8, batch*8)
+		cpu.FPOps(2 * batch)
+		cpu.IntOps(batch / 2)
+		cpu.Branches(batch / 16)
+	}
+	return a[n/2]
+}
+
+// runPTRANS transposes a matrix (strided reads, sequential writes).
+func runPTRANS(cpu *sim.CPU) float64 {
+	const n = 384
+	a := fillMatrix(n, 11)
+	b := make([]float64, n*n)
+	code := cpu.NewCodeRegion("ptrans.kernel", 1<<10)
+	ra := cpu.Alloc("ptrans.a", n*n*8)
+	rb := cpu.Alloc("ptrans.b", n*n*8)
+	cpu.Code(code, 0, 256)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b[j*n+i] = a[i*n+j]
+		}
+		cpu.LoadR(ra, uint64(i*n)*8, n*8)
+		for j := 0; j < n; j += 8 {
+			cpu.StoreR(rb, uint64(j*n+i)*8, 64)
+		}
+		cpu.FPOps(n / 8) // PTRANS adds A^T + beta*B in full HPCC; token FP
+		cpu.IntOps(2 * n)
+		cpu.Branches(n / 4)
+	}
+	return b[1] + b[n*n-2]
+}
+
+// runRandomAccess is GUPS: xor-updates at random 8-byte locations of a
+// large table — the TLB/cache antagonist of the suite.
+func runRandomAccess(cpu *sim.CPU) float64 {
+	const bits = 20
+	const n = 1 << bits // 8 MiB table
+	table := make([]uint64, n)
+	for i := range table {
+		table[i] = uint64(i)
+	}
+	code := cpu.NewCodeRegion("gups.kernel", 1<<10)
+	rt := cpu.Alloc("gups.table", n*8)
+	cpu.Code(code, 0, 192)
+	v := uint64(1)
+	const updates = 1 << 17
+	for u := 0; u < updates; u++ {
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+		idx := v & (n - 1)
+		table[idx] ^= v
+		cpu.LoadR(rt, idx*8, 8)
+		cpu.StoreR(rt, idx*8, 8)
+		cpu.IntOps(7)
+		cpu.Branches(1)
+	}
+	return float64(table[42] & 0xffff)
+}
+
+// runFFT is an iterative radix-2 complex FFT (bit-reversal plus butterfly
+// passes: strided FP with log n sweeps).
+func runFFT(cpu *sim.CPU) float64 {
+	const logn = 17
+	const n = 1 << logn
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = math.Sin(float64(i) * 0.001)
+	}
+	code := cpu.NewCodeRegion("fft.kernel", 2<<10)
+	rr := cpu.Alloc("fft.re", n*8)
+	ri := cpu.Alloc("fft.im", n*8)
+	cpu.Code(code, 0, 384)
+	// Bit reversal.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+		m := n >> 1
+		for ; j&m != 0; m >>= 1 {
+			j ^= m
+		}
+		j |= m
+	}
+	cpu.LoadR(rr, 0, n*8)
+	cpu.StoreR(rr, 0, n*8)
+	cpu.IntOps(4 * n)
+	cpu.Branches(2 * n)
+	// Butterfly passes.
+	for s := 1; s <= logn; s++ {
+		m := 1 << s
+		ang := -2 * math.Pi / float64(m)
+		wr, wi := math.Cos(ang), math.Sin(ang)
+		for k := 0; k < n; k += m {
+			cr, ci := 1.0, 0.0
+			for j := 0; j < m/2; j++ {
+				tr := cr*re[k+j+m/2] - ci*im[k+j+m/2]
+				ti := cr*im[k+j+m/2] + ci*re[k+j+m/2]
+				re[k+j+m/2] = re[k+j] - tr
+				im[k+j+m/2] = im[k+j] - ti
+				re[k+j] += tr
+				im[k+j] += ti
+				cr, ci = cr*wr-ci*wi, cr*wi+ci*wr
+			}
+		}
+		cpu.LoadR(rr, 0, n*8)
+		cpu.LoadR(ri, 0, n*8)
+		cpu.StoreR(rr, 0, n*8)
+		cpu.StoreR(ri, 0, n*8)
+		cpu.FPOps(10 * n)
+		cpu.IntOps(2 * n)
+		cpu.Branches(n / 2)
+	}
+	return re[7] + im[7]
+}
+
+// runCOMM models the b_eff ping-pong: repeated buffer copies between two
+// staging areas (the shared-memory transport of a node-local MPI).
+func runCOMM(cpu *sim.CPU) float64 {
+	const sz = 1 << 18
+	src := make([]byte, sz)
+	dst := make([]byte, sz)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	code := cpu.NewCodeRegion("comm.kernel", 1<<10)
+	rs := cpu.Alloc("comm.src", sz)
+	rd := cpu.Alloc("comm.dst", sz)
+	cpu.Code(code, 0, 192)
+	const rounds = 6
+	for r := 0; r < rounds; r++ {
+		copy(dst, src)
+		cpu.LoadR(rs, 0, sz)
+		cpu.StoreR(rd, 0, sz)
+		cpu.IntOps(sz / 16)
+		cpu.Branches(sz / 256)
+		src, dst = dst, src
+		rs, rd = rd, rs
+	}
+	return float64(dst[123]) + float64(src[456])
+}

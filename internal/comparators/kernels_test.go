@@ -1,0 +1,96 @@
+package comparators
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Per-kernel mix sanity: the FP-oriented kernels must be FP-dominated and
+// the integer kernels FP-free in their compute (small statistical FP
+// allowances aside).
+func TestKernelMixCharacter(t *testing.T) {
+	fpKernels := map[string]bool{
+		"HPL": true, "DGEMM": true, "STREAM": true, "FFT": true,
+		"blackscholes": true, "swaptions": true, "streamcluster": true,
+		"jacobi": true, "nbody": true,
+	}
+	intKernels := map[string]bool{
+		"RandomAccess": true, "dedup": true, "canneal": true,
+		"compress": true, "btree": true, "parse": true,
+	}
+	for _, k := range All() {
+		cpu := sim.New(sim.XeonE5645())
+		k.Run(cpu)
+		c := cpu.Counts()
+		switch {
+		case fpKernels[k.Name]:
+			if c.FPInstrs < c.IntInstrs {
+				t.Errorf("%s: expected FP-dominated, got %d FP vs %d int",
+					k.Name, c.FPInstrs, c.IntInstrs)
+			}
+		case intKernels[k.Name]:
+			if c.IntInstrs < 10*c.FPInstrs {
+				t.Errorf("%s: expected integer-dominated, got %d int vs %d FP",
+					k.Name, c.IntInstrs, c.FPInstrs)
+			}
+		}
+	}
+}
+
+// STREAM and RandomAccess are the memory-system antagonists: their DRAM
+// traffic per instruction must far exceed the compute kernels'.
+func TestMemoryAntagonists(t *testing.T) {
+	perInstrTraffic := func(name string) float64 {
+		for _, k := range All() {
+			if k.Name != name {
+				continue
+			}
+			cpu := sim.New(sim.XeonE5645())
+			k.Run(cpu)
+			c := cpu.Counts()
+			return float64(c.DRAMBytes()) / float64(c.Instructions())
+		}
+		t.Fatalf("kernel %s not found", name)
+		return 0
+	}
+	stream := perInstrTraffic("STREAM")
+	gups := perInstrTraffic("RandomAccess")
+	hpl := perInstrTraffic("HPL")
+	if stream < 4*hpl {
+		t.Errorf("STREAM traffic/instr %.3f should dwarf HPL %.3f", stream, hpl)
+	}
+	if gups < 4*hpl {
+		t.Errorf("RandomAccess traffic/instr %.3f should dwarf HPL %.3f", gups, hpl)
+	}
+}
+
+// GUPS must miss the DTLB far more than the sequential kernels.
+func TestGUPSTLBHostility(t *testing.T) {
+	get := func(name string) sim.Counts {
+		for _, k := range All() {
+			if k.Name == name {
+				cpu := sim.New(sim.XeonE5645())
+				k.Run(cpu)
+				return cpu.Counts()
+			}
+		}
+		t.Fatalf("kernel %s not found", name)
+		return sim.Counts{}
+	}
+	gups := get("RandomAccess")
+	stream := get("STREAM")
+	if gups.DTLBMPKI() < 5*stream.DTLBMPKI() {
+		t.Errorf("GUPS DTLB %.2f should dwarf STREAM %.2f",
+			gups.DTLBMPKI(), stream.DTLBMPKI())
+	}
+}
+
+func TestKernelsRunWithNilCPU(t *testing.T) {
+	// Every kernel must be usable as a plain computation.
+	for _, k := range All() {
+		if got := k.Run(nil); got != got { // NaN check
+			t.Errorf("%s: NaN checksum with nil CPU", k.Name)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package comparators
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// PARSEC returns representative PARSEC 3.0 kernels: two FP-heavy
+// (blackscholes, swaptions), one distance-compute (streamcluster), and two
+// integer-dominated (dedup, canneal), matching the suite's published mix.
+func PARSEC() []Kernel {
+	return []Kernel{
+		{Name: "blackscholes", Suite: "PARSEC", Run: runBlackScholes},
+		{Name: "streamcluster", Suite: "PARSEC", Run: runStreamcluster},
+		{Name: "swaptions", Suite: "PARSEC", Run: runSwaptions},
+		{Name: "dedup", Suite: "PARSEC", Run: runDedup},
+		{Name: "canneal", Suite: "PARSEC", Run: runCanneal},
+	}
+}
+
+// cnd is the cumulative normal distribution (Abramowitz-Stegun), the hot
+// function of blackscholes.
+func cnd(x float64) float64 {
+	l := math.Abs(x)
+	k := 1.0 / (1.0 + 0.2316419*l)
+	w := 1.0 - 1.0/math.Sqrt(2*math.Pi)*math.Exp(-l*l/2)*
+		(0.31938153*k-0.356563782*k*k+1.781477937*k*k*k-
+			1.821255978*k*k*k*k+1.330274429*k*k*k*k*k)
+	if x < 0 {
+		return 1.0 - w
+	}
+	return w
+}
+
+func runBlackScholes(cpu *sim.CPU) float64 {
+	const n = 1 << 17
+	code := cpu.NewCodeRegion("blackscholes.kernel", 2<<10)
+	opts := cpu.Alloc("blackscholes.options", n*40)
+	cpu.Code(code, 0, 448)
+	sum := 0.0
+	v := 17.0
+	for i := 0; i < n; i++ {
+		v = math.Mod(v*1103515245+12345, 1<<31)
+		s := 50 + v/(1<<31)*50
+		x := 40 + v/(1<<31)*60
+		t := 0.25 + v/(1<<31)*1.5
+		const r = 0.02
+		const vol = 0.3
+		d1 := (math.Log(s/x) + (r+vol*vol/2)*t) / (vol * math.Sqrt(t))
+		d2 := d1 - vol*math.Sqrt(t)
+		price := s*cnd(d1) - x*math.Exp(-r*t)*cnd(d2)
+		sum += price
+		cpu.LoadR(opts, uint64(i)*40, 40)
+		cpu.FPOps(60)
+		cpu.IntOps(12)
+		cpu.Branches(4)
+	}
+	return sum / n
+}
+
+func runStreamcluster(cpu *sim.CPU) float64 {
+	const n, dim, k = 4096, 32, 12
+	pts := make([]float64, n*dim)
+	v := 29.0
+	for i := range pts {
+		v = math.Mod(v*1103515245+12345, 1<<31)
+		pts[i] = v / (1 << 31)
+	}
+	code := cpu.NewCodeRegion("streamcluster.kernel", 2<<10)
+	rp := cpu.Alloc("streamcluster.points", n*dim*8)
+	cpu.Code(code, 0, 384)
+	cost := 0.0
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		for c := 0; c < k; c++ {
+			d := 0.0
+			for j := 0; j < dim; j++ {
+				diff := pts[i*dim+j] - pts[c*dim+j]
+				d += diff * diff
+			}
+			if d < best {
+				best = d
+			}
+		}
+		cost += best
+		cpu.LoadR(rp, uint64(i*dim)*8, dim*8)
+		cpu.LoadR(rp, 0, k*dim*8/8) // centers stay hot
+		cpu.FPOps(3 * k * dim)
+		cpu.IntOps(2 * k * dim)
+		cpu.Branches(k)
+	}
+	return cost
+}
+
+func runSwaptions(cpu *sim.CPU) float64 {
+	const paths = 1 << 15
+	code := cpu.NewCodeRegion("swaptions.kernel", 2<<10)
+	buf := cpu.Alloc("swaptions.paths", paths*16)
+	cpu.Code(code, 0, 320)
+	v := uint64(99)
+	sum := 0.0
+	for p := 0; p < paths; p++ {
+		// One HJM-style path step: a few dozen FP ops on LCG normals.
+		v = v*6364136223846793005 + 1442695040888963407
+		u1 := float64(v>>11) / (1 << 53)
+		v = v*6364136223846793005 + 1442695040888963407
+		u2 := float64(v>>11) / (1 << 53)
+		z := math.Sqrt(-2*math.Log(u1+1e-12)) * math.Cos(2*math.Pi*u2)
+		rate := 0.03 + 0.01*z
+		df := math.Exp(-rate * 5)
+		payoff := math.Max(0, 100*df-95)
+		sum += payoff
+		cpu.StoreR(buf, uint64(p)*16, 16)
+		cpu.FPOps(40)
+		cpu.IntOps(14)
+		cpu.Branches(3)
+	}
+	return sum / paths
+}
+
+// runDedup chunks a buffer with a rolling hash and counts duplicate
+// chunks — the integer pipeline pattern of PARSEC's dedup.
+func runDedup(cpu *sim.CPU) float64 {
+	const sz = 2 << 20
+	data := make([]byte, sz)
+	v := uint64(7)
+	for i := range data {
+		v = v*6364136223846793005 + 1442695040888963407
+		data[i] = byte(v >> 56 & 0x3f) // low entropy → real duplicates
+	}
+	code := cpu.NewCodeRegion("dedup.kernel", 3<<10)
+	rd := cpu.Alloc("dedup.data", sz)
+	rh := cpu.Alloc("dedup.hashtable", 1<<20)
+	cpu.Code(code, 0, 512)
+	seen := map[uint64]int{}
+	var h uint64 = 14695981039346656037
+	chunkStart := 0
+	dups := 0
+	for i, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+		if h&0xfff == 0 || i-chunkStart >= 8192 { // content-defined boundary
+			if _, ok := seen[h]; ok {
+				dups++
+			}
+			seen[h] = chunkStart
+			cpu.LoadR(rd, uint64(chunkStart), i-chunkStart)
+			cpu.LoadR(rh, h%(1<<20), 16)
+			cpu.StoreR(rh, h%(1<<20), 16)
+			cpu.IntOps(3*(i-chunkStart) + 30)
+			cpu.Branches((i - chunkStart) / 2)
+			chunkStart = i
+			h = 14695981039346656037
+		}
+	}
+	return float64(dups + len(seen))
+}
+
+// runCanneal does random element swaps with cost evaluation over a large
+// netlist array — pointer-chasing integer work.
+func runCanneal(cpu *sim.CPU) float64 {
+	const n = 1 << 16
+	nets := make([]int32, n)
+	for i := range nets {
+		nets[i] = int32(i)
+	}
+	code := cpu.NewCodeRegion("canneal.kernel", 2<<10)
+	rn := cpu.Alloc("canneal.netlist", n*4)
+	cpu.Code(code, 0, 384)
+	v := uint64(31)
+	accepted := 0
+	const swaps = 1 << 16
+	for s := 0; s < swaps; s++ {
+		v = v*6364136223846793005 + 1442695040888963407
+		i := int(v % n)
+		v = v*6364136223846793005 + 1442695040888963407
+		j := int(v % n)
+		cost := int(nets[i]-nets[j]) ^ (i - j)
+		if cost&1 == 0 {
+			nets[i], nets[j] = nets[j], nets[i]
+			accepted++
+			cpu.StoreR(rn, uint64(i)*4, 4)
+			cpu.StoreR(rn, uint64(j)*4, 4)
+		}
+		cpu.LoadR(rn, uint64(i)*4, 4)
+		cpu.LoadR(rn, uint64(j)*4, 4)
+		cpu.IntOps(16)
+		cpu.Branches(3)
+	}
+	return float64(accepted)
+}

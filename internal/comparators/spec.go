@@ -1,0 +1,217 @@
+package comparators
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// SPECFP returns SPECFP-like kernels: a Jacobi stencil (the 433.milc /
+// 437.leslie3d pattern) and an n-body step (447.dealII-style dense FP).
+func SPECFP() []Kernel {
+	return []Kernel{
+		{Name: "jacobi", Suite: "SPECFP", Run: runJacobi},
+		{Name: "nbody", Suite: "SPECFP", Run: runNBody},
+	}
+}
+
+// SPECINT returns SPECINT-like kernels: an LZ-style compressor (401.bzip2
+// pattern), a B-tree searcher (429.mcf-ish pointer work), and a
+// state-machine parser (400.perlbench-ish).
+func SPECINT() []Kernel {
+	return []Kernel{
+		{Name: "compress", Suite: "SPECINT", Run: runCompress},
+		{Name: "btree", Suite: "SPECINT", Run: runBTree},
+		{Name: "parse", Suite: "SPECINT", Run: runParse},
+	}
+}
+
+func runJacobi(cpu *sim.CPU) float64 {
+	const n = 768
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i % 97)
+	}
+	code := cpu.NewCodeRegion("jacobi.kernel", 1<<10)
+	ra := cpu.Alloc("jacobi.a", n*n*8)
+	rb := cpu.Alloc("jacobi.b", n*n*8)
+	cpu.Code(code, 0, 256)
+	const sweeps = 6
+	for s := 0; s < sweeps; s++ {
+		for i := 1; i < n-1; i++ {
+			for j := 1; j < n-1; j++ {
+				b[i*n+j] = 0.25 * (a[(i-1)*n+j] + a[(i+1)*n+j] + a[i*n+j-1] + a[i*n+j+1])
+			}
+			cpu.LoadR(ra, uint64((i-1)*n)*8, 3*n*8)
+			cpu.StoreR(rb, uint64(i*n)*8, n*8)
+			cpu.FPOps(4 * n)
+			cpu.IntOps(n)
+			cpu.Branches(n / 8)
+		}
+		a, b = b, a
+		ra, rb = rb, ra
+	}
+	return a[n*n/2]
+}
+
+func runNBody(cpu *sim.CPU) float64 {
+	const n = 1536
+	pos := make([][3]float64, n)
+	vel := make([][3]float64, n)
+	for i := range pos {
+		pos[i] = [3]float64{float64(i % 13), float64(i % 7), float64(i % 5)}
+	}
+	code := cpu.NewCodeRegion("nbody.kernel", 1<<10)
+	rp := cpu.Alloc("nbody.pos", n*24)
+	cpu.Code(code, 0, 320)
+	for i := 0; i < n; i++ {
+		var f [3]float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dx := pos[j][0] - pos[i][0]
+			dy := pos[j][1] - pos[i][1]
+			dz := pos[j][2] - pos[i][2]
+			inv := 1.0 / math.Sqrt(dx*dx+dy*dy+dz*dz+1e-9)
+			inv3 := inv * inv * inv
+			f[0] += dx * inv3
+			f[1] += dy * inv3
+			f[2] += dz * inv3
+		}
+		vel[i][0] += f[0] * 1e-3
+		vel[i][1] += f[1] * 1e-3
+		vel[i][2] += f[2] * 1e-3
+		cpu.LoadR(rp, 0, n*24) // whole position set streams per body
+		cpu.FPOps(18 * n)
+		cpu.IntOps(2 * n)
+		cpu.Branches(n / 4)
+	}
+	return vel[1][0] + vel[n-1][2]
+}
+
+func runCompress(cpu *sim.CPU) float64 {
+	const sz = 4 << 20
+	data := make([]byte, sz)
+	v := uint64(13)
+	for i := range data {
+		v = v*6364136223846793005 + 1442695040888963407
+		data[i] = byte(v >> 58) // ~64 symbols: compressible
+	}
+	code := cpu.NewCodeRegion("compress.kernel", 4<<10)
+	rd := cpu.Alloc("compress.data", sz)
+	rw := cpu.Alloc("compress.window", 1<<16)
+	cpu.Code(code, 0, 640)
+	// LZ77-style greedy matcher with a 64 KiB window hash chain.
+	head := make([]int32, 1<<15)
+	for i := range head {
+		head[i] = -1
+	}
+	outBytes := 0
+	i := 0
+	for i+3 < sz {
+		h := (uint32(data[i]) | uint32(data[i+1])<<8 | uint32(data[i+2])<<16) * 2654435761 >> 17
+		cand := head[h]
+		head[h] = int32(i)
+		matched := 0
+		if cand >= 0 && i-int(cand) < 1<<16 {
+			for matched < 255 && i+matched < sz && data[int(cand)+matched] == data[i+matched] {
+				matched++
+			}
+		}
+		cpu.LoadR(rd, uint64(i), 4)
+		cpu.LoadR(rw, uint64(h)%(1<<16), 8)
+		cpu.IntOps(18 + matched)
+		cpu.Branches(6 + matched/2)
+		if i%16 == 0 {
+			cpu.FPOps(1) // ratio/statistics FP retained by real int codes
+		}
+		if matched >= 4 {
+			outBytes += 3
+			i += matched
+		} else {
+			outBytes++
+			i++
+		}
+	}
+	return float64(outBytes) / float64(sz)
+}
+
+func runBTree(cpu *sim.CPU) float64 {
+	const n = 1 << 20
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i) * 7
+	}
+	code := cpu.NewCodeRegion("btree.kernel", 2<<10)
+	rk := cpu.Alloc("btree.keys", n*8)
+	cpu.Code(code, 0, 320)
+	v := uint64(3)
+	found := 0
+	const lookups = 1 << 16
+	for l := 0; l < lookups; l++ {
+		v = v*6364136223846793005 + 1442695040888963407
+		target := int64(v%(n*7)) &^ 1
+		idx := sort.Search(n, func(i int) bool { return keys[i] >= target })
+		if idx < n && keys[idx] == target {
+			found++
+		}
+		// The upper tree levels stay hot; only the last levels touch
+		// cold leaves.
+		probe := uint64(target) % n
+		for d := 0; d < 3; d++ {
+			cpu.LoadR(rk, uint64(d)*4096, 8) // hot top levels
+			cpu.LoadR(rk, (probe^uint64(d*31013))%n*8, 8)
+		}
+		cpu.IntOps(150)
+		cpu.Branches(36)
+		if l%2 == 0 {
+			cpu.FPOps(1) // the occasional FP op real SPECINT codes retain
+		}
+	}
+	return float64(found)
+}
+
+func runParse(cpu *sim.CPU) float64 {
+	const sz = 2 << 20
+	data := make([]byte, sz)
+	v := uint64(21)
+	for i := range data {
+		v = v*6364136223846793005 + 1442695040888963407
+		data[i] = " \tabcdefghij(){};=+"[v%19]
+	}
+	code := cpu.NewCodeRegion("parse.kernel", 6<<10)
+	rd := cpu.Alloc("parse.input", sz)
+	cpu.Code(code, 0, 768)
+	state := 0
+	tokens := 0
+	depth := 0
+	for i, b := range data {
+		switch {
+		case b == ' ' || b == '\t':
+			if state == 1 {
+				tokens++
+			}
+			state = 0
+		case b == '(' || b == '{':
+			depth++
+			state = 0
+		case b == ')' || b == '}':
+			depth--
+			state = 0
+		case b == ';' || b == '=':
+			tokens++
+			state = 0
+		default:
+			state = 1
+		}
+		if i%4096 == 0 {
+			cpu.LoadR(rd, uint64(i), 4096)
+			cpu.IntOps(4 * 4096)
+			cpu.Branches(2 * 4096)
+		}
+	}
+	return float64(tokens + depth + state)
+}

@@ -1,0 +1,194 @@
+// Package core defines the BigDataBench suite itself — the paper's primary
+// contribution: the workload abstraction every benchmark implements, the
+// input-scaling rules of Table 6, the user-perceivable metrics of Section
+// 6.1.2 (DPS for analytics, OPS for Cloud OLTP, RPS for online services),
+// and the characterization runner that pairs a workload with a simulated
+// processor (internal/sim) to produce the architectural metrics of
+// Figures 2-6.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Class is the application type of a workload (paper Section 4.1 divides
+// big-data applications into three types; Cloud OLTP is called out as its
+// own fundamental group in Table 4).
+type Class int
+
+// Application classes.
+const (
+	OfflineAnalytics Class = iota
+	RealtimeAnalytics
+	OnlineService
+	CloudOLTP
+)
+
+// String returns the paper's name for the class.
+func (c Class) String() string {
+	switch c {
+	case OfflineAnalytics:
+		return "Offline Analytics"
+	case RealtimeAnalytics:
+		return "Realtime Analytics"
+	case OnlineService:
+		return "Online Service"
+	case CloudOLTP:
+		return "Cloud OLTP"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Metric is the user-perceivable measuring unit for a workload.
+type Metric int
+
+// User-perceivable metrics (Section 6.1.2).
+const (
+	DPS Metric = iota // data processed per second (analytics)
+	RPS               // requests per second (online services)
+	OPS               // operations per second (Cloud OLTP)
+)
+
+// String returns the metric abbreviation.
+func (m Metric) String() string {
+	switch m {
+	case DPS:
+		return "DPS"
+	case RPS:
+		return "RPS"
+	default:
+		return "OPS"
+	}
+}
+
+// Default scale substitutions (DESIGN.md §1): the paper's testbed runs
+// 32 GB–1 TB inputs on 14 nodes; this repository maps the paper's units to
+// laptop-scale equivalents while preserving the ×{1,4,8,16,32} sweep and
+// the working-set-vs-cache-size ratios that drive the architectural
+// results.
+const (
+	// DefaultScaleUnit is the number of bytes modeled per "paper GB".
+	DefaultScaleUnit = 1 << 20
+	// DefaultPagesPerMPage is generated pages per "paper 10^6 pages".
+	DefaultPagesPerMPage = 1200
+	// DefaultReqsPerUnit is processed requests per "paper 100 req/s".
+	DefaultReqsPerUnit = 1500
+	// DefaultVertexUnit is the paper's graph-workload base input (2^15
+	// vertices, Table 6 rows 4, 16 and 18).
+	DefaultVertexUnit = 1 << 15
+)
+
+// Input parameterizes one workload run.
+type Input struct {
+	// Scale is the data-volume multiplier over the baseline (Table 6 uses
+	// 1, 4, 8, 16 and 32).
+	Scale int
+	// ScaleUnit overrides DefaultScaleUnit (bytes per paper-GB).
+	ScaleUnit int64
+	// PagesPerMPage overrides DefaultPagesPerMPage.
+	PagesPerMPage int
+	// ReqsPerUnit overrides DefaultReqsPerUnit.
+	ReqsPerUnit int
+	// VertexUnit overrides DefaultVertexUnit (graph baseline vertices;
+	// must be a power of two).
+	VertexUnit int
+	// Seed makes data generation and request sampling deterministic.
+	Seed int64
+	// Workers is substrate parallelism (0 = substrate default).
+	Workers int
+	// CPU attaches the run to a simulated processor; nil runs
+	// uninstrumented (for pure wall-clock measurement).
+	CPU *sim.CPU
+}
+
+// Normalize fills defaults.
+func (in Input) Normalize() Input {
+	if in.Scale <= 0 {
+		in.Scale = 1
+	}
+	if in.ScaleUnit <= 0 {
+		in.ScaleUnit = DefaultScaleUnit
+	}
+	if in.PagesPerMPage <= 0 {
+		in.PagesPerMPage = DefaultPagesPerMPage
+	}
+	if in.ReqsPerUnit <= 0 {
+		in.ReqsPerUnit = DefaultReqsPerUnit
+	}
+	if in.VertexUnit <= 0 {
+		in.VertexUnit = DefaultVertexUnit
+	}
+	if in.Seed == 0 {
+		in.Seed = 1
+	}
+	return in
+}
+
+// Bytes converts a paper-GB figure (e.g. Table 6's 32×scale GB) to bytes.
+func (in Input) Bytes(paperGB int) int {
+	return int(int64(paperGB) * int64(in.Scale) * in.ScaleUnit)
+}
+
+// Vertices converts the paper's 2^15×scale vertex unit. The result is a
+// power of two when Scale is (Table 6 uses 1,4,8,16,32).
+func (in Input) Vertices() int { return in.VertexUnit * in.Scale }
+
+// Pages converts the paper's 10^6×scale page unit.
+func (in Input) Pages() int { return in.PagesPerMPage * in.Scale }
+
+// Requests converts the paper's 100×scale req/s unit into a request count.
+func (in Input) Requests() int { return in.ReqsPerUnit * in.Scale }
+
+// Result is the outcome of one workload run.
+type Result struct {
+	Workload string
+	Scale    int
+	// Units is the number of processed units (bytes for byte-metered
+	// analytics, vertices/pages for graph analytics, operations for Cloud
+	// OLTP, requests for services).
+	Units int64
+	// UnitName names the unit ("bytes", "vertices", "pages", "ops", "reqs").
+	UnitName string
+	Elapsed  time.Duration
+	// Value is the user-perceivable metric (units per second).
+	Value  float64
+	Metric Metric
+	// Counts holds the simulated architectural counters when the run was
+	// instrumented (zero otherwise).
+	Counts sim.Counts
+	// Extra carries workload-specific outputs (e.g. kmeans iterations,
+	// pagerank residual) used by tests and reports.
+	Extra map[string]float64
+}
+
+// Finish computes Value from Units and Elapsed.
+func (r *Result) Finish() {
+	if sec := r.Elapsed.Seconds(); sec > 0 {
+		r.Value = float64(r.Units) / sec
+	}
+}
+
+// Workload is one of the nineteen BigDataBench benchmarks.
+type Workload interface {
+	// Name is the Table 4 workload name (e.g. "Sort", "Nutch Server").
+	Name() string
+	// Class is the application type.
+	Class() Class
+	// Metric is the user-perceivable metric for this workload.
+	Metric() Metric
+	// Stack names the paper software stack the substrate substitutes
+	// ("Hadoop", "Spark", "MPI", "HBase", "Hive", "Nutch",
+	// "Apache+MySQL", ...).
+	Stack() string
+	// DataType and DataSource place the workload in Table 4's taxonomy.
+	DataType() string
+	DataSource() string
+	// BaselineInput describes the Table 6 baseline input.
+	BaselineInput() string
+	// Run executes the workload at the given input scale.
+	Run(in Input) (Result, error)
+}

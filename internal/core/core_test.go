@@ -1,0 +1,193 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestInputNormalizeDefaults(t *testing.T) {
+	in := Input{}.Normalize()
+	if in.Scale != 1 || in.ScaleUnit != DefaultScaleUnit ||
+		in.PagesPerMPage != DefaultPagesPerMPage ||
+		in.ReqsPerUnit != DefaultReqsPerUnit ||
+		in.VertexUnit != DefaultVertexUnit || in.Seed == 0 {
+		t.Fatalf("bad defaults: %+v", in)
+	}
+}
+
+func TestInputSizing(t *testing.T) {
+	in := Input{Scale: 4, ScaleUnit: 1000, PagesPerMPage: 10,
+		ReqsPerUnit: 5, VertexUnit: 8}.Normalize()
+	if got := in.Bytes(32); got != 32*4*1000 {
+		t.Errorf("Bytes = %d", got)
+	}
+	if got := in.Vertices(); got != 32 {
+		t.Errorf("Vertices = %d", got)
+	}
+	if got := in.Pages(); got != 40 {
+		t.Errorf("Pages = %d", got)
+	}
+	if got := in.Requests(); got != 20 {
+		t.Errorf("Requests = %d", got)
+	}
+}
+
+func TestResultFinish(t *testing.T) {
+	r := Result{Units: 1000, Elapsed: 2 * time.Second}
+	r.Finish()
+	if r.Value != 500 {
+		t.Fatalf("Value = %f", r.Value)
+	}
+	zero := Result{Units: 10}
+	zero.Finish() // zero elapsed: value stays zero, no panic
+	if zero.Value != 0 {
+		t.Fatal("zero-elapsed result should have zero value")
+	}
+}
+
+func TestExperimentsMatchTable6(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 19 {
+		t.Fatalf("Table 6 has 19 rows, got %d", len(exps))
+	}
+	for i, e := range exps {
+		if e.ID != i+1 {
+			t.Errorf("experiment %d has ID %d", i+1, e.ID)
+		}
+		if e.Workload == "" || e.Stack == "" || e.InputRule == "" {
+			t.Errorf("experiment %d incomplete: %+v", e.ID, e)
+		}
+	}
+	if got := Scales(); len(got) != 5 || got[0] != 1 || got[4] != 32 {
+		t.Errorf("Scales = %v, want 1,4,8,16,32", got)
+	}
+}
+
+func TestClassAndMetricStrings(t *testing.T) {
+	for c, want := range map[Class]string{
+		OfflineAnalytics: "Offline Analytics", RealtimeAnalytics: "Realtime Analytics",
+		OnlineService: "Online Service", CloudOLTP: "Cloud OLTP",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+	if DPS.String() != "DPS" || RPS.String() != "RPS" || OPS.String() != "OPS" {
+		t.Error("metric strings wrong")
+	}
+}
+
+// fakeWorkload implements Workload for runner tests.
+type fakeWorkload struct {
+	fail bool
+}
+
+func (f fakeWorkload) Name() string          { return "Fake" }
+func (f fakeWorkload) Class() Class          { return OfflineAnalytics }
+func (f fakeWorkload) Metric() Metric        { return DPS }
+func (f fakeWorkload) Stack() string         { return "None" }
+func (f fakeWorkload) DataType() string      { return "unstructured" }
+func (f fakeWorkload) DataSource() string    { return "text" }
+func (f fakeWorkload) BaselineInput() string { return "1 unit" }
+
+func (f fakeWorkload) Run(in Input) (Result, error) {
+	if f.fail {
+		return Result{}, errTest
+	}
+	in = in.Normalize()
+	if in.CPU != nil {
+		r := in.CPU.NewCodeRegion("fake", 1024)
+		in.CPU.Code(r, 0, 256)
+		in.CPU.IntOps(1000 * in.Scale)
+	}
+	res := Result{
+		Workload: "Fake", Scale: in.Scale,
+		Units: int64(1000 * in.Scale), UnitName: "units",
+		Elapsed: time.Duration(in.Scale) * time.Millisecond,
+		Metric:  DPS, Counts: in.CPU.Counts(),
+	}
+	res.Finish()
+	return res, nil
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "boom" }
+
+func TestCharacterizeAttachesCPU(t *testing.T) {
+	res, err := Characterize(fakeWorkload{}, Input{Scale: 2}, sim.XeonE5645())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.IntInstrs != 2000 {
+		t.Fatalf("counts = %+v", res.Counts)
+	}
+}
+
+func TestCharacterizeWrapsErrors(t *testing.T) {
+	_, err := Characterize(fakeWorkload{fail: true}, Input{}, sim.XeonE5645())
+	if err == nil || !strings.Contains(err.Error(), "Fake") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMeasureIsUninstrumented(t *testing.T) {
+	res, err := Measure(fakeWorkload{}, Input{Scale: 1, CPU: sim.New(sim.XeonE5645())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Instructions() != 0 {
+		t.Fatal("Measure must strip the CPU")
+	}
+}
+
+func TestSweepCoversScales(t *testing.T) {
+	rs, err := Sweep(fakeWorkload{}, Input{}, sim.XeonE5645())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("sweep returned %d results", len(rs))
+	}
+	for i, s := range Scales() {
+		if rs[i].Scale != s {
+			t.Errorf("result %d scale = %d, want %d", i, rs[i].Scale, s)
+		}
+	}
+}
+
+func TestSpeedupSweepNormalizesToBaseline(t *testing.T) {
+	sp, rs, err := SpeedupSweep(fakeWorkload{}, Input{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != 5 || len(rs) != 5 {
+		t.Fatalf("lengths %d/%d", len(sp), len(rs))
+	}
+	if sp[0] != 1.0 {
+		t.Errorf("baseline speedup = %f, want 1", sp[0])
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := Table{Title: "T", Headers: []string{"a", "bb"}}
+	tab.AddRow("x", CellF(1.5))
+	tab.AddRow(CellI(42), CellF(2.0))
+	out := tab.Render()
+	if !strings.Contains(out, "T\n=") || !strings.Contains(out, "1.5") ||
+		!strings.Contains(out, "42") {
+		t.Fatalf("render:\n%s", out)
+	}
+	tsv := tab.TSV()
+	if !strings.HasPrefix(tsv, "a\tbb\n") {
+		t.Fatalf("tsv:\n%s", tsv)
+	}
+	if CellF(2.0) != "2" || CellF(0.125) != "0.125" {
+		t.Error("CellF trimming wrong")
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Experiment is one row of the paper's Table 6 ("Workloads in
+// experiments"): the workload, its software stack, and the input-size rule.
+type Experiment struct {
+	ID       int
+	Workload string
+	Stack    string
+	// InputRule is the Table 6 input column, e.g. "32 ×(1..32) GB data".
+	InputRule string
+}
+
+// Experiments returns the nineteen Table 6 rows in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{1, "Sort", "Hadoop", "32 ×(1..32) GB data"},
+		{2, "Grep", "Hadoop", "32 ×(1..32) GB data"},
+		{3, "WordCount", "Hadoop", "32 ×(1..32) GB data"},
+		{4, "BFS", "MPI", "2^15 ×(1..32) vertex"},
+		{5, "Read", "HBase", "32 ×(1..32) GB data"},
+		{6, "Write", "HBase", "32 ×(1..32) GB data"},
+		{7, "Scan", "HBase", "32 ×(1..32) GB data"},
+		{8, "Select Query", "Hive", "32 ×(1..32) GB data"},
+		{9, "Aggregate Query", "Hive", "32 ×(1..32) GB data"},
+		{10, "Join Query", "Hive", "32 ×(1..32) GB data"},
+		{11, "Nutch Server", "Hadoop", "100 ×(1..32) req/s"},
+		{12, "PageRank", "Hadoop", "10^6 ×(1..32) pages"},
+		{13, "Index", "Hadoop", "10^6 ×(1..32) pages"},
+		{14, "Olio Server", "MySQL", "100 ×(1..32) req/s"},
+		{15, "K-means", "Hadoop", "32 GB ×(1..32) data"},
+		{16, "CC", "Hadoop", "2^15 ×(1..32) vertex"},
+		{17, "Rubis Server", "MySQL", "100 ×(1..32) req/s"},
+		{18, "CF", "Hadoop", "2^15 ×(1..32) vertex"},
+		{19, "Naive Bayes", "Hadoop", "32 ×(1..32) GB data"},
+	}
+}
+
+// Scales is the Table 6 / Figure 3 data-volume sweep.
+func Scales() []int { return []int{1, 4, 8, 16, 32} }
+
+// Characterize runs one workload at one input scale on a fresh simulated
+// processor and returns its result with architectural counters populated.
+func Characterize(w Workload, in Input, cfg sim.MachineConfig) (Result, error) {
+	in.CPU = sim.New(cfg)
+	res, err := w.Run(in)
+	if err != nil {
+		return Result{}, fmt.Errorf("characterize %s (scale %d, %s): %w",
+			w.Name(), in.Scale, cfg.Name, err)
+	}
+	return res, nil
+}
+
+// Measure runs one workload uninstrumented (wall-clock only).
+func Measure(w Workload, in Input) (Result, error) {
+	in.CPU = nil
+	res, err := w.Run(in)
+	if err != nil {
+		return Result{}, fmt.Errorf("measure %s (scale %d): %w", w.Name(), in.Scale, err)
+	}
+	return res, nil
+}
+
+// Sweep characterizes a workload across the Table 6 scales on one machine.
+func Sweep(w Workload, base Input, cfg sim.MachineConfig) ([]Result, error) {
+	var out []Result
+	for _, s := range Scales() {
+		in := base
+		in.Scale = s
+		res, err := Characterize(w, in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// SpeedupSweep measures wall-clock user-perceivable metrics across scales
+// and normalizes each to the baseline (Figure 3-2's construction: the
+// performance number for the baseline input is one).
+func SpeedupSweep(w Workload, base Input) ([]float64, []Result, error) {
+	var speedups []float64
+	var results []Result
+	var baseline float64
+	for _, s := range Scales() {
+		in := base
+		in.Scale = s
+		res, err := Measure(w, in)
+		if err != nil {
+			return nil, nil, err
+		}
+		if s == 1 {
+			baseline = res.Value
+		}
+		if baseline > 0 {
+			speedups = append(speedups, res.Value/baseline)
+		} else {
+			speedups = append(speedups, 0)
+		}
+		results = append(results, res)
+	}
+	return speedups, results, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// ResultJSON is the stable JSON projection of a Result, for external
+// plotting and archival tooling (the TSV figure series cover the paper
+// artifacts; this covers ad-hoc runs).
+type ResultJSON struct {
+	Workload  string             `json:"workload"`
+	Scale     int                `json:"scale"`
+	Units     int64              `json:"units"`
+	UnitName  string             `json:"unitName"`
+	ElapsedMs float64            `json:"elapsedMs"`
+	Value     float64            `json:"value"`
+	Metric    string             `json:"metric"`
+	Extra     map[string]float64 `json:"extra,omitempty"`
+
+	// Architectural metrics, present only for characterized runs.
+	Arch *ArchJSON `json:"arch,omitempty"`
+}
+
+// ArchJSON summarizes the simulated counters.
+type ArchJSON struct {
+	Instructions uint64  `json:"instructions"`
+	L1IMPKI      float64 `json:"l1iMPKI"`
+	L1DMPKI      float64 `json:"l1dMPKI"`
+	L2MPKI       float64 `json:"l2MPKI"`
+	L3MPKI       float64 `json:"l3MPKI"`
+	ITLBMPKI     float64 `json:"itlbMPKI"`
+	DTLBMPKI     float64 `json:"dtlbMPKI"`
+	IntToFP      float64 `json:"intToFPRatio"`
+	FPIntensity  float64 `json:"fpIntensity"`
+	IntIntensity float64 `json:"intIntensity"`
+	DRAMBytes    uint64  `json:"dramBytes"`
+}
+
+// ToJSON converts a result for serialization.
+func (r Result) ToJSON() ResultJSON {
+	out := ResultJSON{
+		Workload:  r.Workload,
+		Scale:     r.Scale,
+		Units:     r.Units,
+		UnitName:  r.UnitName,
+		ElapsedMs: float64(r.Elapsed) / float64(time.Millisecond),
+		Value:     r.Value,
+		Metric:    r.Metric.String(),
+		Extra:     r.Extra,
+	}
+	if k := r.Counts; k.Instructions() > 0 {
+		out.Arch = &ArchJSON{
+			Instructions: k.Instructions(),
+			L1IMPKI:      k.L1IMPKI(),
+			L1DMPKI:      k.L1DMPKI(),
+			L2MPKI:       k.L2MPKI(),
+			L3MPKI:       k.L3MPKI(),
+			ITLBMPKI:     k.ITLBMPKI(),
+			DTLBMPKI:     k.DTLBMPKI(),
+			IntToFP:      k.IntToFPRatio(),
+			FPIntensity:  k.FPIntensity(),
+			IntIntensity: k.IntIntensity(),
+			DRAMBytes:    k.DRAMBytes(),
+		}
+	}
+	return out
+}
+
+// WriteJSON encodes results as a JSON array to w.
+func WriteJSON(w io.Writer, results []Result) error {
+	out := make([]ResultJSON, len(results))
+	for i, r := range results {
+		out[i] = r.ToJSON()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

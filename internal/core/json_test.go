@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestResultToJSON(t *testing.T) {
+	r := Result{
+		Workload: "Sort", Scale: 4, Units: 1000, UnitName: "bytes",
+		Elapsed: 2 * time.Second, Value: 500, Metric: DPS,
+		Extra: map[string]float64{"x": 1},
+	}
+	j := r.ToJSON()
+	if j.Workload != "Sort" || j.ElapsedMs != 2000 || j.Metric != "DPS" {
+		t.Fatalf("json = %+v", j)
+	}
+	if j.Arch != nil {
+		t.Fatal("uninstrumented result must omit arch block")
+	}
+	r.Counts = sim.Counts{IntInstrs: 1000, L1I: sim.CacheStats{Accesses: 10, Misses: 5}}
+	j = r.ToJSON()
+	if j.Arch == nil || j.Arch.L1IMPKI != 5 {
+		t.Fatalf("arch = %+v", j.Arch)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteJSON(&buf, []Result{
+		{Workload: "A", Metric: RPS, Units: 5},
+		{Workload: "B", Metric: OPS, Units: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []ResultJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Workload != "A" || got[1].Metric != "OPS" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if !strings.Contains(buf.String(), "\n") {
+		t.Error("output should be indented")
+	}
+}

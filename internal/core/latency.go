@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyRecorder collects per-request service times for the
+// latency-sensitive workloads (paper Section 4.1: "an online service is
+// very latency-sensitive"; Section 6.1.2: "in addition, we also care
+// about latency"). It keeps every sample — request counts in this
+// repository are bounded — and derives percentiles on demand.
+type LatencyRecorder struct {
+	samples []time.Duration
+}
+
+// Record adds one request's service time.
+func (l *LatencyRecorder) Record(d time.Duration) {
+	l.samples = append(l.samples, d)
+}
+
+// Time runs fn and records its duration.
+func (l *LatencyRecorder) Time(fn func()) {
+	start := time.Now()
+	fn()
+	l.Record(time.Since(start))
+}
+
+// Count returns the number of recorded requests.
+func (l *LatencyRecorder) Count() int { return len(l.samples) }
+
+// Percentile returns the p-quantile (0 < p <= 1) service time, or 0 when
+// nothing was recorded.
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Nearest-rank: the smallest sample ≥ the p-quantile position.
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Mean returns the average service time.
+func (l *LatencyRecorder) Mean() time.Duration {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range l.samples {
+		total += d
+	}
+	return total / time.Duration(len(l.samples))
+}
+
+// Attach copies the standard latency summary into a result's Extra map
+// (microsecond units: mean, p50, p95, p99).
+func (l *LatencyRecorder) Attach(r *Result) {
+	if r.Extra == nil {
+		r.Extra = map[string]float64{}
+	}
+	r.Extra["latMeanUs"] = float64(l.Mean()) / float64(time.Microsecond)
+	r.Extra["latP50Us"] = float64(l.Percentile(0.50)) / float64(time.Microsecond)
+	r.Extra["latP95Us"] = float64(l.Percentile(0.95)) / float64(time.Microsecond)
+	r.Extra["latP99Us"] = float64(l.Percentile(0.99)) / float64(time.Microsecond)
+}

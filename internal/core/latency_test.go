@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatencyRecorderPercentiles(t *testing.T) {
+	var l LatencyRecorder
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := l.Percentile(0.50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := l.Percentile(0.99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := l.Percentile(1.0); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := l.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v", got)
+	}
+	if l.Count() != 100 {
+		t.Errorf("count = %d", l.Count())
+	}
+}
+
+func TestLatencyRecorderEmpty(t *testing.T) {
+	var l LatencyRecorder
+	if l.Percentile(0.5) != 0 || l.Mean() != 0 || l.Count() != 0 {
+		t.Fatal("empty recorder must return zeros")
+	}
+	var r Result
+	l.Attach(&r)
+	if r.Extra["latP99Us"] != 0 {
+		t.Fatal("attach on empty recorder should produce zeros")
+	}
+}
+
+func TestLatencyTime(t *testing.T) {
+	var l LatencyRecorder
+	l.Time(func() { time.Sleep(time.Millisecond) })
+	if l.Count() != 1 || l.Percentile(1) < time.Millisecond {
+		t.Fatalf("Time did not record a plausible duration: %v", l.Percentile(1))
+	}
+}
+
+// Property: percentiles are monotonic in p and bounded by min/max samples.
+func TestLatencyPercentileMonotonicProperty(t *testing.T) {
+	f := func(ms []uint16) bool {
+		if len(ms) == 0 {
+			return true
+		}
+		var l LatencyRecorder
+		var lo, hi time.Duration = 1 << 62, 0
+		for _, m := range ms {
+			d := time.Duration(m) * time.Microsecond
+			l.Record(d)
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		p50, p95, p99 := l.Percentile(0.5), l.Percentile(0.95), l.Percentile(0.99)
+		return p50 <= p95 && p95 <= p99 && p99 <= hi && p50 >= lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatencyAttach(t *testing.T) {
+	var l LatencyRecorder
+	l.Record(time.Millisecond)
+	l.Record(3 * time.Millisecond)
+	r := Result{}
+	l.Attach(&r)
+	if r.Extra["latMeanUs"] != 2000 {
+		t.Errorf("latMeanUs = %f", r.Extra["latMeanUs"])
+	}
+	if r.Extra["latP99Us"] != 3000 {
+		t.Errorf("latP99Us = %f", r.Extra["latP99Us"])
+	}
+}

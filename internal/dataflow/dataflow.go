@@ -1,0 +1,389 @@
+// Package dataflow is an in-memory, partitioned, parallel dataflow engine —
+// the repository's substitute for the paper's Spark stack (DESIGN.md §1).
+// Datasets are materialized in memory and partitioned across a goroutine
+// worker pool; iterative workloads (PageRank, K-means) re-traverse cached
+// datasets each superstep, which is the property the paper includes Spark
+// to represent ("best for iterative computation; supports in-memory
+// computing, letting it query data faster than disk-based engines").
+//
+// With a characterization CPU attached, per-element executor overhead,
+// element loads/stores against the datasets' simulated regions, and hash
+// shuffles for the ByKey operations are emitted into the simulated stream.
+package dataflow
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Context owns the worker pool and the characterization handles shared by
+// all datasets derived from it.
+type Context struct {
+	workers int
+	cpu     *sim.CPU
+
+	executor *sim.CodeRegion
+	shuffle  *sim.CodeRegion
+	iterMgr  *sim.CodeRegion
+	rs       xorshift
+	mu       sync.Mutex
+}
+
+// NewContext builds a Context with the given parallelism (0 = 4 workers).
+// cpu may be nil for uninstrumented runs.
+func NewContext(workers int, cpu *sim.CPU) *Context {
+	if workers <= 0 {
+		workers = 4
+	}
+	// Driver start, DAG scheduling, executor launch: pure stall.
+	cpu.Stall(6e6)
+	return &Context{
+		workers:  workers,
+		cpu:      cpu,
+		executor: cpu.NewCodeRegion("dataflow.executor", 256<<10),
+		shuffle:  cpu.NewCodeRegion("dataflow.shuffle", 192<<10),
+		iterMgr:  cpu.NewCodeRegion("dataflow.scheduler", 128<<10),
+		rs:       xorshift(0x51_7cc1b727220a95),
+	}
+}
+
+// CPU returns the attached characterization context (may be nil).
+func (c *Context) CPU() *sim.CPU { return c.cpu }
+
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// execCode models one pass through executor code at a data-dependent
+// offset. Called per element batch to bound instrumentation overhead.
+func (c *Context) execCode(r *sim.CodeRegion, window uint64) {
+	c.mu.Lock()
+	off := c.rs.next() % r.Size()
+	c.mu.Unlock()
+	c.cpu.Code(r, off, window)
+}
+
+// Dataset is an immutable, partitioned, in-memory collection.
+type Dataset[T any] struct {
+	ctx       *Context
+	parts     [][]T
+	region    sim.DataRegion
+	elemBytes int
+}
+
+// Parallelize distributes data into parts partitions (0 = worker count).
+// elemBytes is the modeled serialized size of one element.
+func Parallelize[T any](ctx *Context, data []T, parts, elemBytes int) *Dataset[T] {
+	if parts <= 0 {
+		parts = ctx.workers
+	}
+	if parts > len(data) && len(data) > 0 {
+		parts = len(data)
+	}
+	if elemBytes <= 0 {
+		elemBytes = 8
+	}
+	d := &Dataset[T]{ctx: ctx, elemBytes: elemBytes}
+	d.parts = make([][]T, 0, parts)
+	if len(data) == 0 {
+		d.parts = append(d.parts, nil)
+	} else {
+		per := (len(data) + parts - 1) / parts
+		for i := 0; i < len(data); i += per {
+			end := i + per
+			if end > len(data) {
+				end = len(data)
+			}
+			d.parts = append(d.parts, data[i:end])
+		}
+	}
+	d.region = ctx.cpu.Alloc("dataflow.dataset", uint64(len(data)*elemBytes)+64)
+	return d
+}
+
+// Len returns the element count.
+func (d *Dataset[T]) Len() int {
+	n := 0
+	for _, p := range d.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Partitions returns the partition count.
+func (d *Dataset[T]) Partitions() int { return len(d.parts) }
+
+// Collect concatenates all partitions in order.
+func (d *Dataset[T]) Collect() []T {
+	out := make([]T, 0, d.Len())
+	for _, p := range d.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Region exposes the simulated backing region so user kernels can address
+// their element accesses faithfully.
+func (d *Dataset[T]) Region() sim.DataRegion { return d.region }
+
+// ElemBytes returns the modeled per-element size.
+func (d *Dataset[T]) ElemBytes() int { return d.elemBytes }
+
+// forEachPart runs fn over partitions on the context's worker pool.
+func forEachPart[T any](d *Dataset[T], fn func(part int, rows []T)) {
+	runParallel(d.ctx.workers, len(d.parts), func(i int) { fn(i, d.parts[i]) })
+}
+
+// instrumentScan charges the framework side of scanning rows of one
+// partition: executor dispatch plus element loads, batched.
+func instrumentScan[T any](d *Dataset[T], part, n int) {
+	if d.ctx.cpu == nil || n == 0 {
+		return
+	}
+	const batch = 64
+	base := uint64(0)
+	for _, p := range d.parts[:part] {
+		base += uint64(len(p) * d.elemBytes)
+	}
+	for i := 0; i < n; i += batch {
+		b := batch
+		if n-i < b {
+			b = n - i
+		}
+		d.ctx.execCode(d.ctx.executor, 576)
+		d.ctx.cpu.LoadR(d.region, base+uint64(i*d.elemBytes), b*d.elemBytes)
+		d.ctx.cpu.IntOps(18 * b) // iterator advance, dispatch, bounds checks
+		d.ctx.cpu.Branches(4 * b)
+		d.ctx.cpu.FPOps(b / 8) // task metrics accounting
+	}
+}
+
+// Map applies f to every element, producing a dataset with the same
+// partitioning. elemBytes models the output element size.
+func Map[T, U any](d *Dataset[T], elemBytes int, f func(T) U) *Dataset[U] {
+	out := &Dataset[U]{ctx: d.ctx, elemBytes: elemBytes}
+	out.parts = make([][]U, len(d.parts))
+	out.region = d.ctx.cpu.Alloc("dataflow.map.out", uint64(d.Len()*elemBytes)+64)
+	forEachPart(d, func(i int, rows []T) {
+		instrumentScan(d, i, len(rows))
+		res := make([]U, len(rows))
+		for j, row := range rows {
+			res[j] = f(row)
+		}
+		if d.ctx.cpu != nil && len(rows) > 0 {
+			d.ctx.cpu.StoreR(out.region, 0, len(rows)*elemBytes)
+		}
+		out.parts[i] = res
+	})
+	return out
+}
+
+// Filter keeps the elements for which f returns true.
+func Filter[T any](d *Dataset[T], f func(T) bool) *Dataset[T] {
+	out := &Dataset[T]{ctx: d.ctx, elemBytes: d.elemBytes}
+	out.parts = make([][]T, len(d.parts))
+	out.region = d.ctx.cpu.Alloc("dataflow.filter.out", d.region.Size)
+	forEachPart(d, func(i int, rows []T) {
+		instrumentScan(d, i, len(rows))
+		var res []T
+		for _, row := range rows {
+			if f(row) {
+				res = append(res, row)
+			}
+		}
+		out.parts[i] = res
+	})
+	return out
+}
+
+// FlatMap applies f to every element and flattens the results.
+func FlatMap[T, U any](d *Dataset[T], elemBytes int, f func(T, func(U))) *Dataset[U] {
+	out := &Dataset[U]{ctx: d.ctx, elemBytes: elemBytes}
+	out.parts = make([][]U, len(d.parts))
+	out.region = d.ctx.cpu.Alloc("dataflow.flatmap.out", uint64(d.Len()*elemBytes)*2+64)
+	forEachPart(d, func(i int, rows []T) {
+		instrumentScan(d, i, len(rows))
+		var res []U
+		emit := func(u U) { res = append(res, u) }
+		for _, row := range rows {
+			f(row, emit)
+		}
+		if d.ctx.cpu != nil && len(res) > 0 {
+			d.ctx.cpu.StoreR(out.region, 0, len(res)*elemBytes)
+		}
+		out.parts[i] = res
+	})
+	return out
+}
+
+// Reduce folds all elements with the associative function f. zero is
+// seeded into every partition and the final combine, so it must be f's
+// identity element (0 for +, 1 for ×, -inf for max, ...).
+func Reduce[T any](d *Dataset[T], zero T, f func(T, T) T) T {
+	partials := make([]T, len(d.parts))
+	forEachPart(d, func(i int, rows []T) {
+		instrumentScan(d, i, len(rows))
+		acc := zero
+		for _, row := range rows {
+			acc = f(acc, row)
+		}
+		partials[i] = acc
+	})
+	acc := zero
+	for _, p := range partials {
+		acc = f(acc, p)
+	}
+	return acc
+}
+
+// Pair is a keyed element for the ByKey operations.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// ReduceByKey merges all values sharing a key with f. The shuffle hashes
+// keys to output partitions (numPartitions, 0 = input partitioning).
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], numPartitions int, f func(V, V) V) *Dataset[Pair[K, V]] {
+	if numPartitions <= 0 {
+		numPartitions = len(d.parts)
+	}
+	ctx := d.ctx
+	// Map side: hash-partition each input partition's pairs.
+	buckets := make([][][]Pair[K, V], len(d.parts))
+	shufRegion := ctx.cpu.Alloc("dataflow.shuffle.buf", d.region.Size+64)
+	forEachPart(d, func(i int, rows []Pair[K, V]) {
+		instrumentScan(d, i, len(rows))
+		bs := make([][]Pair[K, V], numPartitions)
+		for _, kv := range rows {
+			p := int(hashAny(kv.Key) % uint64(numPartitions))
+			bs[p] = append(bs[p], kv)
+		}
+		if ctx.cpu != nil && len(rows) > 0 {
+			ctx.execCode(ctx.shuffle, 512)
+			ctx.cpu.IntOps(22 * len(rows)) // hash + partition per pair
+			ctx.cpu.Branches(4 * len(rows))
+			ctx.cpu.StoreR(shufRegion, 0, len(rows)*d.elemBytes)
+		}
+		buckets[i] = bs
+	})
+	// Reduce side: merge per output partition with a hash table.
+	out := &Dataset[Pair[K, V]]{ctx: ctx, elemBytes: d.elemBytes}
+	out.parts = make([][]Pair[K, V], numPartitions)
+	out.region = ctx.cpu.Alloc("dataflow.rbk.out", d.region.Size+64)
+	runParallel(ctx.workers, numPartitions, func(p int) {
+		acc := make(map[K]V)
+		order := []K{} // preserve first-seen order for determinism
+		n := 0
+		for i := range buckets {
+			for _, kv := range buckets[i][p] {
+				if old, ok := acc[kv.Key]; ok {
+					acc[kv.Key] = f(old, kv.Val)
+				} else {
+					acc[kv.Key] = kv.Val
+					order = append(order, kv.Key)
+				}
+				n++
+			}
+		}
+		if ctx.cpu != nil && n > 0 {
+			// Hash-table probes over the merge table: scattered loads.
+			tbl := ctx.cpu.Alloc("dataflow.rbk.table", uint64(len(order)*d.elemBytes*2)+128)
+			rnd := xorshift(uint64(p)*0x9e3779b9 + 7)
+			const batch = 64
+			for i := 0; i < n; i += batch {
+				b := batch
+				if n-i < b {
+					b = n - i
+				}
+				ctx.execCode(ctx.shuffle, 640)
+				for j := 0; j < b; j++ {
+					ctx.cpu.LoadR(tbl, rnd.next()%maxU64(tbl.Size, 1), d.elemBytes)
+				}
+				ctx.cpu.IntOps(26 * b)
+				ctx.cpu.Branches(6 * b)
+			}
+		}
+		res := make([]Pair[K, V], 0, len(order))
+		for _, k := range order {
+			res = append(res, Pair[K, V]{k, acc[k]})
+		}
+		out.parts[p] = res
+	})
+	return out
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// hashAny hashes comparable keys via a specialization ladder; falls back to
+// FNV over the fmt representation only for exotic key types (not used by
+// the workloads, which key by int and string).
+func hashAny(k any) uint64 {
+	switch v := k.(type) {
+	case int:
+		return mix(uint64(v))
+	case int32:
+		return mix(uint64(uint32(v)))
+	case int64:
+		return mix(uint64(v))
+	case uint64:
+		return mix(v)
+	case string:
+		var h uint64 = 14695981039346656037
+		for i := 0; i < len(v); i++ {
+			h ^= uint64(v[i])
+			h *= 1099511628211
+		}
+		return h
+	default:
+		panic("dataflow: unsupported key type")
+	}
+}
+
+func mix(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	return v
+}
+
+func runParallel(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

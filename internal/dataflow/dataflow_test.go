@@ -1,0 +1,215 @@
+package dataflow
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func ints(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeAndCollect(t *testing.T) {
+	ctx := NewContext(4, nil)
+	d := Parallelize(ctx, ints(100), 7, 8)
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Partitions() != 7 {
+		t.Fatalf("Partitions = %d", d.Partitions())
+	}
+	got := d.Collect()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("Collect()[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestParallelizeEmpty(t *testing.T) {
+	ctx := NewContext(2, nil)
+	d := Parallelize(ctx, []int(nil), 0, 8)
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if got := Map(d, 8, func(x int) int { return x * 2 }).Len(); got != 0 {
+		t.Fatalf("Map over empty = %d elements", got)
+	}
+}
+
+func TestMapFilterReduce(t *testing.T) {
+	ctx := NewContext(4, nil)
+	d := Parallelize(ctx, ints(1000), 0, 8)
+	sq := Map(d, 8, func(x int) int { return x * x })
+	even := Filter(sq, func(x int) bool { return x%2 == 0 })
+	sum := Reduce(even, 0, func(a, b int) int { return a + b })
+	want := 0
+	for i := 0; i < 1000; i++ {
+		if (i*i)%2 == 0 {
+			want += i * i
+		}
+	}
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestFlatMap(t *testing.T) {
+	ctx := NewContext(3, nil)
+	d := Parallelize(ctx, []int{1, 2, 3}, 0, 8)
+	out := FlatMap(d, 8, func(x int, emit func(int)) {
+		for j := 0; j < x; j++ {
+			emit(x)
+		}
+	})
+	if out.Len() != 6 {
+		t.Fatalf("Len = %d, want 6 (1+2+3)", out.Len())
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	ctx := NewContext(4, nil)
+	var pairs []Pair[string, int]
+	for i := 0; i < 300; i++ {
+		pairs = append(pairs, Pair[string, int]{Key: []string{"a", "b", "c"}[i%3], Val: 1})
+	}
+	d := Parallelize(ctx, pairs, 5, 16)
+	counts := ReduceByKey(d, 3, func(a, b int) int { return a + b }).Collect()
+	if len(counts) != 3 {
+		t.Fatalf("distinct keys = %d", len(counts))
+	}
+	for _, kv := range counts {
+		if kv.Val != 100 {
+			t.Errorf("count[%s] = %d, want 100", kv.Key, kv.Val)
+		}
+	}
+}
+
+func TestReduceByKeyIntKeys(t *testing.T) {
+	ctx := NewContext(2, nil)
+	var pairs []Pair[int32, float64]
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, Pair[int32, float64]{Key: int32(i % 10), Val: 0.5})
+	}
+	d := Parallelize(ctx, pairs, 0, 12)
+	out := ReduceByKey(d, 4, func(a, b float64) float64 { return a + b }).Collect()
+	if len(out) != 10 {
+		t.Fatalf("distinct keys = %d", len(out))
+	}
+	for _, kv := range out {
+		if kv.Val != 5.0 {
+			t.Errorf("sum[%d] = %f", kv.Key, kv.Val)
+		}
+	}
+}
+
+// Property: Reduce with + equals the sequential sum for any int slice and
+// any worker/partition configuration.
+func TestReduceMatchesSequentialProperty(t *testing.T) {
+	f := func(data []int32, workers, parts uint8) bool {
+		ctx := NewContext(int(workers%6)+1, nil)
+		xs := make([]int, len(data))
+		want := 0
+		for i, v := range data {
+			xs[i] = int(v % 1000)
+			want += xs[i]
+		}
+		d := Parallelize(ctx, xs, int(parts%8), 8)
+		got := Reduce(d, 0, func(a, b int) int { return a + b })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ReduceByKey totals equal a reference map-based aggregation.
+func TestReduceByKeyMatchesReferenceProperty(t *testing.T) {
+	f := func(keys []uint8, parts uint8) bool {
+		ctx := NewContext(3, nil)
+		ref := map[int32]int{}
+		pairs := make([]Pair[int32, int], len(keys))
+		for i, k := range keys {
+			key := int32(k % 17)
+			pairs[i] = Pair[int32, int]{Key: key, Val: 1}
+			ref[key]++
+		}
+		d := Parallelize(ctx, pairs, 4, 12)
+		out := ReduceByKey(d, int(parts%5)+1, func(a, b int) int { return a + b }).Collect()
+		if len(out) != len(ref) {
+			return false
+		}
+		for _, kv := range out {
+			if ref[kv.Key] != kv.Val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterativeReuseIsStable(t *testing.T) {
+	// Iterating map+reduce over a cached dataset must give identical
+	// results every superstep (the Spark-style iterative pattern).
+	ctx := NewContext(4, nil)
+	d := Parallelize(ctx, ints(500), 0, 8)
+	var prev int
+	for it := 0; it < 5; it++ {
+		s := Reduce(Map(d, 8, func(x int) int { return x + 1 }), 0,
+			func(a, b int) int { return a + b })
+		if it > 0 && s != prev {
+			t.Fatalf("iteration %d produced %d, want %d", it, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestInstrumentedPipelineEmitsStream(t *testing.T) {
+	cpu := sim.New(sim.XeonE5645())
+	ctx := NewContext(2, cpu)
+	d := Parallelize(ctx, ints(5000), 0, 8)
+	pairs := Map(d, 16, func(x int) Pair[int32, int] {
+		return Pair[int32, int]{Key: int32(x % 50), Val: x}
+	})
+	_ = ReduceByKey(pairs, 4, func(a, b int) int { return a + b })
+	k := cpu.Counts()
+	if k.Instructions() == 0 || k.L1D.Accesses == 0 {
+		t.Fatalf("no simulated activity recorded: %+v", k)
+	}
+	if k.LoadInstrs == 0 || k.StoreInstrs == 0 {
+		t.Fatal("pipeline should emit loads and stores")
+	}
+}
+
+func TestSortedCollectIsDeterministic(t *testing.T) {
+	run := func(workers int) []Pair[string, int] {
+		ctx := NewContext(workers, nil)
+		var pairs []Pair[string, int]
+		for i := 0; i < 200; i++ {
+			pairs = append(pairs, Pair[string, int]{Key: string(rune('a' + i%7)), Val: i})
+		}
+		d := Parallelize(ctx, pairs, 6, 16)
+		out := ReduceByKey(d, 3, func(a, b int) int { return a + b }).Collect()
+		sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+		return out
+	}
+	a, b := run(1), run(8)
+	if len(a) != len(b) {
+		t.Fatalf("len %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package dataflow
+
+import "testing"
+
+func TestFilterAll(t *testing.T) {
+	ctx := NewContext(2, nil)
+	d := Parallelize(ctx, ints(50), 0, 8)
+	none := Filter(d, func(int) bool { return false })
+	if none.Len() != 0 {
+		t.Fatalf("filter-false kept %d", none.Len())
+	}
+	all := Filter(d, func(int) bool { return true })
+	if all.Len() != 50 {
+		t.Fatalf("filter-true kept %d", all.Len())
+	}
+}
+
+func TestReduceEmptyDataset(t *testing.T) {
+	ctx := NewContext(2, nil)
+	d := Parallelize(ctx, []int(nil), 0, 8)
+	if got := Reduce(d, 0, func(a, b int) int { return a + b }); got != 0 {
+		t.Fatalf("empty reduce = %d, want the identity", got)
+	}
+	// zero must be f's identity: max with -1 sentinel over positives.
+	d2 := Parallelize(ctx, []int{3, 9, 4}, 0, 8)
+	got := Reduce(d2, -1, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	if got != 9 {
+		t.Fatalf("max reduce = %d", got)
+	}
+}
+
+func TestReduceByKeyEmpty(t *testing.T) {
+	ctx := NewContext(2, nil)
+	d := Parallelize(ctx, []Pair[int, int](nil), 0, 8)
+	out := ReduceByKey(d, 3, func(a, b int) int { return a + b })
+	if out.Len() != 0 {
+		t.Fatalf("empty rbk = %d pairs", out.Len())
+	}
+}
+
+func TestSinglePartition(t *testing.T) {
+	ctx := NewContext(8, nil)
+	d := Parallelize(ctx, ints(10), 1, 8)
+	if d.Partitions() != 1 {
+		t.Fatalf("partitions = %d", d.Partitions())
+	}
+	sum := Reduce(Map(d, 8, func(x int) int { return x }), 0,
+		func(a, b int) int { return a + b })
+	if sum != 45 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestMorePartitionsThanElements(t *testing.T) {
+	ctx := NewContext(2, nil)
+	d := Parallelize(ctx, []int{1, 2, 3}, 100, 8)
+	if d.Partitions() > 3 {
+		t.Fatalf("partitions = %d, want ≤ elements", d.Partitions())
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestHashAnyPanicsOnExoticKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for unsupported key type")
+		}
+	}()
+	hashAny(3.14)
+}
+
+func TestElemBytesDefaults(t *testing.T) {
+	ctx := NewContext(2, nil)
+	d := Parallelize(ctx, ints(4), 0, 0)
+	if d.ElemBytes() != 8 {
+		t.Fatalf("default elem bytes = %d", d.ElemBytes())
+	}
+	if d.Region().Size == 0 {
+		t.Fatal("dataset must have a backing region even uninstrumented")
+	}
+}

@@ -1,0 +1,298 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Section 6) from the reimplemented suite: Tables 2-7 from the
+// suite's catalogs and machine models, and Figures 2-6 by running the
+// nineteen workloads (and the traditional-suite comparators) against the
+// simulated processors. cmd/figures renders them to text files;
+// bench_test.go re-derives the measured series as Go benchmarks.
+package figures
+
+import (
+	"fmt"
+
+	"repro/internal/comparators"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Config controls figure generation.
+type Config struct {
+	// Base is the input configuration applied at every scale (Scale is
+	// overridden per data point).
+	Base core.Input
+	// CharScale is the scale used for the single-point characterizations
+	// (Figures 4, 5 and 6). The paper characterizes sizable inputs; 8 is
+	// the sweet spot between fidelity and runtime.
+	CharScale int
+	// LargeScale is Figure 2's "large input" (the best-performing
+	// configuration; 32 here).
+	LargeScale int
+	// Verbose callback, invoked per completed data point (may be nil).
+	Progress func(msg string)
+}
+
+// Quick returns the fast preset used by tests and benches: inputs scaled
+// so that the baseline working set sits below the 12 MiB L3 and the
+// largest input is comfortably above it, preserving every crossover the
+// figures depend on (DESIGN.md §1).
+func Quick() Config {
+	return Config{
+		Base: core.Input{
+			ScaleUnit:     1 << 15, // 32 KiB per paper-GB: baseline 1 MiB, 32× = 32 MiB
+			PagesPerMPage: 100,
+			ReqsPerUnit:   50,
+			VertexUnit:    1 << 11,
+			Seed:          42,
+			Workers:       4,
+		},
+		CharScale:  8,
+		LargeScale: 32,
+	}
+}
+
+// Full returns the higher-fidelity preset used by cmd/figures by default
+// (≈4× the Quick data volumes).
+func Full() Config {
+	c := Quick()
+	c.Base.ScaleUnit = 1 << 17
+	c.Base.PagesPerMPage = 300
+	c.Base.ReqsPerUnit = 200
+	c.Base.VertexUnit = 1 << 12
+	return c
+}
+
+func (c Config) progress(format string, args ...any) {
+	if c.Progress != nil {
+		c.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// suite returns the workload list (package-level for test injection).
+func suite() []core.Workload { return workloads.All() }
+
+// charAt characterizes one workload at one scale on one machine.
+func (c Config) charAt(w core.Workload, scale int, cfg sim.MachineConfig) (core.Result, error) {
+	in := c.Base
+	in.Scale = scale
+	return core.Characterize(w, in, cfg)
+}
+
+// Fig2 reproduces Figure 2: L3 cache MPKI of the small (baseline) and
+// large input configurations for each workload, plus the suite average.
+func (c Config) Fig2() (*core.Table, error) {
+	t := &core.Table{
+		Title:   "Figure 2: L3 cache MPKI, large vs small input (Xeon E5645)",
+		Headers: []string{"Workload", "LargeInput", "SmallInput"},
+	}
+	cfg := sim.XeonE5645()
+	var sumL, sumS float64
+	n := 0
+	for _, w := range suite() {
+		small, err := c.charAt(w, 1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		large, err := c.charAt(w, c.LargeScale, cfg)
+		if err != nil {
+			return nil, err
+		}
+		l, s := large.Counts.L3MPKI(), small.Counts.L3MPKI()
+		t.AddRow(w.Name(), core.CellF(l), core.CellF(s))
+		sumL += l
+		sumS += s
+		n++
+		c.progress("fig2 %s done (large %.2f / small %.2f)", w.Name(), l, s)
+	}
+	t.AddRow("Avg_BigData", core.CellF(sumL/float64(n)), core.CellF(sumS/float64(n)))
+	return t, nil
+}
+
+// Fig3MIPS reproduces Figure 3-1: MIPS per workload across the data-volume
+// sweep on the E5645 model.
+func (c Config) Fig3MIPS() (*core.Table, error) {
+	t := &core.Table{
+		Title:   "Figure 3-1: MIPS of different workloads with different data scale",
+		Headers: []string{"Workload", "Baseline", "4X", "8X", "16X", "32X"},
+	}
+	cfg := sim.XeonE5645()
+	for _, w := range suite() {
+		row := []string{w.Name()}
+		for _, s := range core.Scales() {
+			res, err := c.charAt(w, s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, core.CellF(res.Counts.MIPS(cfg.Timing)))
+		}
+		t.AddRow(row...)
+		c.progress("fig3-1 %s done", w.Name())
+	}
+	return t, nil
+}
+
+// Fig3Speedup reproduces Figure 3-2: the user-perceivable performance of
+// each workload across the sweep, normalized to the baseline input.
+func (c Config) Fig3Speedup() (*core.Table, error) {
+	t := &core.Table{
+		Title:   "Figure 3-2: Speedup of different workloads with different data scale",
+		Headers: []string{"Workload", "Baseline", "4X", "8X", "16X", "32X"},
+	}
+	for _, w := range suite() {
+		sp, _, err := core.SpeedupSweep(w, c.Base)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{w.Name()}
+		for _, v := range sp {
+			row = append(row, core.CellF(v))
+		}
+		t.AddRow(row...)
+		c.progress("fig3-2 %s done", w.Name())
+	}
+	return t, nil
+}
+
+// Fig4 reproduces Figure 4: the instruction breakdown (load, store,
+// branch, integer, FP) of every workload plus the comparator suites.
+func (c Config) Fig4() (*core.Table, error) {
+	t := &core.Table{
+		Title:   "Figure 4: Instruction Breakdown (fractions)",
+		Headers: []string{"Workload", "Load", "Store", "Branch", "Integer", "FP", "Int/FP"},
+	}
+	cfg := sim.XeonE5645()
+	var avg sim.InstrMix
+	n := 0
+	addMix := func(name string, k sim.Counts) {
+		m := k.Mix()
+		t.AddRow(name, core.CellF(m.Load), core.CellF(m.Store), core.CellF(m.Branch),
+			core.CellF(m.Integer), core.CellF(m.FP), core.CellF(k.IntToFPRatio()))
+	}
+	for _, w := range suite() {
+		res, err := c.charAt(w, c.CharScale, cfg)
+		if err != nil {
+			return nil, err
+		}
+		addMix(w.Name(), res.Counts)
+		m := res.Counts.Mix()
+		avg.Load += m.Load
+		avg.Store += m.Store
+		avg.Branch += m.Branch
+		avg.Integer += m.Integer
+		avg.FP += m.FP
+		n++
+		c.progress("fig4 %s done", w.Name())
+	}
+	t.AddRow("Avg_BigData",
+		core.CellF(avg.Load/float64(n)), core.CellF(avg.Store/float64(n)),
+		core.CellF(avg.Branch/float64(n)), core.CellF(avg.Integer/float64(n)),
+		core.CellF(avg.FP/float64(n)), "")
+	for _, s := range comparators.Suites() {
+		addMix("Avg_"+s, comparators.SuiteCounts(s, cfg))
+		c.progress("fig4 %s done", s)
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: floating-point (kind="fp") or integer
+// (kind="int") operation intensity on both machine models.
+func (c Config) Fig5(kind string) (*core.Table, error) {
+	title := "Figure 5-1: Floating Point Operation Intensity"
+	if kind == "int" {
+		title = "Figure 5-2: Integer Operation Intensity"
+	}
+	t := &core.Table{Title: title, Headers: []string{"Workload", "E5310", "E5645"}}
+	intensity := func(k sim.Counts) float64 {
+		if kind == "int" {
+			return k.IntIntensity()
+		}
+		return k.FPIntensity()
+	}
+	cfg5645, cfg5310 := sim.XeonE5645(), sim.XeonE5310()
+	var sum45, sum10 float64
+	n := 0
+	for _, w := range suite() {
+		r45, err := c.charAt(w, c.CharScale, cfg5645)
+		if err != nil {
+			return nil, err
+		}
+		r10, err := c.charAt(w, c.CharScale, cfg5310)
+		if err != nil {
+			return nil, err
+		}
+		i45, i10 := intensity(r45.Counts), intensity(r10.Counts)
+		t.AddRow(w.Name(), fmt.Sprintf("%.4f", i10), fmt.Sprintf("%.4f", i45))
+		sum45 += i45
+		sum10 += i10
+		n++
+		c.progress("fig5(%s) %s done", kind, w.Name())
+	}
+	t.AddRow("Avg_BigData", fmt.Sprintf("%.4f", sum10/float64(n)),
+		fmt.Sprintf("%.4f", sum45/float64(n)))
+	for _, s := range comparators.Suites() {
+		k45 := comparators.SuiteCounts(s, cfg5645)
+		k10 := comparators.SuiteCounts(s, cfg5310)
+		t.AddRow("Avg_"+s, fmt.Sprintf("%.4f", intensity(k10)),
+			fmt.Sprintf("%.4f", intensity(k45)))
+	}
+	return t, nil
+}
+
+// Fig6Cache reproduces Figure 6-1: L1I / L2 / L3 MPKI per workload and
+// comparator suite.
+func (c Config) Fig6Cache() (*core.Table, error) {
+	t := &core.Table{
+		Title:   "Figure 6-1: Cache behaviors among different workloads (MPKI)",
+		Headers: []string{"Workload", "L1I", "L2", "L3"},
+	}
+	cfg := sim.XeonE5645()
+	var s1, s2, s3 float64
+	n := 0
+	for _, w := range suite() {
+		res, err := c.charAt(w, c.CharScale, cfg)
+		if err != nil {
+			return nil, err
+		}
+		k := res.Counts
+		t.AddRow(w.Name(), core.CellF(k.L1IMPKI()), core.CellF(k.L2MPKI()), core.CellF(k.L3MPKI()))
+		s1 += k.L1IMPKI()
+		s2 += k.L2MPKI()
+		s3 += k.L3MPKI()
+		n++
+		c.progress("fig6-1 %s done", w.Name())
+	}
+	t.AddRow("Avg_BigData", core.CellF(s1/float64(n)), core.CellF(s2/float64(n)), core.CellF(s3/float64(n)))
+	for _, s := range comparators.Suites() {
+		k := comparators.SuiteCounts(s, cfg)
+		t.AddRow("Avg_"+s, core.CellF(k.L1IMPKI()), core.CellF(k.L2MPKI()), core.CellF(k.L3MPKI()))
+	}
+	return t, nil
+}
+
+// Fig6TLB reproduces Figure 6-2: DTLB and ITLB MPKI.
+func (c Config) Fig6TLB() (*core.Table, error) {
+	t := &core.Table{
+		Title:   "Figure 6-2: TLB behaviors among different workloads (MPKI)",
+		Headers: []string{"Workload", "DTLB", "ITLB"},
+	}
+	cfg := sim.XeonE5645()
+	var sd, si float64
+	n := 0
+	for _, w := range suite() {
+		res, err := c.charAt(w, c.CharScale, cfg)
+		if err != nil {
+			return nil, err
+		}
+		k := res.Counts
+		t.AddRow(w.Name(), core.CellF(k.DTLBMPKI()), core.CellF(k.ITLBMPKI()))
+		sd += k.DTLBMPKI()
+		si += k.ITLBMPKI()
+		n++
+		c.progress("fig6-2 %s done", w.Name())
+	}
+	t.AddRow("Avg_BigData", core.CellF(sd/float64(n)), core.CellF(si/float64(n)))
+	for _, s := range comparators.Suites() {
+		k := comparators.SuiteCounts(s, cfg)
+		t.AddRow("Avg_"+s, core.CellF(k.DTLBMPKI()), core.CellF(k.ITLBMPKI()))
+	}
+	return t, nil
+}

@@ -1,0 +1,152 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bdgs"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/sqlengine"
+	"repro/internal/workloads"
+)
+
+// Table2 reproduces the paper's Table 2: the real-world seed data sets.
+func Table2() *core.Table {
+	t := &core.Table{
+		Title:   "Table 2: The summary of real-world data sets",
+		Headers: []string{"No.", "Data sets", "Type", "Source", "Size", "Generator"},
+	}
+	for _, d := range bdgs.DataSets() {
+		t.AddRow(fmt.Sprintf("%d", d.No), d.Name, d.DataType, d.Source, d.Size, d.Generator)
+	}
+	return t
+}
+
+// Table3 reproduces the paper's Table 3: the e-commerce schema.
+func Table3() *core.Table {
+	t := &core.Table{
+		Title:   "Table 3: Schema of E-commerce Transaction Data",
+		Headers: []string{"Table", "Column", "Type"},
+	}
+	for _, col := range workloads.OrderSchema {
+		t.AddRow("ORDER", col.Name, colType(col.Type))
+	}
+	for _, col := range workloads.ItemSchema {
+		t.AddRow("ORDER_ITEM", col.Name, colType(col.Type))
+	}
+	return t
+}
+
+func colType(t sqlengine.ColType) string { return [...]string{"INT", "NUMBER"}[t] }
+
+// Table4 reproduces the paper's Table 4: the suite summary.
+func Table4() *core.Table {
+	t := &core.Table{
+		Title: "Table 4: The Summary of BigDataBench",
+		Headers: []string{"Workload", "Application Type", "Data Type",
+			"Data Source", "Software Stack", "Metric"},
+	}
+	for _, w := range workloads.All() {
+		t.AddRow(w.Name(), w.Class().String(), w.DataType(), w.DataSource(),
+			w.Stack(), w.Metric().String())
+	}
+	return t
+}
+
+// Table5 and Table7 reproduce the machine-configuration tables.
+func Table5() *core.Table { return machineTable("Table 5", sim.XeonE5645()) }
+
+// Table7 is the two-level E5310 configuration.
+func Table7() *core.Table { return machineTable("Table 7", sim.XeonE5310()) }
+
+func machineTable(title string, cfg sim.MachineConfig) *core.Table {
+	t := &core.Table{
+		Title:   fmt.Sprintf("%s: Configuration details of %s", title, cfg.CPU),
+		Headers: []string{"Component", "Configuration"},
+	}
+	t.AddRow("CPU Type", cfg.CPU)
+	t.AddRow("Cores", fmt.Sprintf("%d cores@%.2fG", cfg.Cores, cfg.Timing.FreqHz/1e9))
+	t.AddRow("L1 ICache", cacheDesc(cfg.L1I))
+	t.AddRow("L1 DCache", cacheDesc(cfg.L1D))
+	t.AddRow("L2 Cache", cacheDesc(cfg.L2))
+	if cfg.L3 != nil {
+		t.AddRow("L3 Cache", cacheDesc(*cfg.L3))
+	} else {
+		t.AddRow("L3 Cache", "None")
+	}
+	t.AddRow("ITLB", fmt.Sprintf("%d entries, %d-way", cfg.ITLB.Entries, cfg.ITLB.Assoc))
+	t.AddRow("DTLB", fmt.Sprintf("%d entries, %d-way", cfg.DTLB.Entries, cfg.DTLB.Assoc))
+	return t
+}
+
+func cacheDesc(c sim.CacheConfig) string {
+	size := fmt.Sprintf("%d KB", c.Size>>10)
+	if c.Size >= 1<<20 {
+		size = fmt.Sprintf("%d MB", c.Size>>20)
+	}
+	return fmt.Sprintf("%s, %d-way, %d B lines", size, c.Assoc, c.LineSize)
+}
+
+// Table6 reproduces the paper's Table 6: workloads in experiments.
+func Table6() *core.Table {
+	t := &core.Table{
+		Title:   "Table 6: Workloads in experiments",
+		Headers: []string{"ID", "Workloads", "Software Stack", "Input size"},
+	}
+	for _, e := range core.Experiments() {
+		t.AddRow(fmt.Sprintf("%d", e.ID), e.Workload, e.Stack, e.InputRule)
+	}
+	return t
+}
+
+// Table1 reproduces the paper's Table 1: the comparison of big data
+// benchmarking efforts (verbatim from the paper; documentation, not
+// measurement).
+func Table1() *core.Table {
+	t := &core.Table{
+		Title:   "Table 1: Comparison of Big Data Benchmarking Efforts",
+		Headers: []string{"Effort", "Real data sets", "Scalability", "Workload variety", "Objects to Test", "Status"},
+	}
+	rows := [][]string{
+		{"HiBench", "text (1)", "Partial", "Offline/Realtime", "Hadoop and Hive", "Open Source"},
+		{"BigBench", "None", "N/A", "Offline Analytics", "DBMS and Hadoop", "Proposal"},
+		{"AMP Benchmarks", "None", "N/A", "Realtime Analytics", "Realtime systems", "Open Source"},
+		{"YCSB", "None", "N/A", "Online Services", "NoSQL systems", "Open Source"},
+		{"LinkBench", "graph (1)", "Partial", "Online Services", "Graph database", "Open Source"},
+		{"CloudSuite", "text (1)", "Partial", "Online/Offline", "Architectures", "Open Source"},
+		{"BigDataBench", "text(2) graph(2) table(2)", "Total", "Online/Offline/Realtime",
+			"Systems and architecture", "Open Source"},
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	return t
+}
+
+// AllTables returns every table emitter keyed by its artifact name.
+func AllTables() map[string]func() *core.Table {
+	return map[string]func() *core.Table{
+		"table1": Table1,
+		"table2": Table2,
+		"table3": Table3,
+		"table4": Table4,
+		"table5": Table5,
+		"table6": Table6,
+		"table7": Table7,
+	}
+}
+
+// artifactOrder is the render order for cmd/figures.
+func ArtifactOrder() []string {
+	return []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"fig2", "fig3_1", "fig3_2", "fig4", "fig5_1", "fig5_2", "fig6_1", "fig6_2"}
+}
+
+// normalize lowercases and strips separators for -only matching.
+func NormalizeArtifact(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.ReplaceAll(s, "-", "_")
+	s = strings.ReplaceAll(s, ".", "_")
+	return s
+}

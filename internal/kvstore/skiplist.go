@@ -1,0 +1,110 @@
+package kvstore
+
+import "bytes"
+
+const maxHeight = 12
+
+// skipNode is one memtable node. A nil value with tomb set is a tombstone.
+type skipNode struct {
+	key  []byte
+	val  []byte
+	tomb bool
+	next [maxHeight]*skipNode
+}
+
+// memtable is a sorted in-memory write buffer (a skiplist, as in HBase's
+// MemStore / LevelDB's memtable).
+type memtable struct {
+	head   *skipNode
+	height int
+	rnd    uint64
+	n      int
+	bytes  int
+}
+
+func newMemtable() *memtable {
+	return &memtable{head: &skipNode{}, height: 1, rnd: 0x9e3779b97f4a7c15}
+}
+
+func (m *memtable) randHeight() int {
+	h := 1
+	for h < maxHeight {
+		m.rnd ^= m.rnd << 13
+		m.rnd ^= m.rnd >> 7
+		m.rnd ^= m.rnd << 17
+		if m.rnd&3 != 0 { // p = 1/4 per extra level
+			break
+		}
+		h++
+	}
+	return h
+}
+
+// findPath returns the rightmost node < key at every level.
+func (m *memtable) findPath(key []byte, path *[maxHeight]*skipNode) *skipNode {
+	x := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && bytes.Compare(x.next[lvl].key, key) < 0 {
+			x = x.next[lvl]
+		}
+		path[lvl] = x
+	}
+	return x.next[0]
+}
+
+// put inserts or overwrites; probes counts traversal steps (for
+// instrumentation by the caller).
+func (m *memtable) put(key, val []byte, tomb bool) (probes int) {
+	var path [maxHeight]*skipNode
+	x := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && bytes.Compare(x.next[lvl].key, key) < 0 {
+			x = x.next[lvl]
+			probes++
+		}
+		path[lvl] = x
+	}
+	if n := x.next[0]; n != nil && bytes.Equal(n.key, key) {
+		m.bytes += len(val) - len(n.val)
+		n.val = val
+		n.tomb = tomb
+		return probes
+	}
+	h := m.randHeight()
+	if h > m.height {
+		for lvl := m.height; lvl < h; lvl++ {
+			path[lvl] = m.head
+		}
+		m.height = h
+	}
+	node := &skipNode{key: key, val: val, tomb: tomb}
+	for lvl := 0; lvl < h; lvl++ {
+		node.next[lvl] = path[lvl].next[lvl]
+		path[lvl].next[lvl] = node
+	}
+	m.n++
+	m.bytes += len(key) + len(val) + 16
+	return probes
+}
+
+// get looks the key up; ok reports presence (including tombstones).
+func (m *memtable) get(key []byte) (val []byte, tomb, ok bool, probes int) {
+	x := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && bytes.Compare(x.next[lvl].key, key) < 0 {
+			x = x.next[lvl]
+			probes++
+		}
+	}
+	n := x.next[0]
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.val, n.tomb, true, probes
+	}
+	return nil, false, false, probes
+}
+
+// seek returns the first node with key >= start.
+func (m *memtable) seek(start []byte) *skipNode {
+	var path [maxHeight]*skipNode
+	return m.findPath(start, &path)
+}

@@ -1,0 +1,155 @@
+package kvstore
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Entry is one key-value pair as returned by Get/Scan.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// row is the internal representation including tombstones.
+type row struct {
+	key  []byte
+	val  []byte
+	tomb bool
+}
+
+// sstable is one immutable sorted run with a bloom filter — the in-memory
+// analogue of an HBase HFile / LevelDB table.
+type sstable struct {
+	rows   []row
+	bloom  bloomFilter
+	bytes  int
+	region sim.DataRegion
+}
+
+func buildSSTable(rows []row, bitsPerKey int, cpu *sim.CPU) *sstable {
+	t := &sstable{rows: rows, bloom: newBloom(len(rows), bitsPerKey)}
+	for _, r := range rows {
+		t.bloom.add(r.key)
+		t.bytes += len(r.key) + len(r.val) + 8
+	}
+	t.region = cpu.Alloc("kvstore.sstable", uint64(t.bytes)+64)
+	return t
+}
+
+// find binary-searches for key, returning the row and probe count.
+func (t *sstable) find(key []byte) (row, bool, int) {
+	lo, hi, probes := 0, len(t.rows), 0
+	for lo < hi {
+		mid := (lo + hi) / 2
+		probes++
+		if bytes.Compare(t.rows[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(t.rows) && bytes.Equal(t.rows[lo].key, key) {
+		return t.rows[lo], true, probes
+	}
+	return row{}, false, probes
+}
+
+// seek returns the index of the first row with key >= start.
+func (t *sstable) seek(start []byte) int {
+	return sort.Search(len(t.rows), func(i int) bool {
+		return bytes.Compare(t.rows[i].key, start) >= 0
+	})
+}
+
+// bloomFilter is a split-free double-hashing Bloom filter.
+type bloomFilter struct {
+	bits  []uint64
+	nbits uint64
+	k     int
+}
+
+func newBloom(n, bitsPerKey int) bloomFilter {
+	if n == 0 {
+		n = 1
+	}
+	if bitsPerKey <= 0 {
+		bitsPerKey = 10
+	}
+	nbits := uint64(n*bitsPerKey + 63)
+	k := bitsPerKey * 69 / 100
+	if k < 1 {
+		k = 1
+	}
+	if k > 12 {
+		k = 12
+	}
+	return bloomFilter{bits: make([]uint64, nbits/64+1), nbits: nbits, k: k}
+}
+
+func bloomHashes(key []byte) (uint64, uint64) {
+	var h1 uint64 = 14695981039346656037
+	for _, b := range key {
+		h1 ^= uint64(b)
+		h1 *= 1099511628211
+	}
+	h2 := h1*0xff51afd7ed558ccd ^ h1>>33
+	return h1, h2 | 1
+}
+
+func (f bloomFilter) add(key []byte) {
+	h1, h2 := bloomHashes(key)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (f bloomFilter) mayContain(key []byte) bool {
+	if f.nbits == 0 {
+		return false
+	}
+	h1, h2 := bloomHashes(key)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeRows k-way merges runs ordered oldest→newest; for duplicate keys the
+// newest wins. dropTombs removes tombstones (full compaction).
+func mergeRows(runs [][]row, dropTombs bool) []row {
+	idx := make([]int, len(runs))
+	var out []row
+	for {
+		best := -1
+		for i := len(runs) - 1; i >= 0; i-- { // newest first on ties
+			if idx[i] >= len(runs[i]) {
+				continue
+			}
+			if best == -1 || bytes.Compare(runs[i][idx[i]].key, runs[best][idx[best]].key) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		r := runs[best][idx[best]]
+		idx[best]++
+		// Skip older versions of the same key.
+		for i := range runs {
+			for idx[i] < len(runs[i]) && bytes.Equal(runs[i][idx[i]].key, r.key) {
+				idx[i]++
+			}
+		}
+		if r.tomb && dropTombs {
+			continue
+		}
+		out = append(out, r)
+	}
+}

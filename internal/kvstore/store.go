@@ -1,0 +1,424 @@
+// Package kvstore is a log-structured merge-tree key-value store — the
+// repository's substitute for the paper's HBase 0.94.5 stack serving the
+// "Cloud OLTP" workloads (DESIGN.md §1). Writes append to a WAL and a
+// skiplist memtable; full memtables flush to immutable sorted runs with
+// Bloom filters; reads consult the memtable and then runs newest-first;
+// scans k-way-merge all sources; size-tiered compaction folds runs
+// together. These are the structures whose access patterns define the
+// Read/Write/Scan characterization in the paper's Figures 2-6.
+package kvstore
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// bloomProbeOff derives a stable pseudo-random offset for the modeled
+// Bloom-filter bit-array access of a key within a run's region.
+func bloomProbeOff(key []byte, size uint64) uint64 {
+	h1, _ := bloomHashes(key)
+	if size == 0 {
+		return 0
+	}
+	return h1 % size
+}
+
+// Options configures a Store.
+type Options struct {
+	// MemtableBytes is the flush threshold (default 1 MiB).
+	MemtableBytes int
+	// BloomBitsPerKey sizes the per-run Bloom filters (default 10; 0 keeps
+	// the default, negative disables the filters — used by the ablation).
+	BloomBitsPerKey int
+	// MaxRuns triggers a full compaction when exceeded (default 6).
+	MaxRuns int
+	// CPU attaches the store to a characterization context (may be nil).
+	CPU *sim.CPU
+}
+
+func (o *Options) normalize() {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 1 << 20
+	}
+	if o.BloomBitsPerKey == 0 {
+		o.BloomBitsPerKey = 10
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 6
+	}
+}
+
+// Stats counts store activity.
+type Stats struct {
+	Puts, Gets, Deletes, Scans uint64
+	ScannedEntries             uint64
+	Flushes, Compactions       uint64
+	BloomNegative, RunsProbed  uint64
+	WALBytes                   uint64
+}
+
+// Store is the LSM store. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	statMu sync.Mutex // guards st under the read lock
+	opts   Options
+	mem    *memtable
+	runs   []*sstable // ordered oldest → newest
+	st     Stats
+
+	cpu       *sim.CPU
+	walCode   *sim.CodeRegion
+	memCode   *sim.CodeRegion
+	readCode  *sim.CodeRegion
+	scanCode  *sim.CodeRegion
+	walRegion sim.DataRegion
+	memRegion sim.DataRegion
+	rs        atomic.Uint64
+}
+
+// Open creates an empty store.
+func Open(opts Options) *Store {
+	opts.normalize()
+	cpu := opts.CPU
+	s := &Store{
+		opts:      opts,
+		mem:       newMemtable(),
+		cpu:       cpu,
+		walCode:   cpu.NewCodeRegion("kvstore.wal", 128<<10),
+		memCode:   cpu.NewCodeRegion("kvstore.memtable", 192<<10),
+		readCode:  cpu.NewCodeRegion("kvstore.read", 256<<10),
+		scanCode:  cpu.NewCodeRegion("kvstore.scan", 160<<10),
+		walRegion: cpu.Alloc("kvstore.walbuf", 8<<20),
+		memRegion: cpu.Alloc("kvstore.membuf", uint64(opts.MemtableBytes)*2+4096),
+	}
+	s.rs.Store(0x6c62272e07bb0142)
+	return s
+}
+
+// nextRand is a lock-free xorshift step shared by read and write paths.
+func (s *Store) nextRand() uint64 {
+	for {
+		old := s.rs.Load()
+		v := old
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+		if s.rs.CompareAndSwap(old, v) {
+			return v
+		}
+	}
+}
+
+func (s *Store) codeOff(r *sim.CodeRegion) uint64 { return s.nextRand() % r.Size() }
+
+// Put inserts or overwrites a key.
+func (s *Store) Put(key, value []byte) {
+	s.write(key, value, false)
+}
+
+// Delete removes a key (tombstone write).
+func (s *Store) Delete(key []byte) {
+	s.write(key, nil, true)
+}
+
+func (s *Store) write(key, value []byte, tomb bool) {
+	k := append([]byte(nil), key...)
+	v := append([]byte(nil), value...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tomb {
+		s.st.Deletes++
+	} else {
+		s.st.Puts++
+	}
+	// RPC decode + WAL append. The generous integer budget models the
+	// HBase client/server request path (protobuf decode, region lookup,
+	// MVCC bookkeeping), which dominates instructions per operation.
+	rec := len(k) + len(v) + 12
+	s.cpu.Code(s.walCode, s.codeOff(s.walCode), 640)
+	s.cpu.StoreR(s.walRegion, s.st.WALBytes%s.walRegion.Size, rec)
+	s.cpu.IntOps(420)
+	s.cpu.Branches(95)
+	s.cpu.FPOps(4)
+	s.st.WALBytes += uint64(rec)
+	// Memtable insert. The upper skiplist levels stay cache-resident; only
+	// the final descent touches cold nodes, so the scattered-probe charge
+	// is capped.
+	probes := s.mem.put(k, v, tomb)
+	if probes > 8 {
+		probes = 8
+	}
+	s.cpu.Code(s.memCode, s.codeOff(s.memCode), 640)
+	s.chargeProbes(s.memRegion, probes, len(k)+8)
+	s.cpu.IntOps(180)
+	s.cpu.Branches(40)
+	s.cpu.StoreR(s.memRegion, uint64(s.mem.bytes)%s.memRegion.Size, len(k)+len(v)+16)
+	if s.mem.bytes >= s.opts.MemtableBytes {
+		s.flushLocked()
+	}
+}
+
+// chargeProbes models pointer-chasing probe loads scattered in a region.
+func (s *Store) chargeProbes(r sim.DataRegion, probes, width int) {
+	if s.cpu == nil {
+		return
+	}
+	for i := 0; i < probes; i++ {
+		s.cpu.LoadR(r, s.nextRand()%maxU64(r.Size, 1), width)
+	}
+	s.cpu.IntOps(6 * probes)
+	s.cpu.Branches(2 * probes)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.statMu.Lock()
+	s.st.Gets++
+	s.statMu.Unlock()
+
+	// Request path: RPC decode, region/row-lock lookup, result encode.
+	s.cpu.Code(s.readCode, s.codeOff(s.readCode), 768)
+	s.cpu.IntOps(620)
+	s.cpu.Branches(140)
+	s.cpu.FPOps(5)
+	v, tomb, ok, probes := s.mem.get(key)
+	if probes > 4 {
+		probes = 4
+	}
+	s.chargeProbes(s.memRegion, probes, len(key)+8)
+	if ok {
+		if tomb {
+			return nil, false
+		}
+		return append([]byte(nil), v...), true
+	}
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		t := s.runs[i]
+		// Bloom filter check: one or two cache lines of the bit array.
+		s.cpu.LoadR(t.region, bloomProbeOff(key, t.region.Size), 16)
+		s.cpu.IntOps(24)
+		s.cpu.Branches(4)
+		if s.opts.BloomBitsPerKey > 0 && !t.bloom.mayContain(key) {
+			s.statMu.Lock()
+			s.st.BloomNegative++
+			s.statMu.Unlock()
+			continue
+		}
+		s.statMu.Lock()
+		s.st.RunsProbed++
+		s.statMu.Unlock()
+		r, ok, probes := t.find(key)
+		// The run's block index stays hot in the Java heap; only the last
+		// few search steps touch cold blocks of the file.
+		if probes > 4 {
+			probes = 4
+		}
+		s.chargeProbes(t.region, probes, len(key)+16)
+		if ok {
+			if r.tomb {
+				return nil, false
+			}
+			return append([]byte(nil), r.val...), true
+		}
+	}
+	return nil, false
+}
+
+// Scan returns up to limit live entries with key >= start, in key order.
+func (s *Store) Scan(start []byte, limit int) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.statMu.Lock()
+	s.st.Scans++
+	s.statMu.Unlock()
+	s.cpu.Code(s.scanCode, s.codeOff(s.scanCode), 640)
+	s.cpu.IntOps(520)
+	s.cpu.Branches(120)
+	s.cpu.FPOps(1)
+
+	type cursor struct {
+		next func() (row, bool)
+		cur  row
+		ok   bool
+		prio int // higher = newer
+	}
+	var cs []*cursor
+	// Memtable cursor (newest). Skiplist nodes are heap-scattered.
+	node := s.mem.seek(start)
+	memNext := func() (row, bool) {
+		if node == nil {
+			return row{}, false
+		}
+		r := row{key: node.key, val: node.val, tomb: node.tomb}
+		s.cpu.LoadR(s.memRegion, s.nextRand()%s.memRegion.Size, len(r.key)+len(r.val)+16)
+		node = node.next[0]
+		return r, true
+	}
+	cs = append(cs, &cursor{next: memNext, prio: len(s.runs) + 1})
+	for i, t := range s.runs {
+		tt := t
+		pos := t.seek(start)
+		// The seek itself binary-searches the run.
+		s.chargeProbes(tt.region, 5, 24)
+		n := func() (row, bool) {
+			if pos >= len(tt.rows) {
+				return row{}, false
+			}
+			r := tt.rows[pos]
+			// Sequential read of the run at the cursor position.
+			s.cpu.LoadR(tt.region, uint64(pos)*32, len(r.key)+len(r.val)+8)
+			pos++
+			return r, true
+		}
+		cs = append(cs, &cursor{next: n, prio: i + 1})
+	}
+	for _, c := range cs {
+		c.cur, c.ok = c.next()
+	}
+	var out []Entry
+	scanned := 0
+	for len(out) < limit {
+		best := -1
+		for i, c := range cs {
+			if !c.ok {
+				continue
+			}
+			if best == -1 ||
+				bytes.Compare(c.cur.key, cs[best].cur.key) < 0 ||
+				(bytes.Equal(c.cur.key, cs[best].cur.key) && c.prio > cs[best].prio) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		r := cs[best].cur
+		key := r.key
+		// Advance every cursor past this key (older versions lose).
+		for _, c := range cs {
+			for c.ok && bytes.Equal(c.cur.key, key) {
+				c.cur, c.ok = c.next()
+				scanned++
+			}
+		}
+		if r.tomb {
+			continue
+		}
+		out = append(out, Entry{
+			Key:   append([]byte(nil), key...),
+			Value: append([]byte(nil), r.val...),
+		})
+		s.cpu.IntOps(55)
+		s.cpu.Branches(12)
+		s.cpu.FPOps(1)
+	}
+	s.statMu.Lock()
+	s.st.ScannedEntries += uint64(scanned)
+	s.statMu.Unlock()
+	return out
+}
+
+// Flush forces the memtable into an immutable run.
+func (s *Store) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+func (s *Store) flushLocked() {
+	if s.mem.n == 0 {
+		return
+	}
+	rows := make([]row, 0, s.mem.n)
+	for node := s.mem.head.next[0]; node != nil; node = node.next[0] {
+		rows = append(rows, row{key: node.key, val: node.val, tomb: node.tomb})
+	}
+	t := buildSSTable(rows, s.opts.BloomBitsPerKey, s.cpu)
+	// Sequential write of the run; HFile blocks are compressed on flush,
+	// so the charged I/O is a third of the logical bytes.
+	s.cpu.Code(s.walCode, s.codeOff(s.walCode), 512)
+	s.cpu.StoreR(t.region, 0, t.bytes/3)
+	s.runs = append(s.runs, t)
+	s.mem = newMemtable()
+	s.st.Flushes++
+	if len(s.runs) > s.opts.MaxRuns {
+		s.compactLocked()
+	}
+}
+
+func (s *Store) compactLocked() {
+	runs := make([][]row, len(s.runs))
+	total := 0
+	for i, t := range s.runs {
+		runs[i] = t.rows
+		total += t.bytes
+	}
+	merged := mergeRows(runs, true)
+	t := buildSSTable(merged, s.opts.BloomBitsPerKey, s.cpu)
+	// Compaction I/O: read every input run, write the output run
+	// (block-compressed both ways).
+	s.cpu.Code(s.scanCode, s.codeOff(s.scanCode), 768)
+	for _, old := range s.runs {
+		s.cpu.LoadR(old.region, 0, old.bytes/3)
+	}
+	s.cpu.StoreR(t.region, 0, t.bytes/3)
+	s.cpu.IntOps(4 * len(merged))
+	s.cpu.Branches(2 * len(merged))
+	s.runs = []*sstable{t}
+	s.st.Compactions++
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.st
+}
+
+// Runs returns the current immutable run count (for tests/ablation).
+func (s *Store) Runs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.runs)
+}
+
+// Len returns the number of live keys (linear; intended for tests).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := map[string]bool{}
+	live := map[string]bool{}
+	consider := func(r row) {
+		k := string(r.key)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		if !r.tomb {
+			live[k] = true
+		}
+	}
+	for node := s.mem.head.next[0]; node != nil; node = node.next[0] {
+		consider(row{key: node.key, val: node.val, tomb: node.tomb})
+	}
+	for i := len(s.runs) - 1; i >= 0; i-- {
+		for _, r := range s.runs[i].rows {
+			consider(r)
+		}
+	}
+	return len(live)
+}

@@ -1,0 +1,255 @@
+package mapreduce
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func wordCountJob(t *testing.T, cfg Config, lines []string) map[string]int {
+	t.Helper()
+	input := make([]Record, len(lines))
+	for i, l := range lines {
+		input[i] = Record{Key: strconv.Itoa(i), Value: l}
+	}
+	res, err := Run(cfg, input,
+		func(_, v string, emit func(k, v string)) {
+			for _, w := range strings.Fields(v) {
+				emit(w, "1")
+			}
+		},
+		func(k string, vs []string, emit func(k, v string)) {
+			total := 0
+			for _, v := range vs {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					t.Fatalf("bad count %q", v)
+				}
+				total += n
+			}
+			emit(k, strconv.Itoa(total))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int{}
+	for _, kv := range res.Sorted() {
+		n, _ := strconv.Atoi(kv.Value)
+		out[kv.Key] = n
+	}
+	return out
+}
+
+func TestWordCountCorrect(t *testing.T) {
+	got := wordCountJob(t, Config{Workers: 3, Reducers: 4},
+		[]string{"a b a", "b c", "a"})
+	want := map[string]int{"a": 3, "b": 2, "c": 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestCombinerPreservesResultAndShrinksShuffle(t *testing.T) {
+	lines := []string{}
+	for i := 0; i < 200; i++ {
+		lines = append(lines, "x y x z x")
+	}
+	input := make([]Record, len(lines))
+	for i, l := range lines {
+		input[i] = Record{Key: strconv.Itoa(i), Value: l}
+	}
+	mapper := func(_, v string, emit func(k, v string)) {
+		for _, w := range strings.Fields(v) {
+			emit(w, "1")
+		}
+	}
+	sum := func(k string, vs []string, emit func(k, v string)) {
+		total := 0
+		for _, v := range vs {
+			n, _ := strconv.Atoi(v)
+			total += n
+		}
+		emit(k, strconv.Itoa(total))
+	}
+	plain, err := Run(Config{Workers: 4}, input, mapper, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := Run(Config{Workers: 4, Combiner: sum}, input, mapper, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.CombinedPairs >= plain.CombinedPairs {
+		t.Errorf("combiner did not shrink shuffle: %d vs %d",
+			comb.CombinedPairs, plain.CombinedPairs)
+	}
+	a, b := plain.Sorted(), comb.Sorted()
+	if len(a) != len(b) {
+		t.Fatalf("output size differs with combiner: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPartitionsAreKeySorted(t *testing.T) {
+	input := []Record{}
+	for i := 0; i < 500; i++ {
+		input = append(input, Record{Key: strconv.Itoa(i), Value: strconv.Itoa(i % 17)})
+	}
+	res, err := Run(Config{Workers: 4, Reducers: 3}, input,
+		func(k, v string, emit func(k, v string)) { emit(v, k) },
+		func(k string, vs []string, emit func(k, v string)) {
+			emit(k, strconv.Itoa(len(vs)))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Partitions) != 3 {
+		t.Fatalf("partitions = %d", len(res.Partitions))
+	}
+	for _, p := range res.Partitions {
+		if !sort.SliceIsSorted(p, func(i, j int) bool { return p[i].Key < p[j].Key }) {
+			t.Fatal("partition not key-sorted")
+		}
+	}
+}
+
+func TestIdentityJobPreservesPairs(t *testing.T) {
+	input := []Record{{"k1", "v1"}, {"k2", "v2"}, {"k1", "v3"}}
+	res, err := Run(Config{Workers: 2}, input,
+		func(k, v string, emit func(k, v string)) { emit(k, v) },
+		func(k string, vs []string, emit func(k, v string)) {
+			for _, v := range vs {
+				emit(k, v)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Sorted()
+	want := []KV{{"k1", "v1"}, {"k1", "v3"}, {"k2", "v2"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res, err := Run(Config{}, nil,
+		func(k, v string, emit func(k, v string)) { emit(k, v) },
+		func(k string, vs []string, emit func(k, v string)) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputPairs != 0 || res.InputRecords != 0 {
+		t.Fatalf("unexpected output for empty input: %+v", res)
+	}
+}
+
+func TestMissingFuncsRejected(t *testing.T) {
+	if _, err := Run(Config{}, nil, nil, nil); err == nil {
+		t.Fatal("want error for nil mapper/reducer")
+	}
+}
+
+// Property: word counts from the engine equal a sequential reference count,
+// for arbitrary small documents.
+func TestWordCountMatchesReferenceProperty(t *testing.T) {
+	f := func(words []uint8, workers uint8) bool {
+		vocab := []string{"alpha", "beta", "gamma", "delta"}
+		var sb strings.Builder
+		ref := map[string]int{}
+		for _, w := range words {
+			word := vocab[int(w)%len(vocab)]
+			sb.WriteString(word)
+			sb.WriteByte(' ')
+			ref[word]++
+		}
+		got := wordCountJob(nil2t(t), Config{Workers: int(workers%4) + 1}, []string{sb.String()})
+		if len(got) != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// nil2t adapts the helper's *testing.T requirement inside quick.Check.
+func nil2t(t *testing.T) *testing.T { return t }
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	lines := []string{"p q r", "q r q", "r r r", "p"}
+	a := wordCountJob(t, Config{Workers: 1}, lines)
+	b := wordCountJob(t, Config{Workers: 8, Reducers: 5}, lines)
+	if len(a) != len(b) {
+		t.Fatalf("%v vs %v", a, b)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Errorf("count[%s]: %d vs %d", k, a[k], b[k])
+		}
+	}
+}
+
+func TestInstrumentedRunProducesFrameworkStream(t *testing.T) {
+	cpu := sim.New(sim.XeonE5645())
+	lines := make([]string, 300)
+	for i := range lines {
+		lines[i] = "the quick brown fox jumps over the lazy dog again and again"
+	}
+	input := make([]Record, len(lines))
+	for i, l := range lines {
+		input[i] = Record{Key: strconv.Itoa(i), Value: l}
+	}
+	_, err := Run(Config{Workers: 2, CPU: cpu}, input,
+		func(_, v string, emit func(k, v string)) {
+			for _, w := range strings.Fields(v) {
+				emit(w, "1")
+			}
+		},
+		func(k string, vs []string, emit func(k, v string)) {
+			emit(k, strconv.Itoa(len(vs)))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := cpu.Counts()
+	if k.Instructions() == 0 {
+		t.Fatal("instrumented run recorded no instructions")
+	}
+	if k.L1I.Accesses == 0 || k.L1D.Accesses == 0 {
+		t.Fatal("instrumented run did not touch the caches")
+	}
+	if k.L1IMPKI() < 1 {
+		t.Errorf("deep framework stack should produce L1I misses, MPKI = %.2f", k.L1IMPKI())
+	}
+	if k.FPInstrs == 0 {
+		t.Error("framework should carry a small FP component (progress metrics)")
+	}
+	if ratio := k.IntToFPRatio(); ratio < 20 {
+		t.Errorf("framework int/FP ratio = %.1f; must stay integer-dominated", ratio)
+	}
+}

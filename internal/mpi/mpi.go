@@ -1,0 +1,230 @@
+// Package mpi is a rank-based message-passing runtime over goroutines and
+// channels — the repository's substitute for the paper's MPICH2 stack
+// (DESIGN.md §1). It provides the primitives the BFS workload (and the
+// HPCC COMM comparator) need: point-to-point Send/Recv, Barrier, and the
+// Allreduce/Alltoall collectives, with per-message pack/unpack
+// instrumentation when a characterization CPU is attached. The MPI
+// framework's code footprint is deliberately small next to the
+// Hadoop-style stacks: that contrast is part of the paper's story about
+// software stacks shaping the microarchitectural profile.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// World is one MPI job: size ranks executing the same function.
+type World struct {
+	size    int
+	mail    [][]chan []byte // mail[from][to]
+	barrier *barrier
+
+	cpu       *sim.CPU
+	transport *sim.CodeRegion
+	sendBuf   sim.DataRegion
+	recvBuf   sim.DataRegion
+
+	mu         sync.Mutex
+	rs         uint64
+	sent       uint64
+	sentMsg    uint64
+	reduceVals []int64
+}
+
+// Run executes fn on size ranks (goroutines) and waits for all of them.
+// The first non-nil error aborts the return value (all ranks still run to
+// completion — collectives would otherwise deadlock). cpu may be nil.
+func Run(size int, cpu *sim.CPU, fn func(c *Comm) error) error {
+	if size <= 0 {
+		return fmt.Errorf("mpi: world size %d must be positive", size)
+	}
+	w := &World{
+		size:      size,
+		barrier:   newBarrier(size),
+		cpu:       cpu,
+		transport: cpu.NewCodeRegion("mpi.transport", 40<<10),
+		sendBuf:   cpu.Alloc("mpi.sendbuf", 4<<20),
+		recvBuf:   cpu.Alloc("mpi.recvbuf", 4<<20),
+		rs:        0x2545f4914f6cdd1d,
+	}
+	// Launcher/communicator setup latency: pure stall.
+	cpu.Stall(3e6)
+	w.mail = make([][]chan []byte, size)
+	for i := range w.mail {
+		w.mail[i] = make([]chan []byte, size)
+		for j := range w.mail[i] {
+			w.mail[i][j] = make(chan []byte, 64)
+		}
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats reports total payload bytes and message count sent in the world.
+func (w *World) stats() (bytes, msgs uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sent, w.sentMsg
+}
+
+// Comm is one rank's communicator.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// BytesSent reports (totalPayloadBytes, messageCount) for the whole world.
+func (c *Comm) BytesSent() (uint64, uint64) { return c.world.stats() }
+
+func (w *World) chargeMsg(n int) {
+	if w.cpu == nil {
+		return
+	}
+	w.mu.Lock()
+	w.rs ^= w.rs << 13
+	w.rs ^= w.rs >> 7
+	w.rs ^= w.rs << 17
+	off := w.rs % w.transport.Size()
+	w.sent += uint64(n)
+	w.sentMsg++
+	w.mu.Unlock()
+	// Pack on the sender, unpack on the receiver: a copy each way plus
+	// protocol bookkeeping.
+	w.cpu.Code(w.transport, off, 512)
+	w.cpu.IntOps(80)
+	w.cpu.Branches(16)
+	w.cpu.FPOps(1)
+	w.cpu.LoadR(w.sendBuf, uint64(n), n)
+	w.cpu.StoreR(w.recvBuf, uint64(n), n)
+}
+
+// Send delivers data to rank to. The payload is transferred by reference;
+// senders must not mutate it afterwards (as with MPI buffer ownership).
+func (c *Comm) Send(to int, data []byte) {
+	c.world.chargeMsg(len(data))
+	c.world.mail[c.rank][to] <- data
+}
+
+// Recv blocks until a message from rank from arrives.
+func (c *Comm) Recv(from int) []byte {
+	return <-c.world.mail[from][c.rank]
+}
+
+// SendInt32s sends an int32 vector (BFS frontier exchange format).
+func (c *Comm) SendInt32s(to int, data []int32) {
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		u := uint32(v)
+		buf[4*i] = byte(u)
+		buf[4*i+1] = byte(u >> 8)
+		buf[4*i+2] = byte(u >> 16)
+		buf[4*i+3] = byte(u >> 24)
+	}
+	c.Send(to, buf)
+}
+
+// RecvInt32s receives an int32 vector from rank from.
+func (c *Comm) RecvInt32s(from int) []int32 {
+	buf := c.Recv(from)
+	out := make([]int32, len(buf)/4)
+	for i := range out {
+		out[i] = int32(uint32(buf[4*i]) | uint32(buf[4*i+1])<<8 |
+			uint32(buf[4*i+2])<<16 | uint32(buf[4*i+3])<<24)
+	}
+	return out
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.world.barrier.await() }
+
+// AllreduceInt64 combines each rank's value with op (must be associative
+// and commutative) and returns the global result on every rank.
+func (c *Comm) AllreduceInt64(v int64, op func(a, b int64) int64) int64 {
+	w := c.world
+	w.mu.Lock()
+	if w.reduceVals == nil {
+		w.reduceVals = make([]int64, w.size)
+	}
+	w.reduceVals[c.rank] = v
+	w.mu.Unlock()
+	c.Barrier()
+	acc := w.reduceVals[0]
+	for _, x := range w.reduceVals[1:] {
+		acc = op(acc, x)
+	}
+	w.chargeMsg(8 * w.size)
+	c.Barrier() // everyone has read before any next-round write
+	return acc
+}
+
+// AlltoallInt32s sends out[r] to each rank r and returns the vectors
+// received from every rank (in[r] came from rank r). len(out) must equal
+// the world size.
+func (c *Comm) AlltoallInt32s(out [][]int32) [][]int32 {
+	w := c.world
+	if len(out) != w.size {
+		panic("mpi: AlltoallInt32s requires one vector per rank")
+	}
+	for to := 0; to < w.size; to++ {
+		c.SendInt32s(to, out[to])
+	}
+	in := make([][]int32, w.size)
+	for from := 0; from < w.size; from++ {
+		in[from] = c.RecvInt32s(from)
+	}
+	return in
+}
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

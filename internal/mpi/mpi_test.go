@@ -1,0 +1,178 @@
+package mpi
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPingPong(t *testing.T) {
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, []byte("ping"))
+			if got := string(c.Recv(1)); got != "pong" {
+				return errors.New("rank0 got " + got)
+			}
+		} else {
+			if got := string(c.Recv(0)); got != "ping" {
+				return errors.New("rank1 got " + got)
+			}
+			c.Send(0, []byte("pong"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt32RoundTrip(t *testing.T) {
+	want := []int32{0, 1, -1, 1 << 30, -(1 << 30), 42}
+	err := Run(2, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendInt32s(1, want)
+			return nil
+		}
+		got := c.RecvInt32s(0)
+		if len(got) != len(want) {
+			return errors.New("length mismatch")
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return errors.New("value mismatch")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdersPhases(t *testing.T) {
+	const n = 8
+	var phase1 atomic.Int32
+	err := Run(n, nil, func(c *Comm) error {
+		phase1.Add(1)
+		c.Barrier()
+		if got := phase1.Load(); got != n {
+			return errors.New("barrier released before all ranks arrived")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const n = 6
+	err := Run(n, nil, func(c *Comm) error {
+		got := c.AllreduceInt64(int64(c.Rank()+1), func(a, b int64) int64 { return a + b })
+		if got != n*(n+1)/2 {
+			return errors.New("bad allreduce sum")
+		}
+		// Second round must not see stale values.
+		got = c.AllreduceInt64(1, func(a, b int64) int64 { return a + b })
+		if got != n {
+			return errors.New("bad second allreduce")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	err := Run(n, nil, func(c *Comm) error {
+		out := make([][]int32, n)
+		for to := range out {
+			out[to] = []int32{int32(c.Rank()*100 + to)}
+		}
+		in := c.AlltoallInt32s(out)
+		for from := range in {
+			if len(in[from]) != 1 || in[from][0] != int32(from*100+c.Rank()) {
+				return errors.New("alltoall mismatch")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	sentinel := errors.New("rank failure")
+	err := Run(3, nil, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestRunRejectsBadSize(t *testing.T) {
+	if err := Run(0, nil, func(c *Comm) error { return nil }); err == nil {
+		t.Fatal("want error for size 0")
+	}
+}
+
+// Property: allreduce(max) over arbitrary per-rank values equals the true max.
+func TestAllreduceMaxProperty(t *testing.T) {
+	f := func(vals [5]int16) bool {
+		want := int64(vals[0])
+		for _, v := range vals[1:] {
+			if int64(v) > want {
+				want = int64(v)
+			}
+		}
+		ok := true
+		err := Run(5, nil, func(c *Comm) error {
+			got := c.AllreduceInt64(int64(vals[c.Rank()]), func(a, b int64) int64 {
+				if a > b {
+					return a
+				}
+				return b
+			})
+			if got != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrumentedTrafficAccounting(t *testing.T) {
+	cpu := sim.New(sim.XeonE5645())
+	err := Run(2, cpu, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, make([]byte, 1000))
+			return nil
+		}
+		c.Recv(0)
+		bytes, msgs := c.BytesSent()
+		if bytes != 1000 || msgs != 1 {
+			return errors.New("traffic accounting wrong")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Counts().Instructions() == 0 {
+		t.Fatal("instrumented send recorded no instructions")
+	}
+}

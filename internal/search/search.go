@@ -1,0 +1,225 @@
+// Package search is an inverted-index search engine — the repository's
+// substitute for the paper's Nutch 1.1 stack (DESIGN.md §1). It provides
+// the tokenizer, a positional-free inverted index with term and document
+// statistics, TF-IDF ranked retrieval with a top-K heap, and an HTTP query
+// server; the Nutch Server online-service workload drives the server with
+// a Zipf-popular query log and measures RPS.
+package search
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Document is one unit of indexable content.
+type Document struct {
+	ID    string
+	Title string
+	Body  []byte
+}
+
+// Tokenize splits text into lowercase alphabetic terms, invoking emit for
+// each. It is allocation-free per token (terms are sub-slices copied only
+// by the caller when retained).
+func Tokenize(text []byte, emit func(term []byte)) {
+	start := -1
+	for i := 0; i <= len(text); i++ {
+		var c byte
+		if i < len(text) {
+			c = text[i]
+		}
+		isAlpha := c >= 'a' && c <= 'z'
+		if c >= 'A' && c <= 'Z' {
+			// Normalize in place copy-free by emitting lowercased below;
+			// treat as alphabetic here.
+			isAlpha = true
+		}
+		if isAlpha {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			emit(lower(text[start:i]))
+			start = -1
+		}
+	}
+}
+
+// lower lowercases ASCII in place when needed (tokens from the generators
+// are already lowercase, so this is usually a no-op).
+func lower(tok []byte) []byte {
+	for i, c := range tok {
+		if c >= 'A' && c <= 'Z' {
+			tok[i] = c + 32
+		}
+	}
+	return tok
+}
+
+// Posting is one (document, term-frequency) pair.
+type Posting struct {
+	Doc int32
+	TF  uint16
+}
+
+// Index is the inverted index over a corpus.
+type Index struct {
+	postings map[string][]Posting
+	docLen   []float64 // sqrt-normalized lengths
+	docs     []Document
+	terms    int // total term occurrences
+
+	cpu       *sim.CPU
+	queryCode *sim.CodeRegion
+	scoreCode *sim.CodeRegion
+	region    sim.DataRegion
+	termOff   map[string]uint64
+	rs        atomic.Uint64
+}
+
+// Build constructs the index over docs. cpu may be nil.
+func Build(docs []Document, cpu *sim.CPU) *Index {
+	ix := &Index{
+		postings:  make(map[string][]Posting),
+		docLen:    make([]float64, len(docs)),
+		docs:      docs,
+		cpu:       cpu,
+		queryCode: cpu.NewCodeRegion("search.query", 288<<10),
+		scoreCode: cpu.NewCodeRegion("search.score", 160<<10),
+	}
+	ix.rs.Store(0x853c49e6748fea9b)
+	for d, doc := range docs {
+		tf := map[string]int{}
+		n := 0
+		count := func(tok []byte) {
+			tf[string(tok)]++
+			n++
+		}
+		Tokenize([]byte(doc.Title), count)
+		Tokenize(doc.Body, count)
+		for term, f := range tf {
+			if f > math.MaxUint16 {
+				f = math.MaxUint16
+			}
+			ix.postings[term] = append(ix.postings[term], Posting{Doc: int32(d), TF: uint16(f)})
+		}
+		ix.docLen[d] = math.Sqrt(float64(n))
+		ix.terms += n
+	}
+	// Lay postings out contiguously in the simulated index region, term by
+	// term in sorted order (the on-disk segment layout).
+	var bytes uint64
+	terms := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	ix.termOff = make(map[string]uint64, len(terms))
+	for _, t := range terms {
+		ix.termOff[t] = bytes
+		bytes += uint64(len(ix.postings[t]))*6 + uint64(len(t)) + 16
+	}
+	ix.region = cpu.Alloc("search.index", bytes+4096)
+	return ix
+}
+
+// Docs returns the corpus size.
+func (ix *Index) Docs() int { return len(ix.docs) }
+
+// Terms returns the distinct term count.
+func (ix *Index) Terms() int { return len(ix.postings) }
+
+// Postings returns the postings list for a term (nil if absent).
+func (ix *Index) Postings(term string) []Posting { return ix.postings[term] }
+
+// Hit is one ranked search result.
+type Hit struct {
+	DocID string
+	Title string
+	Score float64
+}
+
+// resultHeap is a min-heap of hits keeping the top-K.
+type resultHeap []Hit
+
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Hit)) }
+func (h *resultHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Query runs TF-IDF ranked retrieval and returns up to topK hits by
+// descending score.
+func (ix *Index) Query(q string, topK int) []Hit {
+	if topK <= 0 {
+		topK = 10
+	}
+	// Request path: HTTP parse, query rewrite, dispatch, result render.
+	for hop := 0; hop < 3; hop++ {
+		ix.cpu.Code(ix.queryCode, ix.nextOff(ix.queryCode.Size()), 768)
+		ix.cpu.IntOps(450)
+		ix.cpu.Branches(100)
+	}
+	ix.cpu.FPOps(3)
+
+	scores := make(map[int32]float64)
+	var terms [][]byte
+	Tokenize([]byte(q), func(tok []byte) {
+		terms = append(terms, append([]byte(nil), tok...))
+	})
+	n := float64(len(ix.docs))
+	for _, tok := range terms {
+		pl := ix.postings[string(tok)]
+		if len(pl) == 0 {
+			continue
+		}
+		idf := math.Log1p(n / float64(len(pl)))
+		// Stream the postings list from the index segment.
+		off := ix.termOff[string(tok)]
+		ix.cpu.Code(ix.scoreCode, ix.nextOff(ix.scoreCode.Size()), 640)
+		ix.cpu.LoadR(ix.region, off, len(pl)*6)
+		ix.cpu.IntOps(16 * len(pl)) // posting decode, doc-id map, accumulate
+		ix.cpu.FPOps(len(pl) / 2)   // scoring arithmetic (partially strength-reduced)
+		ix.cpu.Branches(4 * len(pl))
+		for _, p := range pl {
+			scores[p.Doc] += float64(p.TF) * idf / ix.docLen[p.Doc]
+		}
+	}
+	h := make(resultHeap, 0, topK+1)
+	heap.Init(&h)
+	for doc, s := range scores {
+		if len(h) < topK {
+			heap.Push(&h, Hit{DocID: ix.docs[doc].ID, Title: ix.docs[doc].Title, Score: s})
+		} else if s > h[0].Score {
+			h[0] = Hit{DocID: ix.docs[doc].ID, Title: ix.docs[doc].Title, Score: s}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]Hit, len(h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Hit)
+	}
+	return out
+}
+
+func (ix *Index) nextOff(mod uint64) uint64 {
+	if mod == 0 {
+		return 0
+	}
+	for {
+		old := ix.rs.Load()
+		v := old
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+		if ix.rs.CompareAndSwap(old, v) {
+			return v % mod
+		}
+	}
+}

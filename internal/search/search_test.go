@@ -1,0 +1,159 @@
+package search
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func testDocs() []Document {
+	return []Document{
+		{ID: "d0", Title: "go programming", Body: []byte("go is a programming language designed at google")},
+		{ID: "d1", Title: "cache design", Body: []byte("cache hierarchies include l1 l2 and l3 caches")},
+		{ID: "d2", Title: "go caches", Body: []byte("go programs can be cache friendly go go")},
+		{ID: "d3", Title: "benchmarks", Body: []byte("benchmark suites measure systems and architecture")},
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	var toks []string
+	Tokenize([]byte("Hello, World! x86-64 go GO"), func(tok []byte) {
+		toks = append(toks, string(tok))
+	})
+	want := []string{"hello", "world", "x", "go", "go"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", toks, want)
+		}
+	}
+}
+
+func TestBuildIndexStats(t *testing.T) {
+	ix := Build(testDocs(), nil)
+	if ix.Docs() != 4 {
+		t.Fatalf("Docs = %d", ix.Docs())
+	}
+	if ix.Terms() == 0 {
+		t.Fatal("no terms indexed")
+	}
+	pl := ix.Postings("go")
+	if len(pl) != 2 {
+		t.Fatalf("postings(go) = %v, want docs d0 and d2", pl)
+	}
+}
+
+func TestQueryRanking(t *testing.T) {
+	ix := Build(testDocs(), nil)
+	hits := ix.Query("go", 10)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %+v", hits)
+	}
+	// d2 mentions "go" four times (incl. title) vs d0 twice: d2 ranks first.
+	if hits[0].DocID != "d2" {
+		t.Errorf("top hit = %s, want d2", hits[0].DocID)
+	}
+	if hits[0].Score < hits[1].Score {
+		t.Error("hits not sorted by descending score")
+	}
+}
+
+func TestQueryMultiTerm(t *testing.T) {
+	ix := Build(testDocs(), nil)
+	hits := ix.Query("cache hierarchies", 10)
+	if len(hits) == 0 || hits[0].DocID != "d1" {
+		t.Fatalf("hits = %+v, want d1 first", hits)
+	}
+}
+
+func TestQueryUnknownTerm(t *testing.T) {
+	ix := Build(testDocs(), nil)
+	if hits := ix.Query("zzzq", 10); len(hits) != 0 {
+		t.Fatalf("hits = %+v, want none", hits)
+	}
+}
+
+func TestTopKBounded(t *testing.T) {
+	docs := make([]Document, 50)
+	for i := range docs {
+		docs[i] = Document{ID: "d" + strings.Repeat("x", i%3), Title: "common", Body: []byte("common term body")}
+	}
+	ix := Build(docs, nil)
+	hits := ix.Query("common", 7)
+	if len(hits) != 7 {
+		t.Fatalf("topK = %d, want 7", len(hits))
+	}
+	if !sort.SliceIsSorted(hits, func(i, j int) bool { return hits[i].Score > hits[j].Score }) {
+		t.Fatal("hits not sorted")
+	}
+}
+
+// Property: for a single-term query, the hit set equals the set of
+// documents containing the term.
+func TestSingleTermHitSetProperty(t *testing.T) {
+	f := func(mask uint8) bool {
+		var docs []Document
+		want := 0
+		for i := 0; i < 8; i++ {
+			body := "filler words only"
+			if mask&(1<<i) != 0 {
+				body = "needle in the body"
+				want++
+			}
+			docs = append(docs, Document{ID: string(rune('a' + i)), Body: []byte(body)})
+		}
+		ix := Build(docs, nil)
+		return len(ix.Query("needle", 20)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHTTPServer(t *testing.T) {
+	srv := NewServer(Build(testDocs(), nil))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/search?q=go&k=5", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 2 || resp.Query != "go" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// Error paths.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/search", nil))
+	if rec.Code != 400 {
+		t.Fatalf("missing q: status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/other", nil))
+	if rec.Code != 404 {
+		t.Fatalf("bad path: status = %d", rec.Code)
+	}
+}
+
+func TestInstrumentedQuery(t *testing.T) {
+	cpu := sim.New(sim.XeonE5645())
+	ix := Build(testDocs(), cpu)
+	before := cpu.Counts()
+	ix.Query("go cache", 5)
+	k := cpu.Counts().Sub(before)
+	if k.Instructions() == 0 || k.LoadInstrs == 0 {
+		t.Fatalf("query emitted no stream: %+v", k)
+	}
+	if k.FPInstrs == 0 {
+		t.Error("TF-IDF scoring should emit FP instructions")
+	}
+}

@@ -1,0 +1,40 @@
+package search
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Server exposes an Index over HTTP, mirroring the Nutch search front-end:
+// GET /search?q=<terms>&k=<topK> returns ranked hits as JSON.
+type Server struct {
+	ix *Index
+}
+
+// NewServer wraps an index.
+func NewServer(ix *Index) *Server { return &Server{ix: ix} }
+
+// Response is the JSON payload of one search request.
+type Response struct {
+	Query string `json:"query"`
+	Total int    `json:"total"`
+	Hits  []Hit  `json:"hits"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/search" {
+		http.NotFound(w, r)
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	hits := s.ix.Query(q, k)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(Response{Query: q, Total: len(hits), Hits: hits})
+}

@@ -1,0 +1,149 @@
+package sim
+
+// cacheLine is one way of one set. A zero line is invalid.
+type cacheLine struct {
+	tag   uint64
+	stamp uint64 // LRU clock value of the most recent touch
+	valid bool
+	dirty bool
+}
+
+// CacheConfig describes the geometry of one cache level.
+type CacheConfig struct {
+	Name     string // e.g. "L1D"
+	Size     int    // total capacity in bytes
+	Assoc    int    // ways per set
+	LineSize int    // bytes per line (64 on both modeled Xeons)
+}
+
+// NumSets returns the number of sets implied by the geometry.
+func (c CacheConfig) NumSets() int { return c.Size / (c.Assoc * c.LineSize) }
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement. It is addressed by line index (byte address >> log2(LineSize)).
+// Cache is not safe for concurrent use; the owning CPU serializes access.
+type Cache struct {
+	cfg     CacheConfig
+	numSets uint64
+	assoc   int
+	lines   []cacheLine // numSets * assoc, flattened
+	clock   uint64
+
+	// Statistics, exported through CacheStats.
+	accesses    uint64
+	misses      uint64
+	dirtyEvicts uint64
+}
+
+// NewCache builds a cache from a config. It panics if the geometry implies
+// no sets, which would indicate a typo in a machine model. Set counts need
+// not be powers of two (the modeled Xeon E5645 L3 has 12288 sets).
+func NewCache(cfg CacheConfig) *Cache {
+	sets := cfg.NumSets()
+	if sets <= 0 {
+		panic("sim: cache " + cfg.Name + " has no sets")
+	}
+	return &Cache{
+		cfg:     cfg,
+		numSets: uint64(sets),
+		assoc:   cfg.Assoc,
+		lines:   make([]cacheLine, sets*cfg.Assoc),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access looks up the line with the given line-granularity address,
+// allocating it on a miss. write marks the line dirty. It reports whether the
+// access hit, and whether the allocation evicted a dirty victim (writeback).
+func (c *Cache) Access(lineAddr uint64, write bool) (hit, writeback bool) {
+	c.accesses++
+	c.clock++
+	set := int(lineAddr%c.numSets) * c.assoc
+	ways := c.lines[set : set+c.assoc]
+	victim := 0
+	for i := range ways {
+		w := &ways[i]
+		if w.valid && w.tag == lineAddr {
+			w.stamp = c.clock
+			if write {
+				w.dirty = true
+			}
+			return true, false
+		}
+		if !w.valid {
+			victim = i
+		} else if ways[victim].valid && w.stamp < ways[victim].stamp {
+			victim = i
+		}
+	}
+	c.misses++
+	v := &ways[victim]
+	writeback = v.valid && v.dirty
+	if writeback {
+		c.dirtyEvicts++
+	}
+	*v = cacheLine{tag: lineAddr, stamp: c.clock, valid: true, dirty: write}
+	return false, writeback
+}
+
+// Fill inserts a line without touching the demand-access statistics (used
+// by the prefetcher model). It reports whether a dirty victim was evicted.
+// A line that is already present is refreshed.
+func (c *Cache) Fill(lineAddr uint64) (writeback bool) {
+	c.clock++
+	set := int(lineAddr%c.numSets) * c.assoc
+	ways := c.lines[set : set+c.assoc]
+	victim := 0
+	for i := range ways {
+		w := &ways[i]
+		if w.valid && w.tag == lineAddr {
+			w.stamp = c.clock
+			return false
+		}
+		if !w.valid {
+			victim = i
+		} else if ways[victim].valid && w.stamp < ways[victim].stamp {
+			victim = i
+		}
+	}
+	v := &ways[victim]
+	writeback = v.valid && v.dirty
+	if writeback {
+		c.dirtyEvicts++
+	}
+	*v = cacheLine{tag: lineAddr, stamp: c.clock, valid: true}
+	return writeback
+}
+
+// Reset clears contents and statistics (used between warmup and measurement).
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.accesses, c.misses, c.dirtyEvicts, c.clock = 0, 0, 0, 0
+}
+
+// ResetStats clears statistics but keeps cache contents (end of warmup).
+func (c *Cache) ResetStats() { c.accesses, c.misses, c.dirtyEvicts = 0, 0, 0 }
+
+// CacheStats is a point-in-time snapshot of a cache's counters.
+type CacheStats struct {
+	Accesses    uint64
+	Misses      uint64
+	DirtyEvicts uint64
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Accesses: c.accesses, Misses: c.misses, DirtyEvicts: c.dirtyEvicts}
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testCache(t *testing.T, size, assoc int) *Cache {
+	t.Helper()
+	return NewCache(CacheConfig{Name: "t", Size: size, Assoc: assoc, LineSize: 64})
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := testCache(t, 4096, 4)
+	if hit, _ := c.Access(10, false); hit {
+		t.Fatal("cold access must miss")
+	}
+	if hit, _ := c.Access(10, false); !hit {
+		t.Fatal("second access to same line must hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 accesses, 1 miss", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache with 2 sets: lines 0,2,4 map to set 0 (stride = numSets).
+	c := NewCache(CacheConfig{Name: "t", Size: 256, Assoc: 2, LineSize: 64})
+	if n := c.Config().NumSets(); n != 2 {
+		t.Fatalf("NumSets = %d, want 2", n)
+	}
+	c.Access(0, false) // set 0
+	c.Access(2, false) // set 0
+	c.Access(0, false) // refresh 0 → LRU victim is 2
+	c.Access(4, false) // evicts 2
+	if hit, _ := c.Access(0, false); !hit {
+		t.Error("line 0 should survive (was MRU)")
+	}
+	if hit, _ := c.Access(2, false); hit {
+		t.Error("line 2 should have been evicted as LRU")
+	}
+}
+
+func TestCacheWritebackOnDirtyEviction(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "t", Size: 128, Assoc: 1, LineSize: 64})
+	c.Access(0, true)           // dirty line in set 0
+	_, wb := c.Access(2, false) // conflicts in set 0, evicts dirty
+	if !wb {
+		t.Error("evicting a dirty line must report a writeback")
+	}
+	if c.Stats().DirtyEvicts != 1 {
+		t.Errorf("DirtyEvicts = %d, want 1", c.Stats().DirtyEvicts)
+	}
+	_, wb = c.Access(0, false) // evicts clean line 2
+	if wb {
+		t.Error("evicting a clean line must not report a writeback")
+	}
+}
+
+func TestCacheWorkingSetFitsNoSteadyStateMisses(t *testing.T) {
+	c := testCache(t, 32<<10, 8) // 512 lines
+	for pass := 0; pass < 3; pass++ {
+		for line := uint64(0); line < 512; line++ {
+			c.Access(line, false)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 512 {
+		t.Errorf("misses = %d, want exactly the 512 cold misses", s.Misses)
+	}
+}
+
+func TestCacheThrashingWorkingSet(t *testing.T) {
+	c := testCache(t, 32<<10, 8) // 512 lines capacity
+	// Cyclic walk over 1024 lines with LRU: every access misses after warmup.
+	var missesAfterWarm uint64
+	for pass := 0; pass < 4; pass++ {
+		if pass == 1 {
+			c.ResetStats()
+		}
+		for line := uint64(0); line < 1024; line++ {
+			c.Access(line, false)
+		}
+		if pass >= 1 {
+			missesAfterWarm = c.Stats().Misses
+		}
+	}
+	if rate := float64(missesAfterWarm) / float64(c.Stats().Accesses); rate < 0.99 {
+		t.Errorf("cyclic over-capacity walk should thrash: miss rate %.3f", rate)
+	}
+}
+
+func TestCacheResetClearsContents(t *testing.T) {
+	c := testCache(t, 4096, 4)
+	c.Access(1, true)
+	c.Reset()
+	if s := c.Stats(); s.Accesses != 0 || s.Misses != 0 {
+		t.Fatalf("Reset did not clear stats: %+v", s)
+	}
+	if hit, _ := c.Access(1, false); hit {
+		t.Fatal("Reset did not clear contents")
+	}
+}
+
+// Property: miss count never exceeds access count, and hits+misses == accesses.
+func TestCacheCountsConsistencyProperty(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		c := testCache(t, 2048, 2)
+		var hits uint64
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			if hit, _ := c.Access(uint64(a), w); hit {
+				hits++
+			}
+		}
+		s := c.Stats()
+		return s.Accesses == uint64(len(addrs)) && hits+s.Misses == s.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a direct-repeat of any access sequence entirely contained in a
+// large-enough cache yields zero misses the second time.
+func TestCacheContainmentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := testCache(t, 64<<10, 16) // 1024 lines
+		seq := make([]uint64, 300)
+		for i := range seq {
+			seq[i] = uint64(rng.Intn(900)) // < capacity
+		}
+		for _, a := range seq {
+			c.Access(a, false)
+		}
+		c.ResetStats()
+		for _, a := range seq {
+			c.Access(a, false)
+		}
+		return c.Stats().Misses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tl := NewTLB(TLBConfig{Name: "t", Entries: 64, Assoc: 4})
+	if tl.Access(5) {
+		t.Fatal("cold TLB access must miss")
+	}
+	if !tl.Access(5) {
+		t.Fatal("repeat TLB access must hit")
+	}
+	s := tl.Stats()
+	if s.Accesses != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	tl.Reset()
+	if tl.Access(5) {
+		t.Fatal("Reset must clear TLB contents")
+	}
+}
+
+func TestTLBCapacity(t *testing.T) {
+	tl := NewTLB(TLBConfig{Name: "t", Entries: 64, Assoc: 4})
+	for page := uint64(0); page < 64; page++ {
+		tl.Access(page)
+	}
+	tl.ResetStats()
+	for page := uint64(0); page < 64; page++ {
+		if !tl.Access(page) {
+			t.Fatalf("page %d should be resident (reach = 64 pages)", page)
+		}
+	}
+}
+
+func TestNewCacheRejectsBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for geometry with zero sets")
+		}
+	}()
+	NewCache(CacheConfig{Name: "bad", Size: 64, Assoc: 4, LineSize: 64})
+}
+
+func TestNonPowerOfTwoSets(t *testing.T) {
+	// The E5645 L3 geometry: 12 MiB, 16-way, 64 B lines → 12288 sets.
+	c := NewCache(CacheConfig{Name: "L3", Size: 12 << 20, Assoc: 16, LineSize: 64})
+	for line := uint64(0); line < 20000; line++ {
+		c.Access(line, false)
+	}
+	c.ResetStats()
+	for line := uint64(0); line < 20000; line++ {
+		c.Access(line, line%7 == 0)
+	}
+	s := c.Stats()
+	if s.Accesses != 20000 {
+		t.Fatalf("accesses = %d", s.Accesses)
+	}
+	if s.Misses > 2000 {
+		t.Errorf("20000 lines in a 196608-line cache should mostly hit, misses = %d", s.Misses)
+	}
+}

@@ -1,0 +1,357 @@
+// Package sim is an execution-driven processor and memory-hierarchy model.
+// Instrumented workload kernels perform their real computation in Go and, on
+// the side, emit the dynamic instruction/memory event stream of the
+// equivalent native execution: loads and stores with simulated virtual
+// addresses, integer/floating-point/branch operation counts, and the
+// movement of the program counter across per-software-layer code regions.
+// The model runs that stream through set-associative caches and TLBs with
+// the geometry of the paper's testbed processors (Intel Xeon E5645 and
+// E5310) and derives the architectural metrics the paper reports: cache and
+// TLB MPKI, instruction breakdown, operation intensity, and MIPS.
+//
+// sim stands in for the hardware performance counters (Linux Perf) used in
+// the paper, which are unavailable in this environment; see DESIGN.md §1.
+package sim
+
+import "sync"
+
+// CPU is one characterization context: a machine configuration, its cache
+// and TLB state, the event counters, and the simulated address space.
+// A nil *CPU is valid and makes every method a cheap no-op, so substrates
+// can be instrumented unconditionally.
+//
+// CPU methods are safe for concurrent use; parallel substrate workers
+// interleave into a single stream, mirroring how the paper profiles a whole
+// node rather than a single thread.
+type CPU struct {
+	mu  sync.Mutex
+	cfg MachineConfig
+
+	l1i, l1d, l2 *Cache
+	l3           *Cache // nil on two-level machines
+	itlb, dtlb   *TLB
+
+	// Retired-instruction counters by class.
+	loadInstrs, storeInstrs, intInstrs, fpInstrs, branchInstrs uint64
+
+	dramReadBytes, dramWriteBytes uint64
+	stallCycles                   float64
+	prefetches                    uint64
+
+	// Execution locus: instructions are fetched from a window of the
+	// current code region, wrapping within the window (a loop body).
+	curRegion *CodeRegion
+	pcOff     uint64 // current offset within the region
+	winStart  uint64
+	winLen    uint64
+
+	// Address-space allocators.
+	nextCode uint64
+	nextData uint64
+}
+
+// New builds a CPU for the given machine configuration.
+func New(cfg MachineConfig) *CPU {
+	c := &CPU{
+		cfg:      cfg,
+		l1i:      NewCache(cfg.L1I),
+		l1d:      NewCache(cfg.L1D),
+		l2:       NewCache(cfg.L2),
+		itlb:     NewTLB(cfg.ITLB),
+		dtlb:     NewTLB(cfg.DTLB),
+		nextCode: codeSpaceBase,
+		nextData: dataSpaceBase,
+	}
+	if cfg.L3 != nil {
+		c.l3 = NewCache(*cfg.L3)
+	}
+	return c
+}
+
+// Config returns the machine configuration (zero value for a nil CPU).
+func (c *CPU) Config() MachineConfig {
+	if c == nil {
+		return MachineConfig{}
+	}
+	return c.cfg
+}
+
+// NewCodeRegion registers a software layer with the given instruction-byte
+// footprint. On a nil CPU it returns a usable dummy region.
+func (c *CPU) NewCodeRegion(name string, size uint64) *CodeRegion {
+	if size == 0 {
+		size = regionAlign
+	}
+	size = alignUp(size)
+	if c == nil {
+		return &CodeRegion{Name: name, base: codeSpaceBase, size: size}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &CodeRegion{Name: name, base: c.nextCode, size: size}
+	c.nextCode += size + regionAlign // guard page between layers
+	return r
+}
+
+// Alloc reserves a span of simulated data address space for one logical data
+// structure. On a nil CPU it returns a region usable for address arithmetic.
+func (c *CPU) Alloc(name string, size uint64) DataRegion {
+	if size == 0 {
+		size = 8
+	}
+	if c == nil {
+		return DataRegion{Name: name, Base: dataSpaceBase, Size: size}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := DataRegion{Name: name, Base: c.nextData, Size: size}
+	c.nextData += alignUp(size) + regionAlign
+	return r
+}
+
+// Code sets the execution locus: subsequent operations fetch their
+// instruction bytes from a window of length window starting at offset off in
+// region r, wrapping within the window. A window models a loop body or a
+// basic-block cluster; calling Code again models a call/branch to another
+// part of the stack. window==0 selects a default 1 KiB body.
+func (c *CPU) Code(r *CodeRegion, off, window uint64) {
+	if c == nil || r == nil {
+		return
+	}
+	if window == 0 {
+		window = 1 << 10
+	}
+	if window > r.size {
+		window = r.size
+	}
+	if off+window > r.size {
+		off = r.size - window
+	}
+	c.mu.Lock()
+	c.curRegion = r
+	c.winStart = off
+	c.winLen = window
+	c.pcOff = off
+	c.mu.Unlock()
+}
+
+// fetch runs n instructions' worth of bytes (4 B/instruction) through the
+// ITLB and L1I from the current locus. Caller holds c.mu.
+func (c *CPU) fetch(n uint64) {
+	if c.curRegion == nil || n == 0 {
+		return
+	}
+	bytes := n * 4
+	base := c.curRegion.base
+	pc := c.pcOff
+	// Touch each 64-byte line in [pc, pc+bytes), wrapping in the window.
+	for bytes > 0 {
+		lineEnd := (base + pc | 63) + 1 - base // next line boundary (offset)
+		step := lineEnd - pc
+		if step > bytes {
+			step = bytes
+		}
+		addr := base + pc
+		// A TLB miss costs a page walk in the timing model only; walk
+		// traffic is not injected into the demand-miss counters.
+		c.itlb.Access(addr >> PageBits)
+		if hit, _ := c.l1i.Access(addr>>6, false); !hit {
+			c.missBelowL1Locked(addr>>6, false)
+		}
+		pc += step
+		if pc >= c.winStart+c.winLen {
+			pc = c.winStart
+		}
+		bytes -= step
+	}
+	c.pcOff = pc
+}
+
+// missBelowL1 services an L1 (I or D) miss from L2 → L3 → DRAM.
+// Caller holds c.mu.
+func (c *CPU) missBelowL1Locked(lineAddr uint64, write bool) {
+	hit, wb := c.l2.Access(lineAddr, write)
+	if hit {
+		return
+	}
+	if c.l3 != nil {
+		h3, wb3 := c.l3.Access(lineAddr, write || wb)
+		if h3 {
+			return
+		}
+		c.dramReadBytes += 64
+		if wb3 {
+			c.dramWriteBytes += 64
+		}
+		return
+	}
+	c.dramReadBytes += 64
+	if wb {
+		c.dramWriteBytes += 64
+	}
+}
+
+// touchData walks [addr, addr+bytes) through DTLB and the data hierarchy.
+// Caller holds c.mu.
+func (c *CPU) touchData(addr uint64, bytes uint64, write bool) {
+	if bytes == 0 {
+		return
+	}
+	first := addr >> 6
+	last := (addr + bytes - 1) >> 6
+	page := ^uint64(0)
+	for line := first; line <= last; line++ {
+		if p := line >> (PageBits - 6); p != page {
+			page = p
+			c.dtlb.Access(p)
+		}
+		if hit, _ := c.l1d.Access(line, write); !hit {
+			c.missBelowL1Locked(line, write)
+			if c.cfg.NextLinePrefetch {
+				c.prefetches++
+				c.l1d.Fill(line + 1)
+				c.l2.Fill(line + 1)
+			}
+		}
+	}
+}
+
+func memInstrs(bytes int) uint64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return uint64(bytes+7) / 8
+}
+
+// Load records a read of bytes bytes at simulated address addr. It counts
+// ceil(bytes/8) load instructions (8-byte operations) and fetches their
+// instruction bytes from the current locus.
+func (c *CPU) Load(addr uint64, bytes int) {
+	if c == nil {
+		return
+	}
+	n := memInstrs(bytes)
+	c.mu.Lock()
+	c.loadInstrs += n
+	c.fetch(n)
+	c.touchData(addr, uint64(bytes), false)
+	c.mu.Unlock()
+}
+
+// Store records a write of bytes bytes at simulated address addr.
+func (c *CPU) Store(addr uint64, bytes int) {
+	if c == nil {
+		return
+	}
+	n := memInstrs(bytes)
+	c.mu.Lock()
+	c.storeInstrs += n
+	c.fetch(n)
+	c.touchData(addr, uint64(bytes), true)
+	c.mu.Unlock()
+}
+
+// LoadR is Load addressed relative to a data region.
+func (c *CPU) LoadR(r DataRegion, off uint64, bytes int) { c.Load(r.Addr(off), bytes) }
+
+// StoreR is Store addressed relative to a data region.
+func (c *CPU) StoreR(r DataRegion, off uint64, bytes int) { c.Store(r.Addr(off), bytes) }
+
+// IntOps records n retired integer ALU instructions.
+func (c *CPU) IntOps(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.intInstrs += uint64(n)
+	c.fetch(uint64(n))
+	c.mu.Unlock()
+}
+
+// FPOps records n retired floating-point instructions.
+func (c *CPU) FPOps(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.fpInstrs += uint64(n)
+	c.fetch(uint64(n))
+	c.mu.Unlock()
+}
+
+// Stall charges cycles during which the core retires nothing: JVM/JIT
+// warmup, GC pauses, I/O waits. Stalls depress MIPS without touching the
+// cache counters; fixed per-job stalls are the mechanism behind the
+// paper's rising MIPS-vs-data-volume curves (Figure 3-1), which amortize
+// startup over more input.
+func (c *CPU) Stall(cycles float64) {
+	if c == nil || cycles <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.stallCycles += cycles
+	c.mu.Unlock()
+}
+
+// Branches records n retired branch instructions.
+func (c *CPU) Branches(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.branchInstrs += uint64(n)
+	c.fetch(uint64(n))
+	c.mu.Unlock()
+}
+
+// ResetStats zeroes all counters while preserving cache/TLB contents.
+// Call at the end of a warmup window so reported metrics are steady-state.
+func (c *CPU) ResetStats() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.loadInstrs, c.storeInstrs, c.intInstrs, c.fpInstrs, c.branchInstrs = 0, 0, 0, 0, 0
+	c.dramReadBytes, c.dramWriteBytes = 0, 0
+	c.stallCycles = 0
+	c.prefetches = 0
+	c.l1i.ResetStats()
+	c.l1d.ResetStats()
+	c.l2.ResetStats()
+	if c.l3 != nil {
+		c.l3.ResetStats()
+	}
+	c.itlb.ResetStats()
+	c.dtlb.ResetStats()
+}
+
+// Counts snapshots every raw counter.
+func (c *CPU) Counts() Counts {
+	if c == nil {
+		return Counts{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := Counts{
+		LoadInstrs:     c.loadInstrs,
+		StoreInstrs:    c.storeInstrs,
+		IntInstrs:      c.intInstrs,
+		FPInstrs:       c.fpInstrs,
+		BranchInstrs:   c.branchInstrs,
+		L1I:            c.l1i.Stats(),
+		L1D:            c.l1d.Stats(),
+		L2:             c.l2.Stats(),
+		ITLB:           c.itlb.Stats(),
+		DTLB:           c.dtlb.Stats(),
+		DRAMReadBytes:  c.dramReadBytes,
+		DRAMWriteBytes: c.dramWriteBytes,
+		StallCycles:    c.stallCycles,
+		Prefetches:     c.prefetches,
+	}
+	if c.l3 != nil {
+		k.HasL3 = true
+		k.L3 = c.l3.Stats()
+	}
+	return k
+}

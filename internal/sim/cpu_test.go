@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilCPUIsSafe(t *testing.T) {
+	var c *CPU
+	r := c.NewCodeRegion("x", 4096)
+	d := c.Alloc("d", 100)
+	c.Code(r, 0, 0)
+	c.Load(d.Addr(0), 8)
+	c.Store(d.Addr(8), 8)
+	c.IntOps(10)
+	c.FPOps(3)
+	c.Branches(2)
+	c.ResetStats()
+	if got := c.Counts().Instructions(); got != 0 {
+		t.Fatalf("nil CPU recorded %d instructions", got)
+	}
+}
+
+func TestInstructionAccounting(t *testing.T) {
+	c := New(XeonE5645())
+	r := c.NewCodeRegion("kernel", 4096)
+	d := c.Alloc("data", 1<<20)
+	c.Code(r, 0, 512)
+	c.Load(d.Addr(0), 64)  // 8 load instrs
+	c.Store(d.Addr(64), 8) // 1 store instr
+	c.IntOps(100)
+	c.FPOps(10)
+	c.Branches(20)
+	k := c.Counts()
+	if k.LoadInstrs != 8 || k.StoreInstrs != 1 || k.IntInstrs != 100 ||
+		k.FPInstrs != 10 || k.BranchInstrs != 20 {
+		t.Fatalf("counts = %+v", k)
+	}
+	if k.Instructions() != 139 {
+		t.Fatalf("Instructions() = %d, want 139", k.Instructions())
+	}
+	mix := k.Mix()
+	sum := mix.Load + mix.Store + mix.Branch + mix.Integer + mix.FP
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mix fractions sum to %f", sum)
+	}
+}
+
+func TestSequentialScanMissesOncePerLine(t *testing.T) {
+	c := New(XeonE5645())
+	r := c.NewCodeRegion("kernel", 1024)
+	d := c.Alloc("data", 1<<20)
+	c.Code(r, 0, 256)
+	const total = 1 << 16 // 64 KiB: 1024 lines, larger than L1D
+	for off := uint64(0); off < total; off += 8 {
+		c.Load(d.Addr(off), 8)
+	}
+	k := c.Counts()
+	wantLines := uint64(total / 64)
+	if k.L1D.Misses != wantLines {
+		t.Errorf("L1D misses = %d, want one per line = %d", k.L1D.Misses, wantLines)
+	}
+	// Streaming through a cold region should also miss L2 and L3 once per
+	// data line, plus the handful of cold instruction-fetch lines of the
+	// 256-byte loop body (4 lines).
+	codeLines := uint64(4)
+	if k.L2.Misses != wantLines+codeLines || k.L3.Misses != wantLines+codeLines {
+		t.Errorf("L2/L3 misses = %d/%d, want %d each", k.L2.Misses, k.L3.Misses, wantLines+codeLines)
+	}
+	if k.DRAMReadBytes != (wantLines+codeLines)*64 {
+		t.Errorf("DRAM read bytes = %d, want %d", k.DRAMReadBytes, (wantLines+codeLines)*64)
+	}
+}
+
+func TestTightLoopHasNoL1IMissesAfterWarmup(t *testing.T) {
+	c := New(XeonE5645())
+	r := c.NewCodeRegion("hotloop", 64<<10)
+	c.Code(r, 0, 512) // 512-byte loop body
+	c.IntOps(10000)
+	c.ResetStats()
+	c.IntOps(100000)
+	if m := c.Counts().L1I.Misses; m != 0 {
+		t.Errorf("hot loop should not miss L1I in steady state, got %d misses", m)
+	}
+}
+
+func TestLargeCodeFootprintMissesL1I(t *testing.T) {
+	c := New(XeonE5645())
+	r := c.NewCodeRegion("framework", 512<<10) // 16x the 32 KiB L1I
+	// Touch widely spread windows, as a deep branchy stack does.
+	rng := uint64(1)
+	for i := 0; i < 3000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		off := (rng >> 20) % (500 << 10)
+		c.Code(r, off, 256)
+		c.IntOps(64)
+	}
+	k := c.Counts()
+	if mpki := k.L1IMPKI(); mpki < 10 {
+		t.Errorf("large-footprint code should produce high L1I MPKI, got %.2f", mpki)
+	}
+	if k.ITLB.Misses == 0 {
+		t.Error("spread code should also miss the ITLB")
+	}
+}
+
+func TestL3AbsorbsL2MissesForMediumWorkingSet(t *testing.T) {
+	c := New(XeonE5645())
+	r := c.NewCodeRegion("kernel", 1024)
+	c.Code(r, 0, 256)
+	d := c.Alloc("table", 4<<20) // 4 MiB: > 256 KiB L2, < 12 MiB L3
+	// Two passes: first warms L3, second should hit L3 on L2 misses.
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 {
+			c.ResetStats()
+		}
+		for off := uint64(0); off < 4<<20; off += 64 {
+			c.Load(d.Addr(off), 8)
+		}
+	}
+	k := c.Counts()
+	if k.L2.Misses == 0 {
+		t.Fatal("4 MiB working set must miss the 256 KiB L2")
+	}
+	if k.L3.Misses != 0 {
+		t.Errorf("4 MiB working set should be L3-resident, got %d L3 misses", k.L3.Misses)
+	}
+}
+
+func TestNoL3MachineRoutesMissesToDRAM(t *testing.T) {
+	c := New(XeonE5310())
+	r := c.NewCodeRegion("kernel", 1024)
+	c.Code(r, 0, 256)
+	d := c.Alloc("big", 16<<20)
+	for off := uint64(0); off < 8<<20; off += 64 {
+		c.Load(d.Addr(off), 8)
+	}
+	k := c.Counts()
+	if k.HasL3 {
+		t.Fatal("E5310 must not report an L3")
+	}
+	if k.DRAMReadBytes == 0 {
+		t.Fatal("L2 misses must reach DRAM on a two-level machine")
+	}
+	if k.L3MPKI() != k.L2MPKI() {
+		t.Error("on a two-level machine L3MPKI must alias the last level (L2)")
+	}
+}
+
+func TestOperationIntensityMachineContrast(t *testing.T) {
+	// The same kernel stream must show higher intensity on the E5645 than
+	// the E5310 when the working set fits in L3 but not in either L2
+	// (Figure 5's key contrast: L3 filters DRAM traffic).
+	run := func(cfg MachineConfig) Counts {
+		c := New(cfg)
+		r := c.NewCodeRegion("kernel", 1024)
+		c.Code(r, 0, 256)
+		d := c.Alloc("ws", 8<<20)
+		for pass := 0; pass < 2; pass++ {
+			if pass == 1 {
+				c.ResetStats()
+			}
+			for off := uint64(0); off < 8<<20; off += 64 {
+				c.Load(d.Addr(off), 8)
+				c.FPOps(4)
+			}
+		}
+		return c.Counts()
+	}
+	k5645 := run(XeonE5645())
+	k5310 := run(XeonE5310())
+	if k5645.FPIntensity() <= k5310.FPIntensity() {
+		t.Errorf("FP intensity E5645 (%.4f) should exceed E5310 (%.4f)",
+			k5645.FPIntensity(), k5310.FPIntensity())
+	}
+}
+
+func TestResetStatsKeepsCacheContents(t *testing.T) {
+	c := New(XeonE5645())
+	r := c.NewCodeRegion("k", 1024)
+	c.Code(r, 0, 256)
+	d := c.Alloc("d", 1<<16)
+	for off := uint64(0); off < 1<<15; off += 8 {
+		c.Load(d.Addr(off), 8)
+	}
+	c.ResetStats()
+	for off := uint64(0); off < 1<<15; off += 8 {
+		c.Load(d.Addr(off), 8)
+	}
+	k := c.Counts()
+	if k.L1D.Misses != 0 {
+		t.Errorf("after warmup, resident 32 KiB set should not miss, got %d", k.L1D.Misses)
+	}
+}
+
+func TestConcurrentEventsDoNotRace(t *testing.T) {
+	c := New(XeonE5645())
+	r := c.NewCodeRegion("k", 8192)
+	d := c.Alloc("d", 1<<20)
+	c.Code(r, 0, 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Load(d.Addr(uint64(g*4096+i*8)), 8)
+				c.IntOps(3)
+				c.Branches(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	k := c.Counts()
+	if k.LoadInstrs != 8000 || k.IntInstrs != 24000 || k.BranchInstrs != 8000 {
+		t.Fatalf("lost updates under concurrency: %+v", k)
+	}
+}
+
+func TestTimingModelMonotonicInMisses(t *testing.T) {
+	cfg := XeonE5645()
+	base := Counts{IntInstrs: 1_000_000}
+	missy := base
+	missy.L1D = CacheStats{Accesses: 100000, Misses: 50000}
+	missy.L2 = CacheStats{Accesses: 50000, Misses: 40000}
+	missy.L3 = CacheStats{Accesses: 40000, Misses: 30000}
+	missy.HasL3 = true
+	if base.Cycles(cfg.Timing) >= missy.Cycles(cfg.Timing) {
+		t.Error("more misses must cost more cycles")
+	}
+	if base.MIPS(cfg.Timing) <= missy.MIPS(cfg.Timing) {
+		t.Error("more misses must lower MIPS")
+	}
+}
+
+func TestAllocSeparatesRegions(t *testing.T) {
+	c := New(XeonE5645())
+	a := c.Alloc("a", 1<<20)
+	b := c.Alloc("b", 1<<20)
+	if a.Base+a.Size > b.Base {
+		t.Fatalf("regions overlap: a=[%x,+%x] b=%x", a.Base, a.Size, b.Base)
+	}
+	ra := c.NewCodeRegion("ra", 1<<16)
+	rb := c.NewCodeRegion("rb", 1<<16)
+	if ra.base+ra.size > rb.base {
+		t.Fatalf("code regions overlap")
+	}
+}
+
+func TestCountsSubWindow(t *testing.T) {
+	c := New(XeonE5645())
+	r := c.NewCodeRegion("k", 1024)
+	c.Code(r, 0, 256)
+	c.IntOps(1000)
+	before := c.Counts()
+	c.IntOps(500)
+	win := c.Counts().Sub(before)
+	if win.IntInstrs != 500 {
+		t.Fatalf("windowed IntInstrs = %d, want 500", win.IntInstrs)
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import "math"
+
+// Counts is a raw snapshot of every simulated counter; the analogue of one
+// Perf read-out in the paper's methodology (Section 6.1.1).
+type Counts struct {
+	LoadInstrs   uint64
+	StoreInstrs  uint64
+	IntInstrs    uint64
+	FPInstrs     uint64
+	BranchInstrs uint64
+
+	L1I   CacheStats
+	L1D   CacheStats
+	L2    CacheStats
+	L3    CacheStats
+	HasL3 bool
+
+	ITLB TLBStats
+	DTLB TLBStats
+
+	DRAMReadBytes  uint64
+	DRAMWriteBytes uint64
+
+	// StallCycles are explicit no-retire cycles (startup, GC, I/O waits)
+	// charged via CPU.Stall; they enter the timing model only.
+	StallCycles float64
+	// Prefetches counts next-line prefetch fills issued.
+	Prefetches uint64
+}
+
+// Instructions is the total retired instruction count.
+func (k Counts) Instructions() uint64 {
+	return k.LoadInstrs + k.StoreInstrs + k.IntInstrs + k.FPInstrs + k.BranchInstrs
+}
+
+// Sub returns k - base, for windowed measurements.
+func (k Counts) Sub(base Counts) Counts {
+	k.LoadInstrs -= base.LoadInstrs
+	k.StoreInstrs -= base.StoreInstrs
+	k.IntInstrs -= base.IntInstrs
+	k.FPInstrs -= base.FPInstrs
+	k.BranchInstrs -= base.BranchInstrs
+	k.L1I = subCache(k.L1I, base.L1I)
+	k.L1D = subCache(k.L1D, base.L1D)
+	k.L2 = subCache(k.L2, base.L2)
+	k.L3 = subCache(k.L3, base.L3)
+	k.ITLB = TLBStats{k.ITLB.Accesses - base.ITLB.Accesses, k.ITLB.Misses - base.ITLB.Misses}
+	k.DTLB = TLBStats{k.DTLB.Accesses - base.DTLB.Accesses, k.DTLB.Misses - base.DTLB.Misses}
+	k.DRAMReadBytes -= base.DRAMReadBytes
+	k.DRAMWriteBytes -= base.DRAMWriteBytes
+	k.StallCycles -= base.StallCycles
+	return k
+}
+
+func subCache(a, b CacheStats) CacheStats {
+	return CacheStats{a.Accesses - b.Accesses, a.Misses - b.Misses, a.DirtyEvicts - b.DirtyEvicts}
+}
+
+// InstrMix is the Figure-4 instruction breakdown, as fractions summing to 1.
+type InstrMix struct {
+	Load, Store, Branch, Integer, FP float64
+}
+
+// Mix computes the instruction breakdown.
+func (k Counts) Mix() InstrMix {
+	total := float64(k.Instructions())
+	if total == 0 {
+		return InstrMix{}
+	}
+	return InstrMix{
+		Load:    float64(k.LoadInstrs) / total,
+		Store:   float64(k.StoreInstrs) / total,
+		Branch:  float64(k.BranchInstrs) / total,
+		Integer: float64(k.IntInstrs) / total,
+		FP:      float64(k.FPInstrs) / total,
+	}
+}
+
+// perKilo returns events per 1000 instructions.
+func (k Counts) perKilo(events uint64) float64 {
+	in := k.Instructions()
+	if in == 0 {
+		return 0
+	}
+	return float64(events) * 1000 / float64(in)
+}
+
+// L1IMPKI is L1 instruction-cache misses per kilo-instruction.
+func (k Counts) L1IMPKI() float64 { return k.perKilo(k.L1I.Misses) }
+
+// L1DMPKI is L1 data-cache misses per kilo-instruction.
+func (k Counts) L1DMPKI() float64 { return k.perKilo(k.L1D.Misses) }
+
+// L2MPKI is unified L2 misses per kilo-instruction.
+func (k Counts) L2MPKI() float64 { return k.perKilo(k.L2.Misses) }
+
+// L3MPKI is last-level (L3) misses per kilo-instruction; on a machine with
+// no L3 it reports L2 misses, i.e. misses of the actual last level.
+func (k Counts) L3MPKI() float64 {
+	if !k.HasL3 {
+		return k.L2MPKI()
+	}
+	return k.perKilo(k.L3.Misses)
+}
+
+// ITLBMPKI is instruction-TLB misses per kilo-instruction.
+func (k Counts) ITLBMPKI() float64 { return k.perKilo(k.ITLB.Misses) }
+
+// DTLBMPKI is data-TLB misses per kilo-instruction.
+func (k Counts) DTLBMPKI() float64 { return k.perKilo(k.DTLB.Misses) }
+
+// DRAMBytes is total off-chip traffic: demand fills plus writebacks.
+func (k Counts) DRAMBytes() uint64 { return k.DRAMReadBytes + k.DRAMWriteBytes }
+
+// FPIntensity is the paper's floating-point operation intensity: FP
+// instructions divided by bytes of memory access (off-chip traffic), per
+// Williams et al.'s roofline convention as used in Section 6.3.1.
+// A workload that generated no off-chip traffic has infinite intensity.
+func (k Counts) FPIntensity() float64 { return intensity(k.FPInstrs, k.DRAMBytes()) }
+
+// IntIntensity is the integer operation intensity.
+func (k Counts) IntIntensity() float64 { return intensity(k.IntInstrs, k.DRAMBytes()) }
+
+func intensity(ops, bytes uint64) float64 {
+	if bytes == 0 {
+		if ops == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(ops) / float64(bytes)
+}
+
+// IntToFPRatio is the ratio of integer to floating-point instructions
+// (reported as ~75 on average for BigDataBench in Section 6.3.1).
+func (k Counts) IntToFPRatio() float64 {
+	if k.FPInstrs == 0 {
+		return float64(k.IntInstrs)
+	}
+	return float64(k.IntInstrs) / float64(k.FPInstrs)
+}
+
+// Cycles evaluates the timing model over the counters.
+func (k Counts) Cycles(t TimingConfig) float64 {
+	instr := float64(k.Instructions())
+	stall := float64(k.L1I.Misses)*t.L2Latency +
+		float64(k.L1D.Misses)*t.L2Latency
+	if k.HasL3 {
+		stall += float64(k.L2.Misses)*t.L3Latency + float64(k.L3.Misses)*t.MemLatency
+	} else {
+		stall += float64(k.L2.Misses) * t.MemLatency
+	}
+	stall += float64(k.ITLB.Misses+k.DTLB.Misses) * t.TLBWalk
+	return instr*t.BaseCPI + stall*t.Overlap + k.StallCycles
+}
+
+// MIPS is million instructions per second under the machine's timing model,
+// scaled by the configured testbed parallelism (the paper plots node-level
+// MIPS on the 14-node cluster).
+func (k Counts) MIPS(t TimingConfig) float64 {
+	cy := k.Cycles(t)
+	if cy == 0 {
+		return 0
+	}
+	sec := cy / t.FreqHz
+	return float64(k.Instructions()) / sec / 1e6 * t.Parallelism
+}
+
+// CPI is cycles per instruction under the timing model.
+func (k Counts) CPI(t TimingConfig) float64 {
+	in := k.Instructions()
+	if in == 0 {
+		return 0
+	}
+	return k.Cycles(t) / float64(in)
+}

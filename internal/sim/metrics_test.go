@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixEmptyCounts(t *testing.T) {
+	var k Counts
+	if m := k.Mix(); m != (InstrMix{}) {
+		t.Fatalf("empty mix = %+v", m)
+	}
+	if k.L1IMPKI() != 0 || k.CPI(XeonE5645().Timing) != 0 {
+		t.Fatal("zero counts must yield zero derived metrics")
+	}
+}
+
+func TestIntensityEdgeCases(t *testing.T) {
+	k := Counts{FPInstrs: 100}
+	if !math.IsInf(k.FPIntensity(), 1) {
+		t.Error("FP ops with zero traffic → +Inf intensity")
+	}
+	k2 := Counts{}
+	if k2.FPIntensity() != 0 {
+		t.Error("no ops, no traffic → zero intensity")
+	}
+	k3 := Counts{IntInstrs: 640, DRAMReadBytes: 64}
+	if k3.IntIntensity() != 10 {
+		t.Errorf("IntIntensity = %f, want 10", k3.IntIntensity())
+	}
+}
+
+func TestIntToFPRatioEdgeCases(t *testing.T) {
+	k := Counts{IntInstrs: 500}
+	if k.IntToFPRatio() != 500 {
+		t.Errorf("ratio with zero FP = %f", k.IntToFPRatio())
+	}
+	k.FPInstrs = 100
+	if k.IntToFPRatio() != 5 {
+		t.Errorf("ratio = %f", k.IntToFPRatio())
+	}
+}
+
+func TestStallCyclesLowerMIPS(t *testing.T) {
+	cfg := XeonE5645()
+	base := Counts{IntInstrs: 1_000_000}
+	stalled := base
+	stalled.StallCycles = 1e7
+	if stalled.MIPS(cfg.Timing) >= base.MIPS(cfg.Timing) {
+		t.Error("stall cycles must depress MIPS")
+	}
+	if stalled.L3MPKI() != base.L3MPKI() {
+		t.Error("stall cycles must not move cache metrics")
+	}
+}
+
+func TestStallAPI(t *testing.T) {
+	c := New(XeonE5645())
+	c.Stall(123)
+	c.Stall(-5) // ignored
+	if got := c.Counts().StallCycles; got != 123 {
+		t.Fatalf("StallCycles = %f", got)
+	}
+	var nilC *CPU
+	nilC.Stall(100) // must not panic
+}
+
+// Property: MPKI values scale inversely with added integer instructions.
+func TestMPKIDilutionProperty(t *testing.T) {
+	f := func(extra uint32) bool {
+		k := Counts{IntInstrs: 1000, L2: CacheStats{Accesses: 100, Misses: 50}}
+		before := k.L2MPKI()
+		k.IntInstrs += uint64(extra % 1_000_000)
+		return k.L2MPKI() <= before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sub is the inverse of accumulation for instruction counters.
+func TestCountsSubProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		base := Counts{IntInstrs: uint64(a)}
+		total := Counts{IntInstrs: uint64(a) + uint64(b)}
+		return total.Sub(base).IntInstrs == uint64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataRegionAddrWraps(t *testing.T) {
+	r := DataRegion{Base: 1000, Size: 100}
+	if r.Addr(0) != 1000 || r.Addr(99) != 1099 {
+		t.Fatal("in-range offsets must map directly")
+	}
+	if r.Addr(100) != 1000 || r.Addr(250) != 1050 {
+		t.Fatal("out-of-range offsets must wrap")
+	}
+	var zero DataRegion
+	if zero.Addr(42) != 0 {
+		t.Fatal("zero region maps everything to base")
+	}
+}
+
+func TestCodeWindowClamping(t *testing.T) {
+	c := New(XeonE5645())
+	r := c.NewCodeRegion("small", 4096)
+	// Window larger than region: clamps instead of overflowing.
+	c.Code(r, 0, 1<<20)
+	c.IntOps(10000)
+	// Offset beyond region with window: shifts back in range.
+	c.Code(r, 1<<20, 512)
+	c.IntOps(100)
+	k := c.Counts()
+	if k.IntInstrs != 10100 {
+		t.Fatalf("IntInstrs = %d", k.IntInstrs)
+	}
+}

@@ -1,0 +1,86 @@
+package sim
+
+import "testing"
+
+func TestNextLinePrefetchCutsSequentialMisses(t *testing.T) {
+	run := func(pf bool) Counts {
+		cfg := XeonE5645()
+		cfg.NextLinePrefetch = pf
+		c := New(cfg)
+		r := c.NewCodeRegion("k", 1024)
+		c.Code(r, 0, 256)
+		d := c.Alloc("stream", 8<<20)
+		for off := uint64(0); off < 8<<20; off += 8 {
+			c.Load(d.Addr(off), 8)
+		}
+		return c.Counts()
+	}
+	plain := run(false)
+	pf := run(true)
+	if pf.Prefetches == 0 {
+		t.Fatal("prefetcher issued nothing")
+	}
+	if pf.L1D.Misses >= plain.L1D.Misses {
+		t.Errorf("sequential stream: prefetch should cut L1D misses (%d vs %d)",
+			pf.L1D.Misses, plain.L1D.Misses)
+	}
+	// Roughly every other line should now be a prefetch hit.
+	if ratio := float64(pf.L1D.Misses) / float64(plain.L1D.Misses); ratio > 0.6 {
+		t.Errorf("prefetch miss ratio %.2f, want ≈0.5 for a pure stream", ratio)
+	}
+}
+
+func TestNextLinePrefetchNeutralOnRandomAccess(t *testing.T) {
+	run := func(pf bool) Counts {
+		cfg := XeonE5645()
+		cfg.NextLinePrefetch = pf
+		c := New(cfg)
+		r := c.NewCodeRegion("k", 1024)
+		c.Code(r, 0, 256)
+		d := c.Alloc("table", 32<<20)
+		v := uint64(1)
+		for i := 0; i < 200000; i++ {
+			v ^= v << 13
+			v ^= v >> 7
+			v ^= v << 17
+			c.Load(d.Addr(v%(32<<20)), 8)
+		}
+		return c.Counts()
+	}
+	plain := run(false)
+	pf := run(true)
+	// Random access gains almost nothing; misses must stay within a few
+	// percent (the prefetcher may even pollute slightly).
+	lo := float64(plain.L1D.Misses) * 0.9
+	hi := float64(plain.L1D.Misses) * 1.1
+	if got := float64(pf.L1D.Misses); got < lo || got > hi {
+		t.Errorf("random access: prefetch changed misses too much (%d vs %d)",
+			pf.L1D.Misses, plain.L1D.Misses)
+	}
+}
+
+func TestWithPrefetchHelper(t *testing.T) {
+	cfg := WithPrefetch(XeonE5645())
+	if !cfg.NextLinePrefetch {
+		t.Fatal("WithPrefetch did not enable the prefetcher")
+	}
+	if cfg.Name != "E5645+pf" {
+		t.Errorf("name = %s", cfg.Name)
+	}
+	base := NoL3(XeonE5645())
+	if base.L3 != nil || base.Name != "E5645-noL3" {
+		t.Errorf("NoL3 helper wrong: %+v", base.Name)
+	}
+}
+
+func TestFillDoesNotTouchDemandStats(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "t", Size: 4096, Assoc: 4, LineSize: 64})
+	c.Fill(7)
+	s := c.Stats()
+	if s.Accesses != 0 || s.Misses != 0 {
+		t.Fatalf("Fill must not count demand accesses: %+v", s)
+	}
+	if hit, _ := c.Access(7, false); !hit {
+		t.Fatal("filled line should hit on the next demand access")
+	}
+}

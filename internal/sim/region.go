@@ -1,0 +1,43 @@
+package sim
+
+// DataRegion is a span of simulated virtual address space backing one
+// logical data structure (an input file, a hash table, a shuffle buffer...).
+// Kernels derive event addresses as Base + offset from the real indices they
+// touch, so the simulated trace follows the actual access pattern.
+type DataRegion struct {
+	Name string
+	Base uint64
+	Size uint64
+}
+
+// Addr returns the address of byte offset off, wrapping inside the region so
+// that modeled footprints stay faithful even if a kernel overshoots.
+func (r DataRegion) Addr(off uint64) uint64 {
+	if r.Size == 0 {
+		return r.Base
+	}
+	return r.Base + off%r.Size
+}
+
+// CodeRegion is a span of simulated instruction address space representing
+// one software layer (a framework stage, a library, a user function). The
+// paper attributes the high L1I MPKI of big-data workloads to "huge code
+// size and deep software stack"; code regions are how that stack is modeled.
+type CodeRegion struct {
+	Name string
+	base uint64
+	size uint64
+}
+
+// Size returns the byte footprint of the region.
+func (r *CodeRegion) Size() uint64 { return r.size }
+
+const (
+	codeSpaceBase = 1 << 28 // 256 MiB: simulated text segment start
+	dataSpaceBase = 1 << 34 // 16 GiB: simulated heap start
+	regionAlign   = 1 << PageBits
+)
+
+func alignUp(v uint64) uint64 {
+	return (v + regionAlign - 1) &^ uint64(regionAlign-1)
+}

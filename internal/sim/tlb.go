@@ -1,0 +1,86 @@
+package sim
+
+// TLBConfig describes a translation lookaside buffer. Pages are fixed at
+// 4 KiB, matching the paper-era testbed (Linux 2.6.34 without hugepages for
+// the profiled workloads).
+type TLBConfig struct {
+	Name    string
+	Entries int
+	Assoc   int
+}
+
+// PageBits is log2 of the modeled page size (4 KiB pages).
+const PageBits = 12
+
+// TLB is a set-associative TLB with LRU replacement, addressed by page
+// number (byte address >> PageBits).
+type TLB struct {
+	cfg      TLBConfig
+	numSets  uint64
+	assoc    int
+	lines    []cacheLine
+	clock    uint64
+	accesses uint64
+	misses   uint64
+}
+
+// NewTLB builds a TLB; the geometry must imply at least one set.
+func NewTLB(cfg TLBConfig) *TLB {
+	sets := cfg.Entries / cfg.Assoc
+	if sets <= 0 {
+		panic("sim: tlb " + cfg.Name + " has no sets")
+	}
+	return &TLB{
+		cfg:     cfg,
+		numSets: uint64(sets),
+		assoc:   cfg.Assoc,
+		lines:   make([]cacheLine, sets*cfg.Assoc),
+	}
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+// Access translates the given page number, reporting whether it hit.
+func (t *TLB) Access(page uint64) (hit bool) {
+	t.accesses++
+	t.clock++
+	set := int(page%t.numSets) * t.assoc
+	ways := t.lines[set : set+t.assoc]
+	victim := 0
+	for i := range ways {
+		w := &ways[i]
+		if w.valid && w.tag == page {
+			w.stamp = t.clock
+			return true
+		}
+		if !w.valid {
+			victim = i
+		} else if ways[victim].valid && w.stamp < ways[victim].stamp {
+			victim = i
+		}
+	}
+	t.misses++
+	ways[victim] = cacheLine{tag: page, stamp: t.clock, valid: true}
+	return false
+}
+
+// Reset clears contents and statistics.
+func (t *TLB) Reset() {
+	for i := range t.lines {
+		t.lines[i] = cacheLine{}
+	}
+	t.accesses, t.misses, t.clock = 0, 0, 0
+}
+
+// ResetStats clears statistics but keeps contents.
+func (t *TLB) ResetStats() { t.accesses, t.misses = 0, 0 }
+
+// TLBStats is a snapshot of TLB counters.
+type TLBStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// Stats snapshots the counters.
+func (t *TLB) Stats() TLBStats { return TLBStats{Accesses: t.accesses, Misses: t.misses} }

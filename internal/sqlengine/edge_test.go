@@ -1,0 +1,130 @@
+package sqlengine
+
+import (
+	"testing"
+)
+
+func TestEmptyTableQueries(t *testing.T) {
+	tab := NewTable("E", []ColDef{{"K", Int64}, {"V", Float64}}, nil)
+	tab.Seal()
+	e := NewEngine(nil)
+	res, err := e.Select(tab, []Pred{{Col: "K", Op: GT, Int: 5}}, nil)
+	if err != nil || res.Rows() != 0 {
+		t.Fatalf("select on empty: %v rows=%d", err, res.Rows())
+	}
+	rows, err := e.Aggregate(tab, nil, "K", "V", Sum)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("aggregate on empty: %v rows=%d", err, len(rows))
+	}
+	j, err := e.Join(tab, tab, "K", "K")
+	if err != nil || j.Rows() != 0 {
+		t.Fatalf("self-join on empty: %v rows=%d", err, j.Rows())
+	}
+}
+
+func TestAllComparisonOperators(t *testing.T) {
+	tab := NewTable("T", []ColDef{{"V", Int64}}, nil)
+	for i := int64(0); i < 10; i++ {
+		_ = tab.AppendRow(i)
+	}
+	tab.Seal()
+	e := NewEngine(nil)
+	cases := map[CmpOp]int{EQ: 1, NE: 9, LT: 5, LE: 6, GT: 4, GE: 5}
+	for op, want := range cases {
+		res, err := e.Select(tab, []Pred{{Col: "V", Op: op, Int: 5}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows() != want {
+			t.Errorf("op %d: %d rows, want %d", op, res.Rows(), want)
+		}
+	}
+}
+
+func TestFloatPredicates(t *testing.T) {
+	tab := NewTable("T", []ColDef{{"P", Float64}}, nil)
+	for i := 0; i < 100; i++ {
+		_ = tab.AppendRow(float64(i) / 10)
+	}
+	tab.Seal()
+	e := NewEngine(nil)
+	res, err := e.Select(tab, []Pred{{Col: "P", Op: GE, Float: 5.0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != 50 {
+		t.Errorf("rows = %d, want 50", res.Rows())
+	}
+}
+
+func TestAggregateOnIntColumn(t *testing.T) {
+	tab := NewTable("T", []ColDef{{"G", Int64}, {"N", Int64}}, nil)
+	_ = tab.AppendRow(int64(1), int64(10))
+	_ = tab.AppendRow(int64(1), int64(20))
+	tab.Seal()
+	e := NewEngine(nil)
+	rows, err := e.Aggregate(tab, nil, "G", "N", Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Value != 30 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	tab := NewTable("T", []ColDef{{"G", Int64}, {"V", Float64}}, nil)
+	_ = tab.AppendRow(int64(1), 1.0)
+	tab.Seal()
+	e := NewEngine(nil)
+	if _, err := e.Aggregate(tab, nil, "V", "G", Sum); err == nil {
+		t.Error("grouping by a Float64 column must fail")
+	}
+	if _, err := e.Aggregate(tab, nil, "G", "NOPE", Sum); err == nil {
+		t.Error("unknown aggregate column must fail")
+	}
+	if _, err := e.Join(tab, tab, "V", "V"); err == nil {
+		t.Error("joining on a Float64 column must fail")
+	}
+}
+
+func TestJoinDuplicateKeysFanOut(t *testing.T) {
+	a := NewTable("A", []ColDef{{"K", Int64}}, nil)
+	b := NewTable("B", []ColDef{{"K", Int64}}, nil)
+	for i := 0; i < 3; i++ {
+		_ = a.AppendRow(int64(1))
+	}
+	for i := 0; i < 2; i++ {
+		_ = b.AppendRow(int64(1))
+	}
+	a.Seal()
+	b.Seal()
+	e := NewEngine(nil)
+	res, err := e.Join(a, b, "K", "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != 6 {
+		t.Fatalf("3×2 duplicate join = %d rows, want 6", res.Rows())
+	}
+}
+
+func TestSelectAfterSelectComposes(t *testing.T) {
+	tab := NewTable("T", []ColDef{{"A", Int64}, {"B", Int64}}, nil)
+	for i := int64(0); i < 100; i++ {
+		_ = tab.AppendRow(i, i%10)
+	}
+	tab.Seal()
+	e := NewEngine(nil)
+	first, err := e.Select(tab, []Pred{{Col: "A", Op: GE, Int: 50}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Select(first, []Pred{{Col: "B", Op: EQ, Int: 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Rows() != 5 {
+		t.Fatalf("composed selects = %d rows, want 5 (53,63,73,83,93)", second.Rows())
+	}
+}

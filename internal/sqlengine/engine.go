@@ -1,0 +1,387 @@
+// Package sqlengine is a small columnar relational engine — the
+// repository's substitute for the paper's Hive / Impala / MySQL stacks
+// running the relational-query workloads (DESIGN.md §1). It provides the
+// three operators those workloads compile to: filtered projection scans
+// (Select Query), hash aggregation (Aggregate Query), and hash equi-join
+// (Join Query), over typed column vectors.
+package sqlengine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// CmpOp is a predicate comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) evalInt(a, b int64) bool {
+	switch op {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func (op CmpOp) evalFloat(a, b float64) bool {
+	switch op {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// Pred is one column-vs-constant predicate.
+type Pred struct {
+	Col   string
+	Op    CmpOp
+	Int   int64
+	Float float64
+}
+
+// AggKind selects the aggregate function.
+type AggKind int
+
+// Aggregate functions.
+const (
+	Count AggKind = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// Engine executes queries; it carries the characterization handles.
+type Engine struct {
+	cpu      *sim.CPU
+	scanCode *sim.CodeRegion
+	aggCode  *sim.CodeRegion
+	joinCode *sim.CodeRegion
+	planCode *sim.CodeRegion
+	rs       uint64
+}
+
+// NewEngine builds an engine. cpu may be nil.
+func NewEngine(cpu *sim.CPU) *Engine {
+	return &Engine{
+		cpu:      cpu,
+		scanCode: cpu.NewCodeRegion("sql.scan", 192<<10),
+		aggCode:  cpu.NewCodeRegion("sql.agg", 176<<10),
+		joinCode: cpu.NewCodeRegion("sql.join", 208<<10),
+		planCode: cpu.NewCodeRegion("sql.plan", 128<<10),
+		rs:       0xb5ad4eceda1ce2a9,
+	}
+}
+
+func (e *Engine) codeOff(r *sim.CodeRegion) uint64 {
+	e.rs ^= e.rs << 13
+	e.rs ^= e.rs >> 7
+	e.rs ^= e.rs << 17
+	return e.rs % r.Size()
+}
+
+// plan charges the per-query planning/dispatch overhead.
+func (e *Engine) plan() {
+	e.cpu.Code(e.planCode, e.codeOff(e.planCode), 896)
+	e.cpu.IntOps(600)
+	e.cpu.Branches(140)
+}
+
+// matchRows evaluates the predicate conjunction and returns selected rows.
+func (e *Engine) matchRows(t *Table, preds []Pred) ([]int, error) {
+	sel := make([]int, 0, t.rows)
+	for i := 0; i < t.rows; i++ {
+		sel = append(sel, i)
+	}
+	for _, p := range preds {
+		c, err := t.column(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		colIdx := t.byName[p.Col]
+		kept := sel[:0]
+		n := len(sel)
+		// Columnar scan: stream the predicate column. The per-row integer
+		// budget models Hive's interpreted expression evaluation and row
+		// container bookkeeping (dozens of instructions per row), not a
+		// vectorized native scan.
+		const batch = 512
+		for s := 0; s < n; s += batch {
+			b := batch
+			if n-s < b {
+				b = n - s
+			}
+			e.cpu.Code(e.scanCode, e.codeOff(e.scanCode), 576)
+			e.cpu.LoadR(t.region, t.colOffset(colIdx, s), b*8)
+			e.cpu.IntOps(44 * b)
+			e.cpu.Branches(10 * b)
+		}
+		for _, i := range sel {
+			var keep bool
+			if c.Def.Type == Int64 {
+				keep = p.Op.evalInt(c.Ints[i], p.Int)
+			} else {
+				keep = p.Op.evalFloat(c.Floats[i], p.Float)
+				e.cpu.FPOps(1)
+			}
+			if keep {
+				kept = append(kept, i)
+			}
+		}
+		sel = kept
+	}
+	return sel, nil
+}
+
+// Select executes SELECT proj... FROM t WHERE preds (conjunction),
+// materializing a result table.
+func (e *Engine) Select(t *Table, preds []Pred, proj []string) (*Table, error) {
+	e.plan()
+	sel, err := e.matchRows(t, preds)
+	if err != nil {
+		return nil, err
+	}
+	if len(proj) == 0 {
+		for _, c := range t.cols {
+			proj = append(proj, c.Def.Name)
+		}
+	}
+	schema := make([]ColDef, len(proj))
+	srcCols := make([]*Column, len(proj))
+	for j, name := range proj {
+		c, err := t.column(name)
+		if err != nil {
+			return nil, err
+		}
+		schema[j] = c.Def
+		srcCols[j] = c
+	}
+	out := NewTable(t.Name+"_sel", schema, e.cpu)
+	for j, c := range srcCols {
+		oc := out.cols[j]
+		for _, i := range sel {
+			if c.Def.Type == Int64 {
+				oc.Ints = append(oc.Ints, c.Ints[i])
+			} else {
+				oc.Floats = append(oc.Floats, c.Floats[i])
+			}
+		}
+	}
+	out.rows = len(sel)
+	out.Seal()
+	// Materialization stores.
+	e.cpu.StoreR(out.region, 0, out.Bytes())
+	return out, nil
+}
+
+// AggRow is one aggregation result group.
+type AggRow struct {
+	Group int64
+	Value float64
+	Count int64
+}
+
+// Aggregate executes SELECT groupBy, AGG(aggCol) FROM t WHERE preds GROUP
+// BY groupBy. For Count, aggCol may be empty. groupBy must be Int64.
+func (e *Engine) Aggregate(t *Table, preds []Pred, groupBy, aggCol string, kind AggKind) ([]AggRow, error) {
+	e.plan()
+	sel, err := e.matchRows(t, preds)
+	if err != nil {
+		return nil, err
+	}
+	gcol, err := t.IntCol(groupBy)
+	if err != nil {
+		return nil, err
+	}
+	var ints []int64
+	var floats []float64
+	if kind != Count {
+		c, err := t.column(aggCol)
+		if err != nil {
+			return nil, err
+		}
+		if c.Def.Type == Int64 {
+			ints = c.Ints
+		} else {
+			floats = c.Floats
+		}
+	}
+	gIdx := t.byName[groupBy]
+	type acc struct {
+		sum   float64
+		count int64
+		min   float64
+		max   float64
+	}
+	groups := make(map[int64]*acc)
+	order := []int64{}
+	// Hash-aggregation table region: sized by a guess of distinct keys,
+	// probed per row (the scattered-access component of Aggregate Query).
+	tblRegion := e.cpu.Alloc("sql.agg.table", uint64(t.rows)*4+4096)
+	for n, i := range sel {
+		if n%64 == 0 {
+			e.cpu.Code(e.aggCode, e.codeOff(e.aggCode), 768)
+		}
+		g := gcol[i]
+		e.cpu.LoadR(t.region, t.colOffset(gIdx, i), 8)
+		e.cpu.LoadR(tblRegion, uint64(g*2654435761)%maxU64(tblRegion.Size, 1), 16)
+		e.cpu.IntOps(62)
+		e.cpu.Branches(13)
+		a := groups[g]
+		if a == nil {
+			a = &acc{min: 1e308, max: -1e308}
+			groups[g] = a
+			order = append(order, g)
+		}
+		var v float64
+		switch {
+		case kind == Count:
+		case ints != nil:
+			v = float64(ints[i])
+		default:
+			v = floats[i]
+		}
+		a.sum += v
+		a.count++
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+		e.cpu.FPOps(2)
+		e.cpu.StoreR(tblRegion, uint64(g*2654435761)%maxU64(tblRegion.Size, 1), 24)
+	}
+	out := make([]AggRow, 0, len(order))
+	for _, g := range order {
+		a := groups[g]
+		row := AggRow{Group: g, Count: a.count}
+		switch kind {
+		case Count:
+			row.Value = float64(a.count)
+		case Sum:
+			row.Value = a.sum
+		case Avg:
+			row.Value = a.sum / float64(a.count)
+		case Min:
+			row.Value = a.min
+		case Max:
+			row.Value = a.max
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Join executes SELECT * FROM left JOIN right ON left.lkey = right.rkey
+// via a build-probe hash join (build on the smaller side is the planner's
+// job; this engine always builds on left, as the workloads put the smaller
+// ORDER table on the left). Output columns are prefixed with the source
+// table name (NAME.col).
+func (e *Engine) Join(left, right *Table, lkey, rkey string) (*Table, error) {
+	e.plan()
+	lcol, err := left.IntCol(lkey)
+	if err != nil {
+		return nil, err
+	}
+	rcol, err := right.IntCol(rkey)
+	if err != nil {
+		return nil, err
+	}
+	// Build.
+	build := make(map[int64][]int, len(lcol))
+	buildRegion := e.cpu.Alloc("sql.join.build", uint64(left.rows)*16+4096)
+	lkIdx := left.byName[lkey]
+	for i, k := range lcol {
+		build[k] = append(build[k], i)
+		if i%64 == 0 {
+			e.cpu.Code(e.joinCode, e.codeOff(e.joinCode), 768)
+		}
+		e.cpu.LoadR(left.region, left.colOffset(lkIdx, i), 8)
+		e.cpu.StoreR(buildRegion, uint64(k*2654435761)%maxU64(buildRegion.Size, 1), 16)
+		e.cpu.IntOps(48)
+		e.cpu.Branches(11)
+	}
+	// Output schema: left cols then right cols, prefixed.
+	var schema []ColDef
+	for _, c := range left.cols {
+		schema = append(schema, ColDef{Name: left.Name + "." + c.Def.Name, Type: c.Def.Type})
+	}
+	for _, c := range right.cols {
+		schema = append(schema, ColDef{Name: right.Name + "." + c.Def.Name, Type: c.Def.Type})
+	}
+	out := NewTable(fmt.Sprintf("%s_join_%s", left.Name, right.Name), schema, e.cpu)
+	// Probe.
+	rkIdx := right.byName[rkey]
+	for j, k := range rcol {
+		if j%64 == 0 {
+			e.cpu.Code(e.joinCode, e.codeOff(e.joinCode), 768)
+		}
+		e.cpu.LoadR(right.region, right.colOffset(rkIdx, j), 8)
+		e.cpu.LoadR(buildRegion, uint64(k*2654435761)%maxU64(buildRegion.Size, 1), 16)
+		e.cpu.IntOps(70)
+		e.cpu.Branches(16)
+		e.cpu.FPOps(1) // decimal column handling on the probe side
+		for _, i := range build[k] {
+			col := 0
+			for _, c := range left.cols {
+				oc := out.cols[col]
+				if c.Def.Type == Int64 {
+					oc.Ints = append(oc.Ints, c.Ints[i])
+				} else {
+					oc.Floats = append(oc.Floats, c.Floats[i])
+				}
+				col++
+			}
+			for _, c := range right.cols {
+				oc := out.cols[col]
+				if c.Def.Type == Int64 {
+					oc.Ints = append(oc.Ints, c.Ints[j])
+				} else {
+					oc.Floats = append(oc.Floats, c.Floats[j])
+				}
+				col++
+			}
+			out.rows++
+			e.cpu.IntOps(8 * len(out.cols))
+		}
+	}
+	out.Seal()
+	e.cpu.StoreR(out.region, 0, out.Bytes())
+	return out, nil
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,267 @@
+package sqlengine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// testTables builds small ORDER / ORDER_ITEM tables (paper Table 3 schema).
+func testTables(t *testing.T) (*Table, *Table) {
+	t.Helper()
+	orders := NewTable("ORDER", []ColDef{
+		{"ORDER_ID", Int64}, {"BUYER_ID", Int64}, {"CREATE_DATE", Int64},
+	}, nil)
+	items := NewTable("ITEM", []ColDef{
+		{"ITEM_ID", Int64}, {"ORDER_ID", Int64}, {"GOODS_ID", Int64},
+		{"GOODS_NUMBER", Float64}, {"GOODS_PRICE", Float64}, {"GOODS_AMOUNT", Float64},
+	}, nil)
+	for i := int64(1); i <= 100; i++ {
+		if err := orders.AppendRow(i, i%10+1, int64(15000)+i%30); err != nil {
+			t.Fatal(err)
+		}
+		for j := int64(0); j < i%4; j++ {
+			price := float64(10 * (j + 1))
+			num := float64(j + 1)
+			if err := items.AppendRow(i*10+j, i, i%7+1, num, price, num*price); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	orders.Seal()
+	items.Seal()
+	return orders, items
+}
+
+func TestSelectWithPredicates(t *testing.T) {
+	orders, _ := testTables(t)
+	e := NewEngine(nil)
+	res, err := e.Select(orders,
+		[]Pred{{Col: "BUYER_ID", Op: EQ, Int: 3}},
+		[]string{"ORDER_ID", "CREATE_DATE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != 10 {
+		t.Fatalf("rows = %d, want 10 (buyer 3 has orders 2,12,...,92)", res.Rows())
+	}
+	ids, err := res.IntCol("ORDER_ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if (id-2)%10 != 0 {
+			t.Fatalf("order %d should not match buyer 3", id)
+		}
+	}
+	if got := len(res.Cols()); got != 2 {
+		t.Fatalf("projection width = %d", got)
+	}
+}
+
+func TestSelectConjunction(t *testing.T) {
+	orders, _ := testTables(t)
+	e := NewEngine(nil)
+	res, err := e.Select(orders, []Pred{
+		{Col: "BUYER_ID", Op: EQ, Int: 3},
+		{Col: "ORDER_ID", Op: GT, Int: 50},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != 5 {
+		t.Fatalf("rows = %d, want 5", res.Rows())
+	}
+}
+
+func TestSelectUnknownColumn(t *testing.T) {
+	orders, _ := testTables(t)
+	e := NewEngine(nil)
+	if _, err := e.Select(orders, []Pred{{Col: "NOPE", Op: EQ}}, nil); err == nil {
+		t.Fatal("want error for unknown column")
+	}
+}
+
+func TestAggregateSumMatchesReference(t *testing.T) {
+	_, items := testTables(t)
+	e := NewEngine(nil)
+	got, err := e.Aggregate(items, nil, "ORDER_ID", "GOODS_AMOUNT", Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amounts, _ := items.FloatCol("GOODS_AMOUNT")
+	oids, _ := items.IntCol("ORDER_ID")
+	want := map[int64]float64{}
+	for i, id := range oids {
+		want[id] += amounts[i]
+	}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %d, want %d", len(got), len(want))
+	}
+	for _, row := range got {
+		if math.Abs(row.Value-want[row.Group]) > 1e-9 {
+			t.Fatalf("sum[%d] = %f, want %f", row.Group, row.Value, want[row.Group])
+		}
+	}
+}
+
+func TestAggregateKinds(t *testing.T) {
+	tab := NewTable("T", []ColDef{{"G", Int64}, {"V", Float64}}, nil)
+	vals := map[int64][]float64{1: {2, 4, 6}, 2: {10}}
+	for g, vs := range vals {
+		for _, v := range vs {
+			if err := tab.AppendRow(g, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tab.Seal()
+	e := NewEngine(nil)
+	check := func(kind AggKind, want map[int64]float64) {
+		rows, err := e.Aggregate(tab, nil, "G", "V", kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if math.Abs(r.Value-want[r.Group]) > 1e-9 {
+				t.Errorf("kind %d group %d = %f, want %f", kind, r.Group, r.Value, want[r.Group])
+			}
+		}
+	}
+	check(Sum, map[int64]float64{1: 12, 2: 10})
+	check(Avg, map[int64]float64{1: 4, 2: 10})
+	check(Min, map[int64]float64{1: 2, 2: 10})
+	check(Max, map[int64]float64{1: 6, 2: 10})
+	check(Count, map[int64]float64{1: 3, 2: 1})
+}
+
+func TestJoinMatchesReference(t *testing.T) {
+	orders, items := testTables(t)
+	e := NewEngine(nil)
+	res, err := e.Join(orders, items, "ORDER_ID", "ORDER_ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != items.Rows() {
+		t.Fatalf("join rows = %d, want %d (every item has one order)",
+			res.Rows(), items.Rows())
+	}
+	lid, err := res.IntCol("ORDER.ORDER_ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := res.IntCol("ITEM.ORDER_ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lid {
+		if lid[i] != rid[i] {
+			t.Fatalf("join key mismatch at %d: %d vs %d", i, lid[i], rid[i])
+		}
+	}
+}
+
+func TestJoinWithNonMatchingRows(t *testing.T) {
+	a := NewTable("A", []ColDef{{"K", Int64}, {"X", Int64}}, nil)
+	b := NewTable("B", []ColDef{{"K", Int64}, {"Y", Int64}}, nil)
+	for i := int64(0); i < 10; i++ {
+		_ = a.AppendRow(i, i*i)
+	}
+	for i := int64(5); i < 15; i++ {
+		_ = b.AppendRow(i, i+100)
+	}
+	a.Seal()
+	b.Seal()
+	e := NewEngine(nil)
+	res, err := e.Join(a, b, "K", "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != 5 {
+		t.Fatalf("join rows = %d, want 5 (keys 5..9)", res.Rows())
+	}
+}
+
+// Property: Select row count equals a direct scan count, for random data
+// and thresholds.
+func TestSelectCountProperty(t *testing.T) {
+	f := func(vals []int16, thr int16) bool {
+		tab := NewTable("P", []ColDef{{"V", Int64}}, nil)
+		want := 0
+		for _, v := range vals {
+			_ = tab.AppendRow(int64(v))
+			if int64(v) > int64(thr) {
+				want++
+			}
+		}
+		tab.Seal()
+		e := NewEngine(nil)
+		res, err := e.Select(tab, []Pred{{Col: "V", Op: GT, Int: int64(thr)}}, nil)
+		return err == nil && res.Rows() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Aggregate(Count) totals equal the selected row count.
+func TestAggregateCountProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		tab := NewTable("P", []ColDef{{"G", Int64}, {"V", Float64}}, nil)
+		for _, k := range keys {
+			_ = tab.AppendRow(int64(k%13), 1.0)
+		}
+		tab.Seal()
+		e := NewEngine(nil)
+		rows, err := e.Aggregate(tab, nil, "G", "", Count)
+		if err != nil {
+			return false
+		}
+		total := int64(0)
+		for _, r := range rows {
+			total += r.Count
+		}
+		return total == int64(len(keys))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendRowTypeChecks(t *testing.T) {
+	tab := NewTable("T", []ColDef{{"A", Int64}, {"B", Float64}}, nil)
+	if err := tab.AppendRow(int64(1), 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendRow(1.0, 2.0); err == nil {
+		t.Fatal("want type error for float in Int64 column")
+	}
+	if err := tab.AppendRow(int64(1)); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestInstrumentedQueriesEmitFPForDecimalColumns(t *testing.T) {
+	cpu := sim.New(sim.XeonE5645())
+	tab := NewTable("T", []ColDef{{"G", Int64}, {"V", Float64}}, cpu)
+	for i := int64(0); i < 2000; i++ {
+		_ = tab.AppendRow(i%50, float64(i)*0.5)
+	}
+	tab.Seal()
+	e := NewEngine(cpu)
+	if _, err := e.Aggregate(tab, nil, "G", "V", Sum); err != nil {
+		t.Fatal(err)
+	}
+	k := cpu.Counts()
+	if k.FPInstrs == 0 {
+		t.Fatal("decimal aggregation should emit some FP instructions")
+	}
+	if k.IntInstrs < k.FPInstrs {
+		t.Error("relational queries should remain integer-dominated")
+	}
+	if k.Instructions() == 0 || k.L1D.Accesses == 0 {
+		t.Fatal("no simulated activity")
+	}
+}

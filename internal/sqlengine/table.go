@@ -1,0 +1,142 @@
+package sqlengine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ColType is a column's storage type. The e-commerce schema (paper Table 3)
+// needs integers (IDs, dates) and decimals (NUMBER(10,2), NUMBER(14,6)).
+type ColType int
+
+// Column types.
+const (
+	Int64 ColType = iota
+	Float64
+)
+
+// ColDef declares one column of a table schema.
+type ColDef struct {
+	Name string
+	Type ColType
+}
+
+// Column is one typed column vector.
+type Column struct {
+	Def    ColDef
+	Ints   []int64
+	Floats []float64
+}
+
+func (c *Column) width() int { return 8 }
+
+// Table is a named columnar table. The columnar layout matches the
+// realtime-analytics engines the paper tests (Impala, Shark): predicate
+// scans stream one column, aggregations and joins touch only the columns
+// they need.
+type Table struct {
+	Name   string
+	cols   []*Column
+	byName map[string]int
+	rows   int
+
+	region sim.DataRegion
+	cpu    *sim.CPU
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema []ColDef, cpu *sim.CPU) *Table {
+	t := &Table{Name: name, byName: make(map[string]int, len(schema)), cpu: cpu}
+	for i, d := range schema {
+		t.cols = append(t.cols, &Column{Def: d})
+		t.byName[d.Name] = i
+	}
+	return t
+}
+
+// Rows returns the row count.
+func (t *Table) Rows() int { return t.rows }
+
+// Cols returns the column definitions in order.
+func (t *Table) Cols() []ColDef {
+	out := make([]ColDef, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.Def
+	}
+	return out
+}
+
+// Bytes returns the modeled storage footprint.
+func (t *Table) Bytes() int { return t.rows * 8 * len(t.cols) }
+
+// column returns the named column or an error naming the table.
+func (t *Table) column(name string) (*Column, error) {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: table %s has no column %q", t.Name, name)
+	}
+	return t.cols[i], nil
+}
+
+// AppendRow appends one row; vals must match the schema arity and types
+// (int64 for Int64 columns, float64 for Float64 columns).
+func (t *Table) AppendRow(vals ...any) error {
+	if len(vals) != len(t.cols) {
+		return fmt.Errorf("sqlengine: %s expects %d values, got %d", t.Name, len(t.cols), len(vals))
+	}
+	for i, v := range vals {
+		c := t.cols[i]
+		switch c.Def.Type {
+		case Int64:
+			x, ok := v.(int64)
+			if !ok {
+				return fmt.Errorf("sqlengine: column %s.%s wants int64, got %T", t.Name, c.Def.Name, v)
+			}
+			c.Ints = append(c.Ints, x)
+		case Float64:
+			x, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("sqlengine: column %s.%s wants float64, got %T", t.Name, c.Def.Name, v)
+			}
+			c.Floats = append(c.Floats, x)
+		}
+	}
+	t.rows++
+	return nil
+}
+
+// Seal allocates the table's simulated storage region once loading is done.
+// Appends after Seal are allowed but keep the original region size.
+func (t *Table) Seal() {
+	t.region = t.cpu.Alloc("sql.table."+t.Name, uint64(t.Bytes())+64)
+}
+
+// IntCol returns the backing slice of an Int64 column (read-only use).
+func (t *Table) IntCol(name string) ([]int64, error) {
+	c, err := t.column(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Def.Type != Int64 {
+		return nil, fmt.Errorf("sqlengine: column %s.%s is not Int64", t.Name, name)
+	}
+	return c.Ints, nil
+}
+
+// FloatCol returns the backing slice of a Float64 column (read-only use).
+func (t *Table) FloatCol(name string) ([]float64, error) {
+	c, err := t.column(name)
+	if err != nil {
+		return nil, err
+	}
+	if c.Def.Type != Float64 {
+		return nil, fmt.Errorf("sqlengine: column %s.%s is not Float64", t.Name, name)
+	}
+	return c.Floats, nil
+}
+
+// colOffset returns the simulated byte offset of row i in column col.
+func (t *Table) colOffset(colIdx, i int) uint64 {
+	return uint64(colIdx*t.rows*8 + i*8)
+}

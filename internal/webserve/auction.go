@@ -1,0 +1,293 @@
+package webserve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Item is one auction listing.
+type Item struct {
+	ID       int64   `json:"id"`
+	Seller   int32   `json:"seller"`
+	Category int32   `json:"category"`
+	Title    string  `json:"title"`
+	Price    float64 `json:"price"` // current price (highest bid or start)
+	BuyNow   float64 `json:"buyNow"`
+	Sold     bool    `json:"sold"`
+	Bids     int     `json:"bids"`
+}
+
+// Bid is one bid on an item.
+type Bid struct {
+	Item   int64   `json:"item"`
+	Bidder int32   `json:"bidder"`
+	Amount float64 `json:"amount"`
+}
+
+// AuctionService is the Rubis-like auction application: categorized items,
+// bid placement with price checks, browse and buy-now paths.
+type AuctionService struct {
+	mu         sync.RWMutex
+	items      []Item
+	bids       map[int64][]Bid
+	byCategory map[int32][]int64
+	categories int
+
+	cpu       *sim.CPU
+	httpCode  *sim.CodeRegion
+	logicCode *sim.CodeRegion
+	dbCode    *sim.CodeRegion
+	heap      sim.DataRegion
+	rs        xrand
+}
+
+// NewAuctionService creates the service with the given category count.
+func NewAuctionService(categories int, cpu *sim.CPU) *AuctionService {
+	if categories <= 0 {
+		categories = 20
+	}
+	a := &AuctionService{
+		bids:       make(map[int64][]Bid),
+		byCategory: make(map[int32][]int64),
+		categories: categories,
+		cpu:        cpu,
+		httpCode:   cpu.NewCodeRegion("rubis.http", 320<<10),
+		logicCode:  cpu.NewCodeRegion("rubis.logic", 256<<10),
+		dbCode:     cpu.NewCodeRegion("rubis.db", 288<<10),
+		heap:       cpu.Alloc("rubis.heap", 32<<20),
+	}
+	a.rs.seed(0xaf251af3b0f025b5)
+	return a
+}
+
+func (a *AuctionService) off(r *sim.CodeRegion) uint64 { return a.rs.next() % r.Size() }
+
+func (a *AuctionService) requestOverhead() {
+	// Servlet container + EJB dispatch + JDBC layers per request.
+	for hop := 0; hop < 3; hop++ {
+		a.cpu.Code(a.httpCode, a.off(a.httpCode), 832)
+		a.cpu.IntOps(420)
+		a.cpu.Branches(105)
+	}
+	a.cpu.FPOps(4)
+	// Session, account row, category tree, template fragments.
+	for i := 0; i < 12; i++ {
+		a.cpu.LoadR(a.heap, a.rs.next()%a.heap.Size, 48)
+	}
+}
+
+// Categories returns the category count.
+func (a *AuctionService) Categories() int { return a.categories }
+
+// Items returns the listing count.
+func (a *AuctionService) Items() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.items)
+}
+
+// List registers a new item and returns its ID.
+func (a *AuctionService) List(seller int32, category int32, title string, start, buyNow float64) (int64, error) {
+	if category < 0 || int(category) >= a.categories {
+		return 0, fmt.Errorf("webserve: bad category %d", category)
+	}
+	a.requestOverhead()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id := int64(len(a.items) + 1)
+	a.items = append(a.items, Item{
+		ID: id, Seller: seller, Category: category, Title: title,
+		Price: start, BuyNow: buyNow,
+	})
+	a.byCategory[category] = append(a.byCategory[category], id)
+	a.cpu.Code(a.dbCode, a.off(a.dbCode), 704)
+	a.cpu.StoreR(a.heap, uint64(id)*128%a.heap.Size, len(title)+64)
+	a.cpu.IntOps(140)
+	a.cpu.Branches(30)
+	return id, nil
+}
+
+// Browse returns up to limit items in a category (most recent first).
+func (a *AuctionService) Browse(category int32, limit int) ([]Item, error) {
+	if category < 0 || int(category) >= a.categories {
+		return nil, fmt.Errorf("webserve: bad category %d", category)
+	}
+	if limit <= 0 {
+		limit = 25
+	}
+	a.requestOverhead()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	a.cpu.Code(a.logicCode, a.off(a.logicCode), 768)
+	ids := a.byCategory[category]
+	var out []Item
+	for i := len(ids) - 1; i >= 0 && len(out) < limit; i-- {
+		it := a.items[ids[i]-1]
+		a.cpu.LoadR(a.heap, uint64(ids[i])*128%a.heap.Size, 96)
+		a.cpu.IntOps(48)
+		a.cpu.Branches(11)
+		a.cpu.FPOps(2) // price formatting
+		out = append(out, it)
+	}
+	return out, nil
+}
+
+// View returns one item and its bid history.
+func (a *AuctionService) View(id int64) (Item, []Bid, error) {
+	a.requestOverhead()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if id < 1 || int(id) > len(a.items) {
+		return Item{}, nil, fmt.Errorf("webserve: no item %d", id)
+	}
+	a.cpu.Code(a.dbCode, a.off(a.dbCode), 704)
+	a.cpu.LoadR(a.heap, uint64(id)*128%a.heap.Size, 96)
+	bs := a.bids[id]
+	a.cpu.LoadR(a.heap, (uint64(id)*128+1<<20)%a.heap.Size, len(bs)*24+16)
+	a.cpu.IntOps(80 + 8*len(bs))
+	a.cpu.Branches(12)
+	return a.items[id-1], bs, nil
+}
+
+// PlaceBid places a bid; it must exceed the current price.
+func (a *AuctionService) PlaceBid(id int64, bidder int32, amount float64) error {
+	a.requestOverhead()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id < 1 || int(id) > len(a.items) {
+		return fmt.Errorf("webserve: no item %d", id)
+	}
+	it := &a.items[id-1]
+	a.cpu.Code(a.logicCode, a.off(a.logicCode), 768)
+	a.cpu.LoadR(a.heap, uint64(id)*128%a.heap.Size, 96)
+	a.cpu.FPOps(4) // price comparison and increment math
+	a.cpu.IntOps(90)
+	a.cpu.Branches(20)
+	if it.Sold {
+		return fmt.Errorf("webserve: item %d already sold", id)
+	}
+	if amount <= it.Price {
+		return fmt.Errorf("webserve: bid %.2f not above current price %.2f", amount, it.Price)
+	}
+	it.Price = amount
+	it.Bids++
+	a.bids[id] = append(a.bids[id], Bid{Item: id, Bidder: bidder, Amount: amount})
+	a.cpu.Code(a.dbCode, a.off(a.dbCode), 640)
+	a.cpu.StoreR(a.heap, (uint64(id)*128+1<<20)%a.heap.Size, 24)
+	return nil
+}
+
+// BuyNow purchases the item at its buy-now price.
+func (a *AuctionService) BuyNow(id int64, buyer int32) error {
+	a.requestOverhead()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id < 1 || int(id) > len(a.items) {
+		return fmt.Errorf("webserve: no item %d", id)
+	}
+	it := &a.items[id-1]
+	a.cpu.Code(a.logicCode, a.off(a.logicCode), 640)
+	a.cpu.IntOps(70)
+	a.cpu.Branches(14)
+	if it.Sold {
+		return fmt.Errorf("webserve: item %d already sold", id)
+	}
+	if it.BuyNow <= 0 {
+		return fmt.Errorf("webserve: item %d has no buy-now price", id)
+	}
+	it.Sold = true
+	it.Price = it.BuyNow
+	a.cpu.StoreR(a.heap, uint64(id)*128%a.heap.Size, 96)
+	return nil
+}
+
+// ServeHTTP exposes /browse?cat=&k=, /item?id=, /bid?id=&u=&amount= (POST),
+// /buy?id=&u= (POST), /list?u=&cat=&title=&start=&buynow= (POST).
+func (a *AuctionService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	switch r.URL.Path {
+	case "/browse":
+		cat, err := strconv.Atoi(q.Get("cat"))
+		if err != nil {
+			http.Error(w, "bad cat", http.StatusBadRequest)
+			return
+		}
+		k, _ := strconv.Atoi(q.Get("k"))
+		items, err := a.Browse(int32(cat), k)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, items)
+	case "/item":
+		id, err := strconv.ParseInt(q.Get("id"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		it, bids, err := a.View(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{"item": it, "bids": bids})
+	case "/bid":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		id, err1 := strconv.ParseInt(q.Get("id"), 10, 64)
+		u, err2 := strconv.Atoi(q.Get("u"))
+		amt, err3 := strconv.ParseFloat(q.Get("amount"), 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			http.Error(w, "bad parameters", http.StatusBadRequest)
+			return
+		}
+		if err := a.PlaceBid(id, int32(u), amt); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "ok"})
+	case "/buy":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		id, err1 := strconv.ParseInt(q.Get("id"), 10, 64)
+		u, err2 := strconv.Atoi(q.Get("u"))
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad parameters", http.StatusBadRequest)
+			return
+		}
+		if err := a.BuyNow(id, int32(u)); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]string{"status": "sold"})
+	case "/list":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		u, err1 := strconv.Atoi(q.Get("u"))
+		cat, err2 := strconv.Atoi(q.Get("cat"))
+		start, err3 := strconv.ParseFloat(q.Get("start"), 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			http.Error(w, "bad parameters", http.StatusBadRequest)
+			return
+		}
+		buynow, _ := strconv.ParseFloat(q.Get("buynow"), 64)
+		id, err := a.List(int32(u), int32(cat), q.Get("title"), start, buynow)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]int64{"id": id})
+	default:
+		http.NotFound(w, r)
+	}
+}

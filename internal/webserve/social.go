@@ -1,0 +1,231 @@
+// Package webserve implements the two online-service applications of the
+// suite: a social-network service (the paper's Apache+MySQL Olio) and an
+// auction/e-commerce service (the paper's Apache+JBoss+MySQL Rubis), both
+// exposed over net/http (DESIGN.md §1). Requests execute a deep
+// parse → dispatch → business logic → storage path; the services' large
+// code footprint and scattered per-request heap accesses are what give the
+// online-service workloads their characteristic L1I and L2 behaviour in
+// the paper's Figure 6.
+package webserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Event is one social-network activity entry.
+type Event struct {
+	ID   int64  `json:"id"`
+	User int32  `json:"user"`
+	Text string `json:"text"`
+	Time int64  `json:"time"`
+}
+
+// SocialService is the Olio-like social-events application: users, a
+// friendship graph, and per-user event streams with a fan-in home timeline.
+type SocialService struct {
+	mu      sync.RWMutex
+	friends [][]int32 // adjacency: friends[u] = friend user IDs
+	events  [][]Event // events[u] = that user's events, newest last
+	nextID  int64
+	clock   int64
+
+	cpu       *sim.CPU
+	httpCode  *sim.CodeRegion
+	logicCode *sim.CodeRegion
+	storeCode *sim.CodeRegion
+	heap      sim.DataRegion
+	rs        xrand
+}
+
+// xrand is a lock-free deterministic offset source shared by the services'
+// instrumentation (concurrent requests need race-free offsets).
+type xrand struct{ v atomic.Uint64 }
+
+func (x *xrand) seed(s uint64) { x.v.Store(s) }
+
+func (x *xrand) next() uint64 {
+	for {
+		old := x.v.Load()
+		v := old
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+		if x.v.CompareAndSwap(old, v) {
+			return v
+		}
+	}
+}
+
+// NewSocialService builds the service over a friendship graph (adjacency
+// lists; vertex u's friends are friends[u]). cpu may be nil.
+func NewSocialService(friends [][]int32, cpu *sim.CPU) *SocialService {
+	s := &SocialService{
+		friends:   friends,
+		events:    make([][]Event, len(friends)),
+		cpu:       cpu,
+		httpCode:  cpu.NewCodeRegion("olio.http", 320<<10),
+		logicCode: cpu.NewCodeRegion("olio.logic", 256<<10),
+		storeCode: cpu.NewCodeRegion("olio.store", 224<<10),
+		heap:      cpu.Alloc("olio.heap", uint64(len(friends))*512+1<<20),
+	}
+	s.rs.seed(0xd1342543de82ef95)
+	return s
+}
+
+func (s *SocialService) off(r *sim.CodeRegion) uint64 { return s.rs.next() % r.Size() }
+
+// requestOverhead charges the HTTP-stack part of one request: parse,
+// routing, session lookup, template setup — several hops through a large
+// code footprint, the signature of the paper's online services.
+func (s *SocialService) requestOverhead() {
+	for hop := 0; hop < 3; hop++ {
+		s.cpu.Code(s.httpCode, s.off(s.httpCode), 832)
+		s.cpu.IntOps(420)
+		s.cpu.Branches(105)
+	}
+	s.cpu.FPOps(4)
+	// Session object, user row, template fragments: scattered heap reads.
+	for i := 0; i < 12; i++ {
+		s.cpu.LoadR(s.heap, s.rs.next()%s.heap.Size, 48)
+	}
+}
+
+// Users returns the user population size.
+func (s *SocialService) Users() int { return len(s.friends) }
+
+// AddEvent posts an event for user u and returns its ID.
+func (s *SocialService) AddEvent(u int32, text string, now int64) (int64, error) {
+	if int(u) >= len(s.events) || u < 0 {
+		return 0, fmt.Errorf("webserve: no such user %d", u)
+	}
+	s.requestOverhead()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.clock++
+	ev := Event{ID: s.nextID, User: u, Text: text, Time: now}
+	s.events[u] = append(s.events[u], ev)
+	s.cpu.Code(s.storeCode, s.off(s.storeCode), 640)
+	s.cpu.StoreR(s.heap, uint64(u)*512, len(text)+32)
+	s.cpu.IntOps(120)
+	s.cpu.Branches(30)
+	return s.nextID, nil
+}
+
+// Home returns the most recent limit events among user u's friends —
+// the service's hot, fan-in read path.
+func (s *SocialService) Home(u int32, limit int) ([]Event, error) {
+	if int(u) >= len(s.friends) || u < 0 {
+		return nil, fmt.Errorf("webserve: no such user %d", u)
+	}
+	if limit <= 0 {
+		limit = 20
+	}
+	s.requestOverhead()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.cpu.Code(s.logicCode, s.off(s.logicCode), 768)
+	var out []Event
+	for _, f := range s.friends[u] {
+		evs := s.events[f]
+		// Scattered read of each friend's recent events.
+		s.cpu.LoadR(s.heap, uint64(f)*512, 64)
+		s.cpu.IntOps(52)
+		s.cpu.Branches(12)
+		s.cpu.FPOps(1) // timestamp ordering math
+		for i := len(evs) - 1; i >= 0 && i >= len(evs)-3; i-- {
+			out = append(out, evs[i])
+		}
+	}
+	// Newest first, bounded.
+	sortEventsByTimeDesc(out)
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	s.cpu.IntOps(10 * len(out))
+	return out, nil
+}
+
+// Profile returns a user's friend count and event count.
+func (s *SocialService) Profile(u int32) (friends, events int, err error) {
+	if int(u) >= len(s.friends) || u < 0 {
+		return 0, 0, fmt.Errorf("webserve: no such user %d", u)
+	}
+	s.requestOverhead()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.cpu.LoadR(s.heap, uint64(u)*512, 128)
+	s.cpu.IntOps(60)
+	return len(s.friends[u]), len(s.events[u]), nil
+}
+
+func sortEventsByTimeDesc(evs []Event) {
+	// Insertion sort: result sets are small (bounded by 3×friends fan-in
+	// before truncation) and mostly ordered.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].Time > evs[j-1].Time; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+// ServeHTTP exposes /home?u=&k=, /profile?u=, /event?u=&text= (POST).
+func (s *SocialService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/home":
+		u, err := strconv.Atoi(r.URL.Query().Get("u"))
+		if err != nil {
+			http.Error(w, "bad u", http.StatusBadRequest)
+			return
+		}
+		k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+		evs, err := s.Home(int32(u), k)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, evs)
+	case "/profile":
+		u, err := strconv.Atoi(r.URL.Query().Get("u"))
+		if err != nil {
+			http.Error(w, "bad u", http.StatusBadRequest)
+			return
+		}
+		nf, ne, err := s.Profile(int32(u))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]int{"friends": nf, "events": ne})
+	case "/event":
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		u, err := strconv.Atoi(r.URL.Query().Get("u"))
+		if err != nil {
+			http.Error(w, "bad u", http.StatusBadRequest)
+			return
+		}
+		id, err := s.AddEvent(int32(u), r.URL.Query().Get("text"), 0)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]int64{"id": id})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,249 @@
+package webserve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func smallGraph() [][]int32 {
+	// 0-1, 0-2, 1-2, 3 isolated
+	return [][]int32{{1, 2}, {0, 2}, {0, 1}, {}}
+}
+
+func TestSocialAddEventAndHome(t *testing.T) {
+	s := NewSocialService(smallGraph(), nil)
+	if _, err := s.AddEvent(1, "hello from 1", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEvent(2, "hello from 2", 20); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := s.Home(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("home(0) = %d events, want 2 (friends 1 and 2)", len(evs))
+	}
+	if evs[0].Time < evs[1].Time {
+		t.Error("home timeline not newest-first")
+	}
+	// User 3 has no friends: empty timeline.
+	evs, err = s.Home(3, 10)
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("home(3) = %v, %v", evs, err)
+	}
+}
+
+func TestSocialProfileAndErrors(t *testing.T) {
+	s := NewSocialService(smallGraph(), nil)
+	_, _ = s.AddEvent(0, "x", 1)
+	nf, ne, err := s.Profile(0)
+	if err != nil || nf != 2 || ne != 1 {
+		t.Fatalf("profile(0) = %d friends %d events, err %v", nf, ne, err)
+	}
+	if _, err := s.AddEvent(99, "x", 1); err == nil {
+		t.Fatal("want error for unknown user")
+	}
+	if _, err := s.Home(-1, 5); err == nil {
+		t.Fatal("want error for negative user")
+	}
+}
+
+func TestSocialHomeLimit(t *testing.T) {
+	s := NewSocialService(smallGraph(), nil)
+	for i := 0; i < 10; i++ {
+		_, _ = s.AddEvent(1, "e", int64(i))
+		_, _ = s.AddEvent(2, "e", int64(i))
+	}
+	evs, _ := s.Home(0, 4)
+	if len(evs) != 4 {
+		t.Fatalf("limit not applied: %d", len(evs))
+	}
+}
+
+func TestSocialHTTP(t *testing.T) {
+	s := NewSocialService(smallGraph(), nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("POST", "/event?u=1&text=hi", nil))
+	if rec.Code != 200 {
+		t.Fatalf("event status = %d: %s", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/home?u=0", nil))
+	if rec.Code != 200 {
+		t.Fatalf("home status = %d", rec.Code)
+	}
+	var evs []Event
+	if err := json.Unmarshal(rec.Body.Bytes(), &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].User != 1 {
+		t.Fatalf("home = %+v", evs)
+	}
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/event?u=1&text=hi", nil))
+	if rec.Code != 405 {
+		t.Fatalf("GET /event status = %d, want 405", rec.Code)
+	}
+}
+
+func TestAuctionLifecycle(t *testing.T) {
+	a := NewAuctionService(5, nil)
+	id, err := a.List(1, 2, "vintage cpu", 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PlaceBid(id, 7, 15); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PlaceBid(id, 8, 12); err == nil {
+		t.Fatal("bid below current price must fail")
+	}
+	it, bids, err := a.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Price != 15 || it.Bids != 1 || len(bids) != 1 {
+		t.Fatalf("item = %+v bids = %+v", it, bids)
+	}
+	if err := a.BuyNow(id, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PlaceBid(id, 10, 500); err == nil {
+		t.Fatal("bid on sold item must fail")
+	}
+	it, _, _ = a.View(id)
+	if !it.Sold || it.Price != 100 {
+		t.Fatalf("after buy-now: %+v", it)
+	}
+}
+
+func TestAuctionBrowse(t *testing.T) {
+	a := NewAuctionService(3, nil)
+	for i := 0; i < 30; i++ {
+		if _, err := a.List(int32(i), int32(i%3), "item", 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, err := a.Browse(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 5 {
+		t.Fatalf("browse = %d items", len(items))
+	}
+	for _, it := range items {
+		if it.Category != 1 {
+			t.Fatalf("browse leaked category %d", it.Category)
+		}
+	}
+	if _, err := a.Browse(99, 5); err == nil {
+		t.Fatal("want error for bad category")
+	}
+}
+
+func TestAuctionHTTP(t *testing.T) {
+	a := NewAuctionService(4, nil)
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest("POST", "/list?u=1&cat=2&title=x&start=5&buynow=50", nil))
+	if rec.Code != 200 {
+		t.Fatalf("list status = %d: %s", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest("POST", "/bid?id=1&u=3&amount=7.5", nil))
+	if rec.Code != 200 {
+		t.Fatalf("bid status = %d: %s", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest("POST", "/bid?id=1&u=4&amount=6", nil))
+	if rec.Code != 409 {
+		t.Fatalf("low bid status = %d, want 409", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest("GET", "/item?id=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("item status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	a.ServeHTTP(rec, httptest.NewRequest("POST", "/buy?id=1&u=5", nil))
+	if rec.Code != 200 {
+		t.Fatalf("buy status = %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// Property: the recorded highest price equals the max of accepted bids, and
+// accepted bids are strictly increasing.
+func TestBidMonotonicityProperty(t *testing.T) {
+	f := func(amounts []uint16) bool {
+		a := NewAuctionService(2, nil)
+		id, _ := a.List(0, 0, "p", 1, 0)
+		best := 1.0
+		for _, amt := range amounts {
+			v := float64(amt)
+			err := a.PlaceBid(id, 1, v)
+			if (err == nil) != (v > best) {
+				return false
+			}
+			if err == nil {
+				best = v
+			}
+		}
+		it, _, _ := a.View(id)
+		return it.Price == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s := NewSocialService(smallGraph(), nil)
+	a := NewAuctionService(4, nil)
+	id, _ := a.List(0, 1, "c", 1, 1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, _ = s.AddEvent(int32(g%3), "e", int64(i))
+				_, _ = s.Home(0, 5)
+				_ = a.PlaceBid(id, int32(g), float64(g*1000+i))
+				_, _ = a.Browse(1, 5)
+			}
+		}(g)
+	}
+	wg.Wait()
+	it, bids, _ := a.View(id)
+	for i := 1; i < len(bids); i++ {
+		if bids[i].Amount <= bids[i-1].Amount {
+			t.Fatal("accepted bids not strictly increasing under concurrency")
+		}
+	}
+	if len(bids) == 0 || it.Price != bids[len(bids)-1].Amount {
+		t.Fatal("price does not match last accepted bid")
+	}
+}
+
+func TestInstrumentedServices(t *testing.T) {
+	cpu := sim.New(sim.XeonE5645())
+	s := NewSocialService(smallGraph(), cpu)
+	_, _ = s.AddEvent(1, "x", 1)
+	_, _ = s.Home(0, 5)
+	a := NewAuctionService(3, cpu)
+	id, _ := a.List(0, 0, "y", 1, 10)
+	_ = a.PlaceBid(id, 1, 5)
+	k := cpu.Counts()
+	if k.Instructions() == 0 {
+		t.Fatal("no instrumentation stream")
+	}
+	if k.IntInstrs < k.FPInstrs*10 {
+		t.Error("services should be overwhelmingly integer code")
+	}
+}

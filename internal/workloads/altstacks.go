@@ -1,0 +1,334 @@
+package workloads
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/mpi"
+)
+
+// This file implements the paper's stated roadmap (Section 4.3: "we plan
+// to release other implementations, e.g., MPI, Spark") — alternative
+// software-stack implementations of suite workloads. They enable the
+// apples-to-apples stack comparisons the paper motivates (Section 6.3.2:
+// "we are planning further investigation ... e.g., replacing MapReduce
+// with MPI") and back the cross-stack ablation bench.
+
+// WordCountSpark is WordCount on the dataflow (Spark) substrate.
+type WordCountSpark struct{ meta }
+
+// NewWordCountSpark constructs the workload.
+func NewWordCountSpark() *WordCountSpark {
+	return &WordCountSpark{meta{
+		name: "WordCount-Spark", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "Spark", dtype: "unstructured", dsource: "text",
+		baseline: "32 GB text",
+	}}
+}
+
+// Run implements core.Workload.
+func (w *WordCountSpark) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	recs, bytes := textLines(in.Seed, in.Bytes(32))
+	lines := make([]string, len(recs))
+	for i, r := range recs {
+		lines[i] = r.Value
+	}
+	k := newKernel(in.CPU, "wordcount.spark.map", 5<<10, 0x5a1)
+	ctx := dataflow.NewContext(in.Workers, in.CPU)
+	ds := dataflow.Parallelize(ctx, lines, 0, avgLineBytes)
+
+	start := time.Now()
+	pairs := dataflow.FlatMap(ds, 16, func(line string, emit func(dataflow.Pair[string, int])) {
+		k.enter(448)
+		words := 0
+		for _, word := range strings.Fields(line) {
+			emit(dataflow.Pair[string, int]{Key: word, Val: 1})
+			words++
+		}
+		k.cpu.IntOps(len(line) + 8*words)
+		k.cpu.Branches(len(line)/2 + words)
+	})
+	counts := dataflow.ReduceByKey(pairs, 0, func(a, b int) int { return a + b })
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: bytes, UnitName: "bytes",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"distinctWords": float64(counts.Len())},
+	}
+	r.Finish()
+	return r, nil
+}
+
+// GrepSpark is Grep on the dataflow (Spark) substrate.
+type GrepSpark struct{ meta }
+
+// NewGrepSpark constructs the workload.
+func NewGrepSpark() *GrepSpark {
+	return &GrepSpark{meta{
+		name: "Grep-Spark", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "Spark", dtype: "unstructured", dsource: "text",
+		baseline: "32 GB text",
+	}}
+}
+
+// Run implements core.Workload.
+func (w *GrepSpark) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	recs, bytes := textLines(in.Seed, in.Bytes(32))
+	lines := make([]string, len(recs))
+	for i, r := range recs {
+		lines[i] = r.Value
+	}
+	pat := "the"
+	k := newKernel(in.CPU, "grep.spark", 3<<10, 0x95e)
+	ctx := dataflow.NewContext(in.Workers, in.CPU)
+	ds := dataflow.Parallelize(ctx, lines, 0, avgLineBytes)
+
+	start := time.Now()
+	matches := dataflow.Filter(ds, func(line string) bool {
+		k.enter(512)
+		hit, ops := grepContains(line, pat)
+		k.cpu.IntOps(ops + len(line)/4)
+		k.cpu.Branches(ops / 2)
+		return hit
+	})
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: bytes, UnitName: "bytes",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"matches": float64(matches.Len())},
+	}
+	r.Finish()
+	return r, nil
+}
+
+// WordCountMPI is WordCount on the MPI substrate: ranks tokenize disjoint
+// shards and merge partial count tables via pairwise exchange — the
+// shallow-stack counterpart to the Hadoop implementation that the paper's
+// Section 6.3.2 proposes for isolating the software-stack effect on L1I.
+type WordCountMPI struct {
+	meta
+	// Ranks is the world size (default 4).
+	Ranks int
+}
+
+// NewWordCountMPI constructs the workload.
+func NewWordCountMPI() *WordCountMPI {
+	return &WordCountMPI{meta: meta{
+		name: "WordCount-MPI", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "MPI", dtype: "unstructured", dsource: "text",
+		baseline: "32 GB text",
+	}, Ranks: 4}
+}
+
+// Run implements core.Workload.
+func (w *WordCountMPI) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	recs, bytes := textLines(in.Seed, in.Bytes(32))
+	k := newKernel(in.CPU, "wordcount.mpi", 4<<10, 0x3c9)
+	input := in.CPU.Alloc("wordcount.mpi.input", uint64(bytes)+64)
+	distinct := make([]int, w.Ranks)
+
+	start := time.Now()
+	err := mpi.Run(w.Ranks, in.CPU, func(c *mpi.Comm) error {
+		counts := map[string]int{}
+		var off uint64
+		for i := c.Rank(); i < len(recs); i += c.Size() {
+			line := recs[i].Value
+			k.enter(448)
+			k.cpu.LoadR(input, off, len(line))
+			off += uint64(len(line))
+			words := 0
+			for _, word := range strings.Fields(line) {
+				counts[word]++
+				words++
+			}
+			k.cpu.IntOps(len(line) + 8*words)
+			k.cpu.Branches(len(line)/2 + words)
+		}
+		// Merge: ranks send their tables to rank 0 as "word count" lines.
+		if c.Rank() != 0 {
+			var sb strings.Builder
+			for word, n := range counts {
+				sb.WriteString(word)
+				sb.WriteByte(' ')
+				sb.WriteString(itoa(n))
+				sb.WriteByte('\n')
+			}
+			c.Send(0, []byte(sb.String()))
+			return nil
+		}
+		for from := 1; from < c.Size(); from++ {
+			for _, line := range strings.Split(string(c.Recv(from)), "\n") {
+				word, num, ok := strings.Cut(line, " ")
+				if !ok {
+					continue
+				}
+				counts[word] += atoi(num)
+			}
+		}
+		distinct[0] = len(counts)
+		return nil
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: bytes, UnitName: "bytes",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"distinctWords": float64(distinct[0])},
+	}
+	r.Finish()
+	return r, nil
+}
+
+// PageRankMPI is PageRank on the MPI substrate: each rank owns a vertex
+// stripe and exchanges boundary rank contributions per iteration.
+type PageRankMPI struct {
+	meta
+	Iterations int
+	EdgeFactor int
+	Ranks      int
+}
+
+// NewPageRankMPI constructs the workload.
+func NewPageRankMPI() *PageRankMPI {
+	return &PageRankMPI{meta: meta{
+		name: "PageRank-MPI", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "MPI", dtype: "unstructured", dsource: "graph",
+		baseline: "10^6 pages",
+	}, Iterations: 5, EdgeFactor: 6, Ranks: 4}
+}
+
+// Run implements core.Workload.
+func (w *PageRankMPI) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	g := genWebGraph(in, w.EdgeFactor)
+	n := g.N
+	k := newKernel(in.CPU, "pagerank.mpi", 4<<10, 0x11b)
+	ranksRegion := in.CPU.Alloc("pagerank.mpi.ranks", uint64(n)*8+64)
+	adjRegion := in.CPU.Alloc("pagerank.mpi.adj", uint64(g.BytesApprox())+64)
+
+	final := make([]float64, n)
+	start := time.Now()
+	err := mpi.Run(w.Ranks, in.CPU, func(c *mpi.Comm) error {
+		P := c.Size()
+		ranks := make([]float64, n)
+		for i := range ranks {
+			ranks[i] = 1.0 / float64(n)
+		}
+		const damping = 0.85
+		for it := 0; it < w.Iterations; it++ {
+			// Contributions this rank's vertex stripe sends out, bucketed
+			// by destination owner.
+			out := make([][]int32, P) // destination vertices
+			outVal := make([][]float64, P)
+			for v := c.Rank(); v < n; v += P {
+				adj := g.Adj[v]
+				if len(adj) == 0 {
+					continue
+				}
+				k.enter(448)
+				k.cpu.LoadR(ranksRegion, uint64(v)*8, 8)
+				k.cpu.LoadR(adjRegion, uint64(v)*uint64(w.EdgeFactor)*4, len(adj)*4)
+				k.cpu.FPOps(1 + len(adj))
+				k.cpu.IntOps(3 * len(adj))
+				k.cpu.Branches(len(adj))
+				share := ranks[v] / float64(len(adj))
+				for _, to := range adj {
+					owner := int(to) % P
+					out[owner] = append(out[owner], to)
+					outVal[owner] = append(outVal[owner], share)
+				}
+			}
+			inDst := c.AlltoallInt32s(out)
+			inVal := alltoallFloat64(c, outVal)
+			next := make([]float64, n)
+			base := (1 - damping) / float64(n)
+			for v := c.Rank(); v < n; v += P {
+				next[v] = base
+			}
+			for from := range inDst {
+				for j, dst := range inDst[from] {
+					next[dst] += damping * inVal[from][j]
+					k.cpu.FPOps(2)
+					k.cpu.StoreR(ranksRegion, uint64(dst)*8, 8)
+				}
+			}
+			// Broadcast owned stripes so every rank sees all ranks' values
+			// next iteration (dense exchange, as a 1-D BSP PageRank does).
+			ownAll := make([][]float64, P)
+			for p := 0; p < P; p++ {
+				stripe := make([]float64, 0, n/P+1)
+				for v := c.Rank(); v < n; v += P {
+					stripe = append(stripe, next[v])
+				}
+				ownAll[p] = stripe
+			}
+			gathered := alltoallFloat64(c, ownAll)
+			for from := range gathered {
+				i := 0
+				for v := from; v < n; v += P {
+					ranks[v] = gathered[from][i]
+					i++
+				}
+			}
+			c.Barrier()
+		}
+		if c.Rank() == 0 {
+			copy(final, ranks)
+		}
+		return nil
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	var mass float64
+	for _, v := range final {
+		mass += v
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: int64(n), UnitName: "pages",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"rankMass": mass, "iterations": float64(w.Iterations)},
+	}
+	r.Finish()
+	return r, nil
+}
+
+// alltoallFloat64 exchanges float64 vectors between all ranks by packing
+// them through the byte transport.
+func alltoallFloat64(c *mpi.Comm, out [][]float64) [][]float64 {
+	enc := make([][]int32, len(out))
+	for p, vec := range out {
+		bits := make([]int32, 2*len(vec))
+		for i, v := range vec {
+			u := float64bits(v)
+			bits[2*i] = int32(uint32(u))
+			bits[2*i+1] = int32(uint32(u >> 32))
+		}
+		enc[p] = bits
+	}
+	in := c.AlltoallInt32s(enc)
+	dec := make([][]float64, len(in))
+	for p, bits := range in {
+		vec := make([]float64, len(bits)/2)
+		for i := range vec {
+			u := uint64(uint32(bits[2*i])) | uint64(uint32(bits[2*i+1]))<<32
+			vec[i] = float64frombits(u)
+		}
+		dec[p] = vec
+	}
+	return dec
+}
+
+// AltStacks returns the alternative-stack implementations.
+func AltStacks() []core.Workload {
+	return []core.Workload{
+		NewWordCountSpark(),
+		NewGrepSpark(),
+		NewWordCountMPI(),
+		NewPageRankMPI(),
+	}
+}

@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestAltStackRoster(t *testing.T) {
+	alts := AltStacks()
+	if len(alts) != 4 {
+		t.Fatalf("alt stacks = %d", len(alts))
+	}
+	for _, w := range alts {
+		if w.Stack() != "Spark" && w.Stack() != "MPI" {
+			t.Errorf("%s: unexpected stack %s", w.Name(), w.Stack())
+		}
+	}
+}
+
+func TestWordCountSparkMatchesHadoop(t *testing.T) {
+	in := tinyInput()
+	hadoop, err := NewWordCount().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spark, err := NewWordCountSpark().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hadoop.Extra["distinctWords"] != spark.Extra["distinctWords"] {
+		t.Errorf("stack implementations disagree: hadoop %.0f vs spark %.0f distinct words",
+			hadoop.Extra["distinctWords"], spark.Extra["distinctWords"])
+	}
+}
+
+func TestWordCountMPIMatchesHadoop(t *testing.T) {
+	in := tinyInput()
+	hadoop, err := NewWordCount().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpiRes, err := NewWordCountMPI().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hadoop.Extra["distinctWords"] != mpiRes.Extra["distinctWords"] {
+		t.Errorf("hadoop %.0f vs mpi %.0f distinct words",
+			hadoop.Extra["distinctWords"], mpiRes.Extra["distinctWords"])
+	}
+}
+
+func TestGrepSparkMatchesExpectations(t *testing.T) {
+	res := runTiny(t, NewGrepSpark(), false)
+	if res.Extra["matches"] <= 0 {
+		t.Error("the pattern 'the' must match some lines")
+	}
+}
+
+func TestPageRankMPIMassAgreesWithSpark(t *testing.T) {
+	in := tinyInput()
+	spark, err := NewPageRank().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpiRes, err := NewPageRankMPI().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same graph, same damping: total rank mass must agree closely.
+	if math.Abs(spark.Extra["rankMass"]-mpiRes.Extra["rankMass"]) > 0.02 {
+		t.Errorf("rank mass disagrees: spark %.4f vs mpi %.4f",
+			spark.Extra["rankMass"], mpiRes.Extra["rankMass"])
+	}
+}
+
+// TestStackShapesL1I is the Section 6.3.2 experiment the paper proposes:
+// replacing MapReduce with MPI collapses the instruction-cache pressure.
+func TestStackShapesL1I(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterized runs")
+	}
+	in := tinyInput()
+	in.Scale = 4
+	hadoop, err := core.Characterize(NewWordCount(), in, sim.XeonE5645())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpiRes, err := core.Characterize(NewWordCountMPI(), in, sim.XeonE5645())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpiRes.Counts.L1IMPKI() >= hadoop.Counts.L1IMPKI() {
+		t.Errorf("MPI WordCount L1I MPKI %.2f should undercut Hadoop's %.2f",
+			mpiRes.Counts.L1IMPKI(), hadoop.Counts.L1IMPKI())
+	}
+}

@@ -1,0 +1,112 @@
+package workloads
+
+import (
+	"time"
+
+	"repro/internal/bdgs"
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// BFSWorkload is Table 4 row "BFS": a level-synchronous, 1-D partitioned
+// parallel breadth-first search over a Graph500-style power-law graph on
+// the MPI substrate. Its scattered visited-map and adjacency accesses make
+// it the analytics outlier in the paper's Figure 6 (highest L2 MPKI ≈ 56
+// and DTLB MPKI ≈ 14 of the suite).
+type BFSWorkload struct {
+	meta
+	// EdgeFactor is edges per vertex (default 16, the Graph500 setting).
+	EdgeFactor int
+	// Ranks is the MPI world size (default 4).
+	Ranks int
+}
+
+// NewBFS constructs the workload.
+func NewBFS() *BFSWorkload {
+	return &BFSWorkload{meta: meta{
+		name: "BFS", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "MPI", dtype: "unstructured", dsource: "graph",
+		baseline: "2^15 vertices",
+	}, EdgeFactor: 16, Ranks: 4}
+}
+
+// Run implements core.Workload.
+func (w *BFSWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	n := in.Vertices()
+	g := bdgs.GenGraph(in.Seed, log2ceil(n), w.EdgeFactor, bdgs.WebGraphParams(), false)
+	k := newKernel(in.CPU, "bfs.kernel", 4<<10, 0xbf5)
+	adjRegion := in.CPU.Alloc("bfs.adj", uint64(g.BytesApprox())+64)
+	// Per-vertex BFS state is a 64-byte record (parent, level, lock word,
+	// padding), as in Graph500 reference codes: the scattered probe/update
+	// of this array is what gives BFS its outlier L2 and DTLB MPKI.
+	visRegion := in.CPU.Alloc("bfs.visited", uint64(n)*64+64)
+	P := w.Ranks
+
+	visitedCount := int64(0)
+	start := time.Now()
+	err := mpi.Run(P, in.CPU, func(c *mpi.Comm) error {
+		rank := c.Rank()
+		visited := make([]bool, n) // local view of owned vertices (v%P==rank)
+		var frontier []int32
+		root := int32(0)
+		if int(root)%P == rank {
+			visited[root] = true
+			frontier = []int32{root}
+		}
+		for level := 0; ; level++ {
+			// Expand: bucket neighbor vertices by owner rank.
+			out := make([][]int32, P)
+			for _, v := range frontier {
+				adj := g.Adj[v]
+				k.enter(640)
+				// Sequential read of v's adjacency list.
+				k.cpu.LoadR(adjRegion, uint64(v)*uint64(w.EdgeFactor)*4, len(adj)*4)
+				k.cpu.IntOps(4 * len(adj))
+				k.cpu.Branches(len(adj))
+				k.cpu.FPOps(2) // per-vertex traversal statistics
+				for _, nb := range adj {
+					out[int(nb)%P] = append(out[int(nb)%P], nb)
+				}
+			}
+			in2 := c.AlltoallInt32s(out)
+			// Contract: mark newly visited owned vertices.
+			frontier = frontier[:0]
+			newly := int64(0)
+			for _, vec := range in2 {
+				for _, v := range vec {
+					// Scattered probe + store into the visited state.
+					k.cpu.LoadR(visRegion, uint64(v)*64, 8)
+					k.cpu.IntOps(6)
+					k.cpu.Branches(2)
+					if !visited[v] {
+						visited[v] = true
+						k.cpu.StoreR(visRegion, uint64(v)*64, 16)
+						frontier = append(frontier, v)
+						newly++
+					}
+				}
+			}
+			total := c.AllreduceInt64(newly, func(a, b int64) int64 { return a + b })
+			if rank == 0 {
+				visitedCount += total
+			}
+			if total == 0 {
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		return core.Result{}, err
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: int64(n), UnitName: "vertices",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{
+			"reached": float64(visitedCount + 1), // +1 for the root
+			"edges":   float64(g.Edges()),
+		},
+	}
+	r.Finish()
+	return r, nil
+}

@@ -1,0 +1,113 @@
+// Package workloads implements the nineteen BigDataBench benchmarks
+// (paper Table 4) on the repository's substrates: the Hadoop-style
+// MapReduce micro benchmarks and analytics, the MPI BFS, the Cloud-OLTP
+// operations on the LSM store, the relational queries on the columnar
+// engine, the three online services, and the iterative analytics on the
+// dataflow engine. Every workload does its real computation in Go and,
+// when the input carries a characterization CPU, additionally emits the
+// user-kernel side of the simulated instruction/memory stream (the
+// substrates emit the framework side).
+package workloads
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/bdgs"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// meta carries the Table 4 taxonomy for one workload.
+type meta struct {
+	name     string
+	class    core.Class
+	metric   core.Metric
+	stack    string
+	dtype    string
+	dsource  string
+	baseline string
+}
+
+func (m meta) Name() string          { return m.name }
+func (m meta) Class() core.Class     { return m.class }
+func (m meta) Metric() core.Metric   { return m.metric }
+func (m meta) Stack() string         { return m.stack }
+func (m meta) DataType() string      { return m.dtype }
+func (m meta) DataSource() string    { return m.dsource }
+func (m meta) BaselineInput() string { return m.baseline }
+
+// xrand is a race-free deterministic offset stream for kernels whose
+// closures run on several substrate workers.
+type xrand struct{ v atomic.Uint64 }
+
+func newXrand(seed uint64) *xrand {
+	x := &xrand{}
+	x.v.Store(seed | 1)
+	return x
+}
+
+func (x *xrand) next() uint64 {
+	for {
+		old := x.v.Load()
+		v := old
+		v ^= v << 13
+		v ^= v >> 7
+		v ^= v << 17
+		if x.v.CompareAndSwap(old, v) {
+			return v
+		}
+	}
+}
+
+// kernel bundles the user-code instrumentation handles of one workload:
+// the (small, tight) user function code region, in contrast to the large
+// framework regions the substrates register.
+type kernel struct {
+	cpu  *sim.CPU
+	code *sim.CodeRegion
+	rs   *xrand
+}
+
+func newKernel(cpu *sim.CPU, name string, codeBytes uint64, seed uint64) kernel {
+	return kernel{
+		cpu:  cpu,
+		code: cpu.NewCodeRegion(name, codeBytes),
+		rs:   newXrand(seed),
+	}
+}
+
+// enter positions execution in the kernel's loop body.
+func (k kernel) enter(window uint64) {
+	if k.cpu == nil {
+		return
+	}
+	k.cpu.Code(k.code, k.rs.next()%k.code.Size(), window)
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// genWebGraph generates the directed web graph sized by the input's page
+// unit (shared by the Spark and MPI PageRank implementations).
+func genWebGraph(in core.Input, edgeFactor int) *bdgs.Graph {
+	return bdgs.GenGraph(in.Seed, log2ceil(in.Pages()), edgeFactor,
+		bdgs.WebGraphParams(), true)
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func atoi(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}
+
+func float64bits(v float64) uint64     { return math.Float64bits(v) }
+func float64frombits(u uint64) float64 { return math.Float64frombits(u) }

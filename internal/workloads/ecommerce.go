@@ -1,0 +1,339 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bdgs"
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/search"
+	"repro/internal/webserve"
+)
+
+// RubisServerWorkload is Table 4 row "Rubis Server": the auction-site
+// online service (browse / view / bid / buy request mix).
+type RubisServerWorkload struct {
+	meta
+	// Listings is the prepopulated item count (default 2000).
+	Listings int
+	// Categories is the category count (default 20).
+	Categories int
+}
+
+// NewRubisServer constructs the workload.
+func NewRubisServer() *RubisServerWorkload {
+	return &RubisServerWorkload{meta: meta{
+		name: "Rubis Server", class: core.OnlineService, metric: core.RPS,
+		stack: "Apache+JBoss+MySQL", dtype: "structured", dsource: "table",
+		baseline: "100 req/s",
+	}, Listings: 2000, Categories: 20}
+}
+
+// Run implements core.Workload.
+func (w *RubisServerWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	svc := webserve.NewAuctionService(w.Categories, in.CPU)
+	rng := rand.New(rand.NewSource(in.Seed + 51))
+	zCat := rand.NewZipf(rng, 1.3, 3, uint64(w.Categories-1))
+	for i := 0; i < w.Listings; i++ {
+		if _, err := svc.List(int32(rng.Intn(5000)), int32(zCat.Uint64()),
+			"listing "+strconv.Itoa(i), 1+rng.Float64()*50, 100+rng.Float64()*200); err != nil {
+			return core.Result{}, err
+		}
+	}
+	zItem := rand.NewZipf(rng, 1.1, 4, uint64(w.Listings-1))
+	n := in.Requests()
+	in.CPU.ResetStats() // prepopulation is untimed warmup
+
+	var lat core.LatencyRecorder
+	start := time.Now()
+	var served, conflicts int64
+	for i := 0; i < n; i++ {
+		var err error
+		reqStart := time.Now()
+		switch x := rng.Float64(); {
+		case x < 0.50:
+			_, err = svc.Browse(int32(zCat.Uint64()), 25)
+		case x < 0.75:
+			_, _, err = svc.View(int64(zItem.Uint64()) + 1)
+		case x < 0.95:
+			id := int64(zItem.Uint64()) + 1
+			it, _, verr := svc.View(id)
+			if verr == nil {
+				err = svc.PlaceBid(id, int32(rng.Intn(5000)), it.Price*(1.01+rng.Float64()*0.2))
+			}
+			if err != nil {
+				// Lost race / already sold: a business conflict, not a
+				// server failure — count and continue.
+				conflicts++
+				err = nil
+			}
+		default:
+			if err = svc.BuyNow(int64(zItem.Uint64())+1, int32(rng.Intn(5000))); err != nil {
+				conflicts++
+				err = nil
+			}
+		}
+		lat.Record(time.Since(reqStart))
+		if err != nil {
+			return core.Result{}, fmt.Errorf("rubis request %d: %w", i, err)
+		}
+		served++
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: served, UnitName: "reqs",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"conflicts": float64(conflicts)},
+	}
+	lat.Attach(&r)
+	r.Finish()
+	return r, nil
+}
+
+// CFWorkload is Table 4 row "Collaborative Filtering (CF)": item-based
+// co-occurrence recommendation (the Mahout-style algorithm the paper
+// runs) over the Amazon-review model, on the MapReduce substrate.
+type CFWorkload struct {
+	meta
+	// ReviewsPerUser controls interaction density (default 4).
+	ReviewsPerUser int
+	// MaxPairsPerUser caps the co-occurrence fan-out per user basket.
+	MaxPairsPerUser int
+}
+
+// NewCF constructs the workload.
+func NewCF() *CFWorkload {
+	return &CFWorkload{meta: meta{
+		name: "Collaborative Filtering", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "Hadoop", dtype: "semi-structured", dsource: "text",
+		baseline: "2^15 users",
+	}, ReviewsPerUser: 4, MaxPairsPerUser: 64}
+}
+
+// Run implements core.Workload.
+func (w *CFWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	users := in.Vertices()
+	nReviews := users * w.ReviewsPerUser
+	tm := bdgs.NewTextModel(2000)
+	model := bdgs.NewReviewModel(nReviews, tm)
+	reviews := model.Generate(in.Seed, nReviews, 8) // short texts; CF uses IDs
+	k := newKernel(in.CPU, "cf.kernel", 5<<10, 0xcf7)
+	input := in.CPU.Alloc("cf.input", uint64(nReviews)*16+64)
+
+	// Stage 1: group item ratings by user (user baskets).
+	recs := make([]mapreduce.Record, len(reviews))
+	for i, rv := range reviews {
+		recs[i] = mapreduce.Record{
+			Key:   strconv.Itoa(int(rv.UserID)),
+			Value: strconv.Itoa(int(rv.ItemID)) + ":" + strconv.Itoa(int(rv.Rating)),
+		}
+	}
+	start := time.Now()
+	baskets, err := mapreduce.Run(mapreduce.Config{
+		Workers: in.Workers, CPU: in.CPU, InputRegion: input,
+	}, recs,
+		func(user, itemRating string, emit func(k, v string)) {
+			k.enter(384)
+			k.cpu.IntOps(30)
+			k.cpu.Branches(8)
+			emit(user, itemRating)
+		},
+		func(user string, items []string, emit func(k, v string)) {
+			// Sort the basket so downstream pair generation is
+			// deterministic regardless of shuffle arrival order.
+			sort.Strings(items)
+			emit(user, strings.Join(items, ","))
+		})
+	if err != nil {
+		return core.Result{}, err
+	}
+	// Stage 2: item-item co-occurrence counts from each basket.
+	var basketRecs []mapreduce.Record
+	for _, p := range baskets.Partitions {
+		for _, kv := range p {
+			basketRecs = append(basketRecs, mapreduce.Record{Key: kv.Key, Value: kv.Value})
+		}
+	}
+	cooc, err := mapreduce.Run(mapreduce.Config{
+		Workers: in.Workers, CPU: in.CPU, InputRegion: input,
+		Combiner: sumReducer,
+	}, basketRecs,
+		func(_, basket string, emit func(k, v string)) {
+			items := strings.Split(basket, ",")
+			k.enter(512)
+			k.cpu.IntOps(16 * len(items))
+			k.cpu.Branches(4 * len(items))
+			pairs := 0
+			for i := 0; i < len(items) && pairs < w.MaxPairsPerUser; i++ {
+				a, _, _ := strings.Cut(items[i], ":")
+				for j := i + 1; j < len(items) && pairs < w.MaxPairsPerUser; j++ {
+					b, _, _ := strings.Cut(items[j], ":")
+					if a == b {
+						continue
+					}
+					lo, hi := a, b
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					emit(lo+"|"+hi, "1")
+					pairs++
+					k.cpu.IntOps(20)
+					k.cpu.Branches(5)
+				}
+			}
+		}, sumReducer)
+	if err != nil {
+		return core.Result{}, err
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: int64(users), UnitName: "vertices",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{
+			"reviews":   float64(nReviews),
+			"itemPairs": float64(cooc.OutputPairs),
+		},
+	}
+	r.Finish()
+	return r, nil
+}
+
+func sumReducer(key string, vs []string, emit func(k, v string)) {
+	total := 0
+	for _, v := range vs {
+		n, _ := strconv.Atoi(v)
+		total += n
+	}
+	emit(key, strconv.Itoa(total))
+}
+
+// BayesWorkload is Table 4 row "Naive Bayes": multinomial naive-Bayes
+// sentiment classification over the Amazon-review model (train on 80%,
+// classify 20%). The log-probability classification makes it the big-data
+// workload with the lowest integer-to-FP ratio (~10 in Figure 4).
+type BayesWorkload struct{ meta }
+
+// NewBayes constructs the workload.
+func NewBayes() *BayesWorkload {
+	return &BayesWorkload{meta{
+		name: "Naive Bayes", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "Hadoop", dtype: "semi-structured", dsource: "text",
+		baseline: "32 GB reviews",
+	}}
+}
+
+// avgReviewBytes is the mean generated review size for sizing.
+const avgReviewBytes = 380
+
+// Run implements core.Workload.
+func (w *BayesWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	bytes := in.Bytes(32)
+	n := bytes / avgReviewBytes
+	if n < 50 {
+		n = 50
+	}
+	tm := bdgs.NewTextModel(vocabSize)
+	model := bdgs.NewReviewModel(n, tm)
+	reviews := model.Generate(in.Seed, n, 60)
+	k := newKernel(in.CPU, "bayes.kernel", 6<<10, 0xba7e5)
+	input := in.CPU.Alloc("bayes.input", uint64(bytes)+64)
+	split := n * 4 / 5
+
+	label := func(rv bdgs.Review) string {
+		if rv.Rating >= 4 {
+			return "pos"
+		}
+		return "neg"
+	}
+
+	// Train: count (label, word) occurrences with MapReduce.
+	recs := make([]mapreduce.Record, split)
+	var trainBytes int64
+	for i, rv := range reviews[:split] {
+		recs[i] = mapreduce.Record{Key: label(rv), Value: rv.Text}
+		trainBytes += int64(rv.Bytes())
+	}
+	start := time.Now()
+	counts, err := mapreduce.Run(mapreduce.Config{
+		Workers: in.Workers, CPU: in.CPU, InputRegion: input, Combiner: sumReducer,
+	}, recs,
+		func(lbl, text string, emit func(k, v string)) {
+			k.enter(512)
+			words := 0
+			search.Tokenize([]byte(text), func(tok []byte) {
+				emit(lbl+"|"+string(tok), "1")
+				words++
+			})
+			emit("N|"+lbl, strconv.Itoa(words))
+			k.cpu.IntOps(len(text) + 6*words)
+			k.cpu.Branches(len(text) / 2)
+		}, sumReducer)
+	if err != nil {
+		return core.Result{}, err
+	}
+	// Materialize the model.
+	wordCounts := map[string]float64{}
+	classTotals := map[string]float64{"pos": 0, "neg": 0}
+	vocab := map[string]bool{}
+	for _, p := range counts.Partitions {
+		for _, kv := range p {
+			c, _ := strconv.Atoi(kv.Value)
+			if lbl, ok := strings.CutPrefix(kv.Key, "N|"); ok {
+				classTotals[lbl] += float64(c)
+				continue
+			}
+			wordCounts[kv.Key] = float64(c)
+			_, word, _ := strings.Cut(kv.Key, "|")
+			vocab[word] = true
+		}
+	}
+	v := float64(len(vocab)) + 1
+
+	// Classify the held-out 20% (log-space multinomial NB).
+	modelRegion := in.CPU.Alloc("bayes.model", uint64(len(wordCounts))*16+4096)
+	correct, total := 0, 0
+	var testBytes int64
+	for _, rv := range reviews[split:] {
+		k.enter(640)
+		scorePos, scoreNeg := 0.0, 0.0
+		words := 0
+		search.Tokenize([]byte(rv.Text), func(tok []byte) {
+			words++
+			wp := wordCounts["pos|"+string(tok)]
+			wn := wordCounts["neg|"+string(tok)]
+			scorePos += math.Log((wp + 1) / (classTotals["pos"] + v))
+			scoreNeg += math.Log((wn + 1) / (classTotals["neg"] + v))
+		})
+		// Per-word model lookups (scattered) and log-prob FP work.
+		k.cpu.LoadR(modelRegion, uint64(words)*48, words*16)
+		k.cpu.FPOps(10 * words)
+		k.cpu.IntOps(8 * words)
+		k.cpu.Branches(2 * words)
+		pred := "neg"
+		if scorePos >= scoreNeg {
+			pred = "pos"
+		}
+		if pred == label(rv) {
+			correct++
+		}
+		total++
+		testBytes += int64(rv.Bytes())
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: trainBytes + testBytes, UnitName: "bytes",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{
+			"accuracy": float64(correct) / float64(max(total, 1)),
+			"vocab":    float64(len(vocab)),
+		},
+	}
+	r.Finish()
+	return r, nil
+}

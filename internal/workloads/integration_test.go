@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bdgs"
+	"repro/internal/core"
+	"repro/internal/search"
+	"repro/internal/sim"
+)
+
+// Cross-module consistency: the Index workload (MapReduce pipeline) must
+// agree with the search package's direct index builder on the number of
+// distinct terms for the same corpus.
+func TestIndexWorkloadAgreesWithSearchBuild(t *testing.T) {
+	in := tinyInput()
+	res, err := NewIndex().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := in.Normalize()
+	pages := bdgs.NewTextModel(vocabSize).Pages(norm.Seed, norm.Pages(), 200)
+	docs := make([]search.Document, len(pages))
+	for i, p := range pages {
+		// The workload indexes bodies only; match that here.
+		docs[i] = search.Document{ID: p.ID, Body: p.Body}
+	}
+	ix := search.Build(docs, nil)
+	if int(res.Extra["terms"]) != ix.Terms() {
+		t.Errorf("Index workload found %.0f terms, search.Build found %d",
+			res.Extra["terms"], ix.Terms())
+	}
+}
+
+// Cross-module consistency: Grep's match count must equal a direct scan
+// over the same generated lines.
+func TestGrepAgainstReferenceScan(t *testing.T) {
+	in := tinyInput().Normalize()
+	res, err := NewGrep().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := bdgs.NewTextModel(vocabSize).Lines(in.Seed+77, 1, 1)
+	pat := string(pattern[0])
+	recs, _ := textLines(in.Seed, in.Bytes(32))
+	want := 0
+	for _, r := range recs {
+		if strings.Contains(r.Value, pat) {
+			want++
+		}
+	}
+	if int(res.Extra["matches"]) != want {
+		t.Errorf("grep found %.0f matches, reference scan found %d",
+			res.Extra["matches"], want)
+	}
+}
+
+// Determinism gate: characterized runs with the same seed and machine
+// produce byte-identical counter snapshots (required for reproducible
+// figures). Run on two representative workloads with single-worker
+// substrates, where the event interleaving is fixed.
+func TestCharacterizationDeterminism(t *testing.T) {
+	in := tinyInput()
+	in.Workers = 1
+	for _, w := range []core.Workload{NewGrep(), NewSelectQuery()} {
+		a, err := core.Characterize(w, in, sim.XeonE5645())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.Characterize(w, in, sim.XeonE5645())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Counts != b.Counts {
+			t.Errorf("%s: counters differ across identical runs", w.Name())
+		}
+	}
+}
+
+// The workloads must honour Workers: results do not change with
+// parallelism, only wall-clock time may.
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		in := tinyInput()
+		in.Workers = workers
+		res, err := NewWordCount().Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := runTiny(t, NewWordCount(), false).Extra["distinctWords"]
+		if res.Extra["distinctWords"] != want {
+			t.Errorf("workers=%d changed the result: %.0f vs %.0f",
+				workers, res.Extra["distinctWords"], want)
+		}
+	}
+}
+
+// Scaling sanity: doubling Scale roughly doubles processed units for the
+// byte-metered workloads.
+func TestUnitsScaleWithInput(t *testing.T) {
+	in := tinyInput()
+	r1, err := NewSort().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Scale = 4
+	r4, err := NewSort().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r4.Units) / float64(r1.Units)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("4× scale processed %.2f× the bytes", ratio)
+	}
+}
+
+// E5310 runs must work for every workload (Figure 5 needs both machines).
+func TestSuiteRunsOnE5310(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite")
+	}
+	for _, w := range All() {
+		in := tinyInput()
+		res, err := core.Characterize(w, in, sim.XeonE5310())
+		if err != nil {
+			t.Fatalf("%s on E5310: %v", w.Name(), err)
+		}
+		if res.Counts.HasL3 {
+			t.Fatalf("%s: E5310 run reports an L3", w.Name())
+		}
+		if res.Counts.Instructions() == 0 {
+			t.Fatalf("%s: no instructions on E5310", w.Name())
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package workloads
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/bdgs"
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+)
+
+// vocabSize is the text-model vocabulary shared by the text workloads.
+const vocabSize = 30000
+
+// avgLineBytes is the mean record length of the generated text-line input.
+const avgLineBytes = 64
+
+// textLines generates the record-oriented text input for the micro
+// benchmarks: ~totalBytes of newline-free records.
+func textLines(seed int64, totalBytes int) ([]mapreduce.Record, int64) {
+	m := bdgs.NewTextModel(vocabSize)
+	n := totalBytes / avgLineBytes
+	if n < 1 {
+		n = 1
+	}
+	lines := m.Lines(seed, n, 10)
+	recs := make([]mapreduce.Record, len(lines))
+	var bytes int64
+	for i, l := range lines {
+		recs[i] = mapreduce.Record{Key: strconv.Itoa(i), Value: string(l)}
+		bytes += int64(len(l))
+	}
+	return recs, bytes
+}
+
+// SortWorkload is Table 4 row "Sort": a Hadoop-style sort of text records
+// by content (the micro benchmark is I/O and shuffle bound; its speedup
+// degrades at large scale, the paper's Figure 3-2 callout).
+type SortWorkload struct{ meta }
+
+// NewSort constructs the workload.
+func NewSort() *SortWorkload {
+	return &SortWorkload{meta{
+		name: "Sort", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "Hadoop", dtype: "unstructured", dsource: "text",
+		baseline: "32 GB text",
+	}}
+}
+
+// Run implements core.Workload.
+func (w *SortWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	recs, bytes := textLines(in.Seed, in.Bytes(32))
+	k := newKernel(in.CPU, "sort.map", 6<<10, 0x5021)
+	input := in.CPU.Alloc("sort.input", uint64(bytes)+64)
+
+	start := time.Now()
+	res, err := mapreduce.Run(mapreduce.Config{
+		Workers: in.Workers, CPU: in.CPU, InputRegion: input,
+	}, recs,
+		func(_, v string, emit func(k, v string)) {
+			// Key extraction: compare-oriented integer work over the line.
+			k.enter(384)
+			k.cpu.IntOps(len(v) / 2)
+			k.cpu.Branches(len(v) / 8)
+			emit(v, "")
+		},
+		func(key string, vs []string, emit func(k, v string)) {
+			for range vs {
+				emit(key, "")
+			}
+		})
+	if err != nil {
+		return core.Result{}, err
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: bytes, UnitName: "bytes",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"outputPairs": float64(res.OutputPairs)},
+	}
+	r.Finish()
+	return r, nil
+}
+
+// GrepWorkload is Table 4 row "Grep": scan text records for a pattern.
+// Grep has the suite's highest integer-to-FP ratio (~179 in Figure 4) and
+// its MIPS rises ~2.9× from baseline to 32× (Figure 3-1).
+type GrepWorkload struct{ meta }
+
+// NewGrep constructs the workload.
+func NewGrep() *GrepWorkload {
+	return &GrepWorkload{meta{
+		name: "Grep", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "Hadoop", dtype: "unstructured", dsource: "text",
+		baseline: "32 GB text",
+	}}
+}
+
+// grepContains is a naive byte-comparison substring scan, counting the
+// integer compare work an optimized native grep performs.
+func grepContains(s, pat string) (bool, int) {
+	ops := 0
+	if len(pat) == 0 || len(s) < len(pat) {
+		return false, 1
+	}
+	for i := 0; i+len(pat) <= len(s); i++ {
+		j := 0
+		for j < len(pat) && s[i+j] == pat[j] {
+			j++
+		}
+		ops += j + 1
+		if j == len(pat) {
+			return true, ops
+		}
+	}
+	return false, ops
+}
+
+// Run implements core.Workload.
+func (w *GrepWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	recs, bytes := textLines(in.Seed, in.Bytes(32))
+	// A mid-rank vocabulary word: present but selective.
+	pattern := bdgs.NewTextModel(vocabSize).Lines(in.Seed+77, 1, 1)
+	pat := string(pattern[0])
+	k := newKernel(in.CPU, "grep.map", 3<<10, 0x6e3a)
+	input := in.CPU.Alloc("grep.input", uint64(bytes)+64)
+
+	start := time.Now()
+	matches := 0
+	res, err := mapreduce.Run(mapreduce.Config{
+		Workers: in.Workers, CPU: in.CPU, InputRegion: input,
+	}, recs,
+		func(_, v string, emit func(k, v string)) {
+			k.enter(512)
+			hit, ops := grepContains(v, pat)
+			k.cpu.IntOps(ops + len(v)/4)
+			k.cpu.Branches(ops / 2)
+			if hit {
+				emit(v, "1")
+			}
+		},
+		func(key string, vs []string, emit func(k, v string)) {
+			emit(key, strconv.Itoa(len(vs)))
+		})
+	if err != nil {
+		return core.Result{}, err
+	}
+	matches = res.OutputPairs
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: bytes, UnitName: "bytes",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"matches": float64(matches)},
+	}
+	r.Finish()
+	return r, nil
+}
+
+// WordCountWorkload is Table 4 row "WordCount", with the classic map-side
+// combiner.
+type WordCountWorkload struct {
+	meta
+	// DisableCombiner supports the combiner ablation bench.
+	DisableCombiner bool
+}
+
+// NewWordCount constructs the workload.
+func NewWordCount() *WordCountWorkload {
+	return &WordCountWorkload{meta: meta{
+		name: "WordCount", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "Hadoop", dtype: "unstructured", dsource: "text",
+		baseline: "32 GB text",
+	}}
+}
+
+// Run implements core.Workload.
+func (w *WordCountWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	recs, bytes := textLines(in.Seed, in.Bytes(32))
+	k := newKernel(in.CPU, "wordcount.map", 5<<10, 0x77c1)
+	input := in.CPU.Alloc("wordcount.input", uint64(bytes)+64)
+	sum := func(key string, vs []string, emit func(k, v string)) {
+		total := 0
+		for _, v := range vs {
+			n, _ := strconv.Atoi(v)
+			total += n
+		}
+		emit(key, strconv.Itoa(total))
+	}
+	combiner := sum
+	if w.DisableCombiner {
+		combiner = nil
+	}
+
+	start := time.Now()
+	res, err := mapreduce.Run(mapreduce.Config{
+		Workers: in.Workers, CPU: in.CPU, InputRegion: input, Combiner: combiner,
+	}, recs,
+		func(_, v string, emit func(k, v string)) {
+			k.enter(448)
+			words := 0
+			st := -1
+			for i := 0; i <= len(v); i++ {
+				if i < len(v) && v[i] != ' ' {
+					if st < 0 {
+						st = i
+					}
+					continue
+				}
+				if st >= 0 {
+					emit(v[st:i], "1")
+					words++
+					st = -1
+				}
+			}
+			// Tokenize + hash: a handful of integer ops per byte.
+			k.cpu.IntOps(len(v) + 8*words)
+			k.cpu.Branches(len(v)/2 + words)
+		}, sum)
+	if err != nil {
+		return core.Result{}, err
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: bytes, UnitName: "bytes",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{
+			"distinctWords": float64(res.OutputPairs),
+			"shuffledPairs": float64(res.CombinedPairs),
+		},
+	}
+	r.Finish()
+	return r, nil
+}

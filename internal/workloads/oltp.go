@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/bdgs"
+	"repro/internal/core"
+	"repro/internal/kvstore"
+)
+
+// avgResumeBytes is the mean encoded resume size used for sizing.
+const avgResumeBytes = 160
+
+// newOLTPMeta shares the Table 4 taxonomy of the three Cloud-OLTP
+// workloads: a ProfSearch resume corpus stored in the LSM store (the
+// paper's HBase).
+func newOLTPMeta(name string) meta {
+	return meta{
+		name: name, class: core.CloudOLTP, metric: core.OPS,
+		stack: "HBase", dtype: "semi-structured", dsource: "table",
+		baseline: "32 GB resumés",
+	}
+}
+
+// resumeCount sizes the corpus from the Table 6 byte figure.
+func resumeCount(in core.Input) int {
+	n := in.Bytes(32) / avgResumeBytes
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// loadStore creates a store preloaded with n resumés (untimed phase).
+func loadStore(in core.Input, n int) *kvstore.Store {
+	s := kvstore.Open(kvstore.Options{CPU: in.CPU, MemtableBytes: 1 << 20})
+	var m bdgs.ResumeModel
+	for _, re := range m.Generate(in.Seed, n) {
+		s.Put([]byte(re.Key), re.Encode())
+	}
+	return s
+}
+
+// ReadWorkload is Table 4 row "Read": Zipf-skewed point lookups.
+type ReadWorkload struct{ meta }
+
+// NewRead constructs the workload.
+func NewRead() *ReadWorkload { return &ReadWorkload{newOLTPMeta("Read")} }
+
+// Run implements core.Workload.
+func (w *ReadWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	n := resumeCount(in)
+	s := loadStore(in, n)
+	rng := rand.New(rand.NewSource(in.Seed + 101))
+	z := rand.NewZipf(rng, 1.1, 4, uint64(n-1))
+	ops := n            // one operation per stored row, as the volume scales
+	in.CPU.ResetStats() // the bulk load above is untimed warmup
+
+	var lat core.LatencyRecorder
+	start := time.Now()
+	hits := 0
+	for i := 0; i < ops; i++ {
+		opStart := time.Now()
+		if _, ok := s.Get([]byte(bdgs.ResumeKey(int(z.Uint64())))); ok {
+			hits++
+		}
+		lat.Record(time.Since(opStart))
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: int64(ops), UnitName: "ops",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"hitRate": float64(hits) / float64(ops)},
+	}
+	lat.Attach(&r)
+	r.Finish()
+	return r, nil
+}
+
+// WriteWorkload is Table 4 row "Write": bulk inserts through WAL and
+// memtable with background flush/compaction.
+type WriteWorkload struct{ meta }
+
+// NewWrite constructs the workload.
+func NewWrite() *WriteWorkload { return &WriteWorkload{newOLTPMeta("Write")} }
+
+// Run implements core.Workload.
+func (w *WriteWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	n := resumeCount(in)
+	var m bdgs.ResumeModel
+	resumes := m.Generate(in.Seed, n)
+	s := kvstore.Open(kvstore.Options{CPU: in.CPU, MemtableBytes: 1 << 20})
+
+	start := time.Now()
+	for _, re := range resumes {
+		s.Put([]byte(re.Key), re.Encode())
+	}
+	st := s.Stats()
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: int64(n), UnitName: "ops",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{
+			"flushes":     float64(st.Flushes),
+			"compactions": float64(st.Compactions),
+		},
+	}
+	r.Finish()
+	return r, nil
+}
+
+// ScanWorkload is Table 4 row "Scan": short range scans from random
+// start keys.
+type ScanWorkload struct {
+	meta
+	// ScanLength is rows per scan (default 50, the YCSB-style setting).
+	ScanLength int
+}
+
+// NewScan constructs the workload.
+func NewScan() *ScanWorkload {
+	return &ScanWorkload{meta: newOLTPMeta("Scan"), ScanLength: 50}
+}
+
+// Run implements core.Workload.
+func (w *ScanWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	n := resumeCount(in)
+	s := loadStore(in, n)
+	rng := rand.New(rand.NewSource(in.Seed + 202))
+	scans := n / w.ScanLength
+	if scans < 1 {
+		scans = 1
+	}
+	in.CPU.ResetStats() // bulk load is untimed warmup
+
+	start := time.Now()
+	var rows int64
+	for i := 0; i < scans; i++ {
+		from := rng.Intn(n)
+		got := s.Scan([]byte(bdgs.ResumeKey(from)), w.ScanLength)
+		rows += int64(len(got))
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: rows, UnitName: "ops",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"scans": float64(scans)},
+	}
+	r.Finish()
+	return r, nil
+}

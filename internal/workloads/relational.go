@@ -1,0 +1,167 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bdgs"
+	"repro/internal/core"
+	"repro/internal/sqlengine"
+)
+
+// OrderSchema and ItemSchema are the Table 3 e-commerce schema DDL.
+var (
+	OrderSchema = []sqlengine.ColDef{
+		{Name: "ORDER_ID", Type: sqlengine.Int64},
+		{Name: "BUYER_ID", Type: sqlengine.Int64},
+		{Name: "CREATE_DATE", Type: sqlengine.Int64},
+	}
+	ItemSchema = []sqlengine.ColDef{
+		{Name: "ITEM_ID", Type: sqlengine.Int64},
+		{Name: "ORDER_ID", Type: sqlengine.Int64},
+		{Name: "GOODS_ID", Type: sqlengine.Int64},
+		{Name: "GOODS_NUMBER", Type: sqlengine.Float64},
+		{Name: "GOODS_PRICE", Type: sqlengine.Float64},
+		{Name: "GOODS_AMOUNT", Type: sqlengine.Float64},
+	}
+)
+
+// avgRowBytes approximates ORDER + items-per-order × ITEM row widths.
+const avgRowBytes = bdgs.OrderBytes + 6*bdgs.ItemBytes
+
+// buildTables generates the scaled ORDER/ORDER_ITEM tables.
+func buildTables(in core.Input) (*sqlengine.Table, *sqlengine.Table, int64, error) {
+	nOrders := in.Bytes(32) / avgRowBytes
+	if nOrders < 32 {
+		nOrders = 32
+	}
+	model := bdgs.NewTableModel(nOrders)
+	orders, items := model.Generate(in.Seed, nOrders)
+	ot := sqlengine.NewTable("ORDER", OrderSchema, in.CPU)
+	for _, o := range orders {
+		if err := ot.AppendRow(o.OrderID, o.BuyerID, o.CreateDate); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	it := sqlengine.NewTable("ITEM", ItemSchema, in.CPU)
+	for _, x := range items {
+		if err := it.AppendRow(x.ItemID, x.OrderID, x.GoodsID,
+			x.GoodsNumber, x.GoodsPrice, x.GoodsAmount); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	ot.Seal()
+	it.Seal()
+	bytes := int64(len(orders))*bdgs.OrderBytes + int64(len(items))*bdgs.ItemBytes
+	return ot, it, bytes, nil
+}
+
+func newQueryMeta(name string) meta {
+	return meta{
+		name: name, class: core.RealtimeAnalytics, metric: core.DPS,
+		stack: "Hive", dtype: "structured", dsource: "table",
+		baseline: "32 GB transactions",
+	}
+}
+
+// SelectQueryWorkload is Table 4 row "Select Query": a filtered projection
+// over ORDER_ITEM.
+type SelectQueryWorkload struct{ meta }
+
+// NewSelectQuery constructs the workload.
+func NewSelectQuery() *SelectQueryWorkload {
+	return &SelectQueryWorkload{newQueryMeta("Select Query")}
+}
+
+// Run implements core.Workload.
+func (w *SelectQueryWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	_, items, bytes, err := buildTables(in)
+	if err != nil {
+		return core.Result{}, err
+	}
+	e := sqlengine.NewEngine(in.CPU)
+
+	start := time.Now()
+	res, err := e.Select(items,
+		[]sqlengine.Pred{{Col: "GOODS_PRICE", Op: sqlengine.GT, Float: 40}},
+		[]string{"ITEM_ID", "GOODS_ID", "GOODS_AMOUNT"})
+	if err != nil {
+		return core.Result{}, err
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: bytes, UnitName: "bytes",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"selected": float64(res.Rows()), "inputRows": float64(items.Rows())},
+	}
+	r.Finish()
+	return r, nil
+}
+
+// AggregateQueryWorkload is Table 4 row "Aggregate Query": revenue per
+// goods (SUM(GOODS_AMOUNT) GROUP BY GOODS_ID).
+type AggregateQueryWorkload struct{ meta }
+
+// NewAggregateQuery constructs the workload.
+func NewAggregateQuery() *AggregateQueryWorkload {
+	return &AggregateQueryWorkload{newQueryMeta("Aggregate Query")}
+}
+
+// Run implements core.Workload.
+func (w *AggregateQueryWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	_, items, bytes, err := buildTables(in)
+	if err != nil {
+		return core.Result{}, err
+	}
+	e := sqlengine.NewEngine(in.CPU)
+
+	start := time.Now()
+	rows, err := e.Aggregate(items, nil, "GOODS_ID", "GOODS_AMOUNT", sqlengine.Sum)
+	if err != nil {
+		return core.Result{}, err
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: bytes, UnitName: "bytes",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"groups": float64(len(rows))},
+	}
+	r.Finish()
+	return r, nil
+}
+
+// JoinQueryWorkload is Table 4 row "Join Query": ORDER ⋈ ORDER_ITEM on
+// ORDER_ID.
+type JoinQueryWorkload struct{ meta }
+
+// NewJoinQuery constructs the workload.
+func NewJoinQuery() *JoinQueryWorkload {
+	return &JoinQueryWorkload{newQueryMeta("Join Query")}
+}
+
+// Run implements core.Workload.
+func (w *JoinQueryWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	orders, items, bytes, err := buildTables(in)
+	if err != nil {
+		return core.Result{}, err
+	}
+	e := sqlengine.NewEngine(in.CPU)
+
+	start := time.Now()
+	res, err := e.Join(orders, items, "ORDER_ID", "ORDER_ID")
+	if err != nil {
+		return core.Result{}, err
+	}
+	if res.Rows() != items.Rows() {
+		return core.Result{}, fmt.Errorf(
+			"join invariant violated: %d joined rows for %d items", res.Rows(), items.Rows())
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: bytes, UnitName: "bytes",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"joinedRows": float64(res.Rows())},
+	}
+	r.Finish()
+	return r, nil
+}

@@ -1,0 +1,231 @@
+package workloads
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bdgs"
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/mapreduce"
+	"repro/internal/search"
+)
+
+// NutchServerWorkload is Table 4 row "Nutch Server": the search-engine
+// online service. A fixed crawl corpus is indexed once (untimed); the
+// timed phase serves a Zipf-popular query log and reports RPS. Its hot,
+// compact index gives it the lowest L2 and DTLB MPKI among the services
+// (Figure 6: L2 ≈ 4.1, DTLB ≈ 0.2).
+type NutchServerWorkload struct {
+	meta
+	// CorpusPages is the fixed indexed corpus size (default 2000).
+	CorpusPages int
+}
+
+// NewNutchServer constructs the workload.
+func NewNutchServer() *NutchServerWorkload {
+	return &NutchServerWorkload{meta: meta{
+		name: "Nutch Server", class: core.OnlineService, metric: core.RPS,
+		stack: "Hadoop", dtype: "unstructured", dsource: "text",
+		baseline: "100 req/s",
+	}, CorpusPages: 2000}
+}
+
+// Run implements core.Workload.
+func (w *NutchServerWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	tm := bdgs.NewTextModel(vocabSize)
+	pages := tm.Pages(in.Seed, w.CorpusPages, 150)
+	docs := make([]search.Document, len(pages))
+	for i, p := range pages {
+		docs[i] = search.Document{ID: p.ID, Title: p.Title, Body: p.Body}
+	}
+	ix := search.Build(docs, in.CPU)
+	// Query log: 1-3 Zipf-popular content words per query.
+	rng := rand.New(rand.NewSource(in.Seed + 31))
+	z := rand.NewZipf(rng, 1.2, 8, uint64(vocabSize-1))
+	vocabLines := tm.Lines(in.Seed+63, vocabSize/10, 1)
+	n := in.Requests()
+	queries := make([]string, n)
+	for i := range queries {
+		terms := 1 + rng.Intn(3)
+		var sb strings.Builder
+		for t := 0; t < terms; t++ {
+			if t > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.Write(vocabLines[int(z.Uint64())%len(vocabLines)])
+		}
+		queries[i] = sb.String()
+	}
+	in.CPU.ResetStats() // index construction is untimed warmup
+
+	var lat core.LatencyRecorder
+	start := time.Now()
+	var hits int64
+	for _, q := range queries {
+		qs := time.Now()
+		hits += int64(len(ix.Query(q, 10)))
+		lat.Record(time.Since(qs))
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: int64(n), UnitName: "reqs",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{
+			"hitsPerQuery": float64(hits) / float64(n),
+			"indexTerms":   float64(ix.Terms()),
+		},
+	}
+	lat.Attach(&r)
+	r.Finish()
+	return r, nil
+}
+
+// IndexWorkload is Table 4 row "Index": offline inverted-index
+// construction over web pages on the MapReduce substrate.
+type IndexWorkload struct{ meta }
+
+// NewIndex constructs the workload.
+func NewIndex() *IndexWorkload {
+	return &IndexWorkload{meta{
+		name: "Index", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "Hadoop", dtype: "unstructured", dsource: "text",
+		baseline: "10^6 pages",
+	}}
+}
+
+// Run implements core.Workload.
+func (w *IndexWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	tm := bdgs.NewTextModel(vocabSize)
+	pages := tm.Pages(in.Seed, in.Pages(), 200)
+	recs := make([]mapreduce.Record, len(pages))
+	var bytes int64
+	for i, p := range pages {
+		recs[i] = mapreduce.Record{Key: p.ID, Value: string(p.Body)}
+		bytes += int64(p.Bytes())
+	}
+	k := newKernel(in.CPU, "index.map", 6<<10, 0x1d1)
+	input := in.CPU.Alloc("index.input", uint64(bytes)+64)
+
+	start := time.Now()
+	res, err := mapreduce.Run(mapreduce.Config{
+		Workers: in.Workers, CPU: in.CPU, InputRegion: input,
+	}, recs,
+		func(docID, body string, emit func(k, v string)) {
+			k.enter(512)
+			tf := map[string]int{}
+			search.Tokenize([]byte(body), func(tok []byte) {
+				tf[string(tok)]++
+			})
+			k.cpu.IntOps(len(body) + 10*len(tf))
+			k.cpu.Branches(len(body) / 2)
+			for term, f := range tf {
+				emit(term, docID+":"+strconv.Itoa(f))
+			}
+		},
+		func(term string, postings []string, emit func(k, v string)) {
+			// Postings list assembly.
+			emit(term, strings.Join(postings, " "))
+		})
+	if err != nil {
+		return core.Result{}, err
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: int64(len(pages)), UnitName: "pages",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{"terms": float64(res.OutputPairs), "bytes": float64(bytes)},
+	}
+	r.Finish()
+	return r, nil
+}
+
+// PageRankWorkload is Table 4 row "PageRank": damped power iteration over
+// a Google-web-graph-style directed graph on the dataflow (Spark) engine.
+type PageRankWorkload struct {
+	meta
+	// Iterations of power iteration (default 5).
+	Iterations int
+	// EdgeFactor is out-edges per page (default 6, the web-graph seed's
+	// average out-degree ≈ 5.8).
+	EdgeFactor int
+}
+
+// NewPageRank constructs the workload.
+func NewPageRank() *PageRankWorkload {
+	return &PageRankWorkload{meta: meta{
+		name: "PageRank", class: core.OfflineAnalytics, metric: core.DPS,
+		stack: "Spark", dtype: "unstructured", dsource: "graph",
+		baseline: "10^6 pages",
+	}, Iterations: 5, EdgeFactor: 6}
+}
+
+// Run implements core.Workload.
+func (w *PageRankWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	g := genWebGraph(in, w.EdgeFactor)
+	n := g.N
+	k := newKernel(in.CPU, "pagerank.kernel", 5<<10, 0x96a7)
+	ranksRegion := in.CPU.Alloc("pagerank.ranks", uint64(n)*8+64)
+	adjRegion := in.CPU.Alloc("pagerank.adj", uint64(g.BytesApprox())+64)
+
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1.0 / float64(n)
+	}
+	ctx := dataflow.NewContext(in.Workers, in.CPU)
+	vertices := make([]int32, n)
+	for i := range vertices {
+		vertices[i] = int32(i)
+	}
+	vds := dataflow.Parallelize(ctx, vertices, 0, 4)
+
+	start := time.Now()
+	const damping = 0.85
+	for it := 0; it < w.Iterations; it++ {
+		contribs := dataflow.FlatMap(vds, 12, func(v int32, emit func(dataflow.Pair[int32, float64])) {
+			adj := g.Adj[v]
+			if len(adj) == 0 {
+				return
+			}
+			k.enter(448)
+			k.cpu.LoadR(ranksRegion, uint64(v)*8, 8)
+			k.cpu.LoadR(adjRegion, uint64(v)*uint64(w.EdgeFactor)*4, len(adj)*4)
+			k.cpu.FPOps(1 + len(adj))
+			k.cpu.IntOps(3 * len(adj))
+			k.cpu.Branches(len(adj))
+			share := ranks[v] / float64(len(adj))
+			for _, to := range adj {
+				emit(dataflow.Pair[int32, float64]{Key: to, Val: share})
+			}
+		})
+		sums := dataflow.ReduceByKey(contribs, 0, func(a, b float64) float64 { return a + b })
+		base := (1 - damping) / float64(n)
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = base
+		}
+		for _, kv := range sums.Collect() {
+			next[kv.Key] += damping * kv.Val
+			k.cpu.FPOps(2)
+			k.cpu.StoreR(ranksRegion, uint64(kv.Key)*8, 8)
+		}
+		ranks = next
+	}
+	var total float64
+	for _, r := range ranks {
+		total += r
+	}
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: int64(n), UnitName: "pages",
+		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{
+			"rankMass":   total,
+			"iterations": float64(w.Iterations),
+		},
+	}
+	r.Finish()
+	return r, nil
+}

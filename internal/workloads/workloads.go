@@ -1,0 +1,49 @@
+package workloads
+
+import "repro/internal/core"
+
+// All returns the nineteen BigDataBench workloads in the Table 6
+// experiment order (IDs 1-19).
+func All() []core.Workload {
+	return []core.Workload{
+		NewSort(),           // 1
+		NewGrep(),           // 2
+		NewWordCount(),      // 3
+		NewBFS(),            // 4
+		NewRead(),           // 5
+		NewWrite(),          // 6
+		NewScan(),           // 7
+		NewSelectQuery(),    // 8
+		NewAggregateQuery(), // 9
+		NewJoinQuery(),      // 10
+		NewNutchServer(),    // 11
+		NewPageRank(),       // 12
+		NewIndex(),          // 13
+		NewOlioServer(),     // 14
+		NewKMeans(),         // 15
+		NewCC(),             // 16
+		NewRubisServer(),    // 17
+		NewCF(),             // 18
+		NewBayes(),          // 19
+	}
+}
+
+// ByName returns the workload with the given Table 4 name, or nil.
+func ByName(name string) core.Workload {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// Names returns the workload names in suite order.
+func Names() []string {
+	ws := All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name()
+	}
+	return out
+}

@@ -1,0 +1,288 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// tinyInput is a fast test configuration: 32 "GB" baseline ≈ 512 KiB,
+// small graphs, few requests.
+func tinyInput() core.Input {
+	return core.Input{
+		Scale:         1,
+		ScaleUnit:     1 << 14, // 16 KiB per paper-GB
+		PagesPerMPage: 60,
+		ReqsPerUnit:   60,
+		VertexUnit:    1 << 10,
+		Seed:          7,
+		Workers:       2,
+	}
+}
+
+func runTiny(t *testing.T, w core.Workload, instrument bool) core.Result {
+	t.Helper()
+	in := tinyInput()
+	if instrument {
+		in.CPU = sim.New(sim.XeonE5645())
+	}
+	res, err := w.Run(in)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name(), err)
+	}
+	if res.Units <= 0 {
+		t.Fatalf("%s: no units processed", w.Name())
+	}
+	if res.Value <= 0 {
+		t.Fatalf("%s: metric value %f", w.Name(), res.Value)
+	}
+	if instrument && res.Counts.Instructions() == 0 {
+		t.Fatalf("%s: instrumented run recorded no instructions", w.Name())
+	}
+	if !instrument && res.Counts.Instructions() != 0 {
+		t.Fatalf("%s: uninstrumented run recorded instructions", w.Name())
+	}
+	return res
+}
+
+func TestSuiteHasNineteenWorkloads(t *testing.T) {
+	ws := All()
+	if len(ws) != 19 {
+		t.Fatalf("suite has %d workloads, want 19 (Table 4)", len(ws))
+	}
+	seen := map[string]bool{}
+	classes := map[core.Class]int{}
+	stacks := map[string]bool{}
+	sources := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name()] {
+			t.Errorf("duplicate workload %s", w.Name())
+		}
+		seen[w.Name()] = true
+		classes[w.Class()]++
+		stacks[w.Stack()] = true
+		sources[w.DataSource()] = true
+		if w.BaselineInput() == "" {
+			t.Errorf("%s: missing baseline description", w.Name())
+		}
+	}
+	// Table 4 coverage: all application types and data sources present.
+	for _, c := range []core.Class{core.OfflineAnalytics, core.RealtimeAnalytics,
+		core.OnlineService, core.CloudOLTP} {
+		if classes[c] == 0 {
+			t.Errorf("no workload of class %s", c)
+		}
+	}
+	for _, s := range []string{"text", "graph", "table"} {
+		if !sources[s] {
+			t.Errorf("no workload with data source %s", s)
+		}
+	}
+	if len(stacks) < 5 {
+		t.Errorf("only %d distinct stacks; Table 4 covers more", len(stacks))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("Sort") == nil || ByName("Nutch Server") == nil {
+		t.Fatal("ByName failed for known workloads")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("ByName returned a workload for an unknown name")
+	}
+}
+
+func TestSortRuns(t *testing.T) {
+	res := runTiny(t, NewSort(), false)
+	if res.Extra["outputPairs"] <= 0 {
+		t.Error("sort produced no output")
+	}
+}
+
+func TestGrepFindsMatches(t *testing.T) {
+	res := runTiny(t, NewGrep(), false)
+	if res.Extra["matches"] < 0 {
+		t.Error("negative match count")
+	}
+}
+
+func TestGrepContains(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello world", "world", true},
+		{"hello world", "word", false},
+		{"aaa", "aaaa", false},
+		{"abc", "", false},
+		{"the needle is here", "needle", true},
+	}
+	for _, c := range cases {
+		got, _ := grepContains(c.s, c.pat)
+		if got != c.want {
+			t.Errorf("grepContains(%q,%q) = %v", c.s, c.pat, got)
+		}
+	}
+}
+
+func TestWordCountConservation(t *testing.T) {
+	res := runTiny(t, NewWordCount(), false)
+	if res.Extra["distinctWords"] <= 0 {
+		t.Error("no distinct words")
+	}
+	if res.Extra["shuffledPairs"] < res.Extra["distinctWords"] {
+		t.Error("combined pairs cannot be fewer than distinct words")
+	}
+}
+
+func TestWordCountCombinerAblation(t *testing.T) {
+	w := NewWordCount()
+	with := runTiny(t, w, false)
+	w.DisableCombiner = true
+	without := runTiny(t, w, false)
+	if with.Extra["distinctWords"] != without.Extra["distinctWords"] {
+		t.Error("combiner changed the result")
+	}
+	if with.Extra["shuffledPairs"] >= without.Extra["shuffledPairs"] {
+		t.Error("combiner did not reduce shuffled pairs")
+	}
+}
+
+func TestBFSReachesMostVertices(t *testing.T) {
+	res := runTiny(t, NewBFS(), false)
+	// Power-law graphs have a giant component containing vertex 0; a BFS
+	// from it must reach a large fraction.
+	if res.Extra["reached"] < float64(res.Units)/4 {
+		t.Errorf("BFS reached only %.0f of %d vertices", res.Extra["reached"], res.Units)
+	}
+}
+
+func TestOLTPWorkloads(t *testing.T) {
+	read := runTiny(t, NewRead(), false)
+	if read.Extra["hitRate"] < 0.99 {
+		t.Errorf("read hit rate %.2f; all keys exist", read.Extra["hitRate"])
+	}
+	write := runTiny(t, NewWrite(), false)
+	if write.Extra["flushes"] < 0 {
+		t.Error("write stats missing")
+	}
+	scan := runTiny(t, NewScan(), false)
+	if scan.Extra["scans"] <= 0 {
+		t.Error("no scans executed")
+	}
+}
+
+func TestRelationalWorkloads(t *testing.T) {
+	sel := runTiny(t, NewSelectQuery(), false)
+	if sel.Extra["selected"] <= 0 || sel.Extra["selected"] >= sel.Extra["inputRows"] {
+		t.Errorf("select predicate not selective: %.0f of %.0f",
+			sel.Extra["selected"], sel.Extra["inputRows"])
+	}
+	agg := runTiny(t, NewAggregateQuery(), false)
+	if agg.Extra["groups"] <= 0 {
+		t.Error("no aggregation groups")
+	}
+	runTiny(t, NewJoinQuery(), false) // join invariant checked inside Run
+}
+
+func TestNutchServer(t *testing.T) {
+	res := runTiny(t, NewNutchServer(), false)
+	if res.Extra["hitsPerQuery"] <= 0 {
+		t.Error("queries returned no hits; query log should hit the corpus")
+	}
+}
+
+func TestIndexBuildsPostings(t *testing.T) {
+	res := runTiny(t, NewIndex(), false)
+	if res.Extra["terms"] <= 0 {
+		t.Error("no terms indexed")
+	}
+}
+
+func TestPageRankMassConserved(t *testing.T) {
+	res := runTiny(t, NewPageRank(), false)
+	// With damping 0.85 and dangling pages dropped, total mass stays in
+	// (0.15, 1]; it must remain a sane probability mass.
+	if m := res.Extra["rankMass"]; m < 0.1 || m > 1.01 {
+		t.Errorf("rank mass %.3f out of range", m)
+	}
+}
+
+func TestOlioServer(t *testing.T) {
+	res := runTiny(t, NewOlioServer(), false)
+	if res.Units != int64(tinyInput().ReqsPerUnit) {
+		t.Errorf("served %d requests, want %d", res.Units, tinyInput().ReqsPerUnit)
+	}
+}
+
+func TestKMeansConverges(t *testing.T) {
+	res := runTiny(t, NewKMeans(), false)
+	if res.Extra["iterations"] <= 0 {
+		t.Error("kmeans did not iterate")
+	}
+	if res.Extra["lastMove"] < 0 {
+		t.Error("negative centroid movement")
+	}
+}
+
+func TestCCFindsComponents(t *testing.T) {
+	res := runTiny(t, NewCC(), false)
+	comps := res.Extra["components"]
+	if comps < 1 || comps > float64(res.Units) {
+		t.Errorf("components = %.0f of %d vertices", comps, res.Units)
+	}
+}
+
+func TestRubisServer(t *testing.T) {
+	res := runTiny(t, NewRubisServer(), false)
+	if res.Units <= 0 {
+		t.Error("no requests served")
+	}
+}
+
+func TestCFProducesPairs(t *testing.T) {
+	res := runTiny(t, NewCF(), false)
+	if res.Extra["itemPairs"] <= 0 {
+		t.Error("no co-occurrence pairs")
+	}
+}
+
+func TestBayesAccuracyAboveChance(t *testing.T) {
+	res := runTiny(t, NewBayes(), false)
+	// The generator embeds sentiment signal; NB must beat the majority
+	// class somewhat... at minimum it must produce a valid accuracy.
+	acc := res.Extra["accuracy"]
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %.2f invalid", acc)
+	}
+	if acc < 0.5 {
+		t.Errorf("accuracy %.2f below chance", acc)
+	}
+}
+
+func TestAllWorkloadsInstrumented(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: runs all 19 instrumented")
+	}
+	for _, w := range All() {
+		res := runTiny(t, w, true)
+		k := res.Counts
+		if k.L1I.Accesses == 0 || k.L1D.Accesses == 0 {
+			t.Errorf("%s: caches untouched", w.Name())
+		}
+		mix := k.Mix()
+		if mix.Integer < mix.FP {
+			t.Errorf("%s: FP-dominated mix (%f vs %f); big-data workloads are integer-heavy",
+				w.Name(), mix.Integer, mix.FP)
+		}
+	}
+}
+
+func TestDeterministicResultsAcrossRuns(t *testing.T) {
+	a := runTiny(t, NewWordCount(), false)
+	b := runTiny(t, NewWordCount(), false)
+	if a.Extra["distinctWords"] != b.Extra["distinctWords"] {
+		t.Error("same seed produced different word counts")
+	}
+}
