@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -347,6 +348,56 @@ func max64(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// ---- Cluster runtime (internal/cluster) ----------------------------------
+
+// BenchmarkCluster sweeps the sharded OLTP runtime across shard counts on
+// the paper's Cloud OLTP read/write mix (95% Zipf reads / 5% writes) and
+// reports aggregate throughput and tail latency. Each iteration preloads
+// the resume corpus (untimed inside the workload) and serves one op per
+// stored row through the coordinator's batched shard queues. Sharding
+// pays even single-core: per-shard memtables, runs and compactions cover
+// 1/N of the keyspace, so multi-shard throughput exceeds single-shard on
+// the read-heavy mix.
+func BenchmarkCluster(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			w := workloads.NewClusterOLTP()
+			w.Shards = shards
+			in := core.Input{
+				Scale:     1,
+				ScaleUnit: 1 << 18, // ≈52k resumés: enough to flush and compact
+				Seed:      42,
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := core.Measure(w, in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Value, "ops/s")
+				b.ReportMetric(res.Extra["latP99Us"], "p99us")
+				b.ReportMetric(res.Extra["compactions"], "compactions")
+			}
+		})
+	}
+}
+
+// BenchmarkClusterReplicated is the same mix with R=2 synchronous
+// replication — the write amplification a durability tier costs.
+func BenchmarkClusterReplicated(b *testing.B) {
+	w := workloads.NewClusterOLTP()
+	w.Shards = 4
+	w.Replication = 2
+	in := core.Input{Scale: 1, ScaleUnit: 1 << 18, Seed: 42}
+	for i := 0; i < b.N; i++ {
+		res, err := core.Measure(w, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Value, "ops/s")
+		b.ReportMetric(res.Extra["latP99Us"], "p99us")
+	}
 }
 
 // ---- Comparator suites (Section 6.1.3 setup) -----------------------------

@@ -8,6 +8,8 @@
 //	bdbench -workload WordCount -scale 4
 //	bdbench -workload Grep -scale 32 -machine e5645
 //	bdbench -workload "Nutch Server" -machine e5310 -reqs 500
+//	bdbench -workload "Cluster OLTP" -shards 8 -replication 2 -clients 16
+//	bdbench -workload "Nutch Server" -shards 4
 package main
 
 import (
@@ -34,12 +36,15 @@ func main() {
 		seed     = flag.Int64("seed", 1, "data-generation seed")
 		workers  = flag.Int("workers", 4, "substrate parallelism")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
+		shards   = flag.Int("shards", 0, "shard count for the cluster-capable workloads (0 = workload default)")
+		repl     = flag.Int("replication", 0, "copies per key for Cluster OLTP (0 = workload default)")
+		clients  = flag.Int("clients", 0, "concurrent load generators for Cluster OLTP (0 = workload default)")
 	)
 	flag.Parse()
 
 	if *list {
 		tab := &core.Table{Headers: []string{"Workload", "Type", "Stack", "Source", "Metric", "Baseline"}}
-		for _, w := range workloads.All() {
+		for _, w := range append(workloads.All(), workloads.Extras()...) {
 			tab.AddRow(w.Name(), w.Class().String(), w.Stack(), w.DataSource(),
 				w.Metric().String(), w.BaselineInput())
 		}
@@ -50,6 +55,22 @@ func main() {
 	if w == nil {
 		fmt.Fprintf(os.Stderr, "bdbench: unknown workload %q (try -list)\n", *name)
 		os.Exit(2)
+	}
+	switch cw := w.(type) {
+	case *workloads.ClusterOLTPWorkload:
+		if *shards > 0 {
+			cw.Shards = *shards
+		}
+		if *repl > 0 {
+			cw.Replication = *repl
+		}
+		if *clients > 0 {
+			cw.Clients = *clients
+		}
+	case *workloads.NutchServerWorkload:
+		if *shards > 0 {
+			cw.IndexShards = *shards
+		}
 	}
 	in := core.Input{
 		Scale: *scale, ScaleUnit: *unit, PagesPerMPage: *pages,

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/kvstore"
+)
+
+// Errors returned by the request paths.
+var (
+	// ErrOverload reports that a node's bounded queue was full and the
+	// batch was shed rather than enqueued (admission control).
+	ErrOverload = errors.New("cluster: node queue full, request shed")
+	// ErrClosed reports an operation against a closed cluster or node.
+	ErrClosed = errors.New("cluster: closed")
+	// ErrNoNodes reports an operation against an empty ring.
+	ErrNoNodes = errors.New("cluster: no nodes")
+)
+
+// OpKind selects the operation a batched Op performs.
+type OpKind uint8
+
+// Batched operation kinds.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpDelete
+)
+
+// Op is one point operation inside a batch.
+type Op struct {
+	Kind  OpKind
+	Key   []byte
+	Value []byte // OpPut only
+}
+
+// OpResult is the outcome of one Op. Found is meaningful for OpGet.
+type OpResult struct {
+	Value []byte
+	Found bool
+}
+
+// request is one per-node sub-batch flowing through a node's queue. The
+// coordinator allocates the result backing array once per Apply; each
+// sub-batch writes results through idx so no merge pass is needed.
+type request struct {
+	ops []Op
+	// replicas[i] holds the extra stores (beyond the owning node's own)
+	// that write op i must reach; nil for reads and for R=1.
+	replicas [][]*kvstore.Store
+	results  []OpResult // shared backing array for the whole Apply
+	idx      []int      // results[idx[i]] receives ops[i]'s outcome
+	done     *sync.WaitGroup
+}
+
+// planned is the per-node split of one Apply call.
+type planned struct {
+	node *Node
+	req  *request
+}
+
+// plan splits ops by primary owner under the current ring, resolving each
+// write's replica stores up front so node workers never touch topology
+// state. Caller holds the cluster's topology read lock.
+func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup) ([]planned, error) {
+	if c.ring.Size() == 0 {
+		return nil, ErrNoNodes
+	}
+	byNode := map[int]*request{}
+	order := make([]int, 0, len(c.nodes))
+	for i, op := range ops {
+		// Only replicated writes need the full owner set; everything else
+		// routes on the allocation-free Primary — on a read-heavy mix that
+		// is most of the hot path.
+		var primary int
+		var reps []*kvstore.Store
+		if op.Kind != OpGet && c.cfg.Replication > 1 {
+			owners := c.ring.Owners(op.Key, c.cfg.Replication)
+			primary = owners[0]
+			for _, id := range owners[1:] {
+				reps = append(reps, c.nodes[id].store)
+			}
+		} else {
+			primary = c.ring.Primary(op.Key)
+		}
+		req := byNode[primary]
+		if req == nil {
+			req = &request{results: results, done: done}
+			byNode[primary] = req
+			order = append(order, primary)
+		}
+		req.ops = append(req.ops, op)
+		req.idx = append(req.idx, i)
+		req.replicas = append(req.replicas, reps)
+	}
+	out := make([]planned, 0, len(order))
+	for _, id := range order {
+		// Split oversized sub-batches so one hot owner cannot exceed the
+		// configured batch granularity.
+		req := byNode[id]
+		for len(req.ops) > c.cfg.MaxBatch {
+			head := &request{
+				ops:      req.ops[:c.cfg.MaxBatch],
+				replicas: req.replicas[:c.cfg.MaxBatch],
+				results:  results,
+				idx:      req.idx[:c.cfg.MaxBatch],
+				done:     done,
+			}
+			out = append(out, planned{node: c.nodes[id], req: head})
+			req = &request{
+				ops:      req.ops[c.cfg.MaxBatch:],
+				replicas: req.replicas[c.cfg.MaxBatch:],
+				results:  results,
+				idx:      req.idx[c.cfg.MaxBatch:],
+				done:     done,
+			}
+		}
+		out = append(out, planned{node: c.nodes[id], req: req})
+	}
+	return out, nil
+}

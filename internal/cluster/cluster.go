@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"repro/internal/kvstore"
+)
+
+// Config sizes a Cluster.
+type Config struct {
+	// Shards is the initial node count (default 1).
+	Shards int
+	// Replication is R, the number of nodes holding each key (default 1;
+	// clamped to the node count). Writes reach all R owners synchronously;
+	// reads are served by the primary, so the primary always observes its
+	// own writes.
+	Replication int
+	// VirtualNodes per member on the hash ring (default 64).
+	VirtualNodes int
+	// QueueDepth bounds each node's request queue (default 128). A full
+	// queue sheds TryApply traffic with ErrOverload.
+	QueueDepth int
+	// MaxBatch caps ops per sub-batch and per worker drain cycle
+	// (default 32).
+	MaxBatch int
+	// WorkersPerNode sizes each node's worker pool (default 2).
+	WorkersPerNode int
+	// Store is the per-shard LSM configuration (the CPU, if any, is
+	// shared by every shard — the paper characterizes the whole node).
+	Store kvstore.Options
+}
+
+func (c *Config) normalize() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
+	// Replication is NOT clamped to the initial shard count: Owners
+	// clamps per call to the live membership, so a cluster built small
+	// and grown via AddNode reaches the requested R once enough members
+	// exist.
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 2
+	}
+}
+
+// Cluster is the coordinator: it owns the ring and the shard nodes, routes
+// point ops to primaries, scatter-gathers scans, and fans writes out to
+// the replica set.
+type Cluster struct {
+	mu     sync.RWMutex // topology lock: ring + nodes membership
+	cfg    Config
+	ring   *Ring
+	nodes  map[int]*Node
+	nextID int
+	closed bool
+}
+
+// New builds and starts a cluster of cfg.Shards nodes.
+func New(cfg Config) *Cluster {
+	cfg.normalize()
+	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*Node{}}
+	for i := 0; i < cfg.Shards; i++ {
+		c.addNodeLocked()
+	}
+	return c
+}
+
+// addNodeLocked creates, starts and registers one node. Caller holds mu.
+func (c *Cluster) addNodeLocked() *Node {
+	id := c.nextID
+	c.nextID++
+	n := newNode(id, kvstore.Open(c.cfg.Store), c.cfg.QueueDepth,
+		c.cfg.WorkersPerNode, c.cfg.MaxBatch)
+	n.start()
+	c.nodes[id] = n
+	c.ring.Add(id)
+	return n
+}
+
+// Nodes returns the current member count.
+func (c *Cluster) Nodes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes)
+}
+
+// owners resolves the replica set for key under the topology read lock
+// already held by the caller.
+func (c *Cluster) ownersLocked(key []byte) []*Node {
+	ids := c.ring.Owners(key, c.cfg.Replication)
+	out := make([]*Node, len(ids))
+	for i, id := range ids {
+		out[i] = c.nodes[id]
+	}
+	return out
+}
+
+// Get serves a point read from the key's primary. Because writes reach
+// the primary synchronously before completing, a Get that follows a
+// completed Put of the same key always observes it (read-your-writes).
+func (c *Cluster) Get(key []byte) ([]byte, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id := c.ring.Primary(key)
+	if id < 0 {
+		return nil, false
+	}
+	return c.nodes[id].store.Get(key)
+}
+
+// Put writes through the primary to all R owners synchronously.
+func (c *Cluster) Put(key, value []byte) {
+	c.write(Op{Kind: OpPut, Key: key, Value: value})
+}
+
+// Delete removes the key from all R owners.
+func (c *Cluster) Delete(key []byte) {
+	c.write(Op{Kind: OpDelete, Key: key})
+}
+
+func (c *Cluster) write(op Op) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	owners := c.ownersLocked(op.Key)
+	if len(owners) == 0 {
+		return
+	}
+	// Replica mirrors are not counted in NodeStats.Ops (matching the
+	// batched path); they surface in the replica's Store stats instead.
+	replicas := make([]*kvstore.Store, 0, len(owners)-1)
+	for _, n := range owners[1:] {
+		replicas = append(replicas, n.store)
+	}
+	owners[0].doWrite(op, replicas)
+}
+
+// Apply executes a batch of point ops through the shard queues with
+// backpressure: sub-batches block for queue space rather than shed.
+// Results are positionally aligned with ops.
+func (c *Cluster) Apply(ops []Op) ([]OpResult, error) {
+	return c.apply(ops, (*Node).submit)
+}
+
+// TryApply is Apply under admission control: any sub-batch that meets a
+// full queue is shed and ErrOverload returned after the accepted
+// sub-batches complete. Shed ops report zero OpResults.
+func (c *Cluster) TryApply(ops []Op) ([]OpResult, error) {
+	return c.apply(ops, (*Node).trySubmit)
+}
+
+func (c *Cluster) apply(ops []Op, enqueue func(*Node, *request) error) ([]OpResult, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	results := make([]OpResult, len(ops))
+	var done sync.WaitGroup
+	parts, err := c.plan(ops, results, &done)
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for _, p := range parts {
+		done.Add(1)
+		if err := enqueue(p.node, p.req); err != nil {
+			done.Done()
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	done.Wait()
+	return results, firstErr
+}
+
+// Scan scatter-gathers a bounded ordered scan: every node scans its own
+// store, and the coordinator k-way merges the partial results, deduping
+// the copies replication leaves on successor nodes.
+func (c *Cluster) Scan(start []byte, limit int) []kvstore.Entry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if limit <= 0 || len(c.nodes) == 0 {
+		return nil
+	}
+	ids := c.ring.Members()
+	parts := make([][]kvstore.Entry, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			parts[i] = n.store.Scan(start, limit)
+		}(i, c.nodes[id])
+	}
+	wg.Wait()
+	return mergeEntries(parts, limit)
+}
+
+// mergeEntries k-way merges sorted partials into the first limit distinct
+// keys (replicas carry identical values, so the first copy wins).
+func mergeEntries(parts [][]kvstore.Entry, limit int) []kvstore.Entry {
+	idx := make([]int, len(parts))
+	var out []kvstore.Entry
+	for len(out) < limit {
+		best := -1
+		for i := range parts {
+			if idx[i] >= len(parts[i]) {
+				continue
+			}
+			if best == -1 || bytes.Compare(parts[i][idx[i]].Key, parts[best][idx[best]].Key) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := parts[best][idx[best]]
+		for i := range parts {
+			for idx[i] < len(parts[i]) && bytes.Equal(parts[i][idx[i]].Key, e.Key) {
+				idx[i]++
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Stats is a cluster-wide activity snapshot.
+type Stats struct {
+	Nodes    []NodeStats
+	Accepted uint64
+	Rejected uint64
+	Batches  uint64
+	Ops      uint64
+}
+
+// Stats snapshots every node, ordered by node id.
+func (c *Cluster) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var st Stats
+	for _, id := range c.ring.Members() {
+		ns := c.nodes[id].stats()
+		st.Nodes = append(st.Nodes, ns)
+		st.Accepted += ns.Accepted
+		st.Rejected += ns.Rejected
+		st.Batches += ns.Batches
+		st.Ops += ns.Ops
+	}
+	sort.Slice(st.Nodes, func(i, j int) bool { return st.Nodes[i].ID < st.Nodes[j].ID })
+	return st
+}
+
+// Close stops every node, draining their queues first.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, n := range c.nodes {
+		n.close()
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kvstore"
+)
+
+// Node is one in-process shard server: an independent LSM store fronted by
+// a bounded request queue and a small worker pool. It models a region
+// server — the unit the coordinator routes to, replicates across, and
+// rebalances between.
+type Node struct {
+	id    int
+	store *kvstore.Store
+
+	// wmu serializes the primary+replica application of each write this
+	// node owns. Every write for a key flows through its primary node
+	// (queued or direct), so holding the primary's wmu makes the
+	// multi-store update atomic with respect to other writers and keeps
+	// replicas byte-identical to the primary.
+	wmu sync.Mutex
+
+	queue    chan *request
+	workers  int
+	maxBatch int
+	wg       sync.WaitGroup
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+
+	accepted atomic.Uint64 // requests enqueued
+	rejected atomic.Uint64 // requests shed by admission control
+	batches  atomic.Uint64 // worker drain cycles (coalesced groups)
+	ops      atomic.Uint64 // point ops executed (queued + direct)
+}
+
+// NodeStats is a snapshot of one node's activity.
+type NodeStats struct {
+	ID                 int
+	Accepted, Rejected uint64
+	Batches, Ops       uint64
+	Store              kvstore.Stats
+}
+
+// newNode builds a stopped node; start launches its workers.
+func newNode(id int, store *kvstore.Store, queueDepth, workers, maxBatch int) *Node {
+	return &Node{
+		id:       id,
+		store:    store,
+		queue:    make(chan *request, queueDepth),
+		workers:  workers,
+		maxBatch: maxBatch,
+	}
+}
+
+func (n *Node) start() {
+	for i := 0; i < n.workers; i++ {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.run()
+		}()
+	}
+}
+
+// run drains the queue, opportunistically coalescing queued requests into
+// one wakeup (group commit) up to the batch cap.
+func (n *Node) run() {
+	for req := range n.queue {
+		n.batches.Add(1)
+		n.exec(req)
+		budget := n.maxBatch - len(req.ops)
+		for budget > 0 {
+			select {
+			case more, ok := <-n.queue:
+				if !ok {
+					return
+				}
+				n.exec(more)
+				budget -= len(more.ops)
+			default:
+				budget = 0
+			}
+		}
+	}
+}
+
+// exec applies one sub-batch against the store, fanning writes out to the
+// replica stores resolved at planning time, then releases the waiter.
+func (n *Node) exec(req *request) {
+	for i, op := range req.ops {
+		var res OpResult
+		if op.Kind == OpGet {
+			res = n.do(op)
+		} else {
+			res = n.doWrite(op, req.replicas[i])
+		}
+		if req.results != nil {
+			req.results[req.idx[i]] = res
+		}
+	}
+	if req.done != nil {
+		req.done.Done()
+	}
+}
+
+// doWrite applies one write to this node's store and its replicas as an
+// atomic unit under the primary's write lock.
+func (n *Node) doWrite(op Op, replicas []*kvstore.Store) OpResult {
+	n.wmu.Lock()
+	defer n.wmu.Unlock()
+	res := n.do(op)
+	for _, rs := range replicas {
+		applyWrite(rs, op)
+	}
+	return res
+}
+
+// do executes one op on this node's own store.
+func (n *Node) do(op Op) OpResult {
+	n.ops.Add(1)
+	switch op.Kind {
+	case OpPut:
+		n.store.Put(op.Key, op.Value)
+		return OpResult{}
+	case OpDelete:
+		n.store.Delete(op.Key)
+		return OpResult{}
+	default:
+		v, ok := n.store.Get(op.Key)
+		return OpResult{Value: v, Found: ok}
+	}
+}
+
+// applyWrite mirrors a write op onto a replica store.
+func applyWrite(s *kvstore.Store, op Op) {
+	switch op.Kind {
+	case OpPut:
+		s.Put(op.Key, op.Value)
+	case OpDelete:
+		s.Delete(op.Key)
+	}
+}
+
+// trySubmit enqueues without blocking; a full queue sheds the request.
+func (n *Node) trySubmit(req *request) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	select {
+	case n.queue <- req:
+		n.accepted.Add(1)
+		return nil
+	default:
+		n.rejected.Add(1)
+		return ErrOverload
+	}
+}
+
+// submit enqueues with backpressure: a full queue blocks the caller until
+// a worker drains space.
+func (n *Node) submit(req *request) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	n.queue <- req
+	n.accepted.Add(1)
+	return nil
+}
+
+// close stops intake and waits for the workers to drain the queue.
+func (n *Node) close() {
+	n.closeOnce.Do(func() {
+		n.closed.Store(true)
+		close(n.queue)
+		n.wg.Wait()
+	})
+}
+
+// stats snapshots the node counters.
+func (n *Node) stats() NodeStats {
+	return NodeStats{
+		ID:       n.id,
+		Accepted: n.accepted.Load(),
+		Rejected: n.rejected.Load(),
+		Batches:  n.batches.Load(),
+		Ops:      n.ops.Load(),
+		Store:    n.store.Stats(),
+	}
+}

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/kvstore"
+)
+
+func fillCluster(c *Cluster, n int) map[string]string {
+	want := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("reb-%05d", i)
+		v := fmt.Sprintf("val-%d", i)
+		c.Put([]byte(k), []byte(v))
+		want[k] = v
+	}
+	return want
+}
+
+func checkAll(t *testing.T, c *Cluster, want map[string]string) {
+	t.Helper()
+	for k, v := range want {
+		got, ok := c.Get([]byte(k))
+		if !ok || !bytes.Equal(got, []byte(v)) {
+			t.Fatalf("key %q = %q, %v after rebalance; want %q", k, got, ok, v)
+		}
+	}
+}
+
+// TestRebalanceAddNodeDeterministic grows a 4-shard cluster to 5 and
+// checks the migration against the ring's own prediction: exactly the
+// keys whose primary arc moved land on the new node, every key stays
+// readable, and a second identical run reproduces the same report.
+func TestRebalanceAddNodeDeterministic(t *testing.T) {
+	const n = 3000
+	run := func() (MoveReport, *Cluster) {
+		c := testCluster(4, 1)
+		want := fillCluster(c, n)
+
+		// Predict the move set from ring geometry alone.
+		c.mu.RLock()
+		old := c.ring.Clone()
+		next := c.ring.Clone()
+		c.mu.RUnlock()
+		next.Add(4) // New assigns ids sequentially, so the next id is 4
+		predicted := 0
+		for k := range want {
+			if old.Primary([]byte(k)) != next.Primary([]byte(k)) {
+				predicted++
+			}
+		}
+
+		id, report, err := c.AddNode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 4 {
+			t.Fatalf("new node id = %d, want 4", id)
+		}
+		if report.Scanned != n {
+			t.Fatalf("scanned %d keys, want %d", report.Scanned, n)
+		}
+		if report.Copied != predicted || report.Dropped != predicted {
+			t.Fatalf("copied/dropped = %d/%d, want %d (ring prediction)",
+				report.Copied, report.Dropped, predicted)
+		}
+		if report.In[4] != predicted {
+			t.Fatalf("new node received %d copies, want %d", report.In[4], predicted)
+		}
+		if predicted == 0 {
+			t.Fatal("degenerate test: no keys predicted to move")
+		}
+		checkAll(t, c, want)
+		return report, c
+	}
+	r1, c1 := run()
+	r2, c2 := run()
+	defer c1.Close()
+	defer c2.Close()
+	if r1.Copied != r2.Copied || r1.Scanned != r2.Scanned || r1.Dropped != r2.Dropped {
+		t.Fatalf("rebalance not deterministic: %v vs %v", r1, r2)
+	}
+}
+
+// TestRebalanceRemoveNode drains a shard and verifies its keys survive on
+// the remaining members.
+func TestRebalanceRemoveNode(t *testing.T) {
+	c := testCluster(4, 1)
+	defer c.Close()
+	want := fillCluster(c, 2000)
+	report, err := c.RemoveNode(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", c.Nodes())
+	}
+	if report.Copied == 0 {
+		t.Fatal("removing a populated shard must move its keys")
+	}
+	checkAll(t, c, want)
+	if _, err := c.RemoveNode(2); err == nil {
+		t.Fatal("removing a removed node must fail")
+	}
+}
+
+// TestRebalanceReplicatedRoundTrip checks migration under R=2 and that an
+// add followed by a remove restores the original placement with every
+// copy intact.
+func TestRebalanceReplicatedRoundTrip(t *testing.T) {
+	c := testCluster(3, 2)
+	defer c.Close()
+	want := fillCluster(c, 1500)
+
+	countCopies := func(k string) int {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		copies := 0
+		for _, node := range c.nodes {
+			if _, ok := node.store.Get([]byte(k)); ok {
+				copies++
+			}
+		}
+		return copies
+	}
+
+	id, _, err := c.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, c, want)
+	for k := range want {
+		if got := countCopies(k); got != 2 {
+			t.Fatalf("key %q has %d copies after add, want 2", k, got)
+		}
+	}
+	if _, err := c.RemoveNode(id); err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, c, want)
+	for k := range want {
+		if got := countCopies(k); got != 2 {
+			t.Fatalf("key %q has %d copies after remove, want 2", k, got)
+		}
+	}
+	// Scans still see exactly one copy of each key.
+	got := c.Scan(nil, len(want)+100)
+	if len(got) != len(want) {
+		t.Fatalf("scan sees %d keys, want %d", len(got), len(want))
+	}
+}
+
+// TestRebalanceGrowsIntoReplication verifies that a cluster built with
+// fewer members than the requested R reaches full replication once
+// AddNode supplies enough nodes — both for pre-existing keys (via
+// migration) and for new writes.
+func TestRebalanceGrowsIntoReplication(t *testing.T) {
+	c := New(Config{Shards: 1, Replication: 2, Store: kvstore.Options{MemtableBytes: 32 << 10}})
+	defer c.Close()
+	want := fillCluster(c, 800)
+	if _, _, err := c.AddNode(); err != nil {
+		t.Fatal(err)
+	}
+	checkAll(t, c, want)
+	c.Put([]byte("post-grow"), []byte("v"))
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for k := range want {
+		copies := 0
+		for _, node := range c.nodes {
+			if _, ok := node.store.Get([]byte(k)); ok {
+				copies++
+			}
+		}
+		if copies != 2 {
+			t.Fatalf("pre-existing key %q has %d copies after growth, want 2", k, copies)
+		}
+	}
+	copies := 0
+	for _, node := range c.nodes {
+		if _, ok := node.store.Get([]byte("post-grow")); ok {
+			copies++
+		}
+	}
+	if copies != 2 {
+		t.Fatalf("new write has %d copies, want 2", copies)
+	}
+}
+
+// TestRebalanceLastNodeGuard pins the cannot-empty-the-cluster invariant.
+func TestRebalanceLastNodeGuard(t *testing.T) {
+	c := New(Config{Shards: 1, Store: kvstore.Options{}})
+	defer c.Close()
+	if _, err := c.RemoveNode(0); err == nil {
+		t.Fatal("removing the last node must fail")
+	}
+}

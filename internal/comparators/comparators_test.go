@@ -8,6 +8,9 @@ import (
 )
 
 func TestAllKernelsRunAndInstrument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every comparator kernel instrumented; ~2s")
+	}
 	for _, k := range All() {
 		cpu := sim.New(sim.XeonE5645())
 		sum := k.Run(cpu)
@@ -37,6 +40,9 @@ func TestSuiteRoster(t *testing.T) {
 }
 
 func TestKernelsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every kernel twice; ~0.7s")
+	}
 	for _, k := range All() {
 		a := k.Run(nil)
 		b := k.Run(nil)
@@ -47,6 +53,9 @@ func TestKernelsDeterministic(t *testing.T) {
 }
 
 func TestTraditionalSuitesAreFPRichExceptSPECINT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterizes four full suites; ~2s")
+	}
 	cfg := sim.XeonE5645()
 	hpcc := SuiteCounts("HPCC", cfg)
 	if ratio := hpcc.IntToFPRatio(); ratio > 5 {
@@ -64,6 +73,9 @@ func TestTraditionalSuitesAreFPRichExceptSPECINT(t *testing.T) {
 }
 
 func TestTraditionalSuitesHaveLowL1IMPKI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterizes every suite; ~2s")
+	}
 	cfg := sim.XeonE5645()
 	for _, suite := range Suites() {
 		c := SuiteCounts(suite, cfg)
@@ -74,6 +86,9 @@ func TestTraditionalSuitesHaveLowL1IMPKI(t *testing.T) {
 }
 
 func TestHPCCHasHighFPIntensity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterizes the HPCC suite; ~0.5s")
+	}
 	cfg := sim.XeonE5645()
 	c := SuiteCounts("HPCC", cfg)
 	if fi := c.FPIntensity(); fi < 0.1 {

@@ -10,6 +10,9 @@ import (
 // the integer kernels FP-free in their compute (small statistical FP
 // allowances aside).
 func TestKernelMixCharacter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every kernel instrumented; ~2s")
+	}
 	fpKernels := map[string]bool{
 		"HPL": true, "DGEMM": true, "STREAM": true, "FFT": true,
 		"blackscholes": true, "swaptions": true, "streamcluster": true,

@@ -27,6 +27,15 @@ func (l *LatencyRecorder) Time(fn func()) {
 	l.Record(time.Since(start))
 }
 
+// Merge folds another recorder's samples into l, so per-client recorders
+// collected by concurrent load generators can be summarized as one
+// distribution. The argument is left unchanged.
+func (l *LatencyRecorder) Merge(other *LatencyRecorder) {
+	if other != nil {
+		l.samples = append(l.samples, other.samples...)
+	}
+}
+
 // Count returns the number of recorded requests.
 func (l *LatencyRecorder) Count() int { return len(l.samples) }
 

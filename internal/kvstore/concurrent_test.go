@@ -1,0 +1,142 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The cluster runtime (internal/cluster) drives one Store from many
+// goroutines at once: shard workers, replica writes arriving from other
+// nodes' workers, and scatter-gather scans. These tests pin the safety
+// properties that traffic relies on, with a memtable small enough that
+// flushes and compactions run continuously underneath.
+
+// TestConcurrentMixedWorkloadIntegrity runs writers, overwriters,
+// deleters, readers and scanners against one store and checks that every
+// observed value is well-formed and every surviving key holds its final
+// version afterwards.
+func TestConcurrentMixedWorkloadIntegrity(t *testing.T) {
+	s := Open(Options{MemtableBytes: 2048, CPU: sim.New(sim.XeonE5645())})
+	const (
+		writers = 4
+		keysPer = 300
+		rounds  = 3
+	)
+	ckey := func(w, i int) []byte { return []byte(fmt.Sprintf("w%d-key%05d", w, i)) }
+	cval := func(w, i, round int) []byte { return []byte(fmt.Sprintf("w%d-key%05d@v%d", w, i, round)) }
+
+	var wg sync.WaitGroup
+	// Writers overwrite their own disjoint ranges round by round.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 1; round <= rounds; round++ {
+				for i := 0; i < keysPer; i++ {
+					s.Put(ckey(w, i), cval(w, i, round))
+				}
+			}
+		}(w)
+	}
+	// A deleter churns a separate range with delete/re-put cycles.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < keysPer; i++ {
+				k := []byte(fmt.Sprintf("churn-%05d", i))
+				s.Put(k, []byte("live"))
+				s.Delete(k)
+			}
+		}
+	}()
+	// Readers verify that any value they observe belongs to its key.
+	readErr := make(chan error, writers)
+	for r := 0; r < writers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r + 1)))
+			for n := 0; n < 1500; n++ {
+				w, i := rng.Intn(writers), rng.Intn(keysPer)
+				if v, ok := s.Get(ckey(w, i)); ok {
+					if !bytes.HasPrefix(v, ckey(w, i)) {
+						readErr <- fmt.Errorf("key %s returned foreign value %q", ckey(w, i), v)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	// Scanners verify results stay strictly ordered mid-compaction.
+	scanErr := make(chan error, 2)
+	for sc := 0; sc < 2; sc++ {
+		wg.Add(1)
+		go func(sc int) {
+			defer wg.Done()
+			for n := 0; n < 60; n++ {
+				start := []byte(fmt.Sprintf("w%d", sc))
+				got := s.Scan(start, 50)
+				for j := 1; j < len(got); j++ {
+					if bytes.Compare(got[j-1].Key, got[j].Key) >= 0 {
+						scanErr <- fmt.Errorf("scan out of order at %q >= %q", got[j-1].Key, got[j].Key)
+						return
+					}
+				}
+			}
+		}(sc)
+	}
+	wg.Wait()
+	close(readErr)
+	close(scanErr)
+	for err := range readErr {
+		t.Fatal(err)
+	}
+	for err := range scanErr {
+		t.Fatal(err)
+	}
+	// Quiesced: every written key holds its final round's value.
+	for w := 0; w < writers; w++ {
+		for i := 0; i < keysPer; i++ {
+			v, ok := s.Get(ckey(w, i))
+			if !ok || !bytes.Equal(v, cval(w, i, rounds)) {
+				t.Fatalf("key %s = %q, %v; want final version", ckey(w, i), v, ok)
+			}
+		}
+	}
+	if st := s.Stats(); st.Flushes == 0 || st.Compactions == 0 {
+		t.Fatalf("test did not exercise flush/compaction: %+v", st)
+	}
+}
+
+// TestConcurrentSharedCPUInstrumentation drives two stores sharing one
+// characterization CPU from concurrent goroutines — the cluster's shape,
+// where every shard reports into the same whole-node counter stream.
+func TestConcurrentSharedCPUInstrumentation(t *testing.T) {
+	cpu := sim.New(sim.XeonE5645())
+	a := Open(Options{MemtableBytes: 2048, CPU: cpu})
+	b := Open(Options{MemtableBytes: 2048, CPU: cpu})
+	var wg sync.WaitGroup
+	for g, s := range []*Store{a, b} {
+		wg.Add(1)
+		go func(g int, s *Store) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				s.Put(key(g*10000+i), val(i))
+				s.Get(key(g * 10000))
+			}
+		}(g, s)
+	}
+	wg.Wait()
+	if cpu.Counts().Instructions() == 0 {
+		t.Fatal("shared CPU recorded nothing")
+	}
+	if a.Len() != 400 || b.Len() != 400 {
+		t.Fatalf("lens = %d, %d; want 400 each", a.Len(), b.Len())
+	}
+}

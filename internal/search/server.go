@@ -6,14 +6,22 @@ import (
 	"strconv"
 )
 
-// Server exposes an Index over HTTP, mirroring the Nutch search front-end:
-// GET /search?q=<terms>&k=<topK> returns ranked hits as JSON.
-type Server struct {
-	ix *Index
+// Querier is the retrieval interface the HTTP front-end serves: the
+// single-node Index and the scatter-gather ShardedIndex both implement
+// it.
+type Querier interface {
+	Query(q string, topK int) []Hit
 }
 
-// NewServer wraps an index.
-func NewServer(ix *Index) *Server { return &Server{ix: ix} }
+// Server exposes a Querier over HTTP, mirroring the Nutch search
+// front-end: GET /search?q=<terms>&k=<topK> returns ranked hits as JSON.
+type Server struct {
+	ix Querier
+}
+
+// NewServer wraps any retrieval backend — a single-node *Index or a
+// scatter-gather *ShardedIndex; the serving path is identical.
+func NewServer(ix Querier) *Server { return &Server{ix: ix} }
 
 // Response is the JSON payload of one search request.
 type Response struct {

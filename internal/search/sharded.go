@@ -1,0 +1,96 @@
+package search
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// ShardedIndex partitions a corpus across independent Index shards and
+// serves queries by scatter-gather: every shard ranks its own partition
+// and the coordinator merges the partial top-K lists — the paper's
+// multi-node Nutch deployment in place of the single-index server.
+type ShardedIndex struct {
+	shards []*Index
+}
+
+// BuildSharded constructs shards indexes over a round-robin document
+// partition (round-robin keeps the shards balanced for any corpus
+// ordering). shards <= 1 builds a single shard. cpu may be nil.
+func BuildSharded(docs []Document, shards int, cpu *sim.CPU) *ShardedIndex {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(docs) && len(docs) > 0 {
+		shards = len(docs)
+	}
+	parts := make([][]Document, shards)
+	for i, d := range docs {
+		parts[i%shards] = append(parts[i%shards], d)
+	}
+	s := &ShardedIndex{shards: make([]*Index, shards)}
+	for i, p := range parts {
+		s.shards[i] = Build(p, cpu)
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *ShardedIndex) Shards() int { return len(s.shards) }
+
+// Docs returns the corpus size across shards.
+func (s *ShardedIndex) Docs() int {
+	n := 0
+	for _, ix := range s.shards {
+		n += ix.Docs()
+	}
+	return n
+}
+
+// Terms returns the total distinct-term slots across shards (a term
+// appearing in several shards counts once per shard, matching the
+// per-segment dictionaries a sharded deployment keeps).
+func (s *ShardedIndex) Terms() int {
+	n := 0
+	for _, ix := range s.shards {
+		n += ix.Terms()
+	}
+	return n
+}
+
+// Query scatters the query to every shard and merges the partial top-K
+// lists into a global top-K, ordered by descending score with document id
+// as the deterministic tie-break.
+func (s *ShardedIndex) Query(q string, topK int) []Hit {
+	if topK <= 0 {
+		topK = 10
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0].Query(q, topK)
+	}
+	parts := make([][]Hit, len(s.shards))
+	var wg sync.WaitGroup
+	for i, ix := range s.shards {
+		wg.Add(1)
+		go func(i int, ix *Index) {
+			defer wg.Done()
+			parts[i] = ix.Query(q, topK)
+		}(i, ix)
+	}
+	wg.Wait()
+	var all []Hit
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].DocID < all[j].DocID
+	})
+	if len(all) > topK {
+		all = all[:topK]
+	}
+	return all
+}

@@ -1,0 +1,79 @@
+package search
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestShardedIndexPartition(t *testing.T) {
+	six := BuildSharded(testDocs(), 2, nil)
+	if six.Shards() != 2 {
+		t.Fatalf("shards = %d", six.Shards())
+	}
+	if six.Docs() != 4 {
+		t.Fatalf("docs = %d, want 4 across shards", six.Docs())
+	}
+	if six.Terms() == 0 {
+		t.Fatal("no terms indexed")
+	}
+	// More shards than documents clamps instead of building empty shards.
+	if got := BuildSharded(testDocs(), 16, nil).Shards(); got != 4 {
+		t.Fatalf("clamped shards = %d, want 4", got)
+	}
+}
+
+func TestShardedQueryFindsSameDocs(t *testing.T) {
+	docs := testDocs()
+	single := Build(docs, nil)
+	for _, shards := range []int{1, 2, 3, 4} {
+		six := BuildSharded(docs, shards, nil)
+		for _, q := range []string{"go", "cache", "programming language", "benchmark"} {
+			want := map[string]bool{}
+			for _, h := range single.Query(q, 10) {
+				want[h.DocID] = true
+			}
+			got := six.Query(q, 10)
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d query %q: %d hits, want %d", shards, q, len(got), len(want))
+			}
+			for _, h := range got {
+				if !want[h.DocID] {
+					t.Fatalf("shards=%d query %q: unexpected doc %s", shards, q, h.DocID)
+				}
+			}
+		}
+	}
+}
+
+func TestShardedQueryDeterministicAndBounded(t *testing.T) {
+	six := BuildSharded(testDocs(), 2, nil)
+	a := six.Query("go cache", 1)
+	b := six.Query("go cache", 1)
+	if len(a) != 1 || len(b) != 1 || a[0].DocID != b[0].DocID {
+		t.Fatalf("top-1 not deterministic: %+v vs %+v", a, b)
+	}
+	for i := 1; i < len(six.Query("go cache", 10)); i++ {
+		hits := six.Query("go cache", 10)
+		if hits[i-1].Score < hits[i].Score {
+			t.Fatalf("hits not sorted by score: %+v", hits)
+		}
+	}
+}
+
+func TestShardedServerHTTP(t *testing.T) {
+	srv := httptest.NewServer(NewServer(BuildSharded(testDocs(), 2, nil)))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/search?q=go&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Total == 0 || len(r.Hits) != r.Total {
+		t.Fatalf("response = %+v", r)
+	}
+}

@@ -2,9 +2,11 @@ package workloads
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/bdgs"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kvstore"
 )
@@ -106,6 +108,170 @@ func (w *WriteWorkload) Run(in core.Input) (core.Result, error) {
 			"compactions": float64(st.Compactions),
 		},
 	}
+	r.Finish()
+	return r, nil
+}
+
+// ClusterOLTPWorkload is the scale-out variant of the Cloud OLTP rows: a
+// Zipf-skewed read/write mix driven by concurrent clients against the
+// sharded, replicated cluster runtime (internal/cluster) instead of a
+// single store — the paper's HBase deployment on its 14-node testbed
+// rather than one region server. Clients submit fixed-size batches
+// through the coordinator's bounded queues and record the batch service
+// time each op rode in.
+type ClusterOLTPWorkload struct {
+	meta
+	// Shards is the node count (default 4).
+	Shards int
+	// Replication is the copies per key (default 1).
+	Replication int
+	// Clients is the number of concurrent load generators (default 8).
+	Clients int
+	// BatchSize is ops per client batch (default 64; large enough to
+	// amortize the per-shard fan-out when batches scatter).
+	BatchSize int
+	// ReadFraction is the Get share of the mix (default 0.95, the
+	// read-heavy serving mix; the rest are Puts).
+	ReadFraction float64
+	// MemtableBytes sizes each shard's memtable (default 32 KiB —
+	// roughly the memstore/region ratio of a production HBase node, so
+	// the timed phase exercises flush and full-store compaction, the
+	// costs sharding divides by N).
+	MemtableBytes int
+}
+
+// NewClusterOLTP constructs the workload with the read-heavy defaults.
+func NewClusterOLTP() *ClusterOLTPWorkload {
+	m := newOLTPMeta("Cluster OLTP")
+	m.stack = "HBase (sharded)"
+	return &ClusterOLTPWorkload{
+		meta: m, Shards: 4, Replication: 1, Clients: 8, BatchSize: 64,
+		ReadFraction: 0.95, MemtableBytes: 32 << 10,
+	}
+}
+
+// Run implements core.Workload.
+func (w *ClusterOLTPWorkload) Run(in core.Input) (core.Result, error) {
+	in = in.Normalize()
+	n := resumeCount(in)
+	shards := max(w.Shards, 1)
+	replication := max(w.Replication, 1)
+	if replication > shards {
+		replication = shards // mirror the cluster's clamp in what we report
+	}
+	cl := cluster.New(cluster.Config{
+		Shards:      shards,
+		Replication: replication,
+		Store:       kvstore.Options{CPU: in.CPU, MemtableBytes: w.MemtableBytes},
+	})
+	defer cl.Close()
+
+	// Untimed bulk load through the batch path, with values pre-encoded so
+	// the timed mix measures the serving path, not the generator.
+	var m bdgs.ResumeModel
+	resumes := m.Generate(in.Seed, n)
+	vals := make([][]byte, n)
+	batch := make([]cluster.Op, 0, 64)
+	for i, re := range resumes {
+		vals[i] = re.Encode()
+		batch = append(batch, cluster.Op{Kind: cluster.OpPut, Key: []byte(re.Key), Value: vals[i]})
+		if len(batch) == cap(batch) {
+			if _, err := cl.Apply(batch); err != nil {
+				return core.Result{}, err
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if _, err := cl.Apply(batch); err != nil {
+			return core.Result{}, err
+		}
+	}
+	in.CPU.ResetStats()
+
+	clients := w.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	batchSize := w.BatchSize
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	perClient := (n + clients - 1) / clients
+	recs := make([]core.LatencyRecorder, clients)
+	hits := make([]int, clients)
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(in.Seed + 707*int64(c+1)))
+			z := rand.NewZipf(rng, 1.1, 4, uint64(n-1))
+			ops := make([]cluster.Op, 0, batchSize)
+			for done := 0; done < perClient; done += len(ops) {
+				ops = ops[:0]
+				for len(ops) < batchSize && done+len(ops) < perClient {
+					row := int(z.Uint64())
+					key := []byte(bdgs.ResumeKey(row))
+					if rng.Float64() < w.ReadFraction {
+						ops = append(ops, cluster.Op{Kind: cluster.OpGet, Key: key})
+					} else {
+						ops = append(ops, cluster.Op{Kind: cluster.OpPut, Key: key, Value: vals[row]})
+					}
+				}
+				opStart := time.Now()
+				res, err := cl.Apply(ops)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				d := time.Since(opStart)
+				for _, r := range res {
+					recs[c].Record(d)
+					if r.Found {
+						hits[c]++
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return core.Result{}, err
+		}
+	}
+	var lat core.LatencyRecorder
+	totalHits := 0
+	for c := range recs {
+		lat.Merge(&recs[c])
+		totalHits += hits[c]
+	}
+	st := cl.Stats()
+	var flushes, compactions float64
+	for _, ns := range st.Nodes {
+		flushes += float64(ns.Store.Flushes)
+		compactions += float64(ns.Store.Compactions)
+	}
+	totalOps := int64(lat.Count())
+	r := core.Result{
+		Workload: w.name, Scale: in.Scale, Units: totalOps, UnitName: "ops",
+		Elapsed: elapsed, Metric: w.metric, Counts: in.CPU.Counts(),
+		Extra: map[string]float64{
+			"shards":      float64(shards),
+			"replication": float64(replication),
+			"clients":     float64(clients),
+			"hitRate":     float64(totalHits) / float64(max(int(totalOps), 1)),
+			"batches":     float64(st.Batches),
+			"rejected":    float64(st.Rejected),
+			"flushes":     flushes,
+			"compactions": compactions,
+		},
+	}
+	lat.Attach(&r)
 	r.Finish()
 	return r, nil
 }

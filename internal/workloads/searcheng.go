@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -22,6 +23,9 @@ type NutchServerWorkload struct {
 	meta
 	// CorpusPages is the fixed indexed corpus size (default 2000).
 	CorpusPages int
+	// IndexShards > 1 serves from a sharded index (internal/cluster-style
+	// scatter-gather over per-shard partitions) instead of one index.
+	IndexShards int
 }
 
 // NewNutchServer constructs the workload.
@@ -30,7 +34,7 @@ func NewNutchServer() *NutchServerWorkload {
 		name: "Nutch Server", class: core.OnlineService, metric: core.RPS,
 		stack: "Hadoop", dtype: "unstructured", dsource: "text",
 		baseline: "100 req/s",
-	}, CorpusPages: 2000}
+	}, CorpusPages: 2000, IndexShards: 1}
 }
 
 // Run implements core.Workload.
@@ -42,7 +46,15 @@ func (w *NutchServerWorkload) Run(in core.Input) (core.Result, error) {
 	for i, p := range pages {
 		docs[i] = search.Document{ID: p.ID, Title: p.Title, Body: p.Body}
 	}
-	ix := search.Build(docs, in.CPU)
+	var ix search.Querier
+	var indexTerms int
+	if w.IndexShards > 1 {
+		six := search.BuildSharded(docs, w.IndexShards, in.CPU)
+		ix, indexTerms = six, six.Terms()
+	} else {
+		one := search.Build(docs, in.CPU)
+		ix, indexTerms = one, one.Terms()
+	}
 	// Query log: 1-3 Zipf-popular content words per query.
 	rng := rand.New(rand.NewSource(in.Seed + 31))
 	z := rand.NewZipf(rng, 1.2, 8, uint64(vocabSize-1))
@@ -75,7 +87,8 @@ func (w *NutchServerWorkload) Run(in core.Input) (core.Result, error) {
 		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
 		Extra: map[string]float64{
 			"hitsPerQuery": float64(hits) / float64(n),
-			"indexTerms":   float64(ix.Terms()),
+			"indexTerms":   float64(indexTerms),
+			"indexShards":  math.Max(1, float64(w.IndexShards)),
 		},
 	}
 	lat.Attach(&r)

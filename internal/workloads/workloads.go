@@ -28,9 +28,25 @@ func All() []core.Workload {
 	}
 }
 
-// ByName returns the workload with the given Table 4 name, or nil.
+// Extras returns the workloads beyond the paper's nineteen: the
+// scale-out variants this repository adds on top of the suite. They are
+// reachable through ByName and cmd/bdbench but excluded from All so the
+// Table 4/6 roster keeps the paper's exact shape.
+func Extras() []core.Workload {
+	return []core.Workload{
+		NewClusterOLTP(),
+	}
+}
+
+// ByName returns the workload with the given Table 4 name (or an Extras
+// name), or nil.
 func ByName(name string) core.Workload {
 	for _, w := range All() {
+		if w.Name() == name {
+			return w
+		}
+	}
+	for _, w := range Extras() {
 		if w.Name() == name {
 			return w
 		}

@@ -173,6 +173,40 @@ func TestOLTPWorkloads(t *testing.T) {
 	}
 }
 
+func TestClusterOLTPWorkload(t *testing.T) {
+	w := NewClusterOLTP()
+	w.Shards = 4
+	w.Replication = 2
+	w.Clients = 4
+	res := runTiny(t, w, false)
+	if res.Extra["hitRate"] <= 0.5 {
+		t.Errorf("cluster hit rate %.2f; preloaded Zipf reads should mostly hit", res.Extra["hitRate"])
+	}
+	if res.Extra["latP99Us"] <= 0 {
+		t.Error("no p99 latency recorded")
+	}
+	if res.Extra["batches"] <= 0 {
+		t.Error("no batches flowed through the shard queues")
+	}
+	if res.Extra["shards"] != 4 || res.Extra["replication"] != 2 {
+		t.Errorf("config not reported: %+v", res.Extra)
+	}
+	// The instrumented variant emits the framework+store event stream.
+	iw := NewClusterOLTP()
+	iw.Shards = 2
+	iw.Clients = 2
+	runTiny(t, iw, true)
+}
+
+func TestClusterOLTPInExtras(t *testing.T) {
+	if ByName("Cluster OLTP") == nil {
+		t.Fatal("Cluster OLTP not reachable via ByName")
+	}
+	if len(All()) != 19 {
+		t.Fatalf("All() = %d workloads; Extras must not leak into the paper roster", len(All()))
+	}
+}
+
 func TestRelationalWorkloads(t *testing.T) {
 	sel := runTiny(t, NewSelectQuery(), false)
 	if sel.Extra["selected"] <= 0 || sel.Extra["selected"] >= sel.Extra["inputRows"] {
@@ -190,6 +224,22 @@ func TestNutchServer(t *testing.T) {
 	res := runTiny(t, NewNutchServer(), false)
 	if res.Extra["hitsPerQuery"] <= 0 {
 		t.Error("queries returned no hits; query log should hit the corpus")
+	}
+}
+
+func TestNutchServerSharded(t *testing.T) {
+	single := runTiny(t, NewNutchServer(), false)
+	w := NewNutchServer()
+	w.IndexShards = 4
+	sharded := runTiny(t, w, false)
+	if sharded.Extra["indexShards"] != 4 {
+		t.Fatalf("indexShards = %v", sharded.Extra["indexShards"])
+	}
+	// Scatter-gather over the same corpus answers the same query log with
+	// the same hit volume.
+	if sharded.Extra["hitsPerQuery"] != single.Extra["hitsPerQuery"] {
+		t.Errorf("hitsPerQuery %.3f sharded vs %.3f single",
+			sharded.Extra["hitsPerQuery"], single.Extra["hitsPerQuery"])
 	}
 }
 
