@@ -9,6 +9,8 @@
 //	bdbench -workload Grep -scale 32 -machine e5645
 //	bdbench -workload "Nutch Server" -machine e5310 -reqs 500
 //	bdbench -workload "Cluster OLTP" -shards 8 -replication 2 -clients 16
+//	bdbench -workload "Cluster OLTP" -compaction leveled -blockcache 1048576
+//	bdbench -workload Read -engine lsm -compaction leveled
 //	bdbench -workload "Nutch Server" -shards 4
 package main
 
@@ -16,9 +18,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -39,6 +43,9 @@ func main() {
 		shards   = flag.Int("shards", 0, "shard count for the cluster-capable workloads (0 = workload default)")
 		repl     = flag.Int("replication", 0, "copies per key for Cluster OLTP (0 = workload default)")
 		clients  = flag.Int("clients", 0, "concurrent load generators for Cluster OLTP (0 = workload default)")
+		engName  = flag.String("engine", "", "storage engine backend for the Cloud-OLTP workloads (default lsm; see internal/engine)")
+		compact  = flag.String("compaction", "", "LSM compaction policy: size-tiered or leveled")
+		bcache   = flag.Int("blockcache", 0, "block-cache bytes per engine (0 = default, negative disables)")
 	)
 	flag.Parse()
 
@@ -55,6 +62,24 @@ func main() {
 	if w == nil {
 		fmt.Fprintf(os.Stderr, "bdbench: unknown workload %q (try -list)\n", *name)
 		os.Exit(2)
+	}
+	if *engName != "" || *compact != "" || *bcache != 0 {
+		choice := workloads.EngineChoice{
+			Engine: *engName, Compaction: *compact, BlockCacheBytes: *bcache,
+		}
+		if err := engine.Validate(engine.Options{
+			Backend: choice.Engine, Compaction: choice.Compaction,
+			BlockCacheBytes: choice.BlockCacheBytes,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "bdbench:", err)
+			os.Exit(2)
+		}
+		ec, ok := w.(workloads.EngineConfigurable)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bdbench: workload %q does not take engine flags\n", *name)
+			os.Exit(2)
+		}
+		ec.ConfigureEngine(choice)
 	}
 	switch cw := w.(type) {
 	case *workloads.ClusterOLTPWorkload:
@@ -109,8 +134,14 @@ func main() {
 	fmt.Printf("%s  (scale %dx, seed %d)\n", res.Workload, res.Scale, *seed)
 	fmt.Printf("  processed: %d %s in %v\n", res.Units, res.UnitName, res.Elapsed)
 	fmt.Printf("  %s: %.1f %s/s\n", res.Metric, res.Value, res.UnitName)
-	for k, v := range res.Extra {
-		fmt.Printf("  %s: %.4g\n", k, v)
+	// Extra keys print sorted so runs are byte-for-byte diffable.
+	extraKeys := make([]string, 0, len(res.Extra))
+	for k := range res.Extra {
+		extraKeys = append(extraKeys, k)
+	}
+	sort.Strings(extraKeys)
+	for _, k := range extraKeys {
+		fmt.Printf("  %s: %.4g\n", k, res.Extra[k])
 	}
 	if k := res.Counts; k.Instructions() > 0 {
 		mix := k.Mix()

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"sync"
 
-	"repro/internal/kvstore"
+	"repro/internal/engine"
 )
 
 // Errors returned by the request paths.
@@ -46,9 +46,9 @@ type OpResult struct {
 // sub-batch writes results through idx so no merge pass is needed.
 type request struct {
 	ops []Op
-	// replicas[i] holds the extra stores (beyond the owning node's own)
+	// replicas[i] holds the extra engines (beyond the owning node's own)
 	// that write op i must reach; nil for reads and for R=1.
-	replicas [][]*kvstore.Store
+	replicas [][]engine.Engine
 	results  []OpResult // shared backing array for the whole Apply
 	idx      []int      // results[idx[i]] receives ops[i]'s outcome
 	done     *sync.WaitGroup
@@ -61,7 +61,7 @@ type planned struct {
 }
 
 // plan splits ops by primary owner under the current ring, resolving each
-// write's replica stores up front so node workers never touch topology
+// write's replica engines up front so node workers never touch topology
 // state. Caller holds the cluster's topology read lock.
 func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup) ([]planned, error) {
 	if c.ring.Size() == 0 {
@@ -74,12 +74,12 @@ func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup) ([]pl
 		// routes on the allocation-free Primary — on a read-heavy mix that
 		// is most of the hot path.
 		var primary int
-		var reps []*kvstore.Store
+		var reps []engine.Engine
 		if op.Kind != OpGet && c.cfg.Replication > 1 {
 			owners := c.ring.Owners(op.Key, c.cfg.Replication)
 			primary = owners[0]
 			for _, id := range owners[1:] {
-				reps = append(reps, c.nodes[id].store)
+				reps = append(reps, c.nodes[id].eng)
 			}
 		} else {
 			primary = c.ring.Primary(op.Key)

@@ -2,10 +2,11 @@ package cluster
 
 import (
 	"bytes"
+	"fmt"
 	"sort"
 	"sync"
 
-	"repro/internal/kvstore"
+	"repro/internal/engine"
 )
 
 // Config sizes a Cluster.
@@ -27,9 +28,11 @@ type Config struct {
 	MaxBatch int
 	// WorkersPerNode sizes each node's worker pool (default 2).
 	WorkersPerNode int
-	// Store is the per-shard LSM configuration (the CPU, if any, is
-	// shared by every shard — the paper characterizes the whole node).
-	Store kvstore.Options
+	// Engine is the per-shard storage-engine configuration (the CPU, if
+	// any, is shared by every shard — the paper characterizes the whole
+	// node). Validate it with engine.Validate before New if the backend
+	// or compaction name comes from user input.
+	Engine engine.Options
 }
 
 func (c *Config) normalize() {
@@ -80,10 +83,16 @@ func New(cfg Config) *Cluster {
 }
 
 // addNodeLocked creates, starts and registers one node. Caller holds mu.
+// An unconstructible engine configuration is a programmer error and
+// panics; pre-validate user-supplied names with engine.Validate.
 func (c *Cluster) addNodeLocked() *Node {
 	id := c.nextID
 	c.nextID++
-	n := newNode(id, kvstore.Open(c.cfg.Store), c.cfg.QueueDepth,
+	eng, err := engine.Open(c.cfg.Engine)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: bad engine config: %v", err))
+	}
+	n := newNode(id, eng, c.cfg.QueueDepth,
 		c.cfg.WorkersPerNode, c.cfg.MaxBatch)
 	n.start()
 	c.nodes[id] = n
@@ -119,7 +128,7 @@ func (c *Cluster) Get(key []byte) ([]byte, bool) {
 	if id < 0 {
 		return nil, false
 	}
-	return c.nodes[id].store.Get(key)
+	return c.nodes[id].eng.Get(key)
 }
 
 // Put writes through the primary to all R owners synchronously.
@@ -140,10 +149,10 @@ func (c *Cluster) write(op Op) {
 		return
 	}
 	// Replica mirrors are not counted in NodeStats.Ops (matching the
-	// batched path); they surface in the replica's Store stats instead.
-	replicas := make([]*kvstore.Store, 0, len(owners)-1)
+	// batched path); they surface in the replica's engine stats instead.
+	replicas := make([]engine.Engine, 0, len(owners)-1)
 	for _, n := range owners[1:] {
-		replicas = append(replicas, n.store)
+		replicas = append(replicas, n.eng)
 	}
 	owners[0].doWrite(op, replicas)
 }
@@ -191,23 +200,26 @@ func (c *Cluster) apply(ops []Op, enqueue func(*Node, *request) error) ([]OpResu
 	return results, firstErr
 }
 
-// Scan scatter-gathers a bounded ordered scan: every node scans its own
-// store, and the coordinator k-way merges the partial results, deduping
-// the copies replication leaves on successor nodes.
-func (c *Cluster) Scan(start []byte, limit int) []kvstore.Entry {
+// Scan scatter-gathers a bounded ordered scan: every node scans a
+// snapshot of its own engine (so each partial is internally consistent
+// even mid-flush), and the coordinator k-way merges the partial results,
+// deduping the copies replication leaves on successor nodes.
+func (c *Cluster) Scan(start []byte, limit int) []engine.Entry {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if limit <= 0 || len(c.nodes) == 0 {
 		return nil
 	}
 	ids := c.ring.Members()
-	parts := make([][]kvstore.Entry, len(ids))
+	parts := make([][]engine.Entry, len(ids))
 	var wg sync.WaitGroup
 	for i, id := range ids {
 		wg.Add(1)
 		go func(i int, n *Node) {
 			defer wg.Done()
-			parts[i] = n.store.Scan(start, limit)
+			sn := n.eng.Snapshot()
+			parts[i] = sn.Scan(start, limit)
+			sn.Release()
 		}(i, c.nodes[id])
 	}
 	wg.Wait()
@@ -216,9 +228,9 @@ func (c *Cluster) Scan(start []byte, limit int) []kvstore.Entry {
 
 // mergeEntries k-way merges sorted partials into the first limit distinct
 // keys (replicas carry identical values, so the first copy wins).
-func mergeEntries(parts [][]kvstore.Entry, limit int) []kvstore.Entry {
+func mergeEntries(parts [][]engine.Entry, limit int) []engine.Entry {
 	idx := make([]int, len(parts))
-	var out []kvstore.Entry
+	var out []engine.Entry
 	for len(out) < limit {
 		best := -1
 		for i := range parts {

@@ -6,14 +6,14 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/kvstore"
+	"repro/internal/engine"
 )
 
 func testCluster(shards, replication int) *Cluster {
 	return New(Config{
 		Shards:      shards,
 		Replication: replication,
-		Store:       kvstore.Options{MemtableBytes: 32 << 10},
+		Engine:      engine.Options{MemtableBytes: 32 << 10},
 	})
 }
 
@@ -63,7 +63,7 @@ func TestClusterReadYourWritesUnderReplication(t *testing.T) {
 		key := []byte(fmt.Sprintf("ryw-%04d", i))
 		copies := 0
 		for _, n := range c.nodes {
-			if _, ok := n.store.Get(key); ok {
+			if _, ok := n.eng.Get(key); ok {
 				copies++
 			}
 		}
@@ -115,7 +115,10 @@ func TestClusterApplyMatchesDirect(t *testing.T) {
 func TestClusterScanScatterGather(t *testing.T) {
 	c := testCluster(4, 2)
 	defer c.Close()
-	ref := kvstore.Open(kvstore.Options{})
+	ref, err := engine.Open(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	const n = 1500
 	for i := 0; i < n; i++ {
 		key := []byte(fmt.Sprintf("s-%05d", i))
@@ -143,7 +146,7 @@ func TestClusterConcurrentClients(t *testing.T) {
 		Shards:      4,
 		Replication: 2,
 		QueueDepth:  256,
-		Store:       kvstore.Options{MemtableBytes: 16 << 10},
+		Engine:      engine.Options{MemtableBytes: 16 << 10},
 	})
 	defer c.Close()
 	const clients, perClient = 8, 400
@@ -190,8 +193,12 @@ func TestClusterTryApplyOverload(t *testing.T) {
 	// directly so intake can be saturated deterministically.
 	c := testCluster(1, 1)
 	defer c.Close()
+	eng, err := engine.Open(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	c.mu.Lock()
-	stopped := newNode(99, kvstore.Open(kvstore.Options{}), 1, 1, 4)
+	stopped := newNode(99, eng, 1, 1, 4)
 	c.nodes[99] = stopped
 	c.ring = NewRing(8)
 	c.ring.Add(99)
@@ -202,7 +209,7 @@ func TestClusterTryApplyOverload(t *testing.T) {
 	fill.Add(1)
 	one := []Op{{Kind: OpPut, Key: []byte("k"), Value: []byte("v")}}
 	if err := stopped.trySubmit(&request{
-		ops: one, replicas: [][]*kvstore.Store{nil}, done: &fill,
+		ops: one, replicas: [][]engine.Engine{nil}, done: &fill,
 	}); err != nil {
 		t.Fatalf("fill submit: %v", err)
 	}

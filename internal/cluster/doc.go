@@ -12,7 +12,8 @@
 //     data movement when membership changes to the keys whose arc moved.
 //
 //   - Node (node.go): one in-process shard server owning an independent
-//     internal/kvstore LSM instance, a bounded request queue, and a small
+//     storage engine (internal/engine; the LSM backend by default), a
+//     bounded request queue, and a small
 //     worker pool that drains the queue in coalesced batches. A full
 //     queue sheds load (ErrOverload) instead of growing without bound —
 //     the admission-control behaviour of a production region server.

@@ -4,16 +4,17 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/kvstore"
+	"repro/internal/engine"
 )
 
-// Node is one in-process shard server: an independent LSM store fronted by
-// a bounded request queue and a small worker pool. It models a region
-// server — the unit the coordinator routes to, replicates across, and
-// rebalances between.
+// Node is one in-process shard server: an independent storage engine
+// fronted by a bounded request queue and a small worker pool. It models
+// a region server — the unit the coordinator routes to, replicates
+// across, and rebalances between. The node is engine-agnostic: it
+// programs against engine.Engine, so any registered backend serves.
 type Node struct {
-	id    int
-	store *kvstore.Store
+	id  int
+	eng engine.Engine
 
 	// wmu serializes the primary+replica application of each write this
 	// node owns. Every write for a key flows through its primary node
@@ -41,14 +42,14 @@ type NodeStats struct {
 	ID                 int
 	Accepted, Rejected uint64
 	Batches, Ops       uint64
-	Store              kvstore.Stats
+	Store              engine.Stats
 }
 
 // newNode builds a stopped node; start launches its workers.
-func newNode(id int, store *kvstore.Store, queueDepth, workers, maxBatch int) *Node {
+func newNode(id int, eng engine.Engine, queueDepth, workers, maxBatch int) *Node {
 	return &Node{
 		id:       id,
-		store:    store,
+		eng:      eng,
 		queue:    make(chan *request, queueDepth),
 		workers:  workers,
 		maxBatch: maxBatch,
@@ -87,60 +88,100 @@ func (n *Node) run() {
 	}
 }
 
-// exec applies one sub-batch against the store, fanning writes out to the
-// replica stores resolved at planning time, then releases the waiter.
+// exec applies one sub-batch against the engine, fanning writes out to
+// the replica engines resolved at planning time, then releases the
+// waiter. Runs of consecutive replica-free writes coalesce into one
+// engine WriteBatch — one writer-lock acquisition and atomic visibility
+// for the whole run (group commit); interleaved reads and replicated
+// writes execute in order around them.
 func (n *Node) exec(req *request) {
-	for i, op := range req.ops {
-		var res OpResult
-		if op.Kind == OpGet {
-			res = n.do(op)
-		} else {
-			res = n.doWrite(op, req.replicas[i])
+	i := 0
+	for i < len(req.ops) {
+		op := req.ops[i]
+		if op.Kind == OpGet || len(req.replicas[i]) > 0 {
+			var res OpResult
+			if op.Kind == OpGet {
+				res = n.do(op)
+			} else {
+				res = n.doWrite(op, req.replicas[i])
+			}
+			if req.results != nil {
+				req.results[req.idx[i]] = res
+			}
+			i++
+			continue
 		}
+		j := i + 1
+		for j < len(req.ops) && req.ops[j].Kind != OpGet && len(req.replicas[j]) == 0 {
+			j++
+		}
+		if j-i == 1 {
+			res := n.doWrite(op, nil)
+			if req.results != nil {
+				req.results[req.idx[i]] = res
+			}
+			i = j
+			continue
+		}
+		batch := make([]engine.BatchOp, j-i)
+		for k := i; k < j; k++ {
+			batch[k-i] = engine.BatchOp{
+				Key:    req.ops[k].Key,
+				Value:  req.ops[k].Value,
+				Delete: req.ops[k].Kind == OpDelete,
+			}
+		}
+		n.wmu.Lock()
+		n.eng.WriteBatch(batch)
+		n.wmu.Unlock()
+		n.ops.Add(uint64(j - i))
 		if req.results != nil {
-			req.results[req.idx[i]] = res
+			for k := i; k < j; k++ {
+				req.results[req.idx[k]] = OpResult{}
+			}
 		}
+		i = j
 	}
 	if req.done != nil {
 		req.done.Done()
 	}
 }
 
-// doWrite applies one write to this node's store and its replicas as an
+// doWrite applies one write to this node's engine and its replicas as an
 // atomic unit under the primary's write lock.
-func (n *Node) doWrite(op Op, replicas []*kvstore.Store) OpResult {
+func (n *Node) doWrite(op Op, replicas []engine.Engine) OpResult {
 	n.wmu.Lock()
 	defer n.wmu.Unlock()
 	res := n.do(op)
-	for _, rs := range replicas {
-		applyWrite(rs, op)
+	for _, re := range replicas {
+		applyWrite(re, op)
 	}
 	return res
 }
 
-// do executes one op on this node's own store.
+// do executes one op on this node's own engine.
 func (n *Node) do(op Op) OpResult {
 	n.ops.Add(1)
 	switch op.Kind {
 	case OpPut:
-		n.store.Put(op.Key, op.Value)
+		n.eng.Put(op.Key, op.Value)
 		return OpResult{}
 	case OpDelete:
-		n.store.Delete(op.Key)
+		n.eng.Delete(op.Key)
 		return OpResult{}
 	default:
-		v, ok := n.store.Get(op.Key)
+		v, ok := n.eng.Get(op.Key)
 		return OpResult{Value: v, Found: ok}
 	}
 }
 
-// applyWrite mirrors a write op onto a replica store.
-func applyWrite(s *kvstore.Store, op Op) {
+// applyWrite mirrors a write op onto a replica engine.
+func applyWrite(e engine.Engine, op Op) {
 	switch op.Kind {
 	case OpPut:
-		s.Put(op.Key, op.Value)
+		e.Put(op.Key, op.Value)
 	case OpDelete:
-		s.Delete(op.Key)
+		e.Delete(op.Key)
 	}
 }
 
@@ -187,6 +228,6 @@ func (n *Node) stats() NodeStats {
 		Rejected: n.rejected.Load(),
 		Batches:  n.batches.Load(),
 		Ops:      n.ops.Load(),
-		Store:    n.store.Stats(),
+		Store:    n.eng.Stats(),
 	}
 }

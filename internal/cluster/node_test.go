@@ -4,21 +4,25 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/kvstore"
+	"repro/internal/engine"
 )
 
 // TestNodeAdmissionControl fills a stopped node's bounded queue and
 // verifies the overflow is shed, then starts the workers and verifies the
 // accepted requests drain.
 func TestNodeAdmissionControl(t *testing.T) {
-	n := newNode(0, kvstore.Open(kvstore.Options{}), 2, 1, 8)
+	eng, err := engine.Open(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newNode(0, eng, 2, 1, 8)
 
 	var done sync.WaitGroup
 	results := make([]OpResult, 3)
 	mk := func(i int) *request {
 		return &request{
 			ops:      []Op{{Kind: OpPut, Key: []byte{byte('a' + i)}, Value: []byte("v")}},
-			replicas: [][]*kvstore.Store{nil},
+			replicas: [][]engine.Engine{nil},
 			results:  results,
 			idx:      []int{i},
 			done:     &done,
@@ -41,7 +45,7 @@ func TestNodeAdmissionControl(t *testing.T) {
 
 	n.start()
 	done.Wait()
-	if v, ok := n.store.Get([]byte("a")); !ok || string(v) != "v" {
+	if v, ok := n.eng.Get([]byte("a")); !ok || string(v) != "v" {
 		t.Fatal("accepted request not applied")
 	}
 	n.close()
@@ -53,14 +57,18 @@ func TestNodeAdmissionControl(t *testing.T) {
 // TestNodeBatchCoalescing verifies a worker drains queued requests in
 // coalesced groups bounded by MaxBatch.
 func TestNodeBatchCoalescing(t *testing.T) {
-	n := newNode(0, kvstore.Open(kvstore.Options{}), 64, 1, 16)
+	eng, err := engine.Open(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newNode(0, eng, 64, 1, 16)
 	var done sync.WaitGroup
 	const reqs = 32
 	for i := 0; i < reqs; i++ {
 		done.Add(1)
 		req := &request{
 			ops:      []Op{{Kind: OpPut, Key: []byte{byte(i)}, Value: []byte{byte(i)}}},
-			replicas: [][]*kvstore.Store{nil},
+			replicas: [][]engine.Engine{nil},
 			done:     &done,
 		}
 		if err := n.submit(req); err != nil {

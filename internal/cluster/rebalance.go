@@ -73,7 +73,7 @@ func (c *Cluster) migrateLocked(old *Ring) MoveReport {
 		node := c.nodes[id]
 		start := []byte(nil)
 		for {
-			entries := node.store.Scan(start, 512)
+			entries := node.eng.Scan(start, 512)
 			if len(entries) == 0 {
 				break
 			}
@@ -92,14 +92,14 @@ func (c *Cluster) migrateLocked(old *Ring) MoveReport {
 				for _, o := range newOwners {
 					keep[o] = true
 					if !in[o] {
-						c.nodes[o].store.Put(e.Key, e.Value)
+						c.nodes[o].eng.Put(e.Key, e.Value)
 						report.Copied++
 						report.In[o]++
 					}
 				}
 				for _, o := range oldOwners {
 					if !keep[o] {
-						c.nodes[o].store.Delete(e.Key)
+						c.nodes[o].eng.Delete(e.Key)
 						report.Dropped++
 						report.Out[o]++
 					}

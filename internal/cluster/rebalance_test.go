@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"testing"
 
-	"repro/internal/kvstore"
+	"repro/internal/engine"
 )
 
 func fillCluster(c *Cluster, n int) map[string]string {
@@ -119,7 +119,7 @@ func TestRebalanceReplicatedRoundTrip(t *testing.T) {
 		defer c.mu.RUnlock()
 		copies := 0
 		for _, node := range c.nodes {
-			if _, ok := node.store.Get([]byte(k)); ok {
+			if _, ok := node.eng.Get([]byte(k)); ok {
 				copies++
 			}
 		}
@@ -157,7 +157,7 @@ func TestRebalanceReplicatedRoundTrip(t *testing.T) {
 // AddNode supplies enough nodes — both for pre-existing keys (via
 // migration) and for new writes.
 func TestRebalanceGrowsIntoReplication(t *testing.T) {
-	c := New(Config{Shards: 1, Replication: 2, Store: kvstore.Options{MemtableBytes: 32 << 10}})
+	c := New(Config{Shards: 1, Replication: 2, Engine: engine.Options{MemtableBytes: 32 << 10}})
 	defer c.Close()
 	want := fillCluster(c, 800)
 	if _, _, err := c.AddNode(); err != nil {
@@ -170,7 +170,7 @@ func TestRebalanceGrowsIntoReplication(t *testing.T) {
 	for k := range want {
 		copies := 0
 		for _, node := range c.nodes {
-			if _, ok := node.store.Get([]byte(k)); ok {
+			if _, ok := node.eng.Get([]byte(k)); ok {
 				copies++
 			}
 		}
@@ -180,7 +180,7 @@ func TestRebalanceGrowsIntoReplication(t *testing.T) {
 	}
 	copies := 0
 	for _, node := range c.nodes {
-		if _, ok := node.store.Get([]byte("post-grow")); ok {
+		if _, ok := node.eng.Get([]byte("post-grow")); ok {
 			copies++
 		}
 	}
@@ -191,7 +191,7 @@ func TestRebalanceGrowsIntoReplication(t *testing.T) {
 
 // TestRebalanceLastNodeGuard pins the cannot-empty-the-cluster invariant.
 func TestRebalanceLastNodeGuard(t *testing.T) {
-	c := New(Config{Shards: 1, Store: kvstore.Options{}})
+	c := New(Config{Shards: 1, Engine: engine.Options{}})
 	defer c.Close()
 	if _, err := c.RemoveNode(0); err == nil {
 		t.Fatal("removing the last node must fail")

@@ -1,0 +1,85 @@
+package engine
+
+import "sync"
+
+// Synchronized wraps an engine so every read shares one RWMutex and
+// every write takes it exclusively — the seed's store-wide locking
+// discipline. It exists as the comparison baseline for the lock-free
+// read path (BenchmarkReadPath) and as a safety harness for future
+// backends that are not internally concurrent-safe.
+func Synchronized(e Engine) Engine {
+	s := &syncedEngine{inner: e}
+	return s
+}
+
+type syncedEngine struct {
+	mu    sync.RWMutex
+	inner Engine
+}
+
+func (s *syncedEngine) Get(key []byte) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Get(key)
+}
+
+func (s *syncedEngine) Put(key, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Put(key, value)
+}
+
+func (s *syncedEngine) Delete(key []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Delete(key)
+}
+
+func (s *syncedEngine) WriteBatch(ops []BatchOp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.WriteBatch(ops)
+}
+
+func (s *syncedEngine) Scan(start []byte, limit int) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Scan(start, limit)
+}
+
+func (s *syncedEngine) Snapshot() Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return &syncedSnapshot{owner: s, inner: s.inner.Snapshot()}
+}
+
+func (s *syncedEngine) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.Stats()
+}
+
+func (s *syncedEngine) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Close()
+}
+
+type syncedSnapshot struct {
+	owner *syncedEngine
+	inner Snapshot
+}
+
+func (sn *syncedSnapshot) Get(key []byte) ([]byte, bool) {
+	sn.owner.mu.RLock()
+	defer sn.owner.mu.RUnlock()
+	return sn.inner.Get(key)
+}
+
+func (sn *syncedSnapshot) Scan(start []byte, limit int) []Entry {
+	sn.owner.mu.RLock()
+	defer sn.owner.mu.RUnlock()
+	return sn.inner.Scan(start, limit)
+}
+
+func (sn *syncedSnapshot) Release() { sn.inner.Release() }

@@ -1,0 +1,116 @@
+package kvstore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// blockCache is a sharded LRU-approximating cache over modeled SSTable
+// blocks — the stand-in for the HBase block cache / LevelDB table cache
+// on the run read path. Each shard holds its own lock, map, and ring,
+// so concurrent readers on different shards never contend; within a
+// shard, hits take only the shared read-lock and mark a CLOCK reference
+// bit, so the hot hit path never serializes readers the way a strict
+// move-to-front LRU would. Eviction is second-chance: a referenced
+// entry survives one sweep. Entries are identified by (run id, block
+// index); run ids are process-unique, so a compacted-away run's blocks
+// simply age out.
+type blockCache struct {
+	shards []cacheShard
+}
+
+type blockKey struct {
+	table uint64
+	block int
+}
+
+type cacheEnt struct {
+	key  blockKey
+	size int
+	ref  atomic.Bool // CLOCK reference bit, set lock-free on hit
+}
+
+type cacheShard struct {
+	mu    sync.RWMutex
+	cap   int
+	bytes int
+	ring  []*cacheEnt // insertion ring; hand sweeps for second chance
+	hand  int
+	items map[blockKey]*cacheEnt
+}
+
+const cacheShards = 16
+
+// newBlockCache builds a cache with the given total byte capacity.
+func newBlockCache(capacity int) *blockCache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &blockCache{shards: make([]cacheShard, cacheShards)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: per, items: map[blockKey]*cacheEnt{}}
+	}
+	return c
+}
+
+func (c *blockCache) shard(k blockKey) *cacheShard {
+	h := k.table*0x9e3779b97f4a7c15 + uint64(k.block)*0xff51afd7ed558ccd
+	return &c.shards[h%cacheShards]
+}
+
+// touch records an access to block k of the given modeled size. It
+// returns true on a hit; on a miss the block is admitted and cold
+// entries are evicted to fit.
+func (c *blockCache) touch(k blockKey, size int) bool {
+	s := c.shard(k)
+	s.mu.RLock()
+	ent := s.items[k]
+	s.mu.RUnlock()
+	if ent != nil {
+		ent.ref.Store(true)
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ent := s.items[k]; ent != nil { // raced with another admitter
+		ent.ref.Store(true)
+		return true
+	}
+	ent = &cacheEnt{key: k, size: size}
+	s.items[k] = ent
+	s.ring = append(s.ring, ent)
+	s.bytes += size
+	for s.bytes > s.cap && len(s.ring) > 1 {
+		s.hand %= len(s.ring)
+		victim := s.ring[s.hand]
+		if victim != ent && victim.ref.CompareAndSwap(true, false) {
+			s.hand++ // second chance
+			continue
+		}
+		if victim == ent { // never evict the block just admitted
+			s.hand++
+			continue
+		}
+		s.ring[s.hand] = s.ring[len(s.ring)-1]
+		s.ring = s.ring[:len(s.ring)-1]
+		delete(s.items, victim.key)
+		s.bytes -= victim.size
+	}
+	return false
+}
+
+// Len reports resident blocks across all shards (tests/ablation).
+func (c *blockCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.ring)
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -1,30 +1,62 @@
 package kvstore
 
-import "bytes"
+import (
+	"bytes"
+	"sync/atomic"
+)
 
 const maxHeight = 12
 
-// skipNode is one memtable node. A nil value with tomb set is a tombstone.
-type skipNode struct {
-	key  []byte
+// valRec is one version of a key's value. Overwrites push a new record
+// whose prev links the older one, so a reader pinned at sequence S
+// resolves the newest record with seq <= S — the memtable half of
+// snapshot reads.
+type valRec struct {
 	val  []byte
 	tomb bool
-	next [maxHeight]*skipNode
+	seq  uint64
+	prev *valRec
+}
+
+// skipNode is one memtable node. The key is immutable after publication;
+// the value chain head is swapped atomically on overwrite.
+type skipNode struct {
+	key  []byte
+	rec  atomic.Pointer[valRec]
+	next [maxHeight]atomic.Pointer[skipNode]
+}
+
+// resolve returns the newest record visible at seq, or nil if the node
+// was created after the pin point.
+func (n *skipNode) resolve(seq uint64) *valRec {
+	r := n.rec.Load()
+	for r != nil && r.seq > seq {
+		r = r.prev
+	}
+	return r
 }
 
 // memtable is a sorted in-memory write buffer (a skiplist, as in HBase's
-// MemStore / LevelDB's memtable).
+// MemStore / LevelDB's memtable). It is single-writer, many-reader
+// lock-free: the store's write mutex serializes mutators, while readers
+// traverse concurrently through atomic pointer loads alone — they never
+// block on a flush, a compaction, or another reader.
 type memtable struct {
 	head   *skipNode
-	height int
-	rnd    uint64
-	n      int
-	bytes  int
+	height atomic.Int32
+	rnd    uint64 // writer-only
+	n      atomic.Int64
+	size   atomic.Int64
 }
 
 func newMemtable() *memtable {
-	return &memtable{head: &skipNode{}, height: 1, rnd: 0x9e3779b97f4a7c15}
+	m := &memtable{head: &skipNode{}, rnd: 0x9e3779b97f4a7c15}
+	m.height.Store(1)
+	return m
 }
+
+func (m *memtable) count() int { return int(m.n.Load()) }
+func (m *memtable) bytes() int { return int(m.size.Load()) }
 
 func (m *memtable) randHeight() int {
 	h := 1
@@ -40,71 +72,97 @@ func (m *memtable) randHeight() int {
 	return h
 }
 
-// findPath returns the rightmost node < key at every level.
-func (m *memtable) findPath(key []byte, path *[maxHeight]*skipNode) *skipNode {
-	x := m.head
-	for lvl := m.height - 1; lvl >= 0; lvl-- {
-		for x.next[lvl] != nil && bytes.Compare(x.next[lvl].key, key) < 0 {
-			x = x.next[lvl]
-		}
-		path[lvl] = x
-	}
-	return x.next[0]
-}
-
-// put inserts or overwrites; probes counts traversal steps (for
-// instrumentation by the caller).
-func (m *memtable) put(key, val []byte, tomb bool) (probes int) {
+// put inserts or overwrites at seq; probes counts traversal steps (for
+// instrumentation by the caller). Caller must be the single writer.
+func (m *memtable) put(key, val []byte, tomb bool, seq uint64) (probes int) {
 	var path [maxHeight]*skipNode
+	height := int(m.height.Load())
 	x := m.head
-	for lvl := m.height - 1; lvl >= 0; lvl-- {
-		for x.next[lvl] != nil && bytes.Compare(x.next[lvl].key, key) < 0 {
-			x = x.next[lvl]
+	for lvl := height - 1; lvl >= 0; lvl-- {
+		for {
+			nx := x.next[lvl].Load()
+			if nx == nil || bytes.Compare(nx.key, key) >= 0 {
+				break
+			}
+			x = nx
 			probes++
 		}
 		path[lvl] = x
 	}
-	if n := x.next[0]; n != nil && bytes.Equal(n.key, key) {
-		m.bytes += len(val) - len(n.val)
-		n.val = val
-		n.tomb = tomb
+	if n := path[0].next[0].Load(); n != nil && bytes.Equal(n.key, key) {
+		old := n.rec.Load()
+		rec := &valRec{val: val, tomb: tomb, seq: seq, prev: old}
+		n.rec.Store(rec)
+		m.size.Add(int64(len(val) + 24)) // the chain keeps the old record
 		return probes
 	}
 	h := m.randHeight()
-	if h > m.height {
-		for lvl := m.height; lvl < h; lvl++ {
+	if h > height {
+		for lvl := height; lvl < h; lvl++ {
 			path[lvl] = m.head
 		}
-		m.height = h
+		m.height.Store(int32(h))
 	}
-	node := &skipNode{key: key, val: val, tomb: tomb}
+	node := &skipNode{key: key}
+	node.rec.Store(&valRec{val: val, tomb: tomb, seq: seq})
+	// Link bottom-up: a node's forward pointer is set before the node is
+	// published at that level, so a concurrent reader always finds a
+	// fully-formed suffix.
 	for lvl := 0; lvl < h; lvl++ {
-		node.next[lvl] = path[lvl].next[lvl]
-		path[lvl].next[lvl] = node
+		node.next[lvl].Store(path[lvl].next[lvl].Load())
+		path[lvl].next[lvl].Store(node)
 	}
-	m.n++
-	m.bytes += len(key) + len(val) + 16
+	m.n.Add(1)
+	m.size.Add(int64(len(key) + len(val) + 16))
 	return probes
 }
 
-// get looks the key up; ok reports presence (including tombstones).
-func (m *memtable) get(key []byte) (val []byte, tomb, ok bool, probes int) {
+// get looks the key up at seq; ok reports presence (including
+// tombstones). Safe for concurrent use with one writer.
+func (m *memtable) get(key []byte, seq uint64) (val []byte, tomb, ok bool, probes int) {
 	x := m.head
-	for lvl := m.height - 1; lvl >= 0; lvl-- {
-		for x.next[lvl] != nil && bytes.Compare(x.next[lvl].key, key) < 0 {
-			x = x.next[lvl]
+	for lvl := int(m.height.Load()) - 1; lvl >= 0; lvl-- {
+		for {
+			nx := x.next[lvl].Load()
+			if nx == nil || bytes.Compare(nx.key, key) >= 0 {
+				break
+			}
+			x = nx
 			probes++
 		}
 	}
-	n := x.next[0]
+	n := x.next[0].Load()
 	if n != nil && bytes.Equal(n.key, key) {
-		return n.val, n.tomb, true, probes
+		if r := n.resolve(seq); r != nil {
+			return r.val, r.tomb, true, probes
+		}
 	}
 	return nil, false, false, probes
 }
 
 // seek returns the first node with key >= start.
 func (m *memtable) seek(start []byte) *skipNode {
-	var path [maxHeight]*skipNode
-	return m.findPath(start, &path)
+	x := m.head
+	for lvl := int(m.height.Load()) - 1; lvl >= 0; lvl-- {
+		for {
+			nx := x.next[lvl].Load()
+			if nx == nil || bytes.Compare(nx.key, start) >= 0 {
+				break
+			}
+			x = nx
+		}
+	}
+	return x.next[0].Load()
+}
+
+// rows freezes the newest record of every node into sorted rows — the
+// flush input. Caller must hold the write mutex (no concurrent writer),
+// so the newest record per node is final.
+func (m *memtable) rows() []row {
+	out := make([]row, 0, m.count())
+	for node := m.head.next[0].Load(); node != nil; node = node.next[0].Load() {
+		r := node.rec.Load()
+		out = append(out, row{key: node.key, val: r.val, seq: r.seq, tomb: r.tomb})
+	}
+	return out
 }

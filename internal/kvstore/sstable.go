@@ -3,6 +3,7 @@ package kvstore
 import (
 	"bytes"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
@@ -13,16 +14,28 @@ type Entry struct {
 	Value []byte
 }
 
-// row is the internal representation including tombstones.
+// row is the internal representation including tombstones. seq is the
+// store-wide write sequence that produced the row; merges keep the
+// highest sequence per key.
 type row struct {
 	key  []byte
 	val  []byte
+	seq  uint64
 	tomb bool
 }
+
+// blockRows is the modeled block granularity: the run is charged (and
+// block-cached) in groups of blockRows adjacent rows, standing in for
+// the HFile/LevelDB data blocks a real store reads from disk.
+const blockRows = 16
+
+// tableIDs hands out process-unique run identities for block-cache keys.
+var tableIDs atomic.Uint64
 
 // sstable is one immutable sorted run with a bloom filter — the in-memory
 // analogue of an HBase HFile / LevelDB table.
 type sstable struct {
+	id     uint64
 	rows   []row
 	bloom  bloomFilter
 	bytes  int
@@ -30,7 +43,7 @@ type sstable struct {
 }
 
 func buildSSTable(rows []row, bitsPerKey int, cpu *sim.CPU) *sstable {
-	t := &sstable{rows: rows, bloom: newBloom(len(rows), bitsPerKey)}
+	t := &sstable{id: tableIDs.Add(1), rows: rows, bloom: newBloom(len(rows), bitsPerKey)}
 	for _, r := range rows {
 		t.bloom.add(r.key)
 		t.bytes += len(r.key) + len(r.val) + 8
@@ -39,8 +52,35 @@ func buildSSTable(rows []row, bitsPerKey int, cpu *sim.CPU) *sstable {
 	return t
 }
 
-// find binary-searches for key, returning the row and probe count.
-func (t *sstable) find(key []byte) (row, bool, int) {
+// smallest and largest bound the run's key range (rows is never empty).
+func (t *sstable) smallest() []byte { return t.rows[0].key }
+func (t *sstable) largest() []byte  { return t.rows[len(t.rows)-1].key }
+
+// blocks is the modeled block count.
+func (t *sstable) blocks() int { return (len(t.rows) + blockRows - 1) / blockRows }
+
+// blockSpan maps block b to its modeled byte span inside the run. Row
+// sizes are approximated as uniform; the charge is capped so one block
+// fill stays within a few cache lines of a real block read.
+func (t *sstable) blockSpan(b int) (off uint64, n int) {
+	nb := t.blocks()
+	if nb == 0 {
+		return 0, 0
+	}
+	per := t.bytes / nb
+	if per > 2048 {
+		per = 2048
+	}
+	if per < 64 {
+		per = 64
+	}
+	return uint64(b) * uint64(per), per
+}
+
+// find binary-searches for key, returning the row, the terminal index
+// (the first row >= key, i.e. the seek position), whether the key was
+// found, and the probe count.
+func (t *sstable) find(key []byte) (row, int, bool, int) {
 	lo, hi, probes := 0, len(t.rows), 0
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -52,9 +92,9 @@ func (t *sstable) find(key []byte) (row, bool, int) {
 		}
 	}
 	if lo < len(t.rows) && bytes.Equal(t.rows[lo].key, key) {
-		return t.rows[lo], true, probes
+		return t.rows[lo], lo, true, probes
 	}
-	return row{}, false, probes
+	return row{}, lo, false, probes
 }
 
 // seek returns the index of the first row with key >= start.
@@ -121,14 +161,16 @@ func (f bloomFilter) mayContain(key []byte) bool {
 	return true
 }
 
-// mergeRows k-way merges runs ordered oldest→newest; for duplicate keys the
-// newest wins. dropTombs removes tombstones (full compaction).
+// mergeRows k-way merges sorted runs; for duplicate keys the row with the
+// highest sequence wins (ties break toward the later run, which callers
+// order oldest→newest). dropTombs removes tombstones — legal only when no
+// older run outside the merge could still hold the key.
 func mergeRows(runs [][]row, dropTombs bool) []row {
 	idx := make([]int, len(runs))
 	var out []row
 	for {
 		best := -1
-		for i := len(runs) - 1; i >= 0; i-- { // newest first on ties
+		for i := range runs {
 			if idx[i] >= len(runs[i]) {
 				continue
 			}
@@ -139,17 +181,24 @@ func mergeRows(runs [][]row, dropTombs bool) []row {
 		if best == -1 {
 			return out
 		}
-		r := runs[best][idx[best]]
-		idx[best]++
-		// Skip older versions of the same key.
+		winner := runs[best][idx[best]]
+		// Among all runs positioned at this key, keep the newest version.
 		for i := range runs {
-			for idx[i] < len(runs[i]) && bytes.Equal(runs[i][idx[i]].key, r.key) {
+			if i == best || idx[i] >= len(runs[i]) {
+				continue
+			}
+			if r := runs[i][idx[i]]; bytes.Equal(r.key, winner.key) && r.seq >= winner.seq {
+				winner = r
+			}
+		}
+		for i := range runs {
+			for idx[i] < len(runs[i]) && bytes.Equal(runs[i][idx[i]].key, winner.key) {
 				idx[i]++
 			}
 		}
-		if r.tomb && dropTombs {
+		if winner.tomb && dropTombs {
 			continue
 		}
-		out = append(out, r)
+		out = append(out, winner)
 	}
 }

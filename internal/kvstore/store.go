@@ -1,15 +1,19 @@
 // Package kvstore is a log-structured merge-tree key-value store — the
 // repository's substitute for the paper's HBase 0.94.5 stack serving the
 // "Cloud OLTP" workloads (DESIGN.md §1). Writes append to a WAL and a
-// skiplist memtable; full memtables flush to immutable sorted runs with
-// Bloom filters; reads consult the memtable and then runs newest-first;
-// scans k-way-merge all sources; size-tiered compaction folds runs
-// together. These are the structures whose access patterns define the
-// Read/Write/Scan characterization in the paper's Figures 2-6.
+// lock-free skiplist memtable; full memtables flush to immutable sorted
+// runs with Bloom filters; reads pin an immutable version of the run set
+// with one atomic load and proceed without any store-wide lock while
+// flush and compaction install new versions behind them. The run read
+// path goes through a sharded-LRU block cache, and compaction is
+// pluggable: size-tiered full rewrites or leveled merges (see
+// compaction.go). These are the structures whose access patterns define
+// the Read/Write/Scan characterization in the paper's Figures 2-6.
 package kvstore
 
 import (
 	"bytes"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -33,8 +37,15 @@ type Options struct {
 	// BloomBitsPerKey sizes the per-run Bloom filters (default 10; 0 keeps
 	// the default, negative disables the filters — used by the ablation).
 	BloomBitsPerKey int
-	// MaxRuns triggers a full compaction when exceeded (default 6).
+	// MaxRuns triggers compaction when exceeded (default 6). Under
+	// SizeTiered it bounds the total run count; under Leveled it bounds
+	// the L0 flush-run count.
 	MaxRuns int
+	// Compaction selects the run-folding policy (default SizeTiered).
+	Compaction CompactionPolicy
+	// BlockCacheBytes sizes the sharded-LRU block cache on the run read
+	// path (default 4 MiB; negative disables the cache).
+	BlockCacheBytes int
 	// CPU attaches the store to a characterization context (may be nil).
 	CPU *sim.CPU
 }
@@ -49,6 +60,9 @@ func (o *Options) normalize() {
 	if o.MaxRuns <= 0 {
 		o.MaxRuns = 6
 	}
+	if o.BlockCacheBytes == 0 {
+		o.BlockCacheBytes = 4 << 20
+	}
 }
 
 // Stats counts store activity.
@@ -58,25 +72,48 @@ type Stats struct {
 	Flushes, Compactions       uint64
 	BloomNegative, RunsProbed  uint64
 	WALBytes                   uint64
+	// BlockCacheHits and BlockCacheMisses count run-block accesses
+	// through the block cache (zero when the cache is disabled).
+	BlockCacheHits, BlockCacheMisses uint64
 }
 
-// Store is the LSM store. It is safe for concurrent use.
-type Store struct {
-	mu     sync.RWMutex
-	statMu sync.Mutex // guards st under the read lock
-	opts   Options
-	mem    *memtable
-	runs   []*sstable // ordered oldest → newest
-	st     Stats
+// counters is the internal, atomically-updated form of Stats — the read
+// path increments them without holding any lock.
+type counters struct {
+	puts, gets, deletes, scans atomic.Uint64
+	scannedEntries             atomic.Uint64
+	flushes, compactions       atomic.Uint64
+	bloomNegative, runsProbed  atomic.Uint64
+	walBytes                   atomic.Uint64
+	cacheHits, cacheMisses     atomic.Uint64
+}
 
-	cpu       *sim.CPU
-	walCode   *sim.CodeRegion
-	memCode   *sim.CodeRegion
-	readCode  *sim.CodeRegion
-	scanCode  *sim.CodeRegion
-	walRegion sim.DataRegion
-	memRegion sim.DataRegion
-	rs        atomic.Uint64
+// Store is the LSM store. It is safe for concurrent use: writers
+// serialize on writeMu, while readers are lock-free — they pin the
+// current version with one atomic load and never block on writes,
+// flushes, or compactions.
+type Store struct {
+	opts    Options
+	writeMu sync.Mutex // serializes Put/Delete/WriteBatch/Flush/compaction
+	cur     atomic.Pointer[version]
+	seq     atomic.Uint64 // global write sequence (record stamps)
+	// visible is the readers' horizon: it advances to seq only after a
+	// write or a whole WriteBatch has fully applied, so lock-free
+	// readers never observe half a batch (records above the horizon are
+	// skipped by the memtable's version chains).
+	visible atomic.Uint64
+	ct      counters
+	cache   *blockCache
+
+	cpu         *sim.CPU
+	walCode     *sim.CodeRegion
+	memCode     *sim.CodeRegion
+	readCode    *sim.CodeRegion
+	scanCode    *sim.CodeRegion
+	walRegion   sim.DataRegion
+	memRegion   sim.DataRegion
+	cacheRegion sim.DataRegion
+	rs          atomic.Uint64
 }
 
 // Open creates an empty store.
@@ -85,7 +122,7 @@ func Open(opts Options) *Store {
 	cpu := opts.CPU
 	s := &Store{
 		opts:      opts,
-		mem:       newMemtable(),
+		cache:     newBlockCache(opts.BlockCacheBytes),
 		cpu:       cpu,
 		walCode:   cpu.NewCodeRegion("kvstore.wal", 128<<10),
 		memCode:   cpu.NewCodeRegion("kvstore.memtable", 192<<10),
@@ -94,25 +131,37 @@ func Open(opts Options) *Store {
 		walRegion: cpu.Alloc("kvstore.walbuf", 8<<20),
 		memRegion: cpu.Alloc("kvstore.membuf", uint64(opts.MemtableBytes)*2+4096),
 	}
+	if s.cache != nil {
+		s.cacheRegion = cpu.Alloc("kvstore.blockcache", uint64(opts.BlockCacheBytes))
+	}
+	s.cur.Store(newVersion())
 	s.rs.Store(0x6c62272e07bb0142)
 	return s
 }
 
-// nextRand is a lock-free xorshift step shared by read and write paths.
+// nextRand is a contention-free pseudo-random step shared by read and
+// write paths: a plain atomic counter advanced by the golden-ratio
+// increment, finalized splitmix64-style. Unlike a CAS-retry xorshift it
+// never spins — every caller succeeds in one fetch-add.
 func (s *Store) nextRand() uint64 {
-	for {
-		old := s.rs.Load()
-		v := old
-		v ^= v << 13
-		v ^= v >> 7
-		v ^= v << 17
-		if s.rs.CompareAndSwap(old, v) {
-			return v
-		}
-	}
+	x := s.rs.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
-func (s *Store) codeOff(r *sim.CodeRegion) uint64 { return s.nextRand() % r.Size() }
+// codeOff picks a pseudo-random window offset; uninstrumented stores
+// skip the draw so the hot read path stays free of shared-counter
+// traffic.
+func (s *Store) codeOff(r *sim.CodeRegion) uint64 {
+	if s.cpu == nil {
+		return 0
+	}
+	return s.nextRand() % r.Size()
+}
 
 // Put inserts or overwrites a key.
 func (s *Store) Put(key, value []byte) {
@@ -124,30 +173,73 @@ func (s *Store) Delete(key []byte) {
 	s.write(key, nil, true)
 }
 
+// BatchOp is one write inside a WriteBatch.
+type BatchOp struct {
+	Key   []byte
+	Value []byte // ignored when Delete is set
+	// Delete writes a tombstone instead of a value.
+	Delete bool
+}
+
+// WriteBatch applies a group of writes under one writer-lock
+// acquisition — the group-commit fast path the cluster's shard workers
+// ride on (cluster.Node coalesces replica-free write runs into it).
+// The batch is atomic to readers: the visibility horizon advances only
+// after every record is in place, so a concurrent Get or Scan sees all
+// of the batch or none of it.
+func (s *Store) WriteBatch(ops []BatchOp) {
+	if len(ops) == 0 {
+		return
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	for _, op := range ops {
+		if op.Delete {
+			s.applyLocked(op.Key, nil, true)
+		} else {
+			s.applyLocked(op.Key, op.Value, false)
+		}
+	}
+	s.visible.Store(s.seq.Load())
+	s.maybeFlushLocked()
+}
+
 func (s *Store) write(key, value []byte, tomb bool) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.applyLocked(key, value, tomb)
+	s.visible.Store(s.seq.Load())
+	s.maybeFlushLocked()
+}
+
+// applyLocked performs one write against the current version's active
+// memtable. It never flushes — a flush mid-batch would freeze records
+// that are not yet visible (and drop the older chain versions readers
+// below the horizon still need); callers flush after advancing the
+// horizon. Caller holds writeMu.
+func (s *Store) applyLocked(key, value []byte, tomb bool) {
 	k := append([]byte(nil), key...)
 	v := append([]byte(nil), value...)
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if tomb {
-		s.st.Deletes++
+		s.ct.deletes.Add(1)
 	} else {
-		s.st.Puts++
+		s.ct.puts.Add(1)
 	}
 	// RPC decode + WAL append. The generous integer budget models the
 	// HBase client/server request path (protobuf decode, region lookup,
 	// MVCC bookkeeping), which dominates instructions per operation.
 	rec := len(k) + len(v) + 12
 	s.cpu.Code(s.walCode, s.codeOff(s.walCode), 640)
-	s.cpu.StoreR(s.walRegion, s.st.WALBytes%s.walRegion.Size, rec)
+	s.cpu.StoreR(s.walRegion, s.ct.walBytes.Load()%s.walRegion.Size, rec)
 	s.cpu.IntOps(420)
 	s.cpu.Branches(95)
 	s.cpu.FPOps(4)
-	s.st.WALBytes += uint64(rec)
+	s.ct.walBytes.Add(uint64(rec))
 	// Memtable insert. The upper skiplist levels stay cache-resident; only
 	// the final descent touches cold nodes, so the scattered-probe charge
 	// is capped.
-	probes := s.mem.put(k, v, tomb)
+	ver := s.cur.Load()
+	probes := ver.mem.put(k, v, tomb, s.seq.Add(1))
 	if probes > 8 {
 		probes = 8
 	}
@@ -155,8 +247,14 @@ func (s *Store) write(key, value []byte, tomb bool) {
 	s.chargeProbes(s.memRegion, probes, len(k)+8)
 	s.cpu.IntOps(180)
 	s.cpu.Branches(40)
-	s.cpu.StoreR(s.memRegion, uint64(s.mem.bytes)%s.memRegion.Size, len(k)+len(v)+16)
-	if s.mem.bytes >= s.opts.MemtableBytes {
+	s.cpu.StoreR(s.memRegion, uint64(ver.mem.bytes())%s.memRegion.Size, len(k)+len(v)+16)
+}
+
+// maybeFlushLocked flushes a full memtable. Caller holds writeMu and
+// has advanced the visibility horizon, so every frozen record is
+// visible. The memtable may overshoot MemtableBytes by one batch.
+func (s *Store) maybeFlushLocked() {
+	if s.cur.Load().mem.bytes() >= s.opts.MemtableBytes {
 		s.flushLocked()
 	}
 }
@@ -180,20 +278,54 @@ func maxU64(a, b uint64) uint64 {
 	return b
 }
 
-// Get returns the value for key.
-func (s *Store) Get(key []byte) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	s.statMu.Lock()
-	s.st.Gets++
-	s.statMu.Unlock()
+// readBlock routes one modeled block access through the block cache: a
+// hit touches the hot cache arena; a miss streams the block in from the
+// run and admits it — the cost difference the characterization (and the
+// BlockCacheHits/Misses counters) surface.
+func (s *Store) readBlock(t *sstable, block int) {
+	off, n := t.blockSpan(block)
+	if s.cache == nil {
+		s.cpu.LoadR(t.region, off, n)
+		return
+	}
+	if s.cache.touch(blockKey{table: t.id, block: block}, n) {
+		s.ct.cacheHits.Add(1)
+		if s.cpu != nil {
+			s.cpu.LoadR(s.cacheRegion, (t.id*8191+uint64(block))*64%maxU64(s.cacheRegion.Size, 1), 128)
+			s.cpu.IntOps(40)
+			s.cpu.Branches(8)
+		}
+		return
+	}
+	s.ct.cacheMisses.Add(1)
+	if s.cpu != nil {
+		s.cpu.LoadR(t.region, off, n)
+		s.cpu.StoreR(s.cacheRegion, s.nextRand()%maxU64(s.cacheRegion.Size, 1), 64)
+		s.cpu.IntOps(90)
+		s.cpu.Branches(14)
+	}
+}
 
+// Get returns the value for key. The read path is lock-free: it pins
+// the current version with one atomic load and never contends with
+// writers, flushes, or compactions. The version must be loaded before
+// the horizon: any run already in the version was flushed below an
+// earlier horizon, so run rows never need sequence filtering.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	v := s.cur.Load()
+	return s.getAt(v, s.visible.Load(), key)
+}
+
+// getAt serves a point read against a pinned version at a sequence
+// horizon.
+func (s *Store) getAt(v *version, seq uint64, key []byte) ([]byte, bool) {
+	s.ct.gets.Add(1)
 	// Request path: RPC decode, region/row-lock lookup, result encode.
 	s.cpu.Code(s.readCode, s.codeOff(s.readCode), 768)
 	s.cpu.IntOps(620)
 	s.cpu.Branches(140)
 	s.cpu.FPOps(5)
-	v, tomb, ok, probes := s.mem.get(key)
+	val, tomb, ok, probes := v.mem.get(key, seq)
 	if probes > 4 {
 		probes = 4
 	}
@@ -202,87 +334,139 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 		if tomb {
 			return nil, false
 		}
-		return append([]byte(nil), v...), true
+		return append([]byte(nil), val...), true
 	}
-	for i := len(s.runs) - 1; i >= 0; i-- {
-		t := s.runs[i]
-		// Bloom filter check: one or two cache lines of the bit array.
-		s.cpu.LoadR(t.region, bloomProbeOff(key, t.region.Size), 16)
-		s.cpu.IntOps(24)
-		s.cpu.Branches(4)
-		if s.opts.BloomBitsPerKey > 0 && !t.bloom.mayContain(key) {
-			s.statMu.Lock()
-			s.st.BloomNegative++
-			s.statMu.Unlock()
-			continue
-		}
-		s.statMu.Lock()
-		s.st.RunsProbed++
-		s.statMu.Unlock()
-		r, ok, probes := t.find(key)
-		// The run's block index stays hot in the Java heap; only the last
-		// few search steps touch cold blocks of the file.
-		if probes > 4 {
-			probes = 4
-		}
-		s.chargeProbes(t.region, probes, len(key)+16)
-		if ok {
-			if r.tomb {
+	// L0 newest-first: flush output runs may overlap.
+	for i := len(v.levels[0]) - 1; i >= 0; i-- {
+		if r, found, dead := s.probeRun(v.levels[0][i], key); found {
+			if dead {
 				return nil, false
 			}
-			return append([]byte(nil), r.val...), true
+			return r, true
+		}
+	}
+	// Deep levels are disjoint: at most one candidate run per level.
+	for lvl := 1; lvl < len(v.levels); lvl++ {
+		t := findRun(v.levels[lvl], key)
+		if t == nil {
+			continue
+		}
+		if r, found, dead := s.probeRun(t, key); found {
+			if dead {
+				return nil, false
+			}
+			return r, true
 		}
 	}
 	return nil, false
 }
 
-// Scan returns up to limit live entries with key >= start, in key order.
+// probeRun checks one run for key: Bloom filter, block-index search,
+// then a block read through the cache.
+func (s *Store) probeRun(t *sstable, key []byte) (val []byte, found, dead bool) {
+	// Bloom filter check: one or two cache lines of the bit array.
+	s.cpu.LoadR(t.region, bloomProbeOff(key, t.region.Size), 16)
+	s.cpu.IntOps(24)
+	s.cpu.Branches(4)
+	if s.opts.BloomBitsPerKey > 0 && !t.bloom.mayContain(key) {
+		s.ct.bloomNegative.Add(1)
+		return nil, false, false
+	}
+	s.ct.runsProbed.Add(1)
+	r, idx, ok, probes := t.find(key)
+	// The run's block index stays hot in the Java heap; only the last
+	// few search steps touch cold index nodes.
+	if probes > 3 {
+		probes = 3
+	}
+	s.chargeProbes(t.region, probes, len(key)+16)
+	// The candidate block is read (through the cache) whether or not the
+	// key is ultimately present — the Bloom filter already passed. find's
+	// terminal index names the block the key would live in.
+	block := 0
+	if idx < len(t.rows) {
+		block = idx / blockRows
+	} else if n := t.blocks(); n > 0 {
+		block = n - 1
+	}
+	s.readBlock(t, block)
+	if !ok {
+		return nil, false, false
+	}
+	if r.tomb {
+		return nil, true, true
+	}
+	return append([]byte(nil), r.val...), true, false
+}
+
+// Scan returns up to limit live entries with key >= start, in key
+// order. Like Get it pins one version and the visibility horizon at
+// entry, so a scan is point-in-time: it never observes a torn run set,
+// half a WriteBatch, or writes that land mid-iteration.
 func (s *Store) Scan(start []byte, limit int) []Entry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	s.statMu.Lock()
-	s.st.Scans++
-	s.statMu.Unlock()
+	v := s.cur.Load()
+	return s.scanAt(v, s.visible.Load(), start, limit)
+}
+
+// scanCursor walks one sorted source (memtable or run) emitting rows
+// visible at the pinned sequence.
+type scanCursor struct {
+	cur  row
+	ok   bool
+	next func() (row, bool)
+}
+
+// scanAt merges every source of a pinned version at a sequence horizon.
+func (s *Store) scanAt(v *version, seq uint64, start []byte, limit int) []Entry {
+	s.ct.scans.Add(1)
 	s.cpu.Code(s.scanCode, s.codeOff(s.scanCode), 640)
 	s.cpu.IntOps(520)
 	s.cpu.Branches(120)
 	s.cpu.FPOps(1)
 
-	type cursor struct {
-		next func() (row, bool)
-		cur  row
-		ok   bool
-		prio int // higher = newer
-	}
-	var cs []*cursor
-	// Memtable cursor (newest). Skiplist nodes are heap-scattered.
-	node := s.mem.seek(start)
+	var cs []*scanCursor
+	// Memtable cursor. Skiplist nodes are heap-scattered.
+	node := v.mem.seek(start)
 	memNext := func() (row, bool) {
-		if node == nil {
-			return row{}, false
-		}
-		r := row{key: node.key, val: node.val, tomb: node.tomb}
-		s.cpu.LoadR(s.memRegion, s.nextRand()%s.memRegion.Size, len(r.key)+len(r.val)+16)
-		node = node.next[0]
-		return r, true
-	}
-	cs = append(cs, &cursor{next: memNext, prio: len(s.runs) + 1})
-	for i, t := range s.runs {
-		tt := t
-		pos := t.seek(start)
-		// The seek itself binary-searches the run.
-		s.chargeProbes(tt.region, 5, 24)
-		n := func() (row, bool) {
-			if pos >= len(tt.rows) {
-				return row{}, false
+		for node != nil {
+			rec := node.resolve(seq)
+			n := node
+			node = node.next[0].Load()
+			if rec == nil {
+				continue // written after the snapshot horizon
 			}
-			r := tt.rows[pos]
-			// Sequential read of the run at the cursor position.
-			s.cpu.LoadR(tt.region, uint64(pos)*32, len(r.key)+len(r.val)+8)
-			pos++
-			return r, true
+			if s.cpu != nil {
+				s.cpu.LoadR(s.memRegion, s.nextRand()%s.memRegion.Size, len(n.key)+len(rec.val)+16)
+			}
+			return row{key: n.key, val: rec.val, seq: rec.seq, tomb: rec.tomb}, true
 		}
-		cs = append(cs, &cursor{next: n, prio: i + 1})
+		return row{}, false
+	}
+	cs = append(cs, &scanCursor{next: memNext})
+	for _, level := range v.levels {
+		for _, t := range level {
+			tt := t
+			pos := t.seek(start)
+			// The seek itself binary-searches the run's block index.
+			s.chargeProbes(tt.region, 5, 24)
+			lastBlock := -1
+			n := func() (row, bool) {
+				if pos >= len(tt.rows) {
+					return row{}, false
+				}
+				r := tt.rows[pos]
+				// Sequential block reads through the cache at the cursor.
+				if b := pos / blockRows; b != lastBlock {
+					lastBlock = b
+					s.readBlock(tt, b)
+				}
+				s.cpu.IntOps(8)
+				s.cpu.Branches(2)
+				pos++
+				return r, true
+			}
+			cs = append(cs, &scanCursor{next: n})
+		}
 	}
 	for _, c := range cs {
 		c.cur, c.ok = c.next()
@@ -297,7 +481,7 @@ func (s *Store) Scan(start []byte, limit int) []Entry {
 			}
 			if best == -1 ||
 				bytes.Compare(c.cur.key, cs[best].cur.key) < 0 ||
-				(bytes.Equal(c.cur.key, cs[best].cur.key) && c.prio > cs[best].prio) {
+				(bytes.Equal(c.cur.key, cs[best].cur.key) && c.cur.seq > cs[best].cur.seq) {
 				best = i
 			}
 		}
@@ -306,7 +490,7 @@ func (s *Store) Scan(start []byte, limit int) []Entry {
 		}
 		r := cs[best].cur
 		key := r.key
-		// Advance every cursor past this key (older versions lose).
+		// Advance every cursor past this key (older sequences lose).
 		for _, c := range cs {
 			for c.ok && bytes.Equal(c.cur.key, key) {
 				c.cur, c.ok = c.next()
@@ -324,101 +508,112 @@ func (s *Store) Scan(start []byte, limit int) []Entry {
 		s.cpu.Branches(12)
 		s.cpu.FPOps(1)
 	}
-	s.statMu.Lock()
-	s.st.ScannedEntries += uint64(scanned)
-	s.statMu.Unlock()
+	s.ct.scannedEntries.Add(uint64(scanned))
 	return out
 }
 
+// Snapshot is a consistent point-in-time read view: Get and Scan resolve
+// exactly the writes sequenced before the snapshot was taken, regardless
+// of later writes, flushes, or compactions (the pinned version's runs
+// are immutable and memtable records carry sequence numbers).
+type Snapshot struct {
+	s   *Store
+	v   *version
+	seq uint64
+}
+
+// Snapshot pins the current version and sequence horizon. Acquisition
+// briefly serializes with writers so the horizon is exact; reads through
+// the snapshot are lock-free.
+func (s *Store) Snapshot() *Snapshot {
+	s.writeMu.Lock()
+	v := s.cur.Load()
+	seq := s.visible.Load()
+	s.writeMu.Unlock()
+	return &Snapshot{s: s, v: v, seq: seq}
+}
+
+// Get returns the key's value as of the snapshot.
+func (sn *Snapshot) Get(key []byte) ([]byte, bool) {
+	return sn.s.getAt(sn.v, sn.seq, key)
+}
+
+// Scan returns up to limit live entries as of the snapshot.
+func (sn *Snapshot) Scan(start []byte, limit int) []Entry {
+	return sn.s.scanAt(sn.v, sn.seq, start, limit)
+}
+
+// Release drops the snapshot's pin (the garbage collector reclaims the
+// superseded runs once no snapshot references them).
+func (sn *Snapshot) Release() { sn.v = nil }
+
 // Flush forces the memtable into an immutable run.
 func (s *Store) Flush() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	s.flushLocked()
 }
 
+// flushLocked freezes the active memtable into an L0 run and installs a
+// fresh version. Caller holds writeMu; readers pinned on the old version
+// keep reading the frozen memtable.
 func (s *Store) flushLocked() {
-	if s.mem.n == 0 {
+	v := s.cur.Load()
+	if v.mem.count() == 0 {
 		return
 	}
-	rows := make([]row, 0, s.mem.n)
-	for node := s.mem.head.next[0]; node != nil; node = node.next[0] {
-		rows = append(rows, row{key: node.key, val: node.val, tomb: node.tomb})
-	}
+	rows := v.mem.rows()
 	t := buildSSTable(rows, s.opts.BloomBitsPerKey, s.cpu)
 	// Sequential write of the run; HFile blocks are compressed on flush,
 	// so the charged I/O is a third of the logical bytes.
 	s.cpu.Code(s.walCode, s.codeOff(s.walCode), 512)
 	s.cpu.StoreR(t.region, 0, t.bytes/3)
-	s.runs = append(s.runs, t)
-	s.mem = newMemtable()
-	s.st.Flushes++
-	if len(s.runs) > s.opts.MaxRuns {
-		s.compactLocked()
-	}
-}
-
-func (s *Store) compactLocked() {
-	runs := make([][]row, len(s.runs))
-	total := 0
-	for i, t := range s.runs {
-		runs[i] = t.rows
-		total += t.bytes
-	}
-	merged := mergeRows(runs, true)
-	t := buildSSTable(merged, s.opts.BloomBitsPerKey, s.cpu)
-	// Compaction I/O: read every input run, write the output run
-	// (block-compressed both ways).
-	s.cpu.Code(s.scanCode, s.codeOff(s.scanCode), 768)
-	for _, old := range s.runs {
-		s.cpu.LoadR(old.region, 0, old.bytes/3)
-	}
-	s.cpu.StoreR(t.region, 0, t.bytes/3)
-	s.cpu.IntOps(4 * len(merged))
-	s.cpu.Branches(2 * len(merged))
-	s.runs = []*sstable{t}
-	s.st.Compactions++
+	nv := v.clone()
+	nv.mem = newMemtable()
+	nv.levels[0] = append(nv.levels[0], t)
+	s.cur.Store(nv)
+	s.ct.flushes.Add(1)
+	s.maybeCompactLocked()
 }
 
 // Stats snapshots the counters.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	s.statMu.Lock()
-	defer s.statMu.Unlock()
-	return s.st
+	return Stats{
+		Puts:             s.ct.puts.Load(),
+		Gets:             s.ct.gets.Load(),
+		Deletes:          s.ct.deletes.Load(),
+		Scans:            s.ct.scans.Load(),
+		ScannedEntries:   s.ct.scannedEntries.Load(),
+		Flushes:          s.ct.flushes.Load(),
+		Compactions:      s.ct.compactions.Load(),
+		BloomNegative:    s.ct.bloomNegative.Load(),
+		RunsProbed:       s.ct.runsProbed.Load(),
+		WALBytes:         s.ct.walBytes.Load(),
+		BlockCacheHits:   s.ct.cacheHits.Load(),
+		BlockCacheMisses: s.ct.cacheMisses.Load(),
+	}
 }
 
-// Runs returns the current immutable run count (for tests/ablation).
+// Runs returns the current immutable run count across all levels (for
+// tests/ablation).
 func (s *Store) Runs() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.runs)
+	return s.cur.Load().runCount()
 }
+
+// LevelRuns returns the per-level run counts of the current version.
+func (s *Store) LevelRuns() []int {
+	v := s.cur.Load()
+	out := make([]int, len(v.levels))
+	for i, l := range v.levels {
+		out[i] = len(l)
+	}
+	return out
+}
+
+// Compaction reports the configured policy.
+func (s *Store) Compaction() CompactionPolicy { return s.opts.Compaction }
 
 // Len returns the number of live keys (linear; intended for tests).
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	seen := map[string]bool{}
-	live := map[string]bool{}
-	consider := func(r row) {
-		k := string(r.key)
-		if seen[k] {
-			return
-		}
-		seen[k] = true
-		if !r.tomb {
-			live[k] = true
-		}
-	}
-	for node := s.mem.head.next[0]; node != nil; node = node.next[0] {
-		consider(row{key: node.key, val: node.val, tomb: node.tomb})
-	}
-	for i := len(s.runs) - 1; i >= 0; i-- {
-		for _, r := range s.runs[i].rows {
-			consider(r)
-		}
-	}
-	return len(live)
+	return len(s.Scan(nil, math.MaxInt32))
 }

@@ -90,6 +90,125 @@ func TestCompactionBoundsRunsAndPreservesData(t *testing.T) {
 	}
 }
 
+func TestLeveledCompactionShapeAndData(t *testing.T) {
+	s := Open(Options{MemtableBytes: 1024, MaxRuns: 2, Compaction: Leveled})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		s.Put(key(i%500), val(i)) // heavy overwrites
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("expected leveled compactions")
+	}
+	lr := s.LevelRuns()
+	if len(lr) < 2 {
+		t.Fatalf("leveled store never left L0: %v", lr)
+	}
+	if lr[0] > 2 {
+		t.Errorf("L0 runs = %d, want <= MaxRuns after compaction", lr[0])
+	}
+	// Deep levels must stay sorted and pairwise disjoint.
+	v := s.cur.Load()
+	for lvl := 1; lvl < len(v.levels); lvl++ {
+		for i := 1; i < len(v.levels[lvl]); i++ {
+			if bytes.Compare(v.levels[lvl][i-1].largest(), v.levels[lvl][i].smallest()) >= 0 {
+				t.Fatalf("level %d runs overlap or unsorted", lvl)
+			}
+		}
+	}
+	// Newest value wins for every key.
+	for k := 0; k < 500; k++ {
+		want := val(k + 1500)
+		if v, ok := s.Get(key(k)); !ok || !bytes.Equal(v, want) {
+			t.Fatalf("Get(%s) = %q, want %q", key(k), v, want)
+		}
+	}
+	// Deletes survive leveled merges.
+	s.Delete(key(3))
+	s.Flush()
+	if _, ok := s.Get(key(3)); ok {
+		t.Fatal("deleted key visible after leveled flush")
+	}
+}
+
+func TestBlockCacheHitsAndEviction(t *testing.T) {
+	s := Open(Options{MemtableBytes: 1024, BlockCacheBytes: 8 << 10})
+	for i := 0; i < 800; i++ {
+		s.Put(key(i), val(i))
+	}
+	s.Flush()
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 40; i++ {
+			s.Get(key(i))
+		}
+	}
+	st := s.Stats()
+	if st.BlockCacheMisses == 0 || st.BlockCacheHits == 0 {
+		t.Fatalf("cache not exercised: %+v", st)
+	}
+	if s.cache.Len() == 0 {
+		t.Fatal("no resident blocks")
+	}
+	// A tiny cache with a large scan working set must evict.
+	small := Open(Options{MemtableBytes: 1024, BlockCacheBytes: 1024})
+	for i := 0; i < 2000; i++ {
+		small.Put(key(i), val(i))
+	}
+	small.Flush()
+	small.Scan(key(0), 2000)
+	if got := small.cache.Len(); got > 64 {
+		t.Fatalf("tiny cache holds %d blocks, eviction broken", got)
+	}
+	// Disabled cache counts nothing.
+	off := Open(Options{MemtableBytes: 1024, BlockCacheBytes: -1})
+	off.Put(key(1), val(1))
+	off.Flush()
+	off.Get(key(1))
+	if st := off.Stats(); st.BlockCacheHits+st.BlockCacheMisses != 0 {
+		t.Fatalf("disabled cache recorded activity: %+v", st)
+	}
+}
+
+func TestWriteBatchGroupCommit(t *testing.T) {
+	s := Open(Options{MemtableBytes: 512})
+	batch := make([]BatchOp, 0, 100)
+	for i := 0; i < 100; i++ {
+		batch = append(batch, BatchOp{Key: key(i), Value: val(i)})
+	}
+	batch = append(batch, BatchOp{Key: key(7), Delete: true})
+	s.WriteBatch(batch)
+	for i := 0; i < 100; i++ {
+		v, ok := s.Get(key(i))
+		if i == 7 {
+			if ok {
+				t.Fatal("batched delete not applied")
+			}
+			continue
+		}
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("Get(%s) = %q, %v", key(i), v, ok)
+		}
+	}
+	st := s.Stats()
+	if st.Puts != 100 || st.Deletes != 1 {
+		t.Fatalf("batch miscounted: %+v", st)
+	}
+}
+
+func TestParseCompaction(t *testing.T) {
+	for name, want := range map[string]CompactionPolicy{
+		"": SizeTiered, "size-tiered": SizeTiered, "leveled": Leveled,
+	} {
+		got, ok := ParseCompaction(name)
+		if !ok || got != want {
+			t.Fatalf("ParseCompaction(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := ParseCompaction("bogus"); ok {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
 func TestScanOrderedAndBounded(t *testing.T) {
 	s := Open(Options{MemtableBytes: 512})
 	perm := rand.New(rand.NewSource(1)).Perm(300)
@@ -258,15 +377,15 @@ func TestInstrumentedOps(t *testing.T) {
 func TestMemtableSkiplistOrdering(t *testing.T) {
 	m := newMemtable()
 	perm := rand.New(rand.NewSource(2)).Perm(500)
-	for _, i := range perm {
-		m.put(key(i), val(i), false)
+	for n, i := range perm {
+		m.put(key(i), val(i), false, uint64(n+1))
 	}
-	if m.n != 500 {
-		t.Fatalf("n = %d", m.n)
+	if m.count() != 500 {
+		t.Fatalf("n = %d", m.count())
 	}
 	prev := []byte(nil)
 	count := 0
-	for node := m.head.next[0]; node != nil; node = node.next[0] {
+	for node := m.head.next[0].Load(); node != nil; node = node.next[0].Load() {
 		if prev != nil && bytes.Compare(prev, node.key) >= 0 {
 			t.Fatal("skiplist out of order")
 		}

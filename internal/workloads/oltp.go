@@ -8,7 +8,7 @@ import (
 	"repro/internal/bdgs"
 	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/kvstore"
+	"repro/internal/engine"
 )
 
 // avgResumeBytes is the mean encoded resume size used for sizing.
@@ -34,27 +34,80 @@ func resumeCount(in core.Input) int {
 	return n
 }
 
-// loadStore creates a store preloaded with n resumés (untimed phase).
-func loadStore(in core.Input, n int) *kvstore.Store {
-	s := kvstore.Open(kvstore.Options{CPU: in.CPU, MemtableBytes: 1 << 20})
+// EngineChoice selects the storage engine the Cloud-OLTP workloads run
+// on: the backend, the compaction policy, and the block-cache size.
+// The zero value is the default LSM engine with size-tiered compaction
+// and the default cache.
+type EngineChoice struct {
+	// Engine is the registered backend name ("" = "lsm").
+	Engine string
+	// Compaction is the policy name: "", "size-tiered" or "leveled".
+	Compaction string
+	// BlockCacheBytes sizes the block cache (0 default, negative off).
+	BlockCacheBytes int
+}
+
+// ConfigureEngine installs the choice; it is promoted to every workload
+// that embeds EngineChoice, so cmd/bdbench can configure them uniformly.
+func (e *EngineChoice) ConfigureEngine(c EngineChoice) { *e = c }
+
+// EngineConfigurable is satisfied by workloads carrying an EngineChoice.
+type EngineConfigurable interface {
+	ConfigureEngine(EngineChoice)
+}
+
+// options maps the choice onto engine options for one store instance.
+func (e EngineChoice) options(in core.Input, memtableBytes int) engine.Options {
+	return engine.Options{
+		Backend:         e.Engine,
+		Compaction:      e.Compaction,
+		BlockCacheBytes: e.BlockCacheBytes,
+		MemtableBytes:   memtableBytes,
+		CPU:             in.CPU,
+	}
+}
+
+// loadEngine opens the chosen engine preloaded with n resumés (untimed
+// phase).
+func loadEngine(in core.Input, ch EngineChoice, n int) (engine.Engine, error) {
+	s, err := engine.Open(ch.options(in, 1<<20))
+	if err != nil {
+		return nil, err
+	}
 	var m bdgs.ResumeModel
 	for _, re := range m.Generate(in.Seed, n) {
 		s.Put([]byte(re.Key), re.Encode())
 	}
-	return s
+	return s, nil
+}
+
+// cacheExtra adds the block-cache counters to a result's Extra map.
+func cacheExtra(extra map[string]float64, st engine.Stats) {
+	extra["cacheHits"] = float64(st.BlockCacheHits)
+	extra["cacheMisses"] = float64(st.BlockCacheMisses)
+	if total := st.BlockCacheHits + st.BlockCacheMisses; total > 0 {
+		extra["cacheHitRate"] = float64(st.BlockCacheHits) / float64(total)
+	}
 }
 
 // ReadWorkload is Table 4 row "Read": Zipf-skewed point lookups.
-type ReadWorkload struct{ meta }
+type ReadWorkload struct {
+	meta
+	EngineChoice
+}
 
 // NewRead constructs the workload.
-func NewRead() *ReadWorkload { return &ReadWorkload{newOLTPMeta("Read")} }
+func NewRead() *ReadWorkload { return &ReadWorkload{meta: newOLTPMeta("Read")} }
 
 // Run implements core.Workload.
 func (w *ReadWorkload) Run(in core.Input) (core.Result, error) {
 	in = in.Normalize()
 	n := resumeCount(in)
-	s := loadStore(in, n)
+	s, err := loadEngine(in, w.EngineChoice, n)
+	if err != nil {
+		return core.Result{}, err
+	}
+	defer s.Close()
 	rng := rand.New(rand.NewSource(in.Seed + 101))
 	z := rand.NewZipf(rng, 1.1, 4, uint64(n-1))
 	ops := n            // one operation per stored row, as the volume scales
@@ -75,6 +128,7 @@ func (w *ReadWorkload) Run(in core.Input) (core.Result, error) {
 		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
 		Extra: map[string]float64{"hitRate": float64(hits) / float64(ops)},
 	}
+	cacheExtra(r.Extra, s.Stats())
 	lat.Attach(&r)
 	r.Finish()
 	return r, nil
@@ -82,10 +136,13 @@ func (w *ReadWorkload) Run(in core.Input) (core.Result, error) {
 
 // WriteWorkload is Table 4 row "Write": bulk inserts through WAL and
 // memtable with background flush/compaction.
-type WriteWorkload struct{ meta }
+type WriteWorkload struct {
+	meta
+	EngineChoice
+}
 
 // NewWrite constructs the workload.
-func NewWrite() *WriteWorkload { return &WriteWorkload{newOLTPMeta("Write")} }
+func NewWrite() *WriteWorkload { return &WriteWorkload{meta: newOLTPMeta("Write")} }
 
 // Run implements core.Workload.
 func (w *WriteWorkload) Run(in core.Input) (core.Result, error) {
@@ -93,7 +150,11 @@ func (w *WriteWorkload) Run(in core.Input) (core.Result, error) {
 	n := resumeCount(in)
 	var m bdgs.ResumeModel
 	resumes := m.Generate(in.Seed, n)
-	s := kvstore.Open(kvstore.Options{CPU: in.CPU, MemtableBytes: 1 << 20})
+	s, err := engine.Open(w.EngineChoice.options(in, 1<<20))
+	if err != nil {
+		return core.Result{}, err
+	}
+	defer s.Close()
 
 	start := time.Now()
 	for _, re := range resumes {
@@ -138,6 +199,8 @@ type ClusterOLTPWorkload struct {
 	// the timed phase exercises flush and full-store compaction, the
 	// costs sharding divides by N).
 	MemtableBytes int
+	// EngineChoice selects each shard's storage engine.
+	EngineChoice
 }
 
 // NewClusterOLTP constructs the workload with the read-heavy defaults.
@@ -159,10 +222,19 @@ func (w *ClusterOLTPWorkload) Run(in core.Input) (core.Result, error) {
 	if replication > shards {
 		replication = shards // mirror the cluster's clamp in what we report
 	}
+	engOpts := w.EngineChoice.options(in, w.MemtableBytes)
+	// Validate without the CPU attached: the throwaway probe engine
+	// would otherwise permanently allocate simulated regions into the
+	// characterization address space.
+	probe := engOpts
+	probe.CPU = nil
+	if err := engine.Validate(probe); err != nil {
+		return core.Result{}, err
+	}
 	cl := cluster.New(cluster.Config{
 		Shards:      shards,
 		Replication: replication,
-		Store:       kvstore.Options{CPU: in.CPU, MemtableBytes: w.MemtableBytes},
+		Engine:      engOpts,
 	})
 	defer cl.Close()
 
@@ -252,9 +324,12 @@ func (w *ClusterOLTPWorkload) Run(in core.Input) (core.Result, error) {
 	}
 	st := cl.Stats()
 	var flushes, compactions float64
+	var engStats engine.Stats
 	for _, ns := range st.Nodes {
 		flushes += float64(ns.Store.Flushes)
 		compactions += float64(ns.Store.Compactions)
+		engStats.BlockCacheHits += ns.Store.BlockCacheHits
+		engStats.BlockCacheMisses += ns.Store.BlockCacheMisses
 	}
 	totalOps := int64(lat.Count())
 	r := core.Result{
@@ -271,6 +346,7 @@ func (w *ClusterOLTPWorkload) Run(in core.Input) (core.Result, error) {
 			"compactions": compactions,
 		},
 	}
+	cacheExtra(r.Extra, engStats)
 	lat.Attach(&r)
 	r.Finish()
 	return r, nil
@@ -282,6 +358,7 @@ type ScanWorkload struct {
 	meta
 	// ScanLength is rows per scan (default 50, the YCSB-style setting).
 	ScanLength int
+	EngineChoice
 }
 
 // NewScan constructs the workload.
@@ -293,7 +370,11 @@ func NewScan() *ScanWorkload {
 func (w *ScanWorkload) Run(in core.Input) (core.Result, error) {
 	in = in.Normalize()
 	n := resumeCount(in)
-	s := loadStore(in, n)
+	s, err := loadEngine(in, w.EngineChoice, n)
+	if err != nil {
+		return core.Result{}, err
+	}
+	defer s.Close()
 	rng := rand.New(rand.NewSource(in.Seed + 202))
 	scans := n / w.ScanLength
 	if scans < 1 {
@@ -313,6 +394,7 @@ func (w *ScanWorkload) Run(in core.Input) (core.Result, error) {
 		Elapsed: time.Since(start), Metric: w.metric, Counts: in.CPU.Counts(),
 		Extra: map[string]float64{"scans": float64(scans)},
 	}
+	cacheExtra(r.Extra, s.Stats())
 	r.Finish()
 	return r, nil
 }
