@@ -14,17 +14,22 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/comparators"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/figures"
 	"repro/internal/kvstore"
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/internal/workloads"
 )
 
@@ -513,6 +518,125 @@ func BenchmarkReadPath(b *testing.B) {
 				wg.Wait()
 			})
 		}
+	}
+}
+
+// ---- Transport (internal/transport) --------------------------------------
+
+// transportMix drives batches of the 95/5 Zipf mix through apply with
+// `depth` closed-loop workers (depth = concurrent outstanding batches,
+// i.e. the pipelining depth when apply rides one connection) and returns
+// the latency distribution. Total work is b.N batches of batchSize ops.
+func transportMix(b *testing.B, depth, keys, batchSize int,
+	apply func([]cluster.Op) ([]cluster.OpResult, error)) core.LatencySummary {
+	b.Helper()
+	var next atomic.Int64
+	recs := make([]core.LatencyRecorder, depth)
+	var wg sync.WaitGroup
+	for w := 0; w < depth; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			z := rand.NewZipf(rng, 1.1, 4, uint64(keys-1))
+			ops := make([]cluster.Op, 0, batchSize)
+			for next.Add(1) <= int64(b.N) {
+				ops = ops[:0]
+				for len(ops) < batchSize {
+					key := []byte("tr-" + strconv.Itoa(int(z.Uint64())))
+					if rng.Float64() < 0.95 {
+						ops = append(ops, cluster.Op{Kind: cluster.OpGet, Key: key})
+					} else {
+						ops = append(ops, cluster.Op{Kind: cluster.OpPut, Key: key, Value: key})
+					}
+				}
+				start := time.Now()
+				if _, err := apply(ops); err != nil {
+					b.Error(err)
+					return
+				}
+				recs[w].Record(time.Since(start))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var lat core.LatencyRecorder
+	for i := range recs {
+		lat.Merge(&recs[i])
+	}
+	return lat.Summary()
+}
+
+// BenchmarkTransport sweeps the networked serving layer: pipelining
+// depth (concurrent outstanding batches per connection) × client
+// connection count, against an in-process coordinator baseline with the
+// same concurrency. Two shard servers on loopback TCP, each hosting one
+// cluster node, joined to the coordinator through RemoteNode — the
+// paper's coordinator/region-server topology in miniature. Reported
+// per sub-benchmark: aggregate ops/s and p99 batch latency.
+func BenchmarkTransport(b *testing.B) {
+	const keys, batchSize = 4096, 16
+	preload := func(apply func([]cluster.Op) ([]cluster.OpResult, error)) {
+		ops := make([]cluster.Op, 0, 256)
+		for i := 0; i < keys; i++ {
+			key := []byte("tr-" + strconv.Itoa(i))
+			ops = append(ops, cluster.Op{Kind: cluster.OpPut, Key: key, Value: key})
+			if len(ops) == cap(ops) {
+				apply(ops)
+				ops = ops[:0]
+			}
+		}
+		if len(ops) > 0 {
+			apply(ops)
+		}
+	}
+	report := func(b *testing.B, sum core.LatencySummary, elapsed time.Duration) {
+		b.ReportMetric(float64(sum.Count)*batchSize/elapsed.Seconds(), "ops/s")
+		b.ReportMetric(float64(sum.P99)/float64(time.Microsecond), "p99us")
+	}
+	for _, conns := range []int{1, 2} {
+		for _, depth := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("net/conns=%d/depth=%d", conns, depth), func(b *testing.B) {
+				coord := cluster.NewEmpty(cluster.Config{})
+				defer coord.Close()
+				for s := 0; s < 2; s++ {
+					backend := cluster.New(cluster.Config{
+						Shards: 1, Engine: engine.Options{MemtableBytes: 256 << 10},
+					})
+					defer backend.Close()
+					srv, err := transport.Listen("127.0.0.1:0", backend, transport.ServerOptions{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer srv.Close()
+					rn, err := transport.Connect(srv.Addr(), transport.ClientOptions{Conns: conns})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, _, err := coord.AddRemote(rn); err != nil {
+						b.Fatal(err)
+					}
+				}
+				preload(coord.Apply)
+				b.ResetTimer()
+				start := time.Now()
+				sum := transportMix(b, depth, keys, batchSize, coord.Apply)
+				report(b, sum, time.Since(start))
+			})
+		}
+	}
+	for _, depth := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("inproc/depth=%d", depth), func(b *testing.B) {
+			coord := cluster.New(cluster.Config{
+				Shards: 2, Engine: engine.Options{MemtableBytes: 256 << 10},
+			})
+			defer coord.Close()
+			preload(coord.Apply)
+			b.ResetTimer()
+			start := time.Now()
+			sum := transportMix(b, depth, keys, batchSize, coord.Apply)
+			report(b, sum, time.Since(start))
+		})
 	}
 }
 

@@ -12,6 +12,8 @@
 //	bdbench -workload "Cluster OLTP" -compaction leveled -blockcache 1048576
 //	bdbench -workload Read -engine lsm -compaction leveled
 //	bdbench -workload "Nutch Server" -shards 4
+//	bdbench -listen 127.0.0.1:7421 -shards 2
+//	bdbench -net -addr 127.0.0.1:7421,127.0.0.1:7422 -ops 50000 -clients 8
 package main
 
 import (
@@ -46,8 +48,40 @@ func main() {
 		engName  = flag.String("engine", "", "storage engine backend for the Cloud-OLTP workloads (default lsm; see internal/engine)")
 		compact  = flag.String("compaction", "", "LSM compaction policy: size-tiered or leveled")
 		bcache   = flag.Int("blockcache", 0, "block-cache bytes per engine (0 = default, negative disables)")
+		netMode  = flag.Bool("net", false, "drive the Zipf 95/5 OLTP mix over sockets against the -addr shard servers")
+		addrs    = flag.String("addr", "", "comma-separated shard server addresses for -net")
+		listen   = flag.String("listen", "", "host shard nodes on this address instead of running a workload (bdserve embedded)")
+		netOps   = flag.Int("ops", 50000, "total operations for -net")
+		netBatch = flag.Int("batch", 64, "ops per client batch for -net")
+		netRows  = flag.Int("rows", 10000, "preloaded resume rows for -net")
+		netConns = flag.Int("conns", 1, "pooled connections per shard server for -net")
 	)
 	flag.Parse()
+
+	if *listen != "" || *netMode {
+		cfg := netConfig{
+			addrs: *addrs, listen: *listen, shards: *shards, repl: max(*repl, 1),
+			clients: *clients, conns: *netConns, ops: *netOps, batch: *netBatch,
+			rows: *netRows, seed: *seed,
+			engine: engine.Options{
+				Backend: *engName, Compaction: *compact,
+				BlockCacheBytes: *bcache, MemtableBytes: 1 << 20,
+			},
+		}
+		if cfg.clients <= 0 {
+			cfg.clients = 8
+		}
+		if cfg.batch <= 0 {
+			cfg.batch = 1
+		}
+		if cfg.rows < 64 {
+			cfg.rows = 64
+		}
+		if *listen != "" {
+			os.Exit(runListen(cfg))
+		}
+		os.Exit(runNet(cfg))
+	}
 
 	if *list {
 		tab := &core.Table{Headers: []string{"Workload", "Type", "Stack", "Source", "Metric", "Baseline"}}

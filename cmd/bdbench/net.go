@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bdgs"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/transport"
+)
+
+// netConfig carries the networked-mode flags out of main.
+type netConfig struct {
+	addrs   string // comma-separated shard servers (-net client mode)
+	listen  string // serve mode listen address
+	shards  int
+	repl    int
+	clients int
+	conns   int
+	ops     int
+	batch   int
+	rows    int
+	seed    int64
+	engine  engine.Options
+}
+
+// runListen hosts shard nodes for remote coordinators — bdserve embedded
+// in bdbench for single-binary experiments, sharing bdserve's
+// serve-and-drain flow (transport.ServeUntilSignal). Blocks until
+// SIGINT/SIGTERM, then drains gracefully.
+func runListen(cfg netConfig) int {
+	if err := engine.Validate(cfg.engine); err != nil {
+		fmt.Fprintln(os.Stderr, "bdbench:", err)
+		return 2
+	}
+	shards := cfg.shards
+	if shards <= 0 {
+		shards = 1
+	}
+	cl := cluster.New(cluster.Config{Shards: shards, Replication: cfg.repl, Engine: cfg.engine})
+	srv, err := transport.ServeUntilSignal(cfg.listen, cl, transport.ServerOptions{},
+		func(s *transport.Server) {
+			fmt.Printf("bdbench: serving %d shards on %s\n", shards, s.Addr())
+		})
+	if err != nil && srv == nil {
+		fmt.Fprintln(os.Stderr, "bdbench:", err)
+		return 1
+	}
+	cl.Close()
+	fmt.Printf("bdbench: drained; served %d requests\n", srv.Served())
+	return 0
+}
+
+// runNet drives the paper's Zipf 95/5 Cloud-OLTP mix over real sockets:
+// a client-side coordinator routes to the shard servers in -addr, with
+// closed-loop clients submitting batches and recording the service time
+// each op rode in — the testbed measurement the in-process workloads
+// cannot express.
+func runNet(cfg netConfig) int {
+	addrs := strings.Split(cfg.addrs, ",")
+	coord := cluster.NewEmpty(cluster.Config{Replication: cfg.repl})
+	defer coord.Close()
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		rn, err := transport.Connect(addr, transport.ClientOptions{Conns: cfg.conns})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bdbench: connect %s: %v\n", addr, err)
+			return 1
+		}
+		if _, _, err := coord.AddRemote(rn); err != nil {
+			fmt.Fprintf(os.Stderr, "bdbench: join %s: %v\n", addr, err)
+			return 1
+		}
+	}
+	if coord.Nodes() == 0 {
+		fmt.Fprintln(os.Stderr, "bdbench: -net needs at least one -addr shard server")
+		return 2
+	}
+
+	// Untimed bulk load, values pre-encoded so the timed phase measures
+	// the serving path.
+	var m bdgs.ResumeModel
+	resumes := m.Generate(cfg.seed, cfg.rows)
+	vals := make([][]byte, cfg.rows)
+	load := make([]cluster.Op, 0, 256)
+	for i, re := range resumes {
+		vals[i] = re.Encode()
+		load = append(load, cluster.Op{Kind: cluster.OpPut, Key: []byte(re.Key), Value: vals[i]})
+		if len(load) == cap(load) {
+			if _, err := coord.Apply(load); err != nil {
+				fmt.Fprintln(os.Stderr, "bdbench: preload:", err)
+				return 1
+			}
+			load = load[:0]
+		}
+	}
+	if len(load) > 0 {
+		if _, err := coord.Apply(load); err != nil {
+			fmt.Fprintln(os.Stderr, "bdbench: preload:", err)
+			return 1
+		}
+	}
+
+	const readFraction = 0.95
+	recs := make([]core.LatencyRecorder, cfg.clients)
+	errs := make([]error, cfg.clients)
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + 707*int64(c+1)))
+			z := rand.NewZipf(rng, 1.1, 4, uint64(cfg.rows-1))
+			ops := make([]cluster.Op, 0, cfg.batch)
+			for {
+				n := int(issued.Add(int64(cfg.batch)))
+				if n-cfg.batch >= cfg.ops {
+					return
+				}
+				want := cfg.batch
+				if over := n - cfg.ops; over > 0 {
+					want -= over
+				}
+				ops = ops[:0]
+				for len(ops) < want {
+					row := int(z.Uint64())
+					key := []byte(bdgs.ResumeKey(row))
+					if rng.Float64() < readFraction {
+						ops = append(ops, cluster.Op{Kind: cluster.OpGet, Key: key})
+					} else {
+						ops = append(ops, cluster.Op{Kind: cluster.OpPut, Key: key, Value: vals[row]})
+					}
+				}
+				opStart := time.Now()
+				if _, err := coord.Apply(ops); err != nil {
+					errs[c] = err
+					return
+				}
+				d := time.Since(opStart)
+				for range ops {
+					recs[c].Record(d)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bdbench:", err)
+			return 1
+		}
+	}
+	var lat core.LatencyRecorder
+	for c := range recs {
+		lat.Merge(&recs[c])
+	}
+	st := coord.Stats()
+	sum := lat.Summary()
+	fmt.Printf("net OLTP  (%d shard servers, %d clients, batch %d, seed %d)\n",
+		coord.Nodes(), cfg.clients, cfg.batch, cfg.seed)
+	fmt.Printf("  processed: %d ops in %v (%d preloaded rows untimed)\n",
+		sum.Count, elapsed.Round(time.Millisecond), cfg.rows)
+	fmt.Printf("  OPS: %.1f ops/s\n", float64(sum.Count)/elapsed.Seconds())
+	fmt.Printf("  latency: %s\n", sum)
+	fmt.Printf("  remote: accepted %d, rejected %d, batches %d\n",
+		st.Accepted, st.Rejected, st.Batches)
+	return 0
+}

@@ -1,0 +1,79 @@
+// Command bdserve hosts cluster shard nodes behind the binary wire
+// protocol (internal/transport) — the region-server daemon of the
+// paper's testbed. A coordinator in another process joins it with
+// bdbench -net or transport.Connect + cluster.AddRemote.
+//
+// Examples:
+//
+//	bdserve -addr 127.0.0.1:7421
+//	bdserve -addr :7421 -shards 2 -compaction leveled -blockcache 1048576
+//	bdserve -addr :7421 -inflight 512 -queue 256
+//
+// SIGINT/SIGTERM drain gracefully: stop accepting, finish every admitted
+// request, flush responses, then exit 0 with a served-request summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7421", "listen address")
+		shards   = flag.Int("shards", 1, "cluster nodes hosted by this server")
+		repl     = flag.Int("replication", 1, "copies per key across the hosted nodes")
+		engName  = flag.String("engine", "", "storage engine backend (default lsm; see internal/engine)")
+		compact  = flag.String("compaction", "", "LSM compaction policy: size-tiered or leveled")
+		bcache   = flag.Int("blockcache", 0, "block-cache bytes per engine (0 = default, negative disables)")
+		memtable = flag.Int("memtable", 1<<20, "memtable flush threshold in bytes")
+		queue    = flag.Int("queue", 0, "per-node request queue depth (0 = cluster default)")
+		workers  = flag.Int("workers", 0, "workers per node (0 = cluster default)")
+		inflight = flag.Int("inflight", 0, "max concurrently executing requests before shedding (0 = transport default)")
+		quiet    = flag.Bool("quiet", false, "suppress the startup and shutdown banners")
+	)
+	flag.Parse()
+
+	engOpts := engine.Options{
+		Backend:         *engName,
+		Compaction:      *compact,
+		BlockCacheBytes: *bcache,
+		MemtableBytes:   *memtable,
+	}
+	if err := engine.Validate(engOpts); err != nil {
+		fmt.Fprintln(os.Stderr, "bdserve:", err)
+		os.Exit(2)
+	}
+	cl := cluster.New(cluster.Config{
+		Shards:         *shards,
+		Replication:    *repl,
+		QueueDepth:     *queue,
+		WorkersPerNode: *workers,
+		Engine:         engOpts,
+	})
+	srv, err := transport.ServeUntilSignal(*addr, cl,
+		transport.ServerOptions{MaxInFlight: *inflight},
+		func(s *transport.Server) {
+			if !*quiet {
+				fmt.Printf("bdserve: listening on %s (%d shards, R=%d)\n", s.Addr(), *shards, *repl)
+			}
+		})
+	if err != nil && srv == nil {
+		fmt.Fprintln(os.Stderr, "bdserve:", err)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bdserve: close:", err)
+	}
+	st := cl.Stats()
+	cl.Close()
+	if !*quiet {
+		fmt.Printf("bdserve: drained; served %d requests (%d shed), %d ops across %d nodes\n",
+			srv.Served(), srv.Shed(), st.Ops, len(st.Nodes))
+	}
+}

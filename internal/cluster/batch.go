@@ -3,8 +3,6 @@ package cluster
 import (
 	"errors"
 	"sync"
-
-	"repro/internal/engine"
 )
 
 // Errors returned by the request paths.
@@ -46,24 +44,59 @@ type OpResult struct {
 // sub-batch writes results through idx so no merge pass is needed.
 type request struct {
 	ops []Op
-	// replicas[i] holds the extra engines (beyond the owning node's own)
-	// that write op i must reach; nil for reads and for R=1.
-	replicas [][]engine.Engine
+	// replicas[i] holds the extra replica targets (beyond the owning
+	// member's own store) that write op i must reach; nil for reads and
+	// for R=1.
+	replicas [][]mirror
 	results  []OpResult // shared backing array for the whole Apply
 	idx      []int      // results[idx[i]] receives ops[i]'s outcome
 	done     *sync.WaitGroup
+	// errs collects failures from sub-batches that complete off the
+	// submit path (remote members finish their RPC in a goroutine, so a
+	// shed or failed batch cannot surface through the enqueue return).
+	// May be nil when the caller has no asynchronous completions.
+	errs *asyncErr
 }
 
-// planned is the per-node split of one Apply call.
+// fail records an asynchronous completion failure, if a collector is
+// attached.
+func (r *request) fail(err error) {
+	if r.errs != nil {
+		r.errs.set(err)
+	}
+}
+
+// asyncErr is a first-error collector shared by the sub-batches of one
+// Apply call.
+type asyncErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (a *asyncErr) set(err error) {
+	a.mu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+}
+
+func (a *asyncErr) first() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// planned is the per-member split of one Apply call.
 type planned struct {
-	node *Node
-	req  *request
+	member member
+	req    *request
 }
 
 // plan splits ops by primary owner under the current ring, resolving each
-// write's replica engines up front so node workers never touch topology
+// write's replica targets up front so node workers never touch topology
 // state. Caller holds the cluster's topology read lock.
-func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup) ([]planned, error) {
+func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup, errs *asyncErr) ([]planned, error) {
 	if c.ring.Size() == 0 {
 		return nil, ErrNoNodes
 	}
@@ -74,19 +107,19 @@ func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup) ([]pl
 		// routes on the allocation-free Primary — on a read-heavy mix that
 		// is most of the hot path.
 		var primary int
-		var reps []engine.Engine
+		var reps []mirror
 		if op.Kind != OpGet && c.cfg.Replication > 1 {
 			owners := c.ring.Owners(op.Key, c.cfg.Replication)
 			primary = owners[0]
 			for _, id := range owners[1:] {
-				reps = append(reps, c.nodes[id].eng)
+				reps = append(reps, c.nodes[id])
 			}
 		} else {
 			primary = c.ring.Primary(op.Key)
 		}
 		req := byNode[primary]
 		if req == nil {
-			req = &request{results: results, done: done}
+			req = &request{results: results, done: done, errs: errs}
 			byNode[primary] = req
 			order = append(order, primary)
 		}
@@ -106,17 +139,19 @@ func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup) ([]pl
 				results:  results,
 				idx:      req.idx[:c.cfg.MaxBatch],
 				done:     done,
+				errs:     errs,
 			}
-			out = append(out, planned{node: c.nodes[id], req: head})
+			out = append(out, planned{member: c.nodes[id], req: head})
 			req = &request{
 				ops:      req.ops[c.cfg.MaxBatch:],
 				replicas: req.replicas[c.cfg.MaxBatch:],
 				results:  results,
 				idx:      req.idx[c.cfg.MaxBatch:],
 				done:     done,
+				errs:     errs,
 			}
 		}
-		out = append(out, planned{node: c.nodes[id], req: req})
+		out = append(out, planned{member: c.nodes[id], req: req})
 	}
 	return out, nil
 }

@@ -60,26 +60,37 @@ func (c *Config) normalize() {
 	}
 }
 
-// Cluster is the coordinator: it owns the ring and the shard nodes, routes
-// point ops to primaries, scatter-gathers scans, and fans writes out to
-// the replica set.
+// Cluster is the coordinator: it owns the ring and the shard members,
+// routes point ops to primaries, scatter-gathers scans, and fans writes
+// out to the replica set. Members are local *Nodes (AddNode / Config)
+// or proxies for shards in other processes (AddRemote); the coordinator
+// never distinguishes the two.
 type Cluster struct {
-	mu     sync.RWMutex // topology lock: ring + nodes membership
+	mu     sync.RWMutex // topology lock: ring + member map
 	cfg    Config
 	ring   *Ring
-	nodes  map[int]*Node
+	nodes  map[int]member
 	nextID int
 	closed bool
 }
 
-// New builds and starts a cluster of cfg.Shards nodes.
+// New builds and starts a cluster of cfg.Shards local nodes.
 func New(cfg Config) *Cluster {
 	cfg.normalize()
-	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*Node{}}
+	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]member{}}
 	for i := 0; i < cfg.Shards; i++ {
 		c.addNodeLocked()
 	}
 	return c
+}
+
+// NewEmpty builds a coordinator with no members — a pure router for
+// shards joined later with AddNode or AddRemote (e.g. a client-side
+// coordinator whose shards all live behind transport servers). Until the
+// first member joins, reads miss and batches return ErrNoNodes.
+func NewEmpty(cfg Config) *Cluster {
+	cfg.normalize()
+	return &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]member{}}
 }
 
 // addNodeLocked creates, starts and registers one node. Caller holds mu.
@@ -109,9 +120,9 @@ func (c *Cluster) Nodes() int {
 
 // owners resolves the replica set for key under the topology read lock
 // already held by the caller.
-func (c *Cluster) ownersLocked(key []byte) []*Node {
+func (c *Cluster) ownersLocked(key []byte) []member {
 	ids := c.ring.Owners(key, c.cfg.Replication)
-	out := make([]*Node, len(ids))
+	out := make([]member, len(ids))
 	for i, id := range ids {
 		out[i] = c.nodes[id]
 	}
@@ -128,7 +139,7 @@ func (c *Cluster) Get(key []byte) ([]byte, bool) {
 	if id < 0 {
 		return nil, false
 	}
-	return c.nodes[id].eng.Get(key)
+	return c.nodes[id].directGet(key)
 }
 
 // Put writes through the primary to all R owners synchronously.
@@ -150,28 +161,28 @@ func (c *Cluster) write(op Op) {
 	}
 	// Replica mirrors are not counted in NodeStats.Ops (matching the
 	// batched path); they surface in the replica's engine stats instead.
-	replicas := make([]engine.Engine, 0, len(owners)-1)
+	replicas := make([]mirror, 0, len(owners)-1)
 	for _, n := range owners[1:] {
-		replicas = append(replicas, n.eng)
+		replicas = append(replicas, n)
 	}
-	owners[0].doWrite(op, replicas)
+	owners[0].directWrite(op, replicas)
 }
 
 // Apply executes a batch of point ops through the shard queues with
 // backpressure: sub-batches block for queue space rather than shed.
 // Results are positionally aligned with ops.
 func (c *Cluster) Apply(ops []Op) ([]OpResult, error) {
-	return c.apply(ops, (*Node).submit)
+	return c.apply(ops, member.submit)
 }
 
 // TryApply is Apply under admission control: any sub-batch that meets a
 // full queue is shed and ErrOverload returned after the accepted
 // sub-batches complete. Shed ops report zero OpResults.
 func (c *Cluster) TryApply(ops []Op) ([]OpResult, error) {
-	return c.apply(ops, (*Node).trySubmit)
+	return c.apply(ops, member.trySubmit)
 }
 
-func (c *Cluster) apply(ops []Op, enqueue func(*Node, *request) error) ([]OpResult, error) {
+func (c *Cluster) apply(ops []Op, enqueue func(member, *request) error) ([]OpResult, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
@@ -182,14 +193,15 @@ func (c *Cluster) apply(ops []Op, enqueue func(*Node, *request) error) ([]OpResu
 	}
 	results := make([]OpResult, len(ops))
 	var done sync.WaitGroup
-	parts, err := c.plan(ops, results, &done)
+	errs := &asyncErr{}
+	parts, err := c.plan(ops, results, &done, errs)
 	if err != nil {
 		return nil, err
 	}
 	var firstErr error
 	for _, p := range parts {
 		done.Add(1)
-		if err := enqueue(p.node, p.req); err != nil {
+		if err := enqueue(p.member, p.req); err != nil {
 			done.Done()
 			if firstErr == nil {
 				firstErr = err
@@ -197,6 +209,11 @@ func (c *Cluster) apply(ops []Op, enqueue func(*Node, *request) error) ([]OpResu
 		}
 	}
 	done.Wait()
+	if firstErr == nil {
+		// Remote sub-batches complete asynchronously; their failures
+		// (including a remote's shed ErrOverload) surface here.
+		firstErr = errs.first()
+	}
 	return results, firstErr
 }
 
@@ -215,11 +232,11 @@ func (c *Cluster) Scan(start []byte, limit int) []engine.Entry {
 	var wg sync.WaitGroup
 	for i, id := range ids {
 		wg.Add(1)
-		go func(i int, n *Node) {
+		go func(i int, m member) {
 			defer wg.Done()
-			sn := n.eng.Snapshot()
-			parts[i] = sn.Scan(start, limit)
-			sn.Release()
+			// Best-effort scatter-gather: a member whose scan RPC fails
+			// contributes no partial (counted in its TransportErrs).
+			parts[i], _ = m.snapshotScan(start, limit)
 		}(i, c.nodes[id])
 	}
 	wg.Wait()

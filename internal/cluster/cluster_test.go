@@ -63,7 +63,7 @@ func TestClusterReadYourWritesUnderReplication(t *testing.T) {
 		key := []byte(fmt.Sprintf("ryw-%04d", i))
 		copies := 0
 		for _, n := range c.nodes {
-			if _, ok := n.eng.Get(key); ok {
+			if _, ok := n.directGet(key); ok {
 				copies++
 			}
 		}
@@ -209,7 +209,7 @@ func TestClusterTryApplyOverload(t *testing.T) {
 	fill.Add(1)
 	one := []Op{{Kind: OpPut, Key: []byte("k"), Value: []byte("v")}}
 	if err := stopped.trySubmit(&request{
-		ops: one, replicas: [][]engine.Engine{nil}, done: &fill,
+		ops: one, replicas: [][]mirror{nil}, done: &fill,
 	}); err != nil {
 		t.Fatalf("fill submit: %v", err)
 	}

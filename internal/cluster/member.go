@@ -1,0 +1,48 @@
+package cluster
+
+import "repro/internal/engine"
+
+// mirror is a replica-write target: the secondary owners a replicated
+// write must reach after the primary applied it. Local nodes mirror
+// straight into their engine; remote members mirror over the wire.
+type mirror interface {
+	mirrorWrite(op Op)
+}
+
+// member is the coordinator's view of one shard. The in-process *Node
+// and the remoteMember proxy (see Remote) both satisfy it, so the ring
+// can mix local and remote shards transparently: routing, replication,
+// scatter-gather scans, rebalance and stats all program against this
+// interface and never ask where the shard lives.
+type member interface {
+	mirror
+	// memberID is the ring id the coordinator assigned.
+	memberID() int
+	// directGet serves a point read outside the batch queues (the
+	// coordinator's read-your-writes hot path).
+	directGet(key []byte) ([]byte, bool)
+	// directPut and directDelete apply unqueued writes; the rebalancer
+	// uses them to move copies during membership changes and must learn
+	// about transport failures, so they return an error (always nil for
+	// local nodes).
+	directPut(key, value []byte) error
+	directDelete(key []byte) error
+	// directWrite applies one write and fans it out to the replica set
+	// as a unit serialized against other writers of the same primary.
+	directWrite(op Op, replicas []mirror) OpResult
+	// snapshotScan returns up to limit entries with key >= start from a
+	// consistent point-in-time view of the shard. The error is always
+	// nil for local nodes; remote members surface transport failures so
+	// migration never mistakes a lost shard for an empty one.
+	snapshotScan(start []byte, limit int) ([]engine.Entry, error)
+	// submit enqueues a sub-batch with backpressure; trySubmit sheds
+	// with ErrOverload instead of blocking (admission control). Both may
+	// complete the request asynchronously.
+	submit(req *request) error
+	trySubmit(req *request) error
+	// stats snapshots the shard's activity counters.
+	stats() NodeStats
+	// close releases the member (local: drain and stop workers; remote:
+	// drop the proxy's connections — the remote server keeps running).
+	close()
+}

@@ -42,7 +42,11 @@ type NodeStats struct {
 	ID                 int
 	Accepted, Rejected uint64
 	Batches, Ops       uint64
-	Store              engine.Stats
+	// TransportErrs counts RPC failures a remote member's proxy observed
+	// (always 0 for local nodes) — the audit trail for writes or scans
+	// the void paths had to drop.
+	TransportErrs uint64
+	Store         engine.Stats
 }
 
 // newNode builds a stopped node; start launches its workers.
@@ -88,8 +92,27 @@ func (n *Node) run() {
 	}
 }
 
+// memberID, directGet, directPut, directDelete, mirrorWrite and
+// snapshotScan are the in-process half of the member interface: engine
+// calls with no queue or wire in between.
+func (n *Node) memberID() int { return n.id }
+
+func (n *Node) directGet(key []byte) ([]byte, bool) { return n.eng.Get(key) }
+
+func (n *Node) directPut(key, value []byte) error { n.eng.Put(key, value); return nil }
+
+func (n *Node) directDelete(key []byte) error { n.eng.Delete(key); return nil }
+
+func (n *Node) mirrorWrite(op Op) { applyWrite(n.eng, op) }
+
+func (n *Node) snapshotScan(start []byte, limit int) ([]engine.Entry, error) {
+	sn := n.eng.Snapshot()
+	defer sn.Release()
+	return sn.Scan(start, limit), nil
+}
+
 // exec applies one sub-batch against the engine, fanning writes out to
-// the replica engines resolved at planning time, then releases the
+// the replica targets resolved at planning time, then releases the
 // waiter. Runs of consecutive replica-free writes coalesce into one
 // engine WriteBatch — one writer-lock acquisition and atomic visibility
 // for the whole run (group commit); interleaved reads and replicated
@@ -103,7 +126,7 @@ func (n *Node) exec(req *request) {
 			if op.Kind == OpGet {
 				res = n.do(op)
 			} else {
-				res = n.doWrite(op, req.replicas[i])
+				res = n.directWrite(op, req.replicas[i])
 			}
 			if req.results != nil {
 				req.results[req.idx[i]] = res
@@ -116,7 +139,7 @@ func (n *Node) exec(req *request) {
 			j++
 		}
 		if j-i == 1 {
-			res := n.doWrite(op, nil)
+			res := n.directWrite(op, nil)
 			if req.results != nil {
 				req.results[req.idx[i]] = res
 			}
@@ -147,14 +170,14 @@ func (n *Node) exec(req *request) {
 	}
 }
 
-// doWrite applies one write to this node's engine and its replicas as an
-// atomic unit under the primary's write lock.
-func (n *Node) doWrite(op Op, replicas []engine.Engine) OpResult {
+// directWrite applies one write to this node's engine and its replicas
+// as an atomic unit under the primary's write lock.
+func (n *Node) directWrite(op Op, replicas []mirror) OpResult {
 	n.wmu.Lock()
 	defer n.wmu.Unlock()
 	res := n.do(op)
 	for _, re := range replicas {
-		applyWrite(re, op)
+		re.mirrorWrite(op)
 	}
 	return res
 }

@@ -22,7 +22,7 @@ func TestNodeAdmissionControl(t *testing.T) {
 	mk := func(i int) *request {
 		return &request{
 			ops:      []Op{{Kind: OpPut, Key: []byte{byte('a' + i)}, Value: []byte("v")}},
-			replicas: [][]engine.Engine{nil},
+			replicas: [][]mirror{nil},
 			results:  results,
 			idx:      []int{i},
 			done:     &done,
@@ -68,7 +68,7 @@ func TestNodeBatchCoalescing(t *testing.T) {
 		done.Add(1)
 		req := &request{
 			ops:      []Op{{Kind: OpPut, Key: []byte{byte(i)}, Value: []byte{byte(i)}}},
-			replicas: [][]engine.Engine{nil},
+			replicas: [][]mirror{nil},
 			done:     &done,
 		}
 		if err := n.submit(req); err != nil {

@@ -25,7 +25,9 @@ func (m MoveReport) String() string {
 
 // AddNode grows the cluster by one shard, migrating exactly the entries
 // whose owner set changed. It returns the new node's id. The topology
-// lock quiesces in-flight traffic for the duration.
+// lock quiesces in-flight traffic for the duration. A non-nil error
+// with a valid id reports an incomplete migration (only possible with
+// remote members — see migrateLocked).
 func (c *Cluster) AddNode() (int, MoveReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -34,7 +36,8 @@ func (c *Cluster) AddNode() (int, MoveReport, error) {
 	}
 	old := c.ring.Clone()
 	n := c.addNodeLocked()
-	return n.id, c.migrateLocked(old), nil
+	report, err := c.migrateLocked(old)
+	return n.id, report, err
 }
 
 // RemoveNode drains a shard's ownership onto the surviving members and
@@ -51,11 +54,27 @@ func (c *Cluster) RemoveNode(id int) (MoveReport, error) {
 	if len(c.nodes) == 1 {
 		return MoveReport{}, errors.New("cluster: cannot remove the last node")
 	}
+	// old must describe the layout the departing member's data was
+	// placed under. On a retry after a failed drain the member is
+	// already off the live ring, so reconstruct its arcs (vnode
+	// placement is deterministic in the id) rather than cloning a ring
+	// that no longer routes to it — otherwise the retry would never
+	// scan the departing shard and close() would discard its keys.
 	old := c.ring.Clone()
+	if !old.Contains(id) {
+		old.Add(id)
+	}
 	c.ring.Remove(id)
 	// The departing node stays readable during migration — it is the
 	// authoritative source for the keys it was primary for.
-	report := c.migrateLocked(old)
+	report, err := c.migrateLocked(old)
+	if err != nil {
+		// Incomplete drain: keep the departing member alive (it still
+		// holds the unmigrated keys) and report the failure; the caller
+		// may retry RemoveNode once the transport recovers. The node is
+		// already off the ring, so new traffic no longer routes to it.
+		return report, err
+	}
 	n := c.nodes[id]
 	delete(c.nodes, id)
 	n.close()
@@ -67,13 +86,23 @@ func (c *Cluster) RemoveNode(id int) (MoveReport, error) {
 // primary; copies land on owners that gained the key and are deleted from
 // owners that lost it. Caller holds mu, which guarantees the queues are
 // drained and no op is in flight.
-func (c *Cluster) migrateLocked(old *Ring) MoveReport {
+//
+// With remote members a scan or copy RPC can fail; the first failure
+// aborts the migration and is returned with the partial report. The new
+// topology stays in place — rolling the ring back after per-key drops
+// have run would lose data — so the caller must treat a non-nil error
+// as "movement incomplete" and retry or investigate. Local-only
+// clusters never return an error.
+func (c *Cluster) migrateLocked(old *Ring) (MoveReport, error) {
 	report := MoveReport{In: map[int]int{}, Out: map[int]int{}}
 	for _, id := range old.Members() {
 		node := c.nodes[id]
 		start := []byte(nil)
 		for {
-			entries := node.eng.Scan(start, 512)
+			entries, err := node.snapshotScan(start, 512)
+			if err != nil {
+				return report, fmt.Errorf("cluster: migration scan of member %d: %w", id, err)
+			}
 			if len(entries) == 0 {
 				break
 			}
@@ -92,14 +121,18 @@ func (c *Cluster) migrateLocked(old *Ring) MoveReport {
 				for _, o := range newOwners {
 					keep[o] = true
 					if !in[o] {
-						c.nodes[o].eng.Put(e.Key, e.Value)
+						if err := c.nodes[o].directPut(e.Key, e.Value); err != nil {
+							return report, fmt.Errorf("cluster: migration copy to member %d: %w", o, err)
+						}
 						report.Copied++
 						report.In[o]++
 					}
 				}
 				for _, o := range oldOwners {
 					if !keep[o] {
-						c.nodes[o].eng.Delete(e.Key)
+						if err := c.nodes[o].directDelete(e.Key); err != nil {
+							return report, fmt.Errorf("cluster: migration drop from member %d: %w", o, err)
+						}
 						report.Dropped++
 						report.Out[o]++
 					}
@@ -109,5 +142,5 @@ func (c *Cluster) migrateLocked(old *Ring) MoveReport {
 			start = append(append([]byte(nil), last...), 0)
 		}
 	}
-	return report
+	return report, nil
 }

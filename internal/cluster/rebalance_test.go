@@ -119,7 +119,7 @@ func TestRebalanceReplicatedRoundTrip(t *testing.T) {
 		defer c.mu.RUnlock()
 		copies := 0
 		for _, node := range c.nodes {
-			if _, ok := node.eng.Get([]byte(k)); ok {
+			if _, ok := node.directGet([]byte(k)); ok {
 				copies++
 			}
 		}
@@ -170,7 +170,7 @@ func TestRebalanceGrowsIntoReplication(t *testing.T) {
 	for k := range want {
 		copies := 0
 		for _, node := range c.nodes {
-			if _, ok := node.eng.Get([]byte(k)); ok {
+			if _, ok := node.directGet([]byte(k)); ok {
 				copies++
 			}
 		}
@@ -180,7 +180,7 @@ func TestRebalanceGrowsIntoReplication(t *testing.T) {
 	}
 	copies := 0
 	for _, node := range c.nodes {
-		if _, ok := node.eng.Get([]byte("post-grow")); ok {
+		if _, ok := node.directGet([]byte("post-grow")); ok {
 			copies++
 		}
 	}

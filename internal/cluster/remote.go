@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// Remote is the coordinator-side contract for a shard that lives in
+// another process, reached over some transport (internal/transport's
+// pipelined TCP client implements it). The methods mirror the member
+// operations; where the in-process path touches the engine directly,
+// a Remote pays a network round trip instead. Implementations must be
+// safe for concurrent use — the coordinator pipelines sub-batches from
+// many clients onto one Remote.
+type Remote interface {
+	// Get serves a point read from the remote shard.
+	Get(key []byte) ([]byte, bool, error)
+	// Put and Delete apply single unqueued writes (replica mirroring and
+	// rebalance traffic).
+	Put(key, value []byte) error
+	Delete(key []byte) error
+	// Scan returns up to limit entries with key >= start from a
+	// consistent snapshot of the remote shard.
+	Scan(start []byte, limit int) ([]engine.Entry, error)
+	// Apply executes a batch with backpressure; TryApply under admission
+	// control — a shed batch surfaces ErrOverload, possibly alongside
+	// the results of the accepted portion.
+	Apply(ops []Op) ([]OpResult, error)
+	TryApply(ops []Op) ([]OpResult, error)
+	// Stats snapshots the remote server's cluster-wide counters.
+	Stats() (Stats, error)
+	// Close releases the proxy's resources (the remote server survives).
+	Close() error
+}
+
+// AddRemote joins a remote shard to the ring and migrates exactly the
+// entries whose owner set changed, like AddNode does for a local shard.
+// It returns the ring id the coordinator assigned. The remote server is
+// treated as one member regardless of how many cluster nodes it hosts
+// internally. A non-nil error with a valid id reports an incomplete
+// migration (see migrateLocked).
+func (c *Cluster) AddRemote(r Remote) (int, MoveReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return -1, MoveReport{}, ErrClosed
+	}
+	id := c.nextID
+	c.nextID++
+	old := c.ring.Clone()
+	c.nodes[id] = &remoteMember{id: id, r: r}
+	c.ring.Add(id)
+	report, err := c.migrateLocked(old)
+	return id, report, err
+}
+
+// remoteMember adapts a Remote to the member interface. Sub-batches
+// complete asynchronously: submit launches the RPC in its own goroutine
+// so batches bound for distinct members pipeline instead of serializing
+// on round trips, and the enqueue path never blocks on the network.
+type remoteMember struct {
+	id int
+	r  Remote
+
+	// wmu serializes replicated writes through this proxy, mirroring
+	// Node.wmu: every write for a key flows through its primary's proxy,
+	// so holding wmu across the primary RPC and the replica mirroring
+	// keeps replicas byte-identical to the primary.
+	wmu sync.Mutex
+
+	// transportErrs counts every RPC failure this proxy observed. The
+	// void paths (directGet misses, dropped mirrors) have nothing else
+	// to report through; the counter surfaces in the member's
+	// NodeStats.TransportErrs so silent misses are at least visible.
+	transportErrs atomic.Uint64
+}
+
+func (m *remoteMember) memberID() int { return m.id }
+
+func (m *remoteMember) directGet(key []byte) ([]byte, bool) {
+	v, ok, err := m.r.Get(key)
+	if err != nil {
+		if isTransportErr(err) {
+			m.transportErrs.Add(1)
+		}
+		return nil, false
+	}
+	return v, ok
+}
+
+func (m *remoteMember) directPut(key, value []byte) error {
+	err := m.r.Put(key, value)
+	if isTransportErr(err) {
+		m.transportErrs.Add(1)
+	}
+	return err
+}
+
+func (m *remoteMember) directDelete(key []byte) error {
+	err := m.r.Delete(key)
+	if isTransportErr(err) {
+		m.transportErrs.Add(1)
+	}
+	return err
+}
+
+// mirrorWrite drops a failed replica write (counted in TransportErrs):
+// the mirror path has no error channel, so a persistent transport
+// outage can leave this replica stale until the next successful write
+// or rebalance touches the key.
+func (m *remoteMember) mirrorWrite(op Op) {
+	switch op.Kind {
+	case OpPut:
+		_ = m.directPut(op.Key, op.Value)
+	case OpDelete:
+		_ = m.directDelete(op.Key)
+	}
+}
+
+func (m *remoteMember) directWrite(op Op, replicas []mirror) OpResult {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	m.mirrorWrite(op)
+	for _, rep := range replicas {
+		rep.mirrorWrite(op)
+	}
+	return OpResult{}
+}
+
+func (m *remoteMember) snapshotScan(start []byte, limit int) ([]engine.Entry, error) {
+	entries, err := m.r.Scan(start, limit)
+	if err != nil {
+		if isTransportErr(err) {
+			m.transportErrs.Add(1)
+		}
+		return nil, err
+	}
+	return entries, nil
+}
+
+func (m *remoteMember) submit(req *request) error {
+	return m.dispatch(req, m.r.Apply)
+}
+
+func (m *remoteMember) trySubmit(req *request) error {
+	return m.dispatch(req, m.r.TryApply)
+}
+
+// isTransportErr reports whether err is a transport-level failure, as
+// opposed to the remote executing fine and answering with one of the
+// cluster's own sentinels (a shed TryApply is admission control working,
+// not a broken wire).
+func isTransportErr(err error) bool {
+	return err != nil && !errors.Is(err, ErrOverload) && !errors.Is(err, ErrClosed)
+}
+
+// dispatch completes one sub-batch against the remote: RPC, positional
+// result fill, then replica mirroring. Replica-free batches travel as
+// one RPC. Ops carrying replicas go one RPC each, because mirroring
+// must track exactly what the primary applied: a batch that partially
+// fails (a shed TryApply, a broken wire) gives the proxy no per-op
+// outcome, and mirroring on guesswork diverges the replica set either
+// way. Per-op RPCs make success explicit — applied ops mirror, failed
+// ops don't, and the R-copy invariant holds under routine overload.
+func (m *remoteMember) dispatch(req *request, apply func([]Op) ([]OpResult, error)) error {
+	go func() {
+		defer req.done.Done()
+		hasReplicas := false
+		for _, reps := range req.replicas {
+			if len(reps) > 0 {
+				hasReplicas = true
+				break
+			}
+		}
+		fill := func(lo, hi int, res []OpResult, err error) {
+			if err != nil {
+				if isTransportErr(err) {
+					m.transportErrs.Add(1)
+				}
+				req.fail(err)
+			}
+			if req.results != nil {
+				// A shed batch may return fewer results than ops; a
+				// buggy remote could return more. Fill only the overlap.
+				for i := 0; i < len(res) && lo+i < hi; i++ {
+					req.results[req.idx[lo+i]] = res[i]
+				}
+			}
+		}
+		if !hasReplicas {
+			res, err := apply(req.ops)
+			fill(0, len(req.ops), res, err)
+			return
+		}
+		m.wmu.Lock()
+		defer m.wmu.Unlock()
+		i := 0
+		for i < len(req.ops) {
+			if len(req.replicas[i]) == 0 {
+				// Coalesce the replica-free run into one RPC.
+				j := i + 1
+				for j < len(req.ops) && len(req.replicas[j]) == 0 {
+					j++
+				}
+				res, err := apply(req.ops[i:j])
+				fill(i, j, res, err)
+				i = j
+				continue
+			}
+			res, err := apply(req.ops[i : i+1])
+			fill(i, i+1, res, err)
+			if err == nil {
+				for _, rep := range req.replicas[i] {
+					rep.mirrorWrite(req.ops[i])
+				}
+			}
+			i++
+		}
+	}()
+	return nil
+}
+
+// stats folds the remote server's per-node counters into one member
+// snapshot: from the coordinator's seat a remote server is one shard,
+// however many nodes it hosts.
+func (m *remoteMember) stats() NodeStats {
+	st, err := m.r.Stats()
+	if err != nil {
+		if isTransportErr(err) {
+			m.transportErrs.Add(1)
+		}
+		return NodeStats{ID: m.id, TransportErrs: m.transportErrs.Load()}
+	}
+	ns := NodeStats{
+		ID:            m.id,
+		Accepted:      st.Accepted,
+		Rejected:      st.Rejected,
+		Batches:       st.Batches,
+		Ops:           st.Ops,
+		TransportErrs: m.transportErrs.Load(),
+	}
+	for _, sub := range st.Nodes {
+		addEngineStats(&ns.Store, sub.Store)
+		ns.TransportErrs += sub.TransportErrs
+	}
+	return ns
+}
+
+// addEngineStats accumulates src's counters into dst.
+func addEngineStats(dst *engine.Stats, src engine.Stats) {
+	dst.Puts += src.Puts
+	dst.Gets += src.Gets
+	dst.Deletes += src.Deletes
+	dst.Scans += src.Scans
+	dst.ScannedEntries += src.ScannedEntries
+	dst.Flushes += src.Flushes
+	dst.Compactions += src.Compactions
+	dst.BloomNegative += src.BloomNegative
+	dst.RunsProbed += src.RunsProbed
+	dst.WALBytes += src.WALBytes
+	dst.BlockCacheHits += src.BlockCacheHits
+	dst.BlockCacheMisses += src.BlockCacheMisses
+}
+
+func (m *remoteMember) close() {
+	_ = m.r.Close()
+}

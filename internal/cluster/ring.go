@@ -82,6 +82,9 @@ func (r *Ring) Remove(node int) {
 // Size returns the member count.
 func (r *Ring) Size() int { return len(r.member) }
 
+// Contains reports whether node is on the ring.
+func (r *Ring) Contains(node int) bool { return r.member[node] }
+
 // Members returns the member ids in ascending order.
 func (r *Ring) Members() []int {
 	out := make([]int, 0, len(r.member))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -70,14 +71,64 @@ func (l *LatencyRecorder) Mean() time.Duration {
 	return total / time.Duration(len(l.samples))
 }
 
+// LatencySummary is the standard digest of one recorded distribution —
+// the per-request view the paper's latency-sensitive services report
+// (nearest-rank percentiles, like Percentile). The zero value is the
+// summary of an empty recorder.
+type LatencySummary struct {
+	Count                    int
+	Mean, P50, P95, P99, Max time.Duration
+}
+
+// Summary digests the recorder with a single sort — the shared helper
+// every latency-reporting surface (workload Extra maps, bdbench -net,
+// the transport benchmarks) derives its p50/p95/p99/max from.
+func (l *LatencyRecorder) Summary() LatencySummary {
+	if len(l.samples) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(p float64) time.Duration {
+		idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sorted[idx]
+	}
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	return LatencySummary{
+		Count: len(sorted),
+		Mean:  total / time.Duration(len(sorted)),
+		P50:   rank(0.50),
+		P95:   rank(0.95),
+		P99:   rank(0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// String renders the digest in one line for human-facing reports.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
+}
+
 // Attach copies the standard latency summary into a result's Extra map
-// (microsecond units: mean, p50, p95, p99).
+// (microsecond units: mean, p50, p95, p99, max).
 func (l *LatencyRecorder) Attach(r *Result) {
 	if r.Extra == nil {
 		r.Extra = map[string]float64{}
 	}
-	r.Extra["latMeanUs"] = float64(l.Mean()) / float64(time.Microsecond)
-	r.Extra["latP50Us"] = float64(l.Percentile(0.50)) / float64(time.Microsecond)
-	r.Extra["latP95Us"] = float64(l.Percentile(0.95)) / float64(time.Microsecond)
-	r.Extra["latP99Us"] = float64(l.Percentile(0.99)) / float64(time.Microsecond)
+	s := l.Summary()
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	r.Extra["latMeanUs"] = us(s.Mean)
+	r.Extra["latP50Us"] = us(s.P50)
+	r.Extra["latP95Us"] = us(s.P95)
+	r.Extra["latP99Us"] = us(s.P99)
+	r.Extra["latMaxUs"] = us(s.Max)
 }

@@ -86,4 +86,29 @@ func TestLatencyAttach(t *testing.T) {
 	if r.Extra["latP99Us"] != 3000 {
 		t.Errorf("latP99Us = %f", r.Extra["latP99Us"])
 	}
+	if r.Extra["latMaxUs"] != 3000 {
+		t.Errorf("latMaxUs = %f", r.Extra["latMaxUs"])
+	}
+}
+
+// TestLatencySummary pins the digest against the one-at-a-time
+// accessors: both derivations must agree sample for sample.
+func TestLatencySummary(t *testing.T) {
+	var l LatencyRecorder
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := l.Summary()
+	if s.Count != 100 || s.Mean != l.Mean() ||
+		s.P50 != l.Percentile(0.50) || s.P95 != l.Percentile(0.95) ||
+		s.P99 != l.Percentile(0.99) || s.Max != l.Percentile(1.0) {
+		t.Fatalf("summary %+v disagrees with accessors", s)
+	}
+	if s.String() == "" || (LatencySummary{}).String() == "" {
+		t.Fatal("String must render")
+	}
+	var empty LatencyRecorder
+	if empty.Summary() != (LatencySummary{}) {
+		t.Fatal("empty recorder must summarize to zeros")
+	}
 }

@@ -13,8 +13,13 @@ type Querier interface {
 	Query(q string, topK int) []Hit
 }
 
+// MaxTopK caps the per-request result count: a hostile or buggy k
+// cannot make one query heapify the whole corpus.
+const MaxTopK = 100
+
 // Server exposes a Querier over HTTP, mirroring the Nutch search
-// front-end: GET /search?q=<terms>&k=<topK> returns ranked hits as JSON.
+// front-end: GET /search?q=<terms>&k=<topK> returns ranked hits as
+// JSON, and GET /healthz answers load-balancer probes.
 type Server struct {
 	ix Querier
 }
@@ -32,8 +37,22 @@ type Response struct {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/search" {
+	switch r.URL.Path {
+	case "/healthz", "/search":
+	default:
 		http.NotFound(w, r)
+		return
+	}
+	// The serving surface is read-only: anything but GET is refused with
+	// the allowed method advertised.
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Path == "/healthz" {
+		_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
 		return
 	}
 	q := r.URL.Query().Get("q")
@@ -42,7 +61,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	if k > MaxTopK {
+		k = MaxTopK
+	}
 	hits := s.ix.Query(q, k)
-	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(Response{Query: q, Total: len(hits), Hits: hits})
 }

@@ -1,0 +1,82 @@
+package search
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// recordingQuerier captures the topK the handler actually asks for.
+type recordingQuerier struct {
+	lastK int
+}
+
+func (r *recordingQuerier) Query(q string, topK int) []Hit {
+	r.lastK = topK
+	return []Hit{{DocID: "d0", Score: 1}}
+}
+
+func TestServerRejectsNonGET(t *testing.T) {
+	srv := NewServer(Build(testDocs(), nil))
+	for _, method := range []string{"POST", "PUT", "DELETE", "HEAD"} {
+		for _, path := range []string{"/search?q=go", "/healthz"} {
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+			if rec.Code != 405 {
+				t.Errorf("%s %s = %d, want 405", method, path, rec.Code)
+			}
+			if rec.Header().Get("Allow") != "GET" {
+				t.Errorf("%s %s: Allow = %q, want GET", method, path, rec.Header().Get("Allow"))
+			}
+		}
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv := NewServer(Build(testDocs(), nil))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("healthz Content-Type = %q", ct)
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Status != "ok" {
+		t.Fatalf("healthz body = %q (%v)", rec.Body.String(), err)
+	}
+}
+
+func TestServerContentType(t *testing.T) {
+	srv := NewServer(Build(testDocs(), nil))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/search?q=go", nil))
+	if rec.Code != 200 {
+		t.Fatalf("search = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("search Content-Type = %q", ct)
+	}
+}
+
+// TestServerCapsTopK pins the k ceiling: an absurd k reaches the
+// retrieval backend clamped to MaxTopK.
+func TestServerCapsTopK(t *testing.T) {
+	q := &recordingQuerier{}
+	srv := NewServer(q)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/search?q=go&k=100000", nil))
+	if rec.Code != 200 {
+		t.Fatalf("search = %d", rec.Code)
+	}
+	if q.lastK != MaxTopK {
+		t.Fatalf("backend saw k=%d, want %d", q.lastK, MaxTopK)
+	}
+	srv.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/search?q=go&k=7", nil))
+	if q.lastK != 7 {
+		t.Fatalf("backend saw k=%d, want 7", q.lastK)
+	}
+}

@@ -1,0 +1,467 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+)
+
+// Client errors.
+var (
+	// ErrTimeout reports a request that outlived its deadline.
+	ErrTimeout = errors.New("transport: request timed out")
+	// ErrClientClosed reports use of a closed client.
+	ErrClientClosed = errors.New("transport: client closed")
+)
+
+// ClientOptions tunes a Client. The zero value uses the defaults.
+type ClientOptions struct {
+	// Conns sizes the connection pool (default 1). Requests spread
+	// round-robin; each connection pipelines every request issued on it
+	// concurrently, matched back by frame id.
+	Conns int
+	// Timeout bounds one request round trip (default 10s).
+	Timeout time.Duration
+	// DialTimeout bounds the whole connect phase including retries
+	// (default 5s). Dial keeps retrying inside the window so a client
+	// can start before its server finishes binding.
+	DialTimeout time.Duration
+	// RetryOverload is how many times the blocking ops (Get, Put,
+	// Delete, Scan, Apply, Stats) retry after cluster.ErrOverload, with
+	// doubling backoff (default 3). TryApply never retries — its callers
+	// want the shed signal.
+	RetryOverload int
+	// RetryBackoff is the first retry's sleep, doubling each attempt
+	// (default 1ms).
+	RetryBackoff time.Duration
+	// MaxFrame bounds accepted frame sizes (default DefaultMaxFrame).
+	MaxFrame int
+}
+
+func (o *ClientOptions) normalize() {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RetryOverload < 0 {
+		o.RetryOverload = 0
+	} else if o.RetryOverload == 0 {
+		o.RetryOverload = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Millisecond
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+}
+
+// Client is a pooled, pipelined wire-protocol client. It implements
+// cluster.Remote, so a connected client (see RemoteNode) can join a
+// coordinator's ring directly. Safe for concurrent use; concurrent
+// requests on one connection interleave on the wire and resolve by id.
+// A pool slot whose connection dies is redialed lazily on next use, so
+// one reset or server restart poisons nothing permanently.
+type Client struct {
+	opts   ClientOptions
+	addr   string
+	conns  []atomic.Pointer[clientConn]
+	mu     sync.Mutex // serializes redials and Close
+	next   atomic.Uint64
+	closed atomic.Bool
+}
+
+// Dial connects a client pool to a server address. It retries refused
+// connections inside DialTimeout, so callers may race server startup.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	opts.normalize()
+	c := &Client{opts: opts, addr: addr, conns: make([]atomic.Pointer[clientConn], opts.Conns)}
+	deadline := time.Now().Add(opts.DialTimeout)
+	for i := 0; i < opts.Conns; i++ {
+		cc, err := dialConn(addr, deadline, opts.MaxFrame)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns[i].Store(cc)
+	}
+	return c, nil
+}
+
+func dialConn(addr string, deadline time.Time, maxFrame int) (*clientConn, error) {
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("transport: dial %s: deadline exceeded", addr)
+			}
+			return nil, lastErr
+		}
+		conn, err := net.DialTimeout("tcp", addr, remain)
+		if err == nil {
+			cc := &clientConn{
+				conn:     conn,
+				bw:       bufio.NewWriterSize(conn, 64<<10),
+				pending:  map[uint64]chan response{},
+				maxFrame: maxFrame,
+			}
+			go cc.readLoop()
+			return cc, nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// response is one matched reply.
+type response struct {
+	op      Opcode
+	payload []byte
+	err     error // connection-level failure
+}
+
+// clientConn is one pooled connection: a locked writer and a read loop
+// that resolves responses to waiters by frame id.
+type clientConn struct {
+	conn     net.Conn
+	maxFrame int
+
+	wmu sync.Mutex // serializes frame writes
+	bw  *bufio.Writer
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	err     error // sticky connection error
+}
+
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReaderSize(cc.conn, 64<<10)
+	for {
+		id, op, payload, err := readFrame(br, cc.maxFrame)
+		if err != nil {
+			cc.fail(fmt.Errorf("transport: connection lost: %w", err))
+			return
+		}
+		cc.mu.Lock()
+		ch := cc.pending[id]
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		if ch != nil {
+			ch <- response{op: op, payload: payload}
+		}
+	}
+}
+
+// broken reports whether the connection has a sticky error.
+func (cc *clientConn) broken() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err != nil
+}
+
+// fail marks the connection dead and resolves every waiter with err.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+	}
+	pending := cc.pending
+	cc.pending = map[uint64]chan response{}
+	cc.mu.Unlock()
+	cc.conn.Close()
+	for _, ch := range pending {
+		ch <- response{err: err}
+	}
+}
+
+// roundTrip issues one request frame and waits for its response.
+func (cc *clientConn) roundTrip(op Opcode, payload []byte, timeout time.Duration) (response, error) {
+	id := cc.nextID.Add(1)
+	ch := make(chan response, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return response{}, err
+	}
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	frame := AppendFrame(nil, id, op, payload)
+	cc.wmu.Lock()
+	_, werr := cc.bw.Write(frame)
+	if werr == nil {
+		werr = cc.bw.Flush()
+	}
+	cc.wmu.Unlock()
+	if werr != nil {
+		cc.fail(fmt.Errorf("transport: write: %w", werr))
+		// fail resolved (or removed) our waiter; drain it if resolved.
+		select {
+		case r := <-ch:
+			return response{}, r.err
+		default:
+			return response{}, werr
+		}
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return response{}, r.err
+		}
+		return r, nil
+	case <-timer.C:
+		cc.mu.Lock()
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		return response{}, fmt.Errorf("%w (%s after %v)", ErrTimeout, opName(op), timeout)
+	}
+}
+
+func opName(op Opcode) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpBatch:
+		return "batch"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("op(0x%02x)", byte(op))
+	}
+}
+
+// pick selects the next pool connection round-robin, reviving the slot
+// first if its connection has died.
+func (c *Client) pick() (*clientConn, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	slot := int(c.next.Add(1)) % len(c.conns)
+	cc := c.conns[slot].Load()
+	if cc == nil || cc.broken() {
+		return c.revive(slot)
+	}
+	return cc, nil
+}
+
+// revive redials one pool slot. Serialized so concurrent callers on a
+// dead connection produce one dial, not a stampede; losers reuse the
+// winner's connection.
+func (c *Client) revive(slot int) (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if cc := c.conns[slot].Load(); cc != nil && !cc.broken() {
+		return cc, nil // another caller already revived it
+	}
+	cc, err := dialConn(c.addr, time.Now().Add(c.opts.DialTimeout), c.opts.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	c.conns[slot].Store(cc)
+	return cc, nil
+}
+
+// call runs one round trip and maps error frames back to Go errors.
+func (c *Client) call(op Opcode, payload []byte) (response, error) {
+	cc, err := c.pick()
+	if err != nil {
+		return response{}, err
+	}
+	r, err := cc.roundTrip(op, payload, c.opts.Timeout)
+	if err != nil {
+		return response{}, err
+	}
+	if r.op == RespError {
+		remoteErr, decodeErr := DecodeError(r.payload)
+		if decodeErr != nil {
+			return response{}, decodeErr
+		}
+		return response{}, remoteErr
+	}
+	return r, nil
+}
+
+// withRetry runs fn, retrying on cluster.ErrOverload with doubling
+// backoff up to the configured attempt budget.
+func (c *Client) withRetry(fn func() error) error {
+	backoff := c.opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil || !errors.Is(err, cluster.ErrOverload) || attempt >= c.opts.RetryOverload {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// Get fetches one key from the remote shard.
+func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
+	err = c.withRetry(func() error {
+		r, err := c.call(OpGet, key)
+		if err != nil {
+			return err
+		}
+		if r.op != RespValue {
+			return ErrMalformed
+		}
+		value, found, err = DecodeValue(r.payload)
+		return err
+	})
+	return value, found, err
+}
+
+// Put writes one key.
+func (c *Client) Put(key, value []byte) error {
+	return c.withRetry(func() error {
+		r, err := c.call(OpPut, EncodePut(nil, key, value))
+		if err != nil {
+			return err
+		}
+		if r.op != RespOK {
+			return ErrMalformed
+		}
+		return nil
+	})
+}
+
+// Delete removes one key.
+func (c *Client) Delete(key []byte) error {
+	return c.withRetry(func() error {
+		r, err := c.call(OpDelete, key)
+		if err != nil {
+			return err
+		}
+		if r.op != RespOK {
+			return ErrMalformed
+		}
+		return nil
+	})
+}
+
+// Scan returns up to limit entries with key >= start from the remote
+// shard. Pages the server cut short for frame-size reasons are
+// transparently continued, so a shorter-than-limit result always means
+// the range is exhausted — the property the coordinator's k-way merge
+// depends on. (Each continuation is its own server-side snapshot; a
+// scan spanning pages can observe concurrent writes at page edges,
+// like any paginated range read.)
+func (c *Client) Scan(start []byte, limit int) ([]engine.Entry, error) {
+	var all []engine.Entry
+	for limit > len(all) {
+		var page []engine.Entry
+		var more bool
+		err := c.withRetry(func() error {
+			r, err := c.call(OpScan, EncodeScan(nil, start, limit-len(all)))
+			if err != nil {
+				return err
+			}
+			if r.op != RespEntries {
+				return ErrMalformed
+			}
+			page, more, err = DecodeEntries(r.payload)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page...)
+		if !more || len(page) == 0 {
+			break
+		}
+		last := page[len(page)-1].Key
+		start = append(append([]byte(nil), last...), 0)
+	}
+	return all, nil
+}
+
+// Apply executes a batch on the remote with backpressure.
+func (c *Client) Apply(ops []cluster.Op) (res []cluster.OpResult, err error) {
+	err = c.withRetry(func() error {
+		res, err = c.batch(ops, false)
+		return err
+	})
+	return res, err
+}
+
+// TryApply executes a batch under the remote's admission control. A shed
+// batch returns cluster.ErrOverload, possibly with partial results; it
+// is never retried here — propagating the shed signal is the point.
+func (c *Client) TryApply(ops []cluster.Op) ([]cluster.OpResult, error) {
+	return c.batch(ops, true)
+}
+
+func (c *Client) batch(ops []cluster.Op, try bool) ([]cluster.OpResult, error) {
+	r, err := c.call(OpBatch, EncodeBatch(nil, ops, try))
+	if err != nil {
+		return nil, err
+	}
+	if r.op != RespResults {
+		return nil, ErrMalformed
+	}
+	res, execErr, decodeErr := DecodeResults(r.payload)
+	if decodeErr != nil {
+		return nil, decodeErr
+	}
+	return res, execErr
+}
+
+// Stats snapshots the remote server's cluster counters.
+func (c *Client) Stats() (st cluster.Stats, err error) {
+	err = c.withRetry(func() error {
+		r, err := c.call(OpStats, nil)
+		if err != nil {
+			return err
+		}
+		if r.op != RespStats {
+			return ErrMalformed
+		}
+		st, err = DecodeStats(r.payload)
+		return err
+	})
+	return st, err
+}
+
+// Close tears down the pool. In-flight requests resolve with a
+// connection error.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.mu.Lock() // no redial can race the teardown
+	defer c.mu.Unlock()
+	for i := range c.conns {
+		if cc := c.conns[i].Load(); cc != nil {
+			cc.fail(ErrClientClosed)
+		}
+	}
+	return nil
+}

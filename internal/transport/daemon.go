@@ -1,0 +1,29 @@
+package transport
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ServeUntilSignal hosts backend on addr until the process receives
+// SIGINT or SIGTERM, then drains the server gracefully (Server.Close)
+// and returns it so the caller can report final counters. onReady runs
+// once the listener is bound — the place for a startup banner. This is
+// the one serve-and-drain flow shared by cmd/bdserve and bdbench
+// -listen, so drain behavior cannot drift between them.
+func ServeUntilSignal(addr string, b Backend, opts ServerOptions, onReady func(*Server)) (*Server, error) {
+	srv, err := Listen(addr, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	if onReady != nil {
+		onReady(srv)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	signal.Stop(sig)
+	err = srv.Close()
+	return srv, err
+}

@@ -1,0 +1,38 @@
+// Package transport turns the in-process cluster into a networked
+// service: a compact length-prefixed binary wire protocol, a TCP server
+// that hosts cluster nodes behind a listener, and a pooled pipelining
+// client whose RemoteNode proxy satisfies the coordinator's member
+// contract (cluster.Remote).
+//
+// The paper measures its Cloud-OLTP and search workloads on a real
+// 14-node testbed serving network clients; this package supplies the
+// missing wire so shard nodes can live in separate processes and the
+// coordinator routes over TCP:
+//
+//	client procs                 server procs
+//	┌───────────────┐   frames   ┌──────────────────────┐
+//	│ Cluster (ring)│ ─────────► │ Server ─ Cluster ─ LSM│
+//	│  ├ Node (local)│           └──────────────────────┘
+//	│  └ RemoteNode ─┼─────────► ┌──────────────────────┐
+//	└───────────────┘            │ Server ─ Cluster ─ LSM│
+//	                             └──────────────────────┘
+//
+// Request pipelining: every frame carries a request id, connections are
+// never blocked on one outstanding request, and responses return in
+// completion order. The server bounds concurrently executing requests
+// (ServerOptions.MaxInFlight) and sheds the excess with an overload
+// frame that surfaces as cluster.ErrOverload at the client — the same
+// admission-control signal the in-process queues use — while the client
+// retries shed blocking ops with doubling backoff.
+//
+// Shutdown is a graceful drain: Server.Close stops accepting, unblocks
+// the read loops, lets every admitted request finish and flush its
+// response, then closes the connections.
+//
+// Consistency note: replicated writes whose primary is remote are
+// serialized through the primary's proxy (one coordinator process), so
+// replicas stay byte-identical to the primary exactly as in-process.
+// If a batch RPC fails partway, its replica mirroring is skipped — the
+// proxy cannot know which ops the remote applied — so a transport
+// failure can leave replicas stale until the next write or rebalance.
+package transport

@@ -1,0 +1,32 @@
+package transport
+
+import "repro/internal/cluster"
+
+// RemoteNode is the coordinator-side proxy for a shard hosted by a
+// transport.Server in another process. It is a connected Client and
+// therefore satisfies cluster.Remote, so cluster.AddRemote splices it
+// into the ring next to in-process nodes: the coordinator routes point
+// ops, fans out replicated writes, scatter-gathers scans and migrates
+// rebalance traffic through it without knowing the shard is remote —
+// the paper's testbed topology (one coordinator, N region servers on
+// separate machines) expressed in the cluster's own vocabulary.
+type RemoteNode struct {
+	*Client
+	addr string
+}
+
+// Connect dials a shard server and returns its proxy.
+func Connect(addr string, opts ClientOptions) (*RemoteNode, error) {
+	cl, err := Dial(addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteNode{Client: cl, addr: addr}, nil
+}
+
+// Addr returns the server address this proxy is connected to.
+func (rn *RemoteNode) Addr() string { return rn.addr }
+
+// compile-time conformance: a RemoteNode is a cluster member transport.
+var _ cluster.Remote = (*RemoteNode)(nil)
+var _ Backend = (*cluster.Cluster)(nil)

@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+)
+
+// Backend is the storage a Server fronts. *cluster.Cluster satisfies it,
+// so a server daemon hosts one or more cluster nodes — a single-shard
+// region server or a whole sub-cluster — behind one listener.
+type Backend interface {
+	Get(key []byte) ([]byte, bool)
+	Put(key, value []byte)
+	Delete(key []byte)
+	Scan(start []byte, limit int) []engine.Entry
+	Apply(ops []cluster.Op) ([]cluster.OpResult, error)
+	TryApply(ops []cluster.Op) ([]cluster.OpResult, error)
+	Stats() cluster.Stats
+}
+
+// ServerOptions tunes a Server. The zero value uses the defaults.
+type ServerOptions struct {
+	// MaxInFlight bounds concurrently executing requests across all
+	// connections (default 256). Requests beyond the bound are answered
+	// immediately with an overload frame — the wire form of the
+	// cluster's admission control, surfacing as cluster.ErrOverload at
+	// the client.
+	MaxInFlight int
+	// MaxFrame bounds accepted frame sizes (default DefaultMaxFrame).
+	MaxFrame int
+	// WriteTimeout bounds each response write (default 30s). A client
+	// that stops reading its responses trips it, breaking that
+	// connection instead of parking request goroutines — and the
+	// admission permits they hold — behind a full TCP buffer forever.
+	WriteTimeout time.Duration
+}
+
+func (o *ServerOptions) normalize() {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+}
+
+// Server hosts a Backend on a TCP listener. Each connection gets a read
+// goroutine (decode + dispatch) and a write goroutine (respond), so many
+// requests from one connection execute concurrently and responses return
+// in completion order — the pipelining the wire ids exist for.
+type Server struct {
+	ln      net.Listener
+	backend Backend
+	opts    ServerOptions
+
+	tokens chan struct{} // in-flight admission permits
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg     sync.WaitGroup // accept loop + connection handlers
+	served atomic.Uint64  // requests admitted and executed
+	shed   atomic.Uint64  // requests refused by admission control
+}
+
+// Listen binds addr and serves b until Close.
+func Listen(addr string, b Backend, opts ServerOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, b, opts), nil
+}
+
+// Serve runs a server on an existing listener until Close.
+func Serve(ln net.Listener, b Backend, opts ServerOptions) *Server {
+	opts.normalize()
+	s := &Server{
+		ln:      ln,
+		backend: b,
+		opts:    opts,
+		tokens:  make(chan struct{}, opts.MaxInFlight),
+		conns:   map[net.Conn]struct{}{},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Served returns the number of requests admitted and executed.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Shed returns the number of requests refused by admission control.
+func (s *Server) Shed() uint64 { return s.shed.Load() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) forget(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// handle runs one connection: the read loop decodes and dispatches
+// frames; a writer goroutine serializes response frames back out. On
+// read loop exit (peer hangup or drain kick), in-flight requests finish,
+// their responses flush, and only then does the connection close — a
+// connection never drops admitted work.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.forget(conn)
+	out := make(chan []byte, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriterSize(conn, 64<<10)
+		broken := false
+		for f := range out {
+			if broken {
+				continue // keep draining so request goroutines never block
+			}
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			if _, err := bw.Write(f); err != nil {
+				broken = true
+				continue
+			}
+			// Flush when no more responses are queued: batches of
+			// pipelined responses coalesce into fewer syscalls.
+			if len(out) == 0 {
+				if err := bw.Flush(); err != nil {
+					broken = true
+				}
+			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		bw.Flush()
+	}()
+
+	var reqs sync.WaitGroup
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		id, op, payload, err := readFrame(br, s.opts.MaxFrame)
+		if err != nil {
+			if errors.Is(err, ErrMalformed) || errors.Is(err, ErrFrameTooLarge) {
+				// The stream is unrecoverable (framing lost), but tell
+				// the peer why before hanging up.
+				out <- AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			}
+			break
+		}
+		// Admission: a backpressure batch (Apply) must never shed — it
+		// blocks the connection's read loop for a permit instead, which
+		// is honest backpressure (TCP pushes back to the sender) and
+		// matches cluster.Apply's block-don't-shed contract. Everything
+		// else sheds with an overload frame when the server is full.
+		if op == OpBatch && len(payload) > 0 && payload[0]&batchFlagTry == 0 {
+			s.tokens <- struct{}{}
+		} else {
+			select {
+			case s.tokens <- struct{}{}:
+			default:
+				s.shed.Add(1)
+				out <- AppendFrame(nil, id, RespError, EncodeError(nil, cluster.ErrOverload))
+				continue
+			}
+		}
+		reqs.Add(1)
+		go func(id uint64, op Opcode, payload []byte) {
+			defer func() {
+				<-s.tokens
+				reqs.Done()
+			}()
+			out <- s.dispatch(id, op, payload)
+			s.served.Add(1)
+		}(id, op, payload)
+	}
+	reqs.Wait()
+	close(out)
+	<-writerDone
+	conn.Close()
+}
+
+// dispatch executes one decoded request against the backend and encodes
+// the response frame.
+func (s *Server) dispatch(id uint64, op Opcode, payload []byte) []byte {
+	switch op {
+	case OpGet:
+		v, ok := s.backend.Get(payload)
+		return AppendFrame(nil, id, RespValue, EncodeValue(nil, v, ok))
+	case OpPut:
+		key, value, err := DecodePut(payload)
+		if err != nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		}
+		s.backend.Put(key, value)
+		return AppendFrame(nil, id, RespOK, nil)
+	case OpDelete:
+		s.backend.Delete(payload)
+		return AppendFrame(nil, id, RespOK, nil)
+	case OpScan:
+		start, limit, err := DecodeScan(payload)
+		if err != nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		}
+		entries := s.backend.Scan(start, limit)
+		// Bound the response to what the peer will accept: a frame over
+		// MaxFrame would kill the connection (and every pipelined
+		// request on it) instead of just shortening the page. A cut
+		// page is flagged `more` so the client paginates the remainder
+		// rather than mistaking it for end-of-range.
+		more := false
+		budget := s.opts.MaxFrame - frameOverhead - 64
+		size := 5
+		for i, e := range entries {
+			size += 8 + len(e.Key) + len(e.Value)
+			// Never truncate to zero: an empty page reads as
+			// end-of-keyspace to paginating callers. A single entry
+			// beyond MaxFrame fails loudly at the client instead.
+			if size > budget && i > 0 {
+				entries = entries[:i]
+				more = true
+				break
+			}
+		}
+		return AppendFrame(nil, id, RespEntries, EncodeEntries(nil, entries, more))
+	case OpBatch:
+		ops, try, err := DecodeBatch(payload)
+		if err != nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		}
+		var res []cluster.OpResult
+		var aerr error
+		if try {
+			res, aerr = s.backend.TryApply(ops)
+		} else {
+			res, aerr = s.backend.Apply(ops)
+		}
+		// Results and the execution error travel together: TryApply
+		// under overload still returns the accepted portion. Results are
+		// positional, so an oversized set cannot be truncated like a
+		// scan page — fail the batch loudly instead of emitting a frame
+		// the peer will kill the connection over.
+		frame := AppendFrame(nil, id, RespResults, EncodeResults(nil, res, aerr))
+		if len(frame) > s.opts.MaxFrame+4 {
+			return AppendFrame(nil, id, RespError, EncodeError(nil,
+				fmt.Errorf("batch response of %d bytes exceeds the %d-byte frame limit; split the batch", len(frame)-4, s.opts.MaxFrame)))
+		}
+		return frame
+	case OpStats:
+		return AppendFrame(nil, id, RespStats, EncodeStats(nil, s.backend.Stats()))
+	default:
+		return AppendFrame(nil, id, RespError, EncodeError(nil, ErrMalformed))
+	}
+}
+
+// Close drains the server gracefully: stop accepting, kick every
+// connection's read loop, let admitted requests finish and their
+// responses flush, then close the connections. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		// An immediate read deadline unblocks the read loop; in-flight
+		// work still completes because writes carry no deadline.
+		c.SetReadDeadline(time.Now())
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,519 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+)
+
+// Wire format. Every message — request or response — is one frame:
+//
+//	+-----------+-----------+----------+------------------+
+//	| length u32| id u64    | opcode u8| payload           |
+//	+-----------+-----------+----------+------------------+
+//
+// All integers are big-endian. The length prefix counts everything after
+// itself (id + opcode + payload), so a frame occupies 4+length bytes on
+// the wire. The id echoes from request to response, which is what lets a
+// connection carry many requests concurrently (pipelining): responses
+// return in completion order and the client matches them back by id.
+//
+// Decoding is zero-copy-friendly: decoded keys, values and entries alias
+// the payload buffer. Callers that retain them beyond the buffer's
+// lifetime must copy (the LSM engine copies on Put, so the server's
+// dispatch path needs no extra copies).
+
+// Opcode identifies a frame's message type. Requests have the high bit
+// clear, responses set.
+type Opcode uint8
+
+// Request opcodes.
+const (
+	OpGet    Opcode = 0x01 // payload: key
+	OpPut    Opcode = 0x02 // payload: klen u32 | key | value
+	OpDelete Opcode = 0x03 // payload: key
+	OpScan   Opcode = 0x04 // payload: limit u32 | start key
+	OpBatch  Opcode = 0x05 // payload: flags u8 | count u32 | ops
+	OpStats  Opcode = 0x06 // payload: empty
+)
+
+// Response opcodes.
+const (
+	RespValue   Opcode = 0x81 // payload: found u8 | value
+	RespOK      Opcode = 0x82 // payload: empty
+	RespEntries Opcode = 0x83 // payload: more u8 | count u32 | (klen u32|key|vlen u32|value)*
+	RespResults Opcode = 0x84 // payload: errcode u8 | msglen u32 | msg | count u32 | (found u8|vlen u32|value)*
+	RespStats   Opcode = 0x85 // payload: node count u32 | node stats*
+	RespError   Opcode = 0xFF // payload: errcode u8 | message
+)
+
+// batchFlagTry marks an OpBatch for admission control (TryApply) rather
+// than backpressure (Apply).
+const batchFlagTry = 0x01
+
+// Error codes carried by RespError and RespResults frames.
+const (
+	errCodeNone     = 0x00
+	errCodeOverload = 0x01 // maps to cluster.ErrOverload
+	errCodeClosed   = 0x02 // maps to cluster.ErrClosed
+	errCodeBad      = 0x03 // malformed frame or payload
+	errCodeInternal = 0x04 // anything else; message carries detail
+)
+
+const (
+	// frameOverhead is the id + opcode bytes counted by the length prefix.
+	frameOverhead = 9
+	// DefaultMaxFrame bounds a frame's declared length: a corrupt or
+	// hostile prefix cannot make a peer allocate unbounded memory.
+	DefaultMaxFrame = 16 << 20
+)
+
+// Codec errors.
+var (
+	// ErrFrameTooLarge reports a length prefix beyond the configured cap.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	// ErrMalformed reports a structurally invalid frame or payload.
+	ErrMalformed = errors.New("transport: malformed frame")
+)
+
+// AppendFrame appends one complete frame to dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, id uint64, op Opcode, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameOverhead+len(payload)))
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = append(dst, byte(op))
+	return append(dst, payload...)
+}
+
+// DecodeFrame parses the first frame in b. The returned payload aliases
+// b. n is the total bytes consumed; io.ErrShortBuffer (with n = 0)
+// reports that b does not yet hold a complete frame.
+func DecodeFrame(b []byte, maxFrame int) (id uint64, op Opcode, payload []byte, n int, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if len(b) < 4 {
+		return 0, 0, nil, 0, io.ErrShortBuffer
+	}
+	length := binary.BigEndian.Uint32(b)
+	if length < frameOverhead {
+		return 0, 0, nil, 0, ErrMalformed
+	}
+	if int64(length) > int64(maxFrame) {
+		return 0, 0, nil, 0, ErrFrameTooLarge
+	}
+	if len(b) < 4+int(length) {
+		return 0, 0, nil, 0, io.ErrShortBuffer
+	}
+	id = binary.BigEndian.Uint64(b[4:])
+	op = Opcode(b[12])
+	payload = b[13 : 4+length]
+	return id, op, payload, 4 + int(length), nil
+}
+
+// readFrame reads one frame from r, allocating a fresh payload buffer —
+// pipelined requests retain their payload past the next read, so frames
+// never share buffers. On a size-limit or framing error the id and
+// opcode are still returned when the stream yielded them, so a server
+// can address its diagnostic error frame to the offending request.
+func readFrame(r io.Reader, maxFrame int) (id uint64, op Opcode, payload []byte, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [13]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	if length >= frameOverhead {
+		if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+			return 0, 0, nil, err
+		}
+		id = binary.BigEndian.Uint64(hdr[4:12])
+		op = Opcode(hdr[12])
+	}
+	if length < frameOverhead {
+		return 0, 0, nil, ErrMalformed
+	}
+	if int64(length) > int64(maxFrame) {
+		return id, op, nil, ErrFrameTooLarge
+	}
+	payload = make([]byte, length-frameOverhead)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return id, op, payload, nil
+}
+
+// ---- payload codecs ------------------------------------------------------
+
+// u32 field helpers: every variable-length field is a u32 length followed
+// by that many bytes.
+
+func appendBytes32(dst, b []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func takeBytes32(p []byte) (field, rest []byte, err error) {
+	if len(p) < 4 {
+		return nil, nil, ErrMalformed
+	}
+	n := binary.BigEndian.Uint32(p)
+	if uint64(n) > uint64(len(p)-4) {
+		return nil, nil, ErrMalformed
+	}
+	return p[4 : 4+n], p[4+n:], nil
+}
+
+// EncodePut appends an OpPut payload.
+func EncodePut(dst, key, value []byte) []byte {
+	return append(appendBytes32(dst, key), value...)
+}
+
+// DecodePut splits an OpPut payload into key and value (aliasing p).
+func DecodePut(p []byte) (key, value []byte, err error) {
+	key, value, err = takeBytes32(p)
+	return key, value, err
+}
+
+// EncodeScan appends an OpScan payload. A negative limit travels as 0
+// (the local Scan's "return nothing") rather than wrapping into a
+// near-2^32 full-keyspace request.
+func EncodeScan(dst []byte, start []byte, limit int) []byte {
+	if limit < 0 {
+		limit = 0
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(limit))
+	return append(dst, start...)
+}
+
+// DecodeScan splits an OpScan payload (start aliases p).
+func DecodeScan(p []byte) (start []byte, limit int, err error) {
+	if len(p) < 4 {
+		return nil, 0, ErrMalformed
+	}
+	return p[4:], int(binary.BigEndian.Uint32(p)), nil
+}
+
+// EncodeBatch appends an OpBatch payload: the batched ops plus the
+// admission flag (try selects TryApply on the server).
+func EncodeBatch(dst []byte, ops []cluster.Op, try bool) []byte {
+	var flags byte
+	if try {
+		flags |= batchFlagTry
+	}
+	dst = append(dst, flags)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(ops)))
+	for _, op := range ops {
+		dst = append(dst, byte(op.Kind))
+		dst = appendBytes32(dst, op.Key)
+		if op.Kind == cluster.OpPut {
+			dst = appendBytes32(dst, op.Value)
+		}
+	}
+	return dst
+}
+
+// DecodeBatch parses an OpBatch payload; keys and values alias p.
+func DecodeBatch(p []byte) (ops []cluster.Op, try bool, err error) {
+	if len(p) < 5 {
+		return nil, false, ErrMalformed
+	}
+	try = p[0]&batchFlagTry != 0
+	count := binary.BigEndian.Uint32(p[1:])
+	p = p[5:]
+	// Each op is at least 5 bytes (kind + key length), so a count that
+	// exceeds the remaining bytes is malformed — reject before
+	// allocating for it.
+	if uint64(count)*5 > uint64(len(p)) {
+		return nil, false, ErrMalformed
+	}
+	ops = make([]cluster.Op, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(p) < 1 {
+			return nil, false, ErrMalformed
+		}
+		kind := cluster.OpKind(p[0])
+		if kind != cluster.OpGet && kind != cluster.OpPut && kind != cluster.OpDelete {
+			return nil, false, ErrMalformed
+		}
+		var key, value []byte
+		key, p, err = takeBytes32(p[1:])
+		if err != nil {
+			return nil, false, err
+		}
+		if kind == cluster.OpPut {
+			value, p, err = takeBytes32(p)
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		ops = append(ops, cluster.Op{Kind: kind, Key: key, Value: value})
+	}
+	if len(p) != 0 {
+		return nil, false, ErrMalformed
+	}
+	return ops, try, nil
+}
+
+// EncodeValue appends a RespValue payload.
+func EncodeValue(dst, value []byte, found bool) []byte {
+	if found {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return append(dst, value...)
+}
+
+// DecodeValue splits a RespValue payload (value aliases p).
+func DecodeValue(p []byte) (value []byte, found bool, err error) {
+	if len(p) < 1 {
+		return nil, false, ErrMalformed
+	}
+	if p[0] == 0 {
+		return nil, false, nil
+	}
+	return p[1:], true, nil
+}
+
+// EncodeEntries appends a RespEntries payload. more marks a page the
+// server cut short of the requested limit for frame-size reasons: the
+// range continues past the last entry and the client must paginate, or
+// a k-way merge over partial ranges would see holes.
+func EncodeEntries(dst []byte, entries []engine.Entry, more bool) []byte {
+	if more {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(entries)))
+	for _, e := range entries {
+		dst = appendBytes32(dst, e.Key)
+		dst = appendBytes32(dst, e.Value)
+	}
+	return dst
+}
+
+// DecodeEntries parses a RespEntries payload; keys and values alias p.
+func DecodeEntries(p []byte) ([]engine.Entry, bool, error) {
+	if len(p) < 5 {
+		return nil, false, ErrMalformed
+	}
+	more := p[0] != 0
+	count := binary.BigEndian.Uint32(p[1:])
+	p = p[5:]
+	if uint64(count)*8 > uint64(len(p)) {
+		return nil, false, ErrMalformed
+	}
+	entries := make([]engine.Entry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var key, value []byte
+		var err error
+		key, p, err = takeBytes32(p)
+		if err != nil {
+			return nil, false, err
+		}
+		value, p, err = takeBytes32(p)
+		if err != nil {
+			return nil, false, err
+		}
+		entries = append(entries, engine.Entry{Key: key, Value: value})
+	}
+	if len(p) != 0 {
+		return nil, false, ErrMalformed
+	}
+	return entries, more, nil
+}
+
+// EncodeResults appends a RespResults payload. A non-nil err rides along
+// as its code and message so partial results (TryApply under overload)
+// and the failure detail both survive the trip.
+func EncodeResults(dst []byte, res []cluster.OpResult, err error) []byte {
+	code, msg := errorCode(err)
+	dst = append(dst, code)
+	dst = appendBytes32(dst, []byte(msg))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(res)))
+	for _, r := range res {
+		if r.Found {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendBytes32(dst, r.Value)
+	}
+	return dst
+}
+
+// DecodeResults parses a RespResults payload; values alias p. The
+// returned error is the remote execution error (e.g. ErrOverload), not a
+// decode failure — decode failures come back in decodeErr.
+func DecodeResults(p []byte) (res []cluster.OpResult, err, decodeErr error) {
+	if len(p) < 1 {
+		return nil, nil, ErrMalformed
+	}
+	code := p[0]
+	msg, p, decodeErr := takeBytes32(p[1:])
+	if decodeErr != nil {
+		return nil, nil, decodeErr
+	}
+	err = codeError(code, string(msg))
+	if len(p) < 4 {
+		return nil, nil, ErrMalformed
+	}
+	count := binary.BigEndian.Uint32(p)
+	p = p[4:]
+	if uint64(count)*5 > uint64(len(p)) {
+		return nil, nil, ErrMalformed
+	}
+	res = make([]cluster.OpResult, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(p) < 1 {
+			return nil, nil, ErrMalformed
+		}
+		found := p[0] != 0
+		var value []byte
+		value, p, decodeErr = takeBytes32(p[1:])
+		if decodeErr != nil {
+			return nil, nil, decodeErr
+		}
+		if !found {
+			value = nil
+		}
+		res = append(res, cluster.OpResult{Value: value, Found: found})
+	}
+	if len(p) != 0 {
+		return nil, nil, ErrMalformed
+	}
+	return res, err, nil
+}
+
+// statsFieldCount is the number of u64 counters in one encoded NodeStats:
+// 6 node counters (id, accepted, rejected, batches, ops, transportErrs)
+// + 12 engine counters.
+const statsFieldCount = 18
+
+// EncodeStats appends a RespStats payload: the per-node counters only —
+// the aggregate fields are recomputed on decode, exactly as
+// cluster.Stats derives them.
+func EncodeStats(dst []byte, st cluster.Stats) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(st.Nodes)))
+	for _, ns := range st.Nodes {
+		for _, v := range nodeStatsFields(ns) {
+			dst = binary.BigEndian.AppendUint64(dst, v)
+		}
+	}
+	return dst
+}
+
+// DecodeStats parses a RespStats payload.
+func DecodeStats(p []byte) (cluster.Stats, error) {
+	var st cluster.Stats
+	if len(p) < 4 {
+		return st, ErrMalformed
+	}
+	count := binary.BigEndian.Uint32(p)
+	p = p[4:]
+	if uint64(len(p)) != uint64(count)*statsFieldCount*8 {
+		return st, ErrMalformed
+	}
+	for i := uint32(0); i < count; i++ {
+		var f [statsFieldCount]uint64
+		for j := range f {
+			f[j] = binary.BigEndian.Uint64(p)
+			p = p[8:]
+		}
+		ns := nodeStatsFromFields(f)
+		st.Nodes = append(st.Nodes, ns)
+		st.Accepted += ns.Accepted
+		st.Rejected += ns.Rejected
+		st.Batches += ns.Batches
+		st.Ops += ns.Ops
+	}
+	return st, nil
+}
+
+// nodeStatsFields flattens one NodeStats into its wire order.
+func nodeStatsFields(ns cluster.NodeStats) [statsFieldCount]uint64 {
+	s := ns.Store
+	return [statsFieldCount]uint64{
+		uint64(int64(ns.ID)), ns.Accepted, ns.Rejected, ns.Batches, ns.Ops,
+		ns.TransportErrs,
+		s.Puts, s.Gets, s.Deletes, s.Scans, s.ScannedEntries,
+		s.Flushes, s.Compactions, s.BloomNegative, s.RunsProbed,
+		s.WALBytes, s.BlockCacheHits, s.BlockCacheMisses,
+	}
+}
+
+// nodeStatsFromFields is the inverse of nodeStatsFields.
+func nodeStatsFromFields(f [statsFieldCount]uint64) cluster.NodeStats {
+	return cluster.NodeStats{
+		ID: int(int64(f[0])), Accepted: f[1], Rejected: f[2], Batches: f[3], Ops: f[4],
+		TransportErrs: f[5],
+		Store: engine.Stats{
+			Puts: f[6], Gets: f[7], Deletes: f[8], Scans: f[9], ScannedEntries: f[10],
+			Flushes: f[11], Compactions: f[12], BloomNegative: f[13], RunsProbed: f[14],
+			WALBytes: f[15], BlockCacheHits: f[16], BlockCacheMisses: f[17],
+		},
+	}
+}
+
+// EncodeError appends a RespError payload for err.
+func EncodeError(dst []byte, err error) []byte {
+	code, msg := errorCode(err)
+	dst = append(dst, code)
+	return append(dst, msg...)
+}
+
+// DecodeError parses a RespError payload into the error it carries.
+func DecodeError(p []byte) (error, error) {
+	if len(p) < 1 {
+		return nil, ErrMalformed
+	}
+	return codeError(p[0], string(p[1:])), nil
+}
+
+// errorCode maps an error to its wire code. The two cluster sentinels
+// travel as codes so errors.Is works across the process boundary;
+// everything else is errCodeInternal with the message as detail.
+func errorCode(err error) (byte, string) {
+	switch {
+	case err == nil:
+		return errCodeNone, ""
+	case errors.Is(err, cluster.ErrOverload):
+		return errCodeOverload, ""
+	case errors.Is(err, cluster.ErrClosed):
+		return errCodeClosed, ""
+	case errors.Is(err, ErrMalformed), errors.Is(err, ErrFrameTooLarge):
+		return errCodeBad, err.Error()
+	default:
+		return errCodeInternal, err.Error()
+	}
+}
+
+// codeError is the inverse of errorCode.
+func codeError(code byte, msg string) error {
+	switch code {
+	case errCodeNone:
+		return nil
+	case errCodeOverload:
+		return cluster.ErrOverload
+	case errCodeClosed:
+		return cluster.ErrClosed
+	case errCodeBad:
+		if msg == "" {
+			return ErrMalformed
+		}
+		return fmt.Errorf("%w: %s", ErrMalformed, msg)
+	default:
+		if msg == "" {
+			msg = "internal error"
+		}
+		return fmt.Errorf("transport: remote: %s", msg)
+	}
+}

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Transport smoke test: two bdserve shard servers in separate processes,
+# 1k OLTP ops driven over real sockets by bdbench -net, then a SIGTERM
+# graceful drain that must exit 0 on both servers. Run from the repo
+# root (CI runs it after go test).
+set -e
+
+BIN="$(mktemp -d)"
+P1=""
+P2=""
+cleanup() {
+    # Kill any server still running (e.g. bdbench failed before the
+    # orderly TERM below) so CI ports are never left occupied. `|| true`
+    # keeps an already-dead pid from tripping set -e inside the trap.
+    [ -z "$P1" ] || kill "$P1" 2>/dev/null || true
+    [ -z "$P2" ] || kill "$P2" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+go build -o "$BIN/bdserve" ./cmd/bdserve
+go build -o "$BIN/bdbench" ./cmd/bdbench
+
+A1=127.0.0.1:7471
+A2=127.0.0.1:7472
+"$BIN/bdserve" -addr "$A1" &
+P1=$!
+"$BIN/bdserve" -addr "$A2" -shards 2 &
+P2=$!
+
+# bdbench's dial retries cover server startup; no sleep needed.
+"$BIN/bdbench" -net -addr "$A1,$A2" -ops 1000 -rows 500 -clients 4
+
+kill -TERM "$P1" "$P2"
+# `|| Ex=$?` keeps a non-zero wait from tripping set -e before the check.
+E1=0
+E2=0
+wait "$P1" || E1=$?
+wait "$P2" || E2=$?
+P1=""
+P2=""
+if [ "$E1" -ne 0 ] || [ "$E2" -ne 0 ]; then
+    echo "transport smoke: servers exited $E1/$E2, want 0/0" >&2
+    exit 1
+fi
+echo "transport smoke: OK (graceful drain on both servers)"
