@@ -640,6 +640,195 @@ func BenchmarkTransport(b *testing.B) {
 	}
 }
 
+// BenchmarkFailover measures serving through a full crash/recovery
+// cycle — the availability scenario the failure-aware cluster exists
+// for. Topology: a coordinator with R=2 over two transport servers on
+// loopback TCP. Mid-run one server is killed (listener and connections
+// dropped; its backend survives, the durable-storage restart model),
+// stays down ~200ms, then restarts on the same address. Closed-loop
+// workers drive the 95/5 Zipf mix throughout, retrying batches that die
+// with the member (counted as degraded). After recovery the benchmark
+// blocks until the hint queues drain, then verifies the acceptance
+// criteria: every key readable with the right value, Scan complete with
+// a nil error, the killed member marked up, and hinted writes replayed
+// onto it. Reported: aggregate ops/s, p99 batch latency across the
+// cycle, degraded batches, and hints replayed.
+func BenchmarkFailover(b *testing.B) {
+	const keys, batchSize, depth = 4096, 16, 8
+	for iter := 0; iter < b.N; iter++ {
+		coord := cluster.NewEmpty(cluster.Config{
+			Replication:   2,
+			ProbeInterval: 10 * time.Millisecond,
+			ProbeFailures: 2,
+			HintLimit:     1 << 17,
+		})
+		clientOpts := transport.ClientOptions{
+			Timeout:     2 * time.Second,
+			DialTimeout: 100 * time.Millisecond,
+			PingTimeout: 50 * time.Millisecond,
+		}
+		type shard struct {
+			backend *cluster.Cluster
+			srv     *transport.Server
+		}
+		shards := make([]*shard, 2)
+		var ids []int
+		for i := range shards {
+			backend := cluster.New(cluster.Config{
+				Shards: 1, Engine: engine.Options{MemtableBytes: 256 << 10},
+			})
+			srv, err := transport.Listen("127.0.0.1:0", backend, transport.ServerOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			shards[i] = &shard{backend: backend, srv: srv}
+			rn, err := transport.Connect(srv.Addr(), clientOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			id, _, err := coord.AddRemote(rn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		preload := make([]cluster.Op, 0, 256)
+		for i := 0; i < keys; i++ {
+			key := []byte("fo-" + strconv.Itoa(i))
+			preload = append(preload, cluster.Op{Kind: cluster.OpPut, Key: key, Value: key})
+			if len(preload) == cap(preload) {
+				if _, err := coord.Apply(preload); err != nil {
+					b.Fatal(err)
+				}
+				preload = preload[:0]
+			}
+		}
+		if len(preload) > 0 {
+			if _, err := coord.Apply(preload); err != nil {
+				b.Fatal(err)
+			}
+		}
+
+		// The chaos script: kill shard 0 at 150ms, restart at 350ms.
+		victim := shards[0]
+		chaosDone := make(chan struct{})
+		go func() {
+			defer close(chaosDone)
+			time.Sleep(150 * time.Millisecond)
+			victim.srv.Close()
+			time.Sleep(200 * time.Millisecond)
+			srv, err := transport.Listen(victim.srv.Addr(), victim.backend, transport.ServerOptions{})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			victim.srv = srv
+		}()
+
+		stop := make(chan struct{})
+		time.AfterFunc(700*time.Millisecond, func() { close(stop) })
+		recs := make([]core.LatencyRecorder, depth)
+		var degraded atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < depth; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(9000 + w)))
+				z := rand.NewZipf(rng, 1.1, 4, uint64(keys-1))
+				ops := make([]cluster.Op, 0, batchSize)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					ops = ops[:0]
+					for len(ops) < batchSize {
+						key := []byte("fo-" + strconv.Itoa(int(z.Uint64())))
+						if rng.Float64() < 0.95 {
+							ops = append(ops, cluster.Op{Kind: cluster.OpGet, Key: key})
+						} else {
+							ops = append(ops, cluster.Op{Kind: cluster.OpPut, Key: key, Value: key})
+						}
+					}
+					batchStart := time.Now()
+					if _, err := coord.Apply(ops); err != nil {
+						// A batch that died with the member: degraded, not
+						// fatal — failover reroutes the next attempt.
+						degraded.Add(1)
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					recs[w].Record(time.Since(batchStart))
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		<-chaosDone
+
+		// Untimed verification: convergence, then correctness.
+		deadline := time.Now().Add(5 * time.Second)
+		converged := func() (bool, cluster.Stats) {
+			st := coord.Stats()
+			var pending uint64
+			for _, ns := range st.Nodes {
+				pending += ns.HintsPending
+			}
+			return st.Down == 0 && pending == 0, st
+		}
+		var st cluster.Stats
+		for {
+			var ok bool
+			if ok, st = converged(); ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("cluster never converged after recovery: %+v", st)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		for i := 0; i < keys; i++ {
+			key := []byte("fo-" + strconv.Itoa(i))
+			if v, ok := coord.Get(key); !ok || !bytes.Equal(v, key) {
+				b.Fatalf("post-recovery Get(%s) = %q, %v", key, v, ok)
+			}
+		}
+		entries, err := coord.Scan(nil, keys+100)
+		if err != nil {
+			b.Fatalf("post-recovery Scan: %v", err)
+		}
+		if len(entries) != keys {
+			b.Fatalf("post-recovery Scan saw %d keys, want %d (silent truncation)", len(entries), keys)
+		}
+		var replayed uint64
+		for _, ns := range st.Nodes {
+			replayed += ns.HintsReplayed
+		}
+		if degraded.Load() == 0 && replayed == 0 {
+			b.Log("warning: the kill window produced no degraded batches or hints; cycle too fast to observe failover")
+		}
+
+		var lat core.LatencyRecorder
+		for i := range recs {
+			lat.Merge(&recs[i])
+		}
+		sum := lat.Summary()
+		b.ReportMetric(float64(sum.Count)*batchSize/elapsed.Seconds(), "ops/s")
+		b.ReportMetric(float64(sum.P99)/float64(time.Microsecond), "p99us")
+		b.ReportMetric(float64(degraded.Load()), "degradedBatches")
+		b.ReportMetric(float64(replayed), "hintsReplayed")
+
+		coord.Close()
+		for _, sh := range shards {
+			sh.srv.Close()
+			sh.backend.Close()
+		}
+	}
+}
+
 // ---- Comparator suites (Section 6.1.3 setup) -----------------------------
 
 func BenchmarkComparatorSuites(b *testing.B) {

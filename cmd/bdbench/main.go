@@ -14,6 +14,8 @@
 //	bdbench -workload "Nutch Server" -shards 4
 //	bdbench -listen 127.0.0.1:7421 -shards 2
 //	bdbench -net -addr 127.0.0.1:7421,127.0.0.1:7422 -ops 50000 -clients 8
+//	bdbench -net -chaos -dur 5s
+//	bdbench -net -chaos -addr 127.0.0.1:7421,127.0.0.1:7422 -replication 2 -dur 3s
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -55,6 +58,10 @@ func main() {
 		netBatch = flag.Int("batch", 64, "ops per client batch for -net")
 		netRows  = flag.Int("rows", 10000, "preloaded resume rows for -net")
 		netConns = flag.Int("conns", 1, "pooled connections per shard server for -net")
+		netDur   = flag.Duration("dur", 0, "run -net for a wall-clock duration instead of -ops")
+		chaos    = flag.Bool("chaos", false, "failure-aware -net: tolerate dying members; without -addr, self-host two shard servers and kill/restart them")
+		killEv   = flag.Duration("killevery", 500*time.Millisecond, "period between chaos kills (self-hosted -chaos)")
+		downFor  = flag.Duration("downfor", 300*time.Millisecond, "how long a chaos-killed server stays down")
 	)
 	flag.Parse()
 
@@ -63,6 +70,7 @@ func main() {
 			addrs: *addrs, listen: *listen, shards: *shards, repl: max(*repl, 1),
 			clients: *clients, conns: *netConns, ops: *netOps, batch: *netBatch,
 			rows: *netRows, seed: *seed,
+			chaos: *chaos, killEvery: *killEv, downFor: *downFor, dur: *netDur,
 			engine: engine.Options{
 				Backend: *engName, Compaction: *compact,
 				BlockCacheBytes: *bcache, MemtableBytes: 1 << 20,

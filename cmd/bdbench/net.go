@@ -29,6 +29,12 @@ type netConfig struct {
 	rows    int
 	seed    int64
 	engine  engine.Options
+
+	// chaos mode: kill/restart a shard server mid-run and keep serving.
+	chaos     bool
+	killEvery time.Duration // period between kills (self-hosted chaos)
+	downFor   time.Duration // how long a killed server stays down
+	dur       time.Duration // run for a wall-clock duration instead of -ops
 }
 
 // runListen hosts shard nodes for remote coordinators — bdserve embedded
@@ -58,21 +64,114 @@ func runListen(cfg netConfig) int {
 	return 0
 }
 
+// chaosServer is one self-hosted shard server the chaos controller can
+// crash and restart: Close() drops the listener and every connection
+// (the coordinator sees the member die), reopen rebinds the same
+// address over the surviving backend — the durable-storage restart
+// model.
+type chaosServer struct {
+	addr    string
+	backend *cluster.Cluster
+	srv     *transport.Server
+}
+
+// runChaosController kills one server at a time round-robin: down for
+// cfg.downFor, then restarted, with cfg.killEvery between kill times.
+// It returns the kill count after stop closes.
+func runChaosController(servers []*chaosServer, cfg netConfig, stop <-chan struct{}) *atomic.Int64 {
+	kills := &atomic.Int64{}
+	go func() {
+		victim := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(cfg.killEvery):
+			}
+			s := servers[victim%len(servers)]
+			victim++
+			s.srv.Close()
+			kills.Add(1)
+			select {
+			case <-stop:
+				// Restart even on shutdown so the drain below finds a
+				// live server to close.
+			case <-time.After(cfg.downFor):
+			}
+			srv, err := transport.Listen(s.addr, s.backend, transport.ServerOptions{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bdbench: chaos restart %s: %v\n", s.addr, err)
+				return
+			}
+			s.srv = srv
+		}
+	}()
+	return kills
+}
+
 // runNet drives the paper's Zipf 95/5 Cloud-OLTP mix over real sockets:
 // a client-side coordinator routes to the shard servers in -addr, with
 // closed-loop clients submitting batches and recording the service time
 // each op rode in — the testbed measurement the in-process workloads
 // cannot express.
+//
+// With -chaos the run is failure-aware end to end: workers tolerate the
+// transient errors a dying member throws (counted as degraded batches)
+// while the coordinator's prober marks it down, fails reads and writes
+// over to surviving replicas, and replays hinted writes on recovery.
+// Without -addr, chaos self-hosts two in-process shard servers and
+// kills/restarts them on a timer; with -addr the kills are external
+// (e.g. scripts/transport_smoke.sh SIGKILLing a bdserve) and bdbench
+// just has to keep serving through them.
 func runNet(cfg netConfig) int {
-	addrs := strings.Split(cfg.addrs, ",")
-	coord := cluster.NewEmpty(cluster.Config{Replication: cfg.repl})
+	var addrs []string
+	for _, addr := range strings.Split(cfg.addrs, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			addrs = append(addrs, addr)
+		}
+	}
+
+	var chaosServers []*chaosServer
+	if cfg.chaos && len(addrs) == 0 {
+		// Self-hosted chaos: two shard servers in-process, so one binary
+		// demonstrates the whole crash/recovery cycle.
+		for i := 0; i < 2; i++ {
+			backend := cluster.New(cluster.Config{Shards: 1, Engine: cfg.engine})
+			srv, err := transport.Listen("127.0.0.1:0", backend, transport.ServerOptions{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bdbench: chaos listen:", err)
+				return 1
+			}
+			cs := &chaosServer{addr: srv.Addr(), backend: backend, srv: srv}
+			chaosServers = append(chaosServers, cs)
+			addrs = append(addrs, cs.addr)
+			defer backend.Close()
+		}
+		if cfg.repl < 2 {
+			cfg.repl = 2 // a lone copy cannot survive its server's death
+		}
+	}
+
+	coordCfg := cluster.Config{Replication: cfg.repl}
+	clientOpts := transport.ClientOptions{Conns: cfg.conns}
+	if cfg.chaos {
+		// Aggressive detection, fail-fast redials: with the patient
+		// defaults a short outage is bridged by the client's dial-retry
+		// loop and failover never engages — the run would measure a
+		// stall, not the failure machinery it exists to exercise.
+		coordCfg.ProbeInterval = 20 * time.Millisecond
+		coordCfg.ProbeFailures = 2
+		// Outage windows at full load buffer tens of thousands of missed
+		// writes; size the handoff buffer so convergence doesn't shed.
+		coordCfg.HintLimit = 1 << 17
+		clientOpts.Timeout = 2 * time.Second
+		clientOpts.DialTimeout = 100 * time.Millisecond
+		clientOpts.PingTimeout = 100 * time.Millisecond
+	}
+	coord := cluster.NewEmpty(coordCfg)
 	defer coord.Close()
 	for _, addr := range addrs {
-		addr = strings.TrimSpace(addr)
-		if addr == "" {
-			continue
-		}
-		rn, err := transport.Connect(addr, transport.ClientOptions{Conns: cfg.conns})
+		rn, err := transport.Connect(addr, clientOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bdbench: connect %s: %v\n", addr, err)
 			return 1
@@ -83,7 +182,7 @@ func runNet(cfg netConfig) int {
 		}
 	}
 	if coord.Nodes() == 0 {
-		fmt.Fprintln(os.Stderr, "bdbench: -net needs at least one -addr shard server")
+		fmt.Fprintln(os.Stderr, "bdbench: -net needs at least one -addr shard server (or -chaos)")
 		return 2
 	}
 
@@ -111,10 +210,21 @@ func runNet(cfg netConfig) int {
 		}
 	}
 
+	stopChaos := make(chan struct{})
+	var kills *atomic.Int64
+	if len(chaosServers) > 0 {
+		kills = runChaosController(chaosServers, cfg, stopChaos)
+	}
+
 	const readFraction = 0.95
 	recs := make([]core.LatencyRecorder, cfg.clients)
 	errs := make([]error, cfg.clients)
 	var issued atomic.Int64
+	var degraded atomic.Int64
+	deadline := time.Time{}
+	if cfg.dur > 0 {
+		deadline = time.Now().Add(cfg.dur)
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < cfg.clients; c++ {
@@ -124,14 +234,22 @@ func runNet(cfg netConfig) int {
 			rng := rand.New(rand.NewSource(cfg.seed + 707*int64(c+1)))
 			z := rand.NewZipf(rng, 1.1, 4, uint64(cfg.rows-1))
 			ops := make([]cluster.Op, 0, cfg.batch)
+			consecFails := 0
 			for {
-				n := int(issued.Add(int64(cfg.batch)))
-				if n-cfg.batch >= cfg.ops {
-					return
-				}
 				want := cfg.batch
-				if over := n - cfg.ops; over > 0 {
-					want -= over
+				if cfg.dur > 0 {
+					if !time.Now().Before(deadline) {
+						return
+					}
+					issued.Add(int64(cfg.batch))
+				} else {
+					n := int(issued.Add(int64(cfg.batch)))
+					if n-cfg.batch >= cfg.ops {
+						return
+					}
+					if over := n - cfg.ops; over > 0 {
+						want -= over
+					}
 				}
 				ops = ops[:0]
 				for len(ops) < want {
@@ -145,9 +263,21 @@ func runNet(cfg netConfig) int {
 				}
 				opStart := time.Now()
 				if _, err := coord.Apply(ops); err != nil {
+					if cfg.chaos {
+						// Failure-aware serving: a batch that hit a dying
+						// member is degraded, not fatal — the prober will
+						// reroute; keep the load coming. (Without -chaos
+						// any failure still aborts loudly.)
+						degraded.Add(1)
+						if consecFails++; consecFails < 5000 {
+							time.Sleep(2 * time.Millisecond)
+							continue
+						}
+					}
 					errs[c] = err
 					return
 				}
+				consecFails = 0
 				d := time.Since(opStart)
 				for range ops {
 					recs[c].Record(d)
@@ -157,6 +287,7 @@ func runNet(cfg netConfig) int {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	close(stopChaos)
 	for _, err := range errs {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bdbench:", err)
@@ -177,5 +308,25 @@ func runNet(cfg netConfig) int {
 	fmt.Printf("  latency: %s\n", sum)
 	fmt.Printf("  remote: accepted %d, rejected %d, batches %d\n",
 		st.Accepted, st.Rejected, st.Batches)
+	if cfg.chaos {
+		var pending, replayed, dropped uint64
+		for _, ns := range st.Nodes {
+			pending += ns.HintsPending
+			replayed += ns.HintsReplayed
+			dropped += ns.HintsDropped
+		}
+		killMode := "external kills"
+		if kills != nil {
+			killMode = fmt.Sprintf("%d kills", kills.Load())
+		}
+		fmt.Printf("  chaos: %s, %d degraded batches, %d members down at exit\n",
+			killMode, degraded.Load(), st.Down)
+		fmt.Printf("  hints: %d replayed, %d pending, %d dropped\n",
+			replayed, pending, dropped)
+		if kills != nil && kills.Load() == 0 {
+			fmt.Fprintln(os.Stderr, "bdbench: chaos mode never killed a server (run too short?)")
+			return 1
+		}
+	}
 	return 0
 }

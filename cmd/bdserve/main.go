@@ -8,6 +8,13 @@
 //	bdserve -addr 127.0.0.1:7421
 //	bdserve -addr :7421 -shards 2 -compaction leveled -blockcache 1048576
 //	bdserve -addr :7421 -inflight 512 -queue 256
+//	bdserve -addr :7421 -livez 127.0.0.1:7431
+//
+// Liveness is exposed twice: on the wire (the OpPing frame, answered
+// even under full admission — coordinators probe it to drive failover),
+// and optionally over HTTP with -livez for orchestrators that speak
+// health checks, not the binary protocol (GET /livez -> 200 "ok",
+// GET /statz -> JSON served/shed counters).
 //
 // SIGINT/SIGTERM drain gracefully: stop accepting, finish every admitted
 // request, flush responses, then exit 0 with a served-request summary.
@@ -16,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"repro/internal/cluster"
@@ -35,6 +43,7 @@ func main() {
 		queue    = flag.Int("queue", 0, "per-node request queue depth (0 = cluster default)")
 		workers  = flag.Int("workers", 0, "workers per node (0 = cluster default)")
 		inflight = flag.Int("inflight", 0, "max concurrently executing requests before shedding (0 = transport default)")
+		livez    = flag.String("livez", "", "optional HTTP liveness address (GET /livez, /statz)")
 		quiet    = flag.Bool("quiet", false, "suppress the startup and shutdown banners")
 	)
 	flag.Parse()
@@ -59,6 +68,9 @@ func main() {
 	srv, err := transport.ServeUntilSignal(*addr, cl,
 		transport.ServerOptions{MaxInFlight: *inflight},
 		func(s *transport.Server) {
+			if *livez != "" {
+				go serveLivez(*livez, s, cl)
+			}
 			if !*quiet {
 				fmt.Printf("bdserve: listening on %s (%d shards, R=%d)\n", s.Addr(), *shards, *repl)
 			}
@@ -75,5 +87,26 @@ func main() {
 	if !*quiet {
 		fmt.Printf("bdserve: drained; served %d requests (%d shed), %d ops across %d nodes\n",
 			srv.Served(), srv.Shed(), st.Ops, len(st.Nodes))
+	}
+}
+
+// serveLivez hosts the HTTP liveness surface next to the wire protocol.
+// It runs for the life of the process; the daemon's graceful drain does
+// not wait on it (liveness during drain is a feature — the process is
+// alive until it exits).
+func serveLivez(addr string, srv *transport.Server, cl *cluster.Cluster) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/livez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		st := cl.Stats()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"served":%d,"shed":%d,"ops":%d,"nodes":%d,"down":%d}`+"\n",
+			srv.Served(), srv.Shed(), st.Ops, len(st.Nodes), st.Down)
+	})
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "bdserve: livez:", err)
 	}
 }

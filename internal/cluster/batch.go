@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 )
 
@@ -14,6 +15,16 @@ var (
 	ErrClosed = errors.New("cluster: closed")
 	// ErrNoNodes reports an operation against an empty ring.
 	ErrNoNodes = errors.New("cluster: no nodes")
+	// ErrAllOwnersDown reports an operation on a key whose entire
+	// replica set is marked down by the failure detector — there is no
+	// live member to serve it, so the op fails explicitly instead of
+	// silently dropping (writes) or missing (reads).
+	ErrAllOwnersDown = errors.New("cluster: every owner of the key is down")
+	// ErrScanIncomplete reports a scatter-gather scan that lost keyrange
+	// coverage: at least R members were unreachable, so the merged
+	// result may be missing entries and a short result no longer means
+	// an exhausted range. The partial merge is returned alongside it.
+	ErrScanIncomplete = errors.New("cluster: scan incomplete, keyrange coverage lost")
 )
 
 // OpKind selects the operation a batched Op performs.
@@ -56,11 +67,19 @@ type request struct {
 	// shed or failed batch cannot surface through the enqueue return).
 	// May be nil when the caller has no asynchronous completions.
 	errs *asyncErr
+	// owner is the memberState the sub-batch was routed to; fail feeds
+	// its transport failures into the failure detector so a member dying
+	// mid-Apply starts counting toward down without waiting for a probe.
+	owner *memberState
 }
 
 // fail records an asynchronous completion failure, if a collector is
-// attached.
+// attached, and feeds transport-level failures to the owning member's
+// detector.
 func (r *request) fail(err error) {
+	if r.owner != nil && isTransportErr(err) {
+		r.owner.noteFailure()
+	}
 	if r.errs != nil {
 		r.errs.set(err)
 	}
@@ -93,9 +112,15 @@ type planned struct {
 	req    *request
 }
 
-// plan splits ops by primary owner under the current ring, resolving each
+// plan splits ops by owner under the current ring, resolving each
 // write's replica targets up front so node workers never touch topology
-// state. Caller holds the cluster's topology read lock.
+// state. Ops route to the first live owner of their key — the primary
+// when it is up, the next replica in ring order when it is not — so a
+// down member degrades its keyranges onto survivors instead of failing
+// them. Down owners of a write still appear as replica targets; their
+// memberState buffers the op as hinted handoff. A key whose entire
+// owner set is down fails the batch with ErrAllOwnersDown. Caller holds
+// the cluster's topology read lock.
 func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup, errs *asyncErr) ([]planned, error) {
 	if c.ring.Size() == 0 {
 		return nil, ErrNoNodes
@@ -103,25 +128,40 @@ func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup, errs 
 	byNode := map[int]*request{}
 	order := make([]int, 0, len(c.nodes))
 	for i, op := range ops {
-		// Only replicated writes need the full owner set; everything else
-		// routes on the allocation-free Primary — on a read-heavy mix that
-		// is most of the hot path.
-		var primary int
+		// Routing resolves on the allocation-free Primary when it is
+		// live and the op needs no replica set — on a read-heavy healthy
+		// cluster that is most of the hot path. Writes under R>1 and any
+		// op whose primary is down pay the full owner lookup.
+		var lead int
 		var reps []mirror
-		if op.Kind != OpGet && c.cfg.Replication > 1 {
-			owners := c.ring.Owners(op.Key, c.cfg.Replication)
-			primary = owners[0]
-			for _, id := range owners[1:] {
-				reps = append(reps, c.nodes[id])
-			}
+		needOwners := op.Kind != OpGet && c.cfg.Replication > 1
+		if primary := c.ring.Primary(op.Key); !needOwners && !c.nodes[primary].isDown() {
+			lead = primary
 		} else {
-			primary = c.ring.Primary(op.Key)
+			owners := c.ring.Owners(op.Key, c.cfg.Replication)
+			lead = -1
+			for _, id := range owners {
+				if !c.nodes[id].isDown() {
+					lead = id
+					break
+				}
+			}
+			if lead == -1 {
+				return nil, fmt.Errorf("cluster: op %d on key %q: %w", i, op.Key, ErrAllOwnersDown)
+			}
+			if op.Kind != OpGet {
+				for _, id := range owners {
+					if id != lead {
+						reps = append(reps, c.nodes[id])
+					}
+				}
+			}
 		}
-		req := byNode[primary]
+		req := byNode[lead]
 		if req == nil {
-			req = &request{results: results, done: done, errs: errs}
-			byNode[primary] = req
-			order = append(order, primary)
+			req = &request{results: results, done: done, errs: errs, owner: c.nodes[lead]}
+			byNode[lead] = req
+			order = append(order, lead)
 		}
 		req.ops = append(req.ops, op)
 		req.idx = append(req.idx, i)
@@ -140,6 +180,7 @@ func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup, errs 
 				idx:      req.idx[:c.cfg.MaxBatch],
 				done:     done,
 				errs:     errs,
+				owner:    req.owner,
 			}
 			out = append(out, planned{member: c.nodes[id], req: head})
 			req = &request{
@@ -149,6 +190,7 @@ func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup, errs 
 				idx:      req.idx[c.cfg.MaxBatch:],
 				done:     done,
 				errs:     errs,
+				owner:    req.owner,
 			}
 		}
 		out = append(out, planned{member: c.nodes[id], req: req})

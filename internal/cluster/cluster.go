@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -28,6 +29,18 @@ type Config struct {
 	MaxBatch int
 	// WorkersPerNode sizes each node's worker pool (default 2).
 	WorkersPerNode int
+	// ProbeInterval is the background health prober's period (default
+	// 200ms; negative disables the prober — tests drive detection with
+	// Probe). The prober starts lazily with the first remote member;
+	// local nodes cannot fail.
+	ProbeInterval time.Duration
+	// ProbeFailures is how many consecutive probe or transport failures
+	// mark a member down (default 3).
+	ProbeFailures int
+	// HintLimit bounds the hinted-handoff buffer per down member, in ops
+	// (default 4096). A full buffer drops the oldest hint and counts it
+	// in NodeStats.HintsDropped — convergence then needs a rebalance.
+	HintLimit int
 	// Engine is the per-shard storage-engine configuration (the CPU, if
 	// any, is shared by every shard — the paper characterizes the whole
 	// node). Validate it with engine.Validate before New if the backend
@@ -58,26 +71,40 @@ func (c *Config) normalize() {
 	if c.WorkersPerNode <= 0 {
 		c.WorkersPerNode = 2
 	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 200 * time.Millisecond
+	}
+	if c.ProbeFailures <= 0 {
+		c.ProbeFailures = 3
+	}
+	if c.HintLimit <= 0 {
+		c.HintLimit = 4096
+	}
 }
 
 // Cluster is the coordinator: it owns the ring and the shard members,
 // routes point ops to primaries, scatter-gathers scans, and fans writes
 // out to the replica set. Members are local *Nodes (AddNode / Config)
 // or proxies for shards in other processes (AddRemote); the coordinator
-// never distinguishes the two.
+// never distinguishes the two. Every member is wrapped in a memberState
+// (health.go): transport failures and probe misses mark members down,
+// reads and writes route around down members onto surviving replicas,
+// and missed replica writes buffer as hinted handoff until recovery.
 type Cluster struct {
 	mu     sync.RWMutex // topology lock: ring + member map
 	cfg    Config
 	ring   *Ring
-	nodes  map[int]member
+	nodes  map[int]*memberState
 	nextID int
 	closed bool
+
+	proberStop chan struct{} // non-nil once the background prober runs
 }
 
 // New builds and starts a cluster of cfg.Shards local nodes.
 func New(cfg Config) *Cluster {
 	cfg.normalize()
-	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]member{}}
+	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}}
 	for i := 0; i < cfg.Shards; i++ {
 		c.addNodeLocked()
 	}
@@ -90,7 +117,7 @@ func New(cfg Config) *Cluster {
 // first member joins, reads miss and batches return ErrNoNodes.
 func NewEmpty(cfg Config) *Cluster {
 	cfg.normalize()
-	return &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]member{}}
+	return &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}}
 }
 
 // addNodeLocked creates, starts and registers one node. Caller holds mu.
@@ -106,7 +133,7 @@ func (c *Cluster) addNodeLocked() *Node {
 	n := newNode(id, eng, c.cfg.QueueDepth,
 		c.cfg.WorkersPerNode, c.cfg.MaxBatch)
 	n.start()
-	c.nodes[id] = n
+	c.nodes[id] = newMemberState(n, c.cfg.ProbeFailures, c.cfg.HintLimit)
 	c.ring.Add(id)
 	return n
 }
@@ -120,18 +147,29 @@ func (c *Cluster) Nodes() int {
 
 // owners resolves the replica set for key under the topology read lock
 // already held by the caller.
-func (c *Cluster) ownersLocked(key []byte) []member {
+func (c *Cluster) ownersLocked(key []byte) []*memberState {
 	ids := c.ring.Owners(key, c.cfg.Replication)
-	out := make([]member, len(ids))
+	out := make([]*memberState, len(ids))
 	for i, id := range ids {
 		out[i] = c.nodes[id]
 	}
 	return out
 }
 
-// Get serves a point read from the key's primary. Because writes reach
-// the primary synchronously before completing, a Get that follows a
-// completed Put of the same key always observes it (read-your-writes).
+// Get serves a point read from the key's first live owner. Because
+// writes reach every live owner synchronously (and are led by the first
+// live owner), a Get that follows a completed Put of the same key always
+// observes it (read-your-writes), including while the primary is down.
+// A miss at a primary that has ever been down falls back to the
+// remaining replicas before answering "absent": a member that rejoined
+// empty after losing its store (crashed process, wiped disk) then
+// serves from a surviving copy instead of shadowing it. A never-failed
+// primary's miss is final, so healthy clusters pay no extra reads.
+//
+// Get keeps the ([]byte, bool) shape, so a keyrange whose every owner
+// is down reads as a miss here; callers that must distinguish an outage
+// from an absent key use Apply (OpGet), which fails such batches with
+// ErrAllOwnersDown.
 func (c *Cluster) Get(key []byte) ([]byte, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -139,33 +177,76 @@ func (c *Cluster) Get(key []byte) ([]byte, bool) {
 	if id < 0 {
 		return nil, false
 	}
-	return c.nodes[id].directGet(key)
+	// Fast path: a live primary that holds the key — one member touch on
+	// the allocation-free Primary lookup.
+	if m := c.nodes[id]; !m.isDown() {
+		v, ok, err := m.directGet(key)
+		if err == nil && ok {
+			return v, true
+		}
+		if err == nil && (c.cfg.Replication == 1 || !m.everDown.Load()) {
+			return nil, false // a reliable owner answered: a genuine miss
+		}
+	}
+	// Degraded path: the primary is down, failed the read, or missed
+	// with a post-recovery history that makes its misses ambiguous —
+	// consult the rest of the owner set before answering "absent".
+	for i, m := range c.ownersLocked(key) {
+		if i == 0 || m.isDown() {
+			continue // the primary was already consulted (or is down)
+		}
+		if v, ok, err := m.directGet(key); err == nil && ok {
+			return v, true
+		}
+	}
+	return nil, false
 }
 
-// Put writes through the primary to all R owners synchronously.
-func (c *Cluster) Put(key, value []byte) {
-	c.write(Op{Kind: OpPut, Key: key, Value: value})
+// Put writes through the first live owner to all R owners; down owners
+// receive the write as hinted handoff. With every owner down (or an
+// empty ring) the write fails with an explicit error rather than
+// vanishing.
+func (c *Cluster) Put(key, value []byte) error {
+	return c.write(Op{Kind: OpPut, Key: key, Value: value})
 }
 
-// Delete removes the key from all R owners.
-func (c *Cluster) Delete(key []byte) {
-	c.write(Op{Kind: OpDelete, Key: key})
+// Delete removes the key from all R owners, hinting down ones.
+func (c *Cluster) Delete(key []byte) error {
+	return c.write(Op{Kind: OpDelete, Key: key})
 }
 
-func (c *Cluster) write(op Op) {
+func (c *Cluster) write(op Op) error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	owners := c.ownersLocked(op.Key)
 	if len(owners) == 0 {
-		return
+		return ErrNoNodes
+	}
+	lead := -1
+	for i, m := range owners {
+		if !m.isDown() {
+			lead = i
+			break
+		}
+	}
+	if lead == -1 {
+		return fmt.Errorf("cluster: write %q: %w", op.Key, ErrAllOwnersDown)
 	}
 	// Replica mirrors are not counted in NodeStats.Ops (matching the
 	// batched path); they surface in the replica's engine stats instead.
+	// Down owners ride along as mirrors too: their memberState buffers
+	// the write as a hint instead of paying a doomed RPC.
 	replicas := make([]mirror, 0, len(owners)-1)
-	for _, n := range owners[1:] {
-		replicas = append(replicas, n)
+	for i, m := range owners {
+		if i != lead {
+			replicas = append(replicas, m)
+		}
 	}
-	owners[0].directWrite(op, replicas)
+	_, err := owners[lead].directWrite(op, replicas)
+	if err != nil {
+		return fmt.Errorf("cluster: write %q via member %d: %w", op.Key, owners[lead].memberID(), err)
+	}
+	return nil
 }
 
 // Apply executes a batch of point ops through the shard queues with
@@ -221,26 +302,63 @@ func (c *Cluster) apply(ops []Op, enqueue func(member, *request) error) ([]OpRes
 // snapshot of its own engine (so each partial is internally consistent
 // even mid-flush), and the coordinator k-way merges the partial results,
 // deduping the copies replication leaves on successor nodes.
-func (c *Cluster) Scan(start []byte, limit int) []engine.Entry {
+//
+// Failed or down members contribute no partial. As long as fewer
+// members failed than the replication factor, every keyrange retains at
+// least one scanned owner and the merged result is complete — returned
+// with a nil error. Once failures reach R, coverage is lost: the merge
+// is returned alongside ErrScanIncomplete so a short result can never
+// be mistaken for an exhausted range (the guarantee paged transport
+// scans already make).
+func (c *Cluster) Scan(start []byte, limit int) ([]engine.Entry, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if limit <= 0 || len(c.nodes) == 0 {
-		return nil
+		return nil, nil
 	}
 	ids := c.ring.Members()
 	parts := make([][]engine.Entry, len(ids))
+	failed := make([]bool, len(ids))
 	var wg sync.WaitGroup
 	for i, id := range ids {
+		m := c.nodes[id]
+		if m.isDown() {
+			failed[i] = true
+			continue
+		}
 		wg.Add(1)
-		go func(i int, m member) {
+		go func(i int, m *memberState) {
 			defer wg.Done()
-			// Best-effort scatter-gather: a member whose scan RPC fails
-			// contributes no partial (counted in its TransportErrs).
-			parts[i], _ = m.snapshotScan(start, limit)
-		}(i, c.nodes[id])
+			var err error
+			parts[i], err = m.snapshotScan(start, limit)
+			if err != nil {
+				failed[i] = true
+			}
+		}(i, m)
 	}
 	wg.Wait()
-	return mergeEntries(parts, limit)
+	merged := mergeEntries(parts, limit)
+	nfailed := 0
+	for _, f := range failed {
+		if f {
+			nfailed++
+		}
+	}
+	if nfailed == 0 {
+		return merged, nil
+	}
+	// Effective R never exceeds the member count (Owners clamps), so a
+	// single-member R=3 ring still reports lost coverage when its only
+	// member dies.
+	effR := c.cfg.Replication
+	if effR > len(ids) {
+		effR = len(ids)
+	}
+	if nfailed < effR {
+		return merged, nil
+	}
+	return merged, fmt.Errorf("cluster: %d of %d members unreachable with R=%d: %w",
+		nfailed, len(ids), effR, ErrScanIncomplete)
 }
 
 // mergeEntries k-way merges sorted partials into the first limit distinct
@@ -279,6 +397,8 @@ type Stats struct {
 	Rejected uint64
 	Batches  uint64
 	Ops      uint64
+	// Down counts members the failure detector currently considers down.
+	Down int
 }
 
 // Stats snapshots every node, ordered by node id.
@@ -293,12 +413,16 @@ func (c *Cluster) Stats() Stats {
 		st.Rejected += ns.Rejected
 		st.Batches += ns.Batches
 		st.Ops += ns.Ops
+		if ns.Down {
+			st.Down++
+		}
 	}
 	sort.Slice(st.Nodes, func(i, j int) bool { return st.Nodes[i].ID < st.Nodes[j].ID })
 	return st
 }
 
-// Close stops every node, draining their queues first.
+// Close stops every node, draining their queues first, and stops the
+// background prober.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -306,6 +430,10 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
+	if c.proberStop != nil {
+		close(c.proberStop)
+		c.proberStop = nil
+	}
 	for _, n := range c.nodes {
 		n.close()
 	}

@@ -63,7 +63,7 @@ func TestClusterReadYourWritesUnderReplication(t *testing.T) {
 		key := []byte(fmt.Sprintf("ryw-%04d", i))
 		copies := 0
 		for _, n := range c.nodes {
-			if _, ok := n.directGet(key); ok {
+			if _, ok, _ := n.directGet(key); ok {
 				copies++
 			}
 		}
@@ -127,7 +127,10 @@ func TestClusterScanScatterGather(t *testing.T) {
 		ref.Put(key, val)
 	}
 	for _, start := range []string{"", "s-00000", "s-00777", "s-01499", "zzz"} {
-		got := c.Scan([]byte(start), 100)
+		got, err := c.Scan([]byte(start), 100)
+		if err != nil {
+			t.Fatalf("scan(%q): %v", start, err)
+		}
 		want := ref.Scan([]byte(start), 100)
 		if len(got) != len(want) {
 			t.Fatalf("scan(%q) len = %d, want %d", start, len(got), len(want))
@@ -199,7 +202,7 @@ func TestClusterTryApplyOverload(t *testing.T) {
 	}
 	c.mu.Lock()
 	stopped := newNode(99, eng, 1, 1, 4)
-	c.nodes[99] = stopped
+	c.nodes[99] = newMemberState(stopped, 3, 64)
 	c.ring = NewRing(8)
 	c.ring.Add(99)
 	c.mu.Unlock()

@@ -28,6 +28,15 @@
 //     migrate exactly the entries whose owner set changed, quiescing
 //     in-flight traffic via the topology lock.
 //
+//   - Health (health.go): every member is wrapped in a failure detector
+//     with a hinted-handoff buffer. A background prober pings members
+//     (remote ones pay a wire round trip); consecutive probe or
+//     transport failures mark a member down. Reads and batch routing
+//     fail over to the next live owner, writes to down replicas buffer
+//     as hints and replay on recovery, scans report lost keyrange
+//     coverage (ErrScanIncomplete) instead of silently shrinking, and
+//     an op whose whole owner set is down fails with ErrAllOwnersDown.
+//
 // Sharding pays even on one core: each shard's memtable, runs and Bloom
 // filters cover 1/N of the keyspace, so point lookups walk shorter
 // skiplists and smaller binary-search windows, and — the dominant term —

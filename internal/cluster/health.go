@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// memberState wraps a member with the coordinator's failure-detection
+// and hinted-handoff state. Every entry in Cluster.nodes is a
+// *memberState, so all routing, replication, scan and rebalance traffic
+// flows through these wrappers: transport failures feed the detector
+// passively, probe results feed it periodically, and replica writes a
+// down member would have lost are buffered here until it recovers.
+type memberState struct {
+	member
+
+	// consecFails counts consecutive failed probes or transport-level
+	// op failures; threshold consecutive failures mark the member down.
+	consecFails atomic.Int32
+	down        atomic.Bool
+	// everDown latches once the member has been marked down. It gates
+	// the miss-at-primary read fallback: only a member that may have
+	// rejoined with missing data makes a primary miss ambiguous, so a
+	// never-failed cluster pays nothing for the safety net.
+	everDown  atomic.Bool
+	threshold int32
+
+	// smu guards lastStats, the last successful stats snapshot — what
+	// Stats reports while the member is down instead of zeroing its
+	// counters (which would make aggregate rates go negative mid-outage).
+	smu       sync.Mutex
+	lastStats NodeStats
+
+	// hmu guards the hinted-handoff buffer. Appends happen under the
+	// write primary's wmu (via mirrorWrite), so the buffer preserves
+	// per-key write order; replay drains in order and only clears the
+	// down flag once the buffer is empty, so a replayed write is never
+	// overtaken by a younger direct one.
+	hmu      sync.Mutex
+	hints    []Op
+	hintCap  int
+	replayed atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+func newMemberState(m member, threshold, hintCap int) *memberState {
+	return &memberState{member: m, threshold: int32(threshold), hintCap: hintCap}
+}
+
+// isDown reports the detector's current verdict.
+func (s *memberState) isDown() bool { return s.down.Load() }
+
+// noteFailure records one failed probe or transport-level op; threshold
+// consecutive failures flip the member down.
+func (s *memberState) noteFailure() {
+	if s.consecFails.Add(1) >= s.threshold {
+		s.down.Store(true)
+		s.everDown.Store(true)
+	}
+}
+
+// noteSuccess resets the consecutive-failure count. It does NOT clear
+// the down flag — recovery goes through drainHints so the member only
+// rejoins once its missed writes have been replayed.
+func (s *memberState) noteSuccess() { s.consecFails.Store(0) }
+
+// bufferHint queues one missed replica write for replay, copying the
+// key and value (ops may alias wire buffers that die with the request).
+// A full buffer drops the oldest hint — the audit counter records that
+// convergence now needs a rebalance or repair pass.
+func (s *memberState) bufferHint(op Op) {
+	h := Op{Kind: op.Kind, Key: append([]byte(nil), op.Key...)}
+	if op.Value != nil {
+		h.Value = append([]byte(nil), op.Value...)
+	}
+	s.hmu.Lock()
+	if len(s.hints) >= s.hintCap {
+		s.hints = s.hints[1:]
+		s.dropped.Add(1)
+	}
+	s.hints = append(s.hints, h)
+	s.hmu.Unlock()
+}
+
+// hintsPending returns the current replay backlog.
+func (s *memberState) hintsPending() int {
+	s.hmu.Lock()
+	defer s.hmu.Unlock()
+	return len(s.hints)
+}
+
+// drainHints replays the buffered writes onto the recovered member in
+// order and, once the buffer is empty, clears the down flag in the same
+// critical section — writes hinted while replay ran are drained by the
+// next loop pass, so the member never serves as a replica target with
+// undelivered hints ahead of it. A replay failure re-buffers the
+// unapplied tail and leaves the member down.
+func (s *memberState) drainHints() error {
+	for {
+		s.hmu.Lock()
+		if len(s.hints) == 0 {
+			s.down.Store(false)
+			s.consecFails.Store(0)
+			s.hmu.Unlock()
+			return nil
+		}
+		batch := s.hints
+		s.hints = nil
+		s.hmu.Unlock()
+		for i, op := range batch {
+			var err error
+			switch op.Kind {
+			case OpPut:
+				err = s.member.directPut(op.Key, op.Value)
+			case OpDelete:
+				err = s.member.directDelete(op.Key)
+			}
+			if err != nil {
+				s.hmu.Lock()
+				s.hints = append(batch[i:], s.hints...)
+				s.hmu.Unlock()
+				return err
+			}
+			s.replayed.Add(1)
+		}
+	}
+}
+
+// ---- member interception -------------------------------------------------
+//
+// The overrides below feed every transport outcome into the detector and
+// redirect replica writes for down (or hint-backlogged) members into the
+// handoff buffer. Methods not overridden pass straight through to the
+// wrapped member.
+
+// note classifies one op outcome for the detector.
+func (s *memberState) note(err error) {
+	if err == nil {
+		s.noteSuccess()
+		return
+	}
+	if isTransportErr(err) {
+		s.noteFailure()
+	}
+}
+
+func (s *memberState) ping() error {
+	err := s.member.ping()
+	if err != nil {
+		s.noteFailure()
+	} else {
+		s.noteSuccess()
+	}
+	return err
+}
+
+func (s *memberState) directGet(key []byte) ([]byte, bool, error) {
+	v, ok, err := s.member.directGet(key)
+	s.note(err)
+	return v, ok, err
+}
+
+func (s *memberState) directPut(key, value []byte) error {
+	err := s.member.directPut(key, value)
+	s.note(err)
+	return err
+}
+
+func (s *memberState) directDelete(key []byte) error {
+	err := s.member.directDelete(key)
+	s.note(err)
+	return err
+}
+
+func (s *memberState) directWrite(op Op, replicas []mirror) (OpResult, error) {
+	res, err := s.member.directWrite(op, replicas)
+	s.note(err)
+	return res, err
+}
+
+func (s *memberState) snapshotScan(start []byte, limit int) ([]engine.Entry, error) {
+	entries, err := s.member.snapshotScan(start, limit)
+	s.note(err)
+	return entries, err
+}
+
+// mirrorWrite is the replica leg of a replicated write. A down member —
+// or one with an undrained hint backlog, which must stay strictly ahead
+// of younger writes — buffers the op for replay. A live member whose
+// mirror fails at the transport gets the same treatment: the write is
+// hinted rather than dropped, so the R-copy invariant degrades to
+// "eventually R copies" instead of silently shedding one.
+func (s *memberState) mirrorWrite(op Op) error {
+	s.hmu.Lock()
+	deferToHints := s.down.Load() || len(s.hints) > 0
+	s.hmu.Unlock()
+	if deferToHints {
+		s.bufferHint(op)
+		return nil
+	}
+	err := s.member.mirrorWrite(op)
+	if err != nil && isTransportErr(err) {
+		s.noteFailure()
+		s.bufferHint(op)
+		return nil
+	}
+	return err
+}
+
+func (s *memberState) stats() NodeStats {
+	var ns NodeStats
+	if s.isDown() {
+		// Don't pay (and fail) an RPC against a member the detector has
+		// already written off; report its last known counters so the
+		// cluster aggregates don't regress mid-outage.
+		s.smu.Lock()
+		ns = s.lastStats
+		s.smu.Unlock()
+		ns.ID = s.memberID()
+	} else {
+		ns = s.member.stats()
+		s.smu.Lock()
+		s.lastStats = ns
+		s.smu.Unlock()
+	}
+	ns.Down = s.isDown()
+	ns.HintsPending = uint64(s.hintsPending())
+	ns.HintsReplayed = s.replayed.Load()
+	ns.HintsDropped = s.dropped.Load()
+	return ns
+}
+
+// ---- prober ---------------------------------------------------------------
+
+// Probe runs one synchronous health sweep: ping every member, feed the
+// detector, and replay hinted writes onto members that answer while
+// marked down (or that carry a backlog from a dropped mirror). The
+// background prober calls this on its ticker; tests and chaos tools may
+// call it directly for deterministic detection.
+func (c *Cluster) Probe() {
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return
+	}
+	members := make([]*memberState, 0, len(c.nodes))
+	for _, m := range c.nodes {
+		members = append(members, m)
+	}
+	c.mu.RUnlock()
+	for _, m := range members {
+		if m.ping() != nil {
+			continue
+		}
+		if m.isDown() || m.hintsPending() > 0 {
+			// Replay failures leave the member down; the next sweep
+			// retries.
+			_ = m.drainHints()
+		}
+	}
+}
+
+// startProberLocked launches the background health prober once. Caller
+// holds mu. Local nodes cannot fail, so the prober starts lazily with
+// the first remote member; a negative ProbeInterval disables it (tests
+// drive detection through Probe instead).
+func (c *Cluster) startProberLocked() {
+	if c.cfg.ProbeInterval < 0 || c.proberStop != nil {
+		return
+	}
+	c.proberStop = make(chan struct{})
+	go func(stop chan struct{}) {
+		t := time.NewTicker(c.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.Probe()
+			}
+		}
+	}(c.proberStop)
+}
+
+// MemberDown reports whether the failure detector currently considers
+// the member down. Unknown ids report false.
+func (c *Cluster) MemberDown(id int) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.nodes[id]
+	return ok && m.isDown()
+}
+
+// DownMembers returns the ids the failure detector currently considers
+// down, in ascending order.
+func (c *Cluster) DownMembers() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []int
+	for _, id := range c.ring.Members() {
+		if c.nodes[id].isDown() {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -4,23 +4,34 @@ import "repro/internal/engine"
 
 // mirror is a replica-write target: the secondary owners a replicated
 // write must reach after the primary applied it. Local nodes mirror
-// straight into their engine; remote members mirror over the wire.
+// straight into their engine; remote members mirror over the wire. A
+// non-nil error reports a mirror the transport dropped — the caller
+// (the health layer) turns it into a hinted-handoff entry instead of
+// losing the copy.
 type mirror interface {
-	mirrorWrite(op Op)
+	mirrorWrite(op Op) error
 }
 
 // member is the coordinator's view of one shard. The in-process *Node
 // and the remoteMember proxy (see Remote) both satisfy it, so the ring
 // can mix local and remote shards transparently: routing, replication,
 // scatter-gather scans, rebalance and stats all program against this
-// interface and never ask where the shard lives.
+// interface and never ask where the shard lives. The coordinator wraps
+// every member in a memberState (health.go), which layers failure
+// detection and hinted handoff over these calls.
 type member interface {
 	mirror
 	// memberID is the ring id the coordinator assigned.
 	memberID() int
+	// ping is the liveness probe: nil means the member answered. Local
+	// nodes answer from memory; remote members pay a health round trip
+	// (transport.Client.Ping) bounded by the probe timeout.
+	ping() error
 	// directGet serves a point read outside the batch queues (the
-	// coordinator's read-your-writes hot path).
-	directGet(key []byte) ([]byte, bool)
+	// coordinator's read-your-writes hot path). The error separates a
+	// transport failure from a genuine miss, so failover reads never
+	// mistake a dead member for an absent key.
+	directGet(key []byte) ([]byte, bool, error)
 	// directPut and directDelete apply unqueued writes; the rebalancer
 	// uses them to move copies during membership changes and must learn
 	// about transport failures, so they return an error (always nil for
@@ -29,7 +40,9 @@ type member interface {
 	directDelete(key []byte) error
 	// directWrite applies one write and fans it out to the replica set
 	// as a unit serialized against other writers of the same primary.
-	directWrite(op Op, replicas []mirror) OpResult
+	// The error reports a primary-side transport failure; mirror
+	// failures are the replicas' own to hint or count.
+	directWrite(op Op, replicas []mirror) (OpResult, error)
 	// snapshotScan returns up to limit entries with key >= start from a
 	// consistent point-in-time view of the shard. The error is always
 	// nil for local nodes; remote members surface transport failures so

@@ -46,7 +46,14 @@ type NodeStats struct {
 	// (always 0 for local nodes) — the audit trail for writes or scans
 	// the void paths had to drop.
 	TransportErrs uint64
-	Store         engine.Stats
+	// Down reports the coordinator's failure-detector verdict for this
+	// member at snapshot time; the hint counters account for its hinted
+	// handoff (writes buffered while unreachable, replayed on recovery,
+	// or dropped past the buffer bound).
+	Down                        bool
+	HintsPending, HintsReplayed uint64
+	HintsDropped                uint64
+	Store                       engine.Stats
 }
 
 // newNode builds a stopped node; start launches its workers.
@@ -92,18 +99,30 @@ func (n *Node) run() {
 	}
 }
 
-// memberID, directGet, directPut, directDelete, mirrorWrite and
+// memberID, ping, directGet, directPut, directDelete, mirrorWrite and
 // snapshotScan are the in-process half of the member interface: engine
 // calls with no queue or wire in between.
 func (n *Node) memberID() int { return n.id }
 
-func (n *Node) directGet(key []byte) ([]byte, bool) { return n.eng.Get(key) }
+// ping answers liveness from memory: an in-process node is reachable
+// for exactly as long as it has not been closed.
+func (n *Node) ping() error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (n *Node) directGet(key []byte) ([]byte, bool, error) {
+	v, ok := n.eng.Get(key)
+	return v, ok, nil
+}
 
 func (n *Node) directPut(key, value []byte) error { n.eng.Put(key, value); return nil }
 
 func (n *Node) directDelete(key []byte) error { n.eng.Delete(key); return nil }
 
-func (n *Node) mirrorWrite(op Op) { applyWrite(n.eng, op) }
+func (n *Node) mirrorWrite(op Op) error { applyWrite(n.eng, op); return nil }
 
 func (n *Node) snapshotScan(start []byte, limit int) ([]engine.Entry, error) {
 	sn := n.eng.Snapshot()
@@ -126,7 +145,7 @@ func (n *Node) exec(req *request) {
 			if op.Kind == OpGet {
 				res = n.do(op)
 			} else {
-				res = n.directWrite(op, req.replicas[i])
+				res, _ = n.directWrite(op, req.replicas[i])
 			}
 			if req.results != nil {
 				req.results[req.idx[i]] = res
@@ -139,7 +158,7 @@ func (n *Node) exec(req *request) {
 			j++
 		}
 		if j-i == 1 {
-			res := n.directWrite(op, nil)
+			res, _ := n.directWrite(op, nil)
 			if req.results != nil {
 				req.results[req.idx[i]] = res
 			}
@@ -171,15 +190,17 @@ func (n *Node) exec(req *request) {
 }
 
 // directWrite applies one write to this node's engine and its replicas
-// as an atomic unit under the primary's write lock.
-func (n *Node) directWrite(op Op, replicas []mirror) OpResult {
+// as an atomic unit under the primary's write lock. The local apply
+// cannot fail; a replica whose mirror fails hints or counts the miss
+// itself (memberState.mirrorWrite), so the error is always nil.
+func (n *Node) directWrite(op Op, replicas []mirror) (OpResult, error) {
 	n.wmu.Lock()
 	defer n.wmu.Unlock()
 	res := n.do(op)
 	for _, re := range replicas {
-		re.mirrorWrite(op)
+		_ = re.mirrorWrite(op)
 	}
-	return res
+	return res, nil
 }
 
 // do executes one op on this node's own engine.

@@ -119,7 +119,7 @@ func TestRebalanceReplicatedRoundTrip(t *testing.T) {
 		defer c.mu.RUnlock()
 		copies := 0
 		for _, node := range c.nodes {
-			if _, ok := node.directGet([]byte(k)); ok {
+			if _, ok, _ := node.directGet([]byte(k)); ok {
 				copies++
 			}
 		}
@@ -146,7 +146,10 @@ func TestRebalanceReplicatedRoundTrip(t *testing.T) {
 		}
 	}
 	// Scans still see exactly one copy of each key.
-	got := c.Scan(nil, len(want)+100)
+	got, err := c.Scan(nil, len(want)+100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != len(want) {
 		t.Fatalf("scan sees %d keys, want %d", len(got), len(want))
 	}
@@ -170,7 +173,7 @@ func TestRebalanceGrowsIntoReplication(t *testing.T) {
 	for k := range want {
 		copies := 0
 		for _, node := range c.nodes {
-			if _, ok := node.directGet([]byte(k)); ok {
+			if _, ok, _ := node.directGet([]byte(k)); ok {
 				copies++
 			}
 		}
@@ -180,7 +183,7 @@ func TestRebalanceGrowsIntoReplication(t *testing.T) {
 	}
 	copies := 0
 	for _, node := range c.nodes {
-		if _, ok := node.directGet([]byte("post-grow")); ok {
+		if _, ok, _ := node.directGet([]byte("post-grow")); ok {
 			copies++
 		}
 	}

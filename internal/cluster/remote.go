@@ -16,6 +16,11 @@ import (
 // safe for concurrent use — the coordinator pipelines sub-batches from
 // many clients onto one Remote.
 type Remote interface {
+	// Ping is the liveness probe: nil means the remote answered the
+	// health opcode. Implementations should fail fast (bounded by a
+	// probe timeout well under the data-path timeout) so a prober
+	// sweeping dead members does not stall.
+	Ping() error
 	// Get serves a point read from the remote shard.
 	Get(key []byte) ([]byte, bool, error)
 	// Put and Delete apply single unqueued writes (replica mirroring and
@@ -51,8 +56,12 @@ func (c *Cluster) AddRemote(r Remote) (int, MoveReport, error) {
 	id := c.nextID
 	c.nextID++
 	old := c.ring.Clone()
-	c.nodes[id] = &remoteMember{id: id, r: r}
+	c.nodes[id] = newMemberState(&remoteMember{id: id, r: r},
+		c.cfg.ProbeFailures, c.cfg.HintLimit)
 	c.ring.Add(id)
+	// The first remote member starts the background health prober:
+	// local nodes cannot fail, remote ones now can.
+	c.startProberLocked()
 	report, err := c.migrateLocked(old)
 	return id, report, err
 }
@@ -80,15 +89,17 @@ type remoteMember struct {
 
 func (m *remoteMember) memberID() int { return m.id }
 
-func (m *remoteMember) directGet(key []byte) ([]byte, bool) {
+func (m *remoteMember) ping() error { return m.r.Ping() }
+
+func (m *remoteMember) directGet(key []byte) ([]byte, bool, error) {
 	v, ok, err := m.r.Get(key)
 	if err != nil {
 		if isTransportErr(err) {
 			m.transportErrs.Add(1)
 		}
-		return nil, false
+		return nil, false, err
 	}
-	return v, ok
+	return v, ok, nil
 }
 
 func (m *remoteMember) directPut(key, value []byte) error {
@@ -107,27 +118,31 @@ func (m *remoteMember) directDelete(key []byte) error {
 	return err
 }
 
-// mirrorWrite drops a failed replica write (counted in TransportErrs):
-// the mirror path has no error channel, so a persistent transport
-// outage can leave this replica stale until the next successful write
-// or rebalance touches the key.
-func (m *remoteMember) mirrorWrite(op Op) {
+// mirrorWrite reports a failed replica write (also counted in
+// TransportErrs) so the coordinator's health layer can buffer it as
+// hinted handoff instead of losing the copy.
+func (m *remoteMember) mirrorWrite(op Op) error {
 	switch op.Kind {
 	case OpPut:
-		_ = m.directPut(op.Key, op.Value)
+		return m.directPut(op.Key, op.Value)
 	case OpDelete:
-		_ = m.directDelete(op.Key)
+		return m.directDelete(op.Key)
 	}
+	return nil
 }
 
-func (m *remoteMember) directWrite(op Op, replicas []mirror) OpResult {
+func (m *remoteMember) directWrite(op Op, replicas []mirror) (OpResult, error) {
 	m.wmu.Lock()
 	defer m.wmu.Unlock()
-	m.mirrorWrite(op)
-	for _, rep := range replicas {
-		rep.mirrorWrite(op)
+	if err := m.mirrorWrite(op); err != nil {
+		// The primary apply itself failed: report it rather than mirror
+		// a write that landed nowhere.
+		return OpResult{}, err
 	}
-	return OpResult{}
+	for _, rep := range replicas {
+		_ = rep.mirrorWrite(op)
+	}
+	return OpResult{}, nil
 }
 
 func (m *remoteMember) snapshotScan(start []byte, limit int) ([]engine.Entry, error) {
@@ -214,7 +229,7 @@ func (m *remoteMember) dispatch(req *request, apply func([]Op) ([]OpResult, erro
 			fill(i, i+1, res, err)
 			if err == nil {
 				for _, rep := range req.replicas[i] {
-					rep.mirrorWrite(req.ops[i])
+					_ = rep.mirrorWrite(req.ops[i])
 				}
 			}
 			i++

@@ -17,6 +17,8 @@ type loopRemote struct {
 	overload bool
 }
 
+func (r *loopRemote) Ping() error { return nil }
+
 func (r *loopRemote) Get(key []byte) ([]byte, bool, error) {
 	v, ok := r.c.Get(key)
 	return v, ok, nil
@@ -31,7 +33,7 @@ func (r *loopRemote) TryApply(ops []Op) ([]OpResult, error) {
 	return r.c.TryApply(ops)
 }
 func (r *loopRemote) Scan(start []byte, limit int) ([]engine.Entry, error) {
-	return r.c.Scan(start, limit), nil
+	return r.c.Scan(start, limit)
 }
 func (r *loopRemote) Stats() (Stats, error) { return r.c.Stats(), nil }
 func (r *loopRemote) Close() error          { r.c.Close(); return nil }
@@ -94,7 +96,10 @@ func TestAddRemoteMixedMembership(t *testing.T) {
 	}
 	// Scatter-gather scans merge remote and local partials in key order.
 	for _, start := range []string{"", "mix-00500", "zzz"} {
-		got := c.Scan([]byte(start), 64)
+		got, err := c.Scan([]byte(start), 64)
+		if err != nil {
+			t.Fatalf("scan(%q): %v", start, err)
+		}
 		want := ref.Scan([]byte(start), 64)
 		if len(got) != len(want) {
 			t.Fatalf("scan(%q) len = %d, want %d", start, len(got), len(want))
@@ -128,7 +133,7 @@ func TestAddRemoteReplication(t *testing.T) {
 		key := []byte(fmt.Sprintf("rep-%04d", i))
 		copies := 0
 		for _, m := range c.nodes {
-			if _, ok := m.directGet(key); ok {
+			if _, ok, _ := m.directGet(key); ok {
 				copies++
 			}
 		}
@@ -216,7 +221,7 @@ func TestRemotePrimaryShedKeepsReplicasConsistent(t *testing.T) {
 		t.Fatal("shed write reached the remote primary")
 	}
 	c.mu.RLock()
-	_, onLocal := c.nodes[0].directGet(key)
+	_, onLocal, _ := c.nodes[0].directGet(key)
 	c.mu.RUnlock()
 	if onLocal {
 		t.Fatal("shed write was mirrored to the replica — copies diverged")
@@ -230,7 +235,7 @@ func TestRemotePrimaryShedKeepsReplicasConsistent(t *testing.T) {
 		t.Fatal("accepted write missing on the remote primary")
 	}
 	c.mu.RLock()
-	_, onLocal = c.nodes[0].directGet(key)
+	_, onLocal, _ = c.nodes[0].directGet(key)
 	c.mu.RUnlock()
 	if !onLocal {
 		t.Fatal("accepted write not mirrored to the replica")

@@ -14,11 +14,16 @@ import (
 // repository are bounded — and derives percentiles on demand.
 type LatencyRecorder struct {
 	samples []time.Duration
+	// sorted caches the one sorted copy Percentile and Summary share;
+	// any mutation invalidates it, so a p50/p95/p99 triple (or Summary)
+	// over a settled recorder pays exactly one sort.
+	sorted []time.Duration
 }
 
 // Record adds one request's service time.
 func (l *LatencyRecorder) Record(d time.Duration) {
 	l.samples = append(l.samples, d)
+	l.sorted = nil
 }
 
 // Time runs fn and records its duration.
@@ -32,23 +37,28 @@ func (l *LatencyRecorder) Time(fn func()) {
 // collected by concurrent load generators can be summarized as one
 // distribution. The argument is left unchanged.
 func (l *LatencyRecorder) Merge(other *LatencyRecorder) {
-	if other != nil {
+	if other != nil && len(other.samples) > 0 {
 		l.samples = append(l.samples, other.samples...)
+		l.sorted = nil
 	}
 }
 
 // Count returns the number of recorded requests.
 func (l *LatencyRecorder) Count() int { return len(l.samples) }
 
-// Percentile returns the p-quantile (0 < p <= 1) service time, or 0 when
-// nothing was recorded.
-func (l *LatencyRecorder) Percentile(p float64) time.Duration {
-	if len(l.samples) == 0 {
-		return 0
+// sortedSamples returns the cached ascending copy of the samples,
+// building it on first use after a mutation.
+func (l *LatencyRecorder) sortedSamples() []time.Duration {
+	if l.sorted == nil && len(l.samples) > 0 {
+		l.sorted = append([]time.Duration(nil), l.samples...)
+		sort.Slice(l.sorted, func(i, j int) bool { return l.sorted[i] < l.sorted[j] })
 	}
-	sorted := append([]time.Duration(nil), l.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	// Nearest-rank: the smallest sample ≥ the p-quantile position.
+	return l.sorted
+}
+
+// nearestRank is the shared quantile rule: the smallest sample ≥ the
+// p-quantile position of the ascending slice.
+func nearestRank(sorted []time.Duration, p float64) time.Duration {
 	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
 	if idx < 0 {
 		idx = 0
@@ -57,6 +67,16 @@ func (l *LatencyRecorder) Percentile(p float64) time.Duration {
 		idx = len(sorted) - 1
 	}
 	return sorted[idx]
+}
+
+// Percentile returns the p-quantile (0 < p <= 1) service time, or 0 when
+// nothing was recorded.
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	sorted := l.sortedSamples()
+	if len(sorted) == 0 {
+		return 0
+	}
+	return nearestRank(sorted, p)
 }
 
 // Mean returns the average service time.
@@ -84,17 +104,9 @@ type LatencySummary struct {
 // every latency-reporting surface (workload Extra maps, bdbench -net,
 // the transport benchmarks) derives its p50/p95/p99/max from.
 func (l *LatencyRecorder) Summary() LatencySummary {
-	if len(l.samples) == 0 {
+	sorted := l.sortedSamples()
+	if len(sorted) == 0 {
 		return LatencySummary{}
-	}
-	sorted := append([]time.Duration(nil), l.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := func(p float64) time.Duration {
-		idx := int(math.Ceil(p*float64(len(sorted)))) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		return sorted[idx]
 	}
 	var total time.Duration
 	for _, d := range sorted {
@@ -103,9 +115,9 @@ func (l *LatencyRecorder) Summary() LatencySummary {
 	return LatencySummary{
 		Count: len(sorted),
 		Mean:  total / time.Duration(len(sorted)),
-		P50:   rank(0.50),
-		P95:   rank(0.95),
-		P99:   rank(0.99),
+		P50:   nearestRank(sorted, 0.50),
+		P95:   nearestRank(sorted, 0.95),
+		P99:   nearestRank(sorted, 0.99),
 		Max:   sorted[len(sorted)-1],
 	}
 }

@@ -112,3 +112,27 @@ func TestLatencySummary(t *testing.T) {
 		t.Fatal("empty recorder must summarize to zeros")
 	}
 }
+
+// TestLatencySortCacheInvalidation pins the shared single-sort path:
+// repeated percentile calls reuse one sorted copy, and any mutation
+// (Record or Merge) invalidates it rather than serving stale ranks.
+func TestLatencySortCacheInvalidation(t *testing.T) {
+	var l LatencyRecorder
+	l.Record(10 * time.Millisecond)
+	if got := l.Percentile(1.0); got != 10*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	l.Record(20 * time.Millisecond)
+	if got := l.Percentile(1.0); got != 20*time.Millisecond {
+		t.Fatalf("max after Record = %v, cache not invalidated", got)
+	}
+	var other LatencyRecorder
+	other.Record(40 * time.Millisecond)
+	l.Merge(&other)
+	if got := l.Percentile(1.0); got != 40*time.Millisecond {
+		t.Fatalf("max after Merge = %v, cache not invalidated", got)
+	}
+	if s := l.Summary(); s.Max != l.Percentile(1.0) || s.P50 != l.Percentile(0.5) {
+		t.Fatalf("Summary and Percentile disagree: %+v", s)
+	}
+}

@@ -41,6 +41,15 @@ type ClientOptions struct {
 	// RetryBackoff is the first retry's sleep, doubling each attempt
 	// (default 1ms).
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the doubled per-attempt sleep (default 50ms),
+	// and the total time spent sleeping across one op's retries never
+	// exceeds Timeout — an overloaded server makes a request slow, not
+	// unboundedly slower than the timeout the caller asked for.
+	RetryBackoffMax time.Duration
+	// PingTimeout bounds one Ping round trip including any redial
+	// (default 1s). Pings fail fast by design: a prober sweeping dead
+	// members must not stall for DialTimeout on each.
+	PingTimeout time.Duration
 	// MaxFrame bounds accepted frame sizes (default DefaultMaxFrame).
 	MaxFrame int
 }
@@ -62,6 +71,12 @@ func (o *ClientOptions) normalize() {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = time.Millisecond
+	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = 50 * time.Millisecond
+	}
+	if o.PingTimeout <= 0 {
+		o.PingTimeout = time.Second
 	}
 	if o.MaxFrame <= 0 {
 		o.MaxFrame = DefaultMaxFrame
@@ -250,6 +265,8 @@ func opName(op Opcode) string {
 		return "batch"
 	case OpStats:
 		return "stats"
+	case OpPing:
+		return "ping"
 	default:
 		return fmt.Sprintf("op(0x%02x)", byte(op))
 	}
@@ -273,6 +290,12 @@ func (c *Client) pick() (*clientConn, error) {
 // dead connection produce one dial, not a stampede; losers reuse the
 // winner's connection.
 func (c *Client) revive(slot int) (*clientConn, error) {
+	return c.reviveWithin(slot, c.opts.DialTimeout)
+}
+
+// reviveWithin is revive with an explicit dial budget, so health probes
+// can redial on a short leash while data ops keep the patient one.
+func (c *Client) reviveWithin(slot int, budget time.Duration) (*clientConn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed.Load() {
@@ -281,12 +304,60 @@ func (c *Client) revive(slot int) (*clientConn, error) {
 	if cc := c.conns[slot].Load(); cc != nil && !cc.broken() {
 		return cc, nil // another caller already revived it
 	}
-	cc, err := dialConn(c.addr, time.Now().Add(c.opts.DialTimeout), c.opts.MaxFrame)
+	cc, err := dialConn(c.addr, time.Now().Add(budget), c.opts.MaxFrame)
 	if err != nil {
 		return nil, err
 	}
 	c.conns[slot].Store(cc)
 	return cc, nil
+}
+
+// Healthy reports whether at least one pool connection is currently
+// established and unbroken. It never dials: this is the passive
+// connection-health signal — Ping is the active one.
+func (c *Client) Healthy() bool {
+	if c.closed.Load() {
+		return false
+	}
+	for i := range c.conns {
+		if cc := c.conns[i].Load(); cc != nil && !cc.broken() {
+			return true
+		}
+	}
+	return false
+}
+
+// Ping round-trips the health opcode, redialing a broken slot within
+// PingTimeout rather than DialTimeout. It never retries on overload —
+// the server answers pings from the read loop without an admission
+// permit, so a failure here means the wire or the process, not load.
+func (c *Client) Ping() error {
+	if c.closed.Load() {
+		return ErrClientClosed
+	}
+	slot := int(c.next.Add(1)) % len(c.conns)
+	cc := c.conns[slot].Load()
+	if cc == nil || cc.broken() {
+		var err error
+		if cc, err = c.reviveWithin(slot, c.opts.PingTimeout); err != nil {
+			return err
+		}
+	}
+	r, err := cc.roundTrip(OpPing, nil, c.opts.PingTimeout)
+	if err != nil {
+		return err
+	}
+	if r.op == RespError {
+		remoteErr, decodeErr := DecodeError(r.payload)
+		if decodeErr != nil {
+			return decodeErr
+		}
+		return remoteErr
+	}
+	if r.op != RespOK {
+		return ErrMalformed
+	}
+	return nil
 }
 
 // call runs one round trip and maps error frames back to Go errors.
@@ -310,13 +381,24 @@ func (c *Client) call(op Opcode, payload []byte) (response, error) {
 }
 
 // withRetry runs fn, retrying on cluster.ErrOverload with doubling
-// backoff up to the configured attempt budget.
+// backoff up to the configured attempt budget. The per-attempt sleep is
+// capped at RetryBackoffMax, and the loop stops retrying once the
+// elapsed wall clock (round trips + sleeps) would exceed Timeout, so a
+// caller sees at worst ~2x Timeout — the budget-consuming attempt that
+// was already in flight plus one more — not attempts x Timeout.
 func (c *Client) withRetry(fn func() error) error {
 	backoff := c.opts.RetryBackoff
+	start := time.Now()
 	for attempt := 0; ; attempt++ {
 		err := fn()
 		if err == nil || !errors.Is(err, cluster.ErrOverload) || attempt >= c.opts.RetryOverload {
 			return err
+		}
+		if backoff > c.opts.RetryBackoffMax {
+			backoff = c.opts.RetryBackoffMax
+		}
+		if time.Since(start)+backoff > c.opts.Timeout {
+			return err // retry budget exhausted: surface the overload
 		}
 		time.Sleep(backoff)
 		backoff *= 2

@@ -31,8 +31,22 @@
 //
 // Consistency note: replicated writes whose primary is remote are
 // serialized through the primary's proxy (one coordinator process), so
-// replicas stay byte-identical to the primary exactly as in-process.
+// while the replica set is healthy, replicas stay byte-identical to
+// the primary exactly as in-process. Failover promotion weakens this:
+// a false-positive down verdict moves the write lead (and its
+// serializing lock) to another member, so concurrent writes of one key
+// straddling the flip can apply in different orders on different
+// copies — ops carry no versions, so nothing fences the stale order
+// (see DESIGN.md §9 for the limits of the failure model).
 // If a batch RPC fails partway, its replica mirroring is skipped — the
-// proxy cannot know which ops the remote applied — so a transport
-// failure can leave replicas stale until the next write or rebalance.
+// proxy cannot know which ops the remote applied. The coordinator's
+// health layer buffers the skipped mirrors as hinted handoff and
+// replays them when the member answers probes again, so a transport
+// failure degrades the R-copy invariant to "eventually R copies"
+// rather than silently shedding one.
+//
+// Liveness: OpPing is answered straight from the server's read loop
+// without an admission permit (an overloaded server is alive), and
+// Client.Ping fails fast — redials are bounded by PingTimeout, not the
+// patient DialTimeout — so a prober sweeping dead members never stalls.
 package transport

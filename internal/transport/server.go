@@ -15,12 +15,14 @@ import (
 
 // Backend is the storage a Server fronts. *cluster.Cluster satisfies it,
 // so a server daemon hosts one or more cluster nodes — a single-shard
-// region server or a whole sub-cluster — behind one listener.
+// region server or a whole sub-cluster — behind one listener. Writes
+// and scans report failures (a backend may itself be a degraded
+// cluster); the server carries them back as error frames.
 type Backend interface {
 	Get(key []byte) ([]byte, bool)
-	Put(key, value []byte)
-	Delete(key []byte)
-	Scan(start []byte, limit int) []engine.Entry
+	Put(key, value []byte) error
+	Delete(key []byte) error
+	Scan(start []byte, limit int) ([]engine.Entry, error)
 	Apply(ops []cluster.Op) ([]cluster.OpResult, error)
 	TryApply(ops []cluster.Op) ([]cluster.OpResult, error)
 	Stats() cluster.Stats
@@ -187,6 +189,14 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			break
 		}
+		// Liveness answers straight from the read loop, bypassing
+		// admission: an overloaded server is still alive, and a prober
+		// that can be shed would convert every overload into a false
+		// death verdict.
+		if op == OpPing {
+			out <- AppendFrame(nil, id, RespOK, nil)
+			continue
+		}
 		// Admission: a backpressure batch (Apply) must never shed — it
 		// blocks the connection's read loop for a permit instead, which
 		// is honest backpressure (TCP pushes back to the sender) and
@@ -231,17 +241,27 @@ func (s *Server) dispatch(id uint64, op Opcode, payload []byte) []byte {
 		if err != nil {
 			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
 		}
-		s.backend.Put(key, value)
+		if err := s.backend.Put(key, value); err != nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		}
 		return AppendFrame(nil, id, RespOK, nil)
 	case OpDelete:
-		s.backend.Delete(payload)
+		if err := s.backend.Delete(payload); err != nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		}
 		return AppendFrame(nil, id, RespOK, nil)
 	case OpScan:
 		start, limit, err := DecodeScan(payload)
 		if err != nil {
 			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
 		}
-		entries := s.backend.Scan(start, limit)
+		entries, err := s.backend.Scan(start, limit)
+		if err != nil {
+			// A degraded backend scan (lost keyrange coverage) fails the
+			// request loudly: a silently short page would poison the
+			// client's "short means exhausted" pagination contract.
+			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		}
 		// Bound the response to what the peer will accept: a frame over
 		// MaxFrame would kill the connection (and every pipelined
 		// request on it) instead of just shortening the page. A cut

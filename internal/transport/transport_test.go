@@ -49,12 +49,31 @@ type hookBackend struct {
 	mu       sync.Mutex
 	onGet    func()       // runs inside Get, before delegation
 	tryApply func() error // non-nil result overrides TryApply
+	apply    func() error // non-nil result overrides Apply
 }
 
 func (h *hookBackend) setTryApply(fn func() error) {
 	h.mu.Lock()
 	h.tryApply = fn
 	h.mu.Unlock()
+}
+
+func (h *hookBackend) setApply(fn func() error) {
+	h.mu.Lock()
+	h.apply = fn
+	h.mu.Unlock()
+}
+
+func (h *hookBackend) Apply(ops []cluster.Op) ([]cluster.OpResult, error) {
+	h.mu.Lock()
+	hook := h.apply
+	h.mu.Unlock()
+	if hook != nil {
+		if err := hook(); err != nil {
+			return nil, err
+		}
+	}
+	return h.Backend.Apply(ops)
 }
 
 func (h *hookBackend) setOnGet(fn func()) {
@@ -254,7 +273,10 @@ func TestRemoteNodeConformance(t *testing.T) {
 
 	// Scatter-gather scans merge the two remote partials in key order.
 	for _, start := range []string{"", "net-0300", "zzz"} {
-		got := coord.Scan([]byte(start), 64)
+		got, err := coord.Scan([]byte(start), 64)
+		if err != nil {
+			t.Fatalf("scan(%q): %v", start, err)
+		}
 		want := ref.Scan([]byte(start), 64)
 		if len(got) != len(want) {
 			t.Fatalf("scan(%q) len = %d, want %d", start, len(got), len(want))
@@ -555,5 +577,112 @@ func TestMalformedFrameRejected(t *testing.T) {
 	cl2 := dialT(t, srv.Addr(), ClientOptions{})
 	if err := cl2.Put([]byte("k"), []byte("v")); err != nil {
 		t.Fatalf("server did not survive malformed input: %v", err)
+	}
+}
+
+// TestPingLiveness drives the health opcode end to end: a live server
+// answers, a drained one does not, and a restart on the same address
+// heals the probe — the round trip cluster probing is built on.
+func TestPingLiveness(t *testing.T) {
+	backend := newShard(t, 1)
+	defer backend.Close()
+	srv1, err := Listen("127.0.0.1:0", backend, ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv1.Addr()
+	cl := dialT(t, addr, ClientOptions{PingTimeout: 200 * time.Millisecond})
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping against live server: %v", err)
+	}
+	if !cl.Healthy() {
+		t.Fatal("Healthy() = false with an established connection")
+	}
+	srv1.Close()
+	// A dead server must fail the probe fast (bounded by PingTimeout,
+	// not DialTimeout).
+	start := time.Now()
+	var pingErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if pingErr = cl.Ping(); pingErr != nil {
+			break
+		}
+	}
+	if pingErr == nil {
+		t.Fatal("ping against closed server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dead-server ping took %v, want fast failure", elapsed)
+	}
+	srv2, err := Listen(addr, backend, ServerOptions{})
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := cl.Ping(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ping never recovered after server restart")
+		}
+	}
+}
+
+// TestPingBypassesAdmission pins that liveness is answered even when
+// every in-flight permit is held: an overloaded server is alive, and a
+// prober that can be shed would see phantom deaths under load.
+func TestPingBypassesAdmission(t *testing.T) {
+	backend := newShard(t, 1)
+	defer backend.Close()
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	hooked := &hookBackend{Backend: backend, onGet: func() {
+		entered <- struct{}{}
+		<-gate
+	}}
+	srv := startServer(t, hooked, ServerOptions{MaxInFlight: 1})
+	cl := dialT(t, srv.Addr(), ClientOptions{RetryOverload: -1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		cl.Get([]byte("slow"))
+	}()
+	<-entered // the Get holds the only permit
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping under full admission = %v, want success", err)
+	}
+	close(gate)
+	<-done
+}
+
+// TestRetryBackoffBounded pins the backoff-cap satellite: a client
+// retrying a persistently overloaded server must bound each sleep by
+// RetryBackoffMax and the total sleep by Timeout, instead of doubling
+// without limit.
+func TestRetryBackoffBounded(t *testing.T) {
+	backend := newShard(t, 1)
+	defer backend.Close()
+	hooked := &hookBackend{Backend: backend}
+	hooked.setApply(func() error { return cluster.ErrOverload })
+	srv := startServer(t, hooked, ServerOptions{})
+	// 64 attempts of unbounded doubling from 4ms would sleep for
+	// centuries; with the cap and the Timeout budget the whole call must
+	// resolve in roughly Timeout.
+	cl := dialT(t, srv.Addr(), ClientOptions{
+		Timeout:         100 * time.Millisecond,
+		RetryOverload:   64,
+		RetryBackoff:    4 * time.Millisecond,
+		RetryBackoffMax: 16 * time.Millisecond,
+	})
+	start := time.Now()
+	_, err := cl.Apply([]cluster.Op{{Kind: cluster.OpPut, Key: []byte("k"), Value: []byte("v")}})
+	elapsed := time.Since(start)
+	if !errors.Is(err, cluster.ErrOverload) {
+		t.Fatalf("Apply against permanently overloaded server = %v, want ErrOverload", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("retry loop ran %v, want it bounded near the 100ms timeout budget", elapsed)
 	}
 }

@@ -39,6 +39,11 @@ const (
 	OpScan   Opcode = 0x04 // payload: limit u32 | start key
 	OpBatch  Opcode = 0x05 // payload: flags u8 | count u32 | ops
 	OpStats  Opcode = 0x06 // payload: empty
+	// OpPing is the liveness probe. The server answers RespOK straight
+	// from the connection's read loop, without taking an admission
+	// permit: an overloaded server is alive, and health checks that shed
+	// under load would turn every overload into a false death.
+	OpPing Opcode = 0x07 // payload: empty
 )
 
 // Response opcodes.
@@ -395,8 +400,9 @@ func DecodeResults(p []byte) (res []cluster.OpResult, err, decodeErr error) {
 
 // statsFieldCount is the number of u64 counters in one encoded NodeStats:
 // 6 node counters (id, accepted, rejected, batches, ops, transportErrs)
+// + 4 health fields (down flag, hints pending/replayed/dropped)
 // + 12 engine counters.
-const statsFieldCount = 18
+const statsFieldCount = 22
 
 // EncodeStats appends a RespStats payload: the per-node counters only —
 // the aggregate fields are recomputed on decode, exactly as
@@ -434,6 +440,9 @@ func DecodeStats(p []byte) (cluster.Stats, error) {
 		st.Rejected += ns.Rejected
 		st.Batches += ns.Batches
 		st.Ops += ns.Ops
+		if ns.Down {
+			st.Down++
+		}
 	}
 	return st, nil
 }
@@ -441,9 +450,14 @@ func DecodeStats(p []byte) (cluster.Stats, error) {
 // nodeStatsFields flattens one NodeStats into its wire order.
 func nodeStatsFields(ns cluster.NodeStats) [statsFieldCount]uint64 {
 	s := ns.Store
+	var down uint64
+	if ns.Down {
+		down = 1
+	}
 	return [statsFieldCount]uint64{
 		uint64(int64(ns.ID)), ns.Accepted, ns.Rejected, ns.Batches, ns.Ops,
 		ns.TransportErrs,
+		down, ns.HintsPending, ns.HintsReplayed, ns.HintsDropped,
 		s.Puts, s.Gets, s.Deletes, s.Scans, s.ScannedEntries,
 		s.Flushes, s.Compactions, s.BloomNegative, s.RunsProbed,
 		s.WALBytes, s.BlockCacheHits, s.BlockCacheMisses,
@@ -455,10 +469,14 @@ func nodeStatsFromFields(f [statsFieldCount]uint64) cluster.NodeStats {
 	return cluster.NodeStats{
 		ID: int(int64(f[0])), Accepted: f[1], Rejected: f[2], Batches: f[3], Ops: f[4],
 		TransportErrs: f[5],
+		Down:          f[6] != 0,
+		HintsPending:  f[7],
+		HintsReplayed: f[8],
+		HintsDropped:  f[9],
 		Store: engine.Stats{
-			Puts: f[6], Gets: f[7], Deletes: f[8], Scans: f[9], ScannedEntries: f[10],
-			Flushes: f[11], Compactions: f[12], BloomNegative: f[13], RunsProbed: f[14],
-			WALBytes: f[15], BlockCacheHits: f[16], BlockCacheMisses: f[17],
+			Puts: f[10], Gets: f[11], Deletes: f[12], Scans: f[13], ScannedEntries: f[14],
+			Flushes: f[15], Compactions: f[16], BloomNegative: f[17], RunsProbed: f[18],
+			WALBytes: f[19], BlockCacheHits: f[20], BlockCacheMisses: f[21],
 		},
 	}
 }

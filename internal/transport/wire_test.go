@@ -188,7 +188,9 @@ func TestStatsRoundTrip(t *testing.T) {
 		Nodes: []cluster.NodeStats{
 			{ID: 0, Accepted: 10, Rejected: 1, Batches: 4, Ops: 40, TransportErrs: 2,
 				Store: engine.Stats{Puts: 7, Gets: 30, Flushes: 2, WALBytes: 9999, BlockCacheHits: 5}},
-			{ID: 3, Accepted: 2, Ops: 2, Store: engine.Stats{Deletes: 1, Scans: 8, ScannedEntries: 64}},
+			{ID: 3, Accepted: 2, Ops: 2, Down: true,
+				HintsPending: 17, HintsReplayed: 256, HintsDropped: 3,
+				Store: engine.Stats{Deletes: 1, Scans: 8, ScannedEntries: 64}},
 		},
 	}
 	for _, ns := range st.Nodes {
@@ -196,12 +198,15 @@ func TestStatsRoundTrip(t *testing.T) {
 		st.Rejected += ns.Rejected
 		st.Batches += ns.Batches
 		st.Ops += ns.Ops
+		if ns.Down {
+			st.Down++
+		}
 	}
 	got, err := DecodeStats(EncodeStats(nil, st))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Nodes) != 2 || got.Accepted != st.Accepted || got.Ops != st.Ops {
+	if len(got.Nodes) != 2 || got.Accepted != st.Accepted || got.Ops != st.Ops || got.Down != st.Down {
 		t.Fatalf("stats = %+v, want %+v", got, st)
 	}
 	for i := range st.Nodes {

@@ -1,24 +1,37 @@
 #!/bin/sh
-# Transport smoke test: two bdserve shard servers in separate processes,
-# 1k OLTP ops driven over real sockets by bdbench -net, then a SIGTERM
-# graceful drain that must exit 0 on both servers. Run from the repo
-# root (CI runs it after go test).
+# Transport smoke test, two phases.
+#
+# Phase 1 — serve + drain: two bdserve shard servers in separate
+# processes, 1k OLTP ops driven over real sockets by bdbench -net, then
+# a SIGTERM graceful drain that must exit 0 on both servers.
+#
+# Phase 2 — failover: two bdserve processes joined with replication 2,
+# bdbench -net -chaos driving load for a fixed duration while one server
+# is SIGKILLed mid-run and restarted. The client must keep serving from
+# the surviving replica (exit 0), and the restarted server must rejoin
+# and drain cleanly.
+#
+# Run from the repo root (CI runs it after go test).
 set -e
 
 BIN="$(mktemp -d)"
 P1=""
 P2=""
+PB=""
 cleanup() {
-    # Kill any server still running (e.g. bdbench failed before the
+    # Kill anything still running (e.g. bdbench failed before the
     # orderly TERM below) so CI ports are never left occupied. `|| true`
     # keeps an already-dead pid from tripping set -e inside the trap.
     [ -z "$P1" ] || kill "$P1" 2>/dev/null || true
     [ -z "$P2" ] || kill "$P2" 2>/dev/null || true
+    [ -z "$PB" ] || kill "$PB" 2>/dev/null || true
     rm -rf "$BIN"
 }
 trap cleanup EXIT
 go build -o "$BIN/bdserve" ./cmd/bdserve
 go build -o "$BIN/bdbench" ./cmd/bdbench
+
+# ---- Phase 1: serve + graceful drain ------------------------------------
 
 A1=127.0.0.1:7471
 A2=127.0.0.1:7472
@@ -43,3 +56,48 @@ if [ "$E1" -ne 0 ] || [ "$E2" -ne 0 ]; then
     exit 1
 fi
 echo "transport smoke: OK (graceful drain on both servers)"
+
+# ---- Phase 2: kill one replica mid-run, keep serving, rejoin ------------
+
+A3=127.0.0.1:7473
+A4=127.0.0.1:7474
+"$BIN/bdserve" -addr "$A3" -quiet &
+P1=$!
+"$BIN/bdserve" -addr "$A4" -quiet &
+P2=$!
+
+# Replication 2 across the two servers; -chaos makes the client tolerate
+# (and count) the batches that die with the member while the coordinator
+# fails over. The kill below is the real thing: SIGKILL, no drain.
+"$BIN/bdbench" -net -chaos -addr "$A3,$A4" -replication 2 -dur 4s -rows 500 -clients 4 &
+PB=$!
+
+sleep 1
+kill -KILL "$P1"
+echo "transport smoke: SIGKILLed server $A3 mid-run"
+sleep 1
+# Restart on the same address: the coordinator's prober must see it
+# rejoin and replay the writes it missed (hinted handoff).
+"$BIN/bdserve" -addr "$A3" -quiet &
+P1=$!
+
+EB=0
+wait "$PB" || EB=$?
+PB=""
+if [ "$EB" -ne 0 ]; then
+    echo "transport smoke: chaos client exited $EB, want 0 (serving did not survive the kill)" >&2
+    exit 1
+fi
+
+kill -TERM "$P1" "$P2"
+E1=0
+E2=0
+wait "$P1" || E1=$?
+wait "$P2" || E2=$?
+P1=""
+P2=""
+if [ "$E1" -ne 0 ] || [ "$E2" -ne 0 ]; then
+    echo "transport smoke: post-chaos drain exited $E1/$E2, want 0/0" >&2
+    exit 1
+fi
+echo "transport smoke: OK (served through SIGKILL + rejoin)"
