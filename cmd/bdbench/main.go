@@ -16,6 +16,11 @@
 //	bdbench -net -addr 127.0.0.1:7421,127.0.0.1:7422 -ops 50000 -clients 8
 //	bdbench -net -chaos -dur 5s
 //	bdbench -net -chaos -addr 127.0.0.1:7421,127.0.0.1:7422 -replication 2 -dur 3s
+//	bdbench -analytics wordcount -nodes 4
+//	bdbench -analytics wordcount -local
+//	bdbench -analytics pagerank -addr 127.0.0.1:7421,127.0.0.1:7422 -graphbits 12
+//	bdbench -analytics wordcount -input engine -rows 20000
+//	bdbench -workload Grep -scale 4 -json results.json
 package main
 
 import (
@@ -44,7 +49,7 @@ func main() {
 		vertices = flag.Int("vertices", core.DefaultVertexUnit, "baseline graph vertices (power of two)")
 		seed     = flag.Int64("seed", 1, "data-generation seed")
 		workers  = flag.Int("workers", 4, "substrate parallelism")
-		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
+		jsonPath = flag.String("json", "", `write machine-readable results JSON to this path ("-" = stdout)`)
 		shards   = flag.Int("shards", 0, "shard count for the cluster-capable workloads (0 = workload default)")
 		repl     = flag.Int("replication", 0, "copies per key for Cluster OLTP (0 = workload default)")
 		clients  = flag.Int("clients", 0, "concurrent load generators for Cluster OLTP (0 = workload default)")
@@ -62,14 +67,40 @@ func main() {
 		chaos    = flag.Bool("chaos", false, "failure-aware -net: tolerate dying members; without -addr, self-host two shard servers and kill/restart them")
 		killEv   = flag.Duration("killevery", 500*time.Millisecond, "period between chaos kills (self-hosted -chaos)")
 		downFor  = flag.Duration("downfor", 300*time.Millisecond, "how long a chaos-killed server stays down")
+
+		analyticsJob = flag.String("analytics", "", "run a distributed analytics job: wordcount, grep, sort, pagerank or kmeans")
+		anLocal      = flag.Bool("local", false, "with -analytics: run the in-process reference engine instead of the cluster")
+		anNodes      = flag.Int("nodes", 2, "self-hosted executor servers for -analytics without -addr")
+		anInput      = flag.String("input", "", "map input source for -analytics: bdgs (default) or engine")
+		anLines      = flag.Int("lines", 20000, "text records for -analytics wordcount/grep/sort (scaled by -scale)")
+		anGraphBits  = flag.Int("graphbits", 11, "2^bits vertices for -analytics pagerank (plus log2 of -scale)")
+		anVectors    = flag.Int("vectors", 4096, "vectors for -analytics kmeans (scaled by -scale)")
+		anIters      = flag.Int("iters", 5, "supersteps for -analytics pagerank/kmeans")
+		anMapTasks   = flag.Int("maptasks", 0, "map tasks for -analytics (0 = 2x executors)")
+		anReducers   = flag.Int("reducers", 0, "reduce partitions for -analytics (0 = executor count)")
 	)
 	flag.Parse()
+
+	if *analyticsJob != "" {
+		os.Exit(runAnalytics(analyticsConfig{
+			job: *analyticsJob, addrs: *addrs, local: *anLocal, nodes: *anNodes,
+			input: *anInput, lines: *anLines, graphBits: *anGraphBits,
+			vectors: *anVectors, iters: *anIters,
+			mapTasks: *anMapTasks, reducers: *anReducers,
+			scale: *scale, seed: *seed, workers: *workers, rows: *netRows,
+			jsonPath: *jsonPath,
+			engine: engine.Options{
+				Backend: *engName, Compaction: *compact,
+				BlockCacheBytes: *bcache, MemtableBytes: 1 << 20,
+			},
+		}))
+	}
 
 	if *listen != "" || *netMode {
 		cfg := netConfig{
 			addrs: *addrs, listen: *listen, shards: *shards, repl: max(*repl, 1),
 			clients: *clients, conns: *netConns, ops: *netOps, batch: *netBatch,
-			rows: *netRows, seed: *seed,
+			rows: *netRows, seed: *seed, jsonPath: *jsonPath,
 			chaos: *chaos, killEvery: *killEv, downFor: *downFor, dur: *netDur,
 			engine: engine.Options{
 				Backend: *engName, Compaction: *compact,
@@ -165,12 +196,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bdbench:", err)
 		os.Exit(1)
 	}
-	if *jsonOut {
+	if *jsonPath == "-" {
 		if err := core.WriteJSON(os.Stdout, []core.Result{res}); err != nil {
 			fmt.Fprintln(os.Stderr, "bdbench:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err == nil {
+			err = core.WriteJSON(f, []core.Result{res})
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bdbench:", err)
+			os.Exit(1)
+		}
+		// The file is the machine record; the human report still prints.
 	}
 
 	fmt.Printf("%s  (scale %dx, seed %d)\n", res.Workload, res.Scale, *seed)

@@ -18,17 +18,18 @@ import (
 
 // netConfig carries the networked-mode flags out of main.
 type netConfig struct {
-	addrs   string // comma-separated shard servers (-net client mode)
-	listen  string // serve mode listen address
-	shards  int
-	repl    int
-	clients int
-	conns   int
-	ops     int
-	batch   int
-	rows    int
-	seed    int64
-	engine  engine.Options
+	addrs    string // comma-separated shard servers (-net client mode)
+	listen   string // serve mode listen address
+	shards   int
+	repl     int
+	clients  int
+	conns    int
+	ops      int
+	batch    int
+	rows     int
+	seed     int64
+	jsonPath string // machine-readable results ("" = none, "-" = stdout)
+	engine   engine.Options
 
 	// chaos mode: kill/restart a shard server mid-run and keep serving.
 	chaos     bool
@@ -300,14 +301,18 @@ func runNet(cfg netConfig) int {
 	}
 	st := coord.Stats()
 	sum := lat.Summary()
-	fmt.Printf("net OLTP  (%d shard servers, %d clients, batch %d, seed %d)\n",
-		coord.Nodes(), cfg.clients, cfg.batch, cfg.seed)
-	fmt.Printf("  processed: %d ops in %v (%d preloaded rows untimed)\n",
-		sum.Count, elapsed.Round(time.Millisecond), cfg.rows)
-	fmt.Printf("  OPS: %.1f ops/s\n", float64(sum.Count)/elapsed.Seconds())
-	fmt.Printf("  latency: %s\n", sum)
-	fmt.Printf("  remote: accepted %d, rejected %d, batches %d\n",
-		st.Accepted, st.Rejected, st.Batches)
+	// With -json - the JSON record owns stdout (as in workload mode);
+	// the human report is suppressed so the output stays parseable.
+	if cfg.jsonPath != "-" {
+		fmt.Printf("net OLTP  (%d shard servers, %d clients, batch %d, seed %d)\n",
+			coord.Nodes(), cfg.clients, cfg.batch, cfg.seed)
+		fmt.Printf("  processed: %d ops in %v (%d preloaded rows untimed)\n",
+			sum.Count, elapsed.Round(time.Millisecond), cfg.rows)
+		fmt.Printf("  OPS: %.1f ops/s\n", float64(sum.Count)/elapsed.Seconds())
+		fmt.Printf("  latency: %s\n", sum)
+		fmt.Printf("  remote: accepted %d, rejected %d, batches %d\n",
+			st.Accepted, st.Rejected, st.Batches)
+	}
 	if cfg.chaos {
 		var pending, replayed, dropped uint64
 		for _, ns := range st.Nodes {
@@ -319,12 +324,41 @@ func runNet(cfg netConfig) int {
 		if kills != nil {
 			killMode = fmt.Sprintf("%d kills", kills.Load())
 		}
-		fmt.Printf("  chaos: %s, %d degraded batches, %d members down at exit\n",
-			killMode, degraded.Load(), st.Down)
-		fmt.Printf("  hints: %d replayed, %d pending, %d dropped\n",
-			replayed, pending, dropped)
+		if cfg.jsonPath != "-" {
+			fmt.Printf("  chaos: %s, %d degraded batches, %d members down at exit\n",
+				killMode, degraded.Load(), st.Down)
+			fmt.Printf("  hints: %d replayed, %d pending, %d dropped\n",
+				replayed, pending, dropped)
+		}
 		if kills != nil && kills.Load() == 0 {
 			fmt.Fprintln(os.Stderr, "bdbench: chaos mode never killed a server (run too short?)")
+			return 1
+		}
+	}
+	if cfg.jsonPath != "" {
+		us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+		rec := struct {
+			Mode      string  `json:"mode"`
+			Shards    int     `json:"shards"`
+			Clients   int     `json:"clients"`
+			Ops       int     `json:"ops"`
+			ElapsedNs int64   `json:"elapsedNs"`
+			OpsPerSec float64 `json:"opsPerSec"`
+			LatP50Us  float64 `json:"latP50Us"`
+			LatP95Us  float64 `json:"latP95Us"`
+			LatP99Us  float64 `json:"latP99Us"`
+			LatMaxUs  float64 `json:"latMaxUs"`
+			Degraded  int64   `json:"degradedBatches"`
+		}{
+			Mode: "net", Shards: coord.Nodes(), Clients: cfg.clients,
+			Ops: sum.Count, ElapsedNs: elapsed.Nanoseconds(),
+			OpsPerSec: float64(sum.Count) / elapsed.Seconds(),
+			LatP50Us:  us(sum.P50), LatP95Us: us(sum.P95),
+			LatP99Us: us(sum.P99), LatMaxUs: us(sum.Max),
+			Degraded: degraded.Load(),
+		}
+		if err := writeJSONFile(cfg.jsonPath, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "bdbench:", err)
 			return 1
 		}
 	}

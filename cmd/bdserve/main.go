@@ -1,7 +1,10 @@
 // Command bdserve hosts cluster shard nodes behind the binary wire
 // protocol (internal/transport) — the region-server daemon of the
 // paper's testbed. A coordinator in another process joins it with
-// bdbench -net or transport.Connect + cluster.AddRemote.
+// bdbench -net or transport.Connect + cluster.AddRemote. Unless -exec
+// is disabled, the daemon also hosts an analytics task executor
+// (internal/analytics), so distributed offline-analytics jobs can run
+// where the shard data lives (bdbench -analytics).
 //
 // Examples:
 //
@@ -9,6 +12,7 @@
 //	bdserve -addr :7421 -shards 2 -compaction leveled -blockcache 1048576
 //	bdserve -addr :7421 -inflight 512 -queue 256
 //	bdserve -addr :7421 -livez 127.0.0.1:7431
+//	bdserve -addr :7421 -taskslots 4 -advertise 10.0.0.3:7421
 //
 // Liveness is exposed twice: on the wire (the OpPing frame, answered
 // even under full admission — coordinators probe it to drive failover),
@@ -23,9 +27,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 
+	"repro/internal/analytics"
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/transport"
@@ -33,18 +39,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7421", "listen address")
-		shards   = flag.Int("shards", 1, "cluster nodes hosted by this server")
-		repl     = flag.Int("replication", 1, "copies per key across the hosted nodes")
-		engName  = flag.String("engine", "", "storage engine backend (default lsm; see internal/engine)")
-		compact  = flag.String("compaction", "", "LSM compaction policy: size-tiered or leveled")
-		bcache   = flag.Int("blockcache", 0, "block-cache bytes per engine (0 = default, negative disables)")
-		memtable = flag.Int("memtable", 1<<20, "memtable flush threshold in bytes")
-		queue    = flag.Int("queue", 0, "per-node request queue depth (0 = cluster default)")
-		workers  = flag.Int("workers", 0, "workers per node (0 = cluster default)")
-		inflight = flag.Int("inflight", 0, "max concurrently executing requests before shedding (0 = transport default)")
-		livez    = flag.String("livez", "", "optional HTTP liveness address (GET /livez, /statz)")
-		quiet    = flag.Bool("quiet", false, "suppress the startup and shutdown banners")
+		addr      = flag.String("addr", "127.0.0.1:7421", "listen address")
+		shards    = flag.Int("shards", 1, "cluster nodes hosted by this server")
+		repl      = flag.Int("replication", 1, "copies per key across the hosted nodes")
+		engName   = flag.String("engine", "", "storage engine backend (default lsm; see internal/engine)")
+		compact   = flag.String("compaction", "", "LSM compaction policy: size-tiered or leveled")
+		bcache    = flag.Int("blockcache", 0, "block-cache bytes per engine (0 = default, negative disables)")
+		memtable  = flag.Int("memtable", 1<<20, "memtable flush threshold in bytes")
+		queue     = flag.Int("queue", 0, "per-node request queue depth (0 = cluster default)")
+		workers   = flag.Int("workers", 0, "workers per node (0 = cluster default)")
+		inflight  = flag.Int("inflight", 0, "max concurrently executing requests before shedding (0 = transport default)")
+		livez     = flag.String("livez", "", "optional HTTP liveness address (GET /livez, /statz)")
+		execOn    = flag.Bool("exec", true, "host an analytics task executor on this server")
+		taskSlots = flag.Int("taskslots", 0, "concurrent analytics tasks (0 = executor default)")
+		advertise = flag.String("advertise", "", "address peers fetch shuffle data from (default: the resolved listen address)")
+		quiet     = flag.Bool("quiet", false, "suppress the startup and shutdown banners")
 	)
 	flag.Parse()
 
@@ -65,14 +74,35 @@ func main() {
 		WorkersPerNode: *workers,
 		Engine:         engOpts,
 	})
-	srv, err := transport.ServeUntilSignal(*addr, cl,
-		transport.ServerOptions{MaxInFlight: *inflight},
+	// Bind before building the executor: its advertised shuffle address
+	// is the resolved listen address (":0" included) unless overridden.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bdserve:", err)
+		os.Exit(1)
+	}
+	var ex *analytics.Executor
+	srvOpts := transport.ServerOptions{MaxInFlight: *inflight}
+	if *execOn {
+		self := *advertise
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		ex = analytics.NewExecutor(analytics.ExecutorConfig{
+			Self:          self,
+			Local:         cl,
+			MaxConcurrent: *taskSlots,
+		})
+		srvOpts.Tasks = ex
+	}
+	srv, err := transport.ServeListenerUntilSignal(ln, cl, srvOpts,
 		func(s *transport.Server) {
 			if *livez != "" {
 				go serveLivez(*livez, s, cl)
 			}
 			if !*quiet {
-				fmt.Printf("bdserve: listening on %s (%d shards, R=%d)\n", s.Addr(), *shards, *repl)
+				fmt.Printf("bdserve: listening on %s (%d shards, R=%d, executor %v)\n",
+					s.Addr(), *shards, *repl, *execOn)
 			}
 		})
 	if err != nil && srv == nil {
@@ -83,6 +113,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bdserve: close:", err)
 	}
 	st := cl.Stats()
+	if ex != nil {
+		ex.Close()
+	}
 	cl.Close()
 	if !*quiet {
 		fmt.Printf("bdserve: drained; served %d requests (%d shed), %d ops across %d nodes\n",

@@ -1,0 +1,504 @@
+package analytics
+
+import (
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mapreduce"
+	"repro/internal/transport"
+)
+
+// testNode is one in-process executor server: a hosted cluster (for
+// engine-input jobs), an executor, and the transport server exposing
+// both planes on a real socket.
+type testNode struct {
+	cl   *cluster.Cluster
+	ex   *Executor
+	srv  *transport.Server
+	addr string
+}
+
+func (n *testNode) kill() {
+	n.srv.Close()
+	n.ex.Close()
+}
+
+// clientOpts keeps test-time failure handling fast: dead servers must
+// cost milliseconds, not default dial patience.
+func clientOpts() transport.ClientOptions {
+	return transport.ClientOptions{
+		Timeout:     5 * time.Second,
+		DialTimeout: 200 * time.Millisecond,
+		PingTimeout: 100 * time.Millisecond,
+	}
+}
+
+func startNodes(t *testing.T, n int) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := cluster.New(cluster.Config{Shards: 1})
+		ex := NewExecutor(ExecutorConfig{
+			Self:   ln.Addr().String(),
+			Local:  cl,
+			Client: clientOpts(),
+		})
+		srv := transport.Serve(ln, cl, transport.ServerOptions{Tasks: ex})
+		nodes[i] = &testNode{cl: cl, ex: ex, srv: srv, addr: ln.Addr().String()}
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.srv.Close()
+			n.ex.Close()
+			n.cl.Close()
+		}
+	})
+	return nodes
+}
+
+func newTestCoordinator(t *testing.T, nodes []*testNode) *Coordinator {
+	t.Helper()
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.addr
+	}
+	c, err := NewCoordinator(addrs, CoordinatorOptions{Client: clientOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// smallText shrinks the text jobs to test size.
+func smallText(kind JobKind) JobSpec {
+	return JobSpec{Kind: kind, Seed: 42, Lines: 1500, Vocab: 3000}
+}
+
+func pairsEqual(t *testing.T, kind JobKind, got, want []mapreduce.KV) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d output pairs, want %d", kind, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair %d = %+v, want %+v", kind, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDistributedRecordJobsMatchLocal: wordcount, grep and sort over a
+// 2-node cluster must be byte-identical to the in-process MapReduce
+// reference.
+func TestDistributedRecordJobsMatchLocal(t *testing.T) {
+	nodes := startNodes(t, 2)
+	c := newTestCoordinator(t, nodes)
+	for _, kind := range []JobKind{WordCount, Grep, Sort} {
+		job := smallText(kind)
+		want, err := RunLocal(job, 4)
+		if err != nil {
+			t.Fatalf("%s local: %v", kind, err)
+		}
+		got, err := c.Run(job)
+		if err != nil {
+			t.Fatalf("%s distributed: %v", kind, err)
+		}
+		pairsEqual(t, kind, got.Pairs, want.Pairs)
+		if got.Digest() != want.Digest() {
+			t.Fatalf("%s digests differ: %x vs %x", kind, got.Digest(), want.Digest())
+		}
+		if len(got.Pairs) == 0 {
+			t.Fatalf("%s produced no output", kind)
+		}
+	}
+}
+
+// TestDistributedPageRankMatchesLocal: rank vectors must match the
+// dataflow reference bit for bit — the floating-point fold order is part
+// of the engine's contract.
+func TestDistributedPageRankMatchesLocal(t *testing.T) {
+	nodes := startNodes(t, 2)
+	c := newTestCoordinator(t, nodes)
+	job := JobSpec{Kind: PageRank, Seed: 7, GraphBits: 8, EdgeFactor: 6, Iterations: 3}
+	want, err := RunLocal(job, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ranks) != len(want.Ranks) {
+		t.Fatalf("rank vector length %d, want %d", len(got.Ranks), len(want.Ranks))
+	}
+	for i := range got.Ranks {
+		if math.Float64bits(got.Ranks[i]) != math.Float64bits(want.Ranks[i]) {
+			t.Fatalf("rank[%d] = %.17g, want %.17g (bit-exact)", i, got.Ranks[i], want.Ranks[i])
+		}
+	}
+	var mass float64
+	for _, r := range got.Ranks {
+		mass += r
+	}
+	if mass < 0.5 || mass > 1.5 {
+		t.Fatalf("rank mass %v is not near 1", mass)
+	}
+}
+
+// TestDistributedKMeansMatchesLocal: centroids and cluster sizes must
+// match the dataflow reference bit for bit.
+func TestDistributedKMeansMatchesLocal(t *testing.T) {
+	nodes := startNodes(t, 2)
+	c := newTestCoordinator(t, nodes)
+	job := JobSpec{Kind: KMeans, Seed: 9, Vectors: 600, Dim: 4, K: 3, Iterations: 3}
+	want, err := RunLocal(job, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Centroids) != len(want.Centroids) {
+		t.Fatalf("%d centroids, want %d", len(got.Centroids), len(want.Centroids))
+	}
+	for ci := range got.Centroids {
+		if got.ClusterSizes[ci] != want.ClusterSizes[ci] {
+			t.Fatalf("cluster %d size %d, want %d", ci, got.ClusterSizes[ci], want.ClusterSizes[ci])
+		}
+		for d := range got.Centroids[ci] {
+			if math.Float64bits(got.Centroids[ci][d]) != math.Float64bits(want.Centroids[ci][d]) {
+				t.Fatalf("centroid[%d][%d] = %.17g, want %.17g",
+					ci, d, got.Centroids[ci][d], want.Centroids[ci][d])
+			}
+		}
+	}
+}
+
+// TestPartitioningInvariance: the task-graph shape (map tasks, reducers,
+// node count) must not change any job's output.
+func TestPartitioningInvariance(t *testing.T) {
+	nodes := startNodes(t, 3)
+	c := newTestCoordinator(t, nodes)
+	base := smallText(WordCount)
+	ref, err := RunLocal(base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range []struct{ maps, reds int }{{2, 1}, {5, 3}, {9, 4}} {
+		job := base
+		job.MapTasks, job.Reducers = shape.maps, shape.reds
+		got, err := c.Run(job)
+		if err != nil {
+			t.Fatalf("maps=%d reducers=%d: %v", shape.maps, shape.reds, err)
+		}
+		if got.Digest() != ref.Digest() {
+			t.Fatalf("maps=%d reducers=%d: digest %x, want %x",
+				shape.maps, shape.reds, got.Digest(), ref.Digest())
+		}
+	}
+	// PageRank too: float folds are the fragile case.
+	prBase := JobSpec{Kind: PageRank, Seed: 3, GraphBits: 7, Iterations: 2}
+	prRef, err := RunLocal(prBase, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range []struct{ maps, reds int }{{1, 1}, {4, 2}, {7, 5}} {
+		job := prBase
+		job.MapTasks, job.Reducers = shape.maps, shape.reds
+		got, err := c.Run(job)
+		if err != nil {
+			t.Fatalf("pagerank maps=%d reducers=%d: %v", shape.maps, shape.reds, err)
+		}
+		if got.Digest() != prRef.Digest() {
+			t.Fatalf("pagerank maps=%d reducers=%d: digest %x, want %x",
+				shape.maps, shape.reds, got.Digest(), prRef.Digest())
+		}
+	}
+}
+
+// TestEngineInputWordCount: the job scans the rows already sharded
+// across the nodes' storage engines, and the result matches an
+// in-process wordcount over a coordinator-side global scan.
+func TestEngineInputWordCount(t *testing.T) {
+	nodes := startNodes(t, 2)
+
+	// Load rows through a KV coordinator, R=1: every row lives on
+	// exactly one node.
+	kv := cluster.NewEmpty(cluster.Config{Replication: 1})
+	defer kv.Close()
+	for _, n := range nodes {
+		rn, err := transport.Connect(n.addr, clientOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := kv.AddRemote(rn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows := []string{
+		"the quick brown fox", "jumps over the lazy dog",
+		"the dog barks", "a fox runs", "lazy summer days",
+		"quick quick slow", "dog and fox and dog",
+	}
+	for i, row := range rows {
+		if err := kv.Put([]byte(string(rune('a'+i))+"-key"), []byte(row)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reference: in-process wordcount over the global scan.
+	entries, err := kv.Scan(nil, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(rows) {
+		t.Fatalf("global scan returned %d rows, want %d", len(entries), len(rows))
+	}
+	recs := make([]mapreduce.Record, len(entries))
+	for i, e := range entries {
+		recs[i] = mapreduce.Record{Key: string(e.Key), Value: string(e.Value)}
+	}
+	job := JobSpec{Kind: WordCount, Seed: 1, Input: InputEngine}
+	want, err := RunLocalRecords(job, 2, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := newTestCoordinator(t, nodes)
+	got, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairsEqual(t, WordCount, got.Pairs, want.Pairs)
+	// Sanity: both nodes actually contributed a map task.
+	if got.MapTasks != 2 {
+		t.Fatalf("engine-input job ran %d map tasks, want 2", got.MapTasks)
+	}
+}
+
+// TestReschedulesAroundDeadExecutor: a job planned over three nodes must
+// survive one being gone (its tasks reschedule onto live members via
+// the ping-based health check) and still produce the reference result.
+func TestReschedulesAroundDeadExecutor(t *testing.T) {
+	nodes := startNodes(t, 3)
+	c := newTestCoordinator(t, nodes)
+	nodes[1].kill() // dies after the coordinator dialed it
+
+	job := smallText(WordCount)
+	want, err := RunLocal(job, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Run(job)
+	if err != nil {
+		t.Fatalf("job did not survive a dead executor: %v", err)
+	}
+	pairsEqual(t, WordCount, got.Pairs, want.Pairs)
+	if got.Retries == 0 {
+		t.Fatal("no retries recorded — the dead executor was never assigned work?")
+	}
+	if len(c.live()) != 2 {
+		t.Fatalf("%d live executors after the job, want 2", len(c.live()))
+	}
+}
+
+// TestRecoversLostShuffleOutput exercises the between-phases loss: maps
+// complete, then an executor dies taking its shuffle partitions with it.
+// The round logic must detect the dead member, re-run its map tasks on
+// survivors, and complete the reduces.
+func TestRecoversLostShuffleOutput(t *testing.T) {
+	nodes := startNodes(t, 3)
+	c := newTestCoordinator(t, nodes)
+	job, err := smallText(WordCount).normalize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunLocal(job, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	makeMap := func(mapID, lo, hi int) TaskSpec {
+		return TaskSpec{Job: job, Kind: TaskMap, MapID: mapID, Lo: lo, Hi: hi}
+	}
+	makeReduce := func(part int, fetch []FetchRef) TaskSpec {
+		return TaskSpec{Job: job, Kind: TaskReduce, Part: part, Fetch: fetch}
+	}
+	// Phase 1 by hand: run all maps while everyone is alive.
+	items := job.Items()
+	specs := make([]TaskSpec, job.MapTasks)
+	for m := range specs {
+		specs[m] = makeMap(m, items*m/job.MapTasks, items*(m+1)/job.MapTasks)
+	}
+	mapOuts, err := c.runPhase(specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the executor hosting map task 0's shuffle output.
+	victim := mapOuts[0].exec.addr
+	killed := false
+	for _, n := range nodes {
+		if n.addr == victim {
+			n.kill()
+			killed = true
+		}
+	}
+	if !killed {
+		t.Fatalf("no test node matches victim %s", victim)
+	}
+	// The round logic gets the stale outcomes: reduces must fail on the
+	// lost partitions, the victim must be probed down, its map tasks
+	// re-run elsewhere, and the job must still match the reference.
+	_, reduceOuts, err := c.mapReduceRound(job, mapOuts, makeMap, makeReduce)
+	if err != nil {
+		t.Fatalf("round did not recover from lost shuffle output: %v", err)
+	}
+	res := &JobResult{Job: job}
+	if err := collectPairs(res, reduceOuts); err != nil {
+		t.Fatal(err)
+	}
+	pairsEqual(t, WordCount, res.Pairs, want.Pairs)
+}
+
+// TestJobFailsWithoutExecutors: every member down is a loud error, not a
+// hang or an empty result.
+func TestJobFailsWithoutExecutors(t *testing.T) {
+	nodes := startNodes(t, 2)
+	c := newTestCoordinator(t, nodes)
+	for _, n := range nodes {
+		n.kill()
+	}
+	job := smallText(WordCount)
+	job.Lines = 50
+	if _, err := c.Run(job); err == nil {
+		t.Fatal("job with every executor dead succeeded")
+	}
+}
+
+// TestLatencyAggregation: the coordinator merges per-executor digests
+// (core.LatencyRecorder.Merge) into one job-wide summary.
+func TestLatencyAggregation(t *testing.T) {
+	nodes := startNodes(t, 2)
+	c := newTestCoordinator(t, nodes)
+	job := smallText(WordCount)
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := res.Job.MapTasks + res.Job.Reducers
+	if res.TaskLatency.Count != tasks {
+		t.Fatalf("TaskLatency.Count = %d, want %d", res.TaskLatency.Count, tasks)
+	}
+	perExec := 0
+	for addr, s := range res.PerExecutor {
+		if !strings.Contains(addr, ":") {
+			t.Fatalf("PerExecutor key %q is not an address", addr)
+		}
+		perExec += s.Count
+	}
+	if perExec != tasks {
+		t.Fatalf("per-executor counts sum to %d, want %d", perExec, tasks)
+	}
+	if res.TaskLatency.Max <= 0 {
+		t.Fatal("merged summary has no max latency")
+	}
+}
+
+// TestReleaseFreesExecutorState: once a job's outputs are collected,
+// the coordinator's release pass frees the retained task state on every
+// executor — memory is bounded by one round's working set, with the
+// TTL prune only as the backstop.
+func TestReleaseFreesExecutorState(t *testing.T) {
+	nodes := startNodes(t, 2)
+	c := newTestCoordinator(t, nodes)
+	job := smallText(WordCount)
+	if _, err := c.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		held := 0
+		for _, n := range nodes {
+			n.ex.mu.Lock()
+			for _, tk := range n.ex.tasks {
+				if tk.spec.Kind != TaskRelease {
+					held++
+				}
+			}
+			n.ex.mu.Unlock()
+		}
+		if held == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d map/reduce tasks still retained after the job's release pass", held)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobSpecValidation: malformed specs fail before any task ships.
+func TestJobSpecValidation(t *testing.T) {
+	nodes := startNodes(t, 1)
+	c := newTestCoordinator(t, nodes)
+	if _, err := c.Run(JobSpec{Kind: "tsp"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := c.Run(JobSpec{Kind: WordCount, Input: "punchcards"}); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if _, err := c.Run(JobSpec{Kind: Sort, Input: InputEngine}); err == nil {
+		t.Fatal("engine-input sort accepted")
+	}
+	if _, err := c.Run(JobSpec{Kind: KMeans, Vectors: 4, K: 8}); err == nil {
+		t.Fatal("kmeans with K > Vectors accepted (references cannot seed phantom centroids)")
+	}
+}
+
+// TestExecutorSurvivesMalformedSpecs: the wire is a process boundary —
+// garbage and unnormalized task specs must come back as error frames,
+// and the daemon must keep serving afterwards.
+func TestExecutorSurvivesMalformedSpecs(t *testing.T) {
+	nodes := startNodes(t, 1)
+	cl, err := transport.Dial(nodes[0].addr, clientOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.SubmitTask([]byte("{")); err == nil {
+		t.Fatal("garbage spec accepted")
+	}
+	// Unnormalized job (Reducers 0): would divide by zero in the
+	// partitioner if it ever ran.
+	bad := TaskSpec{Kind: TaskMap, Job: JobSpec{Kind: WordCount, Lines: 10, Vocab: 100}}
+	if _, err := cl.SubmitTask(EncodeTaskSpec(bad)); err == nil {
+		t.Fatal("unnormalized spec accepted")
+	}
+	// Out-of-range map slice and reduce partition.
+	over := TaskSpec{Kind: TaskMap, Lo: 0, Hi: 1 << 20,
+		Job: JobSpec{Kind: PageRank, GraphBits: 4, EdgeFactor: 2, MapTasks: 1, Reducers: 1}}
+	if _, err := cl.SubmitTask(EncodeTaskSpec(over)); err == nil {
+		t.Fatal("out-of-range map slice accepted")
+	}
+	part := TaskSpec{Kind: TaskReduce, Part: 5,
+		Job: JobSpec{Kind: WordCount, Lines: 10, Vocab: 100, MapTasks: 1, Reducers: 2}}
+	if _, err := cl.SubmitTask(EncodeTaskSpec(part)); err == nil {
+		t.Fatal("out-of-range reduce partition accepted")
+	}
+	// The daemon is unharmed: a real job still runs.
+	c := newTestCoordinator(t, nodes)
+	job := smallText(WordCount)
+	job.Lines = 100
+	if _, err := c.Run(job); err != nil {
+		t.Fatalf("executor unhealthy after malformed specs: %v", err)
+	}
+}

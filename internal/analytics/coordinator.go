@@ -1,0 +1,683 @@
+package analytics
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mapreduce"
+	"repro/internal/transport"
+)
+
+// Coordinator errors.
+var (
+	// ErrNoExecutors reports a job with every executor down.
+	ErrNoExecutors = errors.New("analytics: no live executors")
+	// ErrJobFailed reports a job that exhausted its retry budget.
+	ErrJobFailed = errors.New("analytics: job failed")
+)
+
+// CoordinatorOptions tunes a Coordinator. The zero value uses defaults.
+type CoordinatorOptions struct {
+	// Client configures the per-executor control connections.
+	Client transport.ClientOptions
+	// PollInterval is the task-status poll period (default 1ms).
+	PollInterval time.Duration
+	// TaskAttempts is how many executors one task is tried on before
+	// the job fails (default 3).
+	TaskAttempts int
+	// Rounds bounds whole map-phase re-runs after shuffle data is lost
+	// with a dead executor (default 3).
+	Rounds int
+}
+
+func (o *CoordinatorOptions) normalize() {
+	if o.PollInterval <= 0 {
+		o.PollInterval = time.Millisecond
+	}
+	if o.TaskAttempts <= 0 {
+		o.TaskAttempts = 3
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+}
+
+// executorRef is the coordinator's handle on one executor server.
+type executorRef struct {
+	addr string
+	c    *transport.Client
+	down atomic.Bool
+}
+
+// Coordinator plans jobs over a set of executor servers, drives their
+// tasks, reschedules work that lands on dead members, and folds the
+// reduce outputs into the job result. It is the analytics counterpart
+// of the KV coordinator: executors are ring members that compute.
+type Coordinator struct {
+	opts  CoordinatorOptions
+	execs []*executorRef
+	next  atomic.Uint64
+
+	mu      sync.Mutex
+	lats    map[string]*core.LatencyRecorder // per-executor task durations
+	retries int
+	shuffle int64
+}
+
+// NewCoordinator dials every executor address. All must answer the dial;
+// failures after that are the failure handler's business.
+func NewCoordinator(addrs []string, opts CoordinatorOptions) (*Coordinator, error) {
+	opts.normalize()
+	if len(addrs) == 0 {
+		return nil, ErrNoExecutors
+	}
+	c := &Coordinator{opts: opts, lats: map[string]*core.LatencyRecorder{}}
+	for _, addr := range addrs {
+		cl, err := transport.Dial(addr, opts.Client)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("analytics: dial executor %s: %w", addr, err)
+		}
+		c.execs = append(c.execs, &executorRef{addr: addr, c: cl})
+	}
+	return c, nil
+}
+
+// Close drops the executor connections (the executors keep running).
+func (c *Coordinator) Close() {
+	for _, e := range c.execs {
+		e.c.Close()
+	}
+}
+
+// Executors returns the configured executor count.
+func (c *Coordinator) Executors() int { return len(c.execs) }
+
+// live returns the executors not currently marked down.
+func (c *Coordinator) live() []*executorRef {
+	var out []*executorRef
+	for _, e := range c.execs {
+		if !e.down.Load() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// pick selects the next live executor round-robin.
+func (c *Coordinator) pick() (*executorRef, error) {
+	for range c.execs {
+		e := c.execs[int(c.next.Add(1))%len(c.execs)]
+		if !e.down.Load() {
+			return e, nil
+		}
+	}
+	return nil, ErrNoExecutors
+}
+
+// suspect pings an executor after a failure and marks it down if the
+// probe misses. A member that still answers keeps serving (the failure
+// was the task's, or transient).
+func (c *Coordinator) suspect(e *executorRef) {
+	if err := e.c.Ping(); err != nil {
+		e.down.Store(true)
+	}
+}
+
+// recordTask folds one finished task's executor-measured duration into
+// the per-executor latency digests.
+func (c *Coordinator) recordTask(addr string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.lats[addr]
+	if r == nil {
+		r = &core.LatencyRecorder{}
+		c.lats[addr] = r
+	}
+	r.Record(d)
+}
+
+// taskOutcome is one successfully completed task.
+type taskOutcome struct {
+	exec   *executorRef
+	taskID uint64
+	result TaskResult
+}
+
+// runTask drives one task to completion: submit, poll, fetch result —
+// retrying on other live executors when the assigned one fails or the
+// task errors. pinned pins the task to one executor (engine-input map
+// tasks read that member's local data; running them elsewhere would
+// read the wrong shards, so a dead pinned member fails the task).
+func (c *Coordinator) runTask(spec TaskSpec, pinned *executorRef) (taskOutcome, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.opts.TaskAttempts; attempt++ {
+		e := pinned
+		if e == nil {
+			var err error
+			if e, err = c.pick(); err != nil {
+				return taskOutcome{}, err
+			}
+		} else if e.down.Load() {
+			return taskOutcome{}, fmt.Errorf("analytics: executor %s holding the task's data is down: %w",
+				e.addr, ErrJobFailed)
+		}
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+		}
+		out, err := c.tryTask(e, spec)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		c.suspect(e)
+	}
+	return taskOutcome{}, fmt.Errorf("analytics: task exhausted %d attempts: %w",
+		c.opts.TaskAttempts, lastErr)
+}
+
+// tryTask runs one task attempt on one executor.
+func (c *Coordinator) tryTask(e *executorRef, spec TaskSpec) (taskOutcome, error) {
+	id, err := e.c.SubmitTask(EncodeTaskSpec(spec))
+	if err != nil {
+		return taskOutcome{}, err
+	}
+	for {
+		done, taskErr, err := e.c.TaskStatus(id)
+		if err != nil {
+			return taskOutcome{}, err
+		}
+		if taskErr != nil {
+			return taskOutcome{}, taskErr
+		}
+		if done {
+			break
+		}
+		time.Sleep(c.opts.PollInterval)
+	}
+	raw, err := e.c.ShuffleFetch(id, ResultPart)
+	if err != nil {
+		return taskOutcome{}, err
+	}
+	res, err := DecodeTaskResult(raw)
+	if err != nil {
+		return taskOutcome{}, err
+	}
+	c.recordTask(e.addr, time.Duration(res.DurationNs))
+	c.mu.Lock()
+	c.shuffle += res.ShuffleBytes
+	c.mu.Unlock()
+	return taskOutcome{exec: e, taskID: id, result: res}, nil
+}
+
+// runPhase drives a set of tasks concurrently. pinned maps task index to
+// a required executor (nil entries float).
+func (c *Coordinator) runPhase(specs []TaskSpec, pinned []*executorRef) ([]taskOutcome, error) {
+	outs := make([]taskOutcome, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var pin *executorRef
+			if pinned != nil {
+				pin = pinned[i]
+			}
+			outs[i], errs[i] = c.runTask(specs[i], pin)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return outs, err
+		}
+	}
+	return outs, nil
+}
+
+// mapReduceRound runs one full map phase + reduce phase, re-running map
+// tasks whose shuffle output died with an executor between the phases.
+// makeMap builds map task i over input slice [lo,hi); makeReduce builds
+// the reduce task for partition part given every map task's output ref.
+// prev (may be nil — job-level callers always start fresh) seeds map
+// outcomes that already exist, exposing the recovery window the tests
+// drive deterministically: outcomes whose executor has since been
+// marked down are re-run, and deterministic regeneration makes that
+// re-execution safe.
+func (c *Coordinator) mapReduceRound(job JobSpec, prev []taskOutcome,
+	makeMap func(mapID, lo, hi int) TaskSpec,
+	makeReduce func(part int, fetch []FetchRef) TaskSpec,
+) (mapOuts []taskOutcome, reduceOuts []taskOutcome, err error) {
+	items := job.Items()
+	if len(prev) == job.MapTasks {
+		mapOuts = append([]taskOutcome(nil), prev...)
+	}
+	var lastErr error
+	for round := 0; round < c.opts.Rounds; round++ {
+		// (Re-)run every map task that has no surviving outcome.
+		var specs []TaskSpec
+		var missing []int
+		for m := 0; m < job.MapTasks; m++ {
+			if mapOuts != nil && mapOuts[m].exec != nil && !mapOuts[m].exec.down.Load() {
+				continue
+			}
+			lo, hi := items*m/job.MapTasks, items*(m+1)/job.MapTasks
+			specs = append(specs, makeMap(m, lo, hi))
+			missing = append(missing, m)
+		}
+		if mapOuts == nil {
+			mapOuts = make([]taskOutcome, job.MapTasks)
+		}
+		if len(specs) > 0 {
+			outs, err := c.runPhase(specs, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			for i, m := range missing {
+				mapOuts[m] = outs[i]
+			}
+		}
+		fetch := make([]FetchRef, job.MapTasks)
+		for m, out := range mapOuts {
+			fetch[m] = FetchRef{Addr: fetchAddr(out), Task: out.taskID}
+		}
+		reduceSpecs := make([]TaskSpec, job.Reducers)
+		for p := 0; p < job.Reducers; p++ {
+			reduceSpecs[p] = makeReduce(p, fetch)
+		}
+		reduceOuts, err = c.runPhase(reduceSpecs, nil)
+		if err == nil {
+			return mapOuts, reduceOuts, nil
+		}
+		lastErr = err
+		// A reduce failed terminally — most likely its shuffle sources
+		// died. Probe everything; the next round re-runs the map tasks
+		// whose hosts are gone and rebuilds the fetch plan.
+		for _, e := range c.execs {
+			if !e.down.Load() {
+				c.suspect(e)
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("analytics: %d map/reduce rounds failed: %w (last: %v)",
+		c.opts.Rounds, ErrJobFailed, lastErr)
+}
+
+// fetchAddr is the address peers fetch a map task's shuffle output
+// from: the executor's own advertised address (reported in its task
+// results — bdserve -advertise), falling back to the coordinator's dial
+// address for executors that advertise nothing.
+func fetchAddr(out taskOutcome) string {
+	if out.result.Addr != "" {
+		return out.result.Addr
+	}
+	return out.exec.addr
+}
+
+// release frees a finished round's retained task state on its
+// executors: one fire-and-forget TaskRelease per executor, so memory
+// holds one round's working set instead of TaskTTL's worth. A release
+// lost with a broken connection is covered by the executor's TTL prune.
+func (c *Coordinator) release(groups ...[]taskOutcome) {
+	byExec := map[*executorRef][]uint64{}
+	for _, g := range groups {
+		for _, out := range g {
+			if out.exec != nil && out.taskID != 0 {
+				byExec[out.exec] = append(byExec[out.exec], out.taskID)
+			}
+		}
+	}
+	for e, ids := range byExec {
+		spec := TaskSpec{Kind: TaskRelease, Release: ids}
+		go func(e *executorRef, spec TaskSpec) {
+			_, _ = e.c.SubmitTask(EncodeTaskSpec(spec))
+		}(e, spec)
+	}
+}
+
+// JobResult is one job's output and accounting.
+type JobResult struct {
+	Job JobSpec // the normalized spec that actually ran
+
+	// Pairs is the record-job output (wordcount, grep, sort), globally
+	// sorted by key then value — the same canonical order
+	// mapreduce.Result.Sorted returns.
+	Pairs []mapreduce.KV
+	// Ranks is the pagerank output, indexed by vertex.
+	Ranks []float64
+	// Centroids and ClusterSizes are the kmeans output, indexed by
+	// cluster id.
+	Centroids    [][]float64
+	ClusterSizes []int64
+
+	// InputRecords is the record count map tasks actually read — for
+	// engine-input jobs the scanned row count (Items() sizes generated
+	// inputs only).
+	InputRecords int
+
+	MapTasks    int
+	ReduceTasks int
+	Retries     int
+	// ShuffleBytes counts bytes pulled across shuffle fetches.
+	ShuffleBytes int64
+	Elapsed      time.Duration
+
+	// TaskLatency digests every task's executor-measured runtime;
+	// PerExecutor splits it by executor address. The coordinator builds
+	// TaskLatency by merging the per-executor recorders
+	// (core.LatencyRecorder.Merge).
+	TaskLatency core.LatencySummary
+	PerExecutor map[string]core.LatencySummary
+}
+
+// Digest folds the job output into one comparable fingerprint (FNV-64a
+// over the canonical output order), so two runs — distributed vs local,
+// 2 nodes vs 4 — can be diffed with a single line.
+func (r *JobResult) Digest() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, kv := range r.Pairs {
+		h.Write([]byte(kv.Key))
+		h.Write([]byte{0})
+		h.Write([]byte(kv.Value))
+		h.Write([]byte{1})
+	}
+	for _, rank := range r.Ranks {
+		putU64(b[:], math.Float64bits(rank))
+		h.Write(b[:])
+	}
+	for i, cent := range r.Centroids {
+		for _, x := range cent {
+			putU64(b[:], math.Float64bits(x))
+			h.Write(b[:])
+		}
+		if i < len(r.ClusterSizes) {
+			putU64(b[:], uint64(r.ClusterSizes[i]))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// finish stamps the accounting fields shared by every job kind.
+func (c *Coordinator) finish(r *JobResult, start time.Time) {
+	r.Elapsed = time.Since(start)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r.Retries = c.retries
+	r.ShuffleBytes = c.shuffle
+	r.PerExecutor = map[string]core.LatencySummary{}
+	var all core.LatencyRecorder
+	addrs := make([]string, 0, len(c.lats))
+	for addr := range c.lats {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		r.PerExecutor[addr] = c.lats[addr].Summary()
+		all.Merge(c.lats[addr])
+	}
+	r.TaskLatency = all.Summary()
+	// Reset the per-job accounting so a reused coordinator starts clean.
+	c.lats = map[string]*core.LatencyRecorder{}
+	c.retries = 0
+	c.shuffle = 0
+}
+
+// Run executes one job across the executors.
+func (c *Coordinator) Run(job JobSpec) (*JobResult, error) {
+	// A down verdict is not forever: re-probe down members at job
+	// start, so a server that restarted (or a transient ping miss) is
+	// back in the fleet for the next job instead of excluded for the
+	// coordinator's lifetime.
+	for _, e := range c.execs {
+		if e.down.Load() && e.c.Ping() == nil {
+			e.down.Store(false)
+		}
+	}
+	job, err := job.normalize(len(c.live()))
+	if err != nil {
+		return nil, err
+	}
+	switch job.Kind {
+	case WordCount, Grep, Sort:
+		return c.runRecords(job)
+	case PageRank:
+		return c.runPageRank(job)
+	case KMeans:
+		return c.runKMeans(job)
+	}
+	return nil, fmt.Errorf("analytics: unknown job kind %q", job.Kind)
+}
+
+// runRecords runs the one-pass record jobs.
+func (c *Coordinator) runRecords(job JobSpec) (*JobResult, error) {
+	start := time.Now()
+	res := &JobResult{Job: job}
+	if job.Input == InputEngine {
+		return c.runEngineRecords(job, start)
+	}
+	makeMap := func(mapID, lo, hi int) TaskSpec {
+		return TaskSpec{Job: job, Kind: TaskMap, MapID: mapID, Lo: lo, Hi: hi}
+	}
+	makeReduce := func(part int, fetch []FetchRef) TaskSpec {
+		return TaskSpec{Job: job, Kind: TaskReduce, Part: part, Fetch: fetch}
+	}
+	mapOuts, reduceOuts, err := c.mapReduceRound(job, nil, makeMap, makeReduce)
+	if err != nil {
+		return nil, err
+	}
+	if err := collectPairs(res, reduceOuts); err != nil {
+		return nil, err
+	}
+	c.release(mapOuts, reduceOuts)
+	res.MapTasks, res.ReduceTasks = job.MapTasks, job.Reducers
+	c.finish(res, start)
+	return res, nil
+}
+
+// runEngineRecords runs wordcount/grep over the executors' local engine
+// data: one pinned map task per executor — the task must run where the
+// shards live.
+func (c *Coordinator) runEngineRecords(job JobSpec, start time.Time) (*JobResult, error) {
+	live := c.live()
+	if len(live) == 0 {
+		return nil, ErrNoExecutors
+	}
+	job.MapTasks = len(live)
+	specs := make([]TaskSpec, len(live))
+	for i := range live {
+		specs[i] = TaskSpec{Job: job, Kind: TaskMap, MapID: i}
+	}
+	mapOuts, err := c.runPhase(specs, live)
+	if err != nil {
+		return nil, err
+	}
+	fetch := make([]FetchRef, len(mapOuts))
+	for i, out := range mapOuts {
+		fetch[i] = FetchRef{Addr: fetchAddr(out), Task: out.taskID}
+	}
+	reduceSpecs := make([]TaskSpec, job.Reducers)
+	for p := 0; p < job.Reducers; p++ {
+		reduceSpecs[p] = TaskSpec{Job: job, Kind: TaskReduce, Part: p, Fetch: fetch}
+	}
+	reduceOuts, err := c.runPhase(reduceSpecs, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &JobResult{Job: job}
+	if err := collectPairs(res, reduceOuts); err != nil {
+		return nil, err
+	}
+	for _, out := range mapOuts {
+		res.InputRecords += out.result.InputRows
+	}
+	c.release(mapOuts, reduceOuts)
+	res.MapTasks, res.ReduceTasks = job.MapTasks, job.Reducers
+	c.finish(res, start)
+	return res, nil
+}
+
+// collectPairs folds reduce outputs into the canonical sorted pair list.
+func collectPairs(res *JobResult, reduceOuts []taskOutcome) error {
+	for _, out := range reduceOuts {
+		if err := WalkRows(out.result.Rows, func(k, v []byte) error {
+			res.Pairs = append(res.Pairs, mapreduce.KV{Key: string(k), Value: string(v)})
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	sort.Slice(res.Pairs, func(i, j int) bool {
+		if res.Pairs[i].Key != res.Pairs[j].Key {
+			return res.Pairs[i].Key < res.Pairs[j].Key
+		}
+		return res.Pairs[i].Value < res.Pairs[j].Value
+	})
+	return nil
+}
+
+// runPageRank drives the damped power iteration: each superstep is one
+// distributed map/reduce round, with the rank vector carried by the
+// coordinator and its slices shipped inside the map task specs.
+func (c *Coordinator) runPageRank(job JobSpec) (*JobResult, error) {
+	start := time.Now()
+	n := job.Items()
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1.0 / float64(n)
+	}
+	const damping = 0.85
+	reduces := 0
+	for it := 0; it < job.Iterations; it++ {
+		makeMap := func(mapID, lo, hi int) TaskSpec {
+			return TaskSpec{Job: job, Kind: TaskMap, MapID: mapID, Lo: lo, Hi: hi,
+				Ranks: ranks[lo:hi]}
+		}
+		makeReduce := func(part int, fetch []FetchRef) TaskSpec {
+			return TaskSpec{Job: job, Kind: TaskReduce, Part: part, Fetch: fetch}
+		}
+		mapOuts, reduceOuts, err := c.mapReduceRound(job, nil, makeMap, makeReduce)
+		if err != nil {
+			return nil, fmt.Errorf("analytics: pagerank superstep %d: %w", it, err)
+		}
+		reduces += job.Reducers
+		base := (1 - damping) / float64(n)
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = base
+		}
+		for _, out := range reduceOuts {
+			if err := WalkRows(out.result.Rows, func(k, v []byte) error {
+				dest, ok := u32From(k)
+				if !ok {
+					return ErrRowCorrupt
+				}
+				sum, ok2 := sumFrom(v)
+				if !ok2 {
+					return ErrRowCorrupt
+				}
+				next[dest] += damping * sum
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		c.release(mapOuts, reduceOuts) // superstep consumed: free its outputs
+		ranks = next
+	}
+	res := &JobResult{Job: job, Ranks: ranks,
+		MapTasks: job.MapTasks * job.Iterations, ReduceTasks: reduces}
+	c.finish(res, start)
+	return res, nil
+}
+
+// runKMeans drives Lloyd's algorithm: centroids live at the coordinator
+// and travel whole inside each map task spec; the update step folds the
+// per-cluster sums the reduces return.
+func (c *Coordinator) runKMeans(job JobSpec) (*JobResult, error) {
+	start := time.Now()
+	// Initial centroids: the first K vectors, as the KMeans workload.
+	cents := kmeansVectors(job, 0, job.K)
+	sizes := make([]int64, job.K)
+	reduces, maps := 0, 0
+	for it := 0; it < job.Iterations; it++ {
+		makeMap := func(mapID, lo, hi int) TaskSpec {
+			return TaskSpec{Job: job, Kind: TaskMap, MapID: mapID, Lo: lo, Hi: hi,
+				Cents: cents}
+		}
+		makeReduce := func(part int, fetch []FetchRef) TaskSpec {
+			return TaskSpec{Job: job, Kind: TaskReduce, Part: part, Fetch: fetch}
+		}
+		mapOuts, reduceOuts, err := c.mapReduceRound(job, nil, makeMap, makeReduce)
+		if err != nil {
+			return nil, fmt.Errorf("analytics: kmeans iteration %d: %w", it, err)
+		}
+		maps += job.MapTasks
+		reduces += job.Reducers
+		moved := 0.0
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		// Apply updates in ascending cluster order so `moved` — the
+		// convergence check — is deterministic.
+		type upd struct {
+			n   int64
+			sum []float64
+		}
+		upds := map[uint32]upd{}
+		var order []uint32
+		for _, out := range reduceOuts {
+			if err := WalkRows(out.result.Rows, func(k, v []byte) error {
+				cid, ok := u32From(k)
+				if !ok {
+					return ErrRowCorrupt
+				}
+				n, sum, ok2 := accFrom(v)
+				if !ok2 {
+					return ErrRowCorrupt
+				}
+				upds[cid] = upd{n: n, sum: sum}
+				order = append(order, cid)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+		for _, cid := range order {
+			u := upds[cid]
+			for j := range cents[cid] {
+				nv := u.sum[j] / float64(u.n)
+				moved += math.Abs(nv - cents[cid][j])
+				cents[cid][j] = nv
+			}
+			sizes[cid] = u.n
+		}
+		c.release(mapOuts, reduceOuts) // iteration consumed: free its outputs
+		if moved < 1e-9 {
+			break
+		}
+	}
+	res := &JobResult{Job: job, Centroids: cents, ClusterSizes: sizes,
+		MapTasks: maps, ReduceTasks: reduces}
+	c.finish(res, start)
+	return res, nil
+}

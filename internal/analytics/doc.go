@@ -1,0 +1,46 @@
+// Package analytics is the distributed offline-analytics engine: the
+// paper's Hadoop/Spark job classes (wordcount, grep, sort, PageRank,
+// k-means) executed across the networked cluster instead of inside one
+// process. It is the bridge between the two halves the repository grew
+// separately — the in-process engines (internal/mapreduce,
+// internal/dataflow) that run the paper's offline-analytics workloads,
+// and the PR 1–4 cluster/transport stack that serves KV traffic across
+// processes.
+//
+// # Architecture
+//
+// A Coordinator plans a JobSpec into map and reduce tasks and drives
+// them over executor servers (one Executor per bdserve process, exposed
+// through transport's task plane: OpTaskSubmit / OpTaskStatus /
+// OpShuffleFetch). Map tasks read their input either by regenerating
+// their slice from the partition-stable BDGS generators (no input bytes
+// cross the wire — the generator runs on every node, as the original
+// BDGS deploys) or by scanning the storage engine shards already hosted
+// on the node (InputEngine). Map output is bucketed into shuffle
+// partitions held by the executor; reduce tasks fetch their partition
+// from every map task node-to-node over the wire and fold it. The
+// iterative jobs (PageRank, k-means) run one map/reduce round per
+// superstep, with the small global state (rank vector, centroids)
+// carried by the coordinator inside the task specs.
+//
+// # Determinism
+//
+// Distributed results are byte-identical to the in-process references
+// (RunLocal): inputs are partition-stable (bdgs Stable* generators),
+// integer folds are order-free, and the floating-point folds are
+// ordered — map tasks cover ascending contiguous input ranges, reduces
+// fetch in map-task order, and each key's contributions fold in
+// arrival order, which reproduces the dataflow engine's left fold bit
+// for bit. The validation tests assert exact equality; JobResult.Digest
+// turns any run into one comparable fingerprint.
+//
+// # Failure handling
+//
+// Executors are probed with the same transport Ping the KV health layer
+// uses. A task whose executor dies (or whose execution fails) is
+// rescheduled on another live member; a reduce whose shuffle sources
+// died triggers a re-run of the lost map tasks before the reduce is
+// retried. Deterministic regeneration is what makes re-execution safe:
+// a map task re-run elsewhere produces the same bytes the dead node
+// held.
+package analytics

@@ -1,0 +1,346 @@
+package analytics
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// JobKind names one of the distributed offline-analytics jobs — the
+// paper's Table 4 micro and application benchmarks that run on
+// distributed engines.
+type JobKind string
+
+// The supported jobs.
+const (
+	WordCount JobKind = "wordcount"
+	Grep      JobKind = "grep"
+	Sort      JobKind = "sort"
+	PageRank  JobKind = "pagerank"
+	KMeans    JobKind = "kmeans"
+)
+
+// Input sources for the record-oriented jobs.
+const (
+	// InputBDGS regenerates each map task's input slice from the
+	// partition-stable BDGS generators (bdgs.LinesAt): no input ever
+	// crosses the wire, exactly how the original BDGS deploys — the
+	// generator runs on every node.
+	InputBDGS = "bdgs"
+	// InputEngine scans the executor's local storage engine: the
+	// analytics job runs where the serving data already lives. Each
+	// executor contributes the rows its own shards hold, so the job
+	// wants replication 1 — with R > 1 the same row would be counted on
+	// every owner.
+	InputEngine = "engine"
+)
+
+// JobSpec describes one job. The coordinator normalizes it, plans it
+// into tasks, and the same normalized spec drives the in-process
+// reference (RunLocal) — both sides must see identical parameters for
+// the distributed-equals-local guarantee to be checkable.
+type JobSpec struct {
+	Kind JobKind
+	Seed int64
+
+	// Input selects the map input source for the record-oriented jobs:
+	// InputBDGS (default) or InputEngine.
+	Input string
+
+	// Text-input sizing (wordcount, grep, sort with InputBDGS).
+	Lines        int    // records (default 20000)
+	WordsPerLine int    // mean words per record (default 10)
+	Vocab        int    // text-model vocabulary (default 30000)
+	Pattern      string // grep substring (default: a seed-derived word)
+
+	// Graph sizing (pagerank).
+	GraphBits  int // 2^GraphBits vertices (default 11)
+	EdgeFactor int // out-edges per vertex (default 6)
+
+	// Vector sizing (kmeans).
+	Vectors int // vector count (default 4096)
+	Dim     int // dimensionality (default 16)
+	K       int // cluster count (default 8)
+
+	// Iterations bounds the supersteps (pagerank, kmeans; default 5).
+	Iterations int
+
+	// MapTasks and Reducers size the task graph (defaults scale with
+	// the executor count). Results are partitioning-independent — these
+	// only trade scheduling granularity against overhead.
+	MapTasks int
+	Reducers int
+}
+
+// normalize fills defaults. execs is the live executor count (>= 1).
+func (j JobSpec) normalize(execs int) (JobSpec, error) {
+	switch j.Kind {
+	case WordCount, Grep, Sort, PageRank, KMeans:
+	default:
+		return j, fmt.Errorf("analytics: unknown job kind %q", j.Kind)
+	}
+	if j.Input == "" {
+		j.Input = InputBDGS
+	}
+	if j.Input != InputBDGS && j.Input != InputEngine {
+		return j, fmt.Errorf("analytics: unknown input source %q", j.Input)
+	}
+	if j.Input == InputEngine && j.Kind != WordCount && j.Kind != Grep {
+		return j, fmt.Errorf("analytics: input %q supports wordcount and grep, not %q", InputEngine, j.Kind)
+	}
+	if j.Lines <= 0 {
+		j.Lines = 20000
+	}
+	if j.WordsPerLine <= 0 {
+		j.WordsPerLine = 10
+	}
+	if j.Vocab <= 0 {
+		j.Vocab = 30000
+	}
+	if j.GraphBits <= 0 {
+		j.GraphBits = 11
+	}
+	if j.EdgeFactor <= 0 {
+		j.EdgeFactor = 6
+	}
+	if j.Vectors <= 0 {
+		j.Vectors = 4096
+	}
+	if j.Dim <= 0 {
+		j.Dim = 16
+	}
+	if j.K <= 0 {
+		j.K = 8
+	}
+	if j.Iterations <= 0 {
+		j.Iterations = 5
+	}
+	if execs < 1 {
+		execs = 1
+	}
+	if j.MapTasks <= 0 {
+		j.MapTasks = 2 * execs
+	}
+	if j.Reducers <= 0 {
+		j.Reducers = execs
+	}
+	if j.Kind == KMeans && j.K > j.Vectors {
+		// The references seed centroids from the first K real vectors;
+		// with K > Vectors the distributed engine would seed phantom
+		// vectors and silently diverge — reject instead.
+		return j, fmt.Errorf("analytics: kmeans needs Vectors >= K (%d < %d)", j.Vectors, j.K)
+	}
+	if j.Kind == Grep && j.Pattern == "" {
+		j.Pattern = defaultPattern(j)
+	}
+	return j, nil
+}
+
+// validate rejects task specs the executor cannot safely run. The wire
+// is a process boundary: a malformed or unnormalized spec must come
+// back as an error frame, never take down the hosting daemon.
+func (ts TaskSpec) validate() error {
+	switch ts.Kind {
+	case TaskRelease:
+		return nil
+	case TaskMap, TaskReduce:
+	default:
+		return fmt.Errorf("analytics: unknown task kind %q", ts.Kind)
+	}
+	j := ts.Job
+	switch j.Kind {
+	case WordCount, Grep, Sort, PageRank, KMeans:
+	default:
+		return fmt.Errorf("analytics: unknown job kind %q", j.Kind)
+	}
+	if j.MapTasks < 1 || j.Reducers < 1 {
+		return fmt.Errorf("analytics: unnormalized job spec (%d map tasks, %d reducers)",
+			j.MapTasks, j.Reducers)
+	}
+	if j.Kind == KMeans && (j.Dim < 1 || j.K < 1) {
+		return fmt.Errorf("analytics: unnormalized kmeans spec (dim %d, k %d)", j.Dim, j.K)
+	}
+	switch ts.Kind {
+	case TaskMap:
+		if ts.Lo < 0 || ts.Hi < ts.Lo {
+			return fmt.Errorf("analytics: map range [%d,%d) is invalid", ts.Lo, ts.Hi)
+		}
+		if j.Input != InputEngine && ts.Hi > j.Items() {
+			return fmt.Errorf("analytics: map range [%d,%d) exceeds the %d-item input",
+				ts.Lo, ts.Hi, j.Items())
+		}
+	case TaskReduce:
+		if ts.Part < 0 || ts.Part >= j.Reducers {
+			return fmt.Errorf("analytics: reduce partition %d out of %d", ts.Part, j.Reducers)
+		}
+	}
+	return nil
+}
+
+// Items returns the size of the job's input index space — the record,
+// vertex or vector count map tasks partition.
+func (j JobSpec) Items() int {
+	switch j.Kind {
+	case PageRank:
+		return 1 << uint(j.GraphBits)
+	case KMeans:
+		return j.Vectors
+	default:
+		return j.Lines
+	}
+}
+
+// TaskKind separates the two task shapes.
+type TaskKind string
+
+// Task kinds.
+const (
+	// TaskMap reads an input slice (generator range or local engine
+	// scan), applies the job's map function, and buckets the output
+	// rows into Reducers shuffle partitions served to peers.
+	TaskMap TaskKind = "map"
+	// TaskReduce fetches one shuffle partition from every map task and
+	// folds it into that partition's output rows.
+	TaskReduce TaskKind = "reduce"
+	// TaskRelease frees completed tasks' retained results and shuffle
+	// output (TaskSpec.Release lists the ids). The coordinator sends one
+	// per executor once a round's outputs are collected, so executor
+	// memory holds one round's working set, not TaskTTL's worth; the TTL
+	// prune stays as the backstop for releases lost with a connection.
+	TaskRelease TaskKind = "release"
+)
+
+// FetchRef names one map task's shuffle output: where it lives and the
+// executor-local id to fetch it by.
+type FetchRef struct {
+	Addr string
+	Task uint64
+}
+
+// TaskSpec is one schedulable unit. It travels as the opaque spec bytes
+// of transport.OpTaskSubmit (JSON — task specs are small; the bulk data
+// moves through the binary shuffle rows).
+type TaskSpec struct {
+	Job  JobSpec
+	Kind TaskKind
+
+	// Map-task fields.
+	MapID  int // index of this map task within the job
+	Lo, Hi int // input index range [Lo,Hi)
+	// Ranks carries the pagerank superstep state for [Lo,Hi); Cents the
+	// kmeans centroids (full — they are K×Dim small).
+	Ranks []float64
+	Cents [][]float64
+
+	// Reduce-task fields.
+	Part  int        // shuffle partition this reduce owns
+	Fetch []FetchRef // every map task's output, in MapID order
+
+	// Release lists the task ids a TaskRelease frees.
+	Release []uint64
+}
+
+// EncodeTaskSpec serializes a spec for the wire.
+func EncodeTaskSpec(ts TaskSpec) []byte {
+	b, err := json.Marshal(ts)
+	if err != nil {
+		// TaskSpec contains only marshalable fields; this is unreachable
+		// short of a programmer error.
+		panic(fmt.Sprintf("analytics: encode task spec: %v", err))
+	}
+	return b
+}
+
+// DecodeTaskSpec parses wire bytes back into a spec.
+func DecodeTaskSpec(b []byte) (TaskSpec, error) {
+	var ts TaskSpec
+	if err := json.Unmarshal(b, &ts); err != nil {
+		return ts, fmt.Errorf("analytics: decode task spec: %w", err)
+	}
+	return ts, nil
+}
+
+// TaskResult is the small completion record a finished task exposes
+// (fetched through the result pseudo-partition). Bulk output rides in
+// Rows as encoded shuffle rows.
+type TaskResult struct {
+	MapID        int
+	Part         int
+	InputRows    int
+	OutputRows   int
+	ShuffleBytes int64 // bytes a reduce task pulled across the shuffle
+	DurationNs   int64
+	// Addr is the executor's advertised shuffle address (its configured
+	// Self). The coordinator builds reduce fetch plans from it — not
+	// from its own dial address, which peers may not be able to reach
+	// (bdserve -advertise exists exactly for that split).
+	Addr string
+	Rows []byte // reduce output rows (empty for map tasks)
+}
+
+// ResultPart is the reserved ShuffleFetch partition index that returns a
+// completed task's encoded TaskResult instead of shuffle data, so large
+// reduce outputs ride the same chunked fetch path as shuffle partitions.
+const ResultPart = ^uint32(0)
+
+// EncodeTaskResult serializes a result.
+func EncodeTaskResult(tr TaskResult) []byte {
+	b, err := json.Marshal(tr)
+	if err != nil {
+		panic(fmt.Sprintf("analytics: encode task result: %v", err))
+	}
+	return b
+}
+
+// DecodeTaskResult parses a result.
+func DecodeTaskResult(b []byte) (TaskResult, error) {
+	var tr TaskResult
+	if err := json.Unmarshal(b, &tr); err != nil {
+		return tr, fmt.Errorf("analytics: decode task result: %w", err)
+	}
+	return tr, nil
+}
+
+// ---- shuffle row codec ---------------------------------------------------
+//
+// A shuffle partition is a flat byte stream of rows, each a length-
+// prefixed key and value. Keys and values are opaque: text jobs store
+// strings, the numeric jobs pack binary (the packers in kernels.go).
+// The encoding is deliberately the transport's u32-length-field idiom.
+
+// ErrRowCorrupt reports a shuffle row stream that does not parse.
+var ErrRowCorrupt = errors.New("analytics: corrupt shuffle rows")
+
+// AppendRow appends one key/value row to dst.
+func AppendRow(dst, key, val []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(key)))
+	dst = append(dst, key...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(val)))
+	return append(dst, val...)
+}
+
+// WalkRows calls fn for every row in b, in order. The slices alias b.
+func WalkRows(b []byte, fn func(key, val []byte) error) error {
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return ErrRowCorrupt
+		}
+		kl := binary.BigEndian.Uint32(b)
+		if uint64(len(b)) < 4+uint64(kl)+4 {
+			return ErrRowCorrupt
+		}
+		key := b[4 : 4+kl]
+		b = b[4+kl:]
+		vl := binary.BigEndian.Uint32(b)
+		if uint64(len(b)) < 4+uint64(vl) {
+			return ErrRowCorrupt
+		}
+		val := b[4 : 4+vl]
+		b = b[4+vl:]
+		if err := fn(key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/mapreduce"
+)
+
+// The in-process references: the same jobs executed on the repository's
+// single-process engines (internal/mapreduce for the record jobs,
+// internal/dataflow for the iterative ones) over the same
+// partition-stable inputs. The distributed engine's contract is that its
+// results are byte-identical to these — the validation tests, the bench
+// comparisons and the transport smoke test all diff against them.
+
+// RunLocal executes job on the in-process engines with the given
+// parallelism and returns the result in the same canonical shape the
+// distributed coordinator produces.
+func RunLocal(job JobSpec, workers int) (*JobResult, error) {
+	job, err := job.normalize(1)
+	if err != nil {
+		return nil, err
+	}
+	if job.Input == InputEngine {
+		return nil, fmt.Errorf("analytics: RunLocal cannot scan engines; use RunLocalRecords")
+	}
+	switch job.Kind {
+	case WordCount, Grep, Sort:
+		recs := recordsFromLines(genLines(job, 0, job.Lines))
+		return RunLocalRecords(job, workers, recs)
+	case PageRank:
+		return localPageRank(job, workers)
+	case KMeans:
+		return localKMeans(job, workers)
+	}
+	return nil, fmt.Errorf("analytics: unknown job kind %q", job.Kind)
+}
+
+// recordsFromLines adapts generated lines to mapreduce records.
+func recordsFromLines(lines [][]byte) []mapreduce.Record {
+	recs := make([]mapreduce.Record, len(lines))
+	for i, l := range lines {
+		recs[i] = mapreduce.Record{Key: strconv.Itoa(i), Value: string(l)}
+	}
+	return recs
+}
+
+// RunLocalRecords executes a record job (wordcount, grep, sort) on the
+// in-process MapReduce engine over explicit records — the reference for
+// engine-input jobs, whose records come from a storage scan rather than
+// a generator.
+func RunLocalRecords(job JobSpec, workers int, recs []mapreduce.Record) (*JobResult, error) {
+	job, err := job.normalize(1)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var m mapreduce.Mapper
+	var r mapreduce.Reducer
+	var combiner mapreduce.Reducer
+	sum := func(key string, vs []string, emit func(k, v string)) {
+		total := 0
+		for _, v := range vs {
+			n, _ := strconv.Atoi(v)
+			total += n
+		}
+		emit(key, strconv.Itoa(total))
+	}
+	switch job.Kind {
+	case WordCount:
+		m = func(_, v string, emit func(k, v string)) {
+			tokenize([]byte(v), func(w []byte) { emit(string(w), "1") })
+		}
+		r, combiner = sum, sum
+	case Grep:
+		m = func(_, v string, emit func(k, v string)) {
+			if grepMatch([]byte(v), job.Pattern) {
+				emit(v, "1")
+			}
+		}
+		r = func(key string, vs []string, emit func(k, v string)) {
+			emit(key, strconv.Itoa(len(vs)))
+		}
+	case Sort:
+		m = func(_, v string, emit func(k, v string)) { emit(v, "") }
+		r = func(key string, vs []string, emit func(k, v string)) {
+			for range vs {
+				emit(key, "")
+			}
+		}
+	default:
+		return nil, fmt.Errorf("analytics: %q is not a record job", job.Kind)
+	}
+	mres, err := mapreduce.Run(mapreduce.Config{
+		Workers: workers, Reducers: job.Reducers, Combiner: combiner,
+	}, recs, m, r)
+	if err != nil {
+		return nil, err
+	}
+	res := &JobResult{Job: job, Pairs: mres.Sorted(),
+		MapTasks: job.MapTasks, ReduceTasks: job.Reducers,
+		ShuffleBytes: int64(mres.ShuffleBytes), Elapsed: time.Since(start)}
+	return res, nil
+}
+
+// localPageRank is the dataflow (Spark-substitute) reference, the same
+// damped power iteration the PageRank workload runs, over the stable
+// web graph.
+func localPageRank(job JobSpec, workers int) (*JobResult, error) {
+	start := time.Now()
+	g := webGraph(job)
+	n := job.Items()
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1.0 / float64(n)
+	}
+	ctx := dataflow.NewContext(workers, nil)
+	vertices := make([]int32, n)
+	for i := range vertices {
+		vertices[i] = int32(i)
+	}
+	vds := dataflow.Parallelize(ctx, vertices, 0, 4)
+	const damping = 0.85
+	for it := 0; it < job.Iterations; it++ {
+		rs := ranks
+		contribs := dataflow.FlatMap(vds, 12, func(v int32, emit func(dataflow.Pair[int32, float64])) {
+			adj := g.Adj[v]
+			if len(adj) == 0 {
+				return
+			}
+			share := rs[v] / float64(len(adj))
+			for _, to := range adj {
+				emit(dataflow.Pair[int32, float64]{Key: to, Val: share})
+			}
+		})
+		sums := dataflow.ReduceByKey(contribs, 0, func(a, b float64) float64 { return a + b })
+		base := (1 - damping) / float64(n)
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = base
+		}
+		for _, kv := range sums.Collect() {
+			next[kv.Key] += damping * kv.Val
+		}
+		ranks = next
+	}
+	return &JobResult{Job: job, Ranks: ranks,
+		MapTasks:    job.MapTasks * job.Iterations,
+		ReduceTasks: job.Reducers * job.Iterations,
+		Elapsed:     time.Since(start)}, nil
+}
+
+// localKMeans is the dataflow reference: Lloyd's algorithm exactly as
+// the KMeans workload runs it, over the stable vectors.
+func localKMeans(job JobSpec, workers int) (*JobResult, error) {
+	start := time.Now()
+	vecs := kmeansVectors(job, 0, job.Vectors)
+	cents := make([][]float64, job.K)
+	for i := range cents {
+		cents[i] = append([]float64(nil), vecs[i%len(vecs)]...)
+	}
+	sizes := make([]int64, job.K)
+	ctx := dataflow.NewContext(workers, nil)
+	ids := make([]int32, len(vecs))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	ds := dataflow.Parallelize(ctx, ids, 0, job.Dim*8)
+	type centAccum struct {
+		sum []float64
+		n   int64
+	}
+	for it := 0; it < job.Iterations; it++ {
+		assigned := dataflow.Map(ds, 16, func(i int32) dataflow.Pair[int, int32] {
+			return dataflow.Pair[int, int32]{Key: nearestCentroid(vecs[i], cents), Val: i}
+		})
+		sums := dataflow.ReduceByKey(
+			dataflow.Map(assigned, job.Dim*8+16, func(p dataflow.Pair[int, int32]) dataflow.Pair[int, centAccum] {
+				return dataflow.Pair[int, centAccum]{Key: p.Key,
+					Val: centAccum{sum: append([]float64(nil), vecs[p.Val]...), n: 1}}
+			}), 0,
+			func(a, b centAccum) centAccum {
+				out := centAccum{sum: append([]float64(nil), a.sum...), n: a.n + b.n}
+				for j, x := range b.sum {
+					out.sum[j] += x
+				}
+				return out
+			})
+		moved := 0.0
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		// Ascending cluster order, mirroring the distributed
+		// coordinator's update step, so the convergence check agrees.
+		collected := sums.Collect()
+		sort.Slice(collected, func(a, b int) bool { return collected[a].Key < collected[b].Key })
+		for _, kv := range collected {
+			c := kv.Key
+			for j := range cents[c] {
+				nv := kv.Val.sum[j] / float64(kv.Val.n)
+				moved += math.Abs(nv - cents[c][j])
+				cents[c][j] = nv
+			}
+			sizes[c] = kv.Val.n
+		}
+		if moved < 1e-9 {
+			break
+		}
+	}
+	return &JobResult{Job: job, Centroids: cents, ClusterSizes: sizes,
+		MapTasks:    job.MapTasks * job.Iterations,
+		ReduceTasks: job.Reducers * job.Iterations,
+		Elapsed:     time.Since(start)}, nil
+}

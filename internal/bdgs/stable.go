@@ -1,0 +1,190 @@
+package bdgs
+
+import "strconv"
+
+// Partition-stable generation.
+//
+// The sequential generators (TextModel.Lines, GenGraph, Vectors,
+// ResumeModel.Generate) draw every item from one PRNG stream, so the data
+// an item gets depends on how many items were generated before it — fine
+// for one process, wrong for a distributed engine where each node
+// generates only its slice of the input. The Stable* variants derive an
+// independent PRNG per item from (seed, item index), so generating items
+// [lo,hi) yields byte-identical data no matter how the index space is cut
+// into partitions or which workers generate which cut. This is the
+// property internal/analytics relies on for distributed-vs-local result
+// equality: every node regenerates exactly the records it owns.
+
+// itemSeed derives the per-item PRNG seed for item i of stream. The
+// stream constant separates item spaces (lines, edges, vectors, rows) so
+// the same (seed, i) never aliases across generators.
+func itemSeed(seed int64, stream uint64, i int) int64 {
+	v := uint64(seed) ^ stream ^ (uint64(i) * 0x9e3779b97f4a7c15)
+	// splitmix64 finalizer: adjacent indices land far apart.
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return int64(v >> 1) // non-negative
+}
+
+// Generator stream tags for itemSeed.
+const (
+	streamLines   = 0x11e5a11e5
+	streamEdges   = 0xed6e5ed6e
+	streamVectors = 0x7ec707ec7
+	streamResumes = 0x2e50e2e50
+)
+
+// LinesAt generates text lines [lo,hi) of the record-oriented input
+// (compare Lines): each line is drawn from its own (seed, index)-derived
+// sampler, so the line at index i is identical whether the index space is
+// generated whole or in partitions of any size or order.
+func (m *TextModel) LinesAt(seed int64, lo, hi, wordsPerLine int) [][]byte {
+	if hi < lo {
+		hi = lo
+	}
+	lines := make([][]byte, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		s := m.newSampler(itemSeed(seed, streamLines, i))
+		var b []byte
+		k := 1 + s.r.Intn(wordsPerLine*2)
+		for j := 0; j < k; j++ {
+			if j > 0 {
+				b = append(b, ' ')
+			}
+			b = append(b, m.word(s.z)...)
+		}
+		lines = append(lines, b)
+	}
+	return lines
+}
+
+// StableEdges generates directed R-MAT edges [lo,hi) of the scale-2^scale
+// graph's edgeFactor·2^scale edge attempts. Each attempt is drawn from
+// its own derived PRNG; attempts that land on a self-loop are dropped (as
+// GenGraph drops them), and the drop decision depends only on (seed,
+// index), so the union of any partitioning of [0, attempts) is always the
+// same edge multiset in the same index order.
+func StableEdges(seed int64, scale, edgeFactor int, p RMATParams, lo, hi int) [][2]int32 {
+	if hi < lo {
+		hi = lo
+	}
+	out := make([][2]int32, 0, hi-lo)
+	for e := lo; e < hi; e++ {
+		r := rng(itemSeed(seed, streamEdges, e))
+		u, v := rmatEdge(r, scale, p)
+		if u == v {
+			continue
+		}
+		out = append(out, [2]int32{int32(u), int32(v)})
+	}
+	return out
+}
+
+// StableGraph builds the full graph from StableEdges, so any node can
+// regenerate exactly the adjacency a partitioned sweep would have
+// produced. Adjacency lists append in edge-index order (and are
+// sort+deduped for undirected graphs), matching GenGraph's construction.
+func StableGraph(seed int64, scale, edgeFactor int, p RMATParams, directed bool) *Graph {
+	n := 1 << uint(scale)
+	g := &Graph{N: n, Adj: make([][]int32, n), Directed: directed}
+	for _, e := range StableEdges(seed, scale, edgeFactor, p, 0, n*edgeFactor) {
+		g.Adj[e[0]] = append(g.Adj[e[0]], e[1])
+		if !directed {
+			g.Adj[e[1]] = append(g.Adj[e[1]], e[0])
+		}
+		g.edges++
+	}
+	if !directed {
+		for v := range g.Adj {
+			a := g.Adj[v]
+			sortInt32(a)
+			g.Adj[v] = dedup(a)
+		}
+	}
+	return g
+}
+
+// StableVectors generates feature vectors [lo,hi) of the n-vector K-means
+// input (compare Vectors). The k latent cluster centers depend only on
+// seed; each vector then draws its cluster choice and noise from its own
+// derived PRNG.
+func StableVectors(seed int64, lo, hi, dim, k int) [][]float64 {
+	if hi < lo {
+		hi = lo
+	}
+	centers := StableCenters(seed, dim, k)
+	out := make([][]float64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, StableVectorAt(centers, seed, i))
+	}
+	return out
+}
+
+// StableCenters derives the latent mixture centers from seed alone.
+// Callers generating many vectors one index at a time (the distributed
+// k-means reduce) compute them once and reuse them via StableVectorAt.
+func StableCenters(seed int64, dim, k int) [][]float64 {
+	r := rng(seed)
+	centers := make([][]float64, k)
+	for i := range centers {
+		c := make([]float64, dim)
+		for d := range c {
+			c[d] = r.Float64() * 100
+		}
+		centers[i] = c
+	}
+	return centers
+}
+
+// StableVectorAt generates vector i against precomputed centers.
+func StableVectorAt(centers [][]float64, seed int64, i int) []float64 {
+	r := rng(itemSeed(seed, streamVectors, i))
+	c := centers[r.Intn(len(centers))]
+	v := make([]float64, len(c))
+	for d := range v {
+		v[d] = c[d] + r.NormFloat64()*6
+	}
+	return v
+}
+
+// StableResumes generates resumé rows [lo,hi) (compare
+// ResumeModel.Generate), each from its own derived PRNG. total is the
+// full row count — it sizes the name space exactly as the sequential
+// generator does, so a row's content depends on (seed, index, total) but
+// never on the partitioning.
+func (ResumeModel) StableResumes(seed int64, lo, hi, total int) []Resume {
+	if hi < lo {
+		hi = lo
+	}
+	out := make([]Resume, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		r := rng(itemSeed(seed, streamResumes, i))
+		nd := 1 + r.Intn(3)
+		ds := make([]string, nd)
+		for j := 0; j < nd; j++ {
+			ds[j] = degrees[j%len(degrees)] + " " + institutions[r.Intn(len(institutions))]
+		}
+		out = append(out, Resume{
+			Key:          ResumeKey(i),
+			Name:         "person-" + strconv.Itoa(r.Intn(10*total)+1),
+			Institution:  institutions[skewIndex(r.Float64(), len(institutions))],
+			Title:        titles[skewIndex(r.Float64(), len(titles))],
+			Field:        fields[skewIndex(r.Float64(), len(fields))],
+			Degrees:      ds,
+			Publications: r.Intn(200),
+		})
+	}
+	return out
+}
+
+// sortInt32 sorts ascending (insertion sort: adjacency lists are short).
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package bdgs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestStableLinesPartitionInvariant: the text an index yields must not
+// depend on how the index space is partitioned — the property the
+// distributed analytics engine needs to regenerate each node's input
+// slice independently.
+func TestStableLinesPartitionInvariant(t *testing.T) {
+	m := NewTextModel(2000)
+	const n = 500
+	whole := m.LinesAt(7, 0, n, 10)
+	if len(whole) != n {
+		t.Fatalf("LinesAt(0,%d) returned %d lines", n, len(whole))
+	}
+	for _, parts := range []int{2, 3, 7, n} {
+		var got [][]byte
+		for p := 0; p < parts; p++ {
+			lo, hi := n*p/parts, n*(p+1)/parts
+			got = append(got, m.LinesAt(7, lo, hi, 10)...)
+		}
+		if len(got) != n {
+			t.Fatalf("parts=%d: %d lines, want %d", parts, len(got), n)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], whole[i]) {
+				t.Fatalf("parts=%d: line %d = %q, want %q", parts, i, got[i], whole[i])
+			}
+		}
+	}
+}
+
+// TestStableLinesParallelInvariant: concurrent generation of disjoint
+// ranges yields the same data as a single sweep (no hidden shared state).
+func TestStableLinesParallelInvariant(t *testing.T) {
+	m := NewTextModel(2000)
+	const n, parts = 400, 8
+	whole := m.LinesAt(3, 0, n, 8)
+	got := make([][][]byte, parts)
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			got[p] = m.LinesAt(3, n*p/parts, n*(p+1)/parts, 8)
+		}(p)
+	}
+	wg.Wait()
+	i := 0
+	for p := 0; p < parts; p++ {
+		for _, line := range got[p] {
+			if !bytes.Equal(line, whole[i]) {
+				t.Fatalf("parallel line %d = %q, want %q", i, line, whole[i])
+			}
+			i++
+		}
+	}
+	if i != n {
+		t.Fatalf("parallel generation produced %d lines, want %d", i, n)
+	}
+}
+
+// TestStableEdgesPartitionInvariant: chunked edge sweeps concatenate to
+// the whole sweep, and the graph built from them matches StableGraph.
+func TestStableEdgesPartitionInvariant(t *testing.T) {
+	const scale, ef = 8, 6
+	p := WebGraphParams()
+	attempts := (1 << scale) * ef
+	whole := StableEdges(11, scale, ef, p, 0, attempts)
+	for _, parts := range []int{2, 5, 16} {
+		var got [][2]int32
+		for c := 0; c < parts; c++ {
+			lo, hi := attempts*c/parts, attempts*(c+1)/parts
+			got = append(got, StableEdges(11, scale, ef, p, lo, hi)...)
+		}
+		if len(got) != len(whole) {
+			t.Fatalf("parts=%d: %d edges, want %d", parts, len(got), len(whole))
+		}
+		for i := range got {
+			if got[i] != whole[i] {
+				t.Fatalf("parts=%d: edge %d = %v, want %v", parts, i, got[i], whole[i])
+			}
+		}
+	}
+	g := StableGraph(11, scale, ef, p, true)
+	if g.Edges() != len(whole) {
+		t.Fatalf("StableGraph edges = %d, want %d", g.Edges(), len(whole))
+	}
+	rebuilt := make([][]int32, g.N)
+	for _, e := range whole {
+		rebuilt[e[0]] = append(rebuilt[e[0]], e[1])
+	}
+	for v := range rebuilt {
+		if len(rebuilt[v]) != len(g.Adj[v]) {
+			t.Fatalf("vertex %d degree %d, want %d", v, len(g.Adj[v]), len(rebuilt[v]))
+		}
+		for j := range rebuilt[v] {
+			if rebuilt[v][j] != g.Adj[v][j] {
+				t.Fatalf("vertex %d adj[%d] = %d, want %d", v, j, g.Adj[v][j], rebuilt[v][j])
+			}
+		}
+	}
+	// Degree skew sanity: the stable generator must still be R-MAT-shaped.
+	max := 0
+	for _, a := range g.Adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	if max < 4*ef {
+		t.Fatalf("max out-degree %d suggests the power-law skew is gone", max)
+	}
+}
+
+// TestStableVectorsPartitionInvariant: vectors and their latent cluster
+// structure must be partition-independent.
+func TestStableVectorsPartitionInvariant(t *testing.T) {
+	const n, dim, k = 300, 8, 4
+	whole := StableVectors(5, 0, n, dim, k)
+	for _, parts := range []int{2, 3, 10} {
+		i := 0
+		for c := 0; c < parts; c++ {
+			lo, hi := n*c/parts, n*(c+1)/parts
+			for _, v := range StableVectors(5, lo, hi, dim, k) {
+				for d := range v {
+					if v[d] != whole[i][d] {
+						t.Fatalf("parts=%d: vec %d dim %d = %v, want %v",
+							parts, i, d, v[d], whole[i][d])
+					}
+				}
+				i++
+			}
+		}
+		if i != n {
+			t.Fatalf("parts=%d produced %d vectors, want %d", parts, i, n)
+		}
+	}
+}
+
+// TestStableResumesPartitionInvariant: table rows must be identical
+// however the row space is cut.
+func TestStableResumesPartitionInvariant(t *testing.T) {
+	var m ResumeModel
+	const n = 250
+	whole := m.StableResumes(9, 0, n, n)
+	for _, parts := range []int{2, 4, 9} {
+		i := 0
+		for c := 0; c < parts; c++ {
+			lo, hi := n*c/parts, n*(c+1)/parts
+			for _, re := range m.StableResumes(9, lo, hi, n) {
+				if !bytes.Equal(re.Encode(), whole[i].Encode()) {
+					t.Fatalf("parts=%d: row %d = %+v, want %+v", parts, i, re, whole[i])
+				}
+				i++
+			}
+		}
+		if i != n {
+			t.Fatalf("parts=%d produced %d rows, want %d", parts, i, n)
+		}
+	}
+}
+
+// TestStableSeedSensitivity: different seeds must change the data (a
+// regression guard against the per-item seed derivation collapsing).
+func TestStableSeedSensitivity(t *testing.T) {
+	m := NewTextModel(2000)
+	a := m.LinesAt(1, 0, 50, 10)
+	b := m.LinesAt(2, 0, 50, 10)
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i], b[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 1 and 2 generated identical lines")
+	}
+	if itemSeed(1, streamLines, 0) == itemSeed(1, streamEdges, 0) {
+		t.Fatal("stream tags do not separate item spaces")
+	}
+}

@@ -136,3 +136,43 @@ func TestLatencySortCacheInvalidation(t *testing.T) {
 		t.Fatalf("Summary and Percentile disagree: %+v", s)
 	}
 }
+
+// TestLatencyMergeAggregation pins the coordinator's aggregation
+// pattern: per-source recorders (concurrent load clients, analytics
+// executors) merged into one must summarize exactly like a recorder
+// that saw every sample directly, leave the sources untouched, and
+// tolerate nil and empty sources.
+func TestLatencyMergeAggregation(t *testing.T) {
+	var want LatencyRecorder
+	sources := make([]LatencyRecorder, 3)
+	for s := range sources {
+		for i := 1; i <= 40; i++ {
+			d := time.Duration((s*37+i)%97+1) * time.Millisecond
+			sources[s].Record(d)
+			want.Record(d)
+		}
+	}
+	var merged LatencyRecorder
+	var empty LatencyRecorder
+	merged.Merge(nil)    // nil source: no-op
+	merged.Merge(&empty) // empty source: no-op
+	for s := range sources {
+		merged.Merge(&sources[s])
+	}
+	if got, wantSum := merged.Summary(), want.Summary(); got != wantSum {
+		t.Fatalf("merged summary %+v, want %+v", got, wantSum)
+	}
+	if merged.Count() != 120 {
+		t.Fatalf("merged count = %d, want 120", merged.Count())
+	}
+	for s := range sources {
+		if sources[s].Count() != 40 {
+			t.Fatalf("source %d mutated by Merge: count %d", s, sources[s].Count())
+		}
+	}
+	// Merged percentiles must come from the union, not any single source.
+	if merged.Percentile(1.0) != want.Percentile(1.0) ||
+		merged.Percentile(0.5) != want.Percentile(0.5) {
+		t.Fatal("merged percentiles disagree with the union distribution")
+	}
+}

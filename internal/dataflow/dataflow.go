@@ -6,6 +6,13 @@
 // to represent ("best for iterative computation; supports in-memory
 // computing, letting it query data faster than disk-based engines").
 //
+// This engine executes inside one process; internal/analytics runs the
+// iterative jobs (PageRank, k-means) as distributed supersteps across
+// the networked cluster and validates its results bit-identical to this
+// engine's — including the floating-point fold order of ReduceByKey,
+// which the distributed reduce reproduces by folding each key's values
+// in ascending input-partition order.
+//
 // With a characterization CPU attached, per-element executor overhead,
 // element loads/stores against the datasets' simulated regions, and hash
 // shuffles for the ByKey operations are emitted into the simulated stream.

@@ -4,6 +4,11 @@
 // optional combiner, hash partitioning, a sort-merge shuffle, and reduce
 // tasks — over a worker pool of goroutines.
 //
+// This engine executes inside one process; internal/analytics runs the
+// same job classes across the networked cluster (map tasks and shuffle
+// partitions on remote executors) and validates its results
+// byte-identical to this engine's.
+//
 // When a characterization CPU is attached (Config.CPU), the engine emits
 // the framework side of the simulated instruction/memory stream: record
 // reads from the input region, spill stores to shuffle regions, shuffle

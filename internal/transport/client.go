@@ -267,6 +267,12 @@ func opName(op Opcode) string {
 		return "stats"
 	case OpPing:
 		return "ping"
+	case OpTaskSubmit:
+		return "task-submit"
+	case OpTaskStatus:
+		return "task-status"
+	case OpShuffleFetch:
+		return "shuffle-fetch"
 	default:
 		return fmt.Sprintf("op(0x%02x)", byte(op))
 	}
@@ -530,6 +536,71 @@ func (c *Client) Stats() (st cluster.Stats, err error) {
 		return err
 	})
 	return st, err
+}
+
+// SubmitTask submits an opaque analytics task spec to the remote
+// executor and returns the executor-local task id. Overload sheds are
+// retried like the data-plane ops — a shed submit never started a task,
+// so the retry cannot duplicate work.
+func (c *Client) SubmitTask(spec []byte) (id uint64, err error) {
+	err = c.withRetry(func() error {
+		r, err := c.call(OpTaskSubmit, spec)
+		if err != nil {
+			return err
+		}
+		if r.op != RespTask {
+			return ErrMalformed
+		}
+		id, err = DecodeTaskID(r.payload)
+		return err
+	})
+	return id, err
+}
+
+// TaskStatus polls one task. taskErr is the remote task's execution
+// failure (nil while running or on success); err reports the poll
+// itself failing (wire down, unknown task).
+func (c *Client) TaskStatus(id uint64) (done bool, taskErr, err error) {
+	err = c.withRetry(func() error {
+		r, err := c.call(OpTaskStatus, EncodeTaskID(nil, id))
+		if err != nil {
+			return err
+		}
+		if r.op != RespTaskStatus {
+			return ErrMalformed
+		}
+		done, taskErr, err = DecodeTaskStatus(r.payload)
+		return err
+	})
+	return done, taskErr, err
+}
+
+// ShuffleFetch pulls one completed task's output partition, paging
+// through frame-sized chunks until the server reports the end.
+func (c *Client) ShuffleFetch(task uint64, part uint32) ([]byte, error) {
+	var all []byte
+	for {
+		var chunk []byte
+		var more bool
+		err := c.withRetry(func() error {
+			r, err := c.call(OpShuffleFetch, EncodeShuffleFetch(nil, task, part, uint32(len(all))))
+			if err != nil {
+				return err
+			}
+			if r.op != RespChunk {
+				return ErrMalformed
+			}
+			chunk, more, err = DecodeChunk(r.payload)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, chunk...)
+		if !more {
+			return all, nil
+		}
+	}
 }
 
 // Close tears down the pool. In-flight requests resolve with a

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -13,10 +14,19 @@ import (
 // the one serve-and-drain flow shared by cmd/bdserve and bdbench
 // -listen, so drain behavior cannot drift between them.
 func ServeUntilSignal(addr string, b Backend, opts ServerOptions, onReady func(*Server)) (*Server, error) {
-	srv, err := Listen(addr, b, opts)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	return ServeListenerUntilSignal(ln, b, opts, onReady)
+}
+
+// ServeListenerUntilSignal is ServeUntilSignal over a listener the
+// caller already bound — for daemons that need the resolved listen
+// address before the server starts (e.g. bdserve building its analytics
+// executor, whose advertised shuffle address is the listen address).
+func ServeListenerUntilSignal(ln net.Listener, b Backend, opts ServerOptions, onReady func(*Server)) (*Server, error) {
+	srv := Serve(ln, b, opts)
 	if onReady != nil {
 		onReady(srv)
 	}
@@ -24,6 +34,6 @@ func ServeUntilSignal(addr string, b Backend, opts ServerOptions, onReady func(*
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	signal.Stop(sig)
-	err = srv.Close()
+	err := srv.Close()
 	return srv, err
 }

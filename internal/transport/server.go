@@ -28,8 +28,36 @@ type Backend interface {
 	Stats() cluster.Stats
 }
 
+// TaskHost is the analytics task plane a Server optionally fronts (the
+// per-node executor in internal/analytics implements it). Specs and
+// partition payloads are opaque bytes: the transport frames and chunks
+// them but never interprets them, so the engine's job encoding can
+// evolve without wire changes. SubmitTask must return quickly — task
+// execution happens on the host's own workers, not under the server's
+// admission permit, which only covers the submit/status/fetch exchanges
+// themselves.
+type TaskHost interface {
+	// SubmitTask registers and starts one task, returning the
+	// host-local task id the status and fetch calls use.
+	SubmitTask(spec []byte) (uint64, error)
+	// TaskStatus reports whether the task finished; err carries a
+	// finished task's execution failure (nil while running). An unknown
+	// id is also reported through err — to a coordinator, a task its
+	// executor no longer knows (restart, expiry) is a failed task.
+	TaskStatus(id uint64) (done bool, err error)
+	// ShuffleFetch returns one of a completed task's output partitions
+	// (the server pages it across frames as needed).
+	ShuffleFetch(id uint64, part uint32) ([]byte, error)
+}
+
+// errNoTaskHost answers task-plane opcodes on a server with no executor.
+var errNoTaskHost = errors.New("transport: server hosts no task executor")
+
 // ServerOptions tunes a Server. The zero value uses the defaults.
 type ServerOptions struct {
+	// Tasks, when non-nil, serves the analytics task plane (OpTaskSubmit
+	// / OpTaskStatus / OpShuffleFetch) alongside the KV data plane.
+	Tasks TaskHost
 	// MaxInFlight bounds concurrently executing requests across all
 	// connections (default 256). Requests beyond the bound are answered
 	// immediately with an overload frame — the wire form of the
@@ -307,6 +335,50 @@ func (s *Server) dispatch(id uint64, op Opcode, payload []byte) []byte {
 		return frame
 	case OpStats:
 		return AppendFrame(nil, id, RespStats, EncodeStats(nil, s.backend.Stats()))
+	case OpTaskSubmit:
+		if s.opts.Tasks == nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, errNoTaskHost))
+		}
+		taskID, err := s.opts.Tasks.SubmitTask(payload)
+		if err != nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		}
+		return AppendFrame(nil, id, RespTask, EncodeTaskID(nil, taskID))
+	case OpTaskStatus:
+		if s.opts.Tasks == nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, errNoTaskHost))
+		}
+		taskID, err := DecodeTaskID(payload)
+		if err != nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		}
+		done, taskErr := s.opts.Tasks.TaskStatus(taskID)
+		return AppendFrame(nil, id, RespTaskStatus, EncodeTaskStatus(nil, done, taskErr))
+	case OpShuffleFetch:
+		if s.opts.Tasks == nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, errNoTaskHost))
+		}
+		taskID, part, offset, err := DecodeShuffleFetch(payload)
+		if err != nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		}
+		data, err := s.opts.Tasks.ShuffleFetch(taskID, part)
+		if err != nil {
+			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		}
+		// Page the partition under the frame budget, like scan pages: the
+		// client advances offset until a frame without `more` arrives.
+		budget := s.opts.MaxFrame - frameOverhead - 64
+		if int64(offset) > int64(len(data)) {
+			offset = uint32(len(data))
+		}
+		chunk := data[offset:]
+		more := false
+		if len(chunk) > budget {
+			chunk = chunk[:budget]
+			more = true
+		}
+		return AppendFrame(nil, id, RespChunk, EncodeChunk(nil, chunk, more))
 	default:
 		return AppendFrame(nil, id, RespError, EncodeError(nil, ErrMalformed))
 	}

@@ -44,6 +44,15 @@ const (
 	// permit: an overloaded server is alive, and health checks that shed
 	// under load would turn every overload into a false death.
 	OpPing Opcode = 0x07 // payload: empty
+
+	// The task plane (internal/analytics). Task specs and results are
+	// opaque bytes to the transport — the analytics engine owns their
+	// encoding — so the wire layer stays workload-agnostic. Error frames
+	// reuse the same code mapping as the data plane, so ErrOverload /
+	// ErrClosed keep surviving errors.Is across the wire.
+	OpTaskSubmit   Opcode = 0x08 // payload: opaque task spec
+	OpTaskStatus   Opcode = 0x09 // payload: task id u64
+	OpShuffleFetch Opcode = 0x0A // payload: task id u64 | part u32 | offset u32
 )
 
 // Response opcodes.
@@ -53,7 +62,16 @@ const (
 	RespEntries Opcode = 0x83 // payload: more u8 | count u32 | (klen u32|key|vlen u32|value)*
 	RespResults Opcode = 0x84 // payload: errcode u8 | msglen u32 | msg | count u32 | (found u8|vlen u32|value)*
 	RespStats   Opcode = 0x85 // payload: node count u32 | node stats*
-	RespError   Opcode = 0xFF // payload: errcode u8 | message
+	// RespTask acks a task submission with the executor-local task id.
+	RespTask Opcode = 0x86 // payload: task id u64
+	// RespTaskStatus reports a task's completion state; a failed task's
+	// error rides along through the shared error-code mapping.
+	RespTaskStatus Opcode = 0x87 // payload: done u8 | errcode u8 | message
+	// RespChunk carries one page of a shuffle partition (or result blob);
+	// more marks a page cut short of the full payload for frame-size
+	// reasons — the client advances its offset and fetches again.
+	RespChunk Opcode = 0x88 // payload: more u8 | bytes
+	RespError Opcode = 0xFF // payload: errcode u8 | message
 )
 
 // batchFlagTry marks an OpBatch for admission control (TryApply) rather
@@ -494,6 +512,77 @@ func DecodeError(p []byte) (error, error) {
 		return nil, ErrMalformed
 	}
 	return codeError(p[0], string(p[1:])), nil
+}
+
+// EncodeTaskID appends an 8-byte task id (the OpTaskStatus payload and
+// the RespTask payload share the shape).
+func EncodeTaskID(dst []byte, id uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, id)
+}
+
+// DecodeTaskID parses an 8-byte task id payload.
+func DecodeTaskID(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, ErrMalformed
+	}
+	return binary.BigEndian.Uint64(p), nil
+}
+
+// EncodeShuffleFetch appends an OpShuffleFetch payload.
+func EncodeShuffleFetch(dst []byte, task uint64, part, offset uint32) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, task)
+	dst = binary.BigEndian.AppendUint32(dst, part)
+	return binary.BigEndian.AppendUint32(dst, offset)
+}
+
+// DecodeShuffleFetch parses an OpShuffleFetch payload.
+func DecodeShuffleFetch(p []byte) (task uint64, part, offset uint32, err error) {
+	if len(p) != 16 {
+		return 0, 0, 0, ErrMalformed
+	}
+	return binary.BigEndian.Uint64(p), binary.BigEndian.Uint32(p[8:]),
+		binary.BigEndian.Uint32(p[12:]), nil
+}
+
+// EncodeTaskStatus appends a RespTaskStatus payload. A failed task's
+// error travels through the shared code mapping, so the cluster
+// sentinels survive errors.Is and everything else keeps its message.
+func EncodeTaskStatus(dst []byte, done bool, taskErr error) []byte {
+	if done {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	code, msg := errorCode(taskErr)
+	dst = append(dst, code)
+	return append(dst, msg...)
+}
+
+// DecodeTaskStatus parses a RespTaskStatus payload. taskErr is the
+// remote task's execution error, not a decode failure.
+func DecodeTaskStatus(p []byte) (done bool, taskErr, decodeErr error) {
+	if len(p) < 2 {
+		return false, nil, ErrMalformed
+	}
+	return p[0] != 0, codeError(p[1], string(p[2:])), nil
+}
+
+// EncodeChunk appends a RespChunk payload.
+func EncodeChunk(dst []byte, data []byte, more bool) []byte {
+	if more {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return append(dst, data...)
+}
+
+// DecodeChunk splits a RespChunk payload (data aliases p).
+func DecodeChunk(p []byte) (data []byte, more bool, err error) {
+	if len(p) < 1 {
+		return nil, false, ErrMalformed
+	}
+	return p[1:], p[0] != 0, nil
 }
 
 // errorCode maps an error to its wire code. The two cluster sentinels

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Transport smoke test, two phases.
+# Transport smoke test, three phases.
 #
 # Phase 1 — serve + drain: two bdserve shard servers in separate
 # processes, 1k OLTP ops driven over real sockets by bdbench -net, then
@@ -10,6 +10,12 @@
 # is SIGKILLed mid-run and restarted. The client must keep serving from
 # the surviving replica (exit 0), and the restarted server must rejoin
 # and drain cleanly.
+#
+# Phase 3 — distributed analytics: a wordcount job planned across the
+# two bdserve processes' task executors, its result digest diffed
+# against the in-process MapReduce reference (bdbench -analytics -local)
+# — the distributed-equals-local contract, checked across real process
+# boundaries.
 #
 # Run from the repo root (CI runs it after go test).
 set -e
@@ -101,3 +107,35 @@ if [ "$E1" -ne 0 ] || [ "$E2" -ne 0 ]; then
     exit 1
 fi
 echo "transport smoke: OK (served through SIGKILL + rejoin)"
+
+# ---- Phase 3: distributed wordcount vs the in-process reference ---------
+
+A5=127.0.0.1:7475
+A6=127.0.0.1:7476
+"$BIN/bdserve" -addr "$A5" -quiet &
+P1=$!
+"$BIN/bdserve" -addr "$A6" -quiet &
+P2=$!
+
+REF=$("$BIN/bdbench" -analytics wordcount -local -lines 4000 | grep 'digest:')
+# The coordinator's dial retries cover server startup; no sleep needed.
+DIST=$("$BIN/bdbench" -analytics wordcount -addr "$A5,$A6" -lines 4000 | grep 'digest:')
+if [ -z "$REF" ] || [ "$REF" != "$DIST" ]; then
+    echo "transport smoke: distributed wordcount diverged from the in-process reference" >&2
+    echo "  local:       $REF" >&2
+    echo "  distributed: $DIST" >&2
+    exit 1
+fi
+
+kill -TERM "$P1" "$P2"
+E1=0
+E2=0
+wait "$P1" || E1=$?
+wait "$P2" || E2=$?
+P1=""
+P2=""
+if [ "$E1" -ne 0 ] || [ "$E2" -ne 0 ]; then
+    echo "transport smoke: analytics servers exited $E1/$E2, want 0/0" >&2
+    exit 1
+fi
+echo "transport smoke: OK (distributed wordcount == in-process reference, $DIST)"
