@@ -599,6 +599,10 @@ func BenchmarkTransport(b *testing.B) {
 	for _, conns := range []int{1, 2} {
 		for _, depth := range []int{1, 8, 64} {
 			b.Run(fmt.Sprintf("net/conns=%d/depth=%d", conns, depth), func(b *testing.B) {
+				// Alloc guard for the instrumented hot path: metrics and
+				// trace plumbing must not add per-op allocations (DESIGN.md
+				// §11). Compare -benchmem output across changes.
+				b.ReportAllocs()
 				coord := cluster.NewEmpty(cluster.Config{})
 				defer coord.Close()
 				for s := 0; s < 2; s++ {

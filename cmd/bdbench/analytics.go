@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -100,7 +101,7 @@ func runAnalytics(cfg analyticsConfig) int {
 		if human {
 			printAnalytics(cfg, "local", 0, res)
 		}
-		return writeAnalyticsJSON(cfg, "local", 0, res)
+		return writeAnalyticsJSON(cfg, "local", 0, res, nil)
 	}
 
 	addrs, cleanup, err := analyticsServers(cfg)
@@ -128,11 +129,15 @@ func runAnalytics(cfg analyticsConfig) int {
 		return 1
 	}
 	defer coord.Close()
+	reg := obs.NewRegistry()
+	coord.RegisterMetrics(reg)
+	before := reg.Snapshot()
 	res, err := coord.Run(job)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bdbench:", err)
 		return 1
 	}
+	metricsDelta := obs.Delta(before, reg.Snapshot())
 	if human {
 		printAnalytics(cfg, "distributed", len(addrs), res)
 	}
@@ -149,7 +154,7 @@ func runAnalytics(cfg analyticsConfig) int {
 			return 1
 		}
 	}
-	return writeAnalyticsJSON(cfg, "distributed", len(addrs), res)
+	return writeAnalyticsJSON(cfg, "distributed", len(addrs), res, metricsDelta)
 }
 
 // analyticsServers resolves the executor fleet: the -addr list, or
@@ -251,6 +256,12 @@ func printAnalytics(cfg analyticsConfig, mode string, nodes int, res *analytics.
 	fmt.Printf("  DPS: %.1f %s/s\n", float64(items)/res.Elapsed.Seconds(), unit)
 	fmt.Printf("  tasks: %d maps, %d reduces, %d retries\n",
 		res.MapTasks, res.ReduceTasks, res.Retries)
+	if res.RecoveryRounds > 0 {
+		fmt.Printf("  recovery: %d lost-shuffle map re-run rounds\n", res.RecoveryRounds)
+	}
+	if res.Job.Trace != 0 {
+		fmt.Printf("  trace: %d (grep it in the executors' /tracez)\n", res.Job.Trace)
+	}
 	if res.ShuffleBytes > 0 {
 		fmt.Printf("  shuffle: %.1f KiB\n", float64(res.ShuffleBytes)/1024)
 	}
@@ -278,9 +289,17 @@ type analyticsJSON struct {
 	TaskP95Us    float64 `json:"taskP95Us"`
 	TaskP99Us    float64 `json:"taskP99Us"`
 	Digest       string  `json:"digest"`
+	// Trace is the job's wire trace id (decimal; 0 for -local runs),
+	// RecoveryRounds the lost-shuffle map re-runs it took.
+	Trace          uint64 `json:"trace,string,omitempty"`
+	RecoveryRounds int    `json:"recoveryRounds,omitempty"`
+	// Metrics is the coordinator's obs registry delta across the run
+	// (bd_analytics_* counters).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-func writeAnalyticsJSON(cfg analyticsConfig, mode string, nodes int, res *analytics.JobResult) int {
+func writeAnalyticsJSON(cfg analyticsConfig, mode string, nodes int, res *analytics.JobResult,
+	metrics map[string]float64) int {
 	if cfg.jsonPath == "" {
 		return 0
 	}
@@ -299,6 +318,8 @@ func writeAnalyticsJSON(cfg analyticsConfig, mode string, nodes int, res *analyt
 		TaskP50Us: us(res.TaskLatency.P50), TaskP95Us: us(res.TaskLatency.P95),
 		TaskP99Us: us(res.TaskLatency.P99),
 		Digest:    fmt.Sprintf("%016x", res.Digest()),
+		Trace:     res.Job.Trace, RecoveryRounds: res.RecoveryRounds,
+		Metrics: metrics,
 	}
 	if err := writeJSONFile(cfg.jsonPath, rec); err != nil {
 		fmt.Fprintln(os.Stderr, "bdbench:", err)

@@ -63,6 +63,7 @@ func main() {
 		netBatch = flag.Int("batch", 64, "ops per client batch for -net")
 		netRows  = flag.Int("rows", 10000, "preloaded resume rows for -net")
 		netConns = flag.Int("conns", 1, "pooled connections per shard server for -net")
+		traceEv  = flag.Int("traceevery", 0, "with -net: stamp a wire trace id on every Nth batch per client (0 disables)")
 		netDur   = flag.Duration("dur", 0, "run -net for a wall-clock duration instead of -ops")
 		chaos    = flag.Bool("chaos", false, "failure-aware -net: tolerate dying members; without -addr, self-host two shard servers and kill/restart them")
 		killEv   = flag.Duration("killevery", 500*time.Millisecond, "period between chaos kills (self-hosted -chaos)")
@@ -100,7 +101,7 @@ func main() {
 		cfg := netConfig{
 			addrs: *addrs, listen: *listen, shards: *shards, repl: max(*repl, 1),
 			clients: *clients, conns: *netConns, ops: *netOps, batch: *netBatch,
-			rows: *netRows, seed: *seed, jsonPath: *jsonPath,
+			rows: *netRows, seed: *seed, jsonPath: *jsonPath, traceEvery: *traceEv,
 			chaos: *chaos, killEvery: *killEv, downFor: *downFor, dur: *netDur,
 			engine: engine.Options{
 				Backend: *engName, Compaction: *compact,

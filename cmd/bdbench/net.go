@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -30,6 +31,11 @@ type netConfig struct {
 	seed     int64
 	jsonPath string // machine-readable results ("" = none, "-" = stdout)
 	engine   engine.Options
+
+	// traceEvery stamps a fresh wire trace id on every Nth batch per
+	// client (0 disables), so a sampled slice of the run shows up in the
+	// servers' /tracez span logs without tracing the whole load.
+	traceEvery int
 
 	// chaos mode: kill/restart a shard server mid-run and keep serving.
 	chaos     bool
@@ -171,12 +177,19 @@ func runNet(cfg netConfig) int {
 	}
 	coord := cluster.NewEmpty(coordCfg)
 	defer coord.Close()
+	// The run's own client-side observability: the coordinator's health
+	// and failover counters plus each peer connection's retry/redial
+	// counters, snapshotted around the timed phase so the JSON record
+	// reports exactly what the measured load did (obs.Delta).
+	reg := obs.NewRegistry()
+	coord.RegisterMetrics(reg)
 	for _, addr := range addrs {
 		rn, err := transport.Connect(addr, clientOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bdbench: connect %s: %v\n", addr, err)
 			return 1
 		}
+		rn.RegisterMetrics(reg, obs.Labels{"peer": addr})
 		if _, _, err := coord.AddRemote(rn); err != nil {
 			fmt.Fprintf(os.Stderr, "bdbench: join %s: %v\n", addr, err)
 			return 1
@@ -227,6 +240,7 @@ func runNet(cfg netConfig) int {
 		deadline = time.Now().Add(cfg.dur)
 	}
 	var wg sync.WaitGroup
+	before := reg.Snapshot()
 	start := time.Now()
 	for c := 0; c < cfg.clients; c++ {
 		wg.Add(1)
@@ -236,6 +250,7 @@ func runNet(cfg netConfig) int {
 			z := rand.NewZipf(rng, 1.1, 4, uint64(cfg.rows-1))
 			ops := make([]cluster.Op, 0, cfg.batch)
 			consecFails := 0
+			batchNo := 0
 			for {
 				want := cfg.batch
 				if cfg.dur > 0 {
@@ -260,6 +275,12 @@ func runNet(cfg netConfig) int {
 						ops = append(ops, cluster.Op{Kind: cluster.OpGet, Key: key})
 					} else {
 						ops = append(ops, cluster.Op{Kind: cluster.OpPut, Key: key, Value: vals[row]})
+					}
+				}
+				if batchNo++; cfg.traceEvery > 0 && batchNo%cfg.traceEvery == 0 {
+					t := obs.NewTraceID()
+					for i := range ops {
+						ops[i].Trace = t
 					}
 				}
 				opStart := time.Now()
@@ -288,6 +309,7 @@ func runNet(cfg netConfig) int {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	metricsDelta := obs.Delta(before, reg.Snapshot())
 	close(stopChaos)
 	for _, err := range errs {
 		if err != nil {
@@ -349,6 +371,9 @@ func runNet(cfg netConfig) int {
 			LatP99Us  float64 `json:"latP99Us"`
 			LatMaxUs  float64 `json:"latMaxUs"`
 			Degraded  int64   `json:"degradedBatches"`
+			// Metrics is the client-side obs registry delta across the
+			// timed phase (bd_cluster_* and per-peer bd_transport_client_*).
+			Metrics map[string]float64 `json:"metrics,omitempty"`
 		}{
 			Mode: "net", Shards: coord.Nodes(), Clients: cfg.clients,
 			Ops: sum.Count, ElapsedNs: elapsed.Nanoseconds(),
@@ -356,6 +381,7 @@ func runNet(cfg netConfig) int {
 			LatP50Us:  us(sum.P50), LatP95Us: us(sum.P95),
 			LatP99Us: us(sum.P99), LatMaxUs: us(sum.Max),
 			Degraded: degraded.Load(),
+			Metrics:  metricsDelta,
 		}
 		if err := writeJSONFile(cfg.jsonPath, rec); err != nil {
 			fmt.Fprintln(os.Stderr, "bdbench:", err)

@@ -11,14 +11,24 @@
 //	bdserve -addr 127.0.0.1:7421
 //	bdserve -addr :7421 -shards 2 -compaction leveled -blockcache 1048576
 //	bdserve -addr :7421 -inflight 512 -queue 256
-//	bdserve -addr :7421 -livez 127.0.0.1:7431
+//	bdserve -addr :7421 -livez 127.0.0.1:7431 -pprof -slowreq 50ms
 //	bdserve -addr :7421 -taskslots 4 -advertise 10.0.0.3:7421
 //
 // Liveness is exposed twice: on the wire (the OpPing frame, answered
 // even under full admission — coordinators probe it to drive failover),
 // and optionally over HTTP with -livez for orchestrators that speak
-// health checks, not the binary protocol (GET /livez -> 200 "ok",
-// GET /statz -> JSON served/shed counters).
+// health checks, not the binary protocol. The -livez mux is the node's
+// whole observability surface (DESIGN.md §11):
+//
+//	GET /livez    200 "ok" while the process lives
+//	GET /statz    full JSON stats snapshot (served/shed + per-node
+//	              cluster counters, hint and engine stats included)
+//	GET /metrics  Prometheus text: bd_transport_*, bd_cluster_*,
+//	              bd_engine_*, bd_analytics_* families
+//	GET /tracez   recent traced-request spans as JSON (?trace=<id>
+//	              filters to one trace)
+//	GET /slowz    recent requests at or over -slowreq
+//	/debug/pprof  Go profiling handlers, only with -pprof
 //
 // SIGINT/SIGTERM drain gracefully: stop accepting, finish every admitted
 // request, flush responses, then exit 0 with a served-request summary.
@@ -29,11 +39,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strconv"
 
 	"repro/internal/analytics"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -49,13 +63,20 @@ func main() {
 		queue     = flag.Int("queue", 0, "per-node request queue depth (0 = cluster default)")
 		workers   = flag.Int("workers", 0, "workers per node (0 = cluster default)")
 		inflight  = flag.Int("inflight", 0, "max concurrently executing requests before shedding (0 = transport default)")
-		livez     = flag.String("livez", "", "optional HTTP liveness address (GET /livez, /statz)")
+		livez     = flag.String("livez", "", "optional HTTP observability address (GET /livez, /statz, /metrics, /tracez, /slowz)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the -livez mux")
+		slowReq   = flag.Duration("slowreq", 0, "record requests at or over this service time to /slowz (0 disables)")
+		traceBuf  = flag.Int("tracebuf", 0, "span-ring capacity for /tracez and /slowz (0 = transport default)")
 		execOn    = flag.Bool("exec", true, "host an analytics task executor on this server")
 		taskSlots = flag.Int("taskslots", 0, "concurrent analytics tasks (0 = executor default)")
 		advertise = flag.String("advertise", "", "address peers fetch shuffle data from (default: the resolved listen address)")
 		quiet     = flag.Bool("quiet", false, "suppress the startup and shutdown banners")
 	)
 	flag.Parse()
+	if *pprofOn && *livez == "" {
+		fmt.Fprintln(os.Stderr, "bdserve: -pprof needs -livez (the profiling handlers live on that mux)")
+		os.Exit(2)
+	}
 
 	engOpts := engine.Options{
 		Backend:         *engName,
@@ -74,15 +95,28 @@ func main() {
 		WorkersPerNode: *workers,
 		Engine:         engOpts,
 	})
-	// Bind before building the executor: its advertised shuffle address
-	// is the resolved listen address (":0" included) unless overridden.
+	// Bind both listeners before serving anything: a bad -livez address
+	// must fail the process at startup, not log from a goroutine after
+	// the daemon already reported itself healthy on the wire.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bdserve:", err)
 		os.Exit(1)
 	}
+	var livezLn net.Listener
+	if *livez != "" {
+		livezLn, err = net.Listen("tcp", *livez)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bdserve: livez:", err)
+			os.Exit(1)
+		}
+	}
 	var ex *analytics.Executor
-	srvOpts := transport.ServerOptions{MaxInFlight: *inflight}
+	srvOpts := transport.ServerOptions{
+		MaxInFlight: *inflight,
+		SlowRequest: *slowReq,
+		TraceBuffer: *traceBuf,
+	}
 	if *execOn {
 		self := *advertise
 		if self == "" {
@@ -95,10 +129,16 @@ func main() {
 		})
 		srvOpts.Tasks = ex
 	}
+	reg := obs.NewRegistry()
+	cl.RegisterMetrics(reg)
+	if ex != nil {
+		ex.RegisterMetrics(reg)
+	}
 	srv, err := transport.ServeListenerUntilSignal(ln, cl, srvOpts,
 		func(s *transport.Server) {
-			if *livez != "" {
-				go serveLivez(*livez, s, cl)
+			s.RegisterMetrics(reg)
+			if livezLn != nil {
+				go serveLivez(livezLn, s, cl, reg, *pprofOn)
 			}
 			if !*quiet {
 				fmt.Printf("bdserve: listening on %s (%d shards, R=%d, executor %v)\n",
@@ -123,23 +163,67 @@ func main() {
 	}
 }
 
-// serveLivez hosts the HTTP liveness surface next to the wire protocol.
-// It runs for the life of the process; the daemon's graceful drain does
-// not wait on it (liveness during drain is a feature — the process is
-// alive until it exits).
-func serveLivez(addr string, srv *transport.Server, cl *cluster.Cluster) {
+// statzSnapshot is the /statz response shape: the server's wire-level
+// totals plus the cluster's full per-node snapshot — every NodeStats
+// field, hinted-handoff and engine counters included — in one document.
+type statzSnapshot struct {
+	Served  uint64        `json:"served"`
+	Shed    uint64        `json:"shed"`
+	Cluster cluster.Stats `json:"cluster"`
+}
+
+// serveLivez hosts the HTTP observability surface next to the wire
+// protocol on an already-bound listener. It runs for the life of the
+// process; the daemon's graceful drain does not wait on it (liveness
+// during drain is a feature — the process is alive until it exits).
+func serveLivez(ln net.Listener, srv *transport.Server, cl *cluster.Cluster,
+	reg *obs.Registry, pprofOn bool) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/livez", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
-		st := cl.Stats()
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"served":%d,"shed":%d,"ops":%d,"nodes":%d,"down":%d}`+"\n",
-			srv.Served(), srv.Shed(), st.Ops, len(st.Nodes), st.Down)
+		_ = core.EncodeJSON(w, statzSnapshot{
+			Served:  srv.Served(),
+			Shed:    srv.Shed(),
+			Cluster: cl.Stats(),
+		})
 	})
-	if err := http.ListenAndServe(addr, mux); err != nil {
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/tracez", spanHandler(srv.Spans()))
+	mux.Handle("/slowz", spanHandler(srv.SlowLog()))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	if err := http.Serve(ln, mux); err != nil {
 		fmt.Fprintln(os.Stderr, "bdserve: livez:", err)
 	}
+}
+
+// spanHandler serves a span ring as JSON, oldest first. ?trace=<id>
+// (decimal, as Span.Trace marshals) filters to one trace.
+func spanHandler(log *obs.SpanLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spans := log.Spans()
+		if q := r.URL.Query().Get("trace"); q != "" {
+			id, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			spans = log.ByTrace(id)
+		}
+		type spanz struct {
+			Total uint64     `json:"total"`
+			Spans []obs.Span `json:"spans"`
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = core.EncodeJSON(w, spanz{Total: log.Total(), Spans: spans})
+	})
 }

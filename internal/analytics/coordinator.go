@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -65,10 +66,41 @@ type Coordinator struct {
 	execs []*executorRef
 	next  atomic.Uint64
 
-	mu      sync.Mutex
-	lats    map[string]*core.LatencyRecorder // per-executor task durations
-	retries int
-	shuffle int64
+	mu       sync.Mutex
+	lats     map[string]*core.LatencyRecorder // per-executor task durations
+	retries  int
+	shuffle  int64
+	recovery int // lost-shuffle map re-run rounds this job
+
+	// Cumulative counters across the coordinator's lifetime (the mu
+	// fields above reset per job). Surfaced by RegisterMetrics.
+	metrics coordMetrics
+}
+
+// coordMetrics is the coordinator's always-on counter block
+// (bd_analytics_* families, DESIGN.md §11).
+type coordMetrics struct {
+	jobs         obs.Counter // jobs started
+	retries      obs.Counter // task attempts past the first
+	shuffleBytes obs.Counter // bytes pulled across shuffle fetches
+	recoveries   obs.Counter // lost-shuffle map re-run rounds
+}
+
+// RegisterMetrics exports the coordinator's job counters into r under
+// the bd_analytics_* family.
+func (c *Coordinator) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("bd_analytics_jobs_total", "Analytics jobs started.", nil,
+		&c.metrics.jobs)
+	r.RegisterCounter("bd_analytics_task_retries_total", "Task attempts beyond the first, after executor or task failures.", nil,
+		&c.metrics.retries)
+	r.RegisterCounter("bd_analytics_shuffle_bytes_total", "Bytes pulled across shuffle fetches, as reported by reduce tasks.", nil,
+		&c.metrics.shuffleBytes)
+	r.RegisterCounter("bd_analytics_recovery_rounds_total", "Map-phase re-run rounds after shuffle output died with an executor.", nil,
+		&c.metrics.recoveries)
+	r.GaugeFunc("bd_analytics_executors", "Configured executor count.", nil,
+		func() float64 { return float64(len(c.execs)) })
+	r.GaugeFunc("bd_analytics_executors_down", "Executors currently marked down.", nil,
+		func() float64 { return float64(len(c.execs) - len(c.live())) })
 }
 
 // NewCoordinator dials every executor address. All must answer the dial;
@@ -173,6 +205,7 @@ func (c *Coordinator) runTask(spec TaskSpec, pinned *executorRef) (taskOutcome, 
 			c.mu.Lock()
 			c.retries++
 			c.mu.Unlock()
+			c.metrics.retries.Inc()
 		}
 		out, err := c.tryTask(e, spec)
 		if err == nil {
@@ -185,9 +218,13 @@ func (c *Coordinator) runTask(spec TaskSpec, pinned *executorRef) (taskOutcome, 
 		c.opts.TaskAttempts, lastErr)
 }
 
-// tryTask runs one task attempt on one executor.
+// tryTask runs one task attempt on one executor. The submit and the
+// result fetch carry the job's trace id, so the executor-side server
+// spans line up under the same trace as the coordinator's client spans;
+// the status polls stay untraced — they are cadence, not dataflow.
 func (c *Coordinator) tryTask(e *executorRef, spec TaskSpec) (taskOutcome, error) {
-	id, err := e.c.SubmitTask(EncodeTaskSpec(spec))
+	trace := spec.Job.Trace
+	id, err := e.c.SubmitTaskTraced(trace, EncodeTaskSpec(spec))
 	if err != nil {
 		return taskOutcome{}, err
 	}
@@ -204,7 +241,7 @@ func (c *Coordinator) tryTask(e *executorRef, spec TaskSpec) (taskOutcome, error
 		}
 		time.Sleep(c.opts.PollInterval)
 	}
-	raw, err := e.c.ShuffleFetch(id, ResultPart)
+	raw, err := e.c.ShuffleFetchTraced(trace, id, ResultPart)
 	if err != nil {
 		return taskOutcome{}, err
 	}
@@ -216,6 +253,7 @@ func (c *Coordinator) tryTask(e *executorRef, spec TaskSpec) (taskOutcome, error
 	c.mu.Lock()
 	c.shuffle += res.ShuffleBytes
 	c.mu.Unlock()
+	c.metrics.shuffleBytes.Add(uint64(res.ShuffleBytes))
 	return taskOutcome{exec: e, taskID: id, result: res}, nil
 }
 
@@ -264,6 +302,14 @@ func (c *Coordinator) mapReduceRound(job JobSpec, prev []taskOutcome,
 	}
 	var lastErr error
 	for round := 0; round < c.opts.Rounds; round++ {
+		if round > 0 {
+			// A reduce phase already failed and we are re-running map
+			// tasks whose shuffle output died: that is one recovery round.
+			c.mu.Lock()
+			c.recovery++
+			c.mu.Unlock()
+			c.metrics.recoveries.Inc()
+		}
 		// (Re-)run every map task that has no surviving outcome.
 		var specs []TaskSpec
 		var missing []int
@@ -368,6 +414,10 @@ type JobResult struct {
 	MapTasks    int
 	ReduceTasks int
 	Retries     int
+	// RecoveryRounds counts map-phase re-runs after shuffle output died
+	// with an executor (0 on a healthy run). The job's trace id is
+	// Job.Trace — grep it in the executors' /tracez span logs.
+	RecoveryRounds int
 	// ShuffleBytes counts bytes pulled across shuffle fetches.
 	ShuffleBytes int64
 	Elapsed      time.Duration
@@ -422,6 +472,7 @@ func (c *Coordinator) finish(r *JobResult, start time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r.Retries = c.retries
+	r.RecoveryRounds = c.recovery
 	r.ShuffleBytes = c.shuffle
 	r.PerExecutor = map[string]core.LatencySummary{}
 	var all core.LatencyRecorder
@@ -439,6 +490,7 @@ func (c *Coordinator) finish(r *JobResult, start time.Time) {
 	c.lats = map[string]*core.LatencyRecorder{}
 	c.retries = 0
 	c.shuffle = 0
+	c.recovery = 0
 }
 
 // Run executes one job across the executors.
@@ -456,6 +508,10 @@ func (c *Coordinator) Run(job JobSpec) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if job.Trace == 0 {
+		job.Trace = obs.NewTraceID()
+	}
+	c.metrics.jobs.Inc()
 	switch job.Kind {
 	case WordCount, Grep, Sort:
 		return c.runRecords(job)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -70,6 +71,39 @@ type Executor struct {
 	closed bool
 
 	sem chan struct{} // task-slot permits
+
+	metrics execMetrics
+}
+
+// execMetrics is the executor's always-on counter block
+// (bd_analytics_* families, DESIGN.md §11).
+type execMetrics struct {
+	mapTasks    obs.Counter   // map tasks executed
+	reduceTasks obs.Counter   // reduce tasks executed
+	failures    obs.Counter   // tasks that finished with an error
+	fetchBytes  obs.Counter   // shuffle bytes pulled from remote peers
+	taskSec     obs.Histogram // task execution time
+}
+
+// RegisterMetrics exports the executor's task counters into r under the
+// bd_analytics_* family.
+func (e *Executor) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("bd_analytics_tasks_total", "Tasks executed, by kind.",
+		obs.Labels{"kind": "map"}, &e.metrics.mapTasks)
+	r.RegisterCounter("bd_analytics_tasks_total", "Tasks executed, by kind.",
+		obs.Labels{"kind": "reduce"}, &e.metrics.reduceTasks)
+	r.RegisterCounter("bd_analytics_task_failures_total", "Tasks that finished with an error.", nil,
+		&e.metrics.failures)
+	r.RegisterCounter("bd_analytics_shuffle_fetch_bytes_total", "Shuffle bytes pulled from remote peers (local short-circuits excluded).", nil,
+		&e.metrics.fetchBytes)
+	r.RegisterHistogram("bd_analytics_task_seconds", "Task execution time.", nil,
+		&e.metrics.taskSec)
+	r.GaugeFunc("bd_analytics_tasks_held", "Task records currently retained (running or fetchable).", nil,
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(len(e.tasks))
+		})
 }
 
 // execTask is one task's lifecycle record.
@@ -144,6 +178,16 @@ func (e *Executor) run(t *execTask) {
 	defer func() { <-e.sem }()
 	start := time.Now()
 	res, shuffle, err := e.execute(t.spec)
+	e.metrics.taskSec.Observe(time.Since(start))
+	switch t.spec.Kind {
+	case TaskMap:
+		e.metrics.mapTasks.Inc()
+	case TaskReduce:
+		e.metrics.reduceTasks.Inc()
+	}
+	if err != nil {
+		e.metrics.failures.Inc()
+	}
 	var encoded []byte
 	if err == nil {
 		res.DurationNs = time.Since(start).Nanoseconds()
@@ -265,8 +309,11 @@ func (e *Executor) peer(addr string) (*transport.Client, error) {
 }
 
 // fetchPartition pulls partition part of one map task's shuffle output,
-// short-circuiting to local memory when the task lives on this executor.
-func (e *Executor) fetchPartition(ref FetchRef, part int) ([]byte, error) {
+// short-circuiting to local memory when the task lives on this
+// executor. Remote fetches carry the reduce task's job trace, so the
+// peer-to-peer shuffle hop lands in the source executor's span log
+// under the same trace as the rest of the job.
+func (e *Executor) fetchPartition(trace uint64, ref FetchRef, part int) ([]byte, error) {
 	if ref.Addr == e.cfg.Self && e.cfg.Self != "" {
 		return e.ShuffleFetch(ref.Task, uint32(part))
 	}
@@ -274,10 +321,11 @@ func (e *Executor) fetchPartition(ref FetchRef, part int) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analytics: shuffle fetch %s: %w", ref.Addr, err)
 	}
-	b, err := c.ShuffleFetch(ref.Task, uint32(part))
+	b, err := c.ShuffleFetchTraced(trace, ref.Task, uint32(part))
 	if err != nil {
 		return nil, fmt.Errorf("analytics: shuffle fetch %s: %w", ref.Addr, err)
 	}
+	e.metrics.fetchBytes.Add(uint64(len(b)))
 	return b, nil
 }
 
@@ -404,7 +452,7 @@ func (e *Executor) runReduce(ts TaskSpec) (*TaskResult, error) {
 	j := ts.Job
 	var all []byte
 	for _, ref := range ts.Fetch {
-		b, err := e.fetchPartition(ref, ts.Part)
+		b, err := e.fetchPartition(ts.Job.Trace, ref, ts.Part)
 		if err != nil {
 			return nil, err
 		}

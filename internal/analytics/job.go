@@ -44,6 +44,14 @@ type JobSpec struct {
 	Kind JobKind
 	Seed int64
 
+	// Trace is the job's wire-level trace id (DESIGN.md §11). The
+	// coordinator assigns one per job when it is zero; it rides inside
+	// every TaskSpec (the spec embeds the job) and stamps the frames of
+	// every task submit and shuffle fetch, so one id follows the job
+	// across coordinator, executors and peer fetches. It never changes
+	// what the job computes.
+	Trace uint64
+
 	// Input selects the map input source for the record-oriented jobs:
 	// InputBDGS (default) or InputEngine.
 	Input string

@@ -1,0 +1,84 @@
+package analytics
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestJobTracePropagatesToExecutors runs one distributed job and asserts
+// the coordinator-assigned trace id is observable in every executor
+// server's span log — the analytics counterpart of the transport
+// package's KV propagation test, crossing two process-shaped boundaries
+// (coordinator → executor submit, executor → peer shuffle fetch).
+func TestJobTracePropagatesToExecutors(t *testing.T) {
+	nodes := startNodes(t, 2)
+	coord := newTestCoordinator(t, nodes)
+
+	coordReg := obs.NewRegistry()
+	coord.RegisterMetrics(coordReg)
+	// In production each executor lives in its own process with its own
+	// registry (bdserve); mirror that here.
+	execRegs := make([]*obs.Registry, len(nodes))
+	for i, n := range nodes {
+		execRegs[i] = obs.NewRegistry()
+		n.ex.RegisterMetrics(execRegs[i])
+	}
+
+	res, err := coord.Run(smallText(WordCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Job.Trace == 0 {
+		t.Fatal("coordinator did not assign a job trace id")
+	}
+	for i, n := range nodes {
+		spans := n.srv.Spans().ByTrace(res.Job.Trace)
+		if len(spans) == 0 {
+			t.Fatalf("node %d saw no spans for job trace %d", i, res.Job.Trace)
+		}
+		sawSubmit := false
+		for _, s := range spans {
+			if s.Name == "server/task-submit" {
+				sawSubmit = true
+			}
+		}
+		if !sawSubmit {
+			t.Fatalf("node %d spans lack a task-submit hop: %+v", i, spans)
+		}
+	}
+
+	snap := coordReg.Snapshot()
+	if snap["bd_analytics_jobs_total"] != 1 {
+		t.Errorf("jobs counter = %v, want 1", snap["bd_analytics_jobs_total"])
+	}
+	if snap["bd_analytics_shuffle_bytes_total"] <= 0 {
+		t.Errorf("shuffle bytes counter = %v, want > 0", snap["bd_analytics_shuffle_bytes_total"])
+	}
+	var maps, reduces float64
+	for _, er := range execRegs {
+		s := er.Snapshot()
+		maps += s[`bd_analytics_tasks_total{kind="map"}`]
+		reduces += s[`bd_analytics_tasks_total{kind="reduce"}`]
+	}
+	if int(maps) != res.MapTasks || int(reduces) != res.ReduceTasks {
+		t.Errorf("executor task counters = %v maps / %v reduces, result says %d / %d",
+			maps, reduces, res.MapTasks, res.ReduceTasks)
+	}
+}
+
+// TestTracedJobTasksCarryJobTrace asserts every task spec inherits the
+// job's trace through the JSON codec unchanged (the trace rides the
+// spec, not a side channel).
+func TestTracedJobTasksCarryJobTrace(t *testing.T) {
+	job := smallText(Grep)
+	job.Trace = 77
+	spec := TaskSpec{Job: job, Kind: TaskMap, MapID: 0, Lo: 0, Hi: 10}
+	decoded, err := DecodeTaskSpec(EncodeTaskSpec(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Job.Trace != 77 {
+		t.Fatalf("trace lost in the spec codec: %d", decoded.Job.Trace)
+	}
+}

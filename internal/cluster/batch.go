@@ -42,6 +42,12 @@ type Op struct {
 	Kind  OpKind
 	Key   []byte
 	Value []byte // OpPut only
+	// Trace, when nonzero, is the distributed trace id this op belongs
+	// to. It never changes what the op does: the engine ignores it, and
+	// the transport forwards it in the frame header of any RPC the op
+	// rides (see internal/obs and DESIGN.md §11), so one id follows a
+	// request from the client through primary and replica hops.
+	Trace uint64
 }
 
 // OpResult is the outcome of one Op. Found is meaningful for OpGet.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -99,6 +100,13 @@ type Cluster struct {
 	closed bool
 
 	proberStop chan struct{} // non-nil once the background prober runs
+
+	// Failover counters: requests the coordinator served around a failed
+	// or down primary (writes led by a non-primary owner, reads answered
+	// from a replica after the primary was down or errored). Surfaced by
+	// RegisterMetrics as bd_cluster_failovers_total.
+	readFailovers  atomic.Uint64
+	writeFailovers atomic.Uint64
 }
 
 // New builds and starts a cluster of cfg.Shards local nodes.
@@ -187,6 +195,11 @@ func (c *Cluster) Get(key []byte) ([]byte, bool) {
 		if err == nil && (c.cfg.Replication == 1 || !m.everDown.Load()) {
 			return nil, false // a reliable owner answered: a genuine miss
 		}
+		if err != nil {
+			c.readFailovers.Add(1)
+		}
+	} else {
+		c.readFailovers.Add(1)
 	}
 	// Degraded path: the primary is down, failed the read, or missed
 	// with a post-recovery history that makes its misses ambiguous —
@@ -231,6 +244,9 @@ func (c *Cluster) write(op Op) error {
 	}
 	if lead == -1 {
 		return fmt.Errorf("cluster: write %q: %w", op.Key, ErrAllOwnersDown)
+	}
+	if lead != 0 {
+		c.writeFailovers.Add(1) // the primary is down: a surviving owner leads
 	}
 	// Replica mirrors are not counted in NodeStats.Ops (matching the
 	// batched path); they surface in the replica's engine stats instead.

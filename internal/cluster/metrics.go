@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"strconv"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// metricLevels is how many LSM levels RegisterMetrics exports gauges
+// for. Level counts grow by the engine's size budget factor per level,
+// so eight covers many orders of magnitude of data before a deeper
+// level would go unreported.
+const metricLevels = 8
+
+// Failovers returns how many reads and writes the coordinator has
+// served around a failed primary.
+func (c *Cluster) Failovers() (reads, writes uint64) {
+	return c.readFailovers.Load(), c.writeFailovers.Load()
+}
+
+// healthCounters sums the coordinator-side health state across members
+// without paying any RPC — hint buffers and detector verdicts live in
+// the memberState wrappers, so a metrics scrape never touches the wire.
+func (c *Cluster) healthCounters() (pending, replayed, dropped uint64, down int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, m := range c.nodes {
+		pending += uint64(m.hintsPending())
+		replayed += m.replayed.Load()
+		dropped += m.dropped.Load()
+		if m.isDown() {
+			down++
+		}
+	}
+	return pending, replayed, dropped, down
+}
+
+// localCounters sums the queue/op counters of in-process members only.
+// Remote members are excluded deliberately: their counters live on
+// their own server's scrape surface, and folding them in here would
+// cost a Stats RPC per member per scrape.
+func (c *Cluster) localCounters() (accepted, rejected, batches, ops uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, m := range c.nodes {
+		if n, ok := m.member.(*Node); ok {
+			accepted += n.accepted.Load()
+			rejected += n.rejected.Load()
+			batches += n.batches.Load()
+			ops += n.ops.Load()
+		}
+	}
+	return accepted, rejected, batches, ops
+}
+
+// LocalEngineStats sums the storage-engine counters of in-process
+// members (cheap atomic loads; remote members report through their own
+// node's metrics endpoint).
+func (c *Cluster) LocalEngineStats() engine.Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var st engine.Stats
+	for _, m := range c.nodes {
+		if n, ok := m.member.(*Node); ok {
+			addEngineStats(&st, n.eng.Stats())
+		}
+	}
+	return st
+}
+
+// LocalLevelBytes sums per-LSM-level logical bytes across in-process
+// members whose engine reports them (engine.LevelSizer), padded or
+// truncated to levels entries.
+func (c *Cluster) LocalLevelBytes(levels int) []uint64 {
+	out := make([]uint64, levels)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, m := range c.nodes {
+		n, ok := m.member.(*Node)
+		if !ok {
+			continue
+		}
+		sizer, ok := n.eng.(engine.LevelSizer)
+		if !ok {
+			continue
+		}
+		for i, b := range sizer.LevelBytes() {
+			if i < levels {
+				out[i] += b
+			}
+		}
+	}
+	return out
+}
+
+// RegisterMetrics exports the coordinator's health, routing and engine
+// counters into r under the bd_cluster_* and bd_engine_* families
+// (DESIGN.md §11). Everything is collected at scrape time from state
+// the coordinator already holds — no RPCs, no new hot-path work.
+func (c *Cluster) RegisterMetrics(r *obs.Registry) {
+	r.GaugeFunc("bd_cluster_members", "Current ring member count.", nil,
+		func() float64 { return float64(c.Nodes()) })
+	r.GaugeFunc("bd_cluster_members_down", "Members the failure detector considers down.", nil,
+		func() float64 { _, _, _, down := c.healthCounters(); return float64(down) })
+	r.GaugeFunc("bd_cluster_hints_pending", "Hinted-handoff writes buffered for down members.", nil,
+		func() float64 { p, _, _, _ := c.healthCounters(); return float64(p) })
+	r.CounterFunc("bd_cluster_hints_replayed_total", "Hinted writes replayed onto recovered members.", nil,
+		func() uint64 { _, rep, _, _ := c.healthCounters(); return rep })
+	r.CounterFunc("bd_cluster_hints_dropped_total", "Hinted writes dropped past the buffer bound.", nil,
+		func() uint64 { _, _, d, _ := c.healthCounters(); return d })
+	r.CounterFunc("bd_cluster_failovers_total", "Requests served around a failed primary, by kind.",
+		obs.Labels{"kind": "read"}, c.readFailovers.Load)
+	r.CounterFunc("bd_cluster_failovers_total", "Requests served around a failed primary, by kind.",
+		obs.Labels{"kind": "write"}, c.writeFailovers.Load)
+	r.CounterFunc("bd_cluster_accepted_total", "Sub-batches enqueued on local members.", nil,
+		func() uint64 { a, _, _, _ := c.localCounters(); return a })
+	r.CounterFunc("bd_cluster_rejected_total", "Sub-batches shed by local admission control.", nil,
+		func() uint64 { _, rej, _, _ := c.localCounters(); return rej })
+	r.CounterFunc("bd_cluster_batches_total", "Worker drain cycles on local members.", nil,
+		func() uint64 { _, _, b, _ := c.localCounters(); return b })
+	r.CounterFunc("bd_cluster_ops_total", "Point ops executed on local members.", nil,
+		func() uint64 { _, _, _, o := c.localCounters(); return o })
+
+	type engineCounter struct {
+		name, help string
+		get        func(engine.Stats) uint64
+	}
+	for _, ec := range []engineCounter{
+		{"bd_engine_puts_total", "Engine point writes.", func(s engine.Stats) uint64 { return s.Puts }},
+		{"bd_engine_gets_total", "Engine point reads.", func(s engine.Stats) uint64 { return s.Gets }},
+		{"bd_engine_deletes_total", "Engine deletes.", func(s engine.Stats) uint64 { return s.Deletes }},
+		{"bd_engine_scans_total", "Engine range scans.", func(s engine.Stats) uint64 { return s.Scans }},
+		{"bd_engine_scanned_entries_total", "Entries returned by scans.", func(s engine.Stats) uint64 { return s.ScannedEntries }},
+		{"bd_engine_flushes_total", "Memtable flushes.", func(s engine.Stats) uint64 { return s.Flushes }},
+		{"bd_engine_compactions_total", "Compaction passes.", func(s engine.Stats) uint64 { return s.Compactions }},
+		{"bd_engine_bloom_negative_total", "Reads skipped by bloom filters.", func(s engine.Stats) uint64 { return s.BloomNegative }},
+		{"bd_engine_runs_probed_total", "Immutable runs probed by reads.", func(s engine.Stats) uint64 { return s.RunsProbed }},
+		{"bd_engine_wal_bytes_total", "Bytes appended to write-ahead logs.", func(s engine.Stats) uint64 { return s.WALBytes }},
+		{"bd_engine_block_cache_hits_total", "Block cache hits.", func(s engine.Stats) uint64 { return s.BlockCacheHits }},
+		{"bd_engine_block_cache_misses_total", "Block cache misses.", func(s engine.Stats) uint64 { return s.BlockCacheMisses }},
+	} {
+		get := ec.get
+		r.CounterFunc(ec.name, ec.help, nil, func() uint64 { return get(c.LocalEngineStats()) })
+	}
+	for lvl := 0; lvl < metricLevels; lvl++ {
+		lvl := lvl
+		r.GaugeFunc("bd_engine_level_bytes", "Logical bytes per LSM level across local shards.",
+			obs.Labels{"level": strconv.Itoa(lvl)},
+			func() float64 { return float64(c.LocalLevelBytes(metricLevels)[lvl]) })
+	}
+}

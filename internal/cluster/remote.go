@@ -41,6 +41,21 @@ type Remote interface {
 	Close() error
 }
 
+// tracedRemote is the optional trace-propagating extension of Remote.
+// A transport that can carry a trace id in its frames (transport.Client
+// does) implements it; the coordinator type-asserts once per member and
+// uses the traced calls for any op with a nonzero Op.Trace. Keeping it
+// a capability rather than widening Remote means existing Remote fakes
+// and alternative transports stay valid — they just don't propagate
+// traces.
+type tracedRemote interface {
+	GetTraced(trace uint64, key []byte) ([]byte, bool, error)
+	PutTraced(trace uint64, key, value []byte) error
+	DeleteTraced(trace uint64, key []byte) error
+	ApplyTraced(trace uint64, ops []Op) ([]OpResult, error)
+	TryApplyTraced(trace uint64, ops []Op) ([]OpResult, error)
+}
+
 // AddRemote joins a remote shard to the ring and migrates exactly the
 // entries whose owner set changed, like AddNode does for a local shard.
 // It returns the ring id the coordinator assigned. The remote server is
@@ -56,8 +71,9 @@ func (c *Cluster) AddRemote(r Remote) (int, MoveReport, error) {
 	id := c.nextID
 	c.nextID++
 	old := c.ring.Clone()
-	c.nodes[id] = newMemberState(&remoteMember{id: id, r: r},
-		c.cfg.ProbeFailures, c.cfg.HintLimit)
+	rm := &remoteMember{id: id, r: r}
+	rm.tr, _ = r.(tracedRemote)
+	c.nodes[id] = newMemberState(rm, c.cfg.ProbeFailures, c.cfg.HintLimit)
 	c.ring.Add(id)
 	// The first remote member starts the background health prober:
 	// local nodes cannot fail, remote ones now can.
@@ -73,6 +89,7 @@ func (c *Cluster) AddRemote(r Remote) (int, MoveReport, error) {
 type remoteMember struct {
 	id int
 	r  Remote
+	tr tracedRemote // non-nil when r can carry trace ids
 
 	// wmu serializes replicated writes through this proxy, mirroring
 	// Node.wmu: every write for a key flows through its primary's proxy,
@@ -120,8 +137,25 @@ func (m *remoteMember) directDelete(key []byte) error {
 
 // mirrorWrite reports a failed replica write (also counted in
 // TransportErrs) so the coordinator's health layer can buffer it as
-// hinted handoff instead of losing the copy.
+// hinted handoff instead of losing the copy. An op carrying a trace id
+// rides a traced frame when the transport supports it, so the replica
+// hop shows up in the remote's span log under the same trace.
 func (m *remoteMember) mirrorWrite(op Op) error {
+	if op.Trace != 0 && m.tr != nil {
+		var err error
+		switch op.Kind {
+		case OpPut:
+			err = m.tr.PutTraced(op.Trace, op.Key, op.Value)
+		case OpDelete:
+			err = m.tr.DeleteTraced(op.Trace, op.Key)
+		default:
+			return nil
+		}
+		if isTransportErr(err) {
+			m.transportErrs.Add(1)
+		}
+		return err
+	}
 	switch op.Kind {
 	case OpPut:
 		return m.directPut(op.Key, op.Value)
@@ -157,11 +191,41 @@ func (m *remoteMember) snapshotScan(start []byte, limit int) ([]engine.Entry, er
 }
 
 func (m *remoteMember) submit(req *request) error {
-	return m.dispatch(req, m.r.Apply)
+	return m.dispatch(req, false)
 }
 
 func (m *remoteMember) trySubmit(req *request) error {
-	return m.dispatch(req, m.r.TryApply)
+	return m.dispatch(req, true)
+}
+
+// applyRPC runs one sub-batch RPC, using the traced call when the run
+// carries a trace id and the transport can forward it. The first
+// nonzero trace in the run wins — the planner never mixes traces within
+// one caller's batch, so in practice a run is all one trace or none.
+func (m *remoteMember) applyRPC(ops []Op, try bool) ([]OpResult, error) {
+	if m.tr != nil {
+		if t := opsTrace(ops); t != 0 {
+			if try {
+				return m.tr.TryApplyTraced(t, ops)
+			}
+			return m.tr.ApplyTraced(t, ops)
+		}
+	}
+	if try {
+		return m.r.TryApply(ops)
+	}
+	return m.r.Apply(ops)
+}
+
+// opsTrace returns the first nonzero trace id in ops (zero when the run
+// is untraced).
+func opsTrace(ops []Op) uint64 {
+	for i := range ops {
+		if ops[i].Trace != 0 {
+			return ops[i].Trace
+		}
+	}
+	return 0
 }
 
 // isTransportErr reports whether err is a transport-level failure, as
@@ -180,7 +244,7 @@ func isTransportErr(err error) bool {
 // outcome, and mirroring on guesswork diverges the replica set either
 // way. Per-op RPCs make success explicit — applied ops mirror, failed
 // ops don't, and the R-copy invariant holds under routine overload.
-func (m *remoteMember) dispatch(req *request, apply func([]Op) ([]OpResult, error)) error {
+func (m *remoteMember) dispatch(req *request, try bool) error {
 	go func() {
 		defer req.done.Done()
 		hasReplicas := false
@@ -206,7 +270,7 @@ func (m *remoteMember) dispatch(req *request, apply func([]Op) ([]OpResult, erro
 			}
 		}
 		if !hasReplicas {
-			res, err := apply(req.ops)
+			res, err := m.applyRPC(req.ops, try)
 			fill(0, len(req.ops), res, err)
 			return
 		}
@@ -220,12 +284,12 @@ func (m *remoteMember) dispatch(req *request, apply func([]Op) ([]OpResult, erro
 				for j < len(req.ops) && len(req.replicas[j]) == 0 {
 					j++
 				}
-				res, err := apply(req.ops[i:j])
+				res, err := m.applyRPC(req.ops[i:j], try)
 				fill(i, j, res, err)
 				i = j
 				continue
 			}
-			res, err := apply(req.ops[i : i+1])
+			res, err := m.applyRPC(req.ops[i:i+1], try)
 			fill(i, i+1, res, err)
 			if err == nil {
 				for _, rep := range req.replicas[i] {

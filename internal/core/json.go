@@ -68,6 +68,16 @@ func (r Result) ToJSON() ResultJSON {
 	return out
 }
 
+// EncodeJSON writes v to w as indented JSON with a trailing newline —
+// the one JSON shape every human-facing surface (bdbench -json, the
+// bdserve /statz endpoint) emits, so outputs stay diffable and
+// pipeable into jq without per-caller encoder setup.
+func EncodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 // WriteJSON encodes results as a JSON array to w.
 func WriteJSON(w io.Writer, results []Result) error {
 	out := make([]ResultJSON, len(results))

@@ -136,11 +136,21 @@ func init() {
 	Register("lsm", openLSM)
 }
 
+// LevelSizer is the optional capability of engines that can report
+// per-level on-disk bytes (the LSM backend promotes it straight from
+// *kvstore.Store). Metrics scrapes type-assert for it; engines without
+// levels simply don't implement it.
+type LevelSizer interface {
+	LevelBytes() []uint64
+}
+
 // lsmEngine adapts *kvstore.Store to Engine (the method set matches
 // except for Snapshot's concrete return type and Close).
 type lsmEngine struct {
 	*kvstore.Store
 }
+
+var _ LevelSizer = lsmEngine{}
 
 func (e lsmEngine) Snapshot() Snapshot { return e.Store.Snapshot() }
 func (e lsmEngine) Close()             {}

@@ -594,6 +594,18 @@ func (s *Store) Stats() Stats {
 	}
 }
 
+// LevelBytes returns the logical byte size of each LSM level in the
+// current version — the per-level storage distribution the paper's
+// workload characterization plots, surfaced live for metrics scrapes.
+func (s *Store) LevelBytes() []uint64 {
+	v := s.cur.Load()
+	out := make([]uint64, len(v.levels))
+	for i := range v.levels {
+		out[i] = uint64(v.levelBytes(i))
+	}
+	return out
+}
+
 // Runs returns the current immutable run count across all levels (for
 // tests/ablation).
 func (s *Store) Runs() int {

@@ -1,0 +1,21 @@
+// Package obs is the repo's dependency-free observability kit: atomic
+// counters and gauges, fixed-bucket latency histograms with lock-free
+// hot-path recording, a labeled registry that renders Prometheus text
+// exposition format, and lightweight distributed request tracing (trace
+// IDs, per-hop span records, slow-request logs).
+//
+// The package exists because the source paper is a measurement paper:
+// its workload characterization is only reproducible if every tier of
+// this stack — transport, cluster health, storage engine, analytics
+// task plane — can be observed continuously on a live node, not just
+// summarized after a benchmark run. Everything here is stdlib-only and
+// cheap enough to leave on in production paths: counters and histogram
+// buckets are single atomic adds, and span logs are bounded rings that
+// only see sampled or slow requests.
+//
+// Conventions (DESIGN.md §11): metric names are
+// bd_<subsystem>_<name>[_<unit>][_total], label values are low
+// cardinality (opcode names, level numbers, peer addresses), and every
+// histogram shares one fixed power-of-two bucket layout so histograms
+// from different nodes merge exactly.
+package obs

@@ -1,0 +1,399 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use; Add/Inc are single atomic adds, safe on hot paths.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value. The zero value is ready.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// HistBuckets is the number of finite histogram buckets. Every
+// Histogram shares one fixed layout — bucket i holds observations in
+// (2^(i-1), 2^i] microseconds, i.e. upper bounds 1µs, 2µs, 4µs, …,
+// 2^23µs (≈8.4s) — plus one overflow (+Inf) bucket. A fixed layout
+// means histograms recorded on different nodes merge exactly, and the
+// hot path is a shift-free bits.Len64 with no configuration to load.
+const HistBuckets = 24
+
+// Histogram is a fixed-bucket latency histogram. The zero value is
+// ready; Observe is lock-free (three atomic adds) so it can sit on
+// request hot paths.
+type Histogram struct {
+	buckets [HistBuckets + 1]atomic.Uint64 // last bucket is +Inf
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// bucketIndex maps a duration to the index of the smallest bucket whose
+// upper bound it does not exceed.
+func bucketIndex(d time.Duration) int {
+	ns := int64(d)
+	if ns <= 1000 {
+		return 0 // ≤ 1µs, including zero and negative clock skew
+	}
+	us := (uint64(ns) + 999) / 1000 // ceil to whole microseconds
+	idx := bits.Len64(us - 1)
+	if idx > HistBuckets {
+		idx = HistBuckets // +Inf
+	}
+	return idx
+}
+
+// BucketBound returns bucket i's inclusive upper bound; the last bucket
+// is unbounded and reports a negative duration.
+func BucketBound(i int) time.Duration {
+	if i >= HistBuckets {
+		return -1
+	}
+	return time.Duration(uint64(time.Microsecond) << uint(i))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Merge folds o's observations into h. Exact because every histogram
+// shares the same bucket layout.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+}
+
+// snapshot copies the bucket counts (non-cumulative), count and sum.
+// Under concurrent Observe the three are not a single consistent cut —
+// fine for monitoring output.
+func (h *Histogram) snapshot() (buckets [HistBuckets + 1]uint64, count uint64, sum int64) {
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.count.Load(), h.sum.Load()
+}
+
+// Labels attaches dimension values to one series of a metric family.
+// Keep cardinality low: opcode names, level numbers, peer addresses.
+type Labels map[string]string
+
+// ---- registry ------------------------------------------------------------
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance within a family: exactly one of the
+// value sources is set.
+type series struct {
+	labels string // rendered `{k="v",…}` form, "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	cf     func() uint64  // counter callback (adopts an existing atomic)
+	gf     func() float64 // gauge callback (computed at scrape time)
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry is a set of named metric families rendered as Prometheus
+// text exposition format. Registration takes a lock; reading registered
+// handles does not. Register each series once, at setup time.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// renderLabels produces the canonical sorted `{k="v",…}` form.
+func renderLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		v := l[k]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// add registers one series, creating its family on first use. Duplicate
+// series and kind conflicts panic: both are wiring bugs, and silently
+// merging them would render a corrupt exposition.
+func (r *Registry) add(name, help string, kind metricKind, labels Labels, s *series) {
+	s.labels = renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.fams[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.kind, kind))
+	}
+	for _, prev := range f.series {
+		if prev.labels == s.labels {
+			panic(fmt.Sprintf("obs: duplicate series %s%s", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter creates and registers a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c := &Counter{}
+	r.add(name, help, counterKind, labels, &series{c: c})
+	return c
+}
+
+// Gauge creates and registers a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, gaugeKind, labels, &series{g: g})
+	return g
+}
+
+// Histogram creates and registers a histogram series.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	h := &Histogram{}
+	r.add(name, help, histogramKind, labels, &series{h: h})
+	return h
+}
+
+// CounterFunc registers a counter series backed by a callback — the
+// adopt path for counters that already exist as atomics elsewhere
+// (engine stats, server served/shed). fn must be monotonic.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	r.add(name, help, counterKind, labels, &series{cf: fn})
+}
+
+// GaugeFunc registers a gauge series computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.add(name, help, gaugeKind, labels, &series{gf: fn})
+}
+
+// RegisterHistogram adopts an existing histogram (one owned by a hot
+// path that predates the registry) as a series.
+func (r *Registry) RegisterHistogram(name, help string, labels Labels, h *Histogram) {
+	r.add(name, help, histogramKind, labels, &series{h: h})
+}
+
+// RegisterCounter adopts an existing counter as a series.
+func (r *Registry) RegisterCounter(name, help string, labels Labels, c *Counter) {
+	r.add(name, help, counterKind, labels, &series{c: c})
+}
+
+// RegisterGauge adopts an existing gauge as a series.
+func (r *Registry) RegisterGauge(name, help string, labels Labels, g *Gauge) {
+	r.add(name, help, gaugeKind, labels, &series{g: g})
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (families and series in deterministic sorted
+// order; histogram buckets cumulative, sums in seconds).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		sers := append([]*series(nil), f.series...)
+		sort.Slice(sers, func(i, j int) bool { return sers[i].labels < sers[j].labels })
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range sers {
+			switch f.kind {
+			case counterKind:
+				v := s.cf
+				if v == nil {
+					v = s.c.Value
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, strconv.FormatUint(v(), 10))
+			case gaugeKind:
+				var v float64
+				if s.gf != nil {
+					v = s.gf()
+				} else {
+					v = float64(s.g.Value())
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(v))
+			case histogramKind:
+				buckets, count, sum := s.h.snapshot()
+				cum := uint64(0)
+				for i := 0; i < HistBuckets; i++ {
+					cum += buckets[i]
+					le := formatFloat(float64(uint64(1)<<uint(i)) / 1e6)
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, bucketLabels(s.labels, le), cum)
+				}
+				cum += buckets[HistBuckets]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, bucketLabels(s.labels, "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(float64(sum)/1e9))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bucketLabels splices le into a series' rendered label set.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// Handler serves the registry at an HTTP endpoint (mount at /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Snapshot flattens every series into a name{labels} → value map —
+// the form bdbench diffs before and after a run. Counters and gauges
+// map directly; a histogram contributes _count and _sum entries.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.series {
+			switch f.kind {
+			case counterKind:
+				v := s.cf
+				if v == nil {
+					v = s.c.Value
+				}
+				out[f.name+s.labels] = float64(v())
+			case gaugeKind:
+				if s.gf != nil {
+					out[f.name+s.labels] = s.gf()
+				} else {
+					out[f.name+s.labels] = float64(s.g.Value())
+				}
+			case histogramKind:
+				_, count, sum := s.h.snapshot()
+				out[f.name+"_count"+s.labels] = float64(count)
+				out[f.name+"_sum"+s.labels] = float64(sum) / 1e9
+			}
+		}
+	}
+	return out
+}
+
+// Delta diffs two snapshots: monotonic keys (suffix _total, _count,
+// _sum before any label braces) report after-before; everything else
+// reports the after value. Keys absent from after are dropped.
+func Delta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for k, v := range after {
+		name := k
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_count") ||
+			strings.HasSuffix(name, "_sum") {
+			out[k] = v - before[k]
+		} else {
+			out[k] = v
+		}
+	}
+	return out
+}

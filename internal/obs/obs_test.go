@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				c.Add(2)
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker*3 {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker*3)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0}, // clock skew folds into the first bucket
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},                   // exactly 1µs: bound is inclusive
+		{time.Microsecond + time.Nanosecond, 1}, // 1001ns rounds up to 2µs
+		{2 * time.Microsecond, 1},
+		{2*time.Microsecond + time.Nanosecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},                // 1024µs bucket: 2^10
+		{8 * time.Second, HistBuckets - 1},    // 2^23µs ≈ 8.39s, still finite
+		{9 * time.Second, HistBuckets},        // past the last finite bound
+		{time.Duration(1) << 62, HistBuckets}, // +Inf clamps, no overflow
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.d); got != tc.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestBucketBound(t *testing.T) {
+	if got := BucketBound(0); got != time.Microsecond {
+		t.Fatalf("BucketBound(0) = %v, want 1µs", got)
+	}
+	if got := BucketBound(10); got != 1024*time.Microsecond {
+		t.Fatalf("BucketBound(10) = %v, want 1024µs", got)
+	}
+	if got := BucketBound(HistBuckets); got >= 0 {
+		t.Fatalf("BucketBound(last) = %v, want negative (unbounded)", got)
+	}
+}
+
+func TestHistogramObserveAndMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(500 * time.Nanosecond)
+	a.Observe(3 * time.Microsecond)
+	b.Observe(3 * time.Microsecond)
+	b.Observe(time.Hour) // +Inf
+	a.Merge(&b)
+	if got := a.Count(); got != 4 {
+		t.Fatalf("merged count = %d, want 4", got)
+	}
+	wantSum := 500*time.Nanosecond + 6*time.Microsecond + time.Hour
+	if got := a.Sum(); got != wantSum {
+		t.Fatalf("merged sum = %v, want %v", got, wantSum)
+	}
+	buckets, _, _ := a.snapshot()
+	if buckets[0] != 1 || buckets[2] != 2 || buckets[HistBuckets] != 1 {
+		t.Fatalf("merged buckets = %v", buckets)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(w*i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+	buckets, count, _ := h.snapshot()
+	var total uint64
+	for _, n := range buckets {
+		total += n
+	}
+	if total != count {
+		t.Fatalf("bucket total %d != count %d", total, count)
+	}
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bd_test_ops_total", "Ops processed.", Labels{"op": "get"})
+	c.Add(7)
+	g := r.Gauge("bd_test_depth", "Queue depth.", nil)
+	g.Set(3)
+	h := r.Histogram("bd_test_seconds", "Service time.", nil)
+	h.Observe(1500 * time.Nanosecond) // bucket le=2e-06
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := strings.Join([]string{
+		"# HELP bd_test_depth Queue depth.",
+		"# TYPE bd_test_depth gauge",
+		"bd_test_depth 3",
+		"# HELP bd_test_ops_total Ops processed.",
+		"# TYPE bd_test_ops_total counter",
+		`bd_test_ops_total{op="get"} 7`,
+		"# HELP bd_test_seconds Service time.",
+		"# TYPE bd_test_seconds histogram",
+		`bd_test_seconds_bucket{le="1e-06"} 0`,
+		`bd_test_seconds_bucket{le="2e-06"} 1`,
+	}, "\n") + "\n"
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("exposition prefix mismatch:\ngot:\n%s\nwant prefix:\n%s", got, want)
+	}
+	for _, line := range []string{
+		`bd_test_seconds_bucket{le="+Inf"} 1`,
+		"bd_test_seconds_sum 1.5e-06",
+		"bd_test_seconds_count 1",
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, got)
+		}
+	}
+	// Deterministic output: two renders are byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Fatal("WritePrometheus is not deterministic")
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bd_test_total", "t", Labels{"k": "a\"b\\c\nd"})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `{k="a\"b\\c\nd"}`) {
+		t.Fatalf("labels not escaped:\n%s", b.String())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bd_dup_total", "t", nil)
+	mustPanic(t, "duplicate series", func() { r.Counter("bd_dup_total", "t", nil) })
+	mustPanic(t, "kind conflict", func() { r.Gauge("bd_dup_total", "t", Labels{"a": "b"}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestSnapshotAndDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bd_x_total", "t", nil)
+	g := r.Gauge("bd_x_depth", "t", nil)
+	h := r.Histogram("bd_x_seconds", "t", nil)
+	c.Add(5)
+	g.Set(2)
+	h.Observe(time.Millisecond)
+	before := r.Snapshot()
+	c.Add(3)
+	g.Set(9)
+	h.Observe(time.Millisecond)
+	d := Delta(before, r.Snapshot())
+	if d["bd_x_total"] != 3 {
+		t.Errorf("counter delta = %v, want 3", d["bd_x_total"])
+	}
+	if d["bd_x_depth"] != 9 {
+		t.Errorf("gauge delta takes the after value, got %v want 9", d["bd_x_depth"])
+	}
+	if d["bd_x_seconds_count"] != 1 {
+		t.Errorf("histogram count delta = %v, want 1", d["bd_x_seconds_count"])
+	}
+	if got := d["bd_x_seconds_sum"]; got < 0.0009 || got > 0.0011 {
+		t.Errorf("histogram sum delta = %v, want ~0.001", got)
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("NewTraceID returned the reserved zero id")
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID repeated %d within 10k draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanLogRing(t *testing.T) {
+	l := NewSpanLog(0) // clamps to the 16 minimum
+	for i := 1; i <= 20; i++ {
+		l.Record(Span{Trace: uint64(i), Name: "server/get"})
+	}
+	if got := l.Total(); got != 20 {
+		t.Fatalf("total = %d, want 20", got)
+	}
+	spans := l.Spans()
+	if len(spans) != 16 {
+		t.Fatalf("retained %d spans, want 16", len(spans))
+	}
+	// Oldest-first: 5..20 survive after evicting 1..4.
+	if spans[0].Trace != 5 || spans[15].Trace != 20 {
+		t.Fatalf("ring order wrong: first=%d last=%d", spans[0].Trace, spans[15].Trace)
+	}
+	if got := l.ByTrace(7); len(got) != 1 || got[0].Trace != 7 {
+		t.Fatalf("ByTrace(7) = %v", got)
+	}
+	if got := l.ByTrace(3); len(got) != 0 {
+		t.Fatalf("ByTrace(evicted) = %v, want empty", got)
+	}
+}

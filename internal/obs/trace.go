@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// traceState seeds NewTraceID. Seeded from the wall clock once per
+// process so two nodes started together still draw disjoint sequences
+// (splitmix64 diffuses the nanosecond difference across all 64 bits).
+var traceState atomic.Uint64
+
+func init() {
+	traceState.Store(uint64(time.Now().UnixNano()))
+}
+
+// NewTraceID returns a new nonzero 64-bit trace id. Zero is reserved as
+// "untraced" everywhere a trace id travels (Op.Trace, frame headers),
+// so the generator never returns it. splitmix64 — the same generator
+// the workload synthesizers use — keeps this dependency-free and fast
+// enough to call per sampled request.
+func NewTraceID() uint64 {
+	for {
+		x := traceState.Add(0x9E3779B97F4A7C15)
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// Span is one hop's record of a traced (or slow) request: which node
+// role handled it, what operation, how long it took. Spans are written
+// into bounded SpanLog rings — the repo's answer to a tracing backend —
+// and read back over /tracez or by tests asserting propagation.
+type Span struct {
+	Trace uint64        `json:"trace,string"`
+	Name  string        `json:"name"`           // e.g. "server/put", "client/batch"
+	Peer  string        `json:"peer,omitempty"` // remote address, when known
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"durNs"`
+	Bytes int           `json:"bytes,omitempty"` // request payload size
+	Err   string        `json:"err,omitempty"`
+}
+
+// SpanLog is a bounded ring of span records. Recording takes a mutex —
+// fine, because only sampled (traced) and slow requests ever reach a
+// log; the untraced hot path never touches one.
+type SpanLog struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total uint64
+}
+
+// NewSpanLog returns a ring holding the last size spans (minimum 16).
+func NewSpanLog(size int) *SpanLog {
+	if size < 16 {
+		size = 16
+	}
+	return &SpanLog{buf: make([]Span, 0, size)}
+}
+
+// Record appends one span, evicting the oldest when full.
+func (l *SpanLog) Record(s Span) {
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, s)
+	} else {
+		l.buf[l.next] = s
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// Total returns the number of spans ever recorded (including evicted).
+func (l *SpanLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Spans returns the retained spans, oldest first.
+func (l *SpanLog) Spans() []Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Span, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// ByTrace returns the retained spans carrying trace, oldest first.
+func (l *SpanLog) ByTrace(trace uint64) []Span {
+	var out []Span
+	for _, s := range l.Spans() {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	return out
+}

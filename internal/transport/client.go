@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Client errors.
@@ -52,6 +53,10 @@ type ClientOptions struct {
 	PingTimeout time.Duration
 	// MaxFrame bounds accepted frame sizes (default DefaultMaxFrame).
 	MaxFrame int
+	// Spans, when non-nil, receives a root span for every traced call
+	// this client issues — the client-side end of the per-hop records
+	// the servers keep. Untraced calls never touch it.
+	Spans *obs.SpanLog
 }
 
 func (o *ClientOptions) normalize() {
@@ -96,6 +101,25 @@ type Client struct {
 	mu     sync.Mutex // serializes redials and Close
 	next   atomic.Uint64
 	closed atomic.Bool
+
+	metrics clientMetrics
+}
+
+// clientMetrics is the client's always-on instrumentation, adopted into
+// a registry by RegisterMetrics.
+type clientMetrics struct {
+	retries obs.Counter // overload retries (withRetry re-attempts)
+	redials obs.Counter // pool slots revived after a dead connection
+}
+
+// RegisterMetrics exports the client's counters into r under the
+// bd_transport_client_* families. labels distinguishes clients sharing
+// one registry — typically obs.Labels{"peer": addr}.
+func (c *Client) RegisterMetrics(r *obs.Registry, labels obs.Labels) {
+	r.CounterFunc("bd_transport_client_retries_total",
+		"Requests re-sent after an overload shed.", labels, c.metrics.retries.Value)
+	r.CounterFunc("bd_transport_client_redials_total",
+		"Pool connections redialed after a failure.", labels, c.metrics.redials.Value)
 }
 
 // Dial connects a client pool to a server address. It retries refused
@@ -204,8 +228,9 @@ func (cc *clientConn) fail(err error) {
 	}
 }
 
-// roundTrip issues one request frame and waits for its response.
-func (cc *clientConn) roundTrip(op Opcode, payload []byte, timeout time.Duration) (response, error) {
+// roundTrip issues one request frame — traced when trace is nonzero —
+// and waits for its response.
+func (cc *clientConn) roundTrip(trace uint64, op Opcode, payload []byte, timeout time.Duration) (response, error) {
 	id := cc.nextID.Add(1)
 	ch := make(chan response, 1)
 	cc.mu.Lock()
@@ -217,7 +242,7 @@ func (cc *clientConn) roundTrip(op Opcode, payload []byte, timeout time.Duration
 	cc.pending[id] = ch
 	cc.mu.Unlock()
 
-	frame := AppendFrame(nil, id, op, payload)
+	frame := AppendTracedFrame(nil, id, op, trace, payload)
 	cc.wmu.Lock()
 	_, werr := cc.bw.Write(frame)
 	if werr == nil {
@@ -252,6 +277,9 @@ func (cc *clientConn) roundTrip(op Opcode, payload []byte, timeout time.Duration
 }
 
 func opName(op Opcode) string {
+	if op&0x80 == 0 {
+		op &^= opFlagTraced // a traced request is named by its bare opcode
+	}
 	switch op {
 	case OpGet:
 		return "get"
@@ -314,6 +342,7 @@ func (c *Client) reviveWithin(slot int, budget time.Duration) (*clientConn, erro
 	if err != nil {
 		return nil, err
 	}
+	c.metrics.redials.Inc()
 	c.conns[slot].Store(cc)
 	return cc, nil
 }
@@ -349,7 +378,7 @@ func (c *Client) Ping() error {
 			return err
 		}
 	}
-	r, err := cc.roundTrip(OpPing, nil, c.opts.PingTimeout)
+	r, err := cc.roundTrip(0, OpPing, nil, c.opts.PingTimeout)
 	if err != nil {
 		return err
 	}
@@ -366,22 +395,42 @@ func (c *Client) Ping() error {
 	return nil
 }
 
-// call runs one round trip and maps error frames back to Go errors.
-func (c *Client) call(op Opcode, payload []byte) (response, error) {
+// call runs one round trip and maps error frames back to Go errors. A
+// nonzero trace rides the frame header and leaves a root span in the
+// configured span log.
+func (c *Client) call(trace uint64, op Opcode, payload []byte) (response, error) {
 	cc, err := c.pick()
 	if err != nil {
 		return response{}, err
 	}
-	r, err := cc.roundTrip(op, payload, c.opts.Timeout)
+	var start time.Time
+	if trace != 0 && c.opts.Spans != nil {
+		start = time.Now()
+	}
+	r, err := cc.roundTrip(trace, op, payload, c.opts.Timeout)
+	if err == nil && r.op == RespError {
+		var decodeErr error
+		if err, decodeErr = DecodeError(r.payload); decodeErr != nil {
+			err = decodeErr
+		}
+		r = response{}
+	}
+	if !start.IsZero() {
+		span := obs.Span{
+			Trace: trace,
+			Name:  "client/" + opName(op),
+			Peer:  c.addr,
+			Start: start,
+			Dur:   time.Since(start),
+			Bytes: len(payload),
+		}
+		if err != nil {
+			span.Err = err.Error()
+		}
+		c.opts.Spans.Record(span)
+	}
 	if err != nil {
 		return response{}, err
-	}
-	if r.op == RespError {
-		remoteErr, decodeErr := DecodeError(r.payload)
-		if decodeErr != nil {
-			return response{}, decodeErr
-		}
-		return response{}, remoteErr
 	}
 	return r, nil
 }
@@ -406,6 +455,7 @@ func (c *Client) withRetry(fn func() error) error {
 		if time.Since(start)+backoff > c.opts.Timeout {
 			return err // retry budget exhausted: surface the overload
 		}
+		c.metrics.retries.Inc()
 		time.Sleep(backoff)
 		backoff *= 2
 	}
@@ -413,8 +463,13 @@ func (c *Client) withRetry(fn func() error) error {
 
 // Get fetches one key from the remote shard.
 func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
+	return c.GetTraced(0, key)
+}
+
+// GetTraced is Get carrying a distributed trace id (zero = untraced).
+func (c *Client) GetTraced(trace uint64, key []byte) (value []byte, found bool, err error) {
 	err = c.withRetry(func() error {
-		r, err := c.call(OpGet, key)
+		r, err := c.call(trace, OpGet, key)
 		if err != nil {
 			return err
 		}
@@ -429,8 +484,13 @@ func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
 
 // Put writes one key.
 func (c *Client) Put(key, value []byte) error {
+	return c.PutTraced(0, key, value)
+}
+
+// PutTraced is Put carrying a distributed trace id (zero = untraced).
+func (c *Client) PutTraced(trace uint64, key, value []byte) error {
 	return c.withRetry(func() error {
-		r, err := c.call(OpPut, EncodePut(nil, key, value))
+		r, err := c.call(trace, OpPut, EncodePut(nil, key, value))
 		if err != nil {
 			return err
 		}
@@ -443,8 +503,13 @@ func (c *Client) Put(key, value []byte) error {
 
 // Delete removes one key.
 func (c *Client) Delete(key []byte) error {
+	return c.DeleteTraced(0, key)
+}
+
+// DeleteTraced is Delete carrying a distributed trace id.
+func (c *Client) DeleteTraced(trace uint64, key []byte) error {
 	return c.withRetry(func() error {
-		r, err := c.call(OpDelete, key)
+		r, err := c.call(trace, OpDelete, key)
 		if err != nil {
 			return err
 		}
@@ -468,7 +533,7 @@ func (c *Client) Scan(start []byte, limit int) ([]engine.Entry, error) {
 		var page []engine.Entry
 		var more bool
 		err := c.withRetry(func() error {
-			r, err := c.call(OpScan, EncodeScan(nil, start, limit-len(all)))
+			r, err := c.call(0, OpScan, EncodeScan(nil, start, limit-len(all)))
 			if err != nil {
 				return err
 			}
@@ -493,8 +558,15 @@ func (c *Client) Scan(start []byte, limit int) ([]engine.Entry, error) {
 
 // Apply executes a batch on the remote with backpressure.
 func (c *Client) Apply(ops []cluster.Op) (res []cluster.OpResult, err error) {
+	return c.ApplyTraced(0, ops)
+}
+
+// ApplyTraced is Apply carrying a distributed trace id. The trace rides
+// the frame header (not the batch payload) and the server re-stamps it
+// onto the decoded ops, so a multi-tier backend keeps propagating it.
+func (c *Client) ApplyTraced(trace uint64, ops []cluster.Op) (res []cluster.OpResult, err error) {
 	err = c.withRetry(func() error {
-		res, err = c.batch(ops, false)
+		res, err = c.batch(trace, ops, false)
 		return err
 	})
 	return res, err
@@ -504,11 +576,16 @@ func (c *Client) Apply(ops []cluster.Op) (res []cluster.OpResult, err error) {
 // batch returns cluster.ErrOverload, possibly with partial results; it
 // is never retried here — propagating the shed signal is the point.
 func (c *Client) TryApply(ops []cluster.Op) ([]cluster.OpResult, error) {
-	return c.batch(ops, true)
+	return c.batch(0, ops, true)
 }
 
-func (c *Client) batch(ops []cluster.Op, try bool) ([]cluster.OpResult, error) {
-	r, err := c.call(OpBatch, EncodeBatch(nil, ops, try))
+// TryApplyTraced is TryApply carrying a distributed trace id.
+func (c *Client) TryApplyTraced(trace uint64, ops []cluster.Op) ([]cluster.OpResult, error) {
+	return c.batch(trace, ops, true)
+}
+
+func (c *Client) batch(trace uint64, ops []cluster.Op, try bool) ([]cluster.OpResult, error) {
+	r, err := c.call(trace, OpBatch, EncodeBatch(nil, ops, try))
 	if err != nil {
 		return nil, err
 	}
@@ -525,7 +602,7 @@ func (c *Client) batch(ops []cluster.Op, try bool) ([]cluster.OpResult, error) {
 // Stats snapshots the remote server's cluster counters.
 func (c *Client) Stats() (st cluster.Stats, err error) {
 	err = c.withRetry(func() error {
-		r, err := c.call(OpStats, nil)
+		r, err := c.call(0, OpStats, nil)
 		if err != nil {
 			return err
 		}
@@ -543,8 +620,15 @@ func (c *Client) Stats() (st cluster.Stats, err error) {
 // retried like the data-plane ops — a shed submit never started a task,
 // so the retry cannot duplicate work.
 func (c *Client) SubmitTask(spec []byte) (id uint64, err error) {
+	return c.SubmitTaskTraced(0, spec)
+}
+
+// SubmitTaskTraced is SubmitTask carrying a distributed trace id, so an
+// analytics job's submits show up in each executor's span log under the
+// job's one trace.
+func (c *Client) SubmitTaskTraced(trace uint64, spec []byte) (id uint64, err error) {
 	err = c.withRetry(func() error {
-		r, err := c.call(OpTaskSubmit, spec)
+		r, err := c.call(trace, OpTaskSubmit, spec)
 		if err != nil {
 			return err
 		}
@@ -562,7 +646,7 @@ func (c *Client) SubmitTask(spec []byte) (id uint64, err error) {
 // itself failing (wire down, unknown task).
 func (c *Client) TaskStatus(id uint64) (done bool, taskErr, err error) {
 	err = c.withRetry(func() error {
-		r, err := c.call(OpTaskStatus, EncodeTaskID(nil, id))
+		r, err := c.call(0, OpTaskStatus, EncodeTaskID(nil, id))
 		if err != nil {
 			return err
 		}
@@ -578,12 +662,18 @@ func (c *Client) TaskStatus(id uint64) (done bool, taskErr, err error) {
 // ShuffleFetch pulls one completed task's output partition, paging
 // through frame-sized chunks until the server reports the end.
 func (c *Client) ShuffleFetch(task uint64, part uint32) ([]byte, error) {
+	return c.ShuffleFetchTraced(0, task, part)
+}
+
+// ShuffleFetchTraced is ShuffleFetch carrying a distributed trace id,
+// so a reduce task's cross-node fetches join the job's trace.
+func (c *Client) ShuffleFetchTraced(trace, task uint64, part uint32) ([]byte, error) {
 	var all []byte
 	for {
 		var chunk []byte
 		var more bool
 		err := c.withRetry(func() error {
-			r, err := c.call(OpShuffleFetch, EncodeShuffleFetch(nil, task, part, uint32(len(all))))
+			r, err := c.call(trace, OpShuffleFetch, EncodeShuffleFetch(nil, task, part, uint32(len(all))))
 			if err != nil {
 				return err
 			}

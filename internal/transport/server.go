@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Backend is the storage a Server fronts. *cluster.Cluster satisfies it,
@@ -71,6 +72,13 @@ type ServerOptions struct {
 	// connection instead of parking request goroutines — and the
 	// admission permits they hold — behind a full TCP buffer forever.
 	WriteTimeout time.Duration
+	// SlowRequest, when positive, records every request whose service
+	// time (admission wait + dispatch) reaches it into the slow-request
+	// log (Server.SlowLog), traced or not.
+	SlowRequest time.Duration
+	// TraceBuffer sizes the span and slow-request rings (default 256
+	// spans each).
+	TraceBuffer int
 }
 
 func (o *ServerOptions) normalize() {
@@ -83,6 +91,26 @@ func (o *ServerOptions) normalize() {
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = 30 * time.Second
 	}
+	if o.TraceBuffer <= 0 {
+		o.TraceBuffer = 256
+	}
+}
+
+// maxReqOpcode bounds the per-opcode counter array: request opcodes are
+// a dense range well under 0x10, so the hot-path count is one in-bounds
+// array index — no map lookup, no allocation.
+const maxReqOpcode = 0x10
+
+// serverMetrics is the server's always-on instrumentation. Every field
+// is a plain atomic recorded inline on the request path; registries
+// adopt them at scrape time (RegisterMetrics), so serving is identical
+// whether or not anything scrapes.
+type serverMetrics struct {
+	reqs     [maxReqOpcode]obs.Counter // per request opcode
+	bytesIn  obs.Counter
+	bytesOut obs.Counter
+	traced   obs.Counter // requests that carried a trace id
+	lat      obs.Histogram
 }
 
 // Server hosts a Backend on a TCP listener. Each connection gets a read
@@ -103,6 +131,10 @@ type Server struct {
 	wg     sync.WaitGroup // accept loop + connection handlers
 	served atomic.Uint64  // requests admitted and executed
 	shed   atomic.Uint64  // requests refused by admission control
+
+	metrics serverMetrics
+	spans   *obs.SpanLog // hops of traced requests
+	slow    *obs.SpanLog // requests at or over SlowRequest
 }
 
 // Listen binds addr and serves b until Close.
@@ -123,6 +155,8 @@ func Serve(ln net.Listener, b Backend, opts ServerOptions) *Server {
 		opts:    opts,
 		tokens:  make(chan struct{}, opts.MaxInFlight),
 		conns:   map[net.Conn]struct{}{},
+		spans:   obs.NewSpanLog(opts.TraceBuffer),
+		slow:    obs.NewSpanLog(opts.TraceBuffer),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -137,6 +171,43 @@ func (s *Server) Served() uint64 { return s.served.Load() }
 
 // Shed returns the number of requests refused by admission control.
 func (s *Server) Shed() uint64 { return s.shed.Load() }
+
+// Spans returns the ring of span records from traced requests.
+func (s *Server) Spans() *obs.SpanLog { return s.spans }
+
+// SlowLog returns the ring of requests that met ServerOptions.SlowRequest.
+func (s *Server) SlowLog() *obs.SpanLog { return s.slow }
+
+// registeredOps is every request opcode RegisterMetrics exports a
+// counter series for — the dense low range the reqs array indexes.
+var registeredOps = []Opcode{
+	OpGet, OpPut, OpDelete, OpScan, OpBatch, OpStats, OpPing,
+	OpTaskSubmit, OpTaskStatus, OpShuffleFetch,
+}
+
+// RegisterMetrics exports the server's counters into r under the
+// bd_transport_* families (DESIGN.md §11). Call once per server per
+// registry, at setup.
+func (s *Server) RegisterMetrics(r *obs.Registry) {
+	for _, op := range registeredOps {
+		r.CounterFunc("bd_transport_requests_total", "Requests received, by opcode.",
+			obs.Labels{"op": opName(op)}, s.metrics.reqs[op].Value)
+	}
+	r.CounterFunc("bd_transport_bytes_total", "Wire bytes moved, by direction.",
+		obs.Labels{"dir": "in"}, s.metrics.bytesIn.Value)
+	r.CounterFunc("bd_transport_bytes_total", "Wire bytes moved, by direction.",
+		obs.Labels{"dir": "out"}, s.metrics.bytesOut.Value)
+	r.CounterFunc("bd_transport_served_total", "Requests admitted and executed.", nil, s.served.Load)
+	r.CounterFunc("bd_transport_shed_total", "Requests refused by admission control.", nil, s.shed.Load)
+	r.CounterFunc("bd_transport_traced_requests_total", "Requests that carried a trace id.",
+		nil, s.metrics.traced.Value)
+	r.CounterFunc("bd_transport_slow_requests_total", "Requests at or over the slow-request threshold.",
+		nil, s.slow.Total)
+	r.GaugeFunc("bd_transport_inflight", "Requests currently holding an admission permit.",
+		nil, func() float64 { return float64(len(s.tokens)) })
+	r.RegisterHistogram("bd_transport_request_seconds",
+		"Request service time: admission wait plus dispatch.", nil, &s.metrics.lat)
+}
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -188,6 +259,7 @@ func (s *Server) handle(conn net.Conn) {
 			if broken {
 				continue // keep draining so request goroutines never block
 			}
+			s.metrics.bytesOut.Add(uint64(len(f)))
 			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 			if _, err := bw.Write(f); err != nil {
 				broken = true
@@ -217,6 +289,22 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			break
 		}
+		start := time.Now()
+		s.metrics.bytesIn.Add(uint64(13 + len(payload)))
+		var trace uint64
+		op, trace, payload, err = splitTrace(op, payload)
+		if err != nil {
+			// The frame itself parsed — only the trace extension is
+			// short. Fail the request, keep the connection.
+			out <- AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			continue
+		}
+		if int(op) < len(s.metrics.reqs) {
+			s.metrics.reqs[op].Inc()
+		}
+		if trace != 0 {
+			s.metrics.traced.Inc()
+		}
 		// Liveness answers straight from the read loop, bypassing
 		// admission: an overloaded server is still alive, and a prober
 		// that can be shed would convert every overload into a false
@@ -242,14 +330,15 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 		reqs.Add(1)
-		go func(id uint64, op Opcode, payload []byte) {
+		go func(id uint64, op Opcode, payload []byte, trace uint64, start time.Time) {
 			defer func() {
 				<-s.tokens
 				reqs.Done()
 			}()
-			out <- s.dispatch(id, op, payload)
+			out <- s.dispatch(id, trace, op, payload)
 			s.served.Add(1)
-		}(id, op, payload)
+			s.observe(op, trace, start, len(payload))
+		}(id, op, payload, trace, start)
 	}
 	reqs.Wait()
 	close(out)
@@ -257,9 +346,36 @@ func (s *Server) handle(conn net.Conn) {
 	conn.Close()
 }
 
+// observe finishes one request's accounting: latency histogram always,
+// a span record when the request was traced, a slow-log record when it
+// met the configured threshold. Untraced fast requests never touch a
+// span log, so the hot path stays three atomic adds and two clock reads.
+func (s *Server) observe(op Opcode, trace uint64, start time.Time, bytes int) {
+	dur := time.Since(start)
+	s.metrics.lat.Observe(dur)
+	if trace == 0 && (s.opts.SlowRequest <= 0 || dur < s.opts.SlowRequest) {
+		return
+	}
+	span := obs.Span{
+		Trace: trace,
+		Name:  "server/" + opName(op),
+		Start: start,
+		Dur:   dur,
+		Bytes: bytes,
+	}
+	if trace != 0 {
+		s.spans.Record(span)
+	}
+	if s.opts.SlowRequest > 0 && dur >= s.opts.SlowRequest {
+		s.slow.Record(span)
+	}
+}
+
 // dispatch executes one decoded request against the backend and encodes
-// the response frame.
-func (s *Server) dispatch(id uint64, op Opcode, payload []byte) []byte {
+// the response frame. A nonzero trace is stamped onto batch ops, so a
+// backend that is itself a cluster with remote members keeps
+// propagating it.
+func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) []byte {
 	switch op {
 	case OpGet:
 		v, ok := s.backend.Get(payload)
@@ -314,6 +430,11 @@ func (s *Server) dispatch(id uint64, op Opcode, payload []byte) []byte {
 		ops, try, err := DecodeBatch(payload)
 		if err != nil {
 			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		}
+		if trace != 0 {
+			for i := range ops {
+				ops[i].Trace = trace
+			}
 		}
 		var res []cluster.OpResult
 		var aerr error

@@ -78,6 +78,43 @@ const (
 // than backpressure (Apply).
 const batchFlagTry = 0x01
 
+// opFlagTraced marks a request frame that carries a trace id: the
+// opcode byte has bit 0x40 set and an 8-byte big-endian trace id sits
+// between the frame header and the payload. The flag is only valid on
+// request opcodes (high bit clear) — responses are matched back to
+// their request by frame id, so echoing the trace would be redundant,
+// and reserving the bit to requests keeps RespError (0xFF) unambiguous.
+// Untraced traffic is bit-identical to the pre-trace protocol; an old
+// peer sent a traced frame rejects it as an unknown opcode (errCodeBad)
+// rather than misreading the trace id as payload.
+const opFlagTraced Opcode = 0x40
+
+// AppendTracedFrame appends one request frame carrying trace. A zero
+// trace appends a plain frame — zero means "untraced" end to end.
+func AppendTracedFrame(dst []byte, id uint64, op Opcode, trace uint64, payload []byte) []byte {
+	if trace == 0 {
+		return AppendFrame(dst, id, op, payload)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameOverhead+8+len(payload)))
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = append(dst, byte(op|opFlagTraced))
+	dst = binary.BigEndian.AppendUint64(dst, trace)
+	return append(dst, payload...)
+}
+
+// splitTrace strips the trace extension from a decoded request,
+// returning the bare opcode, the trace id (zero when untraced) and the
+// true payload (aliasing p). Response opcodes pass through untouched.
+func splitTrace(op Opcode, p []byte) (Opcode, uint64, []byte, error) {
+	if op&0x80 != 0 || op&opFlagTraced == 0 {
+		return op, 0, p, nil
+	}
+	if len(p) < 8 {
+		return op, 0, nil, ErrMalformed
+	}
+	return op &^ opFlagTraced, binary.BigEndian.Uint64(p), p[8:], nil
+}
+
 // Error codes carried by RespError and RespResults frames.
 const (
 	errCodeNone     = 0x00

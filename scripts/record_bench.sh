@@ -1,0 +1,86 @@
+#!/bin/sh
+# Record one point on the repo's perf trajectory (ROADMAP: BENCH_N.json
+# per PR). Runs bdbench in its three modes and assembles one JSON
+# object:
+#
+#   workload  — in-process paper workloads (Read / WordCount, scale 1)
+#   net       — Zipf 95/5 OLTP over real sockets against two
+#               self-hosted shard servers (bdbench -listen), with a
+#               wire trace id stamped on every 8th batch and the
+#               before/after /metrics delta embedded per run
+#   analytics — distributed wordcount across two self-hosted executor
+#               servers (task submits + shuffle fetches over the wire)
+#
+# Usage: sh scripts/record_bench.sh [out.json]   (default BENCH_6.json)
+# Run from the repo root. CI uploads the result as an artifact so every
+# future PR extends the curve; the committed BENCH_N.json files are the
+# durable history.
+set -e
+
+OUT="${1:-BENCH_6.json}"
+BIN="$(mktemp -d)"
+P1=""
+P2=""
+cleanup() {
+    [ -z "$P1" ] || kill "$P1" 2>/dev/null || true
+    [ -z "$P2" ] || kill "$P2" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+command -v jq >/dev/null 2>&1 || {
+    echo "record_bench: jq is required to assemble the artifact" >&2
+    exit 1
+}
+go build -o "$BIN/bdbench" ./cmd/bdbench
+
+# ---- workload mode ------------------------------------------------------
+"$BIN/bdbench" -workload Read -json "$BIN/w_read.json" >/dev/null
+"$BIN/bdbench" -workload WordCount -json "$BIN/w_wc.json" >/dev/null
+
+# ---- net mode (self-hosted shard servers) -------------------------------
+A1=127.0.0.1:7493
+A2=127.0.0.1:7494
+"$BIN/bdbench" -listen "$A1" >/dev/null 2>&1 &
+P1=$!
+"$BIN/bdbench" -listen "$A2" >/dev/null 2>&1 &
+P2=$!
+# bdbench's dial retries cover server startup; no sleep needed.
+"$BIN/bdbench" -net -addr "$A1,$A2" -ops 20000 -rows 2000 -clients 4 \
+    -traceevery 8 -json "$BIN/net.json" >/dev/null
+kill "$P1" "$P2" 2>/dev/null || true
+wait "$P1" 2>/dev/null || true
+wait "$P2" 2>/dev/null || true
+P1=""
+P2=""
+
+# ---- analytics mode (self-hosted executor servers) ----------------------
+"$BIN/bdbench" -analytics wordcount -nodes 2 -lines 8000 \
+    -json "$BIN/analytics.json" >/dev/null
+
+# ---- assemble + validate ------------------------------------------------
+GO_VERSION="$(go env GOVERSION)" jq -n \
+    --slurpfile workload_read "$BIN/w_read.json" \
+    --slurpfile workload_wordcount "$BIN/w_wc.json" \
+    --slurpfile net "$BIN/net.json" \
+    --slurpfile analytics "$BIN/analytics.json" \
+    '{
+        schema: "bdbench-trajectory/1",
+        pr: 6,
+        go: $ENV.GO_VERSION,
+        workload: ($workload_read[0] + $workload_wordcount[0]),
+        net: $net[0],
+        analytics: $analytics[0]
+    }' >"$OUT"
+jq -e \
+    '.net.opsPerSec > 0 and
+     (.net.metrics["bd_transport_client_requests_total"] // .net.ops) > 0 and
+     .analytics.itemsPerSec > 0 and
+     .analytics.metrics["bd_analytics_jobs_total"] == 1 and
+     (.workload | length) == 2' \
+    "$OUT" >/dev/null || {
+    echo "record_bench: $OUT failed validation" >&2
+    exit 1
+}
+echo "record_bench: wrote $OUT"
+jq -r '"  net: \(.net.opsPerSec | floor) ops/s  analytics: \(.analytics.itemsPerSec | floor) rec/s  workloads: \(.workload | length)"' "$OUT"

@@ -17,6 +17,12 @@
 # — the distributed-equals-local contract, checked across real process
 # boundaries.
 #
+# Phase 4 — observability: two bdserve processes with -livez HTTP muxes,
+# traced bdbench -net load, then GET /metrics scraped from both servers
+# mid-run. Asserts the per-opcode transport counters moved, traced
+# requests were seen on the wire, and after a SIGKILL + restart the
+# bd_cluster_members_down gauge on the survivor returns to 0.
+#
 # Run from the repo root (CI runs it after go test).
 set -e
 
@@ -139,3 +145,95 @@ if [ "$E1" -ne 0 ] || [ "$E2" -ne 0 ]; then
     exit 1
 fi
 echo "transport smoke: OK (distributed wordcount == in-process reference, $DIST)"
+
+# ---- Phase 4: /metrics scrape mid-run + down-member gauge recovery ------
+
+A7=127.0.0.1:7477
+A8=127.0.0.1:7478
+L7=127.0.0.1:7487
+L8=127.0.0.1:7488
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+"$BIN/bdserve" -addr "$A7" -livez "$L7" -quiet &
+P1=$!
+"$BIN/bdserve" -addr "$A8" -livez "$L8" -quiet &
+P2=$!
+
+# Same crash/recovery cycle as phase 2, now with a wire trace id on
+# every 64th batch and the client's metrics delta captured as JSON.
+"$BIN/bdbench" -net -chaos -addr "$A7,$A8" -replication 2 -dur 4s \
+    -rows 500 -clients 4 -traceevery 64 -json "$BIN/phase4.json" &
+PB=$!
+
+sleep 1
+kill -KILL "$P1"
+echo "transport smoke: SIGKILLed server $A7 mid-run"
+sleep 1
+"$BIN/bdserve" -addr "$A7" -livez "$L7" -quiet &
+P1=$!
+
+# Mid-run scrape, load still flowing: both servers must expose the four
+# metric families and nonzero per-opcode request counters, and the
+# survivor must have seen traced frames.
+sleep 1
+M2=$(fetch "http://$L8/metrics")
+for family in bd_transport_requests_total bd_cluster_members bd_engine_puts_total bd_analytics_tasks_held; do
+    if ! printf '%s\n' "$M2" | grep -q "^# TYPE $family"; then
+        echo "transport smoke: survivor /metrics missing family $family" >&2
+        exit 1
+    fi
+done
+if ! printf '%s\n' "$M2" | grep -Eq 'bd_transport_requests_total\{op="[a-z]+"\} [1-9]'; then
+    echo "transport smoke: survivor shows no per-opcode requests" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$M2" | grep -Eq 'bd_transport_traced_requests_total [1-9]'; then
+    echo "transport smoke: survivor saw no traced frames (-traceevery 64)" >&2
+    exit 1
+fi
+M1=$(fetch "http://$L7/metrics")
+if ! printf '%s\n' "$M1" | grep -Eq 'bd_transport_requests_total\{op="[a-z]+"\} [1-9]'; then
+    echo "transport smoke: restarted server shows no per-opcode requests" >&2
+    exit 1
+fi
+echo "transport smoke: scraped /metrics from both servers mid-run"
+
+EB=0
+wait "$PB" || EB=$?
+PB=""
+if [ "$EB" -ne 0 ]; then
+    echo "transport smoke: traced chaos client exited $EB, want 0" >&2
+    exit 1
+fi
+# The coordinator's gauge after-values ride the JSON metrics delta: the
+# killed member must be back up (down-member gauge returned to 0) and
+# the hinted writes it missed must have been replayed onto it.
+if ! grep -q '"bd_cluster_members_down": 0' "$BIN/phase4.json"; then
+    echo "transport smoke: members_down did not return to 0 after restart" >&2
+    grep 'members_down' "$BIN/phase4.json" >&2 || true
+    exit 1
+fi
+if ! grep -Eq '"bd_cluster_hints_replayed_total": [1-9]' "$BIN/phase4.json"; then
+    echo "transport smoke: no hinted writes replayed across the restart" >&2
+    exit 1
+fi
+
+kill -TERM "$P1" "$P2"
+E1=0
+E2=0
+wait "$P1" || E1=$?
+wait "$P2" || E2=$?
+P1=""
+P2=""
+if [ "$E1" -ne 0 ] || [ "$E2" -ne 0 ]; then
+    echo "transport smoke: observability servers exited $E1/$E2, want 0/0" >&2
+    exit 1
+fi
+echo "transport smoke: OK (metrics + trace + down-member recovery observed)"
