@@ -529,9 +529,14 @@ func BenchmarkReadPath(b *testing.B) {
 // `depth` closed-loop workers (depth = concurrent outstanding batches,
 // i.e. the pipelining depth when apply rides one connection) and returns
 // the latency distribution. Total work is b.N batches of batchSize ops.
+// The driver itself is allocation-free in steady state — keys come from
+// a pre-generated table and each worker recycles its op and result
+// slices through ApplyInto — so -benchmem measures the serving path,
+// not the load generator.
 func transportMix(b *testing.B, depth, keys, batchSize int,
-	apply func([]cluster.Op) ([]cluster.OpResult, error)) core.LatencySummary {
+	apply func([]cluster.Op, []cluster.OpResult) error) core.LatencySummary {
 	b.Helper()
+	keyTab := transportKeys(keys)
 	var next atomic.Int64
 	recs := make([]core.LatencyRecorder, depth)
 	var wg sync.WaitGroup
@@ -542,10 +547,12 @@ func transportMix(b *testing.B, depth, keys, batchSize int,
 			rng := rand.New(rand.NewSource(int64(1000 + w)))
 			z := rand.NewZipf(rng, 1.1, 4, uint64(keys-1))
 			ops := make([]cluster.Op, 0, batchSize)
+			res := make([]cluster.OpResult, batchSize)
+			recs[w].Reserve(b.N/depth + 1)
 			for next.Add(1) <= int64(b.N) {
 				ops = ops[:0]
 				for len(ops) < batchSize {
-					key := []byte("tr-" + strconv.Itoa(int(z.Uint64())))
+					key := keyTab[z.Uint64()]
 					if rng.Float64() < 0.95 {
 						ops = append(ops, cluster.Op{Kind: cluster.OpGet, Key: key})
 					} else {
@@ -553,7 +560,7 @@ func transportMix(b *testing.B, depth, keys, batchSize int,
 					}
 				}
 				start := time.Now()
-				if _, err := apply(ops); err != nil {
+				if err := apply(ops, res); err != nil {
 					b.Error(err)
 					return
 				}
@@ -567,6 +574,16 @@ func transportMix(b *testing.B, depth, keys, batchSize int,
 		lat.Merge(&recs[i])
 	}
 	return lat.Summary()
+}
+
+// transportKeys pre-generates the benchmark key table so key formatting
+// never charges the measured loop.
+func transportKeys(keys int) [][]byte {
+	tab := make([][]byte, keys)
+	for i := range tab {
+		tab[i] = []byte("tr-" + strconv.Itoa(i))
+	}
+	return tab
 }
 
 // BenchmarkTransport sweeps the networked serving layer: pipelining
@@ -599,9 +616,13 @@ func BenchmarkTransport(b *testing.B) {
 	for _, conns := range []int{1, 2} {
 		for _, depth := range []int{1, 8, 64} {
 			b.Run(fmt.Sprintf("net/conns=%d/depth=%d", conns, depth), func(b *testing.B) {
-				// Alloc guard for the instrumented hot path: metrics and
-				// trace plumbing must not add per-op allocations (DESIGN.md
-				// §11). Compare -benchmem output across changes.
+				// Alloc guard for the pooled hot path (DESIGN.md §12):
+				// frame buffers, request scratch and scan pages all
+				// recycle, so steady-state allocs/op must stay within the
+				// committed budget in scripts/check_allocs.sh (enforced by
+				// the CI bench step and the AllocsPerRun tests in
+				// internal/transport). Compare -benchmem output across
+				// changes.
 				b.ReportAllocs()
 				coord := cluster.NewEmpty(cluster.Config{})
 				defer coord.Close()
@@ -626,7 +647,7 @@ func BenchmarkTransport(b *testing.B) {
 				preload(coord.Apply)
 				b.ResetTimer()
 				start := time.Now()
-				sum := transportMix(b, depth, keys, batchSize, coord.Apply)
+				sum := transportMix(b, depth, keys, batchSize, coord.ApplyInto)
 				report(b, sum, time.Since(start))
 			})
 		}
@@ -640,7 +661,7 @@ func BenchmarkTransport(b *testing.B) {
 			preload(coord.Apply)
 			b.ResetTimer()
 			start := time.Now()
-			sum := transportMix(b, depth, keys, batchSize, coord.Apply)
+			sum := transportMix(b, depth, keys, batchSize, coord.ApplyInto)
 			report(b, sum, time.Since(start))
 		})
 	}

@@ -79,11 +79,28 @@ func main() {
 		anIters      = flag.Int("iters", 5, "supersteps for -analytics pagerank/kmeans")
 		anMapTasks   = flag.Int("maptasks", 0, "map tasks for -analytics (0 = 2x executors)")
 		anReducers   = flag.Int("reducers", 0, "reduce partitions for -analytics (0 = executor count)")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		memProf = flag.String("memprofile", "", "write a post-GC heap profile at exit to this path")
 	)
 	flag.Parse()
 
+	stopProf, perr := startProfiles(*cpuProf, *memProf)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "bdbench:", perr)
+		os.Exit(2)
+	}
+	// Every exit path must flush the profiles: the run modes exit with
+	// their own status codes, so they go through exit rather than
+	// os.Exit; the defer covers the plain returns below.
+	defer stopProf()
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
+
 	if *analyticsJob != "" {
-		os.Exit(runAnalytics(analyticsConfig{
+		exit(runAnalytics(analyticsConfig{
 			job: *analyticsJob, addrs: *addrs, local: *anLocal, nodes: *anNodes,
 			input: *anInput, lines: *anLines, graphBits: *anGraphBits,
 			vectors: *anVectors, iters: *anIters,
@@ -118,9 +135,9 @@ func main() {
 			cfg.rows = 64
 		}
 		if *listen != "" {
-			os.Exit(runListen(cfg))
+			exit(runListen(cfg))
 		}
-		os.Exit(runNet(cfg))
+		exit(runNet(cfg))
 	}
 
 	if *list {
@@ -135,7 +152,7 @@ func main() {
 	w := workloads.ByName(*name)
 	if w == nil {
 		fmt.Fprintf(os.Stderr, "bdbench: unknown workload %q (try -list)\n", *name)
-		os.Exit(2)
+		exit(2)
 	}
 	if *engName != "" || *compact != "" || *bcache != 0 {
 		choice := workloads.EngineChoice{
@@ -146,12 +163,12 @@ func main() {
 			BlockCacheBytes: choice.BlockCacheBytes,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "bdbench:", err)
-			os.Exit(2)
+			exit(2)
 		}
 		ec, ok := w.(workloads.EngineConfigurable)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "bdbench: workload %q does not take engine flags\n", *name)
-			os.Exit(2)
+			exit(2)
 		}
 		ec.ConfigureEngine(choice)
 	}
@@ -191,16 +208,16 @@ func main() {
 		res, err = core.Characterize(w, in, cfg)
 	default:
 		fmt.Fprintf(os.Stderr, "bdbench: unknown machine %q\n", *machine)
-		os.Exit(2)
+		exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bdbench:", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if *jsonPath == "-" {
 		if err := core.WriteJSON(os.Stdout, []core.Result{res}); err != nil {
 			fmt.Fprintln(os.Stderr, "bdbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		return
 	}
@@ -214,7 +231,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bdbench:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		// The file is the machine record; the human report still prints.
 	}

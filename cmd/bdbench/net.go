@@ -183,6 +183,9 @@ func runNet(cfg netConfig) int {
 	// reports exactly what the measured load did (obs.Delta).
 	reg := obs.NewRegistry()
 	coord.RegisterMetrics(reg)
+	// Frame-pool hit/miss counters: the client side of the §12 pooled
+	// hot path, so a pool-efficiency regression shows in the run record.
+	transport.RegisterPoolMetrics(reg)
 	for _, addr := range addrs {
 		rn, err := transport.Connect(addr, clientOpts)
 		if err != nil {

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// startProfiles turns on the optional pprof capture for a bench run.
+// The returned stop function flushes both profiles and is idempotent,
+// so every exit path — error exits included — can call it and the
+// normal-return defer can call it again without double-writing. An
+// empty path disables that profile.
+//
+// The CPU profile covers everything from flag parsing to exit; for the
+// hot-path work (§12) that is what we want — the run phases dominate
+// and the sample tags separate client encode, server dispatch, and
+// engine time. The heap profile is written at stop after a forced GC,
+// so it shows live steady-state memory, not transient garbage.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "bdbench: cpuprofile:", err)
+				}
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "bdbench: memprofile:", err)
+					return
+				}
+				runtime.GC() // collect garbage so the profile shows live objects
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "bdbench: memprofile:", err)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "bdbench: memprofile:", err)
+				}
+			}
+		})
+	}, nil
+}

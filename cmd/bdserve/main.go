@@ -131,6 +131,7 @@ func main() {
 	}
 	reg := obs.NewRegistry()
 	cl.RegisterMetrics(reg)
+	transport.RegisterPoolMetrics(reg)
 	if ex != nil {
 		ex.RegisterMetrics(reg)
 	}

@@ -59,8 +59,13 @@ type OpResult struct {
 // request is one per-node sub-batch flowing through a node's queue. The
 // coordinator allocates the result backing array once per Apply; each
 // sub-batch writes results through idx so no merge pass is needed.
+// Requests live in a pooled applyState arena: once done.Done() has been
+// called for a request, nobody may touch it again — the applyState (and
+// every request in it) returns to the pool the moment done.Wait()
+// unblocks the coordinator.
 type request struct {
-	ops []Op
+	lead int // owning member's ring id (planInto's open-batch lookup)
+	ops  []Op
 	// replicas[i] holds the extra replica targets (beyond the owning
 	// member's own store) that write op i must reach; nil for reads and
 	// for R=1.
@@ -112,27 +117,69 @@ func (a *asyncErr) first() error {
 	return a.err
 }
 
-// planned is the per-member split of one Apply call.
-type planned struct {
-	member member
-	req    *request
+// applyState is the pooled per-Apply scratch: the sub-batch arena, the
+// replica-target arena, and the completion plumbing every sub-batch
+// shares. Pooling it makes the coordinator's routing layer
+// allocation-free in steady state — the request structs, their
+// ops/idx/replicas slices, and the WaitGroup all come back on the next
+// Apply with their capacity intact.
+//
+// Reuse is safe because done.Wait() is the last event of an Apply and
+// done.Done() is the last touch any worker makes on a request: node
+// workers read nothing after exec returns, and remote completions
+// Done() via defer after their final result fill.
+type applyState struct {
+	reqs    []request // sub-batch arena; parts point into it
+	mirrors []mirror  // replica-target arena; replicas slices point into it
+	done    sync.WaitGroup
+	errs    asyncErr
 }
 
-// plan splits ops by owner under the current ring, resolving each
-// write's replica targets up front so node workers never touch topology
-// state. Ops route to the first live owner of their key — the primary
-// when it is up, the next replica in ring order when it is not — so a
-// down member degrades its keyranges onto survivors instead of failing
-// them. Down owners of a write still appear as replica targets; their
-// memberState buffers the op as hinted handoff. A key whose entire
-// owner set is down fails the batch with ErrAllOwnersDown. Caller holds
-// the cluster's topology read lock.
-func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup, errs *asyncErr) ([]planned, error) {
-	if c.ring.Size() == 0 {
-		return nil, ErrNoNodes
+var applyPool = sync.Pool{New: func() any { return new(applyState) }}
+
+// newReq extends the sub-batch arena by one, reusing a recycled
+// request's slice capacity when the arena has been this deep before.
+func (st *applyState) newReq(lead int, owner *memberState, results []OpResult) *request {
+	if len(st.reqs) < cap(st.reqs) {
+		st.reqs = st.reqs[:len(st.reqs)+1]
+	} else {
+		st.reqs = append(st.reqs, request{})
 	}
-	byNode := map[int]*request{}
-	order := make([]int, 0, len(c.nodes))
+	r := &st.reqs[len(st.reqs)-1]
+	r.lead = lead
+	r.ops = r.ops[:0]
+	r.replicas = r.replicas[:0]
+	r.idx = r.idx[:0]
+	r.results = results
+	r.done = &st.done
+	r.errs = &st.errs
+	r.owner = owner
+	return r
+}
+
+// release resets the state and returns it to the pool. Stale Op and
+// mirror values stay in the recycled slices' capacity but are never
+// read again — every reuse truncates to length zero first.
+func (st *applyState) release() {
+	st.reqs = st.reqs[:0]
+	st.mirrors = st.mirrors[:0]
+	st.errs.err = nil
+	applyPool.Put(st)
+}
+
+// planInto splits ops by owner under the current ring into st's pooled
+// sub-batches, resolving each write's replica targets up front so node
+// workers never touch topology state. Ops route to the first live owner
+// of their key — the primary when it is up, the next replica in ring
+// order when it is not — so a down member degrades its keyranges onto
+// survivors instead of failing them. Down owners of a write still
+// appear as replica targets; their memberState buffers the op as hinted
+// handoff. A key whose entire owner set is down fails the batch with
+// ErrAllOwnersDown. Caller holds the cluster's topology read lock.
+func (c *Cluster) planInto(st *applyState, ops []Op, results []OpResult) error {
+	if c.ring.Size() == 0 {
+		return ErrNoNodes
+	}
 	for i, op := range ops {
 		// Routing resolves on the allocation-free Primary when it is
 		// live and the op needs no replica set — on a read-heavy healthy
@@ -153,53 +200,39 @@ func (c *Cluster) plan(ops []Op, results []OpResult, done *sync.WaitGroup, errs 
 				}
 			}
 			if lead == -1 {
-				return nil, fmt.Errorf("cluster: op %d on key %q: %w", i, op.Key, ErrAllOwnersDown)
+				return fmt.Errorf("cluster: op %d on key %q: %w", i, op.Key, ErrAllOwnersDown)
 			}
 			if op.Kind != OpGet {
+				start := len(st.mirrors)
 				for _, id := range owners {
 					if id != lead {
-						reps = append(reps, c.nodes[id])
+						st.mirrors = append(st.mirrors, c.nodes[id])
 					}
+				}
+				if end := len(st.mirrors); end > start {
+					reps = st.mirrors[start:end:end]
 				}
 			}
 		}
-		req := byNode[lead]
+		// Find lead's open sub-batch: only the most recent one for a
+		// member can have room (they fill in order), so scan backwards
+		// and stop at the first match. Map-free — sub-batch counts stay
+		// small (live members plus MaxBatch splits).
+		var req *request
+		for j := len(st.reqs) - 1; j >= 0; j-- {
+			if st.reqs[j].lead == lead {
+				if len(st.reqs[j].ops) < c.cfg.MaxBatch {
+					req = &st.reqs[j]
+				}
+				break
+			}
+		}
 		if req == nil {
-			req = &request{results: results, done: done, errs: errs, owner: c.nodes[lead]}
-			byNode[lead] = req
-			order = append(order, lead)
+			req = st.newReq(lead, c.nodes[lead], results)
 		}
 		req.ops = append(req.ops, op)
 		req.idx = append(req.idx, i)
 		req.replicas = append(req.replicas, reps)
 	}
-	out := make([]planned, 0, len(order))
-	for _, id := range order {
-		// Split oversized sub-batches so one hot owner cannot exceed the
-		// configured batch granularity.
-		req := byNode[id]
-		for len(req.ops) > c.cfg.MaxBatch {
-			head := &request{
-				ops:      req.ops[:c.cfg.MaxBatch],
-				replicas: req.replicas[:c.cfg.MaxBatch],
-				results:  results,
-				idx:      req.idx[:c.cfg.MaxBatch],
-				done:     done,
-				errs:     errs,
-				owner:    req.owner,
-			}
-			out = append(out, planned{member: c.nodes[id], req: head})
-			req = &request{
-				ops:      req.ops[c.cfg.MaxBatch:],
-				replicas: req.replicas[c.cfg.MaxBatch:],
-				results:  results,
-				idx:      req.idx[c.cfg.MaxBatch:],
-				done:     done,
-				errs:     errs,
-				owner:    req.owner,
-			}
-		}
-		out = append(out, planned{member: c.nodes[id], req: req})
-	}
-	return out, nil
+	return nil
 }

@@ -279,39 +279,70 @@ func (c *Cluster) TryApply(ops []Op) ([]OpResult, error) {
 	return c.apply(ops, member.trySubmit)
 }
 
+// ApplyInto is Apply writing results into a caller-owned slice (len(res)
+// must be >= len(ops)) — the allocation-free form for callers that
+// recycle result buffers, like the transport server's dispatch scratch.
+// res is zeroed before execution; ops that never execute (a planning
+// failure, a shed sub-batch) leave zero OpResults behind.
+func (c *Cluster) ApplyInto(ops []Op, res []OpResult) error {
+	_, err := c.applyInto(ops, res, member.submit)
+	return err
+}
+
+// TryApplyInto is TryApply writing results into a caller-owned slice.
+func (c *Cluster) TryApplyInto(ops []Op, res []OpResult) error {
+	_, err := c.applyInto(ops, res, member.trySubmit)
+	return err
+}
+
 func (c *Cluster) apply(ops []Op, enqueue func(member, *request) error) ([]OpResult, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	results := make([]OpResult, len(ops))
+	planned, err := c.applyInto(ops, results, enqueue)
+	if !planned {
+		return nil, err // never started executing: no partial results
+	}
+	return results, err
+}
+
+// applyInto routes and executes ops, writing outcomes into results.
+// planned reports whether execution began — a false return means no op
+// ran and results holds nothing but zeros.
+func (c *Cluster) applyInto(ops []Op, results []OpResult, enqueue func(member, *request) error) (planned bool, err error) {
+	if len(ops) == 0 {
+		return true, nil
+	}
+	clear(results[:len(ops)])
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.closed {
-		return nil, ErrClosed
+		return false, ErrClosed
 	}
-	results := make([]OpResult, len(ops))
-	var done sync.WaitGroup
-	errs := &asyncErr{}
-	parts, err := c.plan(ops, results, &done, errs)
-	if err != nil {
-		return nil, err
+	st := applyPool.Get().(*applyState)
+	if err := c.planInto(st, ops, results); err != nil {
+		st.release()
+		return false, err
 	}
 	var firstErr error
-	for _, p := range parts {
-		done.Add(1)
-		if err := enqueue(p.member, p.req); err != nil {
-			done.Done()
+	for i := range st.reqs {
+		st.done.Add(1)
+		if err := enqueue(st.reqs[i].owner, &st.reqs[i]); err != nil {
+			st.done.Done()
 			if firstErr == nil {
 				firstErr = err
 			}
 		}
 	}
-	done.Wait()
+	st.done.Wait()
 	if firstErr == nil {
 		// Remote sub-batches complete asynchronously; their failures
 		// (including a remote's shed ErrOverload) surface here.
-		firstErr = errs.first()
+		firstErr = st.errs.first()
 	}
-	return results, firstErr
+	st.release()
+	return true, firstErr
 }
 
 // Scan scatter-gathers a bounded ordered scan: every node scans a
@@ -327,10 +358,17 @@ func (c *Cluster) apply(ops []Op, enqueue func(member, *request) error) ([]OpRes
 // be mistaken for an exhausted range (the guarantee paged transport
 // scans already make).
 func (c *Cluster) Scan(start []byte, limit int) ([]engine.Entry, error) {
+	return c.AppendScan(nil, start, limit)
+}
+
+// AppendScan is Scan appending the merged result into dst (reusing its
+// capacity) — the allocation-free form for callers recycling scan
+// buffers, like the transport server's dispatch scratch.
+func (c *Cluster) AppendScan(dst []engine.Entry, start []byte, limit int) ([]engine.Entry, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if limit <= 0 || len(c.nodes) == 0 {
-		return nil, nil
+		return dst, nil
 	}
 	ids := c.ring.Members()
 	parts := make([][]engine.Entry, len(ids))
@@ -346,14 +384,14 @@ func (c *Cluster) Scan(start []byte, limit int) ([]engine.Entry, error) {
 		go func(i int, m *memberState) {
 			defer wg.Done()
 			var err error
-			parts[i], err = m.snapshotScan(start, limit)
+			parts[i], err = m.snapshotScan(nil, start, limit)
 			if err != nil {
 				failed[i] = true
 			}
 		}(i, m)
 	}
 	wg.Wait()
-	merged := mergeEntries(parts, limit)
+	merged := mergeEntries(dst, parts, limit)
 	nfailed := 0
 	for _, f := range failed {
 		if f {
@@ -378,11 +416,12 @@ func (c *Cluster) Scan(start []byte, limit int) ([]engine.Entry, error) {
 }
 
 // mergeEntries k-way merges sorted partials into the first limit distinct
-// keys (replicas carry identical values, so the first copy wins).
-func mergeEntries(parts [][]engine.Entry, limit int) []engine.Entry {
+// keys (replicas carry identical values, so the first copy wins),
+// appending to dst.
+func mergeEntries(dst []engine.Entry, parts [][]engine.Entry, limit int) []engine.Entry {
 	idx := make([]int, len(parts))
-	var out []engine.Entry
-	for len(out) < limit {
+	out, base := dst, len(dst)
+	for len(out)-base < limit {
 		best := -1
 		for i := range parts {
 			if idx[i] >= len(parts[i]) {

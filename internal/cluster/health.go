@@ -181,8 +181,8 @@ func (s *memberState) directWrite(op Op, replicas []mirror) (OpResult, error) {
 	return res, err
 }
 
-func (s *memberState) snapshotScan(start []byte, limit int) ([]engine.Entry, error) {
-	entries, err := s.member.snapshotScan(start, limit)
+func (s *memberState) snapshotScan(dst []engine.Entry, start []byte, limit int) ([]engine.Entry, error) {
+	entries, err := s.member.snapshotScan(dst, start, limit)
 	s.note(err)
 	return entries, err
 }

@@ -44,10 +44,12 @@ type member interface {
 	// failures are the replicas' own to hint or count.
 	directWrite(op Op, replicas []mirror) (OpResult, error)
 	// snapshotScan returns up to limit entries with key >= start from a
-	// consistent point-in-time view of the shard. The error is always
-	// nil for local nodes; remote members surface transport failures so
-	// migration never mistakes a lost shard for an empty one.
-	snapshotScan(start []byte, limit int) ([]engine.Entry, error)
+	// consistent point-in-time view of the shard, appending to dst
+	// (which may be nil) so scatter-gather callers can reuse partial
+	// buffers. The error is always nil for local nodes; remote members
+	// surface transport failures so migration never mistakes a lost
+	// shard for an empty one.
+	snapshotScan(dst []engine.Entry, start []byte, limit int) ([]engine.Entry, error)
 	// submit enqueues a sub-batch with backpressure; trySubmit sheds
 	// with ErrOverload instead of blocking (admission control). Both may
 	// complete the request asynchronously.

@@ -82,16 +82,20 @@ func (n *Node) start() {
 func (n *Node) run() {
 	for req := range n.queue {
 		n.batches.Add(1)
-		n.exec(req)
+		// Size bookkeeping must happen before exec: exec's final act is
+		// done.Done(), after which the pooled request may be recycled by
+		// the next Apply — reading req past that point is a use-after-
+		// release race.
 		budget := n.maxBatch - len(req.ops)
+		n.exec(req)
 		for budget > 0 {
 			select {
 			case more, ok := <-n.queue:
 				if !ok {
 					return
 				}
-				n.exec(more)
 				budget -= len(more.ops)
+				n.exec(more)
 			default:
 				budget = 0
 			}
@@ -124,10 +128,10 @@ func (n *Node) directDelete(key []byte) error { n.eng.Delete(key); return nil }
 
 func (n *Node) mirrorWrite(op Op) error { applyWrite(n.eng, op); return nil }
 
-func (n *Node) snapshotScan(start []byte, limit int) ([]engine.Entry, error) {
+func (n *Node) snapshotScan(dst []engine.Entry, start []byte, limit int) ([]engine.Entry, error) {
 	sn := n.eng.Snapshot()
 	defer sn.Release()
-	return sn.Scan(start, limit), nil
+	return sn.AppendScan(dst, start, limit), nil
 }
 
 // exec applies one sub-batch against the engine, fanning writes out to

@@ -99,7 +99,7 @@ func (c *Cluster) migrateLocked(old *Ring) (MoveReport, error) {
 		node := c.nodes[id]
 		start := []byte(nil)
 		for {
-			entries, err := node.snapshotScan(start, 512)
+			entries, err := node.snapshotScan(nil, start, 512)
 			if err != nil {
 				return report, fmt.Errorf("cluster: migration scan of member %d: %w", id, err)
 			}

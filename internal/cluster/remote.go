@@ -179,7 +179,7 @@ func (m *remoteMember) directWrite(op Op, replicas []mirror) (OpResult, error) {
 	return OpResult{}, nil
 }
 
-func (m *remoteMember) snapshotScan(start []byte, limit int) ([]engine.Entry, error) {
+func (m *remoteMember) snapshotScan(dst []engine.Entry, start []byte, limit int) ([]engine.Entry, error) {
 	entries, err := m.r.Scan(start, limit)
 	if err != nil {
 		if isTransportErr(err) {
@@ -187,7 +187,10 @@ func (m *remoteMember) snapshotScan(start []byte, limit int) ([]engine.Entry, er
 		}
 		return nil, err
 	}
-	return entries, nil
+	if dst == nil {
+		return entries, nil
+	}
+	return append(dst, entries...), nil
 }
 
 func (m *remoteMember) submit(req *request) error {
@@ -245,61 +248,70 @@ func isTransportErr(err error) bool {
 // way. Per-op RPCs make success explicit — applied ops mirror, failed
 // ops don't, and the R-copy invariant holds under routine overload.
 func (m *remoteMember) dispatch(req *request, try bool) error {
-	go func() {
-		defer req.done.Done()
-		hasReplicas := false
-		for _, reps := range req.replicas {
-			if len(reps) > 0 {
-				hasReplicas = true
-				break
-			}
-		}
-		fill := func(lo, hi int, res []OpResult, err error) {
-			if err != nil {
-				if isTransportErr(err) {
-					m.transportErrs.Add(1)
-				}
-				req.fail(err)
-			}
-			if req.results != nil {
-				// A shed batch may return fewer results than ops; a
-				// buggy remote could return more. Fill only the overlap.
-				for i := 0; i < len(res) && lo+i < hi; i++ {
-					req.results[req.idx[lo+i]] = res[i]
-				}
-			}
-		}
-		if !hasReplicas {
-			res, err := m.applyRPC(req.ops, try)
-			fill(0, len(req.ops), res, err)
-			return
-		}
-		m.wmu.Lock()
-		defer m.wmu.Unlock()
-		i := 0
-		for i < len(req.ops) {
-			if len(req.replicas[i]) == 0 {
-				// Coalesce the replica-free run into one RPC.
-				j := i + 1
-				for j < len(req.ops) && len(req.replicas[j]) == 0 {
-					j++
-				}
-				res, err := m.applyRPC(req.ops[i:j], try)
-				fill(i, j, res, err)
-				i = j
-				continue
-			}
-			res, err := m.applyRPC(req.ops[i:i+1], try)
-			fill(i, i+1, res, err)
-			if err == nil {
-				for _, rep := range req.replicas[i] {
-					_ = rep.mirrorWrite(req.ops[i])
-				}
-			}
-			i++
-		}
-	}()
+	// A method-valued goroutine start copies its arguments to the new
+	// stack without a closure allocation — this path runs per sub-batch.
+	go m.run(req, try)
 	return nil
+}
+
+// run completes one dispatched sub-batch; see dispatch. The deferred
+// Done is the last touch on req — it may be recycled the instant the
+// coordinator's Wait unblocks.
+func (m *remoteMember) run(req *request, try bool) {
+	defer req.done.Done()
+	hasReplicas := false
+	for _, reps := range req.replicas {
+		if len(reps) > 0 {
+			hasReplicas = true
+			break
+		}
+	}
+	if !hasReplicas {
+		res, err := m.applyRPC(req.ops, try)
+		m.fill(req, 0, len(req.ops), res, err)
+		return
+	}
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	i := 0
+	for i < len(req.ops) {
+		if len(req.replicas[i]) == 0 {
+			// Coalesce the replica-free run into one RPC.
+			j := i + 1
+			for j < len(req.ops) && len(req.replicas[j]) == 0 {
+				j++
+			}
+			res, err := m.applyRPC(req.ops[i:j], try)
+			m.fill(req, i, j, res, err)
+			i = j
+			continue
+		}
+		res, err := m.applyRPC(req.ops[i:i+1], try)
+		m.fill(req, i, i+1, res, err)
+		if err == nil {
+			for _, rep := range req.replicas[i] {
+				_ = rep.mirrorWrite(req.ops[i])
+			}
+		}
+		i++
+	}
+}
+
+// fill lands one RPC's outcome: positional results plus any failure.
+func (m *remoteMember) fill(req *request, lo, hi int, res []OpResult, err error) {
+	if err != nil {
+		if isTransportErr(err) {
+			m.transportErrs.Add(1)
+		}
+		req.fail(err)
+	}
+	if req.results != nil {
+		// A shed batch may return fewer results than ops; a buggy
+		// remote could return more. Fill only the overlap.
+		for i := 0; i < len(res) && lo+i < hi; i++ {
+			req.results[req.idx[lo+i]] = res[i]
+		}
+	}
 }
 
 // stats folds the remote server's per-node counters into one member

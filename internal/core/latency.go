@@ -26,6 +26,18 @@ func (l *LatencyRecorder) Record(d time.Duration) {
 	l.sorted = nil
 }
 
+// Reserve ensures room for n more samples without reallocating, so a
+// load generator that sizes its recorder up front keeps Record
+// allocation-free inside the measured loop (DESIGN.md §12).
+func (l *LatencyRecorder) Reserve(n int) {
+	if cap(l.samples)-len(l.samples) >= n {
+		return
+	}
+	grown := make([]time.Duration, len(l.samples), len(l.samples)+n)
+	copy(grown, l.samples)
+	l.samples = grown
+}
+
 // Time runs fn and records its duration.
 func (l *LatencyRecorder) Time(fn func()) {
 	start := time.Now()

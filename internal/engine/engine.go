@@ -41,6 +41,9 @@ type Engine interface {
 	// Scan returns up to limit live entries with key >= start, in key
 	// order.
 	Scan(start []byte, limit int) []Entry
+	// AppendScan is Scan appending into dst (reusing its capacity) —
+	// the allocation-free form for callers holding a scratch buffer.
+	AppendScan(dst []Entry, start []byte, limit int) []Entry
 	// Snapshot pins a consistent point-in-time read view.
 	Snapshot() Snapshot
 	// Stats snapshots the activity counters.
@@ -55,6 +58,8 @@ type Engine interface {
 type Snapshot interface {
 	Get(key []byte) ([]byte, bool)
 	Scan(start []byte, limit int) []Entry
+	// AppendScan is Scan appending into dst (reusing its capacity).
+	AppendScan(dst []Entry, start []byte, limit int) []Entry
 	// Release drops the snapshot's pin.
 	Release()
 }

@@ -47,6 +47,12 @@ func (s *syncedEngine) Scan(start []byte, limit int) []Entry {
 	return s.inner.Scan(start, limit)
 }
 
+func (s *syncedEngine) AppendScan(dst []Entry, start []byte, limit int) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inner.AppendScan(dst, start, limit)
+}
+
 func (s *syncedEngine) Snapshot() Snapshot {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -80,6 +86,12 @@ func (sn *syncedSnapshot) Scan(start []byte, limit int) []Entry {
 	sn.owner.mu.RLock()
 	defer sn.owner.mu.RUnlock()
 	return sn.inner.Scan(start, limit)
+}
+
+func (sn *syncedSnapshot) AppendScan(dst []Entry, start []byte, limit int) []Entry {
+	sn.owner.mu.RLock()
+	defer sn.owner.mu.RUnlock()
+	return sn.inner.AppendScan(dst, start, limit)
 }
 
 func (sn *syncedSnapshot) Release() { sn.inner.Release() }

@@ -311,6 +311,12 @@ func (s *Store) readBlock(t *sstable, block int) {
 // writers, flushes, or compactions. The version must be loaded before
 // the horizon: any run already in the version was flushed below an
 // earlier horizon, so run rows never need sequence filtering.
+//
+// The returned slice aliases the store's immutable internal record
+// (memtable value chain or run row) rather than a copy — the
+// zero-copy read contract. Callers must treat it as read-only; it
+// stays valid indefinitely, since overwrites create new records and
+// the garbage collector keeps referenced bytes alive.
 func (s *Store) Get(key []byte) ([]byte, bool) {
 	v := s.cur.Load()
 	return s.getAt(v, s.visible.Load(), key)
@@ -334,7 +340,10 @@ func (s *Store) getAt(v *version, seq uint64, key []byte) ([]byte, bool) {
 		if tomb {
 			return nil, false
 		}
-		return append([]byte(nil), val...), true
+		// The record chain is immutable after publication (overwrites
+		// push new records), so the value can be returned without a
+		// defensive copy — the read path's zero-copy contract.
+		return val, true
 	}
 	// L0 newest-first: flush output runs may overlap.
 	for i := len(v.levels[0]) - 1; i >= 0; i-- {
@@ -396,7 +405,8 @@ func (s *Store) probeRun(t *sstable, key []byte) (val []byte, found, dead bool) 
 	if r.tomb {
 		return nil, true, true
 	}
-	return append([]byte(nil), r.val...), true, false
+	// Run rows are immutable; return the value without a copy.
+	return r.val, true, false
 }
 
 // Scan returns up to limit live entries with key >= start, in key
@@ -405,7 +415,16 @@ func (s *Store) probeRun(t *sstable, key []byte) (val []byte, found, dead bool) 
 // half a WriteBatch, or writes that land mid-iteration.
 func (s *Store) Scan(start []byte, limit int) []Entry {
 	v := s.cur.Load()
-	return s.scanAt(v, s.visible.Load(), start, limit)
+	return s.scanAt(nil, v, s.visible.Load(), start, limit)
+}
+
+// AppendScan is Scan appending into dst (reusing its capacity): the
+// allocation-free form for callers that hold a scratch entry buffer.
+// Appended keys and values are still fresh copies — only the slice
+// headers reuse dst.
+func (s *Store) AppendScan(dst []Entry, start []byte, limit int) []Entry {
+	v := s.cur.Load()
+	return s.scanAt(dst, v, s.visible.Load(), start, limit)
 }
 
 // scanCursor walks one sorted source (memtable or run) emitting rows
@@ -416,8 +435,9 @@ type scanCursor struct {
 	next func() (row, bool)
 }
 
-// scanAt merges every source of a pinned version at a sequence horizon.
-func (s *Store) scanAt(v *version, seq uint64, start []byte, limit int) []Entry {
+// scanAt merges every source of a pinned version at a sequence horizon,
+// appending up to limit entries to dst.
+func (s *Store) scanAt(dst []Entry, v *version, seq uint64, start []byte, limit int) []Entry {
 	s.ct.scans.Add(1)
 	s.cpu.Code(s.scanCode, s.codeOff(s.scanCode), 640)
 	s.cpu.IntOps(520)
@@ -471,9 +491,9 @@ func (s *Store) scanAt(v *version, seq uint64, start []byte, limit int) []Entry 
 	for _, c := range cs {
 		c.cur, c.ok = c.next()
 	}
-	var out []Entry
+	out, base := dst, len(dst)
 	scanned := 0
-	for len(out) < limit {
+	for len(out)-base < limit {
 		best := -1
 		for i, c := range cs {
 			if !c.ok {
@@ -540,7 +560,12 @@ func (sn *Snapshot) Get(key []byte) ([]byte, bool) {
 
 // Scan returns up to limit live entries as of the snapshot.
 func (sn *Snapshot) Scan(start []byte, limit int) []Entry {
-	return sn.s.scanAt(sn.v, sn.seq, start, limit)
+	return sn.s.scanAt(nil, sn.v, sn.seq, start, limit)
+}
+
+// AppendScan is Scan appending into dst (reusing its capacity).
+func (sn *Snapshot) AppendScan(dst []Entry, start []byte, limit int) []Entry {
+	return sn.s.scanAt(dst, sn.v, sn.seq, start, limit)
 }
 
 // Release drops the snapshot's pin (the garbage collector reclaims the

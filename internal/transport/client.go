@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -154,7 +155,7 @@ func dialConn(addr string, deadline time.Time, maxFrame int) (*clientConn, error
 			cc := &clientConn{
 				conn:     conn,
 				bw:       bufio.NewWriterSize(conn, 64<<10),
-				pending:  map[uint64]chan response{},
+				pending:  map[uint64]*waiter{},
 				maxFrame: maxFrame,
 			}
 			go cc.readLoop()
@@ -165,11 +166,50 @@ func dialConn(addr string, deadline time.Time, maxFrame int) (*clientConn, error
 	}
 }
 
-// response is one matched reply.
+// response is one matched reply. When f is non-nil the payload aliases
+// a pooled frame: the receiver must copy anything it retains, then call
+// release.
 type response struct {
 	op      Opcode
 	payload []byte
+	f       *frame
 	err     error // connection-level failure
+}
+
+// release returns the response's pooled frame, if any. Idempotent.
+func (r *response) release() {
+	if r.f != nil {
+		putFrame(r.f)
+		r.f = nil
+		r.payload = nil
+	}
+}
+
+// waiter is one pooled in-flight request slot. The channel is reused
+// across requests; the abandon protocol in roundTripFrame guarantees it
+// is empty whenever the waiter returns to the pool.
+type waiter struct {
+	ch chan response
+}
+
+var waiterPool = sync.Pool{New: func() any { return &waiter{ch: make(chan response, 1)} }}
+
+// timerPool recycles round-trip timeout timers. Stop/Reset without a
+// drain is safe under the Go 1.23+ timer semantics this module requires.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
 }
 
 // clientConn is one pooled connection: a locked writer and a read loop
@@ -180,28 +220,34 @@ type clientConn struct {
 
 	wmu sync.Mutex // serializes frame writes
 	bw  *bufio.Writer
+	// writers counts round trips between "about to take wmu" and "wrote
+	// the frame": the writer that decrements it to zero flushes for the
+	// whole group, coalescing pipelined requests into one syscall.
+	writers atomic.Int32
 
 	nextID atomic.Uint64
 
 	mu      sync.Mutex
-	pending map[uint64]chan response
+	pending map[uint64]*waiter
 	err     error // sticky connection error
 }
 
 func (cc *clientConn) readLoop() {
 	br := bufio.NewReaderSize(cc.conn, 64<<10)
 	for {
-		id, op, payload, err := readFrame(br, cc.maxFrame)
+		id, op, f, err := readPooledFrame(br, cc.maxFrame)
 		if err != nil {
 			cc.fail(fmt.Errorf("transport: connection lost: %w", err))
 			return
 		}
 		cc.mu.Lock()
-		ch := cc.pending[id]
+		w := cc.pending[id]
 		delete(cc.pending, id)
 		cc.mu.Unlock()
-		if ch != nil {
-			ch <- response{op: op, payload: payload}
+		if w != nil {
+			w.ch <- response{op: op, payload: f.b, f: f}
+		} else {
+			putFrame(f) // abandoned request (timeout): nobody will read it
 		}
 	}
 }
@@ -220,59 +266,131 @@ func (cc *clientConn) fail(err error) {
 		cc.err = err
 	}
 	pending := cc.pending
-	cc.pending = map[uint64]chan response{}
+	cc.pending = map[uint64]*waiter{}
 	cc.mu.Unlock()
 	cc.conn.Close()
-	for _, ch := range pending {
-		ch <- response{err: err}
+	for _, w := range pending {
+		w.ch <- response{err: err}
 	}
 }
 
-// roundTrip issues one request frame — traced when trace is nonzero —
-// and waits for its response.
-func (cc *clientConn) roundTrip(trace uint64, op Opcode, payload []byte, timeout time.Duration) (response, error) {
+// abandon resolves a request whose caller is giving up (write error or
+// timeout). If the waiter is still registered, removing it here means no
+// one else will ever touch it and it can be pooled immediately. If it is
+// gone, the remover (read loop or fail) removed it *before* sending, so
+// a send is guaranteed — receive it, discard the late response, and only
+// then pool the waiter. Without this ownership handshake a pooled waiter
+// could deliver a stale response to its next user.
+func (cc *clientConn) abandon(id uint64, w *waiter, err error) (response, error) {
+	cc.mu.Lock()
+	_, mine := cc.pending[id]
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+	if !mine {
+		r := <-w.ch
+		r.release()
+	}
+	waiterPool.Put(w)
+	return response{}, err
+}
+
+// roundTripFrame issues one complete request frame (as built by
+// beginRequest/finishFrame; the id field is assigned and patched here)
+// and waits for its response. Takes ownership of f — it is released as
+// soon as the bytes reach the bufio.Writer. The returned response's
+// payload aliases a pooled frame the caller must release.
+func (cc *clientConn) roundTripFrame(op Opcode, f *frame, timeout time.Duration) (response, error) {
 	id := cc.nextID.Add(1)
-	ch := make(chan response, 1)
+	patchFrameID(f.b, id)
+	w := waiterPool.Get().(*waiter)
 	cc.mu.Lock()
 	if cc.err != nil {
 		err := cc.err
 		cc.mu.Unlock()
+		waiterPool.Put(w)
+		putFrame(f)
 		return response{}, err
 	}
-	cc.pending[id] = ch
+	cc.pending[id] = w
 	cc.mu.Unlock()
 
-	frame := AppendTracedFrame(nil, id, op, trace, payload)
+	// Group flush: every writer increments before queueing on wmu; the
+	// one that decrements to zero flushes for everyone. At pipeline
+	// depth > 1 the frames written while a flush-eligible writer held
+	// the lock ride out in one syscall (writev-style batching); at
+	// depth 1 every write flushes, exactly as before.
+	cc.writers.Add(1)
 	cc.wmu.Lock()
-	_, werr := cc.bw.Write(frame)
-	if werr == nil {
+	_, werr := cc.bw.Write(f.b)
+	if cc.writers.Add(-1) == 0 && werr == nil {
 		werr = cc.bw.Flush()
 	}
 	cc.wmu.Unlock()
+	putFrame(f)
 	if werr != nil {
 		cc.fail(fmt.Errorf("transport: write: %w", werr))
-		// fail resolved (or removed) our waiter; drain it if resolved.
-		select {
-		case r := <-ch:
-			return response{}, r.err
-		default:
-			return response{}, werr
-		}
+		return cc.abandon(id, w, werr)
 	}
 
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	t := getTimer(timeout)
 	select {
-	case r := <-ch:
+	case r := <-w.ch:
+		putTimer(t)
+		waiterPool.Put(w)
 		if r.err != nil {
 			return response{}, r.err
 		}
 		return r, nil
-	case <-timer.C:
-		cc.mu.Lock()
-		delete(cc.pending, id)
-		cc.mu.Unlock()
-		return response{}, fmt.Errorf("%w (%s after %v)", ErrTimeout, opName(op), timeout)
+	case <-t.C:
+		timerPool.Put(t) // fired: nothing to stop
+		return cc.abandon(id, w, fmt.Errorf("%w (%s after %v)", ErrTimeout, opName(op), timeout))
+	}
+}
+
+// roundTrip issues one request with the given payload — traced when
+// trace is nonzero — and waits for its response. The payload is copied
+// into a pooled frame; use roundTripFrame with a caller-built frame to
+// skip that copy.
+func (cc *clientConn) roundTrip(trace uint64, op Opcode, payload []byte, timeout time.Duration) (response, error) {
+	f := newRequestFrame(op, trace, payload)
+	return cc.roundTripFrame(op, f, timeout)
+}
+
+// newRequestFrame builds a complete request frame (id zero, patched at
+// send time) carrying payload in a pooled buffer.
+func newRequestFrame(op Opcode, trace uint64, payload []byte) *frame {
+	f := getFrame(frameHeadLen(trace) + len(payload))
+	f.b = beginRequest(f.b[:0], op, trace)
+	f.b = append(f.b, payload...)
+	f.b = finishFrame(f.b)
+	return f
+}
+
+// frameHeadLen is the wire size of a request frame before its payload:
+// length prefix + header, plus the trace extension when traced.
+func frameHeadLen(trace uint64) int {
+	if trace != 0 {
+		return 4 + frameOverhead + 8
+	}
+	return 4 + frameOverhead
+}
+
+// cloneEntries rebases every entry's key and value out of the wire
+// buffer they alias and into one fresh arena, in place.
+func cloneEntries(entries []engine.Entry) {
+	total := 0
+	for i := range entries {
+		total += len(entries[i].Key) + len(entries[i].Value)
+	}
+	if total == 0 {
+		return
+	}
+	arena := make([]byte, 0, total)
+	for i := range entries {
+		arena = append(arena, entries[i].Key...)
+		entries[i].Key = arena[len(arena)-len(entries[i].Key) : len(arena) : len(arena)]
+		arena = append(arena, entries[i].Value...)
+		entries[i].Value = arena[len(arena)-len(entries[i].Value) : len(arena) : len(arena)]
 	}
 }
 
@@ -382,6 +500,7 @@ func (c *Client) Ping() error {
 	if err != nil {
 		return err
 	}
+	defer r.release()
 	if r.op == RespError {
 		remoteErr, decodeErr := DecodeError(r.payload)
 		if decodeErr != nil {
@@ -397,22 +516,34 @@ func (c *Client) Ping() error {
 
 // call runs one round trip and maps error frames back to Go errors. A
 // nonzero trace rides the frame header and leaves a root span in the
-// configured span log.
+// configured span log. The payload is copied into a pooled request
+// frame; hot paths that can encode straight into a frame use callFrame.
+// The returned response's payload aliases a pooled frame — the caller
+// must copy whatever it retains, then release it.
 func (c *Client) call(trace uint64, op Opcode, payload []byte) (response, error) {
+	return c.callFrame(trace, op, newRequestFrame(op, trace, payload), len(payload))
+}
+
+// callFrame is call for a caller-built request frame (beginRequest +
+// finishFrame; the id is patched at send time). Takes ownership of f.
+// reqBytes is the payload size, recorded on the span.
+func (c *Client) callFrame(trace uint64, op Opcode, f *frame, reqBytes int) (response, error) {
 	cc, err := c.pick()
 	if err != nil {
+		putFrame(f)
 		return response{}, err
 	}
 	var start time.Time
 	if trace != 0 && c.opts.Spans != nil {
 		start = time.Now()
 	}
-	r, err := cc.roundTrip(trace, op, payload, c.opts.Timeout)
+	r, err := cc.roundTripFrame(op, f, c.opts.Timeout)
 	if err == nil && r.op == RespError {
 		var decodeErr error
 		if err, decodeErr = DecodeError(r.payload); decodeErr != nil {
 			err = decodeErr
 		}
+		r.release() // DecodeError copied the message into the error
 		r = response{}
 	}
 	if !start.IsZero() {
@@ -422,7 +553,7 @@ func (c *Client) call(trace uint64, op Opcode, payload []byte) (response, error)
 			Peer:  c.addr,
 			Start: start,
 			Dur:   time.Since(start),
-			Bytes: len(payload),
+			Bytes: reqBytes,
 		}
 		if err != nil {
 			span.Err = err.Error()
@@ -473,10 +604,13 @@ func (c *Client) GetTraced(trace uint64, key []byte) (value []byte, found bool, 
 		if err != nil {
 			return err
 		}
+		defer r.release()
 		if r.op != RespValue {
 			return ErrMalformed
 		}
-		value, found, err = DecodeValue(r.payload)
+		var v []byte
+		v, found, err = DecodeValue(r.payload)
+		value = bytes.Clone(v) // v aliases the pooled frame
 		return err
 	})
 	return value, found, err
@@ -490,10 +624,16 @@ func (c *Client) Put(key, value []byte) error {
 // PutTraced is Put carrying a distributed trace id (zero = untraced).
 func (c *Client) PutTraced(trace uint64, key, value []byte) error {
 	return c.withRetry(func() error {
-		r, err := c.call(trace, OpPut, EncodePut(nil, key, value))
+		// Encode straight into a pooled frame: no intermediate payload.
+		n := 4 + len(key) + len(value)
+		f := getFrame(frameHeadLen(trace) + n)
+		f.b = beginRequest(f.b[:0], OpPut, trace)
+		f.b = finishFrame(EncodePut(f.b, key, value))
+		r, err := c.callFrame(trace, OpPut, f, n)
 		if err != nil {
 			return err
 		}
+		defer r.release()
 		if r.op != RespOK {
 			return ErrMalformed
 		}
@@ -513,6 +653,7 @@ func (c *Client) DeleteTraced(trace uint64, key []byte) error {
 		if err != nil {
 			return err
 		}
+		defer r.release()
 		if r.op != RespOK {
 			return ErrMalformed
 		}
@@ -533,14 +674,22 @@ func (c *Client) Scan(start []byte, limit int) ([]engine.Entry, error) {
 		var page []engine.Entry
 		var more bool
 		err := c.withRetry(func() error {
-			r, err := c.call(0, OpScan, EncodeScan(nil, start, limit-len(all)))
+			n := 4 + len(start)
+			f := getFrame(frameHeadLen(0) + n)
+			f.b = beginRequest(f.b[:0], OpScan, 0)
+			f.b = finishFrame(EncodeScan(f.b, start, limit-len(all)))
+			r, err := c.callFrame(0, OpScan, f, n)
 			if err != nil {
 				return err
 			}
+			defer r.release()
 			if r.op != RespEntries {
 				return ErrMalformed
 			}
 			page, more, err = DecodeEntries(r.payload)
+			if err == nil {
+				cloneEntries(page) // entries alias the pooled frame
+			}
 			return err
 		})
 		if err != nil {
@@ -585,16 +734,37 @@ func (c *Client) TryApplyTraced(trace uint64, ops []cluster.Op) ([]cluster.OpRes
 }
 
 func (c *Client) batch(trace uint64, ops []cluster.Op, try bool) ([]cluster.OpResult, error) {
-	r, err := c.call(trace, OpBatch, EncodeBatch(nil, ops, try))
+	// Encode the batch straight into a pooled, exactly-sized frame.
+	n := encodedBatchLen(ops)
+	f := getFrame(frameHeadLen(trace) + n)
+	f.b = beginRequest(f.b[:0], OpBatch, trace)
+	f.b = finishFrame(EncodeBatch(f.b, ops, try))
+	r, err := c.callFrame(trace, OpBatch, f, n)
 	if err != nil {
 		return nil, err
 	}
+	defer r.release()
 	if r.op != RespResults {
 		return nil, ErrMalformed
 	}
 	res, execErr, decodeErr := DecodeResults(r.payload)
 	if decodeErr != nil {
 		return nil, decodeErr
+	}
+	// Result values alias the pooled response frame; move them into one
+	// arena so releasing the frame can't corrupt what the caller keeps.
+	total := 0
+	for i := range res {
+		total += len(res[i].Value)
+	}
+	if total > 0 {
+		arena := make([]byte, 0, total)
+		for i := range res {
+			if len(res[i].Value) > 0 {
+				arena = append(arena, res[i].Value...)
+				res[i].Value = arena[len(arena)-len(res[i].Value) : len(arena) : len(arena)]
+			}
+		}
 	}
 	return res, execErr
 }
@@ -606,6 +776,7 @@ func (c *Client) Stats() (st cluster.Stats, err error) {
 		if err != nil {
 			return err
 		}
+		defer r.release()
 		if r.op != RespStats {
 			return ErrMalformed
 		}
@@ -632,6 +803,7 @@ func (c *Client) SubmitTaskTraced(trace uint64, spec []byte) (id uint64, err err
 		if err != nil {
 			return err
 		}
+		defer r.release()
 		if r.op != RespTask {
 			return ErrMalformed
 		}
@@ -650,6 +822,7 @@ func (c *Client) TaskStatus(id uint64) (done bool, taskErr, err error) {
 		if err != nil {
 			return err
 		}
+		defer r.release()
 		if r.op != RespTaskStatus {
 			return ErrMalformed
 		}
@@ -670,23 +843,26 @@ func (c *Client) ShuffleFetch(task uint64, part uint32) ([]byte, error) {
 func (c *Client) ShuffleFetchTraced(trace, task uint64, part uint32) ([]byte, error) {
 	var all []byte
 	for {
-		var chunk []byte
 		var more bool
 		err := c.withRetry(func() error {
 			r, err := c.call(trace, OpShuffleFetch, EncodeShuffleFetch(nil, task, part, uint32(len(all))))
 			if err != nil {
 				return err
 			}
+			defer r.release()
 			if r.op != RespChunk {
 				return ErrMalformed
 			}
+			var chunk []byte
 			chunk, more, err = DecodeChunk(r.payload)
+			if err == nil {
+				all = append(all, chunk...) // copies out of the pooled frame
+			}
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
-		all = append(all, chunk...)
 		if !more {
 			return all, nil
 		}

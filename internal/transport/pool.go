@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Frame buffer pooling (DESIGN.md §12). Every frame on the hot path —
+// request payloads read off a socket, response frames built by server
+// dispatch, request frames built by the client — lives in a pooled,
+// size-classed buffer instead of a fresh allocation. The protocol is
+// strict ownership hand-off:
+//
+//   - getFrame(n) returns a *frame whose .b has length n and capacity of
+//     the smallest size class that fits. The caller owns it exclusively.
+//   - Ownership moves with the frame: the server's read loop hands the
+//     request frame to the dispatch goroutine; dispatch hands the
+//     response frame to the writer goroutine; the client's read loop
+//     hands response frames to the waiting caller.
+//   - Exactly one owner calls putFrame, and only once nothing aliases
+//     the buffer anymore. Decoded keys/values/entries alias frames, so
+//     anything retained past the release (engine memtables, hinted
+//     handoff, values returned to callers) must be copied first — the
+//     engine copies on Put, the hint buffer copies on enqueue, and the
+//     client copies response values out before releasing.
+//
+// Size classes are powers of two from 256 B to 1 MiB. Buffers that grew
+// past their class (an append outran the estimate) are re-bucketed by
+// capacity on release; anything beyond the largest class is left to the
+// garbage collector rather than pinned in a pool.
+
+const (
+	framePoolMinBits = 8  // 256 B
+	framePoolMaxBits = 20 // 1 MiB
+	framePoolClasses = framePoolMaxBits - framePoolMinBits + 1
+	framePoolMax     = 1 << framePoolMaxBits
+)
+
+// frame is one pooled wire buffer. The slice is the sole state: length
+// is whatever the current owner set, capacity is the size class (or
+// larger, if an append grew it).
+type frame struct {
+	b []byte
+}
+
+var framePools [framePoolClasses]sync.Pool
+
+// Pool efficacy counters, exported by RegisterPoolMetrics. A hit is a
+// getFrame served from the pool; a miss allocated a fresh class-sized
+// buffer; an oversize request bypassed the pool entirely.
+var (
+	framePoolHits     obs.Counter
+	framePoolMisses   obs.Counter
+	framePoolOversize obs.Counter
+)
+
+// frameClass maps a requested size to its pool index (smallest class
+// that fits). n must be <= framePoolMax.
+func frameClass(n int) int {
+	if n <= 1<<framePoolMinBits {
+		return 0
+	}
+	return bits.Len(uint(n-1)) - framePoolMinBits
+}
+
+// getFrame returns a frame with len(f.b) == n and cap(f.b) >= n. The
+// caller owns it until it calls putFrame or hands it off.
+func getFrame(n int) *frame {
+	if n > framePoolMax {
+		framePoolOversize.Inc()
+		return &frame{b: make([]byte, n)}
+	}
+	cls := frameClass(n)
+	if v := framePools[cls].Get(); v != nil {
+		framePoolHits.Inc()
+		f := v.(*frame)
+		f.b = f.b[:n]
+		return f
+	}
+	framePoolMisses.Inc()
+	return &frame{b: make([]byte, n, 1<<(framePoolMinBits+cls))}
+}
+
+// putFrame releases a frame back to its pool, re-bucketed by capacity so
+// a buffer an append grew lands in the class it can actually serve.
+// Buffers beyond the largest class are dropped to the GC: pools must not
+// pin megabyte scan pages forever. Callers must not touch the frame (or
+// anything aliasing its bytes) after the put.
+func putFrame(f *frame) {
+	if f == nil {
+		return
+	}
+	c := cap(f.b)
+	if c < 1<<framePoolMinBits || c > framePoolMax {
+		return
+	}
+	// Largest class whose size is <= cap: the pool invariant is that a
+	// frame in class i has capacity >= 1<<(minBits+i).
+	cls := bits.Len(uint(c)) - 1 - framePoolMinBits
+	if cls < 0 {
+		return
+	}
+	if cls >= framePoolClasses {
+		cls = framePoolClasses - 1
+	}
+	f.b = f.b[:0]
+	framePools[cls].Put(f)
+}
+
+// RegisterPoolMetrics exports the frame-pool efficacy counters into r
+// under bd_transport_framepool_*. The pool is process-global (every
+// server and client in the process shares it), so call this once per
+// registry — not once per server.
+func RegisterPoolMetrics(r *obs.Registry) {
+	r.CounterFunc("bd_transport_framepool_total", "Frame buffer pool requests, by outcome.",
+		obs.Labels{"outcome": "hit"}, framePoolHits.Value)
+	r.CounterFunc("bd_transport_framepool_total", "Frame buffer pool requests, by outcome.",
+		obs.Labels{"outcome": "miss"}, framePoolMisses.Value)
+	r.CounterFunc("bd_transport_framepool_total", "Frame buffer pool requests, by outcome.",
+		obs.Labels{"outcome": "oversize"}, framePoolOversize.Value)
+}

@@ -54,6 +54,38 @@ type TaskHost interface {
 // errNoTaskHost answers task-plane opcodes on a server with no executor.
 var errNoTaskHost = errors.New("transport: server hosts no task executor")
 
+// batchApplier is the optional Backend capability for allocation-free
+// batch execution: results land in a caller-owned slice (len(res) ==
+// len(ops)) instead of a per-call allocation. *cluster.Cluster
+// implements it; the server type-asserts once at construction and falls
+// back to Apply/TryApply for backends that don't.
+type batchApplier interface {
+	ApplyInto(ops []cluster.Op, res []cluster.OpResult) error
+	TryApplyInto(ops []cluster.Op, res []cluster.OpResult) error
+}
+
+// scanAppender is the optional Backend capability for scan-buffer reuse:
+// entries append into a caller-owned slice that the server recycles
+// across requests. Entry keys/values are engine-owned copies, so only
+// the slice header is pooled — the data survives the buffer's reuse.
+type scanAppender interface {
+	AppendScan(dst []engine.Entry, start []byte, limit int) ([]engine.Entry, error)
+}
+
+// batchScratch is the pooled per-request decode/execute scratch for
+// OpBatch: the decoded ops (aliasing the request frame) and the result
+// slots. Released back to batchPool after the response frame is encoded.
+type batchScratch struct {
+	ops []cluster.Op
+	res []cluster.OpResult
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// entriesPool recycles scan result buffers ([]engine.Entry headers; the
+// entries' bytes are engine-owned) across OpScan dispatches.
+var entriesPool sync.Pool
+
 // ServerOptions tunes a Server. The zero value uses the defaults.
 type ServerOptions struct {
 	// Tasks, when non-nil, serves the analytics task plane (OpTaskSubmit
@@ -122,6 +154,11 @@ type Server struct {
 	backend Backend
 	opts    ServerOptions
 
+	// applyInto / scanInto are the backend's optional allocation-free
+	// capabilities, resolved once at construction (nil when absent).
+	applyInto batchApplier
+	scanInto  scanAppender
+
 	tokens chan struct{} // in-flight admission permits
 
 	mu     sync.Mutex
@@ -158,6 +195,8 @@ func Serve(ln net.Listener, b Backend, opts ServerOptions) *Server {
 		spans:   obs.NewSpanLog(opts.TraceBuffer),
 		slow:    obs.NewSpanLog(opts.TraceBuffer),
 	}
+	s.applyInto, _ = b.(batchApplier)
+	s.scanInto, _ = b.(scanAppender)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -241,6 +280,52 @@ func (s *Server) forget(conn net.Conn) {
 	s.mu.Unlock()
 }
 
+// connState is the per-connection dispatch context: the response queue
+// and the in-flight request group. It exists so request goroutines spawn
+// as a plain method call (`go cs.serveReq(...)`) — no per-request
+// closure allocation.
+type connState struct {
+	s    *Server
+	out  chan *frame
+	reqs sync.WaitGroup
+}
+
+// serveReq executes one admitted request. Frame ownership (DESIGN.md
+// §12): pf — the pooled request frame payload aliases — is released as
+// soon as dispatch returns, because every retention path below dispatch
+// copies (the engine copies keys/values on apply, the hint buffer copies
+// on enqueue, error messages copy into strings). The response frame's
+// ownership passes to the writer goroutine via out.
+func (cs *connState) serveReq(id, trace uint64, op Opcode, pf *frame, payload []byte, start time.Time) {
+	s := cs.s
+	n := len(payload)
+	resp := s.dispatch(id, trace, op, payload)
+	putFrame(pf)
+	cs.out <- resp
+	s.served.Add(1)
+	s.observe(op, trace, start, n)
+	<-s.tokens
+	cs.reqs.Done()
+}
+
+// errFrame builds a complete RespError frame for err in a pooled buffer.
+func errFrame(id uint64, err error) *frame {
+	code, msg := errorCode(err)
+	f := getFrame(frameOverhead + 4 + 1 + len(msg))
+	f.b = beginResponse(f.b[:0], id, RespError)
+	f.b = append(f.b, code)
+	f.b = append(f.b, msg...)
+	f.b = finishFrame(f.b)
+	return f
+}
+
+// okFrame builds a complete payload-less RespOK frame.
+func okFrame(id uint64) *frame {
+	f := getFrame(frameOverhead + 4)
+	f.b = finishFrame(beginResponse(f.b[:0], id, RespOK))
+	return f
+}
+
 // handle runs one connection: the read loop decodes and dispatches
 // frames; a writer goroutine serializes response frames back out. On
 // read loop exit (peer hangup or drain kick), in-flight requests finish,
@@ -249,7 +334,8 @@ func (s *Server) forget(conn net.Conn) {
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.forget(conn)
-	out := make(chan []byte, 64)
+	cs := &connState{s: s, out: make(chan *frame, 64)}
+	out := cs.out
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
@@ -257,11 +343,14 @@ func (s *Server) handle(conn net.Conn) {
 		broken := false
 		for f := range out {
 			if broken {
+				putFrame(f)
 				continue // keep draining so request goroutines never block
 			}
-			s.metrics.bytesOut.Add(uint64(len(f)))
+			s.metrics.bytesOut.Add(uint64(len(f.b)))
 			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
-			if _, err := bw.Write(f); err != nil {
+			_, err := bw.Write(f.b)
+			putFrame(f) // bufio copied the bytes; the frame is free
+			if err != nil {
 				broken = true
 				continue
 			}
@@ -277,26 +366,27 @@ func (s *Server) handle(conn net.Conn) {
 		bw.Flush()
 	}()
 
-	var reqs sync.WaitGroup
 	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		id, op, payload, err := readFrame(br, s.opts.MaxFrame)
+		id, op, pf, err := readPooledFrame(br, s.opts.MaxFrame)
 		if err != nil {
 			if errors.Is(err, ErrMalformed) || errors.Is(err, ErrFrameTooLarge) {
 				// The stream is unrecoverable (framing lost), but tell
 				// the peer why before hanging up.
-				out <- AppendFrame(nil, id, RespError, EncodeError(nil, err))
+				out <- errFrame(id, err)
 			}
 			break
 		}
 		start := time.Now()
-		s.metrics.bytesIn.Add(uint64(13 + len(payload)))
+		s.metrics.bytesIn.Add(uint64(13 + len(pf.b)))
 		var trace uint64
-		op, trace, payload, err = splitTrace(op, payload)
+		var payload []byte
+		op, trace, payload, err = splitTrace(op, pf.b)
 		if err != nil {
 			// The frame itself parsed — only the trace extension is
 			// short. Fail the request, keep the connection.
-			out <- AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			putFrame(pf)
+			out <- errFrame(id, err)
 			continue
 		}
 		if int(op) < len(s.metrics.reqs) {
@@ -310,7 +400,8 @@ func (s *Server) handle(conn net.Conn) {
 		// that can be shed would convert every overload into a false
 		// death verdict.
 		if op == OpPing {
-			out <- AppendFrame(nil, id, RespOK, nil)
+			putFrame(pf)
+			out <- okFrame(id)
 			continue
 		}
 		// Admission: a backpressure batch (Apply) must never shed — it
@@ -325,22 +416,15 @@ func (s *Server) handle(conn net.Conn) {
 			case s.tokens <- struct{}{}:
 			default:
 				s.shed.Add(1)
-				out <- AppendFrame(nil, id, RespError, EncodeError(nil, cluster.ErrOverload))
+				putFrame(pf)
+				out <- errFrame(id, cluster.ErrOverload)
 				continue
 			}
 		}
-		reqs.Add(1)
-		go func(id uint64, op Opcode, payload []byte, trace uint64, start time.Time) {
-			defer func() {
-				<-s.tokens
-				reqs.Done()
-			}()
-			out <- s.dispatch(id, trace, op, payload)
-			s.served.Add(1)
-			s.observe(op, trace, start, len(payload))
-		}(id, op, payload, trace, start)
+		cs.reqs.Add(1)
+		go cs.serveReq(id, trace, op, pf, payload, start)
 	}
-	reqs.Wait()
+	cs.reqs.Wait()
 	close(out)
 	<-writerDone
 	conn.Close()
@@ -371,40 +455,62 @@ func (s *Server) observe(op Opcode, trace uint64, start time.Time, bytes int) {
 	}
 }
 
-// dispatch executes one decoded request against the backend and encodes
-// the response frame. A nonzero trace is stamped onto batch ops, so a
-// backend that is itself a cluster with remote members keeps
-// propagating it.
-func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) []byte {
+// dispatch executes one decoded request against the backend and builds
+// the response frame directly in a pooled buffer — engine values are
+// appended straight into the frame the writer goroutine will hand to
+// the bufio.Writer, with no intermediate payload slice. A nonzero trace
+// is stamped onto batch ops, so a backend that is itself a cluster with
+// remote members keeps propagating it.
+func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) *frame {
 	switch op {
 	case OpGet:
 		v, ok := s.backend.Get(payload)
-		return AppendFrame(nil, id, RespValue, EncodeValue(nil, v, ok))
+		f := getFrame(frameOverhead + 4 + 1 + len(v))
+		f.b = beginResponse(f.b[:0], id, RespValue)
+		f.b = finishFrame(EncodeValue(f.b, v, ok))
+		return f
 	case OpPut:
 		key, value, err := DecodePut(payload)
 		if err != nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			return errFrame(id, err)
 		}
 		if err := s.backend.Put(key, value); err != nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			return errFrame(id, err)
 		}
-		return AppendFrame(nil, id, RespOK, nil)
+		return okFrame(id)
 	case OpDelete:
 		if err := s.backend.Delete(payload); err != nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			return errFrame(id, err)
 		}
-		return AppendFrame(nil, id, RespOK, nil)
+		return okFrame(id)
 	case OpScan:
 		start, limit, err := DecodeScan(payload)
 		if err != nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			return errFrame(id, err)
 		}
-		entries, err := s.backend.Scan(start, limit)
+		// Scan into a pooled entry buffer when the backend supports it;
+		// entry keys/values are engine-owned copies, so recycling the
+		// slice after encoding is aliasing-safe.
+		var entries []engine.Entry
+		var eb *[]engine.Entry
+		if s.scanInto != nil {
+			if v := entriesPool.Get(); v != nil {
+				eb = v.(*[]engine.Entry)
+			} else {
+				eb = new([]engine.Entry)
+			}
+			entries, err = s.scanInto.AppendScan((*eb)[:0], start, limit)
+		} else {
+			entries, err = s.backend.Scan(start, limit)
+		}
 		if err != nil {
 			// A degraded backend scan (lost keyrange coverage) fails the
 			// request loudly: a silently short page would poison the
 			// client's "short means exhausted" pagination contract.
-			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			if eb != nil {
+				entriesPool.Put(eb)
+			}
+			return errFrame(id, err)
 		}
 		// Bound the response to what the peer will accept: a frame over
 		// MaxFrame would kill the connection (and every pipelined
@@ -414,8 +520,8 @@ func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) []byte {
 		more := false
 		budget := s.opts.MaxFrame - frameOverhead - 64
 		size := 5
-		for i, e := range entries {
-			size += 8 + len(e.Key) + len(e.Value)
+		for i := range entries {
+			size += 8 + len(entries[i].Key) + len(entries[i].Value)
 			// Never truncate to zero: an empty page reads as
 			// end-of-keyspace to paginating callers. A single entry
 			// beyond MaxFrame fails loudly at the client instead.
@@ -425,12 +531,22 @@ func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) []byte {
 				break
 			}
 		}
-		return AppendFrame(nil, id, RespEntries, EncodeEntries(nil, entries, more))
-	case OpBatch:
-		ops, try, err := DecodeBatch(payload)
-		if err != nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+		f := getFrame(frameOverhead + 4 + encodedEntriesLen(entries))
+		f.b = beginResponse(f.b[:0], id, RespEntries)
+		f.b = finishFrame(EncodeEntries(f.b, entries, more))
+		if eb != nil {
+			*eb = entries[:0]
+			entriesPool.Put(eb)
 		}
+		return f
+	case OpBatch:
+		sc := batchPool.Get().(*batchScratch)
+		ops, try, err := DecodeBatchAppend(sc.ops[:0], payload)
+		if err != nil {
+			batchPool.Put(sc)
+			return errFrame(id, err)
+		}
+		sc.ops = ops
 		if trace != 0 {
 			for i := range ops {
 				ops[i].Trace = trace
@@ -438,7 +554,17 @@ func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) []byte {
 		}
 		var res []cluster.OpResult
 		var aerr error
-		if try {
+		if s.applyInto != nil {
+			for cap(sc.res) < len(ops) {
+				sc.res = append(sc.res[:cap(sc.res)], cluster.OpResult{})
+			}
+			res = sc.res[:len(ops)]
+			if try {
+				aerr = s.applyInto.TryApplyInto(ops, res)
+			} else {
+				aerr = s.applyInto.ApplyInto(ops, res)
+			}
+		} else if try {
 			res, aerr = s.backend.TryApply(ops)
 		} else {
 			res, aerr = s.backend.Apply(ops)
@@ -448,44 +574,61 @@ func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) []byte {
 		// positional, so an oversized set cannot be truncated like a
 		// scan page — fail the batch loudly instead of emitting a frame
 		// the peer will kill the connection over.
-		frame := AppendFrame(nil, id, RespResults, EncodeResults(nil, res, aerr))
-		if len(frame) > s.opts.MaxFrame+4 {
-			return AppendFrame(nil, id, RespError, EncodeError(nil,
-				fmt.Errorf("batch response of %d bytes exceeds the %d-byte frame limit; split the batch", len(frame)-4, s.opts.MaxFrame)))
+		_, msg := errorCode(aerr)
+		size := encodedResultsLen(res, msg)
+		if frameOverhead+size > s.opts.MaxFrame {
+			batchPool.Put(sc)
+			return errFrame(id,
+				fmt.Errorf("batch response of %d bytes exceeds the %d-byte frame limit; split the batch", frameOverhead+size, s.opts.MaxFrame))
 		}
-		return frame
+		f := getFrame(frameOverhead + 4 + size)
+		f.b = beginResponse(f.b[:0], id, RespResults)
+		f.b = finishFrame(EncodeResults(f.b, res, aerr))
+		batchPool.Put(sc)
+		return f
 	case OpStats:
-		return AppendFrame(nil, id, RespStats, EncodeStats(nil, s.backend.Stats()))
+		st := s.backend.Stats()
+		f := getFrame(frameOverhead + 4 + 4 + len(st.Nodes)*statsFieldCount*8)
+		f.b = beginResponse(f.b[:0], id, RespStats)
+		f.b = finishFrame(EncodeStats(f.b, st))
+		return f
 	case OpTaskSubmit:
 		if s.opts.Tasks == nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, errNoTaskHost))
+			return errFrame(id, errNoTaskHost)
 		}
 		taskID, err := s.opts.Tasks.SubmitTask(payload)
 		if err != nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			return errFrame(id, err)
 		}
-		return AppendFrame(nil, id, RespTask, EncodeTaskID(nil, taskID))
+		f := getFrame(frameOverhead + 4 + 8)
+		f.b = beginResponse(f.b[:0], id, RespTask)
+		f.b = finishFrame(EncodeTaskID(f.b, taskID))
+		return f
 	case OpTaskStatus:
 		if s.opts.Tasks == nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, errNoTaskHost))
+			return errFrame(id, errNoTaskHost)
 		}
 		taskID, err := DecodeTaskID(payload)
 		if err != nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			return errFrame(id, err)
 		}
 		done, taskErr := s.opts.Tasks.TaskStatus(taskID)
-		return AppendFrame(nil, id, RespTaskStatus, EncodeTaskStatus(nil, done, taskErr))
+		_, msg := errorCode(taskErr)
+		f := getFrame(frameOverhead + 4 + 2 + len(msg))
+		f.b = beginResponse(f.b[:0], id, RespTaskStatus)
+		f.b = finishFrame(EncodeTaskStatus(f.b, done, taskErr))
+		return f
 	case OpShuffleFetch:
 		if s.opts.Tasks == nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, errNoTaskHost))
+			return errFrame(id, errNoTaskHost)
 		}
 		taskID, part, offset, err := DecodeShuffleFetch(payload)
 		if err != nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			return errFrame(id, err)
 		}
 		data, err := s.opts.Tasks.ShuffleFetch(taskID, part)
 		if err != nil {
-			return AppendFrame(nil, id, RespError, EncodeError(nil, err))
+			return errFrame(id, err)
 		}
 		// Page the partition under the frame budget, like scan pages: the
 		// client advances offset until a frame without `more` arrives.
@@ -499,9 +642,12 @@ func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) []byte {
 			chunk = chunk[:budget]
 			more = true
 		}
-		return AppendFrame(nil, id, RespChunk, EncodeChunk(nil, chunk, more))
+		f := getFrame(frameOverhead + 4 + 1 + len(chunk))
+		f.b = beginResponse(f.b[:0], id, RespChunk)
+		f.b = finishFrame(EncodeChunk(f.b, chunk, more))
+		return f
 	default:
-		return AppendFrame(nil, id, RespError, EncodeError(nil, ErrMalformed))
+		return errFrame(id, ErrMalformed)
 	}
 }
 

@@ -175,12 +175,13 @@ func DecodeFrame(b []byte, maxFrame int) (id uint64, op Opcode, payload []byte, 
 	return id, op, payload, 4 + int(length), nil
 }
 
-// readFrame reads one frame from r, allocating a fresh payload buffer —
-// pipelined requests retain their payload past the next read, so frames
-// never share buffers. On a size-limit or framing error the id and
-// opcode are still returned when the stream yielded them, so a server
-// can address its diagnostic error frame to the offending request.
-func readFrame(r io.Reader, maxFrame int) (id uint64, op Opcode, payload []byte, err error) {
+// readPooledFrame reads one frame from r into a pooled payload buffer.
+// The returned frame is owned by the caller (release with putFrame once
+// nothing aliases its bytes). On a size-limit or framing error the id
+// and opcode are still returned when the stream yielded them, so a
+// server can address its diagnostic error frame to the offending
+// request.
+func readPooledFrame(r io.Reader, maxFrame int) (id uint64, op Opcode, f *frame, err error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
@@ -202,11 +203,78 @@ func readFrame(r io.Reader, maxFrame int) (id uint64, op Opcode, payload []byte,
 	if int64(length) > int64(maxFrame) {
 		return id, op, nil, ErrFrameTooLarge
 	}
-	payload = make([]byte, length-frameOverhead)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	f = getFrame(int(length) - frameOverhead)
+	if _, err := io.ReadFull(r, f.b); err != nil {
+		putFrame(f)
 		return 0, 0, nil, err
 	}
+	return id, op, f, nil
+}
+
+// readFrame reads one frame from r, returning the payload in a fresh
+// allocation the caller owns outright — the non-pooled convenience form
+// of readPooledFrame for tests and cold paths.
+func readFrame(r io.Reader, maxFrame int) (id uint64, op Opcode, payload []byte, err error) {
+	id, op, f, err := readPooledFrame(r, maxFrame)
+	if err != nil {
+		return id, op, nil, err
+	}
+	payload = append([]byte(nil), f.b...)
+	putFrame(f)
 	return id, op, payload, nil
+}
+
+// ---- in-place frame builders ---------------------------------------------
+//
+// The hot path builds frames directly inside a pooled buffer instead of
+// encoding a payload and copying it through AppendFrame: begin the
+// header, append the payload codec output, finish the length prefix.
+
+// respHeader holds a precomputed 13-byte header template per response
+// opcode (length and id left zero), so beginning a response frame is one
+// bulk copy plus an id store.
+var respHeader [256][frameOverhead + 4]byte
+
+func init() {
+	for _, op := range []Opcode{
+		RespValue, RespOK, RespEntries, RespResults, RespStats,
+		RespTask, RespTaskStatus, RespChunk, RespError,
+	} {
+		respHeader[op][12] = byte(op)
+	}
+}
+
+// beginResponse appends a response frame header (zero length prefix,
+// to be stamped by finishFrame) from the precomputed per-opcode
+// template.
+func beginResponse(b []byte, id uint64, op Opcode) []byte {
+	b = append(b, respHeader[op][:]...)
+	binary.BigEndian.PutUint64(b[len(b)-frameOverhead:], id)
+	return b
+}
+
+// beginRequest appends a request frame header with a placeholder id
+// (stamped later by patchFrameID, once the connection assigns one) and
+// the optional trace extension.
+func beginRequest(b []byte, op Opcode, trace uint64) []byte {
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+	if trace == 0 {
+		return append(b, byte(op))
+	}
+	b = append(b, byte(op|opFlagTraced))
+	return binary.BigEndian.AppendUint64(b, trace)
+}
+
+// finishFrame stamps the length prefix of a frame begun with
+// beginResponse or beginRequest. b must hold exactly one frame.
+func finishFrame(b []byte) []byte {
+	binary.BigEndian.PutUint32(b, uint32(len(b)-4))
+	return b
+}
+
+// patchFrameID stamps the frame id of a completed frame.
+func patchFrameID(b []byte, id uint64) {
+	binary.BigEndian.PutUint64(b[4:12], id)
 }
 
 // ---- payload codecs ------------------------------------------------------
@@ -281,6 +349,14 @@ func EncodeBatch(dst []byte, ops []cluster.Op, try bool) []byte {
 
 // DecodeBatch parses an OpBatch payload; keys and values alias p.
 func DecodeBatch(p []byte) (ops []cluster.Op, try bool, err error) {
+	return DecodeBatchAppend(nil, p)
+}
+
+// DecodeBatchAppend parses an OpBatch payload, appending the decoded ops
+// to dst (reusing its capacity) — the allocation-free form of
+// DecodeBatch for callers that hold a pooled op slice. Keys and values
+// alias p.
+func DecodeBatchAppend(dst []cluster.Op, p []byte) (ops []cluster.Op, try bool, err error) {
 	if len(p) < 5 {
 		return nil, false, ErrMalformed
 	}
@@ -293,7 +369,10 @@ func DecodeBatch(p []byte) (ops []cluster.Op, try bool, err error) {
 	if uint64(count)*5 > uint64(len(p)) {
 		return nil, false, ErrMalformed
 	}
-	ops = make([]cluster.Op, 0, count)
+	ops = dst
+	if cap(ops) == 0 {
+		ops = make([]cluster.Op, 0, count)
+	}
 	for i := uint32(0); i < count; i++ {
 		if len(p) < 1 {
 			return nil, false, ErrMalformed
@@ -620,6 +699,44 @@ func DecodeChunk(p []byte) (data []byte, more bool, err error) {
 		return nil, false, ErrMalformed
 	}
 	return p[1:], p[0] != 0, nil
+}
+
+// ---- encoded-size helpers ------------------------------------------------
+//
+// Exact payload sizes, so pooled frame buffers are requested at the
+// size class they will actually fill — over-requesting strands small
+// frames in big classes, under-requesting re-allocates mid-append.
+
+// encodedBatchLen is the payload size EncodeBatch will produce for ops.
+func encodedBatchLen(ops []cluster.Op) int {
+	n := 5
+	for i := range ops {
+		n += 5 + len(ops[i].Key)
+		if ops[i].Kind == cluster.OpPut {
+			n += 4 + len(ops[i].Value)
+		}
+	}
+	return n
+}
+
+// encodedResultsLen is the payload size EncodeResults will produce.
+// msg is the error message EncodeResults will embed (errorCode's msg for
+// the same error value).
+func encodedResultsLen(res []cluster.OpResult, msg string) int {
+	n := 1 + 4 + len(msg) + 4
+	for i := range res {
+		n += 5 + len(res[i].Value)
+	}
+	return n
+}
+
+// encodedEntriesLen is the payload size EncodeEntries will produce.
+func encodedEntriesLen(entries []engine.Entry) int {
+	n := 5
+	for i := range entries {
+		n += 8 + len(entries[i].Key) + len(entries[i].Value)
+	}
+	return n
 }
 
 // errorCode maps an error to its wire code. The two cluster sentinels

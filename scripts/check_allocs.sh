@@ -1,0 +1,44 @@
+#!/bin/sh
+# check_allocs.sh — allocation budget gate for the transport hot path.
+#
+# Runs the depth-8 pipelined transport benchmark with -benchmem and
+# fails when allocs/op exceeds the committed budget. This complements
+# the testing.AllocsPerRun guards in internal/transport/alloc_test.go:
+# those pin individual codecs and single round trips; this gate watches
+# the full benchmark mix (reads, writes, batches, scans) under
+# pipelining, where a regression in any one path shows up in the
+# aggregate.
+#
+# Usage: sh scripts/check_allocs.sh [budget]
+#
+# Budget history: the pre-§12 hot path measured 218 allocs/op here;
+# pooled frames + zero-copy responses brought it to ~19. The budget is
+# 30 — the ISSUE 7 target — leaving headroom for GC-timing noise in
+# pool hit rates while still catching any per-frame make([]byte) that
+# sneaks back in.
+set -eu
+
+BUDGET="${1:-30}"
+BENCH='BenchmarkTransport/net/conns=1/depth=8'
+cd "$(dirname "$0")/.."
+
+# benchtime must be long enough to amortize first-touch growth (pool
+# fills, engine memtable ramp): at 500x the same build reads ~30% higher
+# than its steady state.
+OUT="$(go test -run '^$' -bench "$BENCH" -benchtime 3000x -benchmem . 2>&1)" || {
+    echo "$OUT" >&2
+    echo "check_allocs: benchmark failed to run" >&2
+    exit 1
+}
+echo "$OUT"
+
+ALLOCS="$(echo "$OUT" | awk '/allocs\/op/ { print $(NF-1); exit }')"
+if [ -z "$ALLOCS" ]; then
+    echo "check_allocs: no allocs/op figure in benchmark output" >&2
+    exit 1
+fi
+if [ "$ALLOCS" -gt "$BUDGET" ]; then
+    echo "check_allocs: FAIL — $ALLOCS allocs/op exceeds budget of $BUDGET" >&2
+    exit 1
+fi
+echo "check_allocs: OK — $ALLOCS allocs/op within budget of $BUDGET"

@@ -11,13 +11,19 @@
 #   analytics — distributed wordcount across two self-hosted executor
 #               servers (task submits + shuffle fetches over the wire)
 #
-# Usage: sh scripts/record_bench.sh [out.json]   (default BENCH_6.json)
+# Usage: sh scripts/record_bench.sh [out.json] [pr] [prev.json]
+#   out.json  — artifact path (default BENCH_7.json)
+#   pr        — PR number stamped into the artifact (default 7)
+#   prev.json — previous trajectory point; when it exists, a vsPrev
+#               section with throughput deltas is embedded
 # Run from the repo root. CI uploads the result as an artifact so every
 # future PR extends the curve; the committed BENCH_N.json files are the
 # durable history.
 set -e
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_7.json}"
+PR="${2:-7}"
+PREV="${3:-BENCH_6.json}"
 BIN="$(mktemp -d)"
 P1=""
 P2=""
@@ -64,14 +70,32 @@ GO_VERSION="$(go env GOVERSION)" jq -n \
     --slurpfile workload_wordcount "$BIN/w_wc.json" \
     --slurpfile net "$BIN/net.json" \
     --slurpfile analytics "$BIN/analytics.json" \
+    --argjson pr "$PR" \
     '{
         schema: "bdbench-trajectory/1",
-        pr: 6,
+        pr: $pr,
         go: $ENV.GO_VERSION,
         workload: ($workload_read[0] + $workload_wordcount[0]),
         net: $net[0],
         analytics: $analytics[0]
     }' >"$OUT"
+
+# Fold in throughput deltas against the previous trajectory point, so
+# each BENCH_N.json carries its own before/after story.
+if [ -f "$PREV" ]; then
+    jq --slurpfile prev "$PREV" '
+        def pct(cur; old): if (old // 0) > 0 then ((cur / old - 1) * 100 * 10 | round) / 10 else null end;
+        . + {vsPrev: {
+            pr: $prev[0].pr,
+            netOpsPerSecPct: pct(.net.opsPerSec; $prev[0].net.opsPerSec),
+            netLatP99UsPct: pct(.net.latP99Us; $prev[0].net.latP99Us),
+            analyticsItemsPerSecPct: pct(.analytics.itemsPerSec; $prev[0].analytics.itemsPerSec),
+            workloadPct: [.workload[] as $w | {
+                workload: $w.workload,
+                valuePct: pct($w.value; ($prev[0].workload[] | select(.workload == $w.workload) | .value))
+            }]
+        }}' "$OUT" >"$OUT.tmp" && mv "$OUT.tmp" "$OUT"
+fi
 jq -e \
     '.net.opsPerSec > 0 and
      (.net.metrics["bd_transport_client_requests_total"] // .net.ops) > 0 and
