@@ -16,6 +16,8 @@
 //	bdbench -net -addr 127.0.0.1:7421,127.0.0.1:7422 -ops 50000 -clients 8
 //	bdbench -net -chaos -dur 5s
 //	bdbench -net -chaos -addr 127.0.0.1:7421,127.0.0.1:7422 -replication 2 -dur 3s
+//	bdbench -net -addr 127.0.0.1:7421,127.0.0.1:7422 -replication 2 -trace
+//	bdbench -net -addr 127.0.0.1:7421 -slo 5ms:0.999 -json -
 //	bdbench -analytics wordcount -nodes 4
 //	bdbench -analytics wordcount -local
 //	bdbench -analytics pagerank -addr 127.0.0.1:7421,127.0.0.1:7422 -graphbits 12
@@ -64,6 +66,8 @@ func main() {
 		netRows  = flag.Int("rows", 10000, "preloaded resume rows for -net")
 		netConns = flag.Int("conns", 1, "pooled connections per shard server for -net")
 		traceEv  = flag.Int("traceevery", 0, "with -net: stamp a wire trace id on every Nth batch per client (0 disables)")
+		traceRun = flag.Bool("trace", false, "with -net: after the run, drive one traced probe, fetch every server's spans over the wire and print the assembled trace")
+		sloSpec  = flag.String("slo", "", "with -net: request-latency SLO as <threshold>:<target>, e.g. 5ms:0.999 (summary prints after the run and lands in -json)")
 		netDur   = flag.Duration("dur", 0, "run -net for a wall-clock duration instead of -ops")
 		chaos    = flag.Bool("chaos", false, "failure-aware -net: tolerate dying members; without -addr, self-host two shard servers and kill/restart them")
 		killEv   = flag.Duration("killevery", 500*time.Millisecond, "period between chaos kills (self-hosted -chaos)")
@@ -119,6 +123,7 @@ func main() {
 			addrs: *addrs, listen: *listen, shards: *shards, repl: max(*repl, 1),
 			clients: *clients, conns: *netConns, ops: *netOps, batch: *netBatch,
 			rows: *netRows, seed: *seed, jsonPath: *jsonPath, traceEvery: *traceEv,
+			trace: *traceRun, slo: *sloSpec,
 			chaos: *chaos, killEvery: *killEv, downFor: *downFor, dur: *netDur,
 			engine: engine.Options{
 				Backend: *engName, Compaction: *compact,

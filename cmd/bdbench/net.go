@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,16 @@ type netConfig struct {
 	// client (0 disables), so a sampled slice of the run shows up in the
 	// servers' /tracez span logs without tracing the whole load.
 	traceEvery int
+
+	// trace drives one traced probe after the measured load, pulls every
+	// server's spans over the wire (OpTraceFetch) and prints the
+	// assembled hop tree with critical path and phase attribution.
+	trace bool
+
+	// slo is a request-latency objective ("<threshold>:<target>", e.g.
+	// 5ms:0.999) evaluated over the run's per-op latencies; the summary
+	// prints after the run and is embedded in the -json record.
+	slo string
 
 	// chaos mode: kill/restart a shard server mid-run and keep serving.
 	chaos     bool
@@ -131,6 +142,15 @@ func runChaosController(servers []*chaosServer, cfg netConfig, stop <-chan struc
 // (e.g. scripts/transport_smoke.sh SIGKILLing a bdserve) and bdbench
 // just has to keep serving through them.
 func runNet(cfg netConfig) int {
+	var sloThreshold time.Duration
+	var sloTarget float64
+	if cfg.slo != "" {
+		var err error
+		if sloThreshold, sloTarget, err = parseSLOSpec(cfg.slo); err != nil {
+			fmt.Fprintln(os.Stderr, "bdbench:", err)
+			return 2
+		}
+	}
 	var addrs []string
 	for _, addr := range strings.Split(cfg.addrs, ",") {
 		if addr = strings.TrimSpace(addr); addr != "" {
@@ -161,6 +181,17 @@ func runNet(cfg netConfig) int {
 
 	coordCfg := cluster.Config{Replication: cfg.repl}
 	clientOpts := transport.ClientOptions{Conns: cfg.conns}
+	// With -trace the bench becomes a span-recording hop itself: the
+	// coordinator's cluster spans and every client connection's
+	// roundtrip spans land in one bench-side ring, merged at assembly
+	// with the spans fetched from the servers.
+	var benchSpans *obs.SpanLog
+	if cfg.trace {
+		benchSpans = obs.NewSpanLog(512)
+		benchSpans.SetNode("bench")
+		coordCfg.Spans = benchSpans
+		clientOpts.Spans = benchSpans
+	}
 	if cfg.chaos {
 		// Aggressive detection, fail-fast redials: with the patient
 		// defaults a short outage is bridged by the client's dial-retry
@@ -186,6 +217,7 @@ func runNet(cfg netConfig) int {
 	// Frame-pool hit/miss counters: the client side of the §12 pooled
 	// hot path, so a pool-efficiency regression shows in the run record.
 	transport.RegisterPoolMetrics(reg)
+	var peers []*transport.RemoteNode // retained for the -trace span fetch
 	for _, addr := range addrs {
 		rn, err := transport.Connect(addr, clientOpts)
 		if err != nil {
@@ -197,6 +229,7 @@ func runNet(cfg netConfig) int {
 			fmt.Fprintf(os.Stderr, "bdbench: join %s: %v\n", addr, err)
 			return 1
 		}
+		peers = append(peers, rn)
 	}
 	if coord.Nodes() == 0 {
 		fmt.Fprintln(os.Stderr, "bdbench: -net needs at least one -addr shard server (or -chaos)")
@@ -234,6 +267,18 @@ func runNet(cfg netConfig) int {
 	}
 
 	const readFraction = 0.95
+	// The SLO tracker reads the same histogram the workers feed; the
+	// initial sample anchors the burn-rate windows at the run's start and
+	// the 1s ticker gives the short windows in-run history.
+	latHist := &obs.Histogram{}
+	var slo *obs.SLO
+	if cfg.slo != "" {
+		slo = obs.NewSLO()
+		slo.AddObjective(obs.Objective{
+			Name: "net-oltp", Hist: latHist,
+			Threshold: sloThreshold, Target: sloTarget,
+		})
+	}
 	recs := make([]core.LatencyRecorder, cfg.clients)
 	errs := make([]error, cfg.clients)
 	var issued atomic.Int64
@@ -245,6 +290,10 @@ func runNet(cfg netConfig) int {
 	var wg sync.WaitGroup
 	before := reg.Snapshot()
 	start := time.Now()
+	if slo != nil {
+		slo.SampleAt(start)
+		slo.Start(time.Second)
+	}
 	for c := 0; c < cfg.clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -306,6 +355,9 @@ func runNet(cfg netConfig) int {
 				d := time.Since(opStart)
 				for range ops {
 					recs[c].Record(d)
+					if cfg.slo != "" {
+						latHist.Observe(d)
+					}
 				}
 			}
 		}(c)
@@ -313,6 +365,11 @@ func runNet(cfg netConfig) int {
 	wg.Wait()
 	elapsed := time.Since(start)
 	metricsDelta := obs.Delta(before, reg.Snapshot())
+	var sloReports []obs.SLOReport
+	if slo != nil {
+		slo.Stop()
+		sloReports = slo.ReportAt(time.Now())
+	}
 	close(stopChaos)
 	for _, err := range errs {
 		if err != nil {
@@ -337,6 +394,11 @@ func runNet(cfg netConfig) int {
 		fmt.Printf("  latency: %s\n", sum)
 		fmt.Printf("  remote: accepted %d, rejected %d, batches %d\n",
 			st.Accepted, st.Rejected, st.Batches)
+		for _, line := range strings.Split(strings.TrimSuffix(obs.FormatSLO(sloReports), "\n"), "\n") {
+			if line != "" {
+				fmt.Println(" ", line)
+			}
+		}
 	}
 	if cfg.chaos {
 		var pending, replayed, dropped uint64
@@ -360,6 +422,21 @@ func runNet(cfg netConfig) int {
 			return 1
 		}
 	}
+	var traceRec *traceReport
+	if cfg.trace {
+		tr, err := runTraceProbe(coord, benchSpans, peers, cfg.chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bdbench:", err)
+			return 1
+		}
+		out := os.Stdout
+		if cfg.jsonPath == "-" {
+			out = os.Stderr // the JSON record owns stdout
+		}
+		fmt.Fprintln(out)
+		tr.Format(out)
+		traceRec = newTraceReport(tr)
+	}
 	if cfg.jsonPath != "" {
 		us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 		rec := struct {
@@ -377,6 +454,11 @@ func runNet(cfg netConfig) int {
 			// Metrics is the client-side obs registry delta across the
 			// timed phase (bd_cluster_* and per-peer bd_transport_client_*).
 			Metrics map[string]float64 `json:"metrics,omitempty"`
+			// SLO is the -slo objective's standing over the run (lifetime
+			// compliance plus per-window burn rates).
+			SLO []obs.SLOReport `json:"slo,omitempty"`
+			// Trace is the -trace probe's assembled-trace summary.
+			Trace *traceReport `json:"trace,omitempty"`
 		}{
 			Mode: "net", Shards: coord.Nodes(), Clients: cfg.clients,
 			Ops: sum.Count, ElapsedNs: elapsed.Nanoseconds(),
@@ -385,6 +467,8 @@ func runNet(cfg netConfig) int {
 			LatP99Us: us(sum.P99), LatMaxUs: us(sum.Max),
 			Degraded: degraded.Load(),
 			Metrics:  metricsDelta,
+			SLO:      sloReports,
+			Trace:    traceRec,
 		}
 		if err := writeJSONFile(cfg.jsonPath, rec); err != nil {
 			fmt.Fprintln(os.Stderr, "bdbench:", err)
@@ -392,4 +476,107 @@ func runNet(cfg netConfig) int {
 		}
 	}
 	return 0
+}
+
+// traceReport is the machine-readable summary of the -trace probe's
+// assembled trace for the -json record.
+type traceReport struct {
+	ID             uint64           `json:"id"`
+	Spans          int              `json:"spans"`
+	MissingHops    int              `json:"missingHops"`
+	RootNs         int64            `json:"rootNs"`
+	CriticalPathNs int64            `json:"criticalPathNs"`
+	CriticalPath   []string         `json:"criticalPath"`
+	PhaseNs        map[string]int64 `json:"phaseNs,omitempty"`
+}
+
+func newTraceReport(tr *obs.Trace) *traceReport {
+	path := tr.CriticalPath()
+	names := make([]string, len(path))
+	for i, n := range path {
+		names[i] = n.Span.Name
+	}
+	phases := map[string]int64{}
+	for name, d := range tr.PhaseAttribution() {
+		phases[name] = int64(d)
+	}
+	return &traceReport{
+		ID: tr.ID, Spans: tr.Spans, MissingHops: tr.Missing,
+		RootNs:         int64(tr.Root.Span.Dur),
+		CriticalPathNs: int64(tr.CriticalPathDuration()),
+		CriticalPath:   names, PhaseNs: phases,
+	}
+}
+
+// runTraceProbe drives one traced write+read through the coordinator
+// after the measured load, then plays distributed collector: the
+// bench-side ring holds the probe's root span plus the coordinator's
+// cluster spans and the client connections' roundtrip spans, and every
+// server's spans are pulled over the wire (OpTraceFetch) before
+// assembly. The probe runs after the timed phase so the traced frames'
+// extra 16 wire bytes never touch the measurement.
+func runTraceProbe(coord *cluster.Cluster, ring *obs.SpanLog, peers []*transport.RemoteNode, chaos bool) (*obs.Trace, error) {
+	trace := obs.NewTraceID()
+	root := obs.NewSpanID()
+	key := []byte("bench:trace-probe")
+	ops := []cluster.Op{
+		{Kind: cluster.OpPut, Key: key, Value: []byte("probe"), Trace: trace, Parent: root},
+		{Kind: cluster.OpGet, Key: key, Trace: trace, Parent: root},
+	}
+	start := time.Now()
+	_, err := coord.Apply(ops)
+	for retries := 0; err != nil && chaos && retries < 100; retries++ {
+		// A chaos kill can race the probe; the prober reroutes within a
+		// few intervals, so retry rather than fail the report.
+		time.Sleep(20 * time.Millisecond)
+		_, err = coord.Apply(ops)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("traced probe: %w", err)
+	}
+	ring.Record(obs.Span{
+		Trace: trace, ID: root, Name: "bench/probe",
+		Start: start, Dur: time.Since(start),
+	})
+	spans := ring.ByTrace(trace)
+	// Servers record their span after the response flush, so a fetch can
+	// outrun the ring: poll briefly per peer. A peer that owns no copy of
+	// the probe key times out empty, which assembles fine without it.
+	for _, rn := range peers {
+		deadline := time.Now().Add(500 * time.Millisecond)
+		for {
+			remote, err := rn.FetchSpans(trace)
+			if err == nil && len(remote) > 0 {
+				spans = append(spans, remote...)
+				break
+			}
+			if time.Now().After(deadline) {
+				break // unreachable or nothing retained: assemble what we have
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	tr := obs.Assemble(trace, spans)
+	if tr == nil {
+		return nil, fmt.Errorf("traced probe collected no spans")
+	}
+	return tr, nil
+}
+
+// parseSLOSpec parses "<threshold>:<target>" (e.g. "5ms:0.999") — the
+// same spec bdserve's -slo flag takes.
+func parseSLOSpec(spec string) (time.Duration, float64, error) {
+	th, tg, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-slo %q: want <threshold>:<target>, e.g. 5ms:0.999", spec)
+	}
+	d, err := time.ParseDuration(th)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("-slo threshold %q: want a positive duration", th)
+	}
+	target, err := strconv.ParseFloat(tg, 64)
+	if err != nil || target <= 0 || target >= 1 {
+		return 0, 0, fmt.Errorf("-slo target %q: want a fraction in (0,1)", tg)
+	}
+	return d, target, nil
 }

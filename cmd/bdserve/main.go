@@ -26,9 +26,17 @@
 //	GET /metrics  Prometheus text: bd_transport_*, bd_cluster_*,
 //	              bd_engine_*, bd_analytics_* families
 //	GET /tracez   recent traced-request spans as JSON (?trace=<id>
-//	              filters to one trace)
+//	              filters to one trace; &format=chrome renders the
+//	              selection as Chrome trace-event JSON for Perfetto /
+//	              chrome://tracing)
 //	GET /slowz    recent requests at or over -slowreq
+//	GET /sloz     SLO compliance + multi-window burn rates, with -slo
 //	/debug/pprof  Go profiling handlers, only with -pprof
+//
+// The server and its cluster coordinator record into one shared span
+// ring, so /tracez — and the OpTraceFetch opcode collectors use — serve
+// every hop this process touched: the server dispatch span and the
+// cluster-layer write/replication spans under it.
 //
 // SIGINT/SIGTERM drain gracefully: stop accepting, finish every admitted
 // request, flush responses, then exit 0 with a served-request summary.
@@ -42,6 +50,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/analytics"
 	"repro/internal/cluster"
@@ -67,6 +77,7 @@ func main() {
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof on the -livez mux")
 		slowReq   = flag.Duration("slowreq", 0, "record requests at or over this service time to /slowz (0 disables)")
 		traceBuf  = flag.Int("tracebuf", 0, "span-ring capacity for /tracez and /slowz (0 = transport default)")
+		sloSpec   = flag.String("slo", "", "request-latency SLO as <threshold>:<target>, e.g. 5ms:0.999 (serves /sloz on the -livez mux)")
 		execOn    = flag.Bool("exec", true, "host an analytics task executor on this server")
 		taskSlots = flag.Int("taskslots", 0, "concurrent analytics tasks (0 = executor default)")
 		advertise = flag.String("advertise", "", "address peers fetch shuffle data from (default: the resolved listen address)")
@@ -75,6 +86,15 @@ func main() {
 	flag.Parse()
 	if *pprofOn && *livez == "" {
 		fmt.Fprintln(os.Stderr, "bdserve: -pprof needs -livez (the profiling handlers live on that mux)")
+		os.Exit(2)
+	}
+	if *sloSpec != "" && *livez == "" {
+		fmt.Fprintln(os.Stderr, "bdserve: -slo needs -livez (/sloz lives on that mux)")
+		os.Exit(2)
+	}
+	sloThreshold, sloTarget, err := parseSLOSpec(*sloSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bdserve:", err)
 		os.Exit(2)
 	}
 
@@ -88,12 +108,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bdserve:", err)
 		os.Exit(2)
 	}
+	// One span ring for the whole process: the transport server and the
+	// cluster coordinator both record into it, so a collector fetching
+	// this node's spans (OpTraceFetch, /tracez) sees every layer's hops.
+	ringCap := *traceBuf
+	if ringCap <= 0 {
+		ringCap = 256
+	}
+	spans := obs.NewSpanLog(ringCap)
 	cl := cluster.New(cluster.Config{
 		Shards:         *shards,
 		Replication:    *repl,
 		QueueDepth:     *queue,
 		WorkersPerNode: *workers,
 		Engine:         engOpts,
+		Spans:          spans,
 	})
 	// Bind both listeners before serving anything: a bad -livez address
 	// must fail the process at startup, not log from a goroutine after
@@ -103,6 +132,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bdserve:", err)
 		os.Exit(1)
 	}
+	// Spans fetched from this process name their hop after the resolved
+	// listen address (only known once the listener is bound).
+	spans.SetNode(ln.Addr().String())
 	var livezLn net.Listener
 	if *livez != "" {
 		livezLn, err = net.Listen("tcp", *livez)
@@ -116,6 +148,7 @@ func main() {
 		MaxInFlight: *inflight,
 		SlowRequest: *slowReq,
 		TraceBuffer: *traceBuf,
+		Spans:       spans,
 	}
 	if *execOn {
 		self := *advertise
@@ -138,8 +171,19 @@ func main() {
 	srv, err := transport.ServeListenerUntilSignal(ln, cl, srvOpts,
 		func(s *transport.Server) {
 			s.RegisterMetrics(reg)
+			var slo *obs.SLO
+			if sloThreshold > 0 {
+				slo = obs.NewSLO()
+				slo.AddObjective(obs.Objective{
+					Name:      "requests",
+					Hist:      s.RequestLatency(),
+					Threshold: sloThreshold,
+					Target:    sloTarget,
+				})
+				slo.Start(10 * time.Second)
+			}
 			if livezLn != nil {
-				go serveLivez(livezLn, s, cl, reg, *pprofOn)
+				go serveLivez(livezLn, s, cl, reg, slo, *pprofOn)
 			}
 			if !*quiet {
 				fmt.Printf("bdserve: listening on %s (%d shards, R=%d, executor %v)\n",
@@ -178,7 +222,7 @@ type statzSnapshot struct {
 // process; the daemon's graceful drain does not wait on it (liveness
 // during drain is a feature — the process is alive until it exits).
 func serveLivez(ln net.Listener, srv *transport.Server, cl *cluster.Cluster,
-	reg *obs.Registry, pprofOn bool) {
+	reg *obs.Registry, slo *obs.SLO, pprofOn bool) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/livez", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -195,6 +239,9 @@ func serveLivez(ln net.Listener, srv *transport.Server, cl *cluster.Cluster,
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/tracez", spanHandler(srv.Spans()))
 	mux.Handle("/slowz", spanHandler(srv.SlowLog()))
+	if slo != nil {
+		mux.Handle("/sloz", slo.Handler())
+	}
 	if pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -208,7 +255,10 @@ func serveLivez(ln net.Listener, srv *transport.Server, cl *cluster.Cluster,
 }
 
 // spanHandler serves a span ring as JSON, oldest first. ?trace=<id>
-// (decimal, as Span.Trace marshals) filters to one trace.
+// (decimal, as Span.Trace marshals) filters to one trace, and
+// ?format=chrome renders the selection as Chrome trace-event JSON —
+// load it in Perfetto or chrome://tracing for a per-node timeline with
+// phase sub-slices.
 func spanHandler(log *obs.SpanLog) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		spans := log.Spans()
@@ -220,6 +270,12 @@ func spanHandler(log *obs.SpanLog) http.Handler {
 			}
 			spans = log.ByTrace(id)
 		}
+		if r.URL.Query().Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+			_ = obs.WriteChromeTrace(w, spans)
+			return
+		}
 		type spanz struct {
 			Total uint64     `json:"total"`
 			Spans []obs.Span `json:"spans"`
@@ -227,4 +283,25 @@ func spanHandler(log *obs.SpanLog) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = core.EncodeJSON(w, spanz{Total: log.Total(), Spans: spans})
 	})
+}
+
+// parseSLOSpec parses the -slo flag's <threshold>:<target> form, e.g.
+// "5ms:0.999". An empty spec disables the SLO (zero threshold).
+func parseSLOSpec(spec string) (time.Duration, float64, error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	thr, tgt, ok := strings.Cut(spec, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-slo %q: want <threshold>:<target>, e.g. 5ms:0.999", spec)
+	}
+	threshold, err := time.ParseDuration(thr)
+	if err != nil || threshold <= 0 {
+		return 0, 0, fmt.Errorf("-slo %q: bad threshold %q", spec, thr)
+	}
+	target, err := strconv.ParseFloat(tgt, 64)
+	if err != nil || target <= 0 || target >= 1 {
+		return 0, 0, fmt.Errorf("-slo %q: target must be in (0,1), got %q", spec, tgt)
+	}
+	return threshold, target, nil
 }

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Errors returned by the request paths.
@@ -48,6 +51,13 @@ type Op struct {
 	// rides (see internal/obs and DESIGN.md §11), so one id follows a
 	// request from the client through primary and replica hops.
 	Trace uint64
+	// Parent is the span id of the hop that handed this op down — what
+	// any span recorded for the op (and the frame header of any RPC it
+	// rides) reports as its parent, stitching per-node span logs into
+	// one tree. Layers that mint their own span re-stamp Parent before
+	// fanning out, so each mirror leg hangs off the hop that issued it.
+	// Zero (or Trace zero) means no parentage is recorded.
+	Parent uint64
 }
 
 // OpResult is the outcome of one Op. Found is meaningful for OpGet.
@@ -201,6 +211,16 @@ func (c *Cluster) planInto(st *applyState, ops []Op, results []OpResult) error {
 			}
 			if lead == -1 {
 				return fmt.Errorf("cluster: op %d on key %q: %w", i, op.Key, ErrAllOwnersDown)
+			}
+			if lead != owners[0] && op.Trace != 0 && c.spans != nil {
+				// A traced op routed around its down primary: leave a
+				// zero-duration annotation so the assembled trace shows
+				// the reroute, not just an unexplained slow hop.
+				c.spans.Record(obs.Span{
+					Trace: op.Trace, ID: obs.NewSpanID(), Parent: op.Parent,
+					Name: "cluster/failover", Start: time.Now(),
+					Err: fmt.Sprintf("primary %d down, write led by member %d", owners[0], lead),
+				})
 			}
 			if op.Kind != OpGet {
 				start := len(st.mirrors)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Config sizes a Cluster.
@@ -47,6 +48,15 @@ type Config struct {
 	// node). Validate it with engine.Validate before New if the backend
 	// or compaction name comes from user input.
 	Engine engine.Options
+	// Spans, when non-nil, receives the coordinator-layer spans of every
+	// traced op: "cluster/write" around each replicated write (exec +
+	// replicate phases), "cluster/hint" when a replica leg defers to
+	// hinted handoff, "cluster/failover" when a write routes around its
+	// down primary. Share one SpanLog between the transport server and
+	// its cluster (transport.ServerOptions.Spans) so OpTraceFetch serves
+	// every hop the process recorded. Nil disables cluster-layer spans;
+	// untraced ops never touch the log either way.
+	Spans *obs.SpanLog
 }
 
 func (c *Config) normalize() {
@@ -98,6 +108,8 @@ type Cluster struct {
 	nodes  map[int]*memberState
 	nextID int
 	closed bool
+	// spans is cfg.Spans, cached for the hot paths (nil = no tracing).
+	spans *obs.SpanLog
 
 	proberStop chan struct{} // non-nil once the background prober runs
 
@@ -112,7 +124,7 @@ type Cluster struct {
 // New builds and starts a cluster of cfg.Shards local nodes.
 func New(cfg Config) *Cluster {
 	cfg.normalize()
-	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}}
+	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}, spans: cfg.Spans}
 	for i := 0; i < cfg.Shards; i++ {
 		c.addNodeLocked()
 	}
@@ -125,7 +137,7 @@ func New(cfg Config) *Cluster {
 // first member joins, reads miss and batches return ErrNoNodes.
 func NewEmpty(cfg Config) *Cluster {
 	cfg.normalize()
-	return &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}}
+	return &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}, spans: cfg.Spans}
 }
 
 // addNodeLocked creates, starts and registers one node. Caller holds mu.
@@ -140,8 +152,11 @@ func (c *Cluster) addNodeLocked() *Node {
 	}
 	n := newNode(id, eng, c.cfg.QueueDepth,
 		c.cfg.WorkersPerNode, c.cfg.MaxBatch)
+	n.spans = c.spans
 	n.start()
-	c.nodes[id] = newMemberState(n, c.cfg.ProbeFailures, c.cfg.HintLimit)
+	ms := newMemberState(n, c.cfg.ProbeFailures, c.cfg.HintLimit)
+	ms.spans = c.spans
+	c.nodes[id] = ms
 	c.ring.Add(id)
 	return n
 }

@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // memberState wraps a member with the coordinator's failure-detection
@@ -44,6 +46,11 @@ type memberState struct {
 	hintCap  int
 	replayed atomic.Uint64
 	dropped  atomic.Uint64
+
+	// spans, when non-nil, receives a "cluster/hint" annotation span
+	// whenever a traced replica write defers to the handoff buffer, so
+	// an assembled trace shows which copy was hinted rather than applied.
+	spans *obs.SpanLog
 }
 
 func newMemberState(m member, threshold, hintCap int) *memberState {
@@ -198,16 +205,39 @@ func (s *memberState) mirrorWrite(op Op) error {
 	deferToHints := s.down.Load() || len(s.hints) > 0
 	s.hmu.Unlock()
 	if deferToHints {
-		s.bufferHint(op)
+		s.hintSpan(op, s.bufferHint)
 		return nil
 	}
 	err := s.member.mirrorWrite(op)
 	if err != nil && isTransportErr(err) {
 		s.noteFailure()
-		s.bufferHint(op)
+		s.hintSpan(op, s.bufferHint)
 		return nil
 	}
 	return err
+}
+
+// hintSpan runs buffer (always) and, when the op is traced and a span
+// log is attached, records a "cluster/hint" annotation around it: the
+// replica leg was deferred to hinted handoff, not applied. The span's
+// single hinted-handoff phase carries the buffering cost; the replica
+// hop that would normally appear under this parent is absent, which is
+// exactly what the assembled trace should show.
+func (s *memberState) hintSpan(op Op, buffer func(Op)) {
+	if op.Trace == 0 || s.spans == nil {
+		buffer(op)
+		return
+	}
+	start := time.Now()
+	buffer(op)
+	dur := time.Since(start)
+	s.spans.Record(obs.Span{
+		Trace: op.Trace, ID: obs.NewSpanID(), Parent: op.Parent,
+		Name: "cluster/hint", Start: start, Dur: dur,
+		Bytes:  len(op.Key) + len(op.Value),
+		Err:    fmt.Sprintf("member %d unreachable, write buffered for replay", s.memberID()),
+		Phases: []obs.Phase{{Name: "hinted-handoff", Dur: dur}},
+	})
 }
 
 func (s *memberState) stats() NodeStats {

@@ -3,8 +3,10 @@ package cluster
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Node is one in-process shard server: an independent storage engine
@@ -27,6 +29,12 @@ type Node struct {
 	workers  int
 	maxBatch int
 	wg       sync.WaitGroup
+
+	// spans, when non-nil, receives a "cluster/write" span for every
+	// traced write this node leads (exec + replicate phases); mirror
+	// legs are re-parented onto it so replica hops hang off this one.
+	// Untraced ops never touch it.
+	spans *obs.SpanLog
 
 	closeOnce sync.Once
 	closed    atomic.Bool
@@ -144,7 +152,7 @@ func (n *Node) exec(req *request) {
 	i := 0
 	for i < len(req.ops) {
 		op := req.ops[i]
-		if op.Kind == OpGet || len(req.replicas[i]) > 0 {
+		if op.Kind == OpGet || len(req.replicas[i]) > 0 || n.traced(op) {
 			var res OpResult
 			if op.Kind == OpGet {
 				res = n.do(op)
@@ -158,7 +166,7 @@ func (n *Node) exec(req *request) {
 			continue
 		}
 		j := i + 1
-		for j < len(req.ops) && req.ops[j].Kind != OpGet && len(req.replicas[j]) == 0 {
+		for j < len(req.ops) && req.ops[j].Kind != OpGet && len(req.replicas[j]) == 0 && !n.traced(req.ops[j]) {
 			j++
 		}
 		if j-i == 1 {
@@ -193,17 +201,48 @@ func (n *Node) exec(req *request) {
 	}
 }
 
+// traced reports whether op should record a cluster-layer span here.
+// Traced writes break out of coalesced WriteBatch runs (exec) so every
+// one goes through directWrite and leaves its hop in the span log.
+func (n *Node) traced(op Op) bool { return op.Trace != 0 && n.spans != nil }
+
 // directWrite applies one write to this node's engine and its replicas
 // as an atomic unit under the primary's write lock. The local apply
 // cannot fail; a replica whose mirror fails hints or counts the miss
 // itself (memberState.mirrorWrite), so the error is always nil.
+//
+// A traced write records a "cluster/write" span splitting the hop into
+// its local-apply (exec) and mirror fan-out (replicate) phases, and
+// re-parents the mirror legs onto that span — a remote replica's own
+// server span then reports this hop as its parent via the wire frame.
 func (n *Node) directWrite(op Op, replicas []mirror) (OpResult, error) {
 	n.wmu.Lock()
 	defer n.wmu.Unlock()
+	if !n.traced(op) {
+		res := n.do(op)
+		for _, re := range replicas {
+			_ = re.mirrorWrite(op)
+		}
+		return res, nil
+	}
+	span := obs.Span{
+		Trace: op.Trace, ID: obs.NewSpanID(), Parent: op.Parent,
+		Name: "cluster/write", Start: time.Now(),
+		Bytes: len(op.Key) + len(op.Value),
+	}
 	res := n.do(op)
+	execDone := time.Now()
+	op.Parent = span.ID
 	for _, re := range replicas {
 		_ = re.mirrorWrite(op)
 	}
+	span.Dur = time.Since(span.Start)
+	exec := execDone.Sub(span.Start)
+	span.Phases = []obs.Phase{
+		{Name: "exec", Dur: exec},
+		{Name: "replicate", Dur: span.Dur - exec},
+	}
+	n.spans.Record(span)
 	return res, nil
 }
 

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Remote is the coordinator-side contract for a shard that lives in
@@ -49,11 +51,11 @@ type Remote interface {
 // and alternative transports stay valid — they just don't propagate
 // traces.
 type tracedRemote interface {
-	GetTraced(trace uint64, key []byte) ([]byte, bool, error)
-	PutTraced(trace uint64, key, value []byte) error
-	DeleteTraced(trace uint64, key []byte) error
-	ApplyTraced(trace uint64, ops []Op) ([]OpResult, error)
-	TryApplyTraced(trace uint64, ops []Op) ([]OpResult, error)
+	GetTraced(trace, parent uint64, key []byte) ([]byte, bool, error)
+	PutTraced(trace, parent uint64, key, value []byte) error
+	DeleteTraced(trace, parent uint64, key []byte) error
+	ApplyTraced(trace, parent uint64, ops []Op) ([]OpResult, error)
+	TryApplyTraced(trace, parent uint64, ops []Op) ([]OpResult, error)
 }
 
 // AddRemote joins a remote shard to the ring and migrates exactly the
@@ -71,9 +73,11 @@ func (c *Cluster) AddRemote(r Remote) (int, MoveReport, error) {
 	id := c.nextID
 	c.nextID++
 	old := c.ring.Clone()
-	rm := &remoteMember{id: id, r: r}
+	rm := &remoteMember{id: id, r: r, spans: c.spans}
 	rm.tr, _ = r.(tracedRemote)
-	c.nodes[id] = newMemberState(rm, c.cfg.ProbeFailures, c.cfg.HintLimit)
+	ms := newMemberState(rm, c.cfg.ProbeFailures, c.cfg.HintLimit)
+	ms.spans = c.spans
+	c.nodes[id] = ms
 	c.ring.Add(id)
 	// The first remote member starts the background health prober:
 	// local nodes cannot fail, remote ones now can.
@@ -90,6 +94,10 @@ type remoteMember struct {
 	id int
 	r  Remote
 	tr tracedRemote // non-nil when r can carry trace ids
+	// spans, when non-nil, receives a "cluster/write" span for every
+	// traced replicated write this proxy leads, splitting the hop into
+	// exec (primary RPC) and replicate (mirror fan-out) phases.
+	spans *obs.SpanLog
 
 	// wmu serializes replicated writes through this proxy, mirroring
 	// Node.wmu: every write for a key flows through its primary's proxy,
@@ -145,9 +153,9 @@ func (m *remoteMember) mirrorWrite(op Op) error {
 		var err error
 		switch op.Kind {
 		case OpPut:
-			err = m.tr.PutTraced(op.Trace, op.Key, op.Value)
+			err = m.tr.PutTraced(op.Trace, op.Parent, op.Key, op.Value)
 		case OpDelete:
-			err = m.tr.DeleteTraced(op.Trace, op.Key)
+			err = m.tr.DeleteTraced(op.Trace, op.Parent, op.Key)
 		default:
 			return nil
 		}
@@ -168,15 +176,57 @@ func (m *remoteMember) mirrorWrite(op Op) error {
 func (m *remoteMember) directWrite(op Op, replicas []mirror) (OpResult, error) {
 	m.wmu.Lock()
 	defer m.wmu.Unlock()
+	span, traced := m.beginWriteSpan(&op)
 	if err := m.mirrorWrite(op); err != nil {
 		// The primary apply itself failed: report it rather than mirror
 		// a write that landed nowhere.
+		if traced {
+			span.Dur = time.Since(span.Start)
+			span.Err = err.Error()
+			m.spans.Record(span)
+		}
 		return OpResult{}, err
+	}
+	var primaryDone time.Time
+	if traced {
+		primaryDone = time.Now()
 	}
 	for _, rep := range replicas {
 		_ = rep.mirrorWrite(op)
 	}
+	if traced {
+		m.endWriteSpan(span, primaryDone)
+	}
 	return OpResult{}, nil
+}
+
+// beginWriteSpan opens the cluster-layer span for one traced replicated
+// write and re-parents op in place, so the primary RPC and every mirror
+// leg (and through the wire frames, the spans the remote servers record)
+// hang off this hop rather than its caller.
+func (m *remoteMember) beginWriteSpan(op *Op) (obs.Span, bool) {
+	if op.Trace == 0 || m.spans == nil {
+		return obs.Span{}, false
+	}
+	span := obs.Span{
+		Trace: op.Trace, ID: obs.NewSpanID(), Parent: op.Parent,
+		Name: "cluster/write", Start: time.Now(),
+		Bytes: len(op.Key) + len(op.Value),
+	}
+	op.Parent = span.ID
+	return span, true
+}
+
+// endWriteSpan closes a beginWriteSpan span, splitting its duration into
+// the primary-apply (exec) and mirror fan-out (replicate) phases.
+func (m *remoteMember) endWriteSpan(span obs.Span, primaryDone time.Time) {
+	span.Dur = time.Since(span.Start)
+	exec := primaryDone.Sub(span.Start)
+	span.Phases = []obs.Phase{
+		{Name: "exec", Dur: exec},
+		{Name: "replicate", Dur: span.Dur - exec},
+	}
+	m.spans.Record(span)
 }
 
 func (m *remoteMember) snapshotScan(dst []engine.Entry, start []byte, limit int) ([]engine.Entry, error) {
@@ -207,11 +257,11 @@ func (m *remoteMember) trySubmit(req *request) error {
 // one caller's batch, so in practice a run is all one trace or none.
 func (m *remoteMember) applyRPC(ops []Op, try bool) ([]OpResult, error) {
 	if m.tr != nil {
-		if t := opsTrace(ops); t != 0 {
+		if t, p := opsTrace(ops); t != 0 {
 			if try {
-				return m.tr.TryApplyTraced(t, ops)
+				return m.tr.TryApplyTraced(t, p, ops)
 			}
-			return m.tr.ApplyTraced(t, ops)
+			return m.tr.ApplyTraced(t, p, ops)
 		}
 	}
 	if try {
@@ -220,15 +270,15 @@ func (m *remoteMember) applyRPC(ops []Op, try bool) ([]OpResult, error) {
 	return m.r.Apply(ops)
 }
 
-// opsTrace returns the first nonzero trace id in ops (zero when the run
-// is untraced).
-func opsTrace(ops []Op) uint64 {
+// opsTrace returns the first nonzero trace id in ops and the parent
+// span it descends from (both zero when the run is untraced).
+func opsTrace(ops []Op) (trace, parent uint64) {
 	for i := range ops {
 		if ops[i].Trace != 0 {
-			return ops[i].Trace
+			return ops[i].Trace, ops[i].Parent
 		}
 	}
-	return 0
+	return 0, 0
 }
 
 // isTransportErr reports whether err is a transport-level failure, as
@@ -286,12 +336,23 @@ func (m *remoteMember) run(req *request, try bool) {
 			i = j
 			continue
 		}
+		span, traced := m.beginWriteSpan(&req.ops[i])
 		res, err := m.applyRPC(req.ops[i:i+1], try)
 		m.fill(req, i, i+1, res, err)
+		var primaryDone time.Time
+		if traced {
+			primaryDone = time.Now()
+		}
 		if err == nil {
 			for _, rep := range req.replicas[i] {
 				_ = rep.mirrorWrite(req.ops[i])
 			}
+		}
+		if traced {
+			if err != nil {
+				span.Err = err.Error()
+			}
+			m.endWriteSpan(span, primaryDone)
 		}
 		i++
 	}

@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Trace assembly: merge the span sets pulled from every node's ring
+// (OpTraceFetch, /tracez) into one hop tree, then explain where the
+// request's time went. The input is whatever survived each node's
+// bounded ring — possibly duplicated (retries, double fetches), out of
+// order (rings are append-order per node, not per trace), or missing
+// hops (evicted, or a node that was unreachable at collection time) —
+// so assembly is defensive by construction rather than by validation.
+//
+// Clocks: span timestamps come from unsynchronized node clocks. The
+// assembler never compares timestamps across nodes directly; instead
+// each child hop is normalized into its parent hop's envelope (a child
+// cannot start before the request reached the parent, nor end after
+// the parent answered — the Dapper trick), which bounds skew by the
+// parent's own duration without any clock protocol.
+
+// TraceNode is one hop in an assembled trace tree.
+type TraceNode struct {
+	Span     Span
+	Children []*TraceNode
+	// Synthetic marks a node the assembler invented: a parent id that
+	// was referenced but never collected (ring-evicted middle hop), or
+	// the umbrella root when the real root span is absent. Its envelope
+	// is the union of its children's.
+	Synthetic bool
+}
+
+// End returns the node's normalized end time.
+func (n *TraceNode) End() time.Time { return n.Span.Start.Add(n.Span.Dur) }
+
+// Trace is one assembled request tree plus the assembly's accounting.
+type Trace struct {
+	ID   uint64
+	Root *TraceNode
+	// Spans counts the real (collected, non-synthetic) spans in the tree.
+	Spans int
+	// Duplicates counts collected spans dropped for reusing a span id.
+	Duplicates int
+	// Missing counts synthetic nodes standing in for referenced-but-
+	// absent parent spans (the root umbrella, when synthesized, is not
+	// counted — only genuine holes in the middle of the tree are).
+	Missing int
+}
+
+// Assemble merges spans into the hop tree for trace id. Spans carrying
+// a different (or zero) trace id are ignored, duplicates (same span id)
+// keep their first occurrence, ordering is irrelevant, and hops whose
+// parent span was never collected hang off a synthetic stand-in so the
+// tree always contains every collected span. Returns nil when no span
+// of the trace was collected at all.
+func Assemble(id uint64, spans []Span) *Trace {
+	t := &Trace{ID: id}
+	byID := map[uint64]*TraceNode{}
+	var all []*TraceNode
+	for _, s := range spans {
+		if s.Trace != id {
+			continue
+		}
+		if s.ID != 0 {
+			if _, dup := byID[s.ID]; dup {
+				t.Duplicates++
+				continue
+			}
+		}
+		n := &TraceNode{Span: s}
+		if s.ID != 0 {
+			byID[s.ID] = n
+		}
+		all = append(all, n)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	t.Spans = len(all)
+
+	// Link children under parents; orphans (parent id never collected)
+	// get one synthetic stand-in per missing id, so siblings that lost
+	// the same middle hop stay grouped the way the real tree had them.
+	synthetic := map[uint64]*TraceNode{}
+	var roots []*TraceNode
+	for _, n := range all {
+		p := n.Span.Parent
+		if p == 0 || p == n.Span.ID {
+			roots = append(roots, n)
+			continue
+		}
+		parent := byID[p]
+		if parent == nil {
+			parent = synthetic[p]
+			if parent == nil {
+				parent = &TraceNode{
+					Span:      Span{Trace: id, ID: p, Name: "(missing hop)"},
+					Synthetic: true,
+				}
+				synthetic[p] = parent
+				t.Missing++
+				roots = append(roots, parent)
+			}
+		}
+		parent.Children = append(parent.Children, n)
+	}
+	for _, n := range synthetic {
+		n.Span.Start, n.Span.Dur = envelope(n.Children)
+	}
+
+	// Deterministic child order: by start time, id as tiebreak (input
+	// order is ring order and differs per node).
+	var sortChildren func(n *TraceNode)
+	sortChildren = func(n *TraceNode) {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			a, b := n.Children[i].Span, n.Children[j].Span
+			if !a.Start.Equal(b.Start) {
+				return a.Start.Before(b.Start)
+			}
+			return a.ID < b.ID
+		})
+		for _, c := range n.Children {
+			sortChildren(c)
+		}
+	}
+
+	switch {
+	case len(roots) == 1:
+		t.Root = roots[0]
+	default:
+		// Several roots (lost root span, or disjoint fragments): hold
+		// them under one synthetic umbrella spanning their union.
+		start, dur := envelope(roots)
+		t.Root = &TraceNode{
+			Span:      Span{Trace: id, Name: "(assembled)", Start: start, Dur: dur},
+			Children:  roots,
+			Synthetic: true,
+		}
+	}
+	sortChildren(t.Root)
+	normalize(t.Root)
+	return t
+}
+
+// envelope returns the tightest start/duration covering every node.
+func envelope(nodes []*TraceNode) (time.Time, time.Duration) {
+	if len(nodes) == 0 {
+		return time.Time{}, 0
+	}
+	start, end := nodes[0].Span.Start, nodes[0].End()
+	for _, n := range nodes[1:] {
+		if n.Span.Start.Before(start) {
+			start = n.Span.Start
+		}
+		if n.End().After(end) {
+			end = n.End()
+		}
+	}
+	return start, end.Sub(start)
+}
+
+// normalize clamps every child subtree into its parent's envelope. A
+// child recorded on another node's clock may appear to start before its
+// parent or outlive it; causally it can do neither, so the child is
+// shifted (preserving its duration) to fit, and truncated to the
+// parent's duration only when it is outright longer. The shift applies
+// to the whole subtree — a child's children move with it — so relative
+// timing within one node's spans is preserved and only the cross-node
+// seam absorbs the skew. After normalize, child.Start >= parent.Start
+// and child.End() <= parent.End() hold on every edge, which is what
+// makes critical-path durations telescope (≤ the root's duration).
+func normalize(parent *TraceNode) {
+	for _, c := range parent.Children {
+		if c.Span.Dur < 0 {
+			c.Span.Dur = 0
+		}
+		if c.Span.Dur > parent.Span.Dur {
+			c.Span.Dur = parent.Span.Dur
+		}
+		var shift time.Duration
+		if c.Span.Start.Before(parent.Span.Start) {
+			shift = parent.Span.Start.Sub(c.Span.Start)
+		} else if over := c.End().Sub(parent.End()); over > 0 {
+			shift = -over
+		}
+		if shift != 0 {
+			shiftSubtree(c, shift)
+		}
+		normalize(c)
+	}
+}
+
+func shiftSubtree(n *TraceNode, d time.Duration) {
+	n.Span.Start = n.Span.Start.Add(d)
+	for _, c := range n.Children {
+		shiftSubtree(c, d)
+	}
+}
+
+// CriticalPath returns the root-to-leaf chain that determined the
+// request's latency: from each node, descend into the child whose end
+// time is latest — the hop the parent was still waiting on when it
+// finished its own work.
+func (t *Trace) CriticalPath() []*TraceNode {
+	var path []*TraceNode
+	for n := t.Root; n != nil; {
+		path = append(path, n)
+		var next *TraceNode
+		for _, c := range n.Children {
+			if next == nil || c.End().After(next.End()) {
+				next = c
+			}
+		}
+		n = next
+	}
+	return path
+}
+
+// CriticalPathDuration is the time attributable to the critical path's
+// own hops: each hop's duration minus the on-path child it was waiting
+// on (clamped at zero). Because normalization nests children inside
+// parents, the sum telescopes and never exceeds the root's duration.
+func (t *Trace) CriticalPathDuration() time.Duration {
+	var total time.Duration
+	path := t.CriticalPath()
+	for i, n := range path {
+		excl := n.Span.Dur
+		if i+1 < len(path) {
+			excl -= path[i+1].Span.Dur
+		}
+		if excl > 0 {
+			total += excl
+		}
+	}
+	return total
+}
+
+// PhaseAttribution splits the critical path's time across phase names:
+// each on-path hop's exclusive time (duration minus the on-path child)
+// is divided across its recorded phases pro rata; hops with no phase
+// annotations contribute to "other". The result explains end-to-end
+// latency in the paper's vocabulary — queue wait vs exec vs replication
+// fan-out — rather than per-hop totals that double-count nested time.
+func (t *Trace) PhaseAttribution() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	path := t.CriticalPath()
+	for i, n := range path {
+		excl := n.Span.Dur
+		if i+1 < len(path) {
+			excl -= path[i+1].Span.Dur
+		}
+		if excl <= 0 {
+			continue
+		}
+		var phaseTotal time.Duration
+		for _, p := range n.Span.Phases {
+			if p.Dur > 0 {
+				phaseTotal += p.Dur
+			}
+		}
+		if phaseTotal <= 0 {
+			out["other"] += excl
+			continue
+		}
+		for _, p := range n.Span.Phases {
+			if p.Dur > 0 {
+				out[p.Name] += time.Duration(float64(excl) * float64(p.Dur) / float64(phaseTotal))
+			}
+		}
+	}
+	return out
+}
+
+// Format writes the assembled tree, critical path and phase attribution
+// as an indented human-readable report (the bdbench -trace output).
+func (t *Trace) Format(w io.Writer) {
+	fmt.Fprintf(w, "trace %d: %d spans", t.ID, t.Spans)
+	if t.Missing > 0 {
+		fmt.Fprintf(w, ", %d missing hops", t.Missing)
+	}
+	if t.Duplicates > 0 {
+		fmt.Fprintf(w, ", %d duplicates dropped", t.Duplicates)
+	}
+	fmt.Fprintln(w)
+	onPath := map[*TraceNode]bool{}
+	for _, n := range t.CriticalPath() {
+		onPath[n] = true
+	}
+	var walk func(n *TraceNode, depth int)
+	walk = func(n *TraceNode, depth int) {
+		fmt.Fprintf(w, "%s%s", strings.Repeat("  ", depth+1), n.Span.Name)
+		if n.Span.Node != "" {
+			fmt.Fprintf(w, " @%s", n.Span.Node)
+		} else if n.Span.Peer != "" {
+			fmt.Fprintf(w, " ->%s", n.Span.Peer)
+		}
+		fmt.Fprintf(w, " %v", n.Span.Dur.Round(time.Microsecond))
+		if len(n.Span.Phases) > 0 {
+			fmt.Fprint(w, " [")
+			for i, p := range n.Span.Phases {
+				if i > 0 {
+					fmt.Fprint(w, " ")
+				}
+				fmt.Fprintf(w, "%s %v", p.Name, p.Dur.Round(time.Microsecond))
+			}
+			fmt.Fprint(w, "]")
+		}
+		if onPath[n] {
+			fmt.Fprint(w, " *")
+		}
+		if n.Span.Err != "" {
+			fmt.Fprintf(w, " err=%q", n.Span.Err)
+		}
+		fmt.Fprintln(w)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	names := make([]string, 0, len(t.CriticalPath()))
+	for _, n := range t.CriticalPath() {
+		names = append(names, n.Span.Name)
+	}
+	fmt.Fprintf(w, "  critical path (%v of %v root): %s\n",
+		t.CriticalPathDuration().Round(time.Microsecond),
+		t.Root.Span.Dur.Round(time.Microsecond), strings.Join(names, " -> "))
+	attr := t.PhaseAttribution()
+	keys := make([]string, 0, len(attr))
+	for k := range attr {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return attr[keys[i]] > attr[keys[j]] })
+	fmt.Fprint(w, "  phase attribution:")
+	for _, k := range keys {
+		fmt.Fprintf(w, " %s %v", k, attr[k].Round(time.Microsecond))
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1700000000, 0)
+
+// mkSpan builds a span offset/dur in microseconds from the base clock.
+func mkSpan(trace, id, parent uint64, name, node string, offUs, durUs int64, phases ...Phase) Span {
+	return Span{
+		Trace: trace, ID: id, Parent: parent, Name: name, Node: node,
+		Start:  t0.Add(time.Duration(offUs) * time.Microsecond),
+		Dur:    time.Duration(durUs) * time.Microsecond,
+		Phases: phases,
+	}
+}
+
+// threeHop is the canonical client→primary→replica replicated-Put shape.
+func threeHop() []Span {
+	return []Span{
+		mkSpan(9, 1, 0, "client/put", "bench", 0, 1000),
+		mkSpan(9, 2, 1, "server/put", "primary", 100, 800,
+			Phase{Name: "queue", Dur: 50 * time.Microsecond},
+			Phase{Name: "exec", Dur: 750 * time.Microsecond}),
+		mkSpan(9, 3, 2, "cluster/write", "primary", 150, 700,
+			Phase{Name: "exec", Dur: 300 * time.Microsecond},
+			Phase{Name: "replicate", Dur: 400 * time.Microsecond}),
+		mkSpan(9, 4, 3, "server/put", "replica", 500, 300),
+	}
+}
+
+func TestAssembleOrderIndependent(t *testing.T) {
+	spans := threeHop()
+	// Every rotation (and one reversal) must assemble identically:
+	// collection order is ring order and differs per node.
+	perms := [][]Span{}
+	for r := 0; r < len(spans); r++ {
+		p := append(append([]Span{}, spans[r:]...), spans[:r]...)
+		perms = append(perms, p)
+	}
+	rev := make([]Span, len(spans))
+	for i, s := range spans {
+		rev[len(spans)-1-i] = s
+	}
+	perms = append(perms, rev)
+
+	var want string
+	for i, p := range perms {
+		tr := Assemble(9, p)
+		if tr == nil || tr.Spans != 4 || tr.Missing != 0 || tr.Duplicates != 0 {
+			t.Fatalf("perm %d: bad assembly %+v", i, tr)
+		}
+		var b bytes.Buffer
+		tr.Format(&b)
+		if i == 0 {
+			want = b.String()
+		} else if b.String() != want {
+			t.Fatalf("perm %d formatted differently:\n%s\nvs\n%s", i, b.String(), want)
+		}
+	}
+
+	tr := Assemble(9, spans)
+	if tr.Root.Span.ID != 1 {
+		t.Fatalf("root = %d, want client span 1", tr.Root.Span.ID)
+	}
+	// Parentage chain client -> server -> cluster -> replica.
+	path := tr.CriticalPath()
+	if len(path) != 4 {
+		t.Fatalf("critical path len %d, want 4", len(path))
+	}
+	for i, wantID := range []uint64{1, 2, 3, 4} {
+		if path[i].Span.ID != wantID {
+			t.Fatalf("path[%d] = span %d, want %d", i, path[i].Span.ID, wantID)
+		}
+	}
+	if got, root := tr.CriticalPathDuration(), tr.Root.Span.Dur; got > root {
+		t.Fatalf("critical path %v exceeds root %v", got, root)
+	}
+}
+
+func TestAssembleDuplicates(t *testing.T) {
+	spans := threeHop()
+	// A double-fetched node contributes every span twice.
+	tr := Assemble(9, append(append([]Span{}, spans...), spans...))
+	if tr.Duplicates != 4 || tr.Spans != 4 {
+		t.Fatalf("spans %d dup %d, want 4/4", tr.Spans, tr.Duplicates)
+	}
+	if len(tr.Root.Children) != 1 {
+		t.Fatalf("root children %d, want 1", len(tr.Root.Children))
+	}
+}
+
+func TestAssembleForeignAndUntracedIgnored(t *testing.T) {
+	spans := append(threeHop(),
+		mkSpan(7, 9, 0, "other/put", "x", 0, 10),
+		Span{Trace: 0, Name: "untraced"},
+	)
+	tr := Assemble(9, spans)
+	if tr.Spans != 4 {
+		t.Fatalf("spans %d, want 4 (foreign trace leaked in)", tr.Spans)
+	}
+	if Assemble(1234, spans[:0]) != nil {
+		t.Fatal("empty input should assemble to nil")
+	}
+}
+
+func TestAssembleMissingMiddleHop(t *testing.T) {
+	spans := threeHop()
+	// The primary's ring evicted the server span (id 2): its children
+	// must hang off one synthetic stand-in under... the stand-in is a
+	// root fragment, grouped with the client span under a synthetic root.
+	evicted := append([]Span{spans[0]}, spans[2], spans[3])
+	tr := Assemble(9, evicted)
+	if tr.Spans != 3 || tr.Missing != 1 {
+		t.Fatalf("spans %d missing %d, want 3/1", tr.Spans, tr.Missing)
+	}
+	if !tr.Root.Synthetic {
+		t.Fatal("expected synthetic umbrella root over disjoint fragments")
+	}
+	var synth *TraceNode
+	for _, c := range tr.Root.Children {
+		if c.Synthetic {
+			synth = c
+		}
+	}
+	if synth == nil || synth.Span.ID != 2 {
+		t.Fatalf("missing-hop stand-in not found under root: %+v", tr.Root.Children)
+	}
+	if len(synth.Children) != 1 || synth.Children[0].Span.ID != 3 {
+		t.Fatalf("orphan not grouped under stand-in: %+v", synth.Children)
+	}
+	if got := tr.CriticalPathDuration(); got > tr.Root.Span.Dur {
+		t.Fatalf("critical path %v exceeds root %v", got, tr.Root.Span.Dur)
+	}
+	var b bytes.Buffer
+	tr.Format(&b)
+	if !strings.Contains(b.String(), "missing hop") {
+		t.Fatalf("report does not flag the missing hop:\n%s", b.String())
+	}
+}
+
+func TestAssembleSkewNormalization(t *testing.T) {
+	// The replica's clock runs 10ms ahead: its span appears to start
+	// after the primary finished and to end far outside the root.
+	spans := threeHop()
+	spans[3].Start = spans[3].Start.Add(10 * time.Millisecond)
+	tr := Assemble(9, spans)
+	var replica *TraceNode
+	var walk func(n *TraceNode)
+	walk = func(n *TraceNode) {
+		if n.Span.ID == 4 {
+			replica = n
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	parent := tr.Root.Children[0].Children[0] // cluster/write
+	if replica.Span.Start.Before(parent.Span.Start) || replica.End().After(parent.End()) {
+		t.Fatalf("skewed child not clamped into parent: child [%v +%v] parent [%v +%v]",
+			replica.Span.Start, replica.Span.Dur, parent.Span.Start, parent.Span.Dur)
+	}
+	if replica.Span.Dur != 300*time.Microsecond {
+		t.Fatalf("shift should preserve duration, got %v", replica.Span.Dur)
+	}
+	if got := tr.CriticalPathDuration(); got > tr.Root.Span.Dur {
+		t.Fatalf("critical path %v exceeds root %v", got, tr.Root.Span.Dur)
+	}
+
+	// Opposite skew: child starts before its parent was even reached.
+	spans = threeHop()
+	spans[3].Start = spans[3].Start.Add(-10 * time.Millisecond)
+	tr = Assemble(9, spans)
+	walk(tr.Root)
+	parent = tr.Root.Children[0].Children[0]
+	if replica.Span.Start.Before(parent.Span.Start) {
+		t.Fatal("early-clock child not shifted forward into parent envelope")
+	}
+}
+
+// splitmix64 with a fixed seed: deterministic fuzz source for the
+// property test without math/rand.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	x := r.s
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func TestCriticalPathPropertyRandomTraces(t *testing.T) {
+	r := &rng{s: 0xbd}
+	for iter := 0; iter < 500; iter++ {
+		n := int(r.next()%12) + 1
+		spans := make([]Span, 0, n)
+		for i := 0; i < n; i++ {
+			id := uint64(i + 1)
+			var parent uint64
+			if i > 0 {
+				parent = r.next()%uint64(i) + 1 // any earlier span
+				if r.next()%8 == 0 {
+					parent = 1000 + r.next()%3 // sometimes a never-collected hop
+				}
+			}
+			s := mkSpan(42, id, parent, "hop", "n",
+				int64(r.next()%5000), int64(r.next()%5000))
+			// Random per-node clock skew up to ±50ms.
+			s.Start = s.Start.Add(time.Duration(int64(r.next()%100)-50) * time.Millisecond)
+			if r.next()%4 == 0 {
+				s.Phases = []Phase{{Name: "exec", Dur: s.Dur / 2}}
+			}
+			spans = append(spans, s)
+		}
+		// Random duplicates.
+		for d := r.next() % 3; d > 0; d-- {
+			spans = append(spans, spans[r.next()%uint64(len(spans))])
+		}
+		tr := Assemble(42, spans)
+		if tr == nil {
+			t.Fatalf("iter %d: nil trace from %d spans", iter, len(spans))
+		}
+		if cp, root := tr.CriticalPathDuration(), tr.Root.Span.Dur; cp > root {
+			t.Fatalf("iter %d: critical path %v > root %v", iter, cp, root)
+		}
+		// Envelope invariant on every edge after normalization.
+		var check func(n *TraceNode)
+		check = func(n *TraceNode) {
+			for _, c := range n.Children {
+				if c.Span.Start.Before(n.Span.Start) || c.End().After(n.End()) {
+					t.Fatalf("iter %d: child [%v +%v] escapes parent [%v +%v]",
+						iter, c.Span.Start, c.Span.Dur, n.Span.Start, n.Span.Dur)
+				}
+				check(c)
+			}
+		}
+		check(tr.Root)
+	}
+}
+
+func TestPhaseAttribution(t *testing.T) {
+	tr := Assemble(9, threeHop())
+	attr := tr.PhaseAttribution()
+	var total time.Duration
+	for _, d := range attr {
+		total += d
+	}
+	if total > tr.Root.Span.Dur {
+		t.Fatalf("attributed %v exceeds root %v", total, tr.Root.Span.Dur)
+	}
+	// The client hop has no phases -> "other"; server hop contributes
+	// queue+exec; cluster hop exec+replicate; replica "other".
+	for _, k := range []string{"other", "queue", "exec", "replicate"} {
+		if attr[k] <= 0 {
+			t.Fatalf("phase %q missing from attribution %v", k, attr)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, threeHop()); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &f); err != nil {
+		t.Fatalf("invalid trace-event JSON: %v\n%s", err, b.String())
+	}
+	pids := map[int]bool{}
+	var meta, slices, phases int
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			if e.Name == "queue" || e.Name == "exec" || e.Name == "replicate" {
+				phases++
+			} else {
+				slices++
+			}
+			pids[e.Pid] = true
+			if e.Dur < 0 {
+				t.Fatalf("negative dur in %+v", e)
+			}
+		}
+	}
+	// Three distinct nodes (bench, primary, replica) -> 3 process rows.
+	if meta != 3 || len(pids) != 3 {
+		t.Fatalf("process rows: meta=%d pids=%d, want 3/3", meta, len(pids))
+	}
+	if slices != 4 || phases != 4 {
+		t.Fatalf("slices=%d phases=%d, want 4 spans + 4 phase slices", slices, phases)
+	}
+}

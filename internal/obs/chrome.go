@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome trace-event export: renders a span set in the trace-event JSON
+// format chrome://tracing and Perfetto load directly. Works on raw
+// (unassembled) spans so one node can export its own ring at
+// /tracez?format=chrome without having collected the other hops; when
+// fed an assembled multi-node set, each process appears as its own
+// pid row with its spans laid out on overlap-free lanes.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes spans as Chrome trace-event JSON. Each
+// distinct Node (falling back to "local" when unset) becomes one
+// process row, named by a metadata event; within a process, spans are
+// packed onto the fewest lanes (tids) such that no lane overlaps, and a
+// span's phase annotations are emitted as nested slices laid end to end
+// from the span's start.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return spans[order[a]].Start.Before(spans[order[b]].Start)
+	})
+
+	pids := map[string]int{}
+	lanes := map[string][]time.Time{} // per process: each lane's current end
+	f := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, i := range order {
+		s := spans[i]
+		node := s.Node
+		if node == "" {
+			node = "local"
+		}
+		pid, ok := pids[node]
+		if !ok {
+			pid = len(pids) + 1
+			pids[node] = pid
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": node},
+			})
+		}
+		// Lowest lane already free at this span's start; new lane if none.
+		tid := -1
+		for l, end := range lanes[node] {
+			if !end.After(s.Start) {
+				tid = l
+				break
+			}
+		}
+		if tid == -1 {
+			tid = len(lanes[node])
+			lanes[node] = append(lanes[node], time.Time{})
+		}
+		lanes[node][tid] = s.End()
+
+		args := map[string]any{"trace": s.Trace}
+		if s.ID != 0 {
+			args["span"] = s.ID
+		}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		if s.Peer != "" {
+			args["peer"] = s.Peer
+		}
+		if s.Bytes != 0 {
+			args["bytes"] = s.Bytes
+		}
+		if s.Err != "" {
+			args["err"] = s.Err
+		}
+		ts := float64(s.Start.UnixNano()) / 1e3
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: s.Name, Ph: "X", Ts: ts, Dur: float64(s.Dur) / 1e3,
+			Pid: pid, Tid: tid, Args: args,
+		})
+		off := 0.0
+		for _, p := range s.Phases {
+			d := float64(p.Dur) / 1e3
+			if d <= 0 {
+				continue
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: p.Name, Ph: "X", Ts: ts + off, Dur: d, Pid: pid, Tid: tid,
+			})
+			off += d
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}

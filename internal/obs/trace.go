@@ -1,18 +1,36 @@
 package obs
 
 import (
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// traceState seeds NewTraceID. Seeded from the wall clock once per
-// process so two nodes started together still draw disjoint sequences
-// (splitmix64 diffuses the nanosecond difference across all 64 bits).
+// traceState seeds NewTraceID and NewSpanID. Seeded once per process
+// from the wall clock mixed with process-local entropy (PID and
+// hostname): two members of a fleet started in the same nanosecond —
+// routine under an init system or a test harness — must still draw
+// disjoint splitmix64 sequences, or their trace ids collide and the
+// assembler merges unrelated requests into one tree.
 var traceState atomic.Uint64
 
 func init() {
-	traceState.Store(uint64(time.Now().UnixNano()))
+	seed := uint64(time.Now().UnixNano())
+	// splitmix64's increment doubles as a multiplier that spreads the
+	// small PID across the high bits the nanosecond clock barely moves.
+	seed ^= uint64(os.Getpid()) * 0x9E3779B97F4A7C15
+	if host, err := os.Hostname(); err == nil {
+		// FNV-1a over the hostname separates co-started processes on
+		// different machines whose PIDs happen to match.
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(host); i++ {
+			h ^= uint64(host[i])
+			h *= 1099511628211
+		}
+		seed ^= h
+	}
+	traceState.Store(seed)
 }
 
 // NewTraceID returns a new nonzero 64-bit trace id. Zero is reserved as
@@ -34,25 +52,53 @@ func NewTraceID() uint64 {
 	}
 }
 
-// Span is one hop's record of a traced (or slow) request: which node
-// role handled it, what operation, how long it took. Spans are written
-// into bounded SpanLog rings — the repo's answer to a tracing backend —
-// and read back over /tracez or by tests asserting propagation.
-type Span struct {
-	Trace uint64        `json:"trace,string"`
-	Name  string        `json:"name"`           // e.g. "server/put", "client/batch"
-	Peer  string        `json:"peer,omitempty"` // remote address, when known
-	Start time.Time     `json:"start"`
-	Dur   time.Duration `json:"durNs"`
-	Bytes int           `json:"bytes,omitempty"` // request payload size
-	Err   string        `json:"err,omitempty"`
+// NewSpanID returns a new nonzero 64-bit span id, from the same
+// generator as NewTraceID. Span ids only need to be unique within one
+// trace, so sharing the sequence is fine and keeps both allocation-free.
+func NewSpanID() uint64 { return NewTraceID() }
+
+// Phase is one named slice of a span's duration — where the hop's time
+// actually went (queue wait, exec, replication fan-out, flush, …).
+// Phases are annotations, not sub-spans: they carry no timestamps and
+// are assumed to run in recorded order from the span's start.
+type Phase struct {
+	Name string        `json:"name"`
+	Dur  time.Duration `json:"durNs"`
 }
+
+// Span is one hop's record of a traced (or slow) request: which node
+// role handled it, what operation, how long it took, and where inside
+// the hop the time went. ID/Parent stitch per-node spans into one tree:
+// every hop mints its own ID and forwards it as the next hop's Parent
+// (the wire carries both the trace id and the parent span id), so a
+// collector that gathers each node's spans can reassemble the request's
+// path without any clock coordination (see Assemble). Spans are written
+// into bounded SpanLog rings — the repo's answer to a tracing backend —
+// and read back over /tracez, OpTraceFetch, or by tests asserting
+// propagation.
+type Span struct {
+	Trace  uint64        `json:"trace,string"`
+	ID     uint64        `json:"id,string,omitempty"`     // this hop's span id
+	Parent uint64        `json:"parent,string,omitempty"` // the upstream hop's span id (0 = root)
+	Name   string        `json:"name"`                    // e.g. "server/put", "client/batch"
+	Node   string        `json:"node,omitempty"`          // recording process identity
+	Peer   string        `json:"peer,omitempty"`          // remote address, when known
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"durNs"`
+	Bytes  int           `json:"bytes,omitempty"` // request payload size
+	Err    string        `json:"err,omitempty"`
+	Phases []Phase       `json:"phases,omitempty"`
+}
+
+// End returns the span's end time.
+func (s Span) End() time.Time { return s.Start.Add(s.Dur) }
 
 // SpanLog is a bounded ring of span records. Recording takes a mutex —
 // fine, because only sampled (traced) and slow requests ever reach a
 // log; the untraced hot path never touches one.
 type SpanLog struct {
 	mu    sync.Mutex
+	node  string // stamped onto recorded spans with no Node of their own
 	buf   []Span
 	next  int
 	total uint64
@@ -66,9 +112,22 @@ func NewSpanLog(size int) *SpanLog {
 	return &SpanLog{buf: make([]Span, 0, size)}
 }
 
+// SetNode names the process this ring records for. Spans recorded with
+// an empty Node field are stamped with it, so one shared ring (server +
+// cluster spans of one daemon) labels every span consistently without
+// each recorder knowing the process identity.
+func (l *SpanLog) SetNode(name string) {
+	l.mu.Lock()
+	l.node = name
+	l.mu.Unlock()
+}
+
 // Record appends one span, evicting the oldest when full.
 func (l *SpanLog) Record(s Span) {
 	l.mu.Lock()
+	if s.Node == "" {
+		s.Node = l.node
+	}
 	if len(l.buf) < cap(l.buf) {
 		l.buf = append(l.buf, s)
 	} else {

@@ -34,12 +34,12 @@ func TestEncodeFrameAllocFree(t *testing.T) {
 		buf = AppendFrame(buf[:0], 7, OpPut, payload)
 	})
 	requireAllocs(t, "AppendTracedFrame", 0, func() {
-		buf = AppendTracedFrame(buf[:0], 7, OpPut, 0xfeed, payload)
+		buf = AppendTracedFrame(buf[:0], 7, OpPut, 0xfeed, 0xbead, payload)
 	})
 	// The in-place builders the client and server actually use: header
 	// template, payload append, length stamp — all into one buffer.
 	requireAllocs(t, "beginRequest/finishFrame", 0, func() {
-		b := beginRequest(buf[:0], OpGet, 0xbeef)
+		b := beginRequest(buf[:0], OpGet, 0xbeef, 0xfade)
 		b = append(b, payload...)
 		buf = finishFrame(b)
 		patchFrameID(buf, 42)

@@ -347,20 +347,48 @@ func (cc *clientConn) roundTripFrame(op Opcode, f *frame, timeout time.Duration)
 	}
 }
 
+// callTrace is one client call's trace context. parent is the upstream
+// span this call descends from (what the recorded span reports as its
+// Parent); span is the call's own freshly minted id, which travels in
+// the frame's parent field so the server's span parents onto this one.
+// The zero value means untraced.
+type callTrace struct {
+	trace  uint64
+	parent uint64
+	span   uint64
+}
+
+// newCallTrace mints the client-side span id for one traced call. Each
+// retry attempt mints its own — every attempt is its own hop. A client
+// with no span ring forwards the caller's span as the downstream parent
+// instead: minting an id nobody records would leave a hole in the
+// assembled chain where this hop should be.
+func (c *Client) newCallTrace(trace, parent uint64) callTrace {
+	ct := callTrace{trace: trace, parent: parent}
+	if trace != 0 {
+		if c.opts.Spans != nil {
+			ct.span = obs.NewSpanID()
+		} else {
+			ct.span = parent
+		}
+	}
+	return ct
+}
+
 // roundTrip issues one request with the given payload — traced when
-// trace is nonzero — and waits for its response. The payload is copied
-// into a pooled frame; use roundTripFrame with a caller-built frame to
-// skip that copy.
-func (cc *clientConn) roundTrip(trace uint64, op Opcode, payload []byte, timeout time.Duration) (response, error) {
-	f := newRequestFrame(op, trace, payload)
+// ct.trace is nonzero — and waits for its response. The payload is
+// copied into a pooled frame; use roundTripFrame with a caller-built
+// frame to skip that copy.
+func (cc *clientConn) roundTrip(ct callTrace, op Opcode, payload []byte, timeout time.Duration) (response, error) {
+	f := newRequestFrame(op, ct, payload)
 	return cc.roundTripFrame(op, f, timeout)
 }
 
 // newRequestFrame builds a complete request frame (id zero, patched at
 // send time) carrying payload in a pooled buffer.
-func newRequestFrame(op Opcode, trace uint64, payload []byte) *frame {
-	f := getFrame(frameHeadLen(trace) + len(payload))
-	f.b = beginRequest(f.b[:0], op, trace)
+func newRequestFrame(op Opcode, ct callTrace, payload []byte) *frame {
+	f := getFrame(frameHeadLen(ct.trace) + len(payload))
+	f.b = beginRequest(f.b[:0], op, ct.trace, ct.span)
 	f.b = append(f.b, payload...)
 	f.b = finishFrame(f.b)
 	return f
@@ -370,7 +398,7 @@ func newRequestFrame(op Opcode, trace uint64, payload []byte) *frame {
 // length prefix + header, plus the trace extension when traced.
 func frameHeadLen(trace uint64) int {
 	if trace != 0 {
-		return 4 + frameOverhead + 8
+		return 4 + frameOverhead + tracedExtLen
 	}
 	return 4 + frameOverhead
 }
@@ -419,6 +447,8 @@ func opName(op Opcode) string {
 		return "task-status"
 	case OpShuffleFetch:
 		return "shuffle-fetch"
+	case OpTraceFetch:
+		return "trace-fetch"
 	default:
 		return fmt.Sprintf("op(0x%02x)", byte(op))
 	}
@@ -496,7 +526,7 @@ func (c *Client) Ping() error {
 			return err
 		}
 	}
-	r, err := cc.roundTrip(0, OpPing, nil, c.opts.PingTimeout)
+	r, err := cc.roundTrip(callTrace{}, OpPing, nil, c.opts.PingTimeout)
 	if err != nil {
 		return err
 	}
@@ -515,26 +545,26 @@ func (c *Client) Ping() error {
 }
 
 // call runs one round trip and maps error frames back to Go errors. A
-// nonzero trace rides the frame header and leaves a root span in the
+// nonzero ct.trace rides the frame header and leaves a span in the
 // configured span log. The payload is copied into a pooled request
 // frame; hot paths that can encode straight into a frame use callFrame.
 // The returned response's payload aliases a pooled frame — the caller
 // must copy whatever it retains, then release it.
-func (c *Client) call(trace uint64, op Opcode, payload []byte) (response, error) {
-	return c.callFrame(trace, op, newRequestFrame(op, trace, payload), len(payload))
+func (c *Client) call(ct callTrace, op Opcode, payload []byte) (response, error) {
+	return c.callFrame(ct, op, newRequestFrame(op, ct, payload), len(payload))
 }
 
 // callFrame is call for a caller-built request frame (beginRequest +
-// finishFrame; the id is patched at send time). Takes ownership of f.
-// reqBytes is the payload size, recorded on the span.
-func (c *Client) callFrame(trace uint64, op Opcode, f *frame, reqBytes int) (response, error) {
+// finishFrame with the same ct; the id is patched at send time). Takes
+// ownership of f. reqBytes is the payload size, recorded on the span.
+func (c *Client) callFrame(ct callTrace, op Opcode, f *frame, reqBytes int) (response, error) {
 	cc, err := c.pick()
 	if err != nil {
 		putFrame(f)
 		return response{}, err
 	}
 	var start time.Time
-	if trace != 0 && c.opts.Spans != nil {
+	if ct.trace != 0 && c.opts.Spans != nil {
 		start = time.Now()
 	}
 	r, err := cc.roundTripFrame(op, f, c.opts.Timeout)
@@ -548,12 +578,14 @@ func (c *Client) callFrame(trace uint64, op Opcode, f *frame, reqBytes int) (res
 	}
 	if !start.IsZero() {
 		span := obs.Span{
-			Trace: trace,
-			Name:  "client/" + opName(op),
-			Peer:  c.addr,
-			Start: start,
-			Dur:   time.Since(start),
-			Bytes: reqBytes,
+			Trace:  ct.trace,
+			ID:     ct.span,
+			Parent: ct.parent,
+			Name:   "client/" + opName(op),
+			Peer:   c.addr,
+			Start:  start,
+			Dur:    time.Since(start),
+			Bytes:  reqBytes,
 		}
 		if err != nil {
 			span.Err = err.Error()
@@ -594,13 +626,14 @@ func (c *Client) withRetry(fn func() error) error {
 
 // Get fetches one key from the remote shard.
 func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
-	return c.GetTraced(0, key)
+	return c.GetTraced(0, 0, key)
 }
 
-// GetTraced is Get carrying a distributed trace id (zero = untraced).
-func (c *Client) GetTraced(trace uint64, key []byte) (value []byte, found bool, err error) {
+// GetTraced is Get carrying distributed trace context (zero trace =
+// untraced; parent is the calling hop's span id, 0 at the root).
+func (c *Client) GetTraced(trace, parent uint64, key []byte) (value []byte, found bool, err error) {
 	err = c.withRetry(func() error {
-		r, err := c.call(trace, OpGet, key)
+		r, err := c.call(c.newCallTrace(trace, parent), OpGet, key)
 		if err != nil {
 			return err
 		}
@@ -618,18 +651,20 @@ func (c *Client) GetTraced(trace uint64, key []byte) (value []byte, found bool, 
 
 // Put writes one key.
 func (c *Client) Put(key, value []byte) error {
-	return c.PutTraced(0, key, value)
+	return c.PutTraced(0, 0, key, value)
 }
 
-// PutTraced is Put carrying a distributed trace id (zero = untraced).
-func (c *Client) PutTraced(trace uint64, key, value []byte) error {
+// PutTraced is Put carrying distributed trace context (zero trace =
+// untraced; parent is the calling hop's span id, 0 at the root).
+func (c *Client) PutTraced(trace, parent uint64, key, value []byte) error {
 	return c.withRetry(func() error {
+		ct := c.newCallTrace(trace, parent)
 		// Encode straight into a pooled frame: no intermediate payload.
 		n := 4 + len(key) + len(value)
 		f := getFrame(frameHeadLen(trace) + n)
-		f.b = beginRequest(f.b[:0], OpPut, trace)
+		f.b = beginRequest(f.b[:0], OpPut, ct.trace, ct.span)
 		f.b = finishFrame(EncodePut(f.b, key, value))
-		r, err := c.callFrame(trace, OpPut, f, n)
+		r, err := c.callFrame(ct, OpPut, f, n)
 		if err != nil {
 			return err
 		}
@@ -643,13 +678,13 @@ func (c *Client) PutTraced(trace uint64, key, value []byte) error {
 
 // Delete removes one key.
 func (c *Client) Delete(key []byte) error {
-	return c.DeleteTraced(0, key)
+	return c.DeleteTraced(0, 0, key)
 }
 
-// DeleteTraced is Delete carrying a distributed trace id.
-func (c *Client) DeleteTraced(trace uint64, key []byte) error {
+// DeleteTraced is Delete carrying distributed trace context.
+func (c *Client) DeleteTraced(trace, parent uint64, key []byte) error {
 	return c.withRetry(func() error {
-		r, err := c.call(trace, OpDelete, key)
+		r, err := c.call(c.newCallTrace(trace, parent), OpDelete, key)
 		if err != nil {
 			return err
 		}
@@ -676,9 +711,9 @@ func (c *Client) Scan(start []byte, limit int) ([]engine.Entry, error) {
 		err := c.withRetry(func() error {
 			n := 4 + len(start)
 			f := getFrame(frameHeadLen(0) + n)
-			f.b = beginRequest(f.b[:0], OpScan, 0)
+			f.b = beginRequest(f.b[:0], OpScan, 0, 0)
 			f.b = finishFrame(EncodeScan(f.b, start, limit-len(all)))
-			r, err := c.callFrame(0, OpScan, f, n)
+			r, err := c.callFrame(callTrace{}, OpScan, f, n)
 			if err != nil {
 				return err
 			}
@@ -707,15 +742,16 @@ func (c *Client) Scan(start []byte, limit int) ([]engine.Entry, error) {
 
 // Apply executes a batch on the remote with backpressure.
 func (c *Client) Apply(ops []cluster.Op) (res []cluster.OpResult, err error) {
-	return c.ApplyTraced(0, ops)
+	return c.ApplyTraced(0, 0, ops)
 }
 
-// ApplyTraced is Apply carrying a distributed trace id. The trace rides
-// the frame header (not the batch payload) and the server re-stamps it
-// onto the decoded ops, so a multi-tier backend keeps propagating it.
-func (c *Client) ApplyTraced(trace uint64, ops []cluster.Op) (res []cluster.OpResult, err error) {
+// ApplyTraced is Apply carrying distributed trace context. The trace
+// and this call's span id ride the frame header (not the batch payload)
+// and the server re-stamps them onto the decoded ops, so a multi-tier
+// backend keeps propagating — and parenting — the trace.
+func (c *Client) ApplyTraced(trace, parent uint64, ops []cluster.Op) (res []cluster.OpResult, err error) {
 	err = c.withRetry(func() error {
-		res, err = c.batch(trace, ops, false)
+		res, err = c.batch(c.newCallTrace(trace, parent), ops, false)
 		return err
 	})
 	return res, err
@@ -725,21 +761,21 @@ func (c *Client) ApplyTraced(trace uint64, ops []cluster.Op) (res []cluster.OpRe
 // batch returns cluster.ErrOverload, possibly with partial results; it
 // is never retried here — propagating the shed signal is the point.
 func (c *Client) TryApply(ops []cluster.Op) ([]cluster.OpResult, error) {
-	return c.batch(0, ops, true)
+	return c.batch(callTrace{}, ops, true)
 }
 
-// TryApplyTraced is TryApply carrying a distributed trace id.
-func (c *Client) TryApplyTraced(trace uint64, ops []cluster.Op) ([]cluster.OpResult, error) {
-	return c.batch(trace, ops, true)
+// TryApplyTraced is TryApply carrying distributed trace context.
+func (c *Client) TryApplyTraced(trace, parent uint64, ops []cluster.Op) ([]cluster.OpResult, error) {
+	return c.batch(c.newCallTrace(trace, parent), ops, true)
 }
 
-func (c *Client) batch(trace uint64, ops []cluster.Op, try bool) ([]cluster.OpResult, error) {
+func (c *Client) batch(ct callTrace, ops []cluster.Op, try bool) ([]cluster.OpResult, error) {
 	// Encode the batch straight into a pooled, exactly-sized frame.
 	n := encodedBatchLen(ops)
-	f := getFrame(frameHeadLen(trace) + n)
-	f.b = beginRequest(f.b[:0], OpBatch, trace)
+	f := getFrame(frameHeadLen(ct.trace) + n)
+	f.b = beginRequest(f.b[:0], OpBatch, ct.trace, ct.span)
 	f.b = finishFrame(EncodeBatch(f.b, ops, try))
-	r, err := c.callFrame(trace, OpBatch, f, n)
+	r, err := c.callFrame(ct, OpBatch, f, n)
 	if err != nil {
 		return nil, err
 	}
@@ -772,7 +808,7 @@ func (c *Client) batch(trace uint64, ops []cluster.Op, try bool) ([]cluster.OpRe
 // Stats snapshots the remote server's cluster counters.
 func (c *Client) Stats() (st cluster.Stats, err error) {
 	err = c.withRetry(func() error {
-		r, err := c.call(0, OpStats, nil)
+		r, err := c.call(callTrace{}, OpStats, nil)
 		if err != nil {
 			return err
 		}
@@ -799,7 +835,7 @@ func (c *Client) SubmitTask(spec []byte) (id uint64, err error) {
 // job's one trace.
 func (c *Client) SubmitTaskTraced(trace uint64, spec []byte) (id uint64, err error) {
 	err = c.withRetry(func() error {
-		r, err := c.call(trace, OpTaskSubmit, spec)
+		r, err := c.call(c.newCallTrace(trace, 0), OpTaskSubmit, spec)
 		if err != nil {
 			return err
 		}
@@ -818,7 +854,7 @@ func (c *Client) SubmitTaskTraced(trace uint64, spec []byte) (id uint64, err err
 // itself failing (wire down, unknown task).
 func (c *Client) TaskStatus(id uint64) (done bool, taskErr, err error) {
 	err = c.withRetry(func() error {
-		r, err := c.call(0, OpTaskStatus, EncodeTaskID(nil, id))
+		r, err := c.call(callTrace{}, OpTaskStatus, EncodeTaskID(nil, id))
 		if err != nil {
 			return err
 		}
@@ -845,7 +881,7 @@ func (c *Client) ShuffleFetchTraced(trace, task uint64, part uint32) ([]byte, er
 	for {
 		var more bool
 		err := c.withRetry(func() error {
-			r, err := c.call(trace, OpShuffleFetch, EncodeShuffleFetch(nil, task, part, uint32(len(all))))
+			r, err := c.call(c.newCallTrace(trace, 0), OpShuffleFetch, EncodeShuffleFetch(nil, task, part, uint32(len(all))))
 			if err != nil {
 				return err
 			}
@@ -867,6 +903,27 @@ func (c *Client) ShuffleFetchTraced(trace, task uint64, part uint32) ([]byte, er
 			return all, nil
 		}
 	}
+}
+
+// FetchSpans pulls every span the remote process retains for one trace
+// id (OpTraceFetch) — the collector side of distributed trace assembly.
+// A remote with nothing recorded returns an empty set, not an error.
+// The fetch itself is untraced so collection never pollutes the trace
+// it collects.
+func (c *Client) FetchSpans(trace uint64) (spans []obs.Span, err error) {
+	err = c.withRetry(func() error {
+		r, err := c.call(callTrace{}, OpTraceFetch, EncodeTaskID(nil, trace))
+		if err != nil {
+			return err
+		}
+		defer r.release()
+		if r.op != RespSpans {
+			return ErrMalformed
+		}
+		spans, err = DecodeSpans(r.payload)
+		return err
+	})
+	return spans, err
 }
 
 // Close tears down the pool. In-flight requests resolve with a

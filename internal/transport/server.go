@@ -111,6 +111,11 @@ type ServerOptions struct {
 	// TraceBuffer sizes the span and slow-request rings (default 256
 	// spans each).
 	TraceBuffer int
+	// Spans, when non-nil, is the span ring to record into instead of a
+	// private one. A daemon that hosts both a server and a cluster
+	// coordinator points both at one ring, so OpTraceFetch serves every
+	// hop the process recorded regardless of which layer recorded it.
+	Spans *obs.SpanLog
 }
 
 func (o *ServerOptions) normalize() {
@@ -192,8 +197,15 @@ func Serve(ln net.Listener, b Backend, opts ServerOptions) *Server {
 		opts:    opts,
 		tokens:  make(chan struct{}, opts.MaxInFlight),
 		conns:   map[net.Conn]struct{}{},
-		spans:   obs.NewSpanLog(opts.TraceBuffer),
+		spans:   opts.Spans,
 		slow:    obs.NewSpanLog(opts.TraceBuffer),
+	}
+	if s.spans == nil {
+		// Private ring: name it after the listener so fetched spans
+		// identify this process. A shared ring (opts.Spans) is named by
+		// whoever owns it.
+		s.spans = obs.NewSpanLog(opts.TraceBuffer)
+		s.spans.SetNode(ln.Addr().String())
 	}
 	s.applyInto, _ = b.(batchApplier)
 	s.scanInto, _ = b.(scanAppender)
@@ -217,11 +229,15 @@ func (s *Server) Spans() *obs.SpanLog { return s.spans }
 // SlowLog returns the ring of requests that met ServerOptions.SlowRequest.
 func (s *Server) SlowLog() *obs.SpanLog { return s.slow }
 
+// RequestLatency returns the server's request-latency histogram — the
+// series SLO objectives layer over.
+func (s *Server) RequestLatency() *obs.Histogram { return &s.metrics.lat }
+
 // registeredOps is every request opcode RegisterMetrics exports a
 // counter series for — the dense low range the reqs array indexes.
 var registeredOps = []Opcode{
 	OpGet, OpPut, OpDelete, OpScan, OpBatch, OpStats, OpPing,
-	OpTaskSubmit, OpTaskStatus, OpShuffleFetch,
+	OpTaskSubmit, OpTaskStatus, OpShuffleFetch, OpTraceFetch,
 }
 
 // RegisterMetrics exports the server's counters into r under the
@@ -290,20 +306,37 @@ type connState struct {
 	reqs sync.WaitGroup
 }
 
+// traceCtx is one request's trace context, passed by value down the
+// dispatch path (no per-request allocation). All-zero for untraced
+// requests: span is this hop's freshly minted span id (forwarded to
+// downstream hops as their parent), parent the upstream hop's.
+type traceCtx struct {
+	trace  uint64
+	parent uint64
+	span   uint64
+}
+
 // serveReq executes one admitted request. Frame ownership (DESIGN.md
 // §12): pf — the pooled request frame payload aliases — is released as
 // soon as dispatch returns, because every retention path below dispatch
 // copies (the engine copies keys/values on apply, the hint buffer copies
 // on enqueue, error messages copy into strings). The response frame's
 // ownership passes to the writer goroutine via out.
-func (cs *connState) serveReq(id, trace uint64, op Opcode, pf *frame, payload []byte, start time.Time) {
+func (cs *connState) serveReq(id uint64, tc traceCtx, op Opcode, pf *frame, payload []byte, start time.Time) {
 	s := cs.s
 	n := len(payload)
-	resp := s.dispatch(id, trace, op, payload)
+	// admitted marks the end of the queue-wait phase (time parked on the
+	// admission permit, plus goroutine handoff). Only traced or
+	// slow-logged requests pay the extra clock read.
+	var admitted time.Time
+	if tc.trace != 0 || s.opts.SlowRequest > 0 {
+		admitted = time.Now()
+	}
+	resp := s.dispatch(id, tc, op, payload)
 	putFrame(pf)
 	cs.out <- resp
 	s.served.Add(1)
-	s.observe(op, trace, start, n)
+	s.observe(op, tc, start, admitted, n)
 	<-s.tokens
 	cs.reqs.Done()
 }
@@ -379,9 +412,9 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		start := time.Now()
 		s.metrics.bytesIn.Add(uint64(13 + len(pf.b)))
-		var trace uint64
+		var tc traceCtx
 		var payload []byte
-		op, trace, payload, err = splitTrace(op, pf.b)
+		op, tc.trace, tc.parent, payload, err = splitTrace(op, pf.b)
 		if err != nil {
 			// The frame itself parsed — only the trace extension is
 			// short. Fail the request, keep the connection.
@@ -392,8 +425,9 @@ func (s *Server) handle(conn net.Conn) {
 		if int(op) < len(s.metrics.reqs) {
 			s.metrics.reqs[op].Inc()
 		}
-		if trace != 0 {
+		if tc.trace != 0 {
 			s.metrics.traced.Inc()
+			tc.span = obs.NewSpanID()
 		}
 		// Liveness answers straight from the read loop, bypassing
 		// admission: an overloaded server is still alive, and a prober
@@ -422,7 +456,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 		cs.reqs.Add(1)
-		go cs.serveReq(id, trace, op, pf, payload, start)
+		go cs.serveReq(id, tc, op, pf, payload, start)
 	}
 	cs.reqs.Wait()
 	close(out)
@@ -434,20 +468,35 @@ func (s *Server) handle(conn net.Conn) {
 // a span record when the request was traced, a slow-log record when it
 // met the configured threshold. Untraced fast requests never touch a
 // span log, so the hot path stays three atomic adds and two clock reads.
-func (s *Server) observe(op Opcode, trace uint64, start time.Time, bytes int) {
+// admitted (when set) splits the span into queue-wait and exec phases.
+func (s *Server) observe(op Opcode, tc traceCtx, start, admitted time.Time, bytes int) {
 	dur := time.Since(start)
 	s.metrics.lat.Observe(dur)
-	if trace == 0 && (s.opts.SlowRequest <= 0 || dur < s.opts.SlowRequest) {
+	if tc.trace == 0 && (s.opts.SlowRequest <= 0 || dur < s.opts.SlowRequest) {
 		return
 	}
 	span := obs.Span{
-		Trace: trace,
-		Name:  "server/" + opName(op),
-		Start: start,
-		Dur:   dur,
-		Bytes: bytes,
+		Trace:  tc.trace,
+		ID:     tc.span,
+		Parent: tc.parent,
+		Name:   "server/" + opName(op),
+		Start:  start,
+		Dur:    dur,
+		Bytes:  bytes,
 	}
-	if trace != 0 {
+	if !admitted.IsZero() {
+		queue := admitted.Sub(start)
+		if queue < 0 {
+			queue = 0
+		}
+		if exec := dur - queue; exec >= 0 {
+			span.Phases = []obs.Phase{
+				{Name: "queue", Dur: queue},
+				{Name: "exec", Dur: exec},
+			}
+		}
+	}
+	if tc.trace != 0 {
 		s.spans.Record(span)
 	}
 	if s.opts.SlowRequest > 0 && dur >= s.opts.SlowRequest {
@@ -459,9 +508,10 @@ func (s *Server) observe(op Opcode, trace uint64, start time.Time, bytes int) {
 // the response frame directly in a pooled buffer — engine values are
 // appended straight into the frame the writer goroutine will hand to
 // the bufio.Writer, with no intermediate payload slice. A nonzero trace
-// is stamped onto batch ops, so a backend that is itself a cluster with
-// remote members keeps propagating it.
-func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) *frame {
+// is stamped onto batch ops (with this hop's span id as their parent),
+// so a backend that is itself a cluster with remote members keeps
+// propagating — and correctly parenting — the trace.
+func (s *Server) dispatch(id uint64, tc traceCtx, op Opcode, payload []byte) *frame {
 	switch op {
 	case OpGet:
 		v, ok := s.backend.Get(payload)
@@ -474,11 +524,33 @@ func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) *frame {
 		if err != nil {
 			return errFrame(id, err)
 		}
+		if tc.trace != 0 {
+			// Backend.Put has no trace parameter; a traced write detours
+			// through the one-op batch path so the context reaches the
+			// cluster's replication machinery (and the replicas' spans
+			// parent onto this hop). Untraced writes keep the direct call.
+			if err := s.applyTracedWrite(cluster.Op{
+				Kind: cluster.OpPut, Key: key, Value: value,
+				Trace: tc.trace, Parent: tc.span,
+			}); err != nil {
+				return errFrame(id, err)
+			}
+			return okFrame(id)
+		}
 		if err := s.backend.Put(key, value); err != nil {
 			return errFrame(id, err)
 		}
 		return okFrame(id)
 	case OpDelete:
+		if tc.trace != 0 {
+			if err := s.applyTracedWrite(cluster.Op{
+				Kind: cluster.OpDelete, Key: payload,
+				Trace: tc.trace, Parent: tc.span,
+			}); err != nil {
+				return errFrame(id, err)
+			}
+			return okFrame(id)
+		}
 		if err := s.backend.Delete(payload); err != nil {
 			return errFrame(id, err)
 		}
@@ -547,9 +619,10 @@ func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) *frame {
 			return errFrame(id, err)
 		}
 		sc.ops = ops
-		if trace != 0 {
+		if tc.trace != 0 {
 			for i := range ops {
-				ops[i].Trace = trace
+				ops[i].Trace = tc.trace
+				ops[i].Parent = tc.span
 			}
 		}
 		var res []cluster.OpResult
@@ -646,9 +719,39 @@ func (s *Server) dispatch(id, trace uint64, op Opcode, payload []byte) *frame {
 		f.b = beginResponse(f.b[:0], id, RespChunk)
 		f.b = finishFrame(EncodeChunk(f.b, chunk, more))
 		return f
+	case OpTraceFetch:
+		tid, err := DecodeTaskID(payload)
+		if err != nil {
+			return errFrame(id, err)
+		}
+		spans := s.spans.ByTrace(tid)
+		// Shed oldest spans rather than build a frame the peer would
+		// reject; the assembler treats them as missing hops.
+		budget := s.opts.MaxFrame - frameOverhead - 64
+		for len(spans) > 0 && encodedSpansLen(spans) > budget {
+			spans = spans[1:]
+		}
+		f := getFrame(frameOverhead + 4 + encodedSpansLen(spans))
+		f.b = beginResponse(f.b[:0], id, RespSpans)
+		f.b = finishFrame(EncodeSpans(f.b, spans))
+		return f
 	default:
 		return errFrame(id, ErrMalformed)
 	}
+}
+
+// applyTracedWrite routes one traced single-key write through the batch
+// path, which is the only backend surface that carries trace context.
+// Only traced requests take this detour, so the untraced hot path keeps
+// the direct Put/Delete calls.
+func (s *Server) applyTracedWrite(op cluster.Op) error {
+	ops := [1]cluster.Op{op}
+	if s.applyInto != nil {
+		var res [1]cluster.OpResult
+		return s.applyInto.ApplyInto(ops[:], res[:])
+	}
+	_, err := s.backend.Apply(ops[:])
+	return err
 }
 
 // Close drains the server gracefully: stop accepting, kick every

@@ -13,26 +13,29 @@ func TestTracedFrameWireForm(t *testing.T) {
 	payload := []byte("hello")
 	// Zero trace is bit-identical to the untraced encoding — the old
 	// protocol, so untraced traffic interoperates with old peers.
-	if got, want := AppendTracedFrame(nil, 7, OpGet, 0, payload), AppendFrame(nil, 7, OpGet, payload); string(got) != string(want) {
+	if got, want := AppendTracedFrame(nil, 7, OpGet, 0, 0, payload), AppendFrame(nil, 7, OpGet, payload); string(got) != string(want) {
 		t.Fatalf("zero-trace frame differs from plain frame:\n%x\n%x", got, want)
 	}
-	frame := AppendTracedFrame(nil, 7, OpGet, 42, payload)
+	frame := AppendTracedFrame(nil, 7, OpGet, 42, 17, payload)
 	if frame[12]&byte(opFlagTraced) == 0 {
 		t.Fatal("traced frame missing the trace flag bit")
 	}
-	op, trace, rest, err := splitTrace(Opcode(frame[12]), frame[13:])
-	if err != nil || op != OpGet || trace != 42 || string(rest) != "hello" {
-		t.Fatalf("splitTrace = (%v, %d, %q, %v)", op, trace, rest, err)
+	op, trace, parent, rest, err := splitTrace(Opcode(frame[12]), frame[13:])
+	if err != nil || op != OpGet || trace != 42 || parent != 17 || string(rest) != "hello" {
+		t.Fatalf("splitTrace = (%v, %d, %d, %q, %v)", op, trace, parent, rest, err)
 	}
-	// A traced frame with a truncated id is malformed, not a crash.
-	if _, _, _, err := splitTrace(OpGet|opFlagTraced, []byte{1, 2, 3}); err == nil {
+	// A traced frame with a truncated extension is malformed, not a crash.
+	if _, _, _, _, err := splitTrace(OpGet|opFlagTraced, []byte{1, 2, 3}); err == nil {
 		t.Fatal("short traced payload accepted")
+	}
+	if _, _, _, _, err := splitTrace(OpGet|opFlagTraced, frame[13:25]); err == nil {
+		t.Fatal("trace-only (parentless) extension accepted")
 	}
 	// Responses never carry the flag: 0x40 overlaps RespError's bit
 	// pattern, so splitTrace must pass responses through untouched.
-	op, trace, _, err = splitTrace(RespError, []byte{9})
-	if err != nil || op != RespError || trace != 0 {
-		t.Fatalf("response opcode mangled: (%v, %d, %v)", op, trace, err)
+	op, trace, parent, _, err = splitTrace(RespError, []byte{9})
+	if err != nil || op != RespError || trace != 0 || parent != 0 {
+		t.Fatalf("response opcode mangled: (%v, %d, %d, %v)", op, trace, parent, err)
 	}
 }
 
@@ -132,7 +135,7 @@ func TestServerClientMetricsExposition(t *testing.T) {
 	if err := cl.Put([]byte("a"), []byte("1")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cl.GetTraced(obs.NewTraceID(), []byte("a")); err != nil {
+	if _, _, err := cl.GetTraced(obs.NewTraceID(), 0, []byte("a")); err != nil {
 		t.Fatal(err)
 	}
 

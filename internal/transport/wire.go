@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Wire format. Every message — request or response — is one frame:
@@ -53,6 +55,14 @@ const (
 	OpTaskSubmit   Opcode = 0x08 // payload: opaque task spec
 	OpTaskStatus   Opcode = 0x09 // payload: task id u64
 	OpShuffleFetch Opcode = 0x0A // payload: task id u64 | part u32 | offset u32
+
+	// OpTraceFetch asks a node for every span it retains under one trace
+	// id, so a collector can assemble a cross-process trace over the data
+	// plane instead of scraping each node's /tracez endpoint. Spans come
+	// back in a RespSpans frame; a node with no spans for the trace (or
+	// no span ring at all) answers an empty set, not an error — missing
+	// hops are the assembler's problem, not the transport's.
+	OpTraceFetch Opcode = 0x0B // payload: trace id u64
 )
 
 // Response opcodes.
@@ -71,6 +81,9 @@ const (
 	// more marks a page cut short of the full payload for frame-size
 	// reasons — the client advances its offset and fetches again.
 	RespChunk Opcode = 0x88 // payload: more u8 | bytes
+	// RespSpans carries a node's retained spans for one trace id (see
+	// EncodeSpans for the layout).
+	RespSpans Opcode = 0x89 // payload: count u32 | span*
 	RespError Opcode = 0xFF // payload: errcode u8 | message
 )
 
@@ -78,41 +91,52 @@ const (
 // than backpressure (Apply).
 const batchFlagTry = 0x01
 
-// opFlagTraced marks a request frame that carries a trace id: the
-// opcode byte has bit 0x40 set and an 8-byte big-endian trace id sits
-// between the frame header and the payload. The flag is only valid on
+// opFlagTraced marks a request frame that carries trace context: the
+// opcode byte has bit 0x40 set and a 16-byte big-endian extension —
+// trace id u64 | parent span id u64 — sits between the frame header
+// and the payload. The parent span id is the sender's own span for the
+// call, which becomes the Parent of the span the receiver records;
+// that per-hop id chain is what lets the assembler rebuild the request
+// tree from independently collected rings. The flag is only valid on
 // request opcodes (high bit clear) — responses are matched back to
 // their request by frame id, so echoing the trace would be redundant,
 // and reserving the bit to requests keeps RespError (0xFF) unambiguous.
 // Untraced traffic is bit-identical to the pre-trace protocol; an old
 // peer sent a traced frame rejects it as an unknown opcode (errCodeBad)
-// rather than misreading the trace id as payload.
+// rather than misreading the trace extension as payload.
 const opFlagTraced Opcode = 0x40
 
-// AppendTracedFrame appends one request frame carrying trace. A zero
-// trace appends a plain frame — zero means "untraced" end to end.
-func AppendTracedFrame(dst []byte, id uint64, op Opcode, trace uint64, payload []byte) []byte {
+// tracedExtLen is the byte length of the trace extension.
+const tracedExtLen = 16
+
+// AppendTracedFrame appends one request frame carrying trace context.
+// A zero trace appends a plain frame — zero means "untraced" end to
+// end; parent is the sender's span id for this call (0 = root).
+func AppendTracedFrame(dst []byte, id uint64, op Opcode, trace, parent uint64, payload []byte) []byte {
 	if trace == 0 {
 		return AppendFrame(dst, id, op, payload)
 	}
-	dst = binary.BigEndian.AppendUint32(dst, uint32(frameOverhead+8+len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameOverhead+tracedExtLen+len(payload)))
 	dst = binary.BigEndian.AppendUint64(dst, id)
 	dst = append(dst, byte(op|opFlagTraced))
 	dst = binary.BigEndian.AppendUint64(dst, trace)
+	dst = binary.BigEndian.AppendUint64(dst, parent)
 	return append(dst, payload...)
 }
 
 // splitTrace strips the trace extension from a decoded request,
-// returning the bare opcode, the trace id (zero when untraced) and the
-// true payload (aliasing p). Response opcodes pass through untouched.
-func splitTrace(op Opcode, p []byte) (Opcode, uint64, []byte, error) {
+// returning the bare opcode, the trace and parent span ids (zero when
+// untraced) and the true payload (aliasing p). Response opcodes pass
+// through untouched.
+func splitTrace(op Opcode, p []byte) (Opcode, uint64, uint64, []byte, error) {
 	if op&0x80 != 0 || op&opFlagTraced == 0 {
-		return op, 0, p, nil
+		return op, 0, 0, p, nil
 	}
-	if len(p) < 8 {
-		return op, 0, nil, ErrMalformed
+	if len(p) < tracedExtLen {
+		return op, 0, 0, nil, ErrMalformed
 	}
-	return op &^ opFlagTraced, binary.BigEndian.Uint64(p), p[8:], nil
+	return op &^ opFlagTraced, binary.BigEndian.Uint64(p),
+		binary.BigEndian.Uint64(p[8:]), p[tracedExtLen:], nil
 }
 
 // Error codes carried by RespError and RespResults frames.
@@ -238,7 +262,7 @@ var respHeader [256][frameOverhead + 4]byte
 func init() {
 	for _, op := range []Opcode{
 		RespValue, RespOK, RespEntries, RespResults, RespStats,
-		RespTask, RespTaskStatus, RespChunk, RespError,
+		RespTask, RespTaskStatus, RespChunk, RespSpans, RespError,
 	} {
 		respHeader[op][12] = byte(op)
 	}
@@ -256,13 +280,14 @@ func beginResponse(b []byte, id uint64, op Opcode) []byte {
 // beginRequest appends a request frame header with a placeholder id
 // (stamped later by patchFrameID, once the connection assigns one) and
 // the optional trace extension.
-func beginRequest(b []byte, op Opcode, trace uint64) []byte {
+func beginRequest(b []byte, op Opcode, trace, parent uint64) []byte {
 	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
 	if trace == 0 {
 		return append(b, byte(op))
 	}
 	b = append(b, byte(op|opFlagTraced))
-	return binary.BigEndian.AppendUint64(b, trace)
+	b = binary.BigEndian.AppendUint64(b, trace)
+	return binary.BigEndian.AppendUint64(b, parent)
 }
 
 // finishFrame stamps the length prefix of a frame begun with
@@ -630,18 +655,179 @@ func DecodeError(p []byte) (error, error) {
 	return codeError(p[0], string(p[1:])), nil
 }
 
-// EncodeTaskID appends an 8-byte task id (the OpTaskStatus payload and
-// the RespTask payload share the shape).
+// EncodeTaskID appends an 8-byte id (the OpTaskStatus, RespTask and
+// OpTraceFetch payloads share the shape).
 func EncodeTaskID(dst []byte, id uint64) []byte {
 	return binary.BigEndian.AppendUint64(dst, id)
 }
 
-// DecodeTaskID parses an 8-byte task id payload.
+// DecodeTaskID parses an 8-byte id payload.
 func DecodeTaskID(p []byte) (uint64, error) {
 	if len(p) != 8 {
 		return 0, ErrMalformed
 	}
 	return binary.BigEndian.Uint64(p), nil
+}
+
+// ---- span codec (RespSpans) ----------------------------------------------
+//
+// One span:
+//
+//	trace u64 | id u64 | parent u64 | start unixnano i64 | dur i64 |
+//	bytes u32 | name u16+b | node u16+b | peer u16+b | err u16+b |
+//	phase count u8 | (name u8+b | dur i64)*
+//
+// Trace collection is a cold path — allocations here don't matter, and
+// decoded spans own their strings outright.
+
+func appendBytes16(dst []byte, s string) []byte {
+	if len(s) > 0xFFFF {
+		s = s[:0xFFFF]
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func takeBytes16(p []byte) (field string, rest []byte, err error) {
+	if len(p) < 2 {
+		return "", nil, ErrMalformed
+	}
+	n := binary.BigEndian.Uint16(p)
+	if int(n) > len(p)-2 {
+		return "", nil, ErrMalformed
+	}
+	return string(p[2 : 2+n]), p[2+n:], nil
+}
+
+// EncodeSpans appends a RespSpans payload.
+func EncodeSpans(dst []byte, spans []obs.Span) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(spans)))
+	for _, s := range spans {
+		dst = binary.BigEndian.AppendUint64(dst, s.Trace)
+		dst = binary.BigEndian.AppendUint64(dst, s.ID)
+		dst = binary.BigEndian.AppendUint64(dst, s.Parent)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(s.Start.UnixNano()))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(s.Dur))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(s.Bytes))
+		dst = appendBytes16(dst, s.Name)
+		dst = appendBytes16(dst, s.Node)
+		dst = appendBytes16(dst, s.Peer)
+		dst = appendBytes16(dst, s.Err)
+		phases := s.Phases
+		if len(phases) > 0xFF {
+			phases = phases[:0xFF]
+		}
+		dst = append(dst, byte(len(phases)))
+		for _, ph := range phases {
+			name := ph.Name
+			if len(name) > 0xFF {
+				name = name[:0xFF]
+			}
+			dst = append(dst, byte(len(name)))
+			dst = append(dst, name...)
+			dst = binary.BigEndian.AppendUint64(dst, uint64(ph.Dur))
+		}
+	}
+	return dst
+}
+
+// spanFixedLen is the fixed (pre-string) portion of one encoded span.
+const spanFixedLen = 8*5 + 4
+
+// DecodeSpans parses a RespSpans payload. The returned spans own their
+// memory (nothing aliases p).
+func DecodeSpans(p []byte) ([]obs.Span, error) {
+	if len(p) < 4 {
+		return nil, ErrMalformed
+	}
+	count := binary.BigEndian.Uint32(p)
+	p = p[4:]
+	if uint64(count)*(spanFixedLen+9) > uint64(len(p)) {
+		return nil, ErrMalformed
+	}
+	spans := make([]obs.Span, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(p) < spanFixedLen {
+			return nil, ErrMalformed
+		}
+		var s obs.Span
+		s.Trace = binary.BigEndian.Uint64(p)
+		s.ID = binary.BigEndian.Uint64(p[8:])
+		s.Parent = binary.BigEndian.Uint64(p[16:])
+		s.Start = time.Unix(0, int64(binary.BigEndian.Uint64(p[24:])))
+		s.Dur = time.Duration(binary.BigEndian.Uint64(p[32:]))
+		s.Bytes = int(binary.BigEndian.Uint32(p[40:]))
+		p = p[spanFixedLen:]
+		var err error
+		if s.Name, p, err = takeBytes16(p); err != nil {
+			return nil, err
+		}
+		if s.Node, p, err = takeBytes16(p); err != nil {
+			return nil, err
+		}
+		if s.Peer, p, err = takeBytes16(p); err != nil {
+			return nil, err
+		}
+		if s.Err, p, err = takeBytes16(p); err != nil {
+			return nil, err
+		}
+		if len(p) < 1 {
+			return nil, ErrMalformed
+		}
+		nphase := int(p[0])
+		p = p[1:]
+		if nphase > 0 {
+			s.Phases = make([]obs.Phase, 0, nphase)
+			for j := 0; j < nphase; j++ {
+				if len(p) < 1 {
+					return nil, ErrMalformed
+				}
+				nameLen := int(p[0])
+				if len(p) < 1+nameLen+8 {
+					return nil, ErrMalformed
+				}
+				s.Phases = append(s.Phases, obs.Phase{
+					Name: string(p[1 : 1+nameLen]),
+					Dur:  time.Duration(binary.BigEndian.Uint64(p[1+nameLen:])),
+				})
+				p = p[1+nameLen+8:]
+			}
+		}
+		spans = append(spans, s)
+	}
+	if len(p) != 0 {
+		return nil, ErrMalformed
+	}
+	return spans, nil
+}
+
+// encodedSpansLen is the payload size EncodeSpans will produce.
+func encodedSpansLen(spans []obs.Span) int {
+	n := 4
+	for i := range spans {
+		s := &spans[i]
+		n += spanFixedLen + 8 +
+			min16(len(s.Name)) + min16(len(s.Node)) + min16(len(s.Peer)) + min16(len(s.Err)) + 1
+		phases := s.Phases
+		if len(phases) > 0xFF {
+			phases = phases[:0xFF]
+		}
+		for _, ph := range phases {
+			l := len(ph.Name)
+			if l > 0xFF {
+				l = 0xFF
+			}
+			n += 1 + l + 8
+		}
+	}
+	return n
+}
+
+func min16(n int) int {
+	if n > 0xFFFF {
+		return 0xFFFF
+	}
+	return n
 }
 
 // EncodeShuffleFetch appends an OpShuffleFetch payload.

@@ -6,14 +6,16 @@
 #   workload  — in-process paper workloads (Read / WordCount, scale 1)
 #   net       — Zipf 95/5 OLTP over real sockets against two
 #               self-hosted shard servers (bdbench -listen), with a
-#               wire trace id stamped on every 8th batch and the
-#               before/after /metrics delta embedded per run
+#               wire trace id stamped on every 8th batch, the
+#               before/after /metrics delta embedded per run, a 5ms
+#               99.9% SLO evaluated over the run, and one assembled
+#               cross-process trace (-trace) as the PR 8 marker
 #   analytics — distributed wordcount across two self-hosted executor
 #               servers (task submits + shuffle fetches over the wire)
 #
 # Usage: sh scripts/record_bench.sh [out.json] [pr] [prev.json]
-#   out.json  — artifact path (default BENCH_7.json)
-#   pr        — PR number stamped into the artifact (default 7)
+#   out.json  — artifact path (default BENCH_8.json)
+#   pr        — PR number stamped into the artifact (default 8)
 #   prev.json — previous trajectory point; when it exists, a vsPrev
 #               section with throughput deltas is embedded
 # Run from the repo root. CI uploads the result as an artifact so every
@@ -21,9 +23,9 @@
 # durable history.
 set -e
 
-OUT="${1:-BENCH_7.json}"
-PR="${2:-7}"
-PREV="${3:-BENCH_6.json}"
+OUT="${1:-BENCH_8.json}"
+PR="${2:-8}"
+PREV="${3:-BENCH_7.json}"
 BIN="$(mktemp -d)"
 P1=""
 P2=""
@@ -53,7 +55,7 @@ P1=$!
 P2=$!
 # bdbench's dial retries cover server startup; no sleep needed.
 "$BIN/bdbench" -net -addr "$A1,$A2" -ops 20000 -rows 2000 -clients 4 \
-    -traceevery 8 -json "$BIN/net.json" >/dev/null
+    -traceevery 8 -slo 5ms:0.999 -trace -json "$BIN/net.json" >/dev/null
 kill "$P1" "$P2" 2>/dev/null || true
 wait "$P1" 2>/dev/null || true
 wait "$P2" 2>/dev/null || true
@@ -99,6 +101,9 @@ fi
 jq -e \
     '.net.opsPerSec > 0 and
      (.net.metrics["bd_transport_client_requests_total"] // .net.ops) > 0 and
+     .net.slo[0].total > 0 and
+     .net.trace.missingHops == 0 and
+     (.net.trace.criticalPath | length) >= 2 and
      .analytics.itemsPerSec > 0 and
      .analytics.metrics["bd_analytics_jobs_total"] == 1 and
      (.workload | length) == 2' \

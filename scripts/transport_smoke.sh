@@ -1,5 +1,5 @@
 #!/bin/sh
-# Transport smoke test, three phases.
+# Transport smoke test, five phases.
 #
 # Phase 1 — serve + drain: two bdserve shard servers in separate
 # processes, 1k OLTP ops driven over real sockets by bdbench -net, then
@@ -22,6 +22,14 @@
 # mid-run. Asserts the per-opcode transport counters moved, traced
 # requests were seen on the wire, and after a SIGKILL + restart the
 # bd_cluster_members_down gauge on the survivor returns to 0.
+#
+# Phase 5 — distributed tracing: a traced replicated Put across two
+# bdserve processes, every hop's spans fetched back over the wire
+# (OpTraceFetch) and assembled by bdbench -trace. Asserts the printed
+# tree carries the client, both server processes and the coordinator's
+# replication fan-out, that every layer's phase annotations (queue,
+# exec, replicate) are present, and that the -json record's critical
+# path is a parent-linked chain down to a server hop.
 #
 # Run from the repo root (CI runs it after go test).
 set -e
@@ -237,3 +245,68 @@ if [ "$E1" -ne 0 ] || [ "$E2" -ne 0 ]; then
     exit 1
 fi
 echo "transport smoke: OK (metrics + trace + down-member recovery observed)"
+
+# ---- Phase 5: traced replicated Put, assembled across processes ---------
+
+A9=127.0.0.1:7479
+A10=127.0.0.1:7480
+"$BIN/bdserve" -addr "$A9" -quiet &
+P1=$!
+"$BIN/bdserve" -addr "$A10" -quiet &
+P2=$!
+
+# Replication 2 across the two servers: the coordinator's write fan-out
+# is part of the trace. After the (tiny) measured run, -trace drives one
+# traced probe, pulls each process's span ring over the wire and prints
+# the assembled tree; -json records the critical path machine-readably.
+OUT=$("$BIN/bdbench" -net -addr "$A9,$A10" -replication 2 -ops 200 -rows 500 \
+    -clients 2 -trace -json "$BIN/phase5.json")
+
+# The tree must span all three processes: the bench's own hops, server
+# spans from BOTH bdserve processes (the replica is reached only through
+# the coordinator's mirror leg), and the replication fan-out hop.
+for frag in 'bench/probe @bench' 'cluster/write' "@$A9" "@$A10"; do
+    if ! printf '%s\n' "$OUT" | grep -qF "$frag"; then
+        echo "transport smoke: assembled trace missing \"$frag\":" >&2
+        printf '%s\n' "$OUT" >&2
+        exit 1
+    fi
+done
+# Every layer's phase annotations made it into the assembly: queue/exec
+# from the servers, replicate from the write fan-out.
+for phase in 'queue ' 'exec ' 'replicate '; do
+    if ! printf '%s\n' "$OUT" | grep -q "$phase"; then
+        echo "transport smoke: assembled trace lost the \"$phase\" phase" >&2
+        printf '%s\n' "$OUT" >&2
+        exit 1
+    fi
+done
+if ! printf '%s\n' "$OUT" | grep -q 'critical path ('; then
+    echo "transport smoke: no critical path in the trace report" >&2
+    exit 1
+fi
+# Machine record: the probe assembled with no holes (every referenced
+# parent was collected — the parentage chain is intact) and its critical
+# path descends into a server-side hop.
+if ! grep -q '"missingHops": 0' "$BIN/phase5.json"; then
+    echo "transport smoke: trace assembled with missing hops" >&2
+    grep -o '"trace": {[^}]*' "$BIN/phase5.json" >&2 || true
+    exit 1
+fi
+if ! grep -q '"server/' "$BIN/phase5.json"; then
+    echo "transport smoke: critical path never reached a server hop" >&2
+    exit 1
+fi
+
+kill -TERM "$P1" "$P2"
+E1=0
+E2=0
+wait "$P1" || E1=$?
+wait "$P2" || E2=$?
+P1=""
+P2=""
+if [ "$E1" -ne 0 ] || [ "$E2" -ne 0 ]; then
+    echo "transport smoke: tracing servers exited $E1/$E2, want 0/0" >&2
+    exit 1
+fi
+echo "transport smoke: OK (cross-process trace assembled with phase breakdown)"
