@@ -18,6 +18,8 @@
 //	bdbench -net -chaos -addr 127.0.0.1:7421,127.0.0.1:7422 -replication 2 -dur 3s
 //	bdbench -net -addr 127.0.0.1:7421,127.0.0.1:7422 -replication 2 -trace
 //	bdbench -net -addr 127.0.0.1:7421 -slo 5ms:0.999 -json -
+//	bdbench -net -addr 127.0.0.1:7421,127.0.0.1:7422 -elastic -dur 5s
+//	bdbench -net -resize -dur 8s -json -
 //	bdbench -analytics wordcount -nodes 4
 //	bdbench -analytics wordcount -local
 //	bdbench -analytics pagerank -addr 127.0.0.1:7421,127.0.0.1:7422 -graphbits 12
@@ -72,6 +74,8 @@ func main() {
 		chaos    = flag.Bool("chaos", false, "failure-aware -net: tolerate dying members; without -addr, self-host two shard servers and kill/restart them")
 		killEv   = flag.Duration("killevery", 500*time.Millisecond, "period between chaos kills (self-hosted -chaos)")
 		downFor  = flag.Duration("downfor", 300*time.Millisecond, "how long a chaos-killed server stays down")
+		elastOn  = flag.Bool("elastic", false, "with -net: treat -addr as gossip seeds and join the epoch-versioned elastic cluster instead of wiring a static ring")
+		resizeOn = flag.Bool("resize", false, "self-host an elastic cluster and resize it mid-run (join a member, retire another), reporting throughput/latency before, during and after the migrations")
 
 		analyticsJob = flag.String("analytics", "", "run a distributed analytics job: wordcount, grep, sort, pagerank or kmeans")
 		anLocal      = flag.Bool("local", false, "with -analytics: run the in-process reference engine instead of the cluster")
@@ -118,13 +122,14 @@ func main() {
 		}))
 	}
 
-	if *listen != "" || *netMode {
+	if *listen != "" || *netMode || *resizeOn {
 		cfg := netConfig{
 			addrs: *addrs, listen: *listen, shards: *shards, repl: max(*repl, 1),
 			clients: *clients, conns: *netConns, ops: *netOps, batch: *netBatch,
 			rows: *netRows, seed: *seed, jsonPath: *jsonPath, traceEvery: *traceEv,
 			trace: *traceRun, slo: *sloSpec,
 			chaos: *chaos, killEvery: *killEv, downFor: *downFor, dur: *netDur,
+			elastic: *elastOn, resize: *resizeOn,
 			engine: engine.Options{
 				Backend: *engName, Compaction: *compact,
 				BlockCacheBytes: *bcache, MemtableBytes: 1 << 20,
@@ -141,6 +146,9 @@ func main() {
 		}
 		if *listen != "" {
 			exit(runListen(cfg))
+		}
+		if cfg.resize {
+			exit(runResize(cfg))
 		}
 		exit(runNet(cfg))
 	}

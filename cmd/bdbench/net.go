@@ -53,6 +53,130 @@ type netConfig struct {
 	killEvery time.Duration // period between kills (self-hosted chaos)
 	downFor   time.Duration // how long a killed server stays down
 	dur       time.Duration // run for a wall-clock duration instead of -ops
+
+	// elastic joins the -addr servers as gossip seeds — the coordinator
+	// is a RouteOnly member of the epoch-versioned cluster, discovers the
+	// rest of the ring by anti-entropy, and follows view changes (joins,
+	// leaves, crashes) live instead of being wired to a static ring.
+	elastic bool
+
+	// resize self-hosts an elastic cluster and resizes it mid-run: a
+	// member joins at one quarter of the run, another retires at half,
+	// and the report breaks throughput/latency into the four windows.
+	resize bool
+}
+
+// peerSet tracks the coordinator's per-server clients for the jobs the
+// cluster layer doesn't do itself: one-time per-peer metrics
+// registration, fanning a view change's epoch out to every connection's
+// frame stamp, and the span-fetch targets for -trace. A dialed client
+// is never evicted: the cluster decides which connection to an address
+// it keeps (Join's seed exchanges and ensureMembers' canonical dials
+// can interleave), so epoch restamps go to every client ever handed
+// out — a closed one absorbs the store harmlessly, while guessing
+// "latest wins" would strand the one the cluster actually uses on a
+// stale stamp and bounce every request it routes.
+type peerSet struct {
+	mu     sync.Mutex
+	reg    *obs.Registry
+	epoch  uint64
+	byAddr map[string][]*transport.RemoteNode
+}
+
+func newPeerSet() *peerSet {
+	return &peerSet{byAddr: map[string][]*transport.RemoteNode{}}
+}
+
+func (p *peerSet) add(addr string, rn *transport.RemoteNode) {
+	p.mu.Lock()
+	prior := p.byAddr[addr]
+	p.byAddr[addr] = append(prior, rn)
+	rn.SetEpoch(p.epoch)
+	if p.reg != nil && len(prior) == 0 {
+		rn.RegisterMetrics(p.reg, obs.Labels{"peer": addr})
+	}
+	p.mu.Unlock()
+}
+
+// register exports one connection's counters per address — the newest,
+// which post-Join is the one the cluster kept — and turns on
+// registration for future adds (members discovered mid-run).
+func (p *peerSet) register(reg *obs.Registry) {
+	p.mu.Lock()
+	p.reg = reg
+	for addr, rns := range p.byAddr {
+		rns[len(rns)-1].RegisterMetrics(reg, obs.Labels{"peer": addr})
+	}
+	p.mu.Unlock()
+}
+
+// setEpoch restamps every connection after a view change so the next
+// frame each one sends carries the epoch the servers expect.
+func (p *peerSet) setEpoch(e uint64) {
+	p.mu.Lock()
+	p.epoch = e
+	for _, rns := range p.byAddr {
+		for _, rn := range rns {
+			rn.SetEpoch(e)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// peers returns one client per address (the newest) for the -trace
+// span fetch.
+func (p *peerSet) peers() []*transport.RemoteNode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*transport.RemoteNode, 0, len(p.byAddr))
+	for _, rns := range p.byAddr {
+		out = append(out, rns[len(rns)-1])
+	}
+	return out
+}
+
+// elasticDialer is the RouteOnly coordinator's cluster.Config.Dial.
+// Each member connection adopts view bounces (a RespView reply feeds
+// AdoptEncodedView, then the op retries on the fresh view) and is
+// stamped with the current epoch so its data frames pass the servers'
+// epoch fence. coord is a pointer-to-pointer because the dialer must be
+// in the Config before cluster.New returns the coordinator it closes
+// over; no dial happens until Join, by which point it is set.
+func elasticDialer(coord **cluster.Cluster, ps *peerSet, base transport.ClientOptions) func(string) (cluster.Remote, error) {
+	return func(addr string) (cluster.Remote, error) {
+		opts := base
+		opts.OnView = func(view []byte) {
+			if c := *coord; c != nil {
+				c.AdoptEncodedView(view)
+			}
+		}
+		rn, err := transport.Connect(addr, opts)
+		if err != nil {
+			return nil, err
+		}
+		if c := *coord; c != nil {
+			rn.SetEpoch(c.ViewEpoch())
+		}
+		ps.add(addr, rn)
+		return rn, nil
+	}
+}
+
+// newElasticCoordinator builds a RouteOnly cluster member, joins it to
+// the seed servers by gossip, and returns it with the peer set its
+// dialer feeds. The caller owns Close.
+func newElasticCoordinator(coordCfg cluster.Config, clientOpts transport.ClientOptions, seeds []string) (*cluster.Cluster, *peerSet, error) {
+	ps := newPeerSet()
+	var coord *cluster.Cluster
+	coordCfg.RouteOnly = true
+	coordCfg.Dial = elasticDialer(&coord, ps, clientOpts)
+	coordCfg.OnViewChange = func(v *cluster.ClusterView) { ps.setEpoch(v.Epoch) }
+	coord = cluster.New(coordCfg)
+	if err := coord.Join(seeds...); err != nil {
+		coord.Close()
+		return nil, nil, err
+	}
+	return coord, ps, nil
 }
 
 // runListen hosts shard nodes for remote coordinators — bdserve embedded
@@ -158,6 +282,11 @@ func runNet(cfg netConfig) int {
 		}
 	}
 
+	if cfg.elastic && len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "bdbench: -elastic needs -addr gossip seeds (self-hosted -chaos members are static; -resize self-hosts an elastic cluster)")
+		return 2
+	}
+
 	var chaosServers []*chaosServer
 	if cfg.chaos && len(addrs) == 0 {
 		// Self-hosted chaos: two shard servers in-process, so one binary
@@ -206,31 +335,45 @@ func runNet(cfg netConfig) int {
 		clientOpts.DialTimeout = 100 * time.Millisecond
 		clientOpts.PingTimeout = 100 * time.Millisecond
 	}
-	coord := cluster.NewEmpty(coordCfg)
+	// Static mode wires every -addr server into the ring by hand; elastic
+	// mode hands the same addresses to Join as gossip seeds and lets the
+	// coordinator discover the ring (and every later change to it) by
+	// anti-entropy.
+	var coord *cluster.Cluster
+	var ps *peerSet
+	if cfg.elastic {
+		var err error
+		if coord, ps, err = newElasticCoordinator(coordCfg, clientOpts, addrs); err != nil {
+			fmt.Fprintf(os.Stderr, "bdbench: join %s: %v\n", cfg.addrs, err)
+			return 1
+		}
+	} else {
+		coord = cluster.NewEmpty(coordCfg)
+		ps = newPeerSet()
+		for _, addr := range addrs {
+			rn, err := transport.Connect(addr, clientOpts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bdbench: connect %s: %v\n", addr, err)
+				return 1
+			}
+			if _, _, err := coord.AddRemote(rn); err != nil {
+				fmt.Fprintf(os.Stderr, "bdbench: join %s: %v\n", addr, err)
+				return 1
+			}
+			ps.add(addr, rn)
+		}
+	}
 	defer coord.Close()
 	// The run's own client-side observability: the coordinator's health
 	// and failover counters plus each peer connection's retry/redial
 	// counters, snapshotted around the timed phase so the JSON record
-	// reports exactly what the measured load did (obs.Delta).
+	// reports exactly what the measured load did (obs.Delta). The
+	// frame-pool hit/miss counters are the client side of the §12 pooled
+	// hot path, so a pool-efficiency regression shows in the run record.
 	reg := obs.NewRegistry()
 	coord.RegisterMetrics(reg)
-	// Frame-pool hit/miss counters: the client side of the §12 pooled
-	// hot path, so a pool-efficiency regression shows in the run record.
 	transport.RegisterPoolMetrics(reg)
-	var peers []*transport.RemoteNode // retained for the -trace span fetch
-	for _, addr := range addrs {
-		rn, err := transport.Connect(addr, clientOpts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bdbench: connect %s: %v\n", addr, err)
-			return 1
-		}
-		rn.RegisterMetrics(reg, obs.Labels{"peer": addr})
-		if _, _, err := coord.AddRemote(rn); err != nil {
-			fmt.Fprintf(os.Stderr, "bdbench: join %s: %v\n", addr, err)
-			return 1
-		}
-		peers = append(peers, rn)
-	}
+	ps.register(reg)
 	if coord.Nodes() == 0 {
 		fmt.Fprintln(os.Stderr, "bdbench: -net needs at least one -addr shard server (or -chaos)")
 		return 2
@@ -424,7 +567,7 @@ func runNet(cfg netConfig) int {
 	}
 	var traceRec *traceReport
 	if cfg.trace {
-		tr, err := runTraceProbe(coord, benchSpans, peers, cfg.chaos)
+		tr, err := runTraceProbe(coord, benchSpans, ps.peers(), cfg.chaos)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bdbench:", err)
 			return 1

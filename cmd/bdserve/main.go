@@ -13,6 +13,15 @@
 //	bdserve -addr :7421 -inflight 512 -queue 256
 //	bdserve -addr :7421 -livez 127.0.0.1:7431 -pprof -slowreq 50ms
 //	bdserve -addr :7421 -taskslots 4 -advertise 10.0.0.3:7421
+//	bdserve -addr :7422 -join 127.0.0.1:7421        (elastic: live-join a running cluster)
+//	bdserve -addr :7421 -elastic -replication 2     (elastic: first node, seeds the view)
+//
+// Elastic mode (-elastic, or implied by -join) hosts exactly one shard
+// whose ring identity derives from the advertised address. Membership is
+// an epoch-versioned view disseminated by gossip on the health-probe
+// sweep: nodes join live (-join seeds), leave gracefully on
+// SIGINT/SIGTERM (keyranges migrate out first, throttled to
+// -migraterate), and crashed peers are declared dead and healed around.
 //
 // Liveness is exposed twice: on the wire (the OpPing frame, answered
 // even under full admission — coordinators probe it to drive failover),
@@ -51,6 +60,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analytics"
@@ -82,8 +92,20 @@ func main() {
 		taskSlots = flag.Int("taskslots", 0, "concurrent analytics tasks (0 = executor default)")
 		advertise = flag.String("advertise", "", "address peers fetch shuffle data from (default: the resolved listen address)")
 		quiet     = flag.Bool("quiet", false, "suppress the startup and shutdown banners")
+
+		elasticOn = flag.Bool("elastic", false, "host one elastic membership node (epoch-versioned view, live join/leave); implied by -join")
+		joinSeeds = flag.String("join", "", "comma-separated seed addresses to join an elastic cluster through")
+		migRate   = flag.Int("migraterate", 0, "online-migration throttle in bytes/s (0 = cluster default, negative disables)")
+		probeIvl  = flag.Duration("probe", 0, "health-probe and gossip sweep period (0 = cluster default)")
+		leaveOn   = flag.Bool("leave", true, "leave the cluster gracefully on SIGINT/SIGTERM, migrating data out first (elastic mode)")
+		leaveWait = flag.Duration("leavetimeout", 30*time.Second, "bound on the graceful-leave drain")
 	)
 	flag.Parse()
+	elastic := *elasticOn || *joinSeeds != ""
+	if elastic && *shards != 1 {
+		fmt.Fprintln(os.Stderr, "bdserve: -elastic hosts exactly one shard per process; drop -shards")
+		os.Exit(2)
+	}
 	if *pprofOn && *livez == "" {
 		fmt.Fprintln(os.Stderr, "bdserve: -pprof needs -livez (the profiling handlers live on that mux)")
 		os.Exit(2)
@@ -116,17 +138,11 @@ func main() {
 		ringCap = 256
 	}
 	spans := obs.NewSpanLog(ringCap)
-	cl := cluster.New(cluster.Config{
-		Shards:         *shards,
-		Replication:    *repl,
-		QueueDepth:     *queue,
-		WorkersPerNode: *workers,
-		Engine:         engOpts,
-		Spans:          spans,
-	})
 	// Bind both listeners before serving anything: a bad -livez address
 	// must fail the process at startup, not log from a goroutine after
-	// the daemon already reported itself healthy on the wire.
+	// the daemon already reported itself healthy on the wire. The data
+	// listener binds before the cluster exists because an elastic node's
+	// ring identity is its resolved advertised address.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bdserve:", err)
@@ -135,6 +151,46 @@ func main() {
 	// Spans fetched from this process name their hop after the resolved
 	// listen address (only known once the listener is bound).
 	spans.SetNode(ln.Addr().String())
+	// clPtr hands the cluster to the Dial callback, which outlives this
+	// scope and may fire (view bounces) before cl is assigned.
+	var clPtr atomic.Pointer[cluster.Cluster]
+	clCfg := cluster.Config{
+		Shards:         *shards,
+		Replication:    *repl,
+		QueueDepth:     *queue,
+		WorkersPerNode: *workers,
+		ProbeInterval:  *probeIvl,
+		Engine:         engOpts,
+		Spans:          spans,
+	}
+	if elastic {
+		selfAddr := *advertise
+		if selfAddr == "" {
+			selfAddr = ln.Addr().String()
+		}
+		clCfg.SelfAddr = selfAddr
+		clCfg.MigrateRate = *migRate
+		clCfg.Dial = func(peer string) (cluster.Remote, error) {
+			return transport.Connect(peer, transport.ClientOptions{
+				// A dead peer must fail a probe in well under a sweep,
+				// not after the default multi-second dial-retry window:
+				// the declare-dead clock counts sweeps, so slow failures
+				// would stretch detection by their own timeout.
+				Timeout:     2 * time.Second,
+				DialTimeout: 250 * time.Millisecond,
+				PingTimeout: 250 * time.Millisecond,
+				// Adopt the view a peer bounces a stale-epoch forward
+				// with, so convergence does not wait on a probe round.
+				OnView: func(view []byte) {
+					if cl := clPtr.Load(); cl != nil {
+						_ = cl.AdoptEncodedView(view)
+					}
+				},
+			})
+		}
+	}
+	cl := cluster.New(clCfg)
+	clPtr.Store(cl)
 	var livezLn net.Listener
 	if *livez != "" {
 		livezLn, err = net.Listen("tcp", *livez)
@@ -168,7 +224,20 @@ func main() {
 	if ex != nil {
 		ex.RegisterMetrics(reg)
 	}
-	srv, err := transport.ServeListenerUntilSignal(ln, cl, srvOpts,
+	var onSignal func()
+	if elastic && *leaveOn {
+		onSignal = func() {
+			// Leave before the server drains: peers pull our keyranges and
+			// read our fallbacks through this still-live server.
+			if !*quiet {
+				fmt.Printf("bdserve: leaving cluster (epoch %d)\n", cl.ViewEpoch())
+			}
+			if err := cl.Leave(*leaveWait); err != nil {
+				fmt.Fprintln(os.Stderr, "bdserve: leave:", err)
+			}
+		}
+	}
+	srv, err := transport.ServeListenerUntilSignalHook(ln, cl, srvOpts,
 		func(s *transport.Server) {
 			s.RegisterMetrics(reg)
 			var slo *obs.SLO
@@ -185,11 +254,20 @@ func main() {
 			if livezLn != nil {
 				go serveLivez(livezLn, s, cl, reg, slo, *pprofOn)
 			}
-			if !*quiet {
-				fmt.Printf("bdserve: listening on %s (%d shards, R=%d, executor %v)\n",
-					s.Addr(), *shards, *repl, *execOn)
+			if seeds := splitSeeds(*joinSeeds); len(seeds) > 0 {
+				// Join after the server is up so the seeds can dial back.
+				go joinCluster(cl, seeds, *quiet)
 			}
-		})
+			if !*quiet {
+				if elastic {
+					fmt.Printf("bdserve: listening on %s (elastic member, R=%d, epoch %d, executor %v)\n",
+						s.Addr(), *repl, cl.ViewEpoch(), *execOn)
+				} else {
+					fmt.Printf("bdserve: listening on %s (%d shards, R=%d, executor %v)\n",
+						s.Addr(), *shards, *repl, *execOn)
+				}
+			}
+		}, onSignal)
 	if err != nil && srv == nil {
 		fmt.Fprintln(os.Stderr, "bdserve:", err)
 		os.Exit(1)
@@ -206,6 +284,39 @@ func main() {
 		fmt.Printf("bdserve: drained; served %d requests (%d shed), %d ops across %d nodes\n",
 			srv.Served(), srv.Shed(), st.Ops, len(st.Nodes))
 	}
+}
+
+// splitSeeds parses the -join flag's comma-separated address list.
+func splitSeeds(spec string) []string {
+	var seeds []string
+	for _, s := range strings.Split(spec, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seeds = append(seeds, s)
+		}
+	}
+	return seeds
+}
+
+// joinCluster runs the join exchange against the seed list, retrying
+// with backoff so a fleet can start in any order. A node that never
+// reaches a seed keeps serving as its own one-member cluster — the
+// seeds will also find it if any of them learns its address.
+func joinCluster(cl *cluster.Cluster, seeds []string, quiet bool) {
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < 8; attempt++ {
+		err := cl.Join(seeds...)
+		if err == nil {
+			if !quiet {
+				fmt.Printf("bdserve: joined via %s (epoch %d)\n", strings.Join(seeds, ","), cl.ViewEpoch())
+			}
+			return
+		}
+		time.Sleep(backoff)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bdserve: join: no seed reachable after retries (%s)\n", strings.Join(seeds, ","))
 }
 
 // statzSnapshot is the /statz response shape: the server's wire-level

@@ -28,6 +28,13 @@ var (
 	// result may be missing entries and a short result no longer means
 	// an exhausted range. The partial merge is returned alongside it.
 	ErrScanIncomplete = errors.New("cluster: scan incomplete, keyrange coverage lost")
+	// ErrWrongEpoch reports a request routed under a stale membership
+	// view: the receiving member's epoch disagrees with the one stamped
+	// on the request. The fresh view travels back alongside it (the
+	// transport client delivers it to its OnView hook), so the caller
+	// re-routes and retries instead of reading or writing through an
+	// ownership map that no longer holds.
+	ErrWrongEpoch = errors.New("cluster: request carried a stale view epoch")
 )
 
 // OpKind selects the operation a batched Op performs.
@@ -197,14 +204,14 @@ func (c *Cluster) planInto(st *applyState, ops []Op, results []OpResult) error {
 		// op whose primary is down pay the full owner lookup.
 		var lead int
 		var reps []mirror
-		needOwners := op.Kind != OpGet && c.cfg.Replication > 1
-		if primary := c.ring.Primary(op.Key); !needOwners && !c.nodes[primary].isDown() {
+		needOwners := op.Kind != OpGet && c.cfg.Replication > 1 && !c.cfg.RouteOnly
+		if primary := c.ring.Primary(op.Key); !needOwners && c.nodes[primary] != nil && !c.nodes[primary].isDown() {
 			lead = primary
 		} else {
 			owners := c.ring.Owners(op.Key, c.cfg.Replication)
 			lead = -1
 			for _, id := range owners {
-				if !c.nodes[id].isDown() {
+				if m := c.nodes[id]; m != nil && !m.isDown() {
 					lead = id
 					break
 				}
@@ -222,10 +229,12 @@ func (c *Cluster) planInto(st *applyState, ops []Op, results []OpResult) error {
 					Err: fmt.Sprintf("primary %d down, write led by member %d", owners[0], lead),
 				})
 			}
-			if op.Kind != OpGet {
+			// Route-only coordinators never mirror — the lead member
+			// replicates server-side under its own (authoritative) view.
+			if op.Kind != OpGet && !c.cfg.RouteOnly {
 				start := len(st.mirrors)
 				for _, id := range owners {
-					if id != lead {
+					if id != lead && c.nodes[id] != nil {
 						st.mirrors = append(st.mirrors, c.nodes[id])
 					}
 				}

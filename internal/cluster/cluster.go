@@ -57,6 +57,32 @@ type Config struct {
 	// every hop the process recorded. Nil disables cluster-layer spans;
 	// untraced ops never touch the log either way.
 	Spans *obs.SpanLog
+
+	// SelfAddr, when non-empty, makes this cluster one elastic member: a
+	// single local shard whose ring id derives from the advertised
+	// address (MemberIDForAddr), participating in the epoch-versioned
+	// membership protocol — gossip dissemination, live join/leave, and
+	// throttled online migration. Elastic members ignore Shards.
+	SelfAddr string
+	// RouteOnly makes an elastic cluster a pure view-adopting router: it
+	// holds no shard, publishes no membership row, and never mirrors
+	// client-side (elastic members replicate server-side from the view's
+	// R). Coordinators embedded in benchmark drivers use this.
+	RouteOnly bool
+	// Dial connects to a peer discovered through the view (by advertised
+	// address). Required for elastic clusters; unused otherwise.
+	Dial func(addr string) (Remote, error)
+	// MigrateRate bounds background migration throughput in bytes/s
+	// (default 8 MiB/s; negative disables the throttle).
+	MigrateRate int
+	// DeclareDeadAfter is how many consecutive probe sweeps a member
+	// stays down before the lowest-id live member declares it Left and
+	// the cluster heals around the loss (default 10 sweeps).
+	DeclareDeadAfter int
+	// OnViewChange, when non-nil, is called (outside all cluster locks)
+	// each time a new membership view commits. Edge-facing layers use it
+	// to restamp client epochs.
+	OnViewChange func(*ClusterView)
 }
 
 func (c *Config) normalize() {
@@ -91,6 +117,12 @@ func (c *Config) normalize() {
 	if c.HintLimit <= 0 {
 		c.HintLimit = 4096
 	}
+	if c.MigrateRate == 0 {
+		c.MigrateRate = 8 << 20
+	}
+	if c.DeclareDeadAfter <= 0 {
+		c.DeclareDeadAfter = 10
+	}
 }
 
 // Cluster is the coordinator: it owns the ring and the shard members,
@@ -102,7 +134,7 @@ func (c *Config) normalize() {
 // reads and writes route around down members onto surviving replicas,
 // and missed replica writes buffer as hinted handoff until recovery.
 type Cluster struct {
-	mu     sync.RWMutex // topology lock: ring + member map
+	mu     sync.RWMutex // topology lock: ring + member map + view
 	cfg    Config
 	ring   *Ring
 	nodes  map[int]*memberState
@@ -111,7 +143,51 @@ type Cluster struct {
 	// spans is cfg.Spans, cached for the hot paths (nil = no tracing).
 	spans *obs.SpanLog
 
+	// view is the current membership view; ring is always view.Ring()
+	// (elastic) or an equivalent hand-maintained ring (legacy AddNode /
+	// RemoveNode paths, which rebuild the view after each mutation).
+	// lastSettled is the most recent view every live member finished
+	// migrating for — the ownership map acknowledged writes are guaranteed
+	// to have reached, which reads consult while an epoch is in flight.
+	view        *ClusterView
+	lastSettled *ClusterView
+	// epoch mirrors view.Epoch for lock-free per-request checks (the
+	// transport server rejects stale-epoch requests before admission).
+	epoch atomic.Uint64
+	// encView caches view.Encode() at commit, so the transport read loop
+	// can bounce a stale-epoch request without touching mu: a pending
+	// view-adopt writer would otherwise park the read loop in the fence,
+	// and a parked read loop answers nothing — including the bounces
+	// other members' in-flight requests are waiting on, which is a
+	// cross-member deadlock during the very membership changes the fence
+	// exists for. Committed views are immutable, so one encode per commit
+	// serves every bounce of that epoch.
+	encView atomic.Pointer[[]byte]
+
+	// selfID is this process's member id on the elastic ring, or -1 for
+	// legacy clusters and route-only coordinators. selfInc is the
+	// incarnation high-water of our own published membership row.
+	selfID  int
+	selfInc uint64
+	leaving atomic.Bool
+
+	// Migrator plumbing (elastic members only): commitViewLocked starts
+	// the loop on the first unsettled view and kicks it on every commit.
+	migStop chan struct{}
+	migKick chan struct{}
+	migDone chan struct{}
+	// dropsDone is the highest epoch whose post-settle drop pass (deleting
+	// keyranges this member no longer owns) has completed. Guarded by mu.
+	dropsDone uint64
+
 	proberStop chan struct{} // non-nil once the background prober runs
+
+	// dialing single-flights ensureMembers' outside-the-lock dials: the
+	// probe sweep and a concurrent adopt both see an undialed member, and
+	// without this guard both would connect — addViewMember discards the
+	// loser, stranding anyone (like a bench's peer tracker) who adopted
+	// it as the member's canonical connection. Guarded by mu.
+	dialing map[int]struct{}
 
 	// Failover counters: requests the coordinator served around a failed
 	// or down primary (writes led by a non-primary owner, reads answered
@@ -119,15 +195,28 @@ type Cluster struct {
 	// RegisterMetrics as bd_cluster_failovers_total.
 	readFailovers  atomic.Uint64
 	writeFailovers atomic.Uint64
+
+	// Membership/migration counters (RegisterMetrics surfaces these).
+	viewChanges  atomic.Uint64
+	gossipRounds atomic.Uint64
+	migBytes     atomic.Uint64
+	migKeys      atomic.Uint64
+	migDropped   atomic.Uint64
 }
 
-// New builds and starts a cluster of cfg.Shards local nodes.
+// New builds and starts a cluster of cfg.Shards local nodes, or — when
+// cfg.SelfAddr or cfg.RouteOnly is set — one elastic membership
+// participant (see Config.SelfAddr).
 func New(cfg Config) *Cluster {
 	cfg.normalize()
-	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}, spans: cfg.Spans}
+	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}, spans: cfg.Spans, selfID: -1}
+	if cfg.SelfAddr != "" || cfg.RouteOnly {
+		return c.initElastic()
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		c.addNodeLocked()
 	}
+	c.rebuildStaticViewLocked()
 	return c
 }
 
@@ -137,7 +226,99 @@ func New(cfg Config) *Cluster {
 // first member joins, reads miss and batches return ErrNoNodes.
 func NewEmpty(cfg Config) *Cluster {
 	cfg.normalize()
-	return &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}, spans: cfg.Spans}
+	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}, spans: cfg.Spans, selfID: -1}
+	c.rebuildStaticViewLocked()
+	return c
+}
+
+// initElastic finishes constructing an elastic cluster: a single local
+// shard keyed by the advertised address (members), or no shard at all
+// (route-only coordinators), plus the initial one-row view.
+func (c *Cluster) initElastic() *Cluster {
+	if c.cfg.Dial == nil {
+		panic("cluster: elastic configuration requires Config.Dial")
+	}
+	var rows []MemberInfo
+	epoch := uint64(0) // route-only: adopt whatever the seeds hold
+	if !c.cfg.RouteOnly {
+		c.selfID = MemberIDForAddr(c.cfg.SelfAddr)
+		c.selfInc = 1
+		epoch = 1
+		eng, err := engine.Open(c.cfg.Engine)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: bad engine config: %v", err))
+		}
+		n := newNode(c.selfID, eng, c.cfg.QueueDepth, c.cfg.WorkersPerNode, c.cfg.MaxBatch)
+		n.spans = c.spans
+		n.start()
+		ms := newMemberState(n, c.cfg.ProbeFailures, c.cfg.HintLimit)
+		ms.spans = c.spans
+		ms.addr = c.cfg.SelfAddr
+		c.nodes[c.selfID] = ms
+		rows = append(rows, MemberInfo{
+			ID: c.selfID, Addr: c.cfg.SelfAddr,
+			Status: StatusAlive, Incarnation: 1, Settled: 1,
+		})
+	}
+	v := newView(epoch, c.cfg.Replication, c.cfg.VirtualNodes, rows)
+	c.view, c.lastSettled, c.ring = v, v, v.Ring()
+	c.epoch.Store(v.Epoch)
+	enc := v.Encode()
+	c.encView.Store(&enc)
+	c.startProberLocked() // gossip rides the probe sweep
+	return c
+}
+
+// rebuildStaticViewLocked derives a fully settled view from the current
+// hand-maintained ring — the legacy (non-elastic) topology paths call it
+// after every mutation so epochs still version ownership changes and
+// scans can detect a ring swap mid-scatter. Caller holds mu (or is the
+// constructor).
+func (c *Cluster) rebuildStaticViewLocked() {
+	var epoch uint64
+	if c.view != nil {
+		epoch = c.view.Epoch
+	}
+	if c.ring.Size() > 0 || c.view != nil {
+		epoch++
+	}
+	rows := make([]MemberInfo, 0, len(c.nodes))
+	for id, m := range c.nodes {
+		if !c.ring.Contains(id) {
+			continue // mid-removal member kept alive by a failed migration
+		}
+		rows = append(rows, MemberInfo{
+			ID: id, Addr: m.addr,
+			Status: StatusAlive, Incarnation: 1, Settled: epoch,
+		})
+	}
+	v := newView(epoch, c.cfg.Replication, c.cfg.VirtualNodes, rows)
+	c.view, c.lastSettled = v, v
+	c.epoch.Store(v.Epoch)
+	enc := v.Encode()
+	c.encView.Store(&enc)
+	// c.ring keeps its hand-maintained identity (RemoveNode's failure
+	// bookkeeping depends on it); membership is identical to v.Ring().
+}
+
+// elastic reports whether this cluster participates in epoch-versioned
+// membership (as a member or a route-only coordinator).
+func (c *Cluster) elastic() bool {
+	return c.cfg.SelfAddr != "" || c.cfg.RouteOnly
+}
+
+// localNodeLocked returns this member's local shard, or nil for legacy
+// clusters and route-only coordinators. Caller holds mu.
+func (c *Cluster) localNodeLocked() *Node {
+	if c.selfID < 0 {
+		return nil
+	}
+	ms := c.nodes[c.selfID]
+	if ms == nil {
+		return nil
+	}
+	n, _ := ms.member.(*Node)
+	return n
 }
 
 // addNodeLocked creates, starts and registers one node. Caller holds mu.
@@ -169,7 +350,9 @@ func (c *Cluster) Nodes() int {
 }
 
 // owners resolves the replica set for key under the topology read lock
-// already held by the caller.
+// already held by the caller. Entries may be nil on elastic clusters: a
+// view member this process has learned of but not yet dialed routes like
+// a down member until ensureMembers connects it.
 func (c *Cluster) ownersLocked(key []byte) []*memberState {
 	ids := c.ring.Owners(key, c.cfg.Replication)
 	out := make([]*memberState, len(ids))
@@ -193,21 +376,32 @@ func (c *Cluster) ownersLocked(key []byte) []*memberState {
 // is down reads as a miss here; callers that must distinguish an outage
 // from an absent key use Apply (OpGet), which fails such batches with
 // ErrAllOwnersDown.
+// Lock discipline: Get (like every data-path method) never holds the
+// topology lock across a remote call. A reader parked mid-RPC queues
+// writers (view adoption), and Go's RWMutex then parks every new reader
+// behind them — with two members each reading-while-calling the other,
+// that welds a cross-process lock cycle only broken by client timeouts.
+// Instead each step snapshots what it needs under a short RLock and
+// calls with the lock released; memberState pointers stay valid after a
+// view change (a departed member's calls just fail and fall through).
 func (c *Cluster) Get(key []byte) ([]byte, bool) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	id := c.ring.Primary(key)
 	if id < 0 {
+		c.mu.RUnlock()
 		return nil, false
 	}
 	// Fast path: a live primary that holds the key — one member touch on
 	// the allocation-free Primary lookup.
-	if m := c.nodes[id]; !m.isDown() {
+	settled := c.view == nil || c.view.AllSettled()
+	m := c.nodes[id]
+	c.mu.RUnlock()
+	if m != nil && !m.isDown() {
 		v, ok, err := m.directGet(key)
 		if err == nil && ok {
 			return v, true
 		}
-		if err == nil && (c.cfg.Replication == 1 || !m.everDown.Load()) {
+		if err == nil && settled && (c.cfg.Replication == 1 || !m.everDown.Load()) {
 			return nil, false // a reliable owner answered: a genuine miss
 		}
 		if err != nil {
@@ -219,9 +413,20 @@ func (c *Cluster) Get(key []byte) ([]byte, bool) {
 	// Degraded path: the primary is down, failed the read, or missed
 	// with a post-recovery history that makes its misses ambiguous —
 	// consult the rest of the owner set before answering "absent".
-	for i, m := range c.ownersLocked(key) {
-		if i == 0 || m.isDown() {
-			continue // the primary was already consulted (or is down)
+	c.mu.RLock()
+	owners := c.ownersLocked(key)
+	// Migration in flight: the key may still live only at its owners
+	// under the last fully settled view (the new owner's copy has not
+	// landed yet), so consult them too before answering "absent".
+	if !settled && c.lastSettled != nil {
+		for _, id := range c.lastSettled.Ring().Owners(key, c.cfg.Replication) {
+			owners = append(owners, c.nodes[id])
+		}
+	}
+	c.mu.RUnlock()
+	for i, m := range owners {
+		if i == 0 || m == nil || m.isDown() {
+			continue // the primary was already consulted (or is down/undialed)
 		}
 		if v, ok, err := m.directGet(key); err == nil && ok {
 			return v, true
@@ -245,14 +450,14 @@ func (c *Cluster) Delete(key []byte) error {
 
 func (c *Cluster) write(op Op) error {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	owners := c.ownersLocked(op.Key)
+	c.mu.RUnlock()
 	if len(owners) == 0 {
 		return ErrNoNodes
 	}
 	lead := -1
 	for i, m := range owners {
-		if !m.isDown() {
+		if m != nil && !m.isDown() {
 			lead = i
 			break
 		}
@@ -266,11 +471,16 @@ func (c *Cluster) write(op Op) error {
 	// Replica mirrors are not counted in NodeStats.Ops (matching the
 	// batched path); they surface in the replica's engine stats instead.
 	// Down owners ride along as mirrors too: their memberState buffers
-	// the write as a hint instead of paying a doomed RPC.
-	replicas := make([]mirror, 0, len(owners)-1)
-	for i, m := range owners {
-		if i != lead {
-			replicas = append(replicas, m)
+	// the write as a hint instead of paying a doomed RPC. Route-only
+	// coordinators never mirror: the lead member replicates server-side
+	// under its own (authoritative) view.
+	var replicas []mirror
+	if !c.cfg.RouteOnly {
+		replicas = make([]mirror, 0, len(owners)-1)
+		for i, m := range owners {
+			if i != lead && m != nil {
+				replicas = append(replicas, m)
+			}
 		}
 	}
 	_, err := owners[lead].directWrite(op, replicas)
@@ -330,16 +540,23 @@ func (c *Cluster) applyInto(ops []Op, results []OpResult, enqueue func(member, *
 		return true, nil
 	}
 	clear(results[:len(ops)])
+	// Plan under a short topology read lock, then execute with it
+	// released: sub-batch RPCs and queue waits must not pin the lock (see
+	// Get's lock-discipline comment — a reader parked across the network
+	// starves view adoption and cycles with peers doing the same).
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	if c.closed {
+		c.mu.RUnlock()
 		return false, ErrClosed
 	}
 	st := applyPool.Get().(*applyState)
 	if err := c.planInto(st, ops, results); err != nil {
 		st.release()
+		c.mu.RUnlock()
 		return false, err
 	}
+	view := c.view
+	c.mu.RUnlock()
 	var firstErr error
 	for i := range st.reqs {
 		st.done.Add(1)
@@ -357,7 +574,42 @@ func (c *Cluster) applyInto(ops []Op, results []OpResult, enqueue func(member, *
 		firstErr = st.errs.first()
 	}
 	st.release()
+	if firstErr == nil && view != nil && !view.AllSettled() {
+		// Migration in flight: a read that missed at its new owner may
+		// still live only under the last settled ownership map.
+		c.fallbackReads(ops, results)
+	}
 	return true, firstErr
+}
+
+// fallbackReads re-serves missed OpGets against the owners of the
+// last fully settled view — the replica set acknowledged writes are
+// guaranteed to have reached while an epoch's migration is in flight.
+// Member lookups take the topology lock briefly per key; the reads
+// themselves run unlocked.
+func (c *Cluster) fallbackReads(ops []Op, results []OpResult) {
+	c.mu.RLock()
+	ls := c.lastSettled
+	repl := c.cfg.Replication
+	c.mu.RUnlock()
+	if ls == nil {
+		return
+	}
+	for i, op := range ops {
+		if op.Kind != OpGet || results[i].Found {
+			continue
+		}
+		for _, id := range ls.Ring().Owners(op.Key, repl) {
+			m := c.memberFor(id)
+			if m == nil || m.isDown() {
+				continue
+			}
+			if v, ok, err := m.directGet(op.Key); err == nil && ok {
+				results[i] = OpResult{Value: v, Found: true}
+				break
+			}
+		}
+	}
 }
 
 // Scan scatter-gathers a bounded ordered scan: every node scans a
@@ -379,19 +631,79 @@ func (c *Cluster) Scan(start []byte, limit int) ([]engine.Entry, error) {
 // AppendScan is Scan appending the merged result into dst (reusing its
 // capacity) — the allocation-free form for callers recycling scan
 // buffers, like the transport server's dispatch scratch.
+//
+// The scatter runs without the topology lock and pins the view epoch it
+// planned under: a membership change that commits mid-scatter (a
+// concurrent join moving a keyrange the scan spans) invalidates the
+// attempt, which retries on the new view instead of merging partials
+// from two different ownership maps into duplicates or gaps. An elastic
+// member answers from its local shard only — cross-member scans are the
+// coordinator's job (scattering from inside a scatter would recurse).
 func (c *Cluster) AppendScan(dst []engine.Entry, start []byte, limit int) ([]engine.Entry, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if limit <= 0 || len(c.nodes) == 0 {
+	if limit <= 0 {
 		return dst, nil
 	}
+	c.mu.RLock()
+	if c.selfID >= 0 {
+		m := c.nodes[c.selfID]
+		c.mu.RUnlock()
+		if m == nil {
+			return dst, nil
+		}
+		return m.snapshotScan(dst, start, limit)
+	}
+	c.mu.RUnlock()
+	const attempts = 3
+	base := len(dst)
+	for i := 0; i < attempts; i++ {
+		merged, retry, err := c.scanOnce(dst[:base], start, limit)
+		if !retry {
+			return merged, err
+		}
+		dst = merged[:base]
+	}
+	return dst[:base], fmt.Errorf("cluster: scan raced %d membership changes: %w", attempts, ErrWrongEpoch)
+}
+
+// scanOnce runs one epoch-pinned scatter-gather attempt. retry reports
+// that the view changed mid-scatter and the caller should re-plan.
+func (c *Cluster) scanOnce(dst []engine.Entry, start []byte, limit int) (merged []engine.Entry, retry bool, err error) {
+	c.mu.RLock()
+	if c.closed || len(c.nodes) == 0 {
+		c.mu.RUnlock()
+		return dst, false, nil
+	}
+	epoch := uint64(0)
+	if c.view != nil {
+		epoch = c.view.Epoch
+	}
 	ids := c.ring.Members()
-	parts := make([][]engine.Entry, len(ids))
-	failed := make([]bool, len(ids))
-	var wg sync.WaitGroup
+	// While an epoch's migration is in flight, members of the last
+	// settled view may still hold the only copy of a moving keyrange —
+	// scan the union of both member sets (the merge dedups).
+	if c.view != nil && !c.view.AllSettled() && c.lastSettled != nil {
+		have := make(map[int]bool, len(ids))
+		for _, id := range ids {
+			have[id] = true
+		}
+		for _, id := range c.lastSettled.Ring().Members() {
+			if !have[id] {
+				ids = append(ids, id)
+			}
+		}
+	}
+	members := make([]*memberState, len(ids))
 	for i, id := range ids {
-		m := c.nodes[id]
-		if m.isDown() {
+		members[i] = c.nodes[id]
+	}
+	effR := c.cfg.Replication
+	c.mu.RUnlock()
+
+	parts := make([][]engine.Entry, len(members))
+	failed := make([]bool, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		if m == nil || m.isDown() {
 			failed[i] = true
 			continue
 		}
@@ -406,7 +718,10 @@ func (c *Cluster) AppendScan(dst []engine.Entry, start []byte, limit int) ([]eng
 		}(i, m)
 	}
 	wg.Wait()
-	merged := mergeEntries(dst, parts, limit)
+	if c.epoch.Load() != epoch {
+		return dst, true, nil // ownership moved under the scatter: re-plan
+	}
+	merged = mergeEntries(dst, parts, limit)
 	nfailed := 0
 	for _, f := range failed {
 		if f {
@@ -414,19 +729,18 @@ func (c *Cluster) AppendScan(dst []engine.Entry, start []byte, limit int) ([]eng
 		}
 	}
 	if nfailed == 0 {
-		return merged, nil
+		return merged, false, nil
 	}
 	// Effective R never exceeds the member count (Owners clamps), so a
 	// single-member R=3 ring still reports lost coverage when its only
 	// member dies.
-	effR := c.cfg.Replication
 	if effR > len(ids) {
 		effR = len(ids)
 	}
 	if nfailed < effR {
-		return merged, nil
+		return merged, false, nil
 	}
-	return merged, fmt.Errorf("cluster: %d of %d members unreachable with R=%d: %w",
+	return merged, false, fmt.Errorf("cluster: %d of %d members unreachable with R=%d: %w",
 		nfailed, len(ids), effR, ErrScanIncomplete)
 }
 
@@ -471,13 +785,29 @@ type Stats struct {
 	Down int
 }
 
-// Stats snapshots every node, ordered by node id.
+// Stats snapshots every node, ordered by node id. An elastic member
+// reports its local shard only — a cluster-wide fold would recurse
+// through peers folding each other (the coordinator aggregates instead).
 func (c *Cluster) Stats() Stats {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
+	ids := c.ring.Members()
+	if c.selfID >= 0 {
+		ids = []int{c.selfID}
+	}
+	members := make([]*memberState, len(ids))
+	for i, id := range ids {
+		members[i] = c.nodes[id]
+	}
+	c.mu.RUnlock()
+	// Remote members answer stats over the wire: keep the topology lock
+	// out of those round trips (see Get's lock-discipline comment).
 	var st Stats
-	for _, id := range c.ring.Members() {
-		ns := c.nodes[id].stats()
+	for _, m := range members {
+		if m == nil {
+			st.Down++ // known to the view but not yet dialed
+			continue
+		}
+		ns := m.stats()
 		st.Nodes = append(st.Nodes, ns)
 		st.Accepted += ns.Accepted
 		st.Rejected += ns.Rejected
@@ -492,11 +822,11 @@ func (c *Cluster) Stats() Stats {
 }
 
 // Close stops every node, draining their queues first, and stops the
-// background prober.
+// background prober and migrator.
 func (c *Cluster) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return
 	}
 	c.closed = true
@@ -504,7 +834,20 @@ func (c *Cluster) Close() {
 		close(c.proberStop)
 		c.proberStop = nil
 	}
+	if c.migStop != nil {
+		close(c.migStop)
+		c.migStop = nil
+	}
+	migDone := c.migDone
+	nodes := make([]*memberState, 0, len(c.nodes))
 	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	if migDone != nil {
+		<-migDone // the migrator takes mu itself; wait unlocked
+	}
+	for _, n := range nodes {
 		n.close()
 	}
 }

@@ -51,6 +51,14 @@ type memberState struct {
 	// whenever a traced replica write defers to the handoff buffer, so
 	// an assembled trace shows which copy was hinted rather than applied.
 	spans *obs.SpanLog
+
+	// addr is the member's advertised address on elastic clusters (empty
+	// for legacy members); it keys the member's view row.
+	addr string
+	// downSweeps counts consecutive probe sweeps the member has spent
+	// down — the declare-dead clock (Config.DeclareDeadAfter). Only the
+	// prober goroutine touches it.
+	downSweeps int
 }
 
 func newMemberState(m member, threshold, hintCap int) *memberState {
@@ -73,6 +81,11 @@ func (s *memberState) noteFailure() {
 // the down flag — recovery goes through drainHints so the member only
 // rejoins once its missed writes have been replayed.
 func (s *memberState) noteSuccess() { s.consecFails.Store(0) }
+
+// failing reports a member that has missed at least one recent probe or
+// op without having crossed the down threshold yet — the view's Suspect
+// verdict.
+func (s *memberState) failing() bool { return s.consecFails.Load() > 0 }
 
 // bufferHint queues one missed replica write for replay, copying the
 // key and value (ops may alias wire buffers that die with the request).
@@ -161,6 +174,48 @@ func (s *memberState) ping() error {
 	} else {
 		s.noteSuccess()
 	}
+	return err
+}
+
+// canGossip reports whether the wrapped member speaks the anti-entropy
+// view exchange (remote peers dialed over a gossip-capable transport).
+func (s *memberState) canGossip() bool {
+	rm, ok := s.member.(*remoteMember)
+	return ok && rm.gr != nil
+}
+
+// gossip runs one anti-entropy exchange against the member, feeding the
+// outcome to the failure detector exactly like a ping.
+func (s *memberState) gossip(view []byte) ([]byte, error) {
+	rm, ok := s.member.(*remoteMember)
+	if !ok || rm.gr == nil {
+		return nil, errNotElastic
+	}
+	reply, err := rm.gr.Gossip(view)
+	if err != nil {
+		s.noteFailure()
+	} else {
+		s.noteSuccess()
+	}
+	return reply, err
+}
+
+// applyLocal lands a write on the member's own store without replica
+// fan-out — migration copies and elastic mirror legs, where the sender
+// already owns the fan-out. epoch rides on migration copies so the
+// receiver can reject ones planned under a view it does not hold.
+// Outcomes feed the failure detector.
+func (s *memberState) applyLocal(op Op, migration bool, epoch uint64) error {
+	var err error
+	switch m := s.member.(type) {
+	case *Node:
+		err = m.applyLocal(op, migration)
+	case *remoteMember:
+		err = m.applyLocal(op, migration, epoch)
+	default:
+		err = errNotElastic
+	}
+	s.note(err)
 	return err
 }
 
@@ -270,26 +325,59 @@ func (s *memberState) stats() NodeStats {
 // marked down (or that carry a backlog from a dropped mirror). The
 // background prober calls this on its ticker; tests and chaos tools may
 // call it directly for deterministic detection.
+//
+// On elastic clusters the sweep is also the gossip round: each probe is
+// an anti-entropy view exchange instead of a bare ping (the exchange
+// proves liveness just as well), and the sweep ends by publishing the
+// detector's verdicts into the view and dialing newly learned members.
 func (c *Cluster) Probe() {
 	c.mu.RLock()
 	if c.closed {
 		c.mu.RUnlock()
 		return
 	}
+	elastic := c.elastic() && c.view != nil
 	members := make([]*memberState, 0, len(c.nodes))
 	for _, m := range c.nodes {
 		members = append(members, m)
 	}
 	c.mu.RUnlock()
+	// Probe members concurrently: a dead member's exchange fails only
+	// after its transport timeout, and paying that serially would stretch
+	// every sweep to (dead members × timeout) — the declare-dead clock
+	// counts sweeps, so detection latency would scale with the outage it
+	// is trying to measure. Concurrent probes keep a sweep bounded by the
+	// single slowest member.
+	var wg sync.WaitGroup
 	for _, m := range members {
-		if m.ping() != nil {
-			continue
-		}
-		if m.isDown() || m.hintsPending() > 0 {
-			// Replay failures leave the member down; the next sweep
-			// retries.
-			_ = m.drainHints()
-		}
+		wg.Add(1)
+		go func(m *memberState) {
+			defer wg.Done()
+			if elastic && m.canGossip() {
+				reply, err := m.gossip(c.EncodedView())
+				if err != nil {
+					return
+				}
+				if len(reply) > 0 {
+					if pv, derr := DecodeView(reply); derr == nil {
+						c.adopt(pv)
+					}
+				}
+			} else if m.ping() != nil {
+				return
+			}
+			if m.isDown() || m.hintsPending() > 0 {
+				// Replay failures leave the member down; the next sweep
+				// retries.
+				_ = m.drainHints()
+			}
+		}(m)
+	}
+	wg.Wait()
+	if elastic {
+		c.gossipRounds.Add(1)
+		c.publishHealth(members)
+		c.ensureMembers()
 	}
 }
 
@@ -332,7 +420,7 @@ func (c *Cluster) DownMembers() []int {
 	defer c.mu.RUnlock()
 	var out []int
 	for _, id := range c.ring.Members() {
-		if c.nodes[id].isDown() {
+		if m := c.nodes[id]; m == nil || m.isDown() {
 			out = append(out, id)
 		}
 	}

@@ -94,13 +94,27 @@ func (c *Cluster) LocalLevelBytes(levels int) []uint64 {
 	return out
 }
 
+// MigrationStats reports the online-migration counters: key copies
+// pushed, bytes pushed, and keys deleted by post-settle drop passes.
+// Benchmarks and tests read it directly; dashboards get the same values
+// via the bd_cluster_migration_* series.
+func (c *Cluster) MigrationStats() (keys, bytes, dropped uint64) {
+	return c.migKeys.Load(), c.migBytes.Load(), c.migDropped.Load()
+}
+
 // RegisterMetrics exports the coordinator's health, routing and engine
 // counters into r under the bd_cluster_* and bd_engine_* families
 // (DESIGN.md §11). Everything is collected at scrape time from state
 // the coordinator already holds — no RPCs, no new hot-path work.
 func (c *Cluster) RegisterMetrics(r *obs.Registry) {
-	r.GaugeFunc("bd_cluster_members", "Current ring member count.", nil,
+	r.GaugeFunc("bd_cluster_members", "Known members, including departed tombstones.", nil,
 		func() float64 { return float64(c.Nodes()) })
+	r.GaugeFunc("bd_cluster_ring_members", "Members currently owning keyranges on the ring.", nil,
+		func() float64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			return float64(c.ring.Size())
+		})
 	r.GaugeFunc("bd_cluster_members_down", "Members the failure detector considers down.", nil,
 		func() float64 { _, _, _, down := c.healthCounters(); return float64(down) })
 	r.GaugeFunc("bd_cluster_hints_pending", "Hinted-handoff writes buffered for down members.", nil,
@@ -121,6 +135,39 @@ func (c *Cluster) RegisterMetrics(r *obs.Registry) {
 		func() uint64 { _, _, b, _ := c.localCounters(); return b })
 	r.CounterFunc("bd_cluster_ops_total", "Point ops executed on local members.", nil,
 		func() uint64 { _, _, _, o := c.localCounters(); return o })
+
+	// Elastic membership: view agreement and migration progress. Static
+	// clusters report their synthetic view (epoch bumps on AddNode and
+	// friends, settled always 1), so dashboards need no mode switch.
+	r.GaugeFunc("bd_cluster_epoch", "Current membership view epoch.", nil,
+		func() float64 { return float64(c.epoch.Load()) })
+	r.GaugeFunc("bd_cluster_settled", "1 when every live member settled the current epoch, 0 while migration is in flight.", nil,
+		func() float64 {
+			if c.Settled() {
+				return 1
+			}
+			return 0
+		})
+	r.CounterFunc("bd_cluster_view_changes_total", "Membership view commits that changed the epoch.", nil,
+		c.viewChanges.Load)
+	r.CounterFunc("bd_cluster_gossip_rounds_total", "Anti-entropy view exchanges served or swept.", nil,
+		c.gossipRounds.Load)
+	r.CounterFunc("bd_cluster_migration_bytes_total", "Bytes pushed by online migration (throttled copy passes and redrives).", nil,
+		c.migBytes.Load)
+	r.CounterFunc("bd_cluster_migration_keys_total", "Key copies pushed by online migration.", nil,
+		c.migKeys.Load)
+	r.CounterFunc("bd_cluster_migration_dropped_total", "Keys deleted by post-settle drop passes (no longer owned here).", nil,
+		c.migDropped.Load)
+	r.CounterFunc("bd_cluster_migration_skipped_total", "Migration copies shadowed by newer live writes (dirty-guard hits).", nil,
+		func() uint64 {
+			c.mu.RLock()
+			n := c.localNodeLocked()
+			c.mu.RUnlock()
+			if n == nil {
+				return 0
+			}
+			return n.guardSkips.Load()
+		})
 
 	type engineCounter struct {
 		name, help string

@@ -39,6 +39,13 @@ type Node struct {
 	closeOnce sync.Once
 	closed    atomic.Bool
 
+	// guard, when non-nil, is the armed dirty-guard for an epoch whose
+	// migration is in flight (migrate.go): every local write marks its
+	// key so a racing migration copy can never bury it. Settled epochs
+	// run with a nil guard — one atomic load on the write path.
+	guard      atomic.Pointer[migrationGuard]
+	guardSkips atomic.Uint64 // migration copies shadowed by newer live writes
+
 	accepted atomic.Uint64 // requests enqueued
 	rejected atomic.Uint64 // requests shed by admission control
 	batches  atomic.Uint64 // worker drain cycles (coalesced groups)
@@ -130,11 +137,58 @@ func (n *Node) directGet(key []byte) ([]byte, bool, error) {
 	return v, ok, nil
 }
 
-func (n *Node) directPut(key, value []byte) error { n.eng.Put(key, value); return nil }
+func (n *Node) directPut(key, value []byte) error {
+	n.markDirty(key)
+	n.eng.Put(key, value)
+	return nil
+}
 
-func (n *Node) directDelete(key []byte) error { n.eng.Delete(key); return nil }
+func (n *Node) directDelete(key []byte) error {
+	n.markDirty(key)
+	n.eng.Delete(key)
+	return nil
+}
 
-func (n *Node) mirrorWrite(op Op) error { applyWrite(n.eng, op); return nil }
+func (n *Node) mirrorWrite(op Op) error { return n.applyLocal(op, false) }
+
+// markDirty records a live write with the armed migration guard, if any.
+func (n *Node) markDirty(key []byte) {
+	if g := n.guard.Load(); g != nil {
+		g.mark(key)
+	}
+}
+
+// applyLocal lands one write on this node's engine without replica
+// fan-out. Live writes (migration=false) mark the dirty-guard first;
+// migration copies (migration=true) are dropped when the key was written
+// after the epoch began — check and apply happen under the guard lock,
+// so every interleaving leaves the live write's value on top. A nil
+// guard means the epoch has settled: late migration copies are dropped
+// outright (the sender settles only after its pushes completed, so a
+// copy arriving now is a stale retry).
+func (n *Node) applyLocal(op Op, migration bool) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	if !migration {
+		n.markDirty(op.Key)
+		applyWrite(n.eng, op)
+		return nil
+	}
+	g := n.guard.Load()
+	if g == nil {
+		n.guardSkips.Add(1)
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dirty := g.dirty[string(op.Key)]; dirty {
+		n.guardSkips.Add(1)
+		return nil
+	}
+	applyWrite(n.eng, op)
+	return nil
+}
 
 func (n *Node) snapshotScan(dst []engine.Entry, start []byte, limit int) ([]engine.Entry, error) {
 	sn := n.eng.Snapshot()
@@ -179,6 +233,7 @@ func (n *Node) exec(req *request) {
 		}
 		batch := make([]engine.BatchOp, j-i)
 		for k := i; k < j; k++ {
+			n.markDirty(req.ops[k].Key)
 			batch[k-i] = engine.BatchOp{
 				Key:    req.ops[k].Key,
 				Value:  req.ops[k].Value,
@@ -251,9 +306,11 @@ func (n *Node) do(op Op) OpResult {
 	n.ops.Add(1)
 	switch op.Kind {
 	case OpPut:
+		n.markDirty(op.Key)
 		n.eng.Put(op.Key, op.Value)
 		return OpResult{}
 	case OpDelete:
+		n.markDirty(op.Key)
 		n.eng.Delete(op.Key)
 		return OpResult{}
 	default:

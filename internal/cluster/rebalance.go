@@ -34,8 +34,12 @@ func (c *Cluster) AddNode() (int, MoveReport, error) {
 	if c.closed {
 		return -1, MoveReport{}, ErrClosed
 	}
+	if c.elastic() {
+		return -1, MoveReport{}, errNotStatic
+	}
 	old := c.ring.Clone()
 	n := c.addNodeLocked()
+	c.rebuildStaticViewLocked()
 	report, err := c.migrateLocked(old)
 	return n.id, report, err
 }
@@ -47,6 +51,9 @@ func (c *Cluster) RemoveNode(id int) (MoveReport, error) {
 	defer c.mu.Unlock()
 	if c.closed {
 		return MoveReport{}, ErrClosed
+	}
+	if c.elastic() {
+		return MoveReport{}, errNotStatic
 	}
 	if _, ok := c.nodes[id]; !ok {
 		return MoveReport{}, errors.New("cluster: no such node")
@@ -65,6 +72,7 @@ func (c *Cluster) RemoveNode(id int) (MoveReport, error) {
 		old.Add(id)
 	}
 	c.ring.Remove(id)
+	c.rebuildStaticViewLocked()
 	// The departing node stays readable during migration — it is the
 	// authoritative source for the keys it was primary for.
 	report, err := c.migrateLocked(old)

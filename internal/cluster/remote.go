@@ -58,6 +58,44 @@ type tracedRemote interface {
 	TryApplyTraced(trace, parent uint64, ops []Op) ([]OpResult, error)
 }
 
+// gossipRemote is the optional membership extension of Remote: one
+// anti-entropy exchange — send our encoded view, receive the peer's
+// merged view (nil when already in sync). transport.Client implements it
+// with OpGossip frames.
+type gossipRemote interface {
+	Gossip(view []byte) ([]byte, error)
+}
+
+// epochStamper is the optional epoch-fencing extension of Remote: stamp
+// every subsequent routed data-plane request with the given view epoch
+// so the peer's server can bounce calls planned under a disagreeing
+// ring (RespView + ErrWrongEpoch) before admitting them. Member-to-
+// member forwards MUST be stamped: during an epoch transition two
+// members briefly hold different rings, and an unfenced routed write
+// re-forwarded by each side's own ring ping-pongs between them — every
+// hop pinning an admission token and a topology read lock until both
+// token pools drain and the read loops park. transport.Client
+// implements it (SetEpoch).
+type epochStamper interface {
+	SetEpoch(epoch uint64)
+}
+
+// localRemote is the optional store-only extension of Remote: operate on
+// the peer's own shard with no ring routing or replica fan-out on the
+// far side. ApplyLocal carries replica mirrors between elastic members
+// (a routed Put would re-replicate server-side, amplifying every mirror
+// into a storm) and migration copies (epoch carries the view they were
+// planned under; the receiver refuses mismatches with ErrWrongEpoch).
+// GetLocal is the read twin: a fallback read has already resolved
+// ownership on this side, and letting the peer re-route by its own —
+// possibly disagreeing — ring builds forwarding cycles during membership
+// changes. transport.Client implements both with OpMirror / OpGetLocal
+// frames.
+type localRemote interface {
+	ApplyLocal(op Op, migration bool, epoch uint64) error
+	GetLocal(key []byte) ([]byte, bool, error)
+}
+
 // AddRemote joins a remote shard to the ring and migrates exactly the
 // entries whose owner set changed, like AddNode does for a local shard.
 // It returns the ring id the coordinator assigned. The remote server is
@@ -70,15 +108,21 @@ func (c *Cluster) AddRemote(r Remote) (int, MoveReport, error) {
 	if c.closed {
 		return -1, MoveReport{}, ErrClosed
 	}
+	if c.elastic() {
+		return -1, MoveReport{}, errNotStatic
+	}
 	id := c.nextID
 	c.nextID++
 	old := c.ring.Clone()
 	rm := &remoteMember{id: id, r: r, spans: c.spans}
 	rm.tr, _ = r.(tracedRemote)
+	rm.gr, _ = r.(gossipRemote)
+	rm.lr, _ = r.(localRemote)
 	ms := newMemberState(rm, c.cfg.ProbeFailures, c.cfg.HintLimit)
 	ms.spans = c.spans
 	c.nodes[id] = ms
 	c.ring.Add(id)
+	c.rebuildStaticViewLocked()
 	// The first remote member starts the background health prober:
 	// local nodes cannot fail, remote ones now can.
 	c.startProberLocked()
@@ -94,6 +138,14 @@ type remoteMember struct {
 	id int
 	r  Remote
 	tr tracedRemote // non-nil when r can carry trace ids
+	gr gossipRemote // non-nil when r can exchange membership views
+	lr localRemote  // non-nil when r can apply store-only writes
+	es epochStamper // non-nil when r can stamp requests with a view epoch
+	// localMirror marks members dialed through the elastic view: their
+	// replica mirrors and hint replays travel as store-only applies
+	// (ApplyLocal) instead of routed writes, because the peer is itself a
+	// replicating coordinator and a routed write would fan out again.
+	localMirror bool
 	// spans, when non-nil, receives a "cluster/write" span for every
 	// traced replicated write this proxy leads, splitting the hop into
 	// exec (primary RPC) and replicate (mirror fan-out) phases.
@@ -114,10 +166,31 @@ type remoteMember struct {
 
 func (m *remoteMember) memberID() int { return m.id }
 
+// setEpoch restamps the peer connection with a newly committed view
+// epoch (no-op for transports without the capability).
+func (m *remoteMember) setEpoch(epoch uint64) {
+	if m.es != nil {
+		m.es.SetEpoch(epoch)
+	}
+}
+
 func (m *remoteMember) ping() error { return m.r.Ping() }
 
 func (m *remoteMember) directGet(key []byte) ([]byte, bool, error) {
-	v, ok, err := m.r.Get(key)
+	var (
+		v   []byte
+		ok  bool
+		err error
+	)
+	if m.localMirror && m.lr != nil {
+		// Elastic peers answer from their own store: this side already
+		// resolved ownership, and a routed Get would re-resolve at the
+		// peer — whose ring can disagree mid-membership-change, bouncing
+		// the read back here in a cycle.
+		v, ok, err = m.lr.GetLocal(key)
+	} else {
+		v, ok, err = m.r.Get(key)
+	}
 	if err != nil {
 		if isTransportErr(err) {
 			m.transportErrs.Add(1)
@@ -128,6 +201,11 @@ func (m *remoteMember) directGet(key []byte) ([]byte, bool, error) {
 }
 
 func (m *remoteMember) directPut(key, value []byte) error {
+	if m.localMirror && m.lr != nil {
+		// Hint replays and rebalance copies to an elastic peer must not
+		// re-replicate there; land them store-only.
+		return m.applyLocal(Op{Kind: OpPut, Key: key, Value: value}, false, 0)
+	}
 	err := m.r.Put(key, value)
 	if isTransportErr(err) {
 		m.transportErrs.Add(1)
@@ -136,7 +214,30 @@ func (m *remoteMember) directPut(key, value []byte) error {
 }
 
 func (m *remoteMember) directDelete(key []byte) error {
+	if m.localMirror && m.lr != nil {
+		return m.applyLocal(Op{Kind: OpDelete, Key: key}, false, 0)
+	}
 	err := m.r.Delete(key)
+	if isTransportErr(err) {
+		m.transportErrs.Add(1)
+	}
+	return err
+}
+
+// applyLocal sends one store-only write (see localRemote).
+func (m *remoteMember) applyLocal(op Op, migration bool, epoch uint64) error {
+	if m.lr == nil {
+		// Non-elastic transports fall back to routed single writes — the
+		// legacy coordinator owns the only ring, so no re-replication.
+		switch op.Kind {
+		case OpPut:
+			return m.directPut(op.Key, op.Value)
+		case OpDelete:
+			return m.directDelete(op.Key)
+		}
+		return nil
+	}
+	err := m.lr.ApplyLocal(op, migration, epoch)
 	if isTransportErr(err) {
 		m.transportErrs.Add(1)
 	}
@@ -149,6 +250,9 @@ func (m *remoteMember) directDelete(key []byte) error {
 // rides a traced frame when the transport supports it, so the replica
 // hop shows up in the remote's span log under the same trace.
 func (m *remoteMember) mirrorWrite(op Op) error {
+	if m.localMirror && m.lr != nil {
+		return m.applyLocal(op, false, 0)
+	}
 	if op.Trace != 0 && m.tr != nil {
 		var err error
 		switch op.Kind {
@@ -284,9 +388,11 @@ func opsTrace(ops []Op) (trace, parent uint64) {
 // isTransportErr reports whether err is a transport-level failure, as
 // opposed to the remote executing fine and answering with one of the
 // cluster's own sentinels (a shed TryApply is admission control working,
-// not a broken wire).
+// a refused stale-epoch request is the membership protocol working —
+// neither is a broken wire).
 func isTransportErr(err error) bool {
-	return err != nil && !errors.Is(err, ErrOverload) && !errors.Is(err, ErrClosed)
+	return err != nil && !errors.Is(err, ErrOverload) && !errors.Is(err, ErrClosed) &&
+		!errors.Is(err, ErrWrongEpoch)
 }
 
 // dispatch completes one sub-batch against the remote: RPC, positional

@@ -58,6 +58,16 @@ type ClientOptions struct {
 	// this client issues — the client-side end of the per-hop records
 	// the servers keep. Untraced calls never touch it.
 	Spans *obs.SpanLog
+	// OnView, when non-nil, receives the encoded cluster view a server
+	// bounced a stale-epoch request with (RespView). The callback should
+	// adopt it into whatever routes through this client (typically
+	// cluster.AdoptEncodedView) and refresh SetEpoch — the bounced call
+	// returns cluster.ErrWrongEpoch and its retry re-stamps the fresh
+	// epoch. The view bytes are the callback's to keep. Each delivery
+	// runs on its own goroutine, because the bounce surfaces inside a
+	// coordinator request that may hold the very routing lock adoption
+	// needs.
+	OnView func(view []byte)
 }
 
 func (o *ClientOptions) normalize() {
@@ -103,8 +113,18 @@ type Client struct {
 	next   atomic.Uint64
 	closed atomic.Bool
 
+	// epoch, when nonzero, is stamped on data-plane requests (Get, Put,
+	// Delete, Scan, Apply) so an elastic server can fence calls routed
+	// under a stale membership view. Zero = unstamped (legacy peers).
+	epoch atomic.Uint64
+
 	metrics clientMetrics
 }
+
+// SetEpoch sets the membership view epoch stamped on this client's
+// data-plane requests. Callers refresh it from their cluster's view
+// callback (cluster.Config.OnViewChange / ClientOptions.OnView).
+func (c *Client) SetEpoch(e uint64) { c.epoch.Store(e) }
 
 // clientMetrics is the client's always-on instrumentation, adopted into
 // a registry by RegisterMetrics.
@@ -356,6 +376,8 @@ type callTrace struct {
 	trace  uint64
 	parent uint64
 	span   uint64
+	// epoch is the view epoch the request is stamped with (0 = none).
+	epoch uint64
 }
 
 // newCallTrace mints the client-side span id for one traced call. Each
@@ -375,6 +397,15 @@ func (c *Client) newCallTrace(trace, parent uint64) callTrace {
 	return ct
 }
 
+// dataCallTrace is newCallTrace plus the epoch stamp data-plane ops
+// carry. Minted inside each retry attempt, so a retry after a view
+// bounce picks up the refreshed epoch.
+func (c *Client) dataCallTrace(trace, parent uint64) callTrace {
+	ct := c.newCallTrace(trace, parent)
+	ct.epoch = c.epoch.Load()
+	return ct
+}
+
 // roundTrip issues one request with the given payload — traced when
 // ct.trace is nonzero — and waits for its response. The payload is
 // copied into a pooled frame; use roundTripFrame with a caller-built
@@ -387,20 +418,25 @@ func (cc *clientConn) roundTrip(ct callTrace, op Opcode, payload []byte, timeout
 // newRequestFrame builds a complete request frame (id zero, patched at
 // send time) carrying payload in a pooled buffer.
 func newRequestFrame(op Opcode, ct callTrace, payload []byte) *frame {
-	f := getFrame(frameHeadLen(ct.trace) + len(payload))
-	f.b = beginRequest(f.b[:0], op, ct.trace, ct.span)
+	f := getFrame(frameHeadLen(ct.trace, ct.epoch) + len(payload))
+	f.b = beginRequestExt(f.b[:0], op, ct.trace, ct.span, ct.epoch)
 	f.b = append(f.b, payload...)
 	f.b = finishFrame(f.b)
 	return f
 }
 
 // frameHeadLen is the wire size of a request frame before its payload:
-// length prefix + header, plus the trace extension when traced.
-func frameHeadLen(trace uint64) int {
+// length prefix + header, plus the trace and epoch extensions when
+// present.
+func frameHeadLen(trace, epoch uint64) int {
+	n := 4 + frameOverhead
 	if trace != 0 {
-		return 4 + frameOverhead + tracedExtLen
+		n += tracedExtLen
 	}
-	return 4 + frameOverhead
+	if epoch != 0 {
+		n += epochExtLen
+	}
+	return n
 }
 
 // cloneEntries rebases every entry's key and value out of the wire
@@ -449,6 +485,12 @@ func opName(op Opcode) string {
 		return "shuffle-fetch"
 	case OpTraceFetch:
 		return "trace-fetch"
+	case OpGossip:
+		return "gossip"
+	case OpMirror:
+		return "mirror"
+	case OpGetLocal:
+		return "get-local"
 	default:
 		return fmt.Sprintf("op(0x%02x)", byte(op))
 	}
@@ -576,6 +618,25 @@ func (c *Client) callFrame(ct callTrace, op Opcode, f *frame, reqBytes int) (res
 		r.release() // DecodeError copied the message into the error
 		r = response{}
 	}
+	// A RespView to anything but a gossip exchange is the epoch fence
+	// firing: the server refused a stale-stamped request and sent the
+	// fresh view along. Hand the view to the adopter and surface
+	// ErrWrongEpoch — withRetry re-stamps the refreshed epoch.
+	if err == nil && r.op == RespView && op != OpGossip {
+		if c.opts.OnView != nil && len(r.payload) > 0 {
+			// Delivered on its own goroutine: the bounce fires inside a
+			// coordinator request that may hold the routing lock the
+			// adopter needs (Cluster.applyInto holds its view lock until
+			// every sub-batch returns) — a synchronous callback would
+			// deadlock. Out-of-order delivery is safe; view adoption
+			// merges, so a stale view is a no-op.
+			view := bytes.Clone(r.payload)
+			go c.opts.OnView(view)
+		}
+		r.release()
+		r = response{}
+		err = cluster.ErrWrongEpoch
+	}
 	if !start.IsZero() {
 		span := obs.Span{
 			Trace:  ct.trace,
@@ -598,18 +659,21 @@ func (c *Client) callFrame(ct callTrace, op Opcode, f *frame, reqBytes int) (res
 	return r, nil
 }
 
-// withRetry runs fn, retrying on cluster.ErrOverload with doubling
-// backoff up to the configured attempt budget. The per-attempt sleep is
-// capped at RetryBackoffMax, and the loop stops retrying once the
-// elapsed wall clock (round trips + sleeps) would exceed Timeout, so a
-// caller sees at worst ~2x Timeout — the budget-consuming attempt that
-// was already in flight plus one more — not attempts x Timeout.
+// withRetry runs fn, retrying on cluster.ErrOverload — and on
+// cluster.ErrWrongEpoch, whose retry re-stamps the epoch the view
+// bounce refreshed — with doubling backoff up to the configured attempt
+// budget. The per-attempt sleep is capped at RetryBackoffMax, and the
+// loop stops retrying once the elapsed wall clock (round trips +
+// sleeps) would exceed Timeout, so a caller sees at worst ~2x Timeout —
+// the budget-consuming attempt that was already in flight plus one
+// more — not attempts x Timeout.
 func (c *Client) withRetry(fn func() error) error {
 	backoff := c.opts.RetryBackoff
 	start := time.Now()
 	for attempt := 0; ; attempt++ {
 		err := fn()
-		if err == nil || !errors.Is(err, cluster.ErrOverload) || attempt >= c.opts.RetryOverload {
+		retryable := errors.Is(err, cluster.ErrOverload) || errors.Is(err, cluster.ErrWrongEpoch)
+		if err == nil || !retryable || attempt >= c.opts.RetryOverload {
 			return err
 		}
 		if backoff > c.opts.RetryBackoffMax {
@@ -633,7 +697,7 @@ func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
 // untraced; parent is the calling hop's span id, 0 at the root).
 func (c *Client) GetTraced(trace, parent uint64, key []byte) (value []byte, found bool, err error) {
 	err = c.withRetry(func() error {
-		r, err := c.call(c.newCallTrace(trace, parent), OpGet, key)
+		r, err := c.call(c.dataCallTrace(trace, parent), OpGet, key)
 		if err != nil {
 			return err
 		}
@@ -658,11 +722,11 @@ func (c *Client) Put(key, value []byte) error {
 // untraced; parent is the calling hop's span id, 0 at the root).
 func (c *Client) PutTraced(trace, parent uint64, key, value []byte) error {
 	return c.withRetry(func() error {
-		ct := c.newCallTrace(trace, parent)
+		ct := c.dataCallTrace(trace, parent)
 		// Encode straight into a pooled frame: no intermediate payload.
 		n := 4 + len(key) + len(value)
-		f := getFrame(frameHeadLen(trace) + n)
-		f.b = beginRequest(f.b[:0], OpPut, ct.trace, ct.span)
+		f := getFrame(frameHeadLen(ct.trace, ct.epoch) + n)
+		f.b = beginRequestExt(f.b[:0], OpPut, ct.trace, ct.span, ct.epoch)
 		f.b = finishFrame(EncodePut(f.b, key, value))
 		r, err := c.callFrame(ct, OpPut, f, n)
 		if err != nil {
@@ -684,7 +748,7 @@ func (c *Client) Delete(key []byte) error {
 // DeleteTraced is Delete carrying distributed trace context.
 func (c *Client) DeleteTraced(trace, parent uint64, key []byte) error {
 	return c.withRetry(func() error {
-		r, err := c.call(c.newCallTrace(trace, parent), OpDelete, key)
+		r, err := c.call(c.dataCallTrace(trace, parent), OpDelete, key)
 		if err != nil {
 			return err
 		}
@@ -709,11 +773,12 @@ func (c *Client) Scan(start []byte, limit int) ([]engine.Entry, error) {
 		var page []engine.Entry
 		var more bool
 		err := c.withRetry(func() error {
+			ct := c.dataCallTrace(0, 0)
 			n := 4 + len(start)
-			f := getFrame(frameHeadLen(0) + n)
-			f.b = beginRequest(f.b[:0], OpScan, 0, 0)
+			f := getFrame(frameHeadLen(0, ct.epoch) + n)
+			f.b = beginRequestExt(f.b[:0], OpScan, 0, 0, ct.epoch)
 			f.b = finishFrame(EncodeScan(f.b, start, limit-len(all)))
-			r, err := c.callFrame(callTrace{}, OpScan, f, n)
+			r, err := c.callFrame(ct, OpScan, f, n)
 			if err != nil {
 				return err
 			}
@@ -751,7 +816,7 @@ func (c *Client) Apply(ops []cluster.Op) (res []cluster.OpResult, err error) {
 // backend keeps propagating — and parenting — the trace.
 func (c *Client) ApplyTraced(trace, parent uint64, ops []cluster.Op) (res []cluster.OpResult, err error) {
 	err = c.withRetry(func() error {
-		res, err = c.batch(c.newCallTrace(trace, parent), ops, false)
+		res, err = c.batch(c.dataCallTrace(trace, parent), ops, false)
 		return err
 	})
 	return res, err
@@ -761,19 +826,19 @@ func (c *Client) ApplyTraced(trace, parent uint64, ops []cluster.Op) (res []clus
 // batch returns cluster.ErrOverload, possibly with partial results; it
 // is never retried here — propagating the shed signal is the point.
 func (c *Client) TryApply(ops []cluster.Op) ([]cluster.OpResult, error) {
-	return c.batch(callTrace{}, ops, true)
+	return c.batch(c.dataCallTrace(0, 0), ops, true)
 }
 
 // TryApplyTraced is TryApply carrying distributed trace context.
 func (c *Client) TryApplyTraced(trace, parent uint64, ops []cluster.Op) ([]cluster.OpResult, error) {
-	return c.batch(c.newCallTrace(trace, parent), ops, true)
+	return c.batch(c.dataCallTrace(trace, parent), ops, true)
 }
 
 func (c *Client) batch(ct callTrace, ops []cluster.Op, try bool) ([]cluster.OpResult, error) {
 	// Encode the batch straight into a pooled, exactly-sized frame.
 	n := encodedBatchLen(ops)
-	f := getFrame(frameHeadLen(ct.trace) + n)
-	f.b = beginRequest(f.b[:0], OpBatch, ct.trace, ct.span)
+	f := getFrame(frameHeadLen(ct.trace, ct.epoch) + n)
+	f.b = beginRequestExt(f.b[:0], OpBatch, ct.trace, ct.span, ct.epoch)
 	f.b = finishFrame(EncodeBatch(f.b, ops, try))
 	r, err := c.callFrame(ct, OpBatch, f, n)
 	if err != nil {
@@ -803,6 +868,78 @@ func (c *Client) batch(ct callTrace, ops []cluster.Op, try bool) ([]cluster.OpRe
 		}
 	}
 	return res, execErr
+}
+
+// Gossip round-trips one anti-entropy membership exchange: view is
+// this side's encoded cluster view, and the reply is the peer's merged
+// view — or nil when the peer found the digests already in agreement.
+// Overload sheds are retried, though the server answers gossip from its
+// read loop precisely so load cannot starve convergence.
+func (c *Client) Gossip(view []byte) (merged []byte, err error) {
+	err = c.withRetry(func() error {
+		r, err := c.call(callTrace{}, OpGossip, view)
+		if err != nil {
+			return err
+		}
+		defer r.release()
+		if r.op != RespView {
+			return ErrMalformed
+		}
+		if len(r.payload) > 0 {
+			merged = bytes.Clone(r.payload) // payload aliases the pooled frame
+		}
+		return nil
+	})
+	return merged, err
+}
+
+// ApplyLocal lands one store-only write on the remote member: no
+// replica fan-out on the far side. Replica mirrors and hint replays
+// (migration=false) always apply; migration copies (migration=true)
+// carry the epoch they were planned under and come back as
+// cluster.ErrWrongEpoch when the destination has moved on.
+func (c *Client) ApplyLocal(op cluster.Op, migration bool, epoch uint64) error {
+	return c.withRetry(func() error {
+		n := encodedMirrorLen(op, migration)
+		f := getFrame(frameHeadLen(0, 0) + n)
+		f.b = beginRequest(f.b[:0], OpMirror, 0, 0)
+		f.b = finishFrame(EncodeMirror(f.b, op, migration, epoch))
+		r, err := c.callFrame(callTrace{}, OpMirror, f, n)
+		if err != nil {
+			return err
+		}
+		defer r.release()
+		if r.op != RespOK {
+			return ErrMalformed
+		}
+		return nil
+	})
+}
+
+// GetLocal reads one key from the remote member's own store with no
+// server-side routing — the read twin of ApplyLocal. Member-to-member
+// reads (replica fallbacks, migration-lag reads) use it because the
+// caller has already resolved ownership; letting the receiver re-route
+// by a ring that may disagree mid-membership-change turns two members
+// into a forwarding cycle. Unstamped: the answer comes from whatever the
+// member holds, which is exactly what a fallback read wants regardless
+// of epoch.
+func (c *Client) GetLocal(key []byte) (value []byte, found bool, err error) {
+	err = c.withRetry(func() error {
+		r, err := c.call(callTrace{}, OpGetLocal, key)
+		if err != nil {
+			return err
+		}
+		defer r.release()
+		if r.op != RespValue {
+			return ErrMalformed
+		}
+		var v []byte
+		v, found, err = DecodeValue(r.payload)
+		value = bytes.Clone(v) // v aliases the pooled frame
+		return err
+	})
+	return value, found, err
 }
 
 // Stats snapshots the remote server's cluster counters.

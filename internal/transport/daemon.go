@@ -26,6 +26,15 @@ func ServeUntilSignal(addr string, b Backend, opts ServerOptions, onReady func(*
 // address before the server starts (e.g. bdserve building its analytics
 // executor, whose advertised shuffle address is the listen address).
 func ServeListenerUntilSignal(ln net.Listener, b Backend, opts ServerOptions, onReady func(*Server)) (*Server, error) {
+	return ServeListenerUntilSignalHook(ln, b, opts, onReady, nil)
+}
+
+// ServeListenerUntilSignalHook is ServeListenerUntilSignal with a hook
+// that runs after the stop signal arrives but before the server drains.
+// Elastic daemons use it to leave the cluster gracefully — migrating
+// their keyranges out — while this server still answers the peers'
+// gossip exchanges and read fallbacks.
+func ServeListenerUntilSignalHook(ln net.Listener, b Backend, opts ServerOptions, onReady func(*Server), onSignal func()) (*Server, error) {
 	srv := Serve(ln, b, opts)
 	if onReady != nil {
 		onReady(srv)
@@ -34,6 +43,9 @@ func ServeListenerUntilSignal(ln net.Listener, b Backend, opts ServerOptions, on
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	signal.Stop(sig)
+	if onSignal != nil {
+		onSignal()
+	}
 	err := srv.Close()
 	return srv, err
 }

@@ -72,6 +72,39 @@ type scanAppender interface {
 	AppendScan(dst []engine.Entry, start []byte, limit int) ([]engine.Entry, error)
 }
 
+// viewHost is the optional Backend capability for elastic membership:
+// the anti-entropy exchange OpGossip carries. *cluster.Cluster in
+// elastic mode implements it; servers fronting a static cluster or a
+// bare engine answer OpGossip with an error frame instead.
+type viewHost interface {
+	HandleGossip(payload []byte) ([]byte, error)
+}
+
+// localApplier is the optional Backend capability OpMirror and
+// OpGetLocal land on: store-only operations that must not re-enter the
+// destination's routing or replication fan-out. Store-only writes
+// (replica mirrors, hint replays, migration copies) skip the replication
+// fan-out; migration copies carry the epoch they were planned under and
+// the backend refuses mismatches with cluster.ErrWrongEpoch so a sender
+// never mistakes a dropped copy for a delivered one. Store-only reads
+// answer from the member's own shard without re-resolving ownership —
+// the receiver's ring may disagree with the sender's mid-membership-
+// change, and re-routing there is how forwarding cycles start.
+type localApplier interface {
+	ApplyLocal(op cluster.Op, migration bool, epoch uint64) error
+	GetLocal(key []byte) ([]byte, bool, error)
+}
+
+// epochHost is the optional Backend capability behind the wire-level
+// epoch fence: requests stamped with a view epoch (opFlagEpoch) are
+// checked against the backend's current epoch before admission, and
+// stale ones bounce with the fresh encoded view instead of being
+// misrouted against an ownership map the client no longer has.
+type epochHost interface {
+	ViewEpoch() uint64
+	EncodedView() []byte
+}
+
 // batchScratch is the pooled per-request decode/execute scratch for
 // OpBatch: the decoded ops (aliasing the request frame) and the result
 // slots. Released back to batchPool after the response frame is encoded.
@@ -164,6 +197,13 @@ type Server struct {
 	applyInto batchApplier
 	scanInto  scanAppender
 
+	// views / localApply / epochs are the backend's optional elastic-
+	// membership capabilities (gossip exchange, store-only mirror writes,
+	// and the stale-epoch fence), resolved once at construction.
+	views      viewHost
+	localApply localApplier
+	epochs     epochHost
+
 	tokens chan struct{} // in-flight admission permits
 
 	mu     sync.Mutex
@@ -209,6 +249,9 @@ func Serve(ln net.Listener, b Backend, opts ServerOptions) *Server {
 	}
 	s.applyInto, _ = b.(batchApplier)
 	s.scanInto, _ = b.(scanAppender)
+	s.views, _ = b.(viewHost)
+	s.localApply, _ = b.(localApplier)
+	s.epochs, _ = b.(epochHost)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -238,6 +281,7 @@ func (s *Server) RequestLatency() *obs.Histogram { return &s.metrics.lat }
 var registeredOps = []Opcode{
 	OpGet, OpPut, OpDelete, OpScan, OpBatch, OpStats, OpPing,
 	OpTaskSubmit, OpTaskStatus, OpShuffleFetch, OpTraceFetch,
+	OpGossip, OpMirror, OpGetLocal,
 }
 
 // RegisterMetrics exports the server's counters into r under the
@@ -359,6 +403,16 @@ func okFrame(id uint64) *frame {
 	return f
 }
 
+// viewFrame builds a RespView frame carrying an encoded cluster view
+// (empty when the peer is already in sync).
+func viewFrame(id uint64, view []byte) *frame {
+	f := getFrame(frameOverhead + 4 + len(view))
+	f.b = beginResponse(f.b[:0], id, RespView)
+	f.b = append(f.b, view...)
+	f.b = finishFrame(f.b)
+	return f
+}
+
 // handle runs one connection: the read loop decodes and dispatches
 // frames; a writer goroutine serializes response frames back out. On
 // read loop exit (peer hangup or drain kick), in-flight requests finish,
@@ -414,13 +468,25 @@ func (s *Server) handle(conn net.Conn) {
 		s.metrics.bytesIn.Add(uint64(13 + len(pf.b)))
 		var tc traceCtx
 		var payload []byte
-		op, tc.trace, tc.parent, payload, err = splitTrace(op, pf.b)
+		var epoch uint64
+		op, tc.trace, tc.parent, epoch, payload, err = splitExt(op, pf.b)
 		if err != nil {
-			// The frame itself parsed — only the trace extension is
-			// short. Fail the request, keep the connection.
+			// The frame itself parsed — only the extensions are short.
+			// Fail the request, keep the connection.
 			putFrame(pf)
 			out <- errFrame(id, err)
 			continue
+		}
+		// Epoch fence: a request stamped with a view epoch is checked
+		// before admission. A stale router gets the fresh view back
+		// (RespView) instead of an answer computed against an ownership
+		// map it no longer holds — the client re-plans and retries.
+		if epoch != 0 && s.epochs != nil {
+			if cur := s.epochs.ViewEpoch(); cur != epoch {
+				putFrame(pf)
+				out <- viewFrame(id, s.epochs.EncodedView())
+				continue
+			}
 		}
 		if int(op) < len(s.metrics.reqs) {
 			s.metrics.reqs[op].Inc()
@@ -436,6 +502,33 @@ func (s *Server) handle(conn net.Conn) {
 		if op == OpPing {
 			putFrame(pf)
 			out <- okFrame(id)
+			continue
+		}
+		// Membership gossip also bypasses admission: an overloaded server
+		// that sheds its view exchanges can never converge, and
+		// convergence is exactly what matters when the cluster is busy
+		// enough to shed. It must NOT run on the read loop, though: a
+		// merge that changes the view takes the cluster's write lock,
+		// which can wait behind in-flight requests pinning the old view
+		// across their own remote sub-calls. Parking the read loop there
+		// stalls every response on this connection — including the epoch
+		// bounces those very sub-calls may be waiting for — which welds
+		// two busy members into a distributed deadlock broken only by
+		// timeouts. A goroutine per exchange keeps the loop draining;
+		// probers send a handful of exchanges per second, so the fan-out
+		// is trivial.
+		if op == OpGossip && s.views != nil {
+			cs.reqs.Add(1)
+			go func(id uint64, payload []byte, pf *frame) {
+				defer cs.reqs.Done()
+				merged, gerr := s.views.HandleGossip(payload)
+				putFrame(pf)
+				if gerr != nil {
+					out <- errFrame(id, gerr)
+				} else {
+					out <- viewFrame(id, merged)
+				}
+			}(id, payload, pf)
 			continue
 		}
 		// Admission: a backpressure batch (Apply) must never shed — it
@@ -718,6 +811,39 @@ func (s *Server) dispatch(id uint64, tc traceCtx, op Opcode, payload []byte) *fr
 		f := getFrame(frameOverhead + 4 + 1 + len(chunk))
 		f.b = beginResponse(f.b[:0], id, RespChunk)
 		f.b = finishFrame(EncodeChunk(f.b, chunk, more))
+		return f
+	case OpGossip:
+		if s.views == nil {
+			return errFrame(id, errors.New("transport: server hosts no elastic cluster"))
+		}
+		merged, err := s.views.HandleGossip(payload)
+		if err != nil {
+			return errFrame(id, err)
+		}
+		return viewFrame(id, merged)
+	case OpMirror:
+		if s.localApply == nil {
+			return errFrame(id, errors.New("transport: server hosts no elastic cluster"))
+		}
+		mop, migration, epoch, err := DecodeMirror(payload)
+		if err != nil {
+			return errFrame(id, err)
+		}
+		if err := s.localApply.ApplyLocal(mop, migration, epoch); err != nil {
+			return errFrame(id, err)
+		}
+		return okFrame(id)
+	case OpGetLocal:
+		if s.localApply == nil {
+			return errFrame(id, errors.New("transport: server hosts no elastic cluster"))
+		}
+		v, ok, err := s.localApply.GetLocal(payload)
+		if err != nil {
+			return errFrame(id, err)
+		}
+		f := getFrame(frameOverhead + 4 + 1 + len(v))
+		f.b = beginResponse(f.b[:0], id, RespValue)
+		f.b = finishFrame(EncodeValue(f.b, v, ok))
 		return f
 	case OpTraceFetch:
 		tid, err := DecodeTaskID(payload)

@@ -63,6 +63,31 @@ const (
 	// no span ring at all) answers an empty set, not an error — missing
 	// hops are the assembler's problem, not the transport's.
 	OpTraceFetch Opcode = 0x0B // payload: trace id u64
+
+	// OpGossip is the membership anti-entropy exchange: the payload is an
+	// encoded cluster view (opaque to the transport; internal/cluster owns
+	// the codec). The receiver merges it into its own view and answers
+	// RespView — empty when the sender is already in sync, the merged
+	// view otherwise. Gossip rides the prober's sweep, so one round trip
+	// doubles as both the liveness probe and the state exchange.
+	OpGossip Opcode = 0x0C // payload: encoded cluster view
+
+	// OpMirror is a local-only write: apply to this node's engine, do NOT
+	// re-replicate. Replica mirrors and migration copies travel on it —
+	// routed OpPut at an elastic member would fan out again server-side
+	// (view.R > 1), turning every mirror into a replication storm.
+	OpMirror Opcode = 0x0D // payload: flags u8 | kind u8 | klen u32 | key | value
+
+	// OpGetLocal is the read twin of OpMirror: answer from this member's
+	// own store, do NOT route by ring. Member-to-member reads (replica
+	// fallbacks, reads chasing data that a migration has not landed yet)
+	// travel on it because the sender has already decided which member
+	// should hold the bytes. A routed OpGet would re-resolve ownership at
+	// the receiver — and during a membership change the two ring views can
+	// disagree, so each side forwards to the other in an unbounded cycle
+	// that eats both servers' admission permits until every data call rides
+	// a timeout.
+	OpGetLocal Opcode = 0x0E // payload: key
 )
 
 // Response opcodes.
@@ -84,6 +109,14 @@ const (
 	// RespSpans carries a node's retained spans for one trace id (see
 	// EncodeSpans for the layout).
 	RespSpans Opcode = 0x89 // payload: count u32 | span*
+	// RespView carries an encoded cluster view. It answers OpGossip
+	// (empty payload = sender already in sync), and it answers any
+	// epoch-stamped data-plane request whose epoch disagrees with the
+	// server's: instead of serving against a routing table one of the two
+	// sides has outgrown, the server hands back the fresh view and the
+	// client re-routes. The client surfaces that as cluster.ErrWrongEpoch
+	// after delivering the view to its OnView callback.
+	RespView  Opcode = 0x8A // payload: empty | encoded cluster view
 	RespError Opcode = 0xFF // payload: errcode u8 | message
 )
 
@@ -109,6 +142,18 @@ const opFlagTraced Opcode = 0x40
 // tracedExtLen is the byte length of the trace extension.
 const tracedExtLen = 16
 
+// opFlagEpoch marks a request frame that carries the sender's view
+// epoch: bit 0x20 set on the opcode and an 8-byte big-endian epoch
+// extension after the trace extension (when both flags are set the
+// trace bytes come first). Edge clients stamp it on data-plane requests
+// so a stale router is told — via RespView — rather than silently
+// misrouted; frames without the flag (server-to-server internals, old
+// peers) bypass the epoch check entirely.
+const opFlagEpoch Opcode = 0x20
+
+// epochExtLen is the byte length of the epoch extension.
+const epochExtLen = 8
+
 // AppendTracedFrame appends one request frame carrying trace context.
 // A zero trace appends a plain frame — zero means "untraced" end to
 // end; parent is the sender's span id for this call (0 = root).
@@ -129,14 +174,35 @@ func AppendTracedFrame(dst []byte, id uint64, op Opcode, trace, parent uint64, p
 // untraced) and the true payload (aliasing p). Response opcodes pass
 // through untouched.
 func splitTrace(op Opcode, p []byte) (Opcode, uint64, uint64, []byte, error) {
-	if op&0x80 != 0 || op&opFlagTraced == 0 {
-		return op, 0, 0, p, nil
+	op, trace, parent, _, payload, err := splitExt(op, p)
+	return op, trace, parent, payload, err
+}
+
+// splitExt strips every request extension — trace context and view
+// epoch — returning the bare opcode, the extension values (zero when
+// absent) and the true payload (aliasing p). Response opcodes pass
+// through untouched.
+func splitExt(op Opcode, p []byte) (Opcode, uint64, uint64, uint64, []byte, error) {
+	if op&0x80 != 0 || op&(opFlagTraced|opFlagEpoch) == 0 {
+		return op, 0, 0, 0, p, nil
 	}
-	if len(p) < tracedExtLen {
-		return op, 0, 0, nil, ErrMalformed
+	var trace, parent, epoch uint64
+	if op&opFlagTraced != 0 {
+		if len(p) < tracedExtLen {
+			return op, 0, 0, 0, nil, ErrMalformed
+		}
+		trace = binary.BigEndian.Uint64(p)
+		parent = binary.BigEndian.Uint64(p[8:])
+		p = p[tracedExtLen:]
 	}
-	return op &^ opFlagTraced, binary.BigEndian.Uint64(p),
-		binary.BigEndian.Uint64(p[8:]), p[tracedExtLen:], nil
+	if op&opFlagEpoch != 0 {
+		if len(p) < epochExtLen {
+			return op, 0, 0, 0, nil, ErrMalformed
+		}
+		epoch = binary.BigEndian.Uint64(p)
+		p = p[epochExtLen:]
+	}
+	return op &^ (opFlagTraced | opFlagEpoch), trace, parent, epoch, p, nil
 }
 
 // Error codes carried by RespError and RespResults frames.
@@ -144,9 +210,67 @@ const (
 	errCodeNone     = 0x00
 	errCodeOverload = 0x01 // maps to cluster.ErrOverload
 	errCodeClosed   = 0x02 // maps to cluster.ErrClosed
-	errCodeBad      = 0x03 // malformed frame or payload
-	errCodeInternal = 0x04 // anything else; message carries detail
+	errCodeBad        = 0x03 // malformed frame or payload
+	errCodeInternal   = 0x04 // anything else; message carries detail
+	errCodeWrongEpoch = 0x05 // maps to cluster.ErrWrongEpoch
 )
+
+// MirrorFlagMigration marks an OpMirror write as a migration copy (a
+// rebalance moving a settled key) rather than a live replica mirror.
+// The receiver's dirty-key guard drops migration copies for keys a
+// fresher live write already touched — the copy is stale by definition —
+// while live mirrors always apply and mark the key dirty.
+const MirrorFlagMigration = 0x01
+
+// EncodeMirror appends an OpMirror payload. kind is the cluster op kind
+// (put or delete); value is ignored for deletes. Migration copies carry
+// the epoch they were planned under: the receiver rejects copies from an
+// epoch it has not adopted (its guard is not armed yet — the copy would
+// be dropped on the floor) or has already left behind, with
+// cluster.ErrWrongEpoch telling the sender to retry after gossip
+// converges.
+func EncodeMirror(dst []byte, op cluster.Op, migration bool, epoch uint64) []byte {
+	flags := byte(0)
+	if migration {
+		flags = MirrorFlagMigration
+	}
+	dst = append(dst, flags, byte(op.Kind))
+	if migration {
+		dst = binary.BigEndian.AppendUint64(dst, epoch)
+	}
+	return append(appendBytes32(dst, op.Key), op.Value...)
+}
+
+// DecodeMirror splits an OpMirror payload (key and value alias p).
+func DecodeMirror(p []byte) (op cluster.Op, migration bool, epoch uint64, err error) {
+	if len(p) < 2 {
+		return cluster.Op{}, false, 0, ErrMalformed
+	}
+	migration = p[0]&MirrorFlagMigration != 0
+	op.Kind = cluster.OpKind(p[1])
+	if op.Kind != cluster.OpPut && op.Kind != cluster.OpDelete {
+		return cluster.Op{}, false, 0, ErrMalformed
+	}
+	p = p[2:]
+	if migration {
+		if len(p) < 8 {
+			return cluster.Op{}, false, 0, ErrMalformed
+		}
+		epoch = binary.BigEndian.Uint64(p)
+		p = p[8:]
+	}
+	op.Key, op.Value, err = takeBytes32(p)
+	return op, migration, epoch, err
+}
+
+// encodedMirrorLen is the OpMirror payload size for op.
+func encodedMirrorLen(op cluster.Op, migration bool) int {
+	n := 2 + 4 + len(op.Key) + len(op.Value)
+	if migration {
+		n += 8
+	}
+	return n
+}
 
 const (
 	// frameOverhead is the id + opcode bytes counted by the length prefix.
@@ -262,7 +386,7 @@ var respHeader [256][frameOverhead + 4]byte
 func init() {
 	for _, op := range []Opcode{
 		RespValue, RespOK, RespEntries, RespResults, RespStats,
-		RespTask, RespTaskStatus, RespChunk, RespSpans, RespError,
+		RespTask, RespTaskStatus, RespChunk, RespSpans, RespView, RespError,
 	} {
 		respHeader[op][12] = byte(op)
 	}
@@ -281,13 +405,32 @@ func beginResponse(b []byte, id uint64, op Opcode) []byte {
 // (stamped later by patchFrameID, once the connection assigns one) and
 // the optional trace extension.
 func beginRequest(b []byte, op Opcode, trace, parent uint64) []byte {
+	return beginRequestExt(b, op, trace, parent, 0)
+}
+
+// beginRequestExt is beginRequest carrying an optional view epoch
+// (zero = unstamped): the trace extension first, then the epoch.
+func beginRequestExt(b []byte, op Opcode, trace, parent, epoch uint64) []byte {
 	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
-	if trace == 0 {
+	if trace == 0 && epoch == 0 {
 		return append(b, byte(op))
 	}
-	b = append(b, byte(op|opFlagTraced))
-	b = binary.BigEndian.AppendUint64(b, trace)
-	return binary.BigEndian.AppendUint64(b, parent)
+	flags := Opcode(0)
+	if trace != 0 {
+		flags |= opFlagTraced
+	}
+	if epoch != 0 {
+		flags |= opFlagEpoch
+	}
+	b = append(b, byte(op|flags))
+	if trace != 0 {
+		b = binary.BigEndian.AppendUint64(b, trace)
+		b = binary.BigEndian.AppendUint64(b, parent)
+	}
+	if epoch != 0 {
+		b = binary.BigEndian.AppendUint64(b, epoch)
+	}
+	return b
 }
 
 // finishFrame stamps the length prefix of a frame begun with
@@ -936,6 +1079,8 @@ func errorCode(err error) (byte, string) {
 		return errCodeOverload, ""
 	case errors.Is(err, cluster.ErrClosed):
 		return errCodeClosed, ""
+	case errors.Is(err, cluster.ErrWrongEpoch):
+		return errCodeWrongEpoch, ""
 	case errors.Is(err, ErrMalformed), errors.Is(err, ErrFrameTooLarge):
 		return errCodeBad, err.Error()
 	default:
@@ -952,6 +1097,8 @@ func codeError(code byte, msg string) error {
 		return cluster.ErrOverload
 	case errCodeClosed:
 		return cluster.ErrClosed
+	case errCodeWrongEpoch:
+		return cluster.ErrWrongEpoch
 	case errCodeBad:
 		if msg == "" {
 			return ErrMalformed

@@ -12,10 +12,14 @@
 #               cross-process trace (-trace) as the PR 8 marker
 #   analytics — distributed wordcount across two self-hosted executor
 #               servers (task submits + shuffle fetches over the wire)
+#   resize    — elastic resize under load (bdbench -net -resize): a
+#               member joins and another gracefully leaves mid-run,
+#               with per-window throughput/latency, migration counters
+#               and the convergence verdict as the PR 9 marker
 #
 # Usage: sh scripts/record_bench.sh [out.json] [pr] [prev.json]
-#   out.json  — artifact path (default BENCH_8.json)
-#   pr        — PR number stamped into the artifact (default 8)
+#   out.json  — artifact path (default BENCH_9.json)
+#   pr        — PR number stamped into the artifact (default 9)
 #   prev.json — previous trajectory point; when it exists, a vsPrev
 #               section with throughput deltas is embedded
 # Run from the repo root. CI uploads the result as an artifact so every
@@ -23,9 +27,9 @@
 # durable history.
 set -e
 
-OUT="${1:-BENCH_8.json}"
-PR="${2:-8}"
-PREV="${3:-BENCH_7.json}"
+OUT="${1:-BENCH_9.json}"
+PR="${2:-9}"
+PREV="${3:-BENCH_8.json}"
 BIN="$(mktemp -d)"
 P1=""
 P2=""
@@ -62,6 +66,10 @@ wait "$P2" 2>/dev/null || true
 P1=""
 P2=""
 
+# ---- resize mode (self-hosted elastic cluster) --------------------------
+"$BIN/bdbench" -net -resize -dur 4s -rows 2000 -clients 4 \
+    -json "$BIN/resize.json" >/dev/null
+
 # ---- analytics mode (self-hosted executor servers) ----------------------
 "$BIN/bdbench" -analytics wordcount -nodes 2 -lines 8000 \
     -json "$BIN/analytics.json" >/dev/null
@@ -72,6 +80,7 @@ GO_VERSION="$(go env GOVERSION)" jq -n \
     --slurpfile workload_wordcount "$BIN/w_wc.json" \
     --slurpfile net "$BIN/net.json" \
     --slurpfile analytics "$BIN/analytics.json" \
+    --slurpfile resize "$BIN/resize.json" \
     --argjson pr "$PR" \
     '{
         schema: "bdbench-trajectory/1",
@@ -79,7 +88,8 @@ GO_VERSION="$(go env GOVERSION)" jq -n \
         go: $ENV.GO_VERSION,
         workload: ($workload_read[0] + $workload_wordcount[0]),
         net: $net[0],
-        analytics: $analytics[0]
+        analytics: $analytics[0],
+        resize: $resize[0]
     }' >"$OUT"
 
 # Fold in throughput deltas against the previous trajectory point, so
@@ -106,10 +116,15 @@ jq -e \
      (.net.trace.criticalPath | length) >= 2 and
      .analytics.itemsPerSec > 0 and
      .analytics.metrics["bd_analytics_jobs_total"] == 1 and
+     .resize.converged and
+     .resize.lostKeys == 0 and
+     .resize.migratedBytes > 0 and
+     (.resize.windows | length) == 4 and
+     ([.resize.windows[].opsPerSec] | min) > 0 and
      (.workload | length) == 2' \
     "$OUT" >/dev/null || {
     echo "record_bench: $OUT failed validation" >&2
     exit 1
 }
 echo "record_bench: wrote $OUT"
-jq -r '"  net: \(.net.opsPerSec | floor) ops/s  analytics: \(.analytics.itemsPerSec | floor) rec/s  workloads: \(.workload | length)"' "$OUT"
+jq -r '"  net: \(.net.opsPerSec | floor) ops/s  analytics: \(.analytics.itemsPerSec | floor) rec/s  resize: \([.resize.windows[].opsPerSec] | min | floor)+ ops/s through epoch \(.resize.epoch)  workloads: \(.workload | length)"' "$OUT"

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Transport smoke test, five phases.
+# Transport smoke test, six phases.
 #
 # Phase 1 — serve + drain: two bdserve shard servers in separate
 # processes, 1k OLTP ops driven over real sockets by bdbench -net, then
@@ -31,12 +31,21 @@
 # exec, replicate) are present, and that the -json record's critical
 # path is a parent-linked chain down to a server hop.
 #
+# Phase 6 — elastic resize: two bdserve processes form an elastic
+# cluster (epoch-versioned view, R=2), bdbench -net -elastic drives load
+# while a third bdserve live-joins and one of the originals is SIGKILLed
+# mid-run. Asserts the client kept serving across both membership
+# changes (exit 0), the survivors converge on one epoch with migration
+# settled and the dead member declared out of the ring, online migration
+# actually moved bytes, and both survivors then drain out gracefully.
+#
 # Run from the repo root (CI runs it after go test).
 set -e
 
 BIN="$(mktemp -d)"
 P1=""
 P2=""
+P3=""
 PB=""
 cleanup() {
     # Kill anything still running (e.g. bdbench failed before the
@@ -44,6 +53,7 @@ cleanup() {
     # keeps an already-dead pid from tripping set -e inside the trap.
     [ -z "$P1" ] || kill "$P1" 2>/dev/null || true
     [ -z "$P2" ] || kill "$P2" 2>/dev/null || true
+    [ -z "$P3" ] || kill "$P3" 2>/dev/null || true
     [ -z "$PB" ] || kill "$PB" 2>/dev/null || true
     rm -rf "$BIN"
 }
@@ -310,3 +320,100 @@ if [ "$E1" -ne 0 ] || [ "$E2" -ne 0 ]; then
     exit 1
 fi
 echo "transport smoke: OK (cross-process trace assembled with phase breakdown)"
+
+# ---- Phase 6: elastic resize under load — join, SIGKILL, converge -------
+
+A11=127.0.0.1:7481
+A12=127.0.0.1:7482
+A13=127.0.0.1:7483
+L12=127.0.0.1:7492
+L13=127.0.0.1:7493
+
+# Short probe rounds keep declare-dead and view dissemination well
+# inside the run; -leavetimeout bounds the final graceful drains.
+"$BIN/bdserve" -addr "$A11" -elastic -replication 2 -probe 50ms \
+    -leavetimeout 10s -quiet &
+P1=$!
+"$BIN/bdserve" -addr "$A12" -join "$A11" -replication 2 -probe 50ms \
+    -leavetimeout 10s -livez "$L12" -quiet &
+P2=$!
+
+# The elastic coordinator joins via the seeds and discovers every later
+# membership change by gossip; -chaos makes the SIGKILL window degraded
+# batches instead of a fatal error. Traffic spans the whole resize.
+"$BIN/bdbench" -net -elastic -chaos -addr "$A11,$A12" -replication 2 \
+    -dur 6s -rows 500 -clients 4 -json "$BIN/phase6.json" &
+PB=$!
+
+sleep 1
+"$BIN/bdserve" -addr "$A13" -join "$A11,$A12" -replication 2 -probe 50ms \
+    -leavetimeout 10s -livez "$L13" -quiet &
+P3=$!
+echo "transport smoke: third member joining at $A13 mid-run"
+
+sleep 2
+kill -KILL "$P1"
+wait "$P1" 2>/dev/null || true
+P1=""
+echo "transport smoke: SIGKILLed original member $A11 mid-run"
+
+EB=0
+wait "$PB" || EB=$?
+PB=""
+if [ "$EB" -ne 0 ]; then
+    echo "transport smoke: elastic client exited $EB, want 0 (serving did not survive the resize)" >&2
+    exit 1
+fi
+
+# Convergence: both survivors must agree on one epoch, with migration
+# settled and the killed member declared out of the ring (2 on-ring
+# members). Detection + heal is bounded by probe rounds; 15s is a wide
+# CI margin over the 50ms sweep.
+tries=0
+while :; do
+    M2=$(fetch "http://$L12/metrics") || M2=""
+    M3=$(fetch "http://$L13/metrics") || M3=""
+    E2=$(printf '%s\n' "$M2" | awk '$1 == "bd_cluster_epoch" {print $2}')
+    E3=$(printf '%s\n' "$M3" | awk '$1 == "bd_cluster_epoch" {print $2}')
+    S2=$(printf '%s\n' "$M2" | awk '$1 == "bd_cluster_settled" {print $2}')
+    S3=$(printf '%s\n' "$M3" | awk '$1 == "bd_cluster_settled" {print $2}')
+    N2=$(printf '%s\n' "$M2" | awk '$1 == "bd_cluster_ring_members" {print $2}')
+    N3=$(printf '%s\n' "$M3" | awk '$1 == "bd_cluster_ring_members" {print $2}')
+    if [ -n "$E2" ] && [ "$E2" = "$E3" ] && [ "$S2" = "1" ] && [ "$S3" = "1" ] \
+        && [ "$N2" = "2" ] && [ "$N3" = "2" ]; then
+        break
+    fi
+    if [ "$tries" -ge 15 ]; then
+        echo "transport smoke: survivors never converged after the resize" >&2
+        echo "  $A12: epoch=$E2 settled=$S2 ring_members=$N2" >&2
+        echo "  $A13: epoch=$E3 settled=$S3 ring_members=$N3" >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    sleep 1
+done
+echo "transport smoke: survivors converged (epoch $E2, 2 on-ring members, settled)"
+
+# The join and the kill both trigger throttled online migration; the
+# counters must show real bytes moved somewhere in the cluster.
+if ! { printf '%s\n%s\n' "$M2" "$M3" \
+    | awk '$1 == "bd_cluster_migration_bytes_total" {b += $2} END {exit !(b > 0)}'; }; then
+    echo "transport smoke: no migration bytes moved across the resize" >&2
+    exit 1
+fi
+
+# Graceful exit in sequence: the joiner drains its keyranges back to the
+# survivor, then the survivor (alone, nobody to push to) leaves cleanly.
+kill -TERM "$P3"
+E3=0
+wait "$P3" || E3=$?
+P3=""
+kill -TERM "$P2"
+E2=0
+wait "$P2" || E2=$?
+P2=""
+if [ "$E2" -ne 0 ] || [ "$E3" -ne 0 ]; then
+    echo "transport smoke: elastic drain exited $E2/$E3, want 0/0" >&2
+    exit 1
+fi
+echo "transport smoke: OK (elastic resize: live join + SIGKILL healed under load, migration observed)"
