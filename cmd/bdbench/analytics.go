@@ -295,11 +295,11 @@ type analyticsJSON struct {
 	RecoveryRounds int    `json:"recoveryRounds,omitempty"`
 	// Metrics is the coordinator's obs registry delta across the run
 	// (bd_analytics_* counters).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Metrics map[string]obs.Value `json:"metrics,omitempty"`
 }
 
 func writeAnalyticsJSON(cfg analyticsConfig, mode string, nodes int, res *analytics.JobResult,
-	metrics map[string]float64) int {
+	metrics map[string]obs.Value) int {
 	if cfg.jsonPath == "" {
 		return 0
 	}

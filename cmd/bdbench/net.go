@@ -192,9 +192,15 @@ func runListen(cfg netConfig) int {
 	if shards <= 0 {
 		shards = 1
 	}
-	cl := cluster.New(cluster.Config{Shards: shards, Replication: cfg.repl, Engine: cfg.engine})
-	srv, err := transport.ServeUntilSignal(cfg.listen, cl, transport.ServerOptions{},
+	events := obs.NewEventLog(256)
+	cl := cluster.New(cluster.Config{Shards: shards, Replication: cfg.repl, Engine: cfg.engine, Events: events})
+	reg := obs.NewRegistry()
+	cl.RegisterMetrics(reg)
+	obs.RegisterRuntimeMetrics(reg)
+	srv, err := transport.ServeUntilSignal(cfg.listen, cl, transport.ServerOptions{Metrics: reg, Events: events},
 		func(s *transport.Server) {
+			s.RegisterMetrics(reg)
+			events.SetNode(s.Addr())
 			fmt.Printf("bdbench: serving %d shards on %s\n", shards, s.Addr())
 		})
 	if err != nil && srv == nil {
@@ -596,7 +602,7 @@ func runNet(cfg netConfig) int {
 			Degraded  int64   `json:"degradedBatches"`
 			// Metrics is the client-side obs registry delta across the
 			// timed phase (bd_cluster_* and per-peer bd_transport_client_*).
-			Metrics map[string]float64 `json:"metrics,omitempty"`
+			Metrics map[string]obs.Value `json:"metrics,omitempty"`
 			// SLO is the -slo objective's standing over the run (lifetime
 			// compliance plus per-window burn rates).
 			SLO []obs.SLOReport `json:"slo,omitempty"`

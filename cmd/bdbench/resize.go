@@ -434,7 +434,7 @@ func runResize(cfg netConfig) int {
 			// Metrics is the coordinator-side obs registry delta across
 			// the timed phase (bd_cluster_* epoch/gossip/migration
 			// series included).
-			Metrics map[string]float64 `json:"metrics,omitempty"`
+			Metrics map[string]obs.Value `json:"metrics,omitempty"`
 		}{
 			Mode: "resize", Clients: cfg.clients, Batch: cfg.batch, Rows: cfg.rows,
 			ElapsedNs: elapsed.Nanoseconds(), Windows: windows,

@@ -40,6 +40,14 @@
 //	              chrome://tracing)
 //	GET /slowz    recent requests at or over -slowreq
 //	GET /sloz     SLO compliance + multi-window burn rates, with -slo
+//	GET /clusterz federated cluster metrics (DESIGN.md §15): every live
+//	              member's registry pulled over the wire and merged
+//	              exactly — Prometheus text by default, ?format=json
+//	              for per-node snapshots + errors
+//	GET /eventz   merged cross-node event timeline (view commits,
+//	              member transitions, failovers, hints, migration)
+//	GET /historyz retained snapshot ring; ?rate=<series>&lookback=30s
+//	              answers a counter's per-second rate from local history
 //	/debug/pprof  Go profiling handlers, only with -pprof
 //
 // The server and its cluster coordinator record into one shared span
@@ -151,6 +159,17 @@ func main() {
 	// Spans fetched from this process name their hop after the resolved
 	// listen address (only known once the listener is bound).
 	spans.SetNode(ln.Addr().String())
+	// selfAddr is how peers (and the federation) name this node: the
+	// advertised address when set, else the resolved listen address.
+	selfAddr := *advertise
+	if selfAddr == "" {
+		selfAddr = ln.Addr().String()
+	}
+	// One event ring for the whole process: the cluster coordinator
+	// records lifecycle transitions into it, OpEventsFetch and /eventz
+	// serve it, and the federation merges it with the peers' rings.
+	events := obs.NewEventLog(256)
+	events.SetNode(selfAddr)
 	// clPtr hands the cluster to the Dial callback, which outlives this
 	// scope and may fire (view bounces) before cl is assigned.
 	var clPtr atomic.Pointer[cluster.Cluster]
@@ -162,12 +181,9 @@ func main() {
 		ProbeInterval:  *probeIvl,
 		Engine:         engOpts,
 		Spans:          spans,
+		Events:         events,
 	}
 	if elastic {
-		selfAddr := *advertise
-		if selfAddr == "" {
-			selfAddr = ln.Addr().String()
-		}
 		clCfg.SelfAddr = selfAddr
 		clCfg.MigrateRate = *migRate
 		clCfg.Dial = func(peer string) (cluster.Remote, error) {
@@ -207,12 +223,8 @@ func main() {
 		Spans:       spans,
 	}
 	if *execOn {
-		self := *advertise
-		if self == "" {
-			self = ln.Addr().String()
-		}
 		ex = analytics.NewExecutor(analytics.ExecutorConfig{
-			Self:          self,
+			Self:          selfAddr,
 			Local:         cl,
 			MaxConcurrent: *taskSlots,
 		})
@@ -221,9 +233,19 @@ func main() {
 	reg := obs.NewRegistry()
 	cl.RegisterMetrics(reg)
 	transport.RegisterPoolMetrics(reg)
+	obs.RegisterRuntimeMetrics(reg)
 	if ex != nil {
 		ex.RegisterMetrics(reg)
 	}
+	// The full registry (transport series join it in onReady below) is
+	// what OpMetricsFetch snapshots, so a federating peer sees exactly
+	// this node's /metrics page.
+	srvOpts.Metrics = reg
+	srvOpts.Events = events
+	// Per-node time-series retention: ten minutes of 5s captures, so
+	// /historyz answers rates without an external TSDB.
+	hist := obs.NewHistory(120)
+	go watchCompactions(cl, events)
 	var onSignal func()
 	if elastic && *leaveOn {
 		onSignal = func() {
@@ -240,6 +262,9 @@ func main() {
 	srv, err := transport.ServeListenerUntilSignalHook(ln, cl, srvOpts,
 		func(s *transport.Server) {
 			s.RegisterMetrics(reg)
+			// Sample only once every series is registered, so the oldest
+			// retained capture can rate any of them.
+			hist.Start(reg, selfAddr, 5*time.Second)
 			var slo *obs.SLO
 			if sloThreshold > 0 {
 				slo = obs.NewSLO()
@@ -252,7 +277,18 @@ func main() {
 				slo.Start(10 * time.Second)
 			}
 			if livezLn != nil {
-				go serveLivez(livezLn, s, cl, reg, slo, *pprofOn)
+				fed := obs.NewFederator(obs.FederatorConfig{
+					Self:     obs.RegistryFetcher{Node: selfAddr, Registry: reg, Events: events},
+					SelfAddr: selfAddr,
+					Members:  cl.MemberAddrs,
+					Dial: func(peer string) (obs.Fetcher, error) {
+						return transport.Connect(peer, transport.ClientOptions{
+							Timeout:     2 * time.Second,
+							DialTimeout: 250 * time.Millisecond,
+						})
+					},
+				})
+				go serveLivez(livezLn, s, cl, reg, slo, fed, hist, *pprofOn)
 			}
 			if seeds := splitSeeds(*joinSeeds); len(seeds) > 0 {
 				// Join after the server is up so the seeds can dial back.
@@ -333,7 +369,7 @@ type statzSnapshot struct {
 // process; the daemon's graceful drain does not wait on it (liveness
 // during drain is a feature — the process is alive until it exits).
 func serveLivez(ln net.Listener, srv *transport.Server, cl *cluster.Cluster,
-	reg *obs.Registry, slo *obs.SLO, pprofOn bool) {
+	reg *obs.Registry, slo *obs.SLO, fed *obs.Federator, hist *obs.History, pprofOn bool) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/livez", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -348,6 +384,52 @@ func serveLivez(ln net.Listener, srv *transport.Server, cl *cluster.Cluster,
 		})
 	})
 	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/clusterz", func(w http.ResponseWriter, r *http.Request) {
+		// Every hit is one fresh federation poll: ask the view who is
+		// alive, fetch everyone in parallel, merge. Down members appear
+		// in errors; the merge covers the rest.
+		f := fed.Poll()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = core.EncodeJSON(w, f)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprintf(w, "# Federated from %d nodes at %s\n", len(f.Nodes), f.When.Format(time.RFC3339))
+		for addr, msg := range f.Errors {
+			fmt.Fprintf(w, "# UNREACHABLE %s: %s\n", addr, msg)
+		}
+		_ = f.Merged.WritePrometheus(w)
+	})
+	mux.HandleFunc("/eventz", func(w http.ResponseWriter, r *http.Request) {
+		f := fed.Poll()
+		type eventz struct {
+			When   time.Time         `json:"when"`
+			Events []obs.Event       `json:"events"`
+			Errors map[string]string `json:"errors,omitempty"`
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = core.EncodeJSON(w, eventz{When: f.When, Events: f.Events, Errors: f.Errors})
+	})
+	mux.HandleFunc("/historyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		q := r.URL.Query()
+		if name := q.Get("rate"); name != "" {
+			lookback, _ := time.ParseDuration(q.Get("lookback"))
+			rate, ok := hist.Rate(name, q.Get("labels"), lookback)
+			_ = core.EncodeJSON(w, map[string]any{"name": name, "rate": rate, "ok": ok})
+			return
+		}
+		pts := hist.Points()
+		type point struct {
+			When time.Time `json:"when"`
+		}
+		out := make([]point, len(pts))
+		for i, p := range pts {
+			out[i] = point{When: p.When}
+		}
+		_ = core.EncodeJSON(w, map[string]any{"points": len(pts), "times": out})
+	})
 	mux.Handle("/tracez", spanHandler(srv.Spans()))
 	mux.Handle("/slowz", spanHandler(srv.SlowLog()))
 	if slo != nil {
@@ -362,6 +444,27 @@ func serveLivez(ln net.Listener, srv *transport.Server, cl *cluster.Cluster,
 	}
 	if err := http.Serve(ln, mux); err != nil {
 		fmt.Fprintln(os.Stderr, "bdserve: livez:", err)
+	}
+}
+
+// watchCompactions folds the local engine's compaction counter into the
+// event timeline: one event per poll that saw passes run, with the
+// delta in the detail. Polling (rather than hooking the engine) keeps
+// the engine layer free of observability plumbing; 2s granularity is
+// plenty for a timeline. The goroutine lives as long as the process.
+func watchCompactions(cl *cluster.Cluster, events *obs.EventLog) {
+	t := time.NewTicker(2 * time.Second)
+	defer t.Stop()
+	last := cl.LocalEngineStats().Compactions
+	for range t.C {
+		now := cl.LocalEngineStats().Compactions
+		if now > last {
+			events.Record(obs.Event{
+				Kind:   obs.EventCompaction,
+				Detail: fmt.Sprintf("%d compaction passes", now-last),
+			})
+		}
+		last = now
 	}
 }
 

@@ -1,0 +1,346 @@
+// Command bdtop is the cluster observability console: a terminal view
+// of a running bdserve fleet, polled over the wire through the same
+// federation the /clusterz endpoint serves (DESIGN.md §15). Each
+// refresh pulls every live member's exact registry snapshot and event
+// tail concurrently (OpMetricsFetch / OpEventsFetch), merges them, and
+// renders cluster throughput, per-opcode latency quantiles, ring and
+// migration state, and the merged event timeline.
+//
+// Membership is discovered live: bdtop joins the cluster's gossip as a
+// route-only view adopter, so nodes that join or leave between
+// refreshes appear and disappear without restarting the console. When
+// the seeds are not elastic members (a static bdserve), bdtop falls
+// back to polling the seed list as given.
+//
+// Examples:
+//
+//	bdtop -addr 127.0.0.1:7421
+//	bdtop -addr 127.0.0.1:7481,127.0.0.1:7482 -interval 1s
+//	bdtop -addr 127.0.0.1:7421 -once            (one snapshot, plain text)
+//	bdtop -addr 127.0.0.1:7421 -once -json      (one federation document)
+//
+// A member that cannot be fetched is reported per refresh and the view
+// is built from everyone else — a down node degrades the console, never
+// hangs it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addrs    = flag.String("addr", "127.0.0.1:7421", "comma-separated member (or seed) addresses")
+		interval = flag.Duration("interval", 2*time.Second, "refresh period")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-refresh federation deadline")
+		once     = flag.Bool("once", false, "print one refresh and exit (no screen clearing)")
+		jsonOut  = flag.Bool("json", false, "emit each refresh as a federation JSON document")
+		count    = flag.Int("count", 0, "exit after this many refreshes (0 = run until interrupted)")
+		evTail   = flag.Int("events", 8, "event-timeline lines per refresh")
+	)
+	flag.Parse()
+	seeds := splitAddrs(*addrs)
+	if len(seeds) == 0 {
+		fmt.Fprintln(os.Stderr, "bdtop: -addr needs at least one address")
+		os.Exit(2)
+	}
+
+	members, coord := discover(seeds)
+	if coord != nil {
+		defer coord.Close()
+	}
+	fed := obs.NewFederator(obs.FederatorConfig{
+		Members: members,
+		Timeout: *timeout,
+		Dial: func(peer string) (obs.Fetcher, error) {
+			return transport.Connect(peer, transport.ClientOptions{
+				Timeout:     *timeout,
+				DialTimeout: 250 * time.Millisecond,
+			})
+		},
+	})
+	defer fed.Close()
+
+	var prev *obs.Federation
+	for n := 1; ; n++ {
+		f := fed.Poll()
+		if *jsonOut {
+			_ = core.EncodeJSON(os.Stdout, f)
+		} else {
+			if !*once {
+				fmt.Print("\x1b[2J\x1b[H") // clear + home between refreshes
+			}
+			render(os.Stdout, f, prev, *evTail)
+		}
+		if *once || (*count > 0 && n >= *count) {
+			return
+		}
+		prev = f
+		time.Sleep(*interval)
+	}
+}
+
+// discover returns the member-list source: a live gossip view when the
+// seeds are an elastic cluster (bdtop joins as a route-only adopter, so
+// joins and leaves track between refreshes), else the static seed list.
+func discover(seeds []string) (func() []string, *cluster.Cluster) {
+	var coordPtr atomic.Pointer[cluster.Cluster]
+	coord := cluster.New(cluster.Config{
+		RouteOnly: true,
+		Dial: func(peer string) (cluster.Remote, error) {
+			return transport.Connect(peer, transport.ClientOptions{
+				Timeout:     2 * time.Second,
+				DialTimeout: 250 * time.Millisecond,
+				PingTimeout: 250 * time.Millisecond,
+				OnView: func(view []byte) {
+					if c := coordPtr.Load(); c != nil {
+						_ = c.AdoptEncodedView(view)
+					}
+				},
+			})
+		},
+	})
+	coordPtr.Store(coord)
+	if err := coord.Join(seeds...); err != nil {
+		// Not an elastic cluster (or no seed up yet): poll the list as
+		// given. Static bdserves answer the fetch opcodes all the same.
+		coord.Close()
+		return func() []string { return seeds }, nil
+	}
+	return func() []string {
+		if m := coord.MemberAddrs(); len(m) > 0 {
+			return m
+		}
+		return seeds
+	}, coord
+}
+
+// render draws one refresh: header, cluster totals and rates (prev
+// supplies the earlier sample; rates print as "-" on the first
+// refresh), the per-opcode table, ring/migration/hint gauges, and the
+// merged event tail.
+func render(w *os.File, f, prev *obs.Federation, evTail int) {
+	fmt.Fprintf(w, "bdtop  %s  nodes=%d  epoch=%d  settled=%v  down=%d\n",
+		f.When.Format("15:04:05"), len(f.Nodes), maxGauge(f, "bd_cluster_epoch"),
+		minGauge(f, "bd_cluster_settled") >= 1, sumGauge(f, "bd_cluster_members_down"))
+	for _, addr := range sortedKeys(f.Errors) {
+		fmt.Fprintf(w, "  UNREACHABLE %s: %s\n", addr, f.Errors[addr])
+	}
+	dt := 0.0
+	if prev != nil {
+		dt = f.When.Sub(prev.When).Seconds()
+	}
+
+	fmt.Fprintf(w, "\nthroughput  %s req/s   in %s/s   out %s/s\n",
+		rate(f, prev, dt, "bd_transport_requests_total", anyLabels),
+		bytesRate(f, prev, dt, `{dir="in"}`), bytesRate(f, prev, dt, `{dir="out"}`))
+
+	fmt.Fprintf(w, "\n%-14s %12s %12s %10s %10s\n", "OP", "TOTAL", "RATE/S", "P50", "P99")
+	reqs := f.Merged.Family("bd_transport_requests_total")
+	lats := f.Merged.Family("bd_transport_op_seconds")
+	if reqs != nil {
+		for _, s := range reqs.Series {
+			if s.Value.Uint() == 0 {
+				continue // never-used opcodes stay off the board
+			}
+			op := labelValue(s.Labels, "op")
+			p50, p99 := "-", "-"
+			if lats != nil {
+				if ls := lats.Get(s.Labels); ls != nil {
+					if d, ok := ls.Quantile(0.50); ok {
+						p50 = shortDur(d)
+					}
+					if d, ok := ls.Quantile(0.99); ok {
+						p99 = shortDur(d)
+					}
+				}
+			}
+			fmt.Fprintf(w, "%-14s %12d %12s %10s %10s\n", op, s.Value.Uint(),
+				rate(f, prev, dt, "bd_transport_requests_total", s.Labels), p50, p99)
+		}
+	}
+
+	fmt.Fprintf(w, "\nring members=%d   migration keys=%d bytes=%d   hints pending=%d replayed=%d dropped=%d\n",
+		maxGauge(f, "bd_cluster_ring_members"),
+		lookupUint(f, "bd_cluster_migration_keys_total"), lookupUint(f, "bd_cluster_migration_bytes_total"),
+		sumGauge(f, "bd_cluster_hints_pending"),
+		lookupUint(f, "bd_cluster_hints_replayed_total"), lookupUint(f, "bd_cluster_hints_dropped_total"))
+
+	events := f.Events
+	if len(events) > evTail {
+		events = events[len(events)-evTail:]
+	}
+	if len(events) > 0 {
+		fmt.Fprintf(w, "\nevents (last %d of %d)\n", len(events), len(f.Events))
+		for _, e := range events {
+			fmt.Fprintf(w, "  %s  %-16s node=%s", e.Time.Format("15:04:05.000"), e.Kind, e.Node)
+			if e.Member != "" {
+				fmt.Fprintf(w, " member=%s", e.Member)
+			}
+			if e.Epoch != 0 {
+				fmt.Fprintf(w, " epoch=%d", e.Epoch)
+			}
+			if e.Detail != "" {
+				fmt.Fprintf(w, "  %s", e.Detail)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// anyLabels marks a rate over every series of the family summed.
+const anyLabels = "*"
+
+// familyTotal sums a counter family's series (all label sets) in a
+// snapshot; labels narrows to one series ("*" = all).
+func familyTotal(s *obs.RegistrySnapshot, name, labels string) (uint64, bool) {
+	fam := s.Family(name)
+	if fam == nil {
+		return 0, false
+	}
+	var total uint64
+	found := false
+	for _, ser := range fam.Series {
+		if labels == anyLabels || ser.Labels == labels {
+			total += ser.Value.Uint()
+			found = true
+		}
+	}
+	return total, found
+}
+
+// rate renders a counter's per-second rate between the two refreshes.
+func rate(f, prev *obs.Federation, dt float64, name, labels string) string {
+	if prev == nil || dt <= 0 {
+		return "-"
+	}
+	cur, okA := familyTotal(f.Merged, name, labels)
+	old, okB := familyTotal(prev.Merged, name, labels)
+	if !okA || !okB || cur < old {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", float64(cur-old)/dt)
+}
+
+// bytesRate renders a byte counter's rate in human units.
+func bytesRate(f, prev *obs.Federation, dt float64, labels string) string {
+	if prev == nil || dt <= 0 {
+		return "-"
+	}
+	cur, okA := familyTotal(f.Merged, "bd_transport_bytes_total", labels)
+	old, okB := familyTotal(prev.Merged, "bd_transport_bytes_total", labels)
+	if !okA || !okB || cur < old {
+		return "-"
+	}
+	return humanBytes(float64(cur-old) / dt)
+}
+
+// maxGauge takes a per-node gauge's maximum — right for values every
+// node reports about the shared view (epoch, ring size), where the
+// merge's sum would multiply by the node count.
+func maxGauge(f *obs.Federation, name string) int64 {
+	var max int64
+	for _, n := range f.Nodes {
+		if v, ok := n.Metrics.Lookup(name, ""); ok && int64(v.Float()) > max {
+			max = int64(v.Float())
+		}
+	}
+	return max
+}
+
+// minGauge is maxGauge's dual — right for all-must-agree flags like
+// settled.
+func minGauge(f *obs.Federation, name string) int64 {
+	min, first := int64(0), true
+	for _, n := range f.Nodes {
+		if v, ok := n.Metrics.Lookup(name, ""); ok {
+			if g := int64(v.Float()); first || g < min {
+				min, first = g, false
+			}
+		}
+	}
+	return min
+}
+
+// sumGauge sums a genuinely per-node gauge (pending hints, down count).
+func sumGauge(f *obs.Federation, name string) int64 {
+	var total int64
+	for _, n := range f.Nodes {
+		if v, ok := n.Metrics.Lookup(name, ""); ok {
+			total += int64(v.Float())
+		}
+	}
+	return total
+}
+
+func lookupUint(f *obs.Federation, name string) uint64 {
+	v, _ := f.Merged.Lookup(name, "")
+	return v.Uint()
+}
+
+// labelValue extracts one key's value from a rendered {k="v",…} set.
+func labelValue(labels, key string) string {
+	i := strings.Index(labels, key+`="`)
+	if i < 0 {
+		return labels
+	}
+	rest := labels[i+len(key)+2:]
+	if j := strings.IndexByte(rest, '"'); j >= 0 {
+		return rest[:j]
+	}
+	return rest
+}
+
+func shortDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func humanBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func splitAddrs(spec string) []string {
+	var out []string
+	for _, s := range strings.Split(spec, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -49,17 +49,17 @@ func TestJobTracePropagatesToExecutors(t *testing.T) {
 	}
 
 	snap := coordReg.Snapshot()
-	if snap["bd_analytics_jobs_total"] != 1 {
+	if snap["bd_analytics_jobs_total"].Float() != 1 {
 		t.Errorf("jobs counter = %v, want 1", snap["bd_analytics_jobs_total"])
 	}
-	if snap["bd_analytics_shuffle_bytes_total"] <= 0 {
+	if snap["bd_analytics_shuffle_bytes_total"].Float() <= 0 {
 		t.Errorf("shuffle bytes counter = %v, want > 0", snap["bd_analytics_shuffle_bytes_total"])
 	}
 	var maps, reduces float64
 	for _, er := range execRegs {
 		s := er.Snapshot()
-		maps += s[`bd_analytics_tasks_total{kind="map"}`]
-		reduces += s[`bd_analytics_tasks_total{kind="reduce"}`]
+		maps += s[`bd_analytics_tasks_total{kind="map"}`].Float()
+		reduces += s[`bd_analytics_tasks_total{kind="reduce"}`].Float()
 	}
 	if int(maps) != res.MapTasks || int(reduces) != res.ReduceTasks {
 		t.Errorf("executor task counters = %v maps / %v reduces, result says %d / %d",

@@ -83,6 +83,14 @@ type Config struct {
 	// each time a new membership view commits. Edge-facing layers use it
 	// to restamp client epochs.
 	OnViewChange func(*ClusterView)
+	// Events, when non-nil, receives typed lifecycle events: view
+	// commits that advance the epoch, failure-detector transitions
+	// (suspect/down/alive/declared-dead), failovers around a down
+	// primary, hint replays and drops, and migration start/settle.
+	// Point it at the same log the transport server exposes
+	// (transport.ServerOptions.Events) so OpEventsFetch serves the
+	// cluster's timeline. Nil disables event recording.
+	Events *obs.EventLog
 }
 
 func (c *Config) normalize() {
@@ -142,6 +150,12 @@ type Cluster struct {
 	closed bool
 	// spans is cfg.Spans, cached for the hot paths (nil = no tracing).
 	spans *obs.SpanLog
+	// events is cfg.Events (nil = no event recording; EventLog methods
+	// are nil-safe, so emit sites carry no guards).
+	events *obs.EventLog
+	// migStartEpoch is the highest epoch a migration-start event was
+	// recorded for, so retried copy passes log the start once.
+	migStartEpoch atomic.Uint64
 
 	// view is the current membership view; ring is always view.Ring()
 	// (elastic) or an equivalent hand-maintained ring (legacy AddNode /
@@ -209,7 +223,7 @@ type Cluster struct {
 // participant (see Config.SelfAddr).
 func New(cfg Config) *Cluster {
 	cfg.normalize()
-	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}, spans: cfg.Spans, selfID: -1}
+	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}, spans: cfg.Spans, events: cfg.Events, selfID: -1}
 	if cfg.SelfAddr != "" || cfg.RouteOnly {
 		return c.initElastic()
 	}
@@ -226,7 +240,7 @@ func New(cfg Config) *Cluster {
 // first member joins, reads miss and batches return ErrNoNodes.
 func NewEmpty(cfg Config) *Cluster {
 	cfg.normalize()
-	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}, spans: cfg.Spans, selfID: -1}
+	c := &Cluster{cfg: cfg, ring: NewRing(cfg.VirtualNodes), nodes: map[int]*memberState{}, spans: cfg.Spans, events: cfg.Events, selfID: -1}
 	c.rebuildStaticViewLocked()
 	return c
 }
@@ -253,6 +267,7 @@ func (c *Cluster) initElastic() *Cluster {
 		n.start()
 		ms := newMemberState(n, c.cfg.ProbeFailures, c.cfg.HintLimit)
 		ms.spans = c.spans
+		ms.events = c.events
 		ms.addr = c.cfg.SelfAddr
 		c.nodes[c.selfID] = ms
 		rows = append(rows, MemberInfo{
@@ -337,6 +352,7 @@ func (c *Cluster) addNodeLocked() *Node {
 	n.start()
 	ms := newMemberState(n, c.cfg.ProbeFailures, c.cfg.HintLimit)
 	ms.spans = c.spans
+	ms.events = c.events
 	c.nodes[id] = ms
 	c.ring.Add(id)
 	return n
@@ -406,9 +422,11 @@ func (c *Cluster) Get(key []byte) ([]byte, bool) {
 		}
 		if err != nil {
 			c.readFailovers.Add(1)
+			c.noteFailoverEvent("read", m)
 		}
 	} else {
 		c.readFailovers.Add(1)
+		c.noteFailoverEvent("read", m)
 	}
 	// Degraded path: the primary is down, failed the read, or missed
 	// with a post-recovery history that makes its misses ambiguous —
@@ -467,6 +485,7 @@ func (c *Cluster) write(op Op) error {
 	}
 	if lead != 0 {
 		c.writeFailovers.Add(1) // the primary is down: a surviving owner leads
+		c.noteFailoverEvent("write", owners[0])
 	}
 	// Replica mirrors are not counted in NodeStats.Ops (matching the
 	// batched path); they surface in the replica's engine stats instead.

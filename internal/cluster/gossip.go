@@ -2,7 +2,10 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the dissemination half of the elastic membership layer:
@@ -239,6 +242,12 @@ func (c *Cluster) commitViewLocked(v *ClusterView) {
 	}
 	if prev == nil || v.Epoch != prev.Epoch {
 		c.viewChanges.Add(1)
+		// Record is lock-cheap and never calls out, so it is safe here
+		// under c.mu.
+		c.events.Record(obs.Event{
+			Kind: obs.EventViewCommit, Epoch: v.Epoch,
+			Detail: fmt.Sprintf("view committed: %d members, settled=%v", len(v.Members), v.AllSettled()),
+		})
 	}
 	if v.AllSettled() {
 		c.lastSettled = v
@@ -323,6 +332,7 @@ func (c *Cluster) addViewMember(m MemberInfo, r Remote) {
 	rm.setEpoch(c.epoch.Load())
 	ms := newMemberState(rm, c.cfg.ProbeFailures, c.cfg.HintLimit)
 	ms.spans = c.spans
+	ms.events = c.events
 	ms.addr = m.Addr
 	c.mu.Lock()
 	if c.closed || c.nodes[m.ID] != nil {
@@ -531,6 +541,10 @@ func (c *Cluster) publishHealth(members []*memberState) {
 			row.Status = StatusLeft
 			row.Incarnation++
 			nv = nv.withRow(row)
+			c.events.Record(obs.Event{
+				Kind: obs.EventMemberDead, Member: row.Addr, Epoch: nv.Epoch,
+				Detail: fmt.Sprintf("declared dead after %d down sweeps; ring heals around the loss", m.downSweeps),
+			})
 			continue
 		}
 		if row.Status == StatusLeaving {
@@ -543,6 +557,14 @@ func (c *Cluster) publishHealth(members []*memberState) {
 			want = StatusSuspect
 		}
 		if want != row.Status {
+			kind := obs.EventMemberAlive
+			switch want {
+			case StatusDown:
+				kind = obs.EventMemberDown
+			case StatusSuspect:
+				kind = obs.EventMemberSuspect
+			}
+			c.events.Record(obs.Event{Kind: kind, Member: row.Addr, Epoch: nv.Epoch})
 			row.Status = want
 			row.Incarnation++
 			nv = nv.withRow(row)

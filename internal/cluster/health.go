@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,15 @@ type memberState struct {
 	// whenever a traced replica write defers to the handoff buffer, so
 	// an assembled trace shows which copy was hinted rather than applied.
 	spans *obs.SpanLog
+	// events receives lifecycle events (nil-safe). failoverEvented and
+	// dropEvented throttle the per-request emit sites to one event per
+	// down episode — failovers and hint drops happen per op, and an
+	// outage would otherwise flood the bounded ring with duplicates,
+	// evicting the transitions that explain it. Both reset when the
+	// member recovers.
+	events          *obs.EventLog
+	failoverEvented atomic.Bool
+	dropEvented     atomic.Bool
 
 	// addr is the member's advertised address on elastic clusters (empty
 	// for legacy members); it keys the member's view row.
@@ -97,12 +107,28 @@ func (s *memberState) bufferHint(op Op) {
 		h.Value = append([]byte(nil), op.Value...)
 	}
 	s.hmu.Lock()
-	if len(s.hints) >= s.hintCap {
+	dropping := len(s.hints) >= s.hintCap
+	if dropping {
 		s.hints = s.hints[1:]
 		s.dropped.Add(1)
 	}
 	s.hints = append(s.hints, h)
 	s.hmu.Unlock()
+	if dropping && !s.dropEvented.Swap(true) {
+		s.events.Record(obs.Event{
+			Kind: obs.EventHintDrop, Member: s.label(),
+			Detail: fmt.Sprintf("hint buffer full at %d ops; oldest dropped — convergence needs rebalance", s.hintCap),
+		})
+	}
+}
+
+// label names the member for event timelines: its advertised address on
+// elastic clusters, a synthetic id otherwise.
+func (s *memberState) label() string {
+	if s.addr != "" {
+		return s.addr
+	}
+	return fmt.Sprintf("member-%d", s.memberID())
 }
 
 // hintsPending returns the current replay backlog.
@@ -119,12 +145,23 @@ func (s *memberState) hintsPending() int {
 // undelivered hints ahead of it. A replay failure re-buffers the
 // unapplied tail and leaves the member down.
 func (s *memberState) drainHints() error {
+	var drained uint64
 	for {
 		s.hmu.Lock()
 		if len(s.hints) == 0 {
 			s.down.Store(false)
 			s.consecFails.Store(0)
 			s.hmu.Unlock()
+			// The down episode is over: re-arm the per-episode event
+			// throttles and log the replay that healed it.
+			s.failoverEvented.Store(false)
+			s.dropEvented.Store(false)
+			if drained > 0 {
+				s.events.Record(obs.Event{
+					Kind: obs.EventHintReplay, Member: s.label(),
+					Detail: fmt.Sprintf("replayed %d buffered writes", drained),
+				})
+			}
 			return nil
 		}
 		batch := s.hints
@@ -145,6 +182,7 @@ func (s *memberState) drainHints() error {
 				return err
 			}
 			s.replayed.Add(1)
+			drained++
 		}
 	}
 }
@@ -402,6 +440,42 @@ func (c *Cluster) startProberLocked() {
 			}
 		}
 	}(c.proberStop)
+}
+
+// MemberAddrs returns the advertised address of every member the
+// current view still counts (everything but Left tombstones), sorted —
+// the federation's discovery list. Down members are included on
+// purpose: the federator attempts them and names them in its partial-
+// failure report instead of silently narrowing the cluster.
+func (c *Cluster) MemberAddrs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.view == nil {
+		return nil
+	}
+	out := make([]string, 0, len(c.view.Members))
+	for _, m := range c.view.Members {
+		if m.Addr == "" || m.Status == StatusLeft {
+			continue
+		}
+		out = append(out, m.Addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// noteFailoverEvent logs one failover event per member per down
+// episode (kind is "read" or "write"). Failovers are per-request, so
+// the throttle keeps a sustained outage from flooding the event ring
+// with one entry per op; the failover *counters* still count every op.
+func (c *Cluster) noteFailoverEvent(kind string, m *memberState) {
+	if c.events == nil || m == nil || m.failoverEvented.Swap(true) {
+		return
+	}
+	c.events.Record(obs.Event{
+		Kind: obs.EventFailover, Member: m.label(), Epoch: c.epoch.Load(),
+		Detail: kind + " routed around down primary",
+	})
 }
 
 // MemberDown reports whether the failure detector currently considers

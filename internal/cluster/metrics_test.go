@@ -27,14 +27,14 @@ func TestClusterMetricsFamilies(t *testing.T) {
 		}
 	}
 	snap := reg.Snapshot()
-	if snap["bd_cluster_members"] != 2 || snap["bd_cluster_members_down"] != 0 {
+	if snap["bd_cluster_members"].Float() != 2 || snap["bd_cluster_members_down"].Float() != 0 {
 		t.Fatalf("healthy membership gauges: members=%v down=%v",
 			snap["bd_cluster_members"], snap["bd_cluster_members_down"])
 	}
-	if snap["bd_engine_puts_total"] == 0 {
+	if snap["bd_engine_puts_total"].Float() == 0 {
 		t.Fatal("local engine puts not visible in bd_engine_puts_total")
 	}
-	if snap[`bd_cluster_failovers_total{kind="write"}`] != 0 {
+	if snap[`bd_cluster_failovers_total{kind="write"}`].Float() != 0 {
 		t.Fatal("write failovers counted on a healthy cluster")
 	}
 
@@ -49,29 +49,29 @@ func TestClusterMetricsFamilies(t *testing.T) {
 		}
 	}
 	snap = reg.Snapshot()
-	if snap["bd_cluster_members_down"] != 1 {
+	if snap["bd_cluster_members_down"].Float() != 1 {
 		t.Fatalf("members_down = %v, want 1", snap["bd_cluster_members_down"])
 	}
-	if snap["bd_cluster_hints_pending"] == 0 {
+	if snap["bd_cluster_hints_pending"].Float() == 0 {
 		t.Fatal("no pending hints visible while the primary is down")
 	}
-	if snap[`bd_cluster_failovers_total{kind="write"}`] == 0 {
+	if snap[`bd_cluster_failovers_total{kind="write"}`].Float() == 0 {
 		t.Fatal("write failovers not counted")
 	}
-	if snap[`bd_cluster_failovers_total{kind="read"}`] == 0 {
+	if snap[`bd_cluster_failovers_total{kind="read"}`].Float() == 0 {
 		t.Fatal("read failovers not counted")
 	}
 
 	rem.down.Store(false)
 	c.Probe()
 	snap = reg.Snapshot()
-	if snap["bd_cluster_members_down"] != 0 {
+	if snap["bd_cluster_members_down"].Float() != 0 {
 		t.Fatalf("members_down after recovery = %v, want 0", snap["bd_cluster_members_down"])
 	}
-	if snap["bd_cluster_hints_pending"] != 0 {
+	if snap["bd_cluster_hints_pending"].Float() != 0 {
 		t.Fatalf("hints still pending after replay: %v", snap["bd_cluster_hints_pending"])
 	}
-	if snap["bd_cluster_hints_replayed_total"] == 0 {
+	if snap["bd_cluster_hints_replayed_total"].Float() == 0 {
 		t.Fatal("replayed hints not counted")
 	}
 

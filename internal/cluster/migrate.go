@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file moves data when ownership moves. Every epoch bump (a member
@@ -121,6 +124,15 @@ func (c *Cluster) migrateStep() {
 	}
 	switch {
 	case row.Settled < v.Epoch:
+		if c.migStartEpoch.Load() < v.Epoch {
+			// Once per epoch, not per retry: an aborted pass re-enters
+			// here on the next tick.
+			c.migStartEpoch.Store(v.Epoch)
+			c.events.Record(obs.Event{
+				Kind: obs.EventMigrationStart, Epoch: v.Epoch,
+				Detail: fmt.Sprintf("copy pass toward epoch %d began", v.Epoch),
+			})
+		}
 		if !c.copyPass(v, base, node) {
 			return // aborted (epoch moved, peer unreachable): retry next tick
 		}
@@ -301,6 +313,10 @@ func (c *Cluster) settleSelf(epoch uint64) {
 		return
 	}
 	row.Settled = epoch
+	c.events.Record(obs.Event{
+		Kind: obs.EventMigrationEnd, Epoch: epoch,
+		Detail: fmt.Sprintf("epoch %d settled locally: migrated copies durable", epoch),
+	})
 	c.commitViewLocked(c.view.withRow(row))
 	v := c.view
 	cb := c.cfg.OnViewChange

@@ -120,6 +120,7 @@ func (c *Cluster) AddRemote(r Remote) (int, MoveReport, error) {
 	rm.lr, _ = r.(localRemote)
 	ms := newMemberState(rm, c.cfg.ProbeFailures, c.cfg.HintLimit)
 	ms.spans = c.spans
+	ms.events = c.events
 	c.nodes[id] = ms
 	c.ring.Add(id)
 	c.rebuildStaticViewLocked()

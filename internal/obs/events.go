@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The structured cluster event log (DESIGN.md §15): a bounded ring of
+// typed lifecycle events — the "why" channel next to the metrics
+// plane's "how much". Metrics tell you the epoch is 7; the event log
+// tells you it got there because 127.0.0.1:7482 was declared dead two
+// sweeps after going down. Events are fetched over the wire
+// (OpEventsFetch) and merged into one cross-node timeline by the
+// Federator.
+
+// EventKind is the taxonomy of cluster lifecycle events.
+type EventKind uint8
+
+const (
+	EventNone           EventKind = iota
+	EventViewCommit               // a view commit advanced the epoch
+	EventMemberSuspect            // failure detector: first missed probes
+	EventMemberDown               // failure detector: declared down
+	EventMemberDead               // declared dead — Left, off the ring for good
+	EventMemberAlive              // a down member answered again
+	EventFailover                 // a request was served around a down primary
+	EventHintReplay               // buffered hints replayed onto a recovered member
+	EventHintDrop                 // a hint was dropped past the buffer bound
+	EventMigrationStart           // first copy pass toward a new epoch began
+	EventMigrationEnd             // this node settled the epoch (copies durable)
+	EventCompaction               // a local engine ran compaction passes
+)
+
+var eventKindNames = [...]string{
+	EventNone:           "none",
+	EventViewCommit:     "view-commit",
+	EventMemberSuspect:  "member-suspect",
+	EventMemberDown:     "member-down",
+	EventMemberDead:     "member-dead",
+	EventMemberAlive:    "member-alive",
+	EventFailover:       "failover",
+	EventHintReplay:     "hint-replay",
+	EventHintDrop:       "hint-drop",
+	EventMigrationStart: "migration-start",
+	EventMigrationEnd:   "migration-end",
+	EventCompaction:     "compaction",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one recorded lifecycle transition. Node is the recording
+// process, Member the subject member's address when the event is about
+// a peer, Epoch the recorder's view epoch at record time, and Trace an
+// optional trace id linking the event to a request's span tree.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   EventKind `json:"kind"`
+	Node   string    `json:"node,omitempty"`
+	Member string    `json:"member,omitempty"`
+	Epoch  uint64    `json:"epoch,omitempty"`
+	Trace  uint64    `json:"trace,string,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// MarshalJSON renders Kind by name so timelines read without a decoder
+// ring; the rest of the struct marshals conventionally.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the name form.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	if len(b) >= 2 {
+		name := string(b[1 : len(b)-1])
+		for i, n := range eventKindNames {
+			if n == name {
+				*k = EventKind(i)
+				return nil
+			}
+		}
+	}
+	*k = EventNone
+	return nil
+}
+
+// EventLog is a bounded ring of events, evicting oldest-first like
+// SpanLog. Record is mutex-and-copy cheap — safe to call under a
+// caller's own locks (commitViewLocked records while holding the
+// cluster mutex) because it never calls out. A nil *EventLog is a
+// valid no-op recorder, so emit sites need no guards.
+type EventLog struct {
+	mu   sync.Mutex
+	node string
+	buf  []Event
+	next int
+	seq  uint64
+}
+
+// NewEventLog returns a ring holding the last size events (minimum 16).
+func NewEventLog(size int) *EventLog {
+	if size < 16 {
+		size = 16
+	}
+	return &EventLog{buf: make([]Event, 0, size)}
+}
+
+// SetNode names the recording process; events recorded with an empty
+// Node are stamped with it.
+func (l *EventLog) SetNode(name string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.node = name
+	l.mu.Unlock()
+}
+
+// Record appends one event, stamping Seq (per-log monotonic), Time
+// (when zero) and Node (when empty), evicting the oldest when full.
+func (l *EventLog) Record(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if e.Node == "" {
+		e.Node = l.node
+	}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.mu.Unlock()
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// MergeEvents folds per-node event sets into one timeline ordered by
+// wall-clock time (ties broken by node then sequence). Cross-node
+// clocks are uncoordinated, so closely-spaced events may order by
+// skew — the same best-effort any log aggregator makes; within one
+// node the sequence keeps order exact.
+func MergeEvents(sets ...[]Event) []Event {
+	n := 0
+	for _, s := range sets {
+		n += len(s)
+	}
+	out := make([]Event, 0, n)
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// ---- binary codec --------------------------------------------------------
+//
+// The payload of a RespEvents frame: u8 version, u32 count, then per
+// event the fixed numerics followed by the three str16 fields.
+
+const eventsVersion = 1
+
+const eventFixedLen = 8 + 8 + 1 + 8 + 8 // seq, unixnano, kind, epoch, trace
+
+// EncodedEventsLen sizes EncodeEvents' output without building it, so
+// a server can shed oldest events until the rest fit a frame budget.
+func EncodedEventsLen(events []Event) int {
+	n := 1 + 4
+	for i := range events {
+		e := &events[i]
+		n += eventFixedLen + 2 + len(e.Node) + 2 + len(e.Member) + 2 + len(e.Detail)
+	}
+	return n
+}
+
+// EncodeEvents serializes events for the wire.
+func EncodeEvents(events []Event) []byte {
+	out := make([]byte, 0, EncodedEventsLen(events))
+	out = append(out, eventsVersion)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(events)))
+	for i := range events {
+		e := &events[i]
+		out = binary.BigEndian.AppendUint64(out, e.Seq)
+		out = binary.BigEndian.AppendUint64(out, uint64(e.Time.UnixNano()))
+		out = append(out, byte(e.Kind))
+		out = binary.BigEndian.AppendUint64(out, e.Epoch)
+		out = binary.BigEndian.AppendUint64(out, e.Trace)
+		out = appendStr16(out, e.Node)
+		out = appendStr16(out, e.Member)
+		out = appendStr16(out, e.Detail)
+	}
+	return out
+}
+
+// DecodeEvents parses an EncodeEvents payload.
+func DecodeEvents(b []byte) ([]Event, error) {
+	if len(b) < 5 || b[0] != eventsVersion {
+		return nil, errBadSnapshot
+	}
+	count := int(binary.BigEndian.Uint32(b[1:]))
+	b = b[5:]
+	out := make([]Event, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < eventFixedLen {
+			return nil, errBadSnapshot
+		}
+		var e Event
+		e.Seq = binary.BigEndian.Uint64(b)
+		e.Time = time.Unix(0, int64(binary.BigEndian.Uint64(b[8:])))
+		e.Kind = EventKind(b[16])
+		e.Epoch = binary.BigEndian.Uint64(b[17:])
+		e.Trace = binary.BigEndian.Uint64(b[25:])
+		b = b[eventFixedLen:]
+		var ok bool
+		if e.Node, b, ok = takeStr16(b); !ok {
+			return nil, errBadSnapshot
+		}
+		if e.Member, b, ok = takeStr16(b); !ok {
+			return nil, errBadSnapshot
+		}
+		if e.Detail, b, ok = takeStr16(b); !ok {
+			return nil, errBadSnapshot
+		}
+		out = append(out, e)
+	}
+	if len(b) != 0 {
+		return nil, errBadSnapshot
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The Federator is the pull side of the observability plane: it asks
+// the membership layer who is alive, fetches every live node's
+// registry snapshot and event tail concurrently over the data-plane
+// wire, and merges them into one cluster view. Partial failure is a
+// first-class result, not an error: a down member yields an entry in
+// Federation.Errors and the merge proceeds with everyone else, and a
+// hung member costs at most Timeout — never a hang.
+
+// Fetcher pulls one node's observability state. transport.Client
+// implements it over OpMetricsFetch/OpEventsFetch; RegistryFetcher
+// implements it in-process for the node's own registry.
+type Fetcher interface {
+	FetchMetrics() (*RegistrySnapshot, error)
+	FetchEvents() ([]Event, error)
+}
+
+// RegistryFetcher is the in-process Fetcher for the local node — the
+// federating daemon includes itself without a loopback dial.
+type RegistryFetcher struct {
+	Node     string
+	Registry *Registry
+	Events   *EventLog
+}
+
+// FetchMetrics captures the local registry.
+func (f RegistryFetcher) FetchMetrics() (*RegistrySnapshot, error) {
+	if f.Registry == nil {
+		return &RegistrySnapshot{Node: f.Node}, nil
+	}
+	return f.Registry.Capture(f.Node), nil
+}
+
+// FetchEvents returns the local event tail.
+func (f RegistryFetcher) FetchEvents() ([]Event, error) {
+	return f.Events.Events(), nil
+}
+
+// FederatorConfig wires a Federator to a cluster.
+type FederatorConfig struct {
+	// Self fetches the local node without a network hop. Optional.
+	Self Fetcher
+	// SelfAddr is the local node's advertised address; it is skipped
+	// in the Members list when Self is set (so the local node is not
+	// fetched twice).
+	SelfAddr string
+	// Members lists the live members' advertised addresses — typically
+	// a closure over the gossip ClusterView. Called once per Poll, so
+	// elastic membership changes are picked up between polls.
+	Members func() []string
+	// Dial opens a Fetcher to a member. Connections are cached across
+	// polls and dropped on first error.
+	Dial func(addr string) (Fetcher, error)
+	// Timeout bounds each member's fetch (default 2s). A member that
+	// exceeds it is reported in Federation.Errors for that poll.
+	Timeout time.Duration
+}
+
+// NodeState is one member's fetched observability state.
+type NodeState struct {
+	Addr    string            `json:"addr"`
+	Metrics *RegistrySnapshot `json:"metrics,omitempty"`
+	Events  []Event           `json:"events,omitempty"`
+}
+
+// Federation is one poll's cluster-wide result: every reachable node's
+// snapshot, the exact merged registry, the merged event timeline, and
+// the nodes that could not be fetched this round.
+type Federation struct {
+	When   time.Time         `json:"when"`
+	Nodes  []NodeState       `json:"nodes"`
+	Merged *RegistrySnapshot `json:"merged"`
+	Events []Event           `json:"events,omitempty"`
+	Errors map[string]string `json:"errors,omitempty"`
+}
+
+// Federator polls a changing member set and merges the results.
+type Federator struct {
+	cfg FederatorConfig
+
+	mu    sync.Mutex
+	conns map[string]Fetcher
+}
+
+// NewFederator returns a Federator over cfg.
+func NewFederator(cfg FederatorConfig) *Federator {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	return &Federator{cfg: cfg, conns: map[string]Fetcher{}}
+}
+
+// Close drops every cached member connection (those implementing
+// io.Closer are closed).
+func (f *Federator) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for addr, c := range f.conns {
+		if cl, ok := c.(interface{ Close() error }); ok {
+			_ = cl.Close()
+		}
+		delete(f.conns, addr)
+	}
+}
+
+type fetchResult struct {
+	state NodeState
+	err   error
+}
+
+// Poll fetches every live member concurrently and merges. It returns
+// after at most Timeout (all fetches run in parallel); members that
+// miss the deadline or fail are named in Errors with the merge built
+// from the rest.
+func (f *Federator) Poll() *Federation {
+	fed := &Federation{When: time.Now(), Errors: map[string]string{}}
+	type pending struct {
+		addr string
+		ch   chan fetchResult
+	}
+	var fetches []pending
+	if f.cfg.Self != nil {
+		fetches = append(fetches, pending{addr: f.cfg.SelfAddr, ch: f.fetchAsync(f.cfg.SelfAddr, f.cfg.Self)})
+	}
+	seen := map[string]bool{f.cfg.SelfAddr: f.cfg.Self != nil}
+	if f.cfg.Members != nil {
+		for _, addr := range f.cfg.Members() {
+			if addr == "" || seen[addr] {
+				continue
+			}
+			seen[addr] = true
+			fetches = append(fetches, pending{addr: addr, ch: f.fetchAsync(addr, nil)})
+		}
+	}
+	// One shared deadline for the whole poll: the fetches run in
+	// parallel, so the slowest (or hung) member bounds the poll at
+	// Timeout, not Timeout×members. A closed channel (not a timer
+	// receive) marks expiry so every remaining collect sees it.
+	expired := make(chan struct{})
+	timer := time.AfterFunc(f.cfg.Timeout, func() { close(expired) })
+	defer timer.Stop()
+	collect := func(p pending, res fetchResult) {
+		if res.err != nil {
+			fed.Errors[p.addr] = res.err.Error()
+			f.dropConn(p.addr)
+			return
+		}
+		fed.Nodes = append(fed.Nodes, res.state)
+	}
+	for _, p := range fetches {
+		select {
+		case res := <-p.ch:
+			collect(p, res)
+		case <-expired:
+			// Deadline hit: take a result that raced in, otherwise
+			// report the member missing. The fetch goroutine finishes
+			// on its own (the wire client has its own timeouts) and
+			// the redial on the next poll starts clean.
+			select {
+			case res := <-p.ch:
+				collect(p, res)
+			default:
+				fed.Errors[p.addr] = fmt.Sprintf("no snapshot within %v", f.cfg.Timeout)
+				f.dropConn(p.addr)
+			}
+		}
+	}
+	snaps := make([]*RegistrySnapshot, 0, len(fed.Nodes))
+	eventSets := make([][]Event, 0, len(fed.Nodes))
+	for i := range fed.Nodes {
+		snaps = append(snaps, fed.Nodes[i].Metrics)
+		eventSets = append(eventSets, fed.Nodes[i].Events)
+	}
+	fed.Merged = MergeSnapshots("cluster", snaps)
+	fed.Events = MergeEvents(eventSets...)
+	if len(fed.Errors) == 0 {
+		fed.Errors = nil
+	}
+	sort.Slice(fed.Nodes, func(i, j int) bool { return fed.Nodes[i].Addr < fed.Nodes[j].Addr })
+	return fed
+}
+
+// fetchAsync starts one member's fetch and returns its result channel.
+func (f *Federator) fetchAsync(addr string, fixed Fetcher) chan fetchResult {
+	ch := make(chan fetchResult, 1)
+	go func() {
+		fetcher := fixed
+		if fetcher == nil {
+			var err error
+			fetcher, err = f.conn(addr)
+			if err != nil {
+				ch <- fetchResult{err: err}
+				return
+			}
+		}
+		snap, err := fetcher.FetchMetrics()
+		if err != nil {
+			ch <- fetchResult{err: err}
+			return
+		}
+		if snap.Node == "" {
+			snap.Node = addr
+		}
+		events, err := fetcher.FetchEvents()
+		if err != nil {
+			ch <- fetchResult{err: err}
+			return
+		}
+		ch <- fetchResult{state: NodeState{Addr: addr, Metrics: snap, Events: events}}
+	}()
+	return ch
+}
+
+// conn returns the cached Fetcher for addr, dialing on first use.
+func (f *Federator) conn(addr string) (Fetcher, error) {
+	f.mu.Lock()
+	c := f.conns[addr]
+	f.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	if f.cfg.Dial == nil {
+		return nil, fmt.Errorf("obs: no dialer for member %s", addr)
+	}
+	c, err := f.cfg.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.conns[addr] = c
+	f.mu.Unlock()
+	return c, nil
+}
+
+// dropConn evicts (and closes) addr's cached connection after a fetch
+// failure, so the next poll redials instead of reusing a wedged conn.
+func (f *Federator) dropConn(addr string) {
+	f.mu.Lock()
+	c := f.conns[addr]
+	delete(f.conns, addr)
+	f.mu.Unlock()
+	if cl, ok := c.(interface{ Close() error }); ok {
+		_ = cl.Close()
+	}
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubFetcher is a scripted Fetcher for federation tests.
+type stubFetcher struct {
+	snap   *RegistrySnapshot
+	events []Event
+	err    error
+	delay  time.Duration
+}
+
+func (s stubFetcher) FetchMetrics() (*RegistrySnapshot, error) {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.snap, nil
+}
+
+func (s stubFetcher) FetchEvents() ([]Event, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.events, nil
+}
+
+func nodeSnap(node string, ops uint64) *RegistrySnapshot {
+	r := NewRegistry()
+	c := r.Counter("bd_test_ops_total", "t", nil)
+	c.Add(ops)
+	h := r.Histogram("bd_test_seconds", "t", nil)
+	h.Observe(time.Duration(ops) * time.Microsecond)
+	return r.Capture(node)
+}
+
+func TestFederatorMergesAllMembers(t *testing.T) {
+	conns := map[string]Fetcher{
+		"n2": stubFetcher{snap: nodeSnap("n2", 7)},
+		"n3": stubFetcher{snap: nodeSnap("n3", 5)},
+	}
+	f := NewFederator(FederatorConfig{
+		Self:     stubFetcher{snap: nodeSnap("n1", 3)},
+		SelfAddr: "n1",
+		Members:  func() []string { return []string{"n1", "n2", "n3"} },
+		Dial:     func(addr string) (Fetcher, error) { return conns[addr], nil },
+		Timeout:  2 * time.Second,
+	})
+	fed := f.Poll()
+	if len(fed.Nodes) != 3 || fed.Errors != nil {
+		t.Fatalf("nodes=%d errors=%v, want 3 nodes and no errors", len(fed.Nodes), fed.Errors)
+	}
+	if v, ok := fed.Merged.Lookup("bd_test_ops_total", ""); !ok || v != Uint64Value(15) {
+		t.Fatalf("merged counter = %v, want exactly 15", v)
+	}
+	// Histogram merge is exact: three one-observation histograms.
+	if hs := fed.Merged.Family("bd_test_seconds").Get(""); hs == nil || hs.Count != 3 {
+		t.Fatalf("merged histogram count wrong: %+v", fed.Merged.Family("bd_test_seconds"))
+	}
+}
+
+// TestFederatorPartialFailure is the down-member contract: the failed
+// node is named in Errors, and the merge is built from the survivors.
+func TestFederatorPartialFailure(t *testing.T) {
+	conns := map[string]Fetcher{
+		"n2": stubFetcher{err: errors.New("connection refused")},
+		"n3": stubFetcher{snap: nodeSnap("n3", 5)},
+	}
+	f := NewFederator(FederatorConfig{
+		Self:     stubFetcher{snap: nodeSnap("n1", 3)},
+		SelfAddr: "n1",
+		Members:  func() []string { return []string{"n2", "n3"} },
+		Dial:     func(addr string) (Fetcher, error) { return conns[addr], nil },
+		Timeout:  2 * time.Second,
+	})
+	fed := f.Poll()
+	if len(fed.Nodes) != 2 {
+		t.Fatalf("surviving nodes = %d, want 2", len(fed.Nodes))
+	}
+	if msg, ok := fed.Errors["n2"]; !ok || !strings.Contains(msg, "refused") {
+		t.Fatalf("down member not named: errors=%v", fed.Errors)
+	}
+	if v, _ := fed.Merged.Lookup("bd_test_ops_total", ""); v != Uint64Value(8) {
+		t.Fatalf("merged counter = %v, want 8 (survivors only)", v)
+	}
+}
+
+// TestFederatorTimeoutBounds proves a hung member costs at most the
+// poll timeout, not a hang — and is reported missing.
+func TestFederatorTimeoutBounds(t *testing.T) {
+	conns := map[string]Fetcher{
+		"hung": stubFetcher{snap: nodeSnap("hung", 1), delay: 30 * time.Second},
+	}
+	f := NewFederator(FederatorConfig{
+		Self:     stubFetcher{snap: nodeSnap("n1", 3)},
+		SelfAddr: "n1",
+		Members:  func() []string { return []string{"hung"} },
+		Dial:     func(addr string) (Fetcher, error) { return conns[addr], nil },
+		Timeout:  200 * time.Millisecond,
+	})
+	start := time.Now()
+	fed := f.Poll()
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("poll took %v, want ~the 200ms timeout", elapsed)
+	}
+	if len(fed.Nodes) != 1 {
+		t.Fatalf("nodes = %d, want the live one only", len(fed.Nodes))
+	}
+	if msg := fed.Errors["hung"]; !strings.Contains(msg, "no snapshot within") {
+		t.Fatalf("hung member not reported: errors=%v", fed.Errors)
+	}
+}
+
+func TestEventLogEvictionOrder(t *testing.T) {
+	l := NewEventLog(0) // clamps to 16
+	for i := 1; i <= 20; i++ {
+		l.Record(Event{Kind: EventViewCommit, Epoch: uint64(i)})
+	}
+	if l.Total() != 20 {
+		t.Fatalf("total = %d, want 20", l.Total())
+	}
+	events := l.Events()
+	if len(events) != 16 {
+		t.Fatalf("retained %d, want 16", len(events))
+	}
+	// Oldest-first with 1..4 evicted: epochs 5..20, seqs 5..20.
+	for i, e := range events {
+		if e.Epoch != uint64(i+5) || e.Seq != uint64(i+5) {
+			t.Fatalf("slot %d: epoch=%d seq=%d, want %d", i, e.Epoch, e.Seq, i+5)
+		}
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Record(Event{Kind: EventFailover}) // must not panic
+	l.SetNode("x")
+	if l.Events() != nil || l.Total() != 0 {
+		t.Fatal("nil log should be empty")
+	}
+}
+
+func TestEventsCodecRoundTrip(t *testing.T) {
+	in := []Event{
+		{Seq: 1, Time: time.Unix(0, 1234567890).UTC(), Kind: EventViewCommit, Node: "n1", Epoch: 3, Detail: "d"},
+		{Seq: 2, Time: time.Unix(0, 1234567891).UTC(), Kind: EventHintDrop, Node: "n1", Member: "n2", Trace: 99},
+	}
+	enc := EncodeEvents(in)
+	if len(enc) != EncodedEventsLen(in) {
+		t.Fatalf("EncodedEventsLen = %d, encoded %d", EncodedEventsLen(in), len(enc))
+	}
+	out, err := DecodeEvents(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(out))
+	}
+	for i := range in {
+		// Equal, not ==: decode rebuilds Time in the local zone.
+		if !out[i].Time.Equal(in[i].Time) {
+			t.Fatalf("event %d time drifted: %v vs %v", i, out[i].Time, in[i].Time)
+		}
+		a, b := out[i], in[i]
+		a.Time, b.Time = time.Time{}, time.Time{}
+		if a != b {
+			t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", b, a)
+		}
+	}
+	if _, err := DecodeEvents(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bd_a_total", "help a", Labels{"op": "get"}).Add(1 << 60) // > 2^53: must stay exact
+	r.Gauge("bd_b_depth", "help b", nil).Set(-7)
+	r.Histogram("bd_c_seconds", "help c", nil).Observe(3 * time.Microsecond)
+	snap := r.Capture("node-1")
+	dec, err := DecodeSnapshot(EncodeSnapshot(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Node != "node-1" || len(dec.Fams) != 3 {
+		t.Fatalf("decoded %+v", dec)
+	}
+	if v, _ := dec.Lookup("bd_a_total", `{op="get"}`); v != Uint64Value(1<<60) {
+		t.Fatalf("counter = %v, want exact 2^60", v)
+	}
+	if v, _ := dec.Lookup("bd_b_depth", ""); v != IntValue(-7) {
+		t.Fatalf("gauge = %v, want -7", v)
+	}
+	hs := dec.Family("bd_c_seconds").Get("")
+	if hs == nil || hs.Count != 1 || hs.SumNs != 3000 || hs.Buckets[2] != 1 {
+		t.Fatalf("histogram decoded wrong: %+v", hs)
+	}
+	if dec.Family("bd_c_seconds").Help != "help c" {
+		t.Fatal("help text lost")
+	}
+}
+
+// TestConcurrentObserveVsEncode races the hot recording path against
+// Capture+EncodeSnapshot — the federation's read side — under -race.
+func TestConcurrentObserveVsEncode(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bd_r_total", "t", nil)
+	h := r.Histogram("bd_r_seconds", "t", nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.Observe(time.Duration(w*i%1000) * time.Microsecond)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		snap := r.Capture("race")
+		if _, err := DecodeSnapshot(EncodeSnapshot(snap)); err != nil {
+			t.Fatal(err)
+		}
+		// The capture must be internally consistent enough to merge.
+		MergeSnapshots("m", []*RegistrySnapshot{snap, snap})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistoryRate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bd_h_total", "t", nil)
+	h := NewHistory(8)
+	c.Add(100)
+	h.Add(HistoryPoint{When: time.Unix(100, 0), Snap: r.Capture("n")})
+	c.Add(50)
+	h.Add(HistoryPoint{When: time.Unix(110, 0), Snap: r.Capture("n")})
+	rate, ok := h.Rate("bd_h_total", "", 0)
+	if !ok || rate != 5 {
+		t.Fatalf("rate = %v ok=%v, want 5 ops/s", rate, ok)
+	}
+	if _, ok := h.Rate("bd_missing_total", "", 0); ok {
+		t.Fatal("rate of unknown series should report !ok")
+	}
+}

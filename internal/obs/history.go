@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// History is the per-node time-series retention of the observability
+// plane: a bounded ring of periodic registry captures, so rates and
+// derivatives (ops/s, migration bytes/s, burn-rate inputs) are
+// computable from the node itself — no external TSDB. A History holds
+// whole snapshots, not pre-picked series, so any counter registered
+// later is retroactively rate-able over the retained window.
+type History struct {
+	mu   sync.Mutex
+	buf  []HistoryPoint
+	next int
+	stop chan struct{}
+	once sync.Once
+}
+
+// HistoryPoint is one retained capture.
+type HistoryPoint struct {
+	When time.Time         `json:"when"`
+	Snap *RegistrySnapshot `json:"snap"`
+}
+
+// NewHistory returns a ring retaining the last size captures
+// (minimum 2 — a rate needs two points).
+func NewHistory(size int) *History {
+	if size < 2 {
+		size = 2
+	}
+	return &History{buf: make([]HistoryPoint, 0, size), stop: make(chan struct{})}
+}
+
+// Add retains one capture, evicting the oldest when full.
+func (h *History) Add(p HistoryPoint) {
+	h.mu.Lock()
+	if len(h.buf) < cap(h.buf) {
+		h.buf = append(h.buf, p)
+	} else {
+		h.buf[h.next] = p
+		h.next = (h.next + 1) % cap(h.buf)
+	}
+	h.mu.Unlock()
+}
+
+// Points returns the retained captures, oldest first.
+func (h *History) Points() []HistoryPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HistoryPoint, 0, len(h.buf))
+	out = append(out, h.buf[h.next:]...)
+	out = append(out, h.buf[:h.next]...)
+	return out
+}
+
+// Start samples r every interval until Stop. The first capture is
+// taken immediately so a rate is available after one interval.
+func (h *History) Start(r *Registry, node string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	h.Add(HistoryPoint{When: time.Now(), Snap: r.Capture(node)})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.Add(HistoryPoint{When: time.Now(), Snap: r.Capture(node)})
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the sampler started by Start. Idempotent.
+func (h *History) Stop() { h.once.Do(func() { close(h.stop) }) }
+
+// Rate returns a counter series' per-second rate over the retained
+// window no wider than lookback (0 = the whole ring): the newest and
+// the oldest retained point inside the window are differenced. Returns
+// false with fewer than two usable points or a zero time delta.
+func (h *History) Rate(name, labels string, lookback time.Duration) (float64, bool) {
+	pts := h.Points()
+	if len(pts) < 2 {
+		return 0, false
+	}
+	newest := pts[len(pts)-1]
+	oldest := pts[0]
+	if lookback > 0 {
+		cut := newest.When.Add(-lookback)
+		for _, p := range pts[:len(pts)-1] {
+			if !p.When.Before(cut) {
+				oldest = p
+				break
+			}
+		}
+	}
+	dt := newest.When.Sub(oldest.When).Seconds()
+	if dt <= 0 {
+		return 0, false
+	}
+	a, okA := newest.Snap.Lookup(name, labels)
+	b, okB := oldest.Snap.Lookup(name, labels)
+	if !okA || !okB {
+		return 0, false
+	}
+	return a.Sub(b).Float() / dt, true
+}

@@ -120,19 +120,23 @@ type Labels map[string]string
 
 // ---- registry ------------------------------------------------------------
 
-type metricKind int
+// MetricKind distinguishes the three series shapes a Registry holds.
+// Exported because registry snapshots (snapshot.go) cross process
+// boundaries: a federating consumer switches on the kind to know
+// whether a series carries a scalar or a bucket vector.
+type MetricKind int
 
 const (
-	counterKind metricKind = iota
-	gaugeKind
-	histogramKind
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
 )
 
-func (k metricKind) String() string {
+func (k MetricKind) String() string {
 	switch k {
-	case counterKind:
+	case KindCounter:
 		return "counter"
-	case gaugeKind:
+	case KindGauge:
 		return "gauge"
 	default:
 		return "histogram"
@@ -153,7 +157,7 @@ type series struct {
 type family struct {
 	name   string
 	help   string
-	kind   metricKind
+	kind   MetricKind
 	series []*series
 }
 
@@ -202,7 +206,7 @@ func renderLabels(l Labels) string {
 // add registers one series, creating its family on first use. Duplicate
 // series and kind conflicts panic: both are wiring bugs, and silently
 // merging them would render a corrupt exposition.
-func (r *Registry) add(name, help string, kind metricKind, labels Labels, s *series) {
+func (r *Registry) add(name, help string, kind MetricKind, labels Labels, s *series) {
 	s.labels = renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -225,21 +229,21 @@ func (r *Registry) add(name, help string, kind metricKind, labels Labels, s *ser
 // Counter creates and registers a counter series.
 func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 	c := &Counter{}
-	r.add(name, help, counterKind, labels, &series{c: c})
+	r.add(name, help, KindCounter, labels, &series{c: c})
 	return c
 }
 
 // Gauge creates and registers a gauge series.
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	g := &Gauge{}
-	r.add(name, help, gaugeKind, labels, &series{g: g})
+	r.add(name, help, KindGauge, labels, &series{g: g})
 	return g
 }
 
 // Histogram creates and registers a histogram series.
 func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
 	h := &Histogram{}
-	r.add(name, help, histogramKind, labels, &series{h: h})
+	r.add(name, help, KindHistogram, labels, &series{h: h})
 	return h
 }
 
@@ -247,28 +251,28 @@ func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
 // adopt path for counters that already exist as atomics elsewhere
 // (engine stats, server served/shed). fn must be monotonic.
 func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
-	r.add(name, help, counterKind, labels, &series{cf: fn})
+	r.add(name, help, KindCounter, labels, &series{cf: fn})
 }
 
 // GaugeFunc registers a gauge series computed at scrape time.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
-	r.add(name, help, gaugeKind, labels, &series{gf: fn})
+	r.add(name, help, KindGauge, labels, &series{gf: fn})
 }
 
 // RegisterHistogram adopts an existing histogram (one owned by a hot
 // path that predates the registry) as a series.
 func (r *Registry) RegisterHistogram(name, help string, labels Labels, h *Histogram) {
-	r.add(name, help, histogramKind, labels, &series{h: h})
+	r.add(name, help, KindHistogram, labels, &series{h: h})
 }
 
 // RegisterCounter adopts an existing counter as a series.
 func (r *Registry) RegisterCounter(name, help string, labels Labels, c *Counter) {
-	r.add(name, help, counterKind, labels, &series{c: c})
+	r.add(name, help, KindCounter, labels, &series{c: c})
 }
 
 // RegisterGauge adopts an existing gauge as a series.
 func (r *Registry) RegisterGauge(name, help string, labels Labels, g *Gauge) {
-	r.add(name, help, gaugeKind, labels, &series{g: g})
+	r.add(name, help, KindGauge, labels, &series{g: g})
 }
 
 // sortedFamilies snapshots the family list in name order.
@@ -289,47 +293,11 @@ func formatFloat(v float64) string {
 
 // WritePrometheus renders every registered family in Prometheus text
 // exposition format (families and series in deterministic sorted
-// order; histogram buckets cumulative, sums in seconds).
+// order; histogram buckets cumulative, sums in seconds). It renders
+// through Capture so the local /metrics page and a federated snapshot
+// (snapshot.go) cannot drift in format.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	var b strings.Builder
-	for _, f := range r.sortedFamilies() {
-		sers := append([]*series(nil), f.series...)
-		sort.Slice(sers, func(i, j int) bool { return sers[i].labels < sers[j].labels })
-		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
-		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
-		for _, s := range sers {
-			switch f.kind {
-			case counterKind:
-				v := s.cf
-				if v == nil {
-					v = s.c.Value
-				}
-				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, strconv.FormatUint(v(), 10))
-			case gaugeKind:
-				var v float64
-				if s.gf != nil {
-					v = s.gf()
-				} else {
-					v = float64(s.g.Value())
-				}
-				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(v))
-			case histogramKind:
-				buckets, count, sum := s.h.snapshot()
-				cum := uint64(0)
-				for i := 0; i < HistBuckets; i++ {
-					cum += buckets[i]
-					le := formatFloat(float64(uint64(1)<<uint(i)) / 1e6)
-					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, bucketLabels(s.labels, le), cum)
-				}
-				cum += buckets[HistBuckets]
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, bucketLabels(s.labels, "+Inf"), cum)
-				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.labels, formatFloat(float64(sum)/1e9))
-				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, count)
-			}
-		}
-	}
-	_, err := io.WriteString(w, b.String())
-	return err
+	return r.Capture("").WritePrometheus(w)
 }
 
 // bucketLabels splices le into a series' rendered label set.
@@ -346,54 +314,4 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
-}
-
-// Snapshot flattens every series into a name{labels} → value map —
-// the form bdbench diffs before and after a run. Counters and gauges
-// map directly; a histogram contributes _count and _sum entries.
-func (r *Registry) Snapshot() map[string]float64 {
-	out := map[string]float64{}
-	for _, f := range r.sortedFamilies() {
-		for _, s := range f.series {
-			switch f.kind {
-			case counterKind:
-				v := s.cf
-				if v == nil {
-					v = s.c.Value
-				}
-				out[f.name+s.labels] = float64(v())
-			case gaugeKind:
-				if s.gf != nil {
-					out[f.name+s.labels] = s.gf()
-				} else {
-					out[f.name+s.labels] = float64(s.g.Value())
-				}
-			case histogramKind:
-				_, count, sum := s.h.snapshot()
-				out[f.name+"_count"+s.labels] = float64(count)
-				out[f.name+"_sum"+s.labels] = float64(sum) / 1e9
-			}
-		}
-	}
-	return out
-}
-
-// Delta diffs two snapshots: monotonic keys (suffix _total, _count,
-// _sum before any label braces) report after-before; everything else
-// reports the after value. Keys absent from after are dropped.
-func Delta(before, after map[string]float64) map[string]float64 {
-	out := make(map[string]float64, len(after))
-	for k, v := range after {
-		name := k
-		if i := strings.IndexByte(name, '{'); i >= 0 {
-			name = name[:i]
-		}
-		if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_count") ||
-			strings.HasSuffix(name, "_sum") {
-			out[k] = v - before[k]
-		} else {
-			out[k] = v
-		}
-	}
-	return out
 }

@@ -204,16 +204,16 @@ func TestSnapshotAndDelta(t *testing.T) {
 	g.Set(9)
 	h.Observe(time.Millisecond)
 	d := Delta(before, r.Snapshot())
-	if d["bd_x_total"] != 3 {
+	if d["bd_x_total"] != Uint64Value(3) {
 		t.Errorf("counter delta = %v, want 3", d["bd_x_total"])
 	}
-	if d["bd_x_depth"] != 9 {
+	if d["bd_x_depth"] != IntValue(9) {
 		t.Errorf("gauge delta takes the after value, got %v want 9", d["bd_x_depth"])
 	}
-	if d["bd_x_seconds_count"] != 1 {
+	if d["bd_x_seconds_count"] != Uint64Value(1) {
 		t.Errorf("histogram count delta = %v, want 1", d["bd_x_seconds_count"])
 	}
-	if got := d["bd_x_seconds_sum"]; got < 0.0009 || got > 0.0011 {
+	if got := d["bd_x_seconds_sum"].Float(); got < 0.0009 || got > 0.0011 {
 		t.Errorf("histogram sum delta = %v, want ~0.001", got)
 	}
 }

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Go runtime metrics for the default daemon registry: free to collect,
+// and invisible until now. ReadMemStats is not free per call (it
+// briefly stops the world), so one sampler caches it behind a short
+// TTL — a scrape storm costs at most one ReadMemStats per second, and
+// every series reads the same consistent sample.
+
+// runtimeSampler caches one MemStats sample and folds new GC pauses
+// into a histogram as they appear.
+type runtimeSampler struct {
+	mu        sync.Mutex
+	taken     time.Time
+	ms        runtime.MemStats
+	gcPause   *Histogram
+	lastNumGC uint32
+}
+
+const runtimeSampleTTL = time.Second
+
+// sample refreshes the cached MemStats when stale and returns it.
+func (s *runtimeSampler) sample() *runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.taken) < runtimeSampleTTL {
+		return &s.ms
+	}
+	runtime.ReadMemStats(&s.ms)
+	s.taken = time.Now()
+	// Fold the GC pauses since the last sample into the histogram.
+	// PauseNs is a 256-entry ring indexed by cycle number; if more
+	// than 256 cycles passed between samples the overflow is lost —
+	// acceptable for a pause-latency distribution.
+	n := s.ms.NumGC - s.lastNumGC
+	if n > uint32(len(s.ms.PauseNs)) {
+		n = uint32(len(s.ms.PauseNs))
+	}
+	for i := uint32(0); i < n; i++ {
+		cycle := s.ms.NumGC - i
+		pause := s.ms.PauseNs[(cycle+255)%256]
+		s.gcPause.Observe(time.Duration(pause))
+	}
+	s.lastNumGC = s.ms.NumGC
+	return &s.ms
+}
+
+// RegisterRuntimeMetrics exports the Go runtime's vitals into r under
+// the bd_go_* family: live goroutines, heap bytes, GOMAXPROCS, GC
+// cycle count and a GC pause-latency histogram.
+func RegisterRuntimeMetrics(r *Registry) {
+	s := &runtimeSampler{gcPause: &Histogram{}}
+	r.RegisterHistogram("bd_go_gc_pause_seconds", "Stop-the-world GC pause latency.", nil, s.gcPause)
+	r.GaugeFunc("bd_go_goroutines", "Live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("bd_go_gomaxprocs", "GOMAXPROCS — schedulable OS threads.", nil,
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.GaugeFunc("bd_go_heap_bytes", "Heap bytes in use (HeapAlloc).", nil,
+		func() float64 { return float64(s.sample().HeapAlloc) })
+	r.GaugeFunc("bd_go_heap_objects", "Live heap objects.", nil,
+		func() float64 { return float64(s.sample().HeapObjects) })
+	r.CounterFunc("bd_go_gc_cycles_total", "Completed GC cycles.", nil,
+		func() uint64 { return uint64(s.sample().NumGC) })
+	r.CounterFunc("bd_go_alloc_bytes_total", "Cumulative bytes allocated on the heap.", nil,
+		func() uint64 { return s.sample().TotalAlloc })
+}

@@ -1,0 +1,444 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the metrics half of the cluster observability plane
+// (DESIGN.md §15): a point-in-time capture of a whole Registry that
+// survives a wire hop losslessly. The capture keeps exact histogram
+// bucket vectors and integer counters — not float summaries — so a
+// Federator that merges N nodes' snapshots produces the same numbers
+// a single process would have counted (Histogram.Merge is exact, and
+// uint64 counters never round through float64).
+
+// SeriesSnapshot is one labeled series' sampled state. Scalar kinds
+// carry Value; histograms carry the per-bucket (non-cumulative)
+// vector plus count and nanosecond sum.
+type SeriesSnapshot struct {
+	Labels  string   `json:"labels,omitempty"` // rendered {k="v",…} form
+	Value   Value    `json:"value"`
+	Buckets []uint64 `json:"buckets,omitempty"` // len HistBuckets+1, last is +Inf
+	Count   uint64   `json:"count,omitempty"`
+	SumNs   int64    `json:"sumNs,omitempty"`
+}
+
+// FamilySnapshot is one metric family's sampled series, sorted by
+// rendered label set.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   MetricKind       `json:"kind"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// RegistrySnapshot is a full registry capture: every family, sorted by
+// name. Node names the producing process ("" for anonymous captures;
+// a federated merge names the cluster-side aggregate).
+type RegistrySnapshot struct {
+	Node string           `json:"node,omitempty"`
+	Fams []FamilySnapshot `json:"families"`
+}
+
+// MarshalJSON renders the kind as its Prometheus type name.
+func (k MetricKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the quoted form MarshalJSON emits.
+func (k *MetricKind) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"counter"`:
+		*k = KindCounter
+	case `"gauge"`:
+		*k = KindGauge
+	case `"histogram"`:
+		*k = KindHistogram
+	default:
+		return fmt.Errorf("obs: bad metric kind %s", b)
+	}
+	return nil
+}
+
+// Capture samples every registered series into a RegistrySnapshot.
+// Safe under concurrent Observe/Add — each atomic is read once; the
+// capture is not a single consistent cut across series, same as any
+// scrape.
+func (r *Registry) Capture(node string) *RegistrySnapshot {
+	fams := r.sortedFamilies()
+	out := &RegistrySnapshot{Node: node, Fams: make([]FamilySnapshot, 0, len(fams))}
+	for _, f := range fams {
+		fs := FamilySnapshot{
+			Name:   f.name,
+			Help:   f.help,
+			Kind:   f.kind,
+			Series: make([]SeriesSnapshot, 0, len(f.series)),
+		}
+		for _, s := range f.series {
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch f.kind {
+			case KindCounter:
+				v := s.cf
+				if v == nil {
+					v = s.c.Value
+				}
+				ss.Value = Uint64Value(v())
+			case KindGauge:
+				if s.gf != nil {
+					ss.Value = FloatValue(s.gf())
+				} else {
+					ss.Value = IntValue(s.g.Value())
+				}
+			case KindHistogram:
+				buckets, count, sum := s.h.snapshot()
+				ss.Buckets = append([]uint64(nil), buckets[:]...)
+				ss.Count = count
+				ss.SumNs = sum
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		sort.Slice(fs.Series, func(i, j int) bool { return fs.Series[i].Labels < fs.Series[j].Labels })
+		out.Fams = append(out.Fams, fs)
+	}
+	return out
+}
+
+// Family returns the named family, or nil.
+func (s *RegistrySnapshot) Family(name string) *FamilySnapshot {
+	for i := range s.Fams {
+		if s.Fams[i].Name == name {
+			return &s.Fams[i]
+		}
+	}
+	return nil
+}
+
+// Get returns the series with the rendered label set, or nil.
+func (f *FamilySnapshot) Get(labels string) *SeriesSnapshot {
+	if f == nil {
+		return nil
+	}
+	for i := range f.Series {
+		if f.Series[i].Labels == labels {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// Lookup returns a scalar series' value by family name and rendered
+// label set ("" for unlabeled).
+func (s *RegistrySnapshot) Lookup(name, labels string) (Value, bool) {
+	ser := s.Family(name).Get(labels)
+	if ser == nil {
+		return Value{}, false
+	}
+	return ser.Value, true
+}
+
+// Quantile returns the inclusive upper bucket bound at or above which
+// fraction q of a histogram series' observations fall — the same
+// bucket-resolution percentile a Prometheus histogram_quantile yields.
+// Returns false for empty or non-histogram series; observations in the
+// +Inf bucket report the largest finite bound.
+func (ss *SeriesSnapshot) Quantile(q float64) (time.Duration, bool) {
+	if ss == nil || ss.Count == 0 || len(ss.Buckets) != HistBuckets+1 {
+		return 0, false
+	}
+	rank := uint64(math.Ceil(q * float64(ss.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i := 0; i < HistBuckets; i++ {
+		cum += ss.Buckets[i]
+		if cum >= rank {
+			return BucketBound(i), true
+		}
+	}
+	return BucketBound(HistBuckets - 1), true
+}
+
+// MergeSnapshots folds node snapshots into one cluster aggregate named
+// node: counters and histogram buckets sum exactly, gauges sum across
+// nodes (instantaneous cluster totals — right for additive gauges like
+// in-flight requests or pending hints; per-node values like the view
+// epoch stay meaningful only in the per-node snapshots, which is why a
+// Federation keeps both). Families and series are the union, sorted.
+func MergeSnapshots(node string, snaps []*RegistrySnapshot) *RegistrySnapshot {
+	type serKey struct{ fam, labels string }
+	fams := map[string]*FamilySnapshot{}
+	sers := map[serKey]*SeriesSnapshot{}
+	for _, snap := range snaps {
+		if snap == nil {
+			continue
+		}
+		for fi := range snap.Fams {
+			f := &snap.Fams[fi]
+			mf := fams[f.Name]
+			if mf == nil {
+				mf = &FamilySnapshot{Name: f.Name, Help: f.Help, Kind: f.Kind}
+				fams[f.Name] = mf
+			}
+			if mf.Kind != f.Kind {
+				// Kind conflict across nodes (mixed binary versions):
+				// first writer wins, the conflicting family is skipped
+				// rather than rendered corrupt.
+				continue
+			}
+			if mf.Help == "" {
+				mf.Help = f.Help
+			}
+			for si := range f.Series {
+				ser := &f.Series[si]
+				key := serKey{f.Name, ser.Labels}
+				ms := sers[key]
+				if ms == nil {
+					cp := *ser
+					cp.Buckets = append([]uint64(nil), ser.Buckets...)
+					sers[key] = &cp
+					continue
+				}
+				switch f.Kind {
+				case KindHistogram:
+					if len(ms.Buckets) == len(ser.Buckets) {
+						for i := range ser.Buckets {
+							ms.Buckets[i] += ser.Buckets[i]
+						}
+					}
+					ms.Count += ser.Count
+					ms.SumNs += ser.SumNs
+				default:
+					ms.Value = ms.Value.Add(ser.Value)
+				}
+			}
+		}
+	}
+	out := &RegistrySnapshot{Node: node, Fams: make([]FamilySnapshot, 0, len(fams))}
+	for _, mf := range fams {
+		for key, ms := range sers {
+			if key.fam == mf.Name {
+				mf.Series = append(mf.Series, *ms)
+			}
+		}
+		sort.Slice(mf.Series, func(i, j int) bool { return mf.Series[i].Labels < mf.Series[j].Labels })
+		out.Fams = append(out.Fams, *mf)
+	}
+	sort.Slice(out.Fams, func(i, j int) bool { return out.Fams[i].Name < out.Fams[j].Name })
+	return out
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format — the same renderer Registry.WritePrometheus uses, so a
+// federated /clusterz page reads exactly like a node's /metrics page.
+func (s *RegistrySnapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for fi := range s.Fams {
+		f := &s.Fams[fi]
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, f.Help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		for si := range f.Series {
+			ser := &f.Series[si]
+			switch f.Kind {
+			case KindCounter, KindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.Name, ser.Labels, ser.Value.String())
+			case KindHistogram:
+				if len(ser.Buckets) != HistBuckets+1 {
+					continue
+				}
+				cum := uint64(0)
+				for i := 0; i < HistBuckets; i++ {
+					cum += ser.Buckets[i]
+					le := formatFloat(float64(uint64(1)<<uint(i)) / 1e6)
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.Name, bucketLabels(ser.Labels, le), cum)
+				}
+				cum += ser.Buckets[HistBuckets]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.Name, bucketLabels(ser.Labels, "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.Name, ser.Labels, formatFloat(float64(ser.SumNs)/1e9))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.Name, ser.Labels, ser.Count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ---- binary codec --------------------------------------------------------
+//
+// Compact big-endian layout, version-prefixed (the payload of a
+// RespMetrics frame):
+//
+//	u8 version | str16 node | u32 nfams
+//	family:  str16 name | str16 help | u8 kind | u32 nseries
+//	series:  str16 labels | body
+//	scalar body:    u8 value-kind | u64 bits
+//	histogram body: (HistBuckets+1)×u64 buckets | u64 count | u64 sum
+//
+// str16 is u16 length + bytes, the same shape the span codec uses.
+
+const snapshotVersion = 1
+
+func appendStr16(dst []byte, s string) []byte {
+	if len(s) > 65535 {
+		s = s[:65535]
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func takeStr16(b []byte) (string, []byte, bool) {
+	if len(b) < 2 {
+		return "", nil, false
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, false
+	}
+	return string(b[:n]), b[n:], true
+}
+
+// EncodeSnapshot serializes a snapshot for the wire.
+func EncodeSnapshot(s *RegistrySnapshot) []byte {
+	size := 1 + 2 + len(s.Node) + 4
+	for fi := range s.Fams {
+		f := &s.Fams[fi]
+		size += 2 + len(f.Name) + 2 + len(f.Help) + 1 + 4
+		for si := range f.Series {
+			size += 2 + len(f.Series[si].Labels)
+			if f.Kind == KindHistogram {
+				size += (HistBuckets + 1 + 2) * 8
+			} else {
+				size += 1 + 8
+			}
+		}
+	}
+	out := make([]byte, 0, size)
+	out = append(out, snapshotVersion)
+	out = appendStr16(out, s.Node)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(s.Fams)))
+	for fi := range s.Fams {
+		f := &s.Fams[fi]
+		out = appendStr16(out, f.Name)
+		out = appendStr16(out, f.Help)
+		out = append(out, byte(f.Kind))
+		out = binary.BigEndian.AppendUint32(out, uint32(len(f.Series)))
+		for si := range f.Series {
+			ser := &f.Series[si]
+			out = appendStr16(out, ser.Labels)
+			if f.Kind == KindHistogram {
+				for i := 0; i < HistBuckets+1; i++ {
+					var v uint64
+					if i < len(ser.Buckets) {
+						v = ser.Buckets[i]
+					}
+					out = binary.BigEndian.AppendUint64(out, v)
+				}
+				out = binary.BigEndian.AppendUint64(out, ser.Count)
+				out = binary.BigEndian.AppendUint64(out, uint64(ser.SumNs))
+			} else {
+				out = append(out, byte(ser.Value.Kind))
+				out = binary.BigEndian.AppendUint64(out, ser.Value.bits())
+			}
+		}
+	}
+	return out
+}
+
+func (v Value) bits() uint64 {
+	switch v.Kind {
+	case ValueUint:
+		return v.U
+	case ValueInt:
+		return uint64(v.I)
+	default:
+		return math.Float64bits(v.F)
+	}
+}
+
+func valueFromBits(kind ValueKind, bits uint64) Value {
+	switch kind {
+	case ValueUint:
+		return Uint64Value(bits)
+	case ValueInt:
+		return IntValue(int64(bits))
+	default:
+		return FloatValue(math.Float64frombits(bits))
+	}
+}
+
+var errBadSnapshot = fmt.Errorf("obs: malformed snapshot encoding")
+
+// DecodeSnapshot parses an EncodeSnapshot payload.
+func DecodeSnapshot(b []byte) (*RegistrySnapshot, error) {
+	if len(b) < 1 || b[0] != snapshotVersion {
+		return nil, errBadSnapshot
+	}
+	b = b[1:]
+	node, b, ok := takeStr16(b)
+	if !ok || len(b) < 4 {
+		return nil, errBadSnapshot
+	}
+	nfams := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	out := &RegistrySnapshot{Node: node}
+	for fi := 0; fi < nfams; fi++ {
+		var f FamilySnapshot
+		if f.Name, b, ok = takeStr16(b); !ok {
+			return nil, errBadSnapshot
+		}
+		if f.Help, b, ok = takeStr16(b); !ok {
+			return nil, errBadSnapshot
+		}
+		if len(b) < 5 {
+			return nil, errBadSnapshot
+		}
+		f.Kind = MetricKind(b[0])
+		if f.Kind < KindCounter || f.Kind > KindHistogram {
+			return nil, errBadSnapshot
+		}
+		nser := int(binary.BigEndian.Uint32(b[1:]))
+		b = b[5:]
+		for si := 0; si < nser; si++ {
+			var ser SeriesSnapshot
+			if ser.Labels, b, ok = takeStr16(b); !ok {
+				return nil, errBadSnapshot
+			}
+			if f.Kind == KindHistogram {
+				need := (HistBuckets + 1 + 2) * 8
+				if len(b) < need {
+					return nil, errBadSnapshot
+				}
+				ser.Buckets = make([]uint64, HistBuckets+1)
+				for i := range ser.Buckets {
+					ser.Buckets[i] = binary.BigEndian.Uint64(b[i*8:])
+				}
+				ser.Count = binary.BigEndian.Uint64(b[(HistBuckets+1)*8:])
+				ser.SumNs = int64(binary.BigEndian.Uint64(b[(HistBuckets+2)*8:]))
+				b = b[need:]
+			} else {
+				if len(b) < 9 {
+					return nil, errBadSnapshot
+				}
+				vk := ValueKind(b[0])
+				if vk > ValueFloat {
+					return nil, errBadSnapshot
+				}
+				ser.Value = valueFromBits(vk, binary.BigEndian.Uint64(b[1:]))
+				b = b[9:]
+			}
+			f.Series = append(f.Series, ser)
+		}
+		out.Fams = append(out.Fams, f)
+	}
+	if len(b) != 0 {
+		return nil, errBadSnapshot
+	}
+	return out, nil
+}

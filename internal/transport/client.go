@@ -491,6 +491,10 @@ func opName(op Opcode) string {
 		return "mirror"
 	case OpGetLocal:
 		return "get-local"
+	case OpMetricsFetch:
+		return "metrics-fetch"
+	case OpEventsFetch:
+		return "events-fetch"
 	default:
 		return fmt.Sprintf("op(0x%02x)", byte(op))
 	}
@@ -1061,6 +1065,46 @@ func (c *Client) FetchSpans(trace uint64) (spans []obs.Span, err error) {
 		return err
 	})
 	return spans, err
+}
+
+// FetchMetrics pulls the remote process's full registry snapshot
+// (OpMetricsFetch) — exact histogram buckets and counters, not float
+// summaries, so the federation can merge without rounding. The payload
+// aliases a pooled frame, so the decode (which copies into fresh
+// structs) happens before release.
+func (c *Client) FetchMetrics() (snap *obs.RegistrySnapshot, err error) {
+	err = c.withRetry(func() error {
+		r, err := c.call(callTrace{}, OpMetricsFetch, nil)
+		if err != nil {
+			return err
+		}
+		defer r.release()
+		if r.op != RespMetrics {
+			return ErrMalformed
+		}
+		snap, err = obs.DecodeSnapshot(r.payload)
+		return err
+	})
+	return snap, err
+}
+
+// FetchEvents pulls the remote process's cluster event ring
+// (OpEventsFetch), oldest first. A remote with no event log returns an
+// empty timeline, not an error.
+func (c *Client) FetchEvents() (events []obs.Event, err error) {
+	err = c.withRetry(func() error {
+		r, err := c.call(callTrace{}, OpEventsFetch, nil)
+		if err != nil {
+			return err
+		}
+		defer r.release()
+		if r.op != RespEvents {
+			return ErrMalformed
+		}
+		events, err = obs.DecodeEvents(r.payload)
+		return err
+	})
+	return events, err
 }
 
 // Close tears down the pool. In-flight requests resolve with a

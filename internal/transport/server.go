@@ -149,6 +149,14 @@ type ServerOptions struct {
 	// coordinator points both at one ring, so OpTraceFetch serves every
 	// hop the process recorded regardless of which layer recorded it.
 	Spans *obs.SpanLog
+	// Metrics, when non-nil, is the registry OpMetricsFetch snapshots —
+	// point it at the daemon's full registry (server + cluster + engine
+	// series) so the federation sees everything the node's /metrics
+	// page would show. Nil serves empty snapshots, not errors.
+	Metrics *obs.Registry
+	// Events, when non-nil, is the cluster event log OpEventsFetch
+	// serves. Nil serves empty event sets.
+	Events *obs.EventLog
 }
 
 func (o *ServerOptions) normalize() {
@@ -166,17 +174,19 @@ func (o *ServerOptions) normalize() {
 	}
 }
 
-// maxReqOpcode bounds the per-opcode counter array: request opcodes are
-// a dense range well under 0x10, so the hot-path count is one in-bounds
-// array index — no map lookup, no allocation.
-const maxReqOpcode = 0x10
+// maxReqOpcode bounds the per-opcode counter and histogram arrays:
+// request opcodes are a dense range ending at OpEventsFetch (0x10), so
+// the hot-path count is one in-bounds array index — no map lookup, no
+// allocation.
+const maxReqOpcode = 0x11
 
 // serverMetrics is the server's always-on instrumentation. Every field
 // is a plain atomic recorded inline on the request path; registries
 // adopt them at scrape time (RegisterMetrics), so serving is identical
 // whether or not anything scrapes.
 type serverMetrics struct {
-	reqs     [maxReqOpcode]obs.Counter // per request opcode
+	reqs     [maxReqOpcode]obs.Counter   // per request opcode
+	opLat    [maxReqOpcode]obs.Histogram // per request opcode service time
 	bytesIn  obs.Counter
 	bytesOut obs.Counter
 	traced   obs.Counter // requests that carried a trace id
@@ -281,7 +291,7 @@ func (s *Server) RequestLatency() *obs.Histogram { return &s.metrics.lat }
 var registeredOps = []Opcode{
 	OpGet, OpPut, OpDelete, OpScan, OpBatch, OpStats, OpPing,
 	OpTaskSubmit, OpTaskStatus, OpShuffleFetch, OpTraceFetch,
-	OpGossip, OpMirror, OpGetLocal,
+	OpGossip, OpMirror, OpGetLocal, OpMetricsFetch, OpEventsFetch,
 }
 
 // RegisterMetrics exports the server's counters into r under the
@@ -291,6 +301,9 @@ func (s *Server) RegisterMetrics(r *obs.Registry) {
 	for _, op := range registeredOps {
 		r.CounterFunc("bd_transport_requests_total", "Requests received, by opcode.",
 			obs.Labels{"op": opName(op)}, s.metrics.reqs[op].Value)
+		r.RegisterHistogram("bd_transport_op_seconds",
+			"Request service time by opcode: admission wait plus dispatch.",
+			obs.Labels{"op": opName(op)}, &s.metrics.opLat[op])
 	}
 	r.CounterFunc("bd_transport_bytes_total", "Wire bytes moved, by direction.",
 		obs.Labels{"dir": "in"}, s.metrics.bytesIn.Value)
@@ -565,6 +578,11 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) observe(op Opcode, tc traceCtx, start, admitted time.Time, bytes int) {
 	dur := time.Since(start)
 	s.metrics.lat.Observe(dur)
+	if int(op) < len(s.metrics.opLat) {
+		// Per-opcode latency feeds the federation's per-opcode p50/p99
+		// (bdtop); three more atomic adds, still allocation-free.
+		s.metrics.opLat[op].Observe(dur)
+	}
 	if tc.trace == 0 && (s.opts.SlowRequest <= 0 || dur < s.opts.SlowRequest) {
 		return
 	}
@@ -844,6 +862,39 @@ func (s *Server) dispatch(id uint64, tc traceCtx, op Opcode, payload []byte) *fr
 		f := getFrame(frameOverhead + 4 + 1 + len(v))
 		f.b = beginResponse(f.b[:0], id, RespValue)
 		f.b = finishFrame(EncodeValue(f.b, v, ok))
+		return f
+	case OpMetricsFetch:
+		// Cold path by design: a snapshot walks every series once under
+		// the registry lock, and nothing here touches the request pools
+		// beyond the response frame itself.
+		var snap *obs.RegistrySnapshot
+		if s.opts.Metrics != nil {
+			snap = s.opts.Metrics.Capture(s.Addr())
+		} else {
+			snap = &obs.RegistrySnapshot{Node: s.Addr()}
+		}
+		enc := obs.EncodeSnapshot(snap)
+		if frameOverhead+4+len(enc) > s.opts.MaxFrame {
+			return errFrame(id, fmt.Errorf("transport: metrics snapshot of %d bytes exceeds the frame limit", len(enc)))
+		}
+		f := getFrame(frameOverhead + 4 + len(enc))
+		f.b = beginResponse(f.b[:0], id, RespMetrics)
+		f.b = append(f.b, enc...)
+		f.b = finishFrame(f.b)
+		return f
+	case OpEventsFetch:
+		events := s.opts.Events.Events() // nil log → empty set
+		// Shed oldest events rather than build a frame the peer would
+		// reject; the timeline keeps its newest entries.
+		budget := s.opts.MaxFrame - frameOverhead - 64
+		for len(events) > 0 && obs.EncodedEventsLen(events) > budget {
+			events = events[1:]
+		}
+		enc := obs.EncodeEvents(events)
+		f := getFrame(frameOverhead + 4 + len(enc))
+		f.b = beginResponse(f.b[:0], id, RespEvents)
+		f.b = append(f.b, enc...)
+		f.b = finishFrame(f.b)
 		return f
 	case OpTraceFetch:
 		tid, err := DecodeTaskID(payload)

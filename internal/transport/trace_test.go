@@ -146,8 +146,8 @@ func TestServerClientMetricsExposition(t *testing.T) {
 	// snapshot until the server's observe side caught up.
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if s := reg.Snapshot(); s[`bd_transport_requests_total{op="get"}`] >= 1 &&
-			s[`bd_transport_requests_total{op="put"}`] >= 1 {
+		if s := reg.Snapshot(); s[`bd_transport_requests_total{op="get"}`].Uint() >= 1 &&
+			s[`bd_transport_requests_total{op="put"}`].Uint() >= 1 {
 			break
 		}
 		time.Sleep(time.Millisecond)
@@ -161,7 +161,7 @@ func TestServerClientMetricsExposition(t *testing.T) {
 		"bd_transport_traced_requests_total",
 		"bd_transport_request_seconds_count",
 	} {
-		if snap[key] < 1 {
+		if snap[key].Uint() < 1 {
 			t.Errorf("%s = %v, want >= 1 (snapshot %v)", key, snap[key], snap)
 		}
 	}

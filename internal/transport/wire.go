@@ -88,6 +88,22 @@ const (
 	// that eats both servers' admission permits until every data call rides
 	// a timeout.
 	OpGetLocal Opcode = 0x0E // payload: key
+
+	// OpMetricsFetch asks a node for a full snapshot of its metrics
+	// registry — exact histogram bucket vectors and integer counters,
+	// not float summaries (see obs.EncodeSnapshot for the layout). The
+	// metrics federation pulls these over the data plane from whoever
+	// the gossip view says is alive and merges them exactly, the same
+	// collect-over-the-wire pattern OpTraceFetch set for spans. A node
+	// serving without a registry answers an empty snapshot, not an
+	// error: a fleet mixing instrumented and bare nodes still federates.
+	OpMetricsFetch Opcode = 0x0F // payload: empty
+
+	// OpEventsFetch asks a node for the tail of its structured cluster
+	// event log (view commits, member suspect/down/dead, failovers,
+	// hint replay/drop, migration, compaction — obs.EncodeEvents owns
+	// the layout). Oldest events are shed under MaxFrame like spans.
+	OpEventsFetch Opcode = 0x10 // payload: empty
 )
 
 // Response opcodes.
@@ -116,8 +132,14 @@ const (
 	// sides has outgrown, the server hands back the fresh view and the
 	// client re-routes. The client surfaces that as cluster.ErrWrongEpoch
 	// after delivering the view to its OnView callback.
-	RespView  Opcode = 0x8A // payload: empty | encoded cluster view
-	RespError Opcode = 0xFF // payload: errcode u8 | message
+	RespView Opcode = 0x8A // payload: empty | encoded cluster view
+	// RespMetrics carries one node's encoded registry snapshot
+	// (obs.EncodeSnapshot), answering OpMetricsFetch.
+	RespMetrics Opcode = 0x8B // payload: encoded registry snapshot
+	// RespEvents carries a node's retained cluster events
+	// (obs.EncodeEvents), answering OpEventsFetch.
+	RespEvents Opcode = 0x8C // payload: encoded event list
+	RespError  Opcode = 0xFF // payload: errcode u8 | message
 )
 
 // batchFlagTry marks an OpBatch for admission control (TryApply) rather
@@ -207,9 +229,9 @@ func splitExt(op Opcode, p []byte) (Opcode, uint64, uint64, uint64, []byte, erro
 
 // Error codes carried by RespError and RespResults frames.
 const (
-	errCodeNone     = 0x00
-	errCodeOverload = 0x01 // maps to cluster.ErrOverload
-	errCodeClosed   = 0x02 // maps to cluster.ErrClosed
+	errCodeNone       = 0x00
+	errCodeOverload   = 0x01 // maps to cluster.ErrOverload
+	errCodeClosed     = 0x02 // maps to cluster.ErrClosed
 	errCodeBad        = 0x03 // malformed frame or payload
 	errCodeInternal   = 0x04 // anything else; message carries detail
 	errCodeWrongEpoch = 0x05 // maps to cluster.ErrWrongEpoch
@@ -386,7 +408,8 @@ var respHeader [256][frameOverhead + 4]byte
 func init() {
 	for _, op := range []Opcode{
 		RespValue, RespOK, RespEntries, RespResults, RespStats,
-		RespTask, RespTaskStatus, RespChunk, RespSpans, RespView, RespError,
+		RespTask, RespTaskStatus, RespChunk, RespSpans, RespView,
+		RespMetrics, RespEvents, RespError,
 	} {
 		respHeader[op][12] = byte(op)
 	}

@@ -16,10 +16,13 @@
 #               member joins and another gracefully leaves mid-run,
 #               with per-window throughput/latency, migration counters
 #               and the convergence verdict as the PR 9 marker
+#   federation — one bdtop poll of the net-phase servers (-once -json):
+#               every member's exact registry snapshot fetched over the
+#               wire and merged, embedded whole as the PR 10 marker
 #
 # Usage: sh scripts/record_bench.sh [out.json] [pr] [prev.json]
-#   out.json  — artifact path (default BENCH_9.json)
-#   pr        — PR number stamped into the artifact (default 9)
+#   out.json  — artifact path (default BENCH_10.json)
+#   pr        — PR number stamped into the artifact (default 10)
 #   prev.json — previous trajectory point; when it exists, a vsPrev
 #               section with throughput deltas is embedded
 # Run from the repo root. CI uploads the result as an artifact so every
@@ -27,9 +30,9 @@
 # durable history.
 set -e
 
-OUT="${1:-BENCH_9.json}"
-PR="${2:-9}"
-PREV="${3:-BENCH_8.json}"
+OUT="${1:-BENCH_10.json}"
+PR="${2:-10}"
+PREV="${3:-BENCH_9.json}"
 BIN="$(mktemp -d)"
 P1=""
 P2=""
@@ -45,6 +48,7 @@ command -v jq >/dev/null 2>&1 || {
     exit 1
 }
 go build -o "$BIN/bdbench" ./cmd/bdbench
+go build -o "$BIN/bdtop" ./cmd/bdtop
 
 # ---- workload mode ------------------------------------------------------
 "$BIN/bdbench" -workload Read -json "$BIN/w_read.json" >/dev/null
@@ -60,6 +64,10 @@ P2=$!
 # bdbench's dial retries cover server startup; no sleep needed.
 "$BIN/bdbench" -net -addr "$A1,$A2" -ops 20000 -rows 2000 -clients 4 \
     -traceevery 8 -slo 5ms:0.999 -trace -json "$BIN/net.json" >/dev/null
+# One federation poll while both servers are still up: bdtop pulls each
+# member's exact registry snapshot over the wire (OpMetricsFetch) and
+# merges them; the whole document rides the artifact.
+"$BIN/bdtop" -addr "$A1,$A2" -once -json >"$BIN/federation.json"
 kill "$P1" "$P2" 2>/dev/null || true
 wait "$P1" 2>/dev/null || true
 wait "$P2" 2>/dev/null || true
@@ -81,6 +89,7 @@ GO_VERSION="$(go env GOVERSION)" jq -n \
     --slurpfile net "$BIN/net.json" \
     --slurpfile analytics "$BIN/analytics.json" \
     --slurpfile resize "$BIN/resize.json" \
+    --slurpfile federation "$BIN/federation.json" \
     --argjson pr "$PR" \
     '{
         schema: "bdbench-trajectory/1",
@@ -89,7 +98,8 @@ GO_VERSION="$(go env GOVERSION)" jq -n \
         workload: ($workload_read[0] + $workload_wordcount[0]),
         net: $net[0],
         analytics: $analytics[0],
-        resize: $resize[0]
+        resize: $resize[0],
+        federation: $federation[0]
     }' >"$OUT"
 
 # Fold in throughput deltas against the previous trajectory point, so
@@ -121,10 +131,13 @@ jq -e \
      .resize.migratedBytes > 0 and
      (.resize.windows | length) == 4 and
      ([.resize.windows[].opsPerSec] | min) > 0 and
+     (.federation.nodes | length) == 2 and
+     (.federation.errors // {} | length) == 0 and
+     ([.federation.merged.families[] | select(.name == "bd_transport_requests_total") | .series[].value] | add) > 0 and
      (.workload | length) == 2' \
     "$OUT" >/dev/null || {
     echo "record_bench: $OUT failed validation" >&2
     exit 1
 }
 echo "record_bench: wrote $OUT"
-jq -r '"  net: \(.net.opsPerSec | floor) ops/s  analytics: \(.analytics.itemsPerSec | floor) rec/s  resize: \([.resize.windows[].opsPerSec] | min | floor)+ ops/s through epoch \(.resize.epoch)  workloads: \(.workload | length)"' "$OUT"
+jq -r '"  net: \(.net.opsPerSec | floor) ops/s  analytics: \(.analytics.itemsPerSec | floor) rec/s  resize: \([.resize.windows[].opsPerSec] | min | floor)+ ops/s through epoch \(.resize.epoch)  federation: \(.federation.nodes | length) nodes  workloads: \(.workload | length)"' "$OUT"

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Transport smoke test, six phases.
+# Transport smoke test, seven phases.
 #
 # Phase 1 — serve + drain: two bdserve shard servers in separate
 # processes, 1k OLTP ops driven over real sockets by bdbench -net, then
@@ -38,6 +38,14 @@
 # changes (exit 0), the survivors converge on one epoch with migration
 # settled and the dead member declared out of the ring, online migration
 # actually moved bytes, and both survivors then drain out gracefully.
+#
+# Phase 7 — cluster observability plane: two elastic bdserve processes
+# take bdbench load, quiesce, and then one member's /clusterz (the
+# federated view, DESIGN.md §15) must report per-opcode request totals
+# exactly equal to the sum of both members' own /metrics — the
+# federation merges exact counters, not scraped approximations. A third
+# member then live-joins and /eventz must show the join's epoch advance
+# on the merged cross-node event timeline.
 #
 # Run from the repo root (CI runs it after go test).
 set -e
@@ -417,3 +425,131 @@ if [ "$E2" -ne 0 ] || [ "$E3" -ne 0 ]; then
     exit 1
 fi
 echo "transport smoke: OK (elastic resize: live join + SIGKILL healed under load, migration observed)"
+
+# ---- Phase 7: federated /clusterz totals + /eventz epoch advance --------
+
+A14=127.0.0.1:7484
+A15=127.0.0.1:7485
+A16=127.0.0.1:7486
+L14=127.0.0.1:7494
+L15=127.0.0.1:7495
+
+"$BIN/bdserve" -addr "$A14" -elastic -replication 2 -probe 50ms \
+    -leavetimeout 10s -livez "$L14" -quiet &
+P1=$!
+"$BIN/bdserve" -addr "$A15" -join "$A14" -replication 2 -probe 50ms \
+    -leavetimeout 10s -livez "$L15" -quiet &
+P2=$!
+
+# Finite load, then quiesce: with the clients gone and migration
+# settled, the data-plane opcodes (get/put/batch/scan) are frozen, so
+# the federation's merge can be compared against the per-node scrapes
+# exactly. Gossip and the fetch opcodes themselves keep moving — they
+# are excluded from the equality.
+"$BIN/bdbench" -net -elastic -addr "$A14,$A15" -replication 2 \
+    -ops 5000 -rows 500 -clients 4
+
+tries=0
+while :; do
+    M14=$(fetch "http://$L14/metrics") || M14=""
+    M15=$(fetch "http://$L15/metrics") || M15=""
+    E14=$(printf '%s\n' "$M14" | awk '$1 == "bd_cluster_epoch" {print $2}')
+    E15=$(printf '%s\n' "$M15" | awk '$1 == "bd_cluster_epoch" {print $2}')
+    S14=$(printf '%s\n' "$M14" | awk '$1 == "bd_cluster_settled" {print $2}')
+    S15=$(printf '%s\n' "$M15" | awk '$1 == "bd_cluster_settled" {print $2}')
+    if [ -n "$E14" ] && [ "$E14" = "$E15" ] && [ "$S14" = "1" ] && [ "$S15" = "1" ]; then
+        break
+    fi
+    if [ "$tries" -ge 15 ]; then
+        echo "transport smoke: pair never settled before the federation check" >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    sleep 1
+done
+
+CZ=$(fetch "http://$L14/clusterz")
+if ! printf '%s\n' "$CZ" | grep -q '^# Federated from 2 nodes'; then
+    echo "transport smoke: /clusterz did not federate both members:" >&2
+    printf '%s\n' "$CZ" | head -5 >&2
+    exit 1
+fi
+if printf '%s\n' "$CZ" | grep -q '^# UNREACHABLE'; then
+    echo "transport smoke: /clusterz reports an unreachable member with both up" >&2
+    printf '%s\n' "$CZ" | grep '^# UNREACHABLE' >&2
+    exit 1
+fi
+
+# opcount <metrics-text> <op>: one opcode's request total (0 if absent).
+opcount() {
+    printf '%s\n' "$1" | awk -v op="$2" \
+        '$1 == "bd_transport_requests_total{op=\"" op "\"}" {print $2; f = 1}
+         END {if (!f) print 0}'
+}
+MOVED=0
+for op in get put batch scan; do
+    F=$(opcount "$CZ" "$op")
+    N14=$(opcount "$M14" "$op")
+    N15=$(opcount "$M15" "$op")
+    if [ "$F" -ne $((N14 + N15)) ]; then
+        echo "transport smoke: federated $op total $F != $N14 + $N15 from /metrics" >&2
+        exit 1
+    fi
+    [ "$F" -gt 0 ] && MOVED=1
+done
+if [ "$MOVED" -ne 1 ]; then
+    echo "transport smoke: no data-plane opcode counted anything — equality was vacuous" >&2
+    exit 1
+fi
+echo "transport smoke: /clusterz per-opcode totals == sum of member /metrics"
+
+# A third member joins live: the federation must widen to 3 nodes and
+# the merged /eventz timeline must carry the join's view commit.
+"$BIN/bdserve" -addr "$A16" -join "$A14,$A15" -replication 2 -probe 50ms \
+    -leavetimeout 10s -quiet &
+P3=$!
+tries=0
+while :; do
+    CZ=$(fetch "http://$L14/clusterz") || CZ=""
+    if printf '%s\n' "$CZ" | grep -q '^# Federated from 3 nodes'; then
+        break
+    fi
+    if [ "$tries" -ge 15 ]; then
+        echo "transport smoke: federation never widened to the joiner" >&2
+        printf '%s\n' "$CZ" | head -5 >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    sleep 1
+done
+EV=$(fetch "http://$L14/eventz")
+if ! printf '%s\n' "$EV" | grep -q '"view-commit"'; then
+    echo "transport smoke: /eventz carries no view-commit events" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$EV" | grep -q 'view committed: 3 members'; then
+    echo "transport smoke: /eventz missing the 3-member view commit for the join" >&2
+    printf '%s\n' "$EV" | tail -5 >&2
+    exit 1
+fi
+echo "transport smoke: /eventz shows the join's epoch advance"
+
+# Drain out in join order reverse: each leaver pushes its ranges to the
+# remaining members.
+kill -TERM "$P3"
+E3=0
+wait "$P3" || E3=$?
+P3=""
+kill -TERM "$P2"
+E2=0
+wait "$P2" || E2=$?
+P2=""
+kill -TERM "$P1"
+E1=0
+wait "$P1" || E1=$?
+P1=""
+if [ "$E1" -ne 0 ] || [ "$E2" -ne 0 ] || [ "$E3" -ne 0 ]; then
+    echo "transport smoke: observability-plane drain exited $E1/$E2/$E3, want 0/0/0" >&2
+    exit 1
+fi
+echo "transport smoke: OK (federated totals exact, event timeline carried the join)"
